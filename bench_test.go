@@ -1,0 +1,441 @@
+// Package bgpbench's root benchmark suite regenerates every table and
+// figure of "Benchmarking BGP Routers" (IISWC 2007) as testing.B targets,
+// plus micro-benchmarks of the substrates (wire codec, FIB engines,
+// decision process, forwarding path). Each table/figure benchmark reports
+// the paper's metric — transactions per second — via b.ReportMetric.
+//
+//	go test -bench=. -benchmem
+//
+// Mapping to the paper:
+//
+//	BenchmarkTable3/*   -> Table III (8 scenarios x 4 systems, no cross-traffic)
+//	BenchmarkFig3/*     -> Figure 3  (Scenario 6 traces per system)
+//	BenchmarkFig4/*     -> Figure 4  (Pentium III, Scenarios 1 vs 2)
+//	BenchmarkFig5/*     -> Figure 5  (tps under cross-traffic, per system)
+//	BenchmarkFig6/*     -> Figure 6  (Pentium III Scenario 8, 0 vs 300 Mbps)
+//	BenchmarkLive/*     -> the same 8 scenarios against the live Go router
+package bgpbench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/aggregate"
+	"bgpbench/internal/damping"
+	"bgpbench/internal/dataplane"
+	"bgpbench/internal/mrt"
+
+	"bgpbench/internal/bench"
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/forward"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/packet"
+	"bgpbench/internal/platform"
+	"bgpbench/internal/rib"
+	"bgpbench/internal/wire"
+)
+
+// benchTable keeps modeled runs short enough for repeated iterations
+// while remaining large enough that per-phase timing dominates quantum
+// granularity.
+const benchTable = 2000
+
+func runModeled(b *testing.B, system string, scenario int, crossMbps float64) {
+	b.Helper()
+	sys, ok := platform.SystemByName(system)
+	if !ok {
+		b.Fatalf("unknown system %q", system)
+	}
+	scn, err := bench.ScenarioByNum(scenario)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tps float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunModeled(sys, scn, benchTable, platform.CrossTraffic{Mbps: crossMbps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tps = res.TPS
+	}
+	b.ReportMetric(tps, "tps")
+}
+
+// BenchmarkTable3 regenerates each cell of Table III.
+func BenchmarkTable3(b *testing.B) {
+	for _, system := range bench.PaperSystemNames {
+		for num := 1; num <= 8; num++ {
+			b.Run(fmt.Sprintf("%s/Scenario%d", system, num), func(b *testing.B) {
+				runModeled(b, system, num, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3 runs Scenario 6 with full tracing on the three systems of
+// Figure 3.
+func BenchmarkFig3(b *testing.B) {
+	for _, system := range []string{"PentiumIII", "Xeon", "IXP2400"} {
+		b.Run(system, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig3(benchTable, system); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4 runs the Pentium III packet-size comparison of Figure 4.
+func BenchmarkFig4(b *testing.B) {
+	for _, num := range []int{1, 2} {
+		b.Run(fmt.Sprintf("Scenario%d", num), func(b *testing.B) {
+			runModeled(b, "PentiumIII", num, 0)
+		})
+	}
+}
+
+// BenchmarkFig5 samples Figure 5's cross-traffic sweep: each system's
+// Scenario 2 point at a mid-range load.
+func BenchmarkFig5(b *testing.B) {
+	for _, system := range bench.PaperSystemNames {
+		sys, _ := platform.SystemByName(system)
+		cross := sys.ForwardCapMbps / 2
+		b.Run(fmt.Sprintf("%s/cross%.0f", system, cross), func(b *testing.B) {
+			runModeled(b, system, 2, cross)
+		})
+	}
+}
+
+// BenchmarkFig6 runs Figure 6's two operating points.
+func BenchmarkFig6(b *testing.B) {
+	for _, cross := range []float64{0, 300} {
+		b.Run(fmt.Sprintf("cross%.0f", cross), func(b *testing.B) {
+			runModeled(b, "PentiumIII", 8, cross)
+		})
+	}
+}
+
+// BenchmarkLive runs the eight scenarios against the live Go BGP router
+// over loopback TCP — the "fifth system".
+func BenchmarkLive(b *testing.B) {
+	for num := 1; num <= 8; num++ {
+		b.Run(fmt.Sprintf("Scenario%d", num), func(b *testing.B) {
+			scn, err := bench.ScenarioByNum(num)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tps float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunLive(scn, bench.LiveConfig{TableSize: benchTable, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tps = res.TPS
+			}
+			b.ReportMetric(tps, "tps")
+		})
+	}
+}
+
+// BenchmarkLiveCrossTraffic is the live analogue of Figure 5: Scenario 2
+// with goroutines saturating the shared forwarding engine.
+func BenchmarkLiveCrossTraffic(b *testing.B) {
+	for _, workers := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			scn, _ := bench.ScenarioByNum(2)
+			var tps float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunLive(scn, bench.LiveConfig{
+					TableSize: benchTable, Seed: 1, CrossWorkers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tps = res.TPS
+			}
+			b.ReportMetric(tps, "tps")
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func benchUpdate(nlri int) wire.Update {
+	u := wire.Update{
+		Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 100, 200, 300), netaddr.MustParseAddr("10.0.0.1")),
+	}
+	for i := 0; i < nlri; i++ {
+		u.NLRI = append(u.NLRI, netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<8), 24))
+	}
+	return u
+}
+
+// BenchmarkWireMarshalUpdate measures UPDATE encoding at both packet sizes.
+func BenchmarkWireMarshalUpdate(b *testing.B) {
+	for _, n := range []int{1, 500} {
+		b.Run(fmt.Sprintf("nlri%d", n), func(b *testing.B) {
+			u := benchUpdate(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Marshal(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireParseUpdate measures UPDATE decoding at both packet sizes.
+func BenchmarkWireParseUpdate(b *testing.B) {
+	for _, n := range []int{1, 500} {
+		b.Run(fmt.Sprintf("nlri%d", n), func(b *testing.B) {
+			buf, err := wire.Marshal(benchUpdate(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Parse(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFIBLookup compares the LPM engines on a 100k-prefix table.
+func BenchmarkFIBLookup(b *testing.B) {
+	table := core.GenerateTable(core.TableGenConfig{N: 100000, Seed: 5})
+	for _, name := range []string{"binary", "patricia", "hashlen"} {
+		b.Run(name, func(b *testing.B) {
+			eng, err := fib.NewEngine(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range table {
+				eng.Insert(r.Prefix, fib.Entry{Port: 1})
+			}
+			rng := rand.New(rand.NewSource(1))
+			addrs := make([]netaddr.Addr, 4096)
+			for i := range addrs {
+				addrs[i] = table[rng.Intn(len(table))].Prefix.Addr()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Lookup(addrs[i%len(addrs)])
+			}
+		})
+	}
+}
+
+// BenchmarkFIBUpdate measures insert+delete churn per engine.
+func BenchmarkFIBUpdate(b *testing.B) {
+	table := core.GenerateTable(core.TableGenConfig{N: 50000, Seed: 6})
+	for _, name := range []string{"binary", "patricia", "hashlen"} {
+		b.Run(name, func(b *testing.B) {
+			eng, err := fib.NewEngine(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range table {
+				eng.Insert(r.Prefix, fib.Entry{Port: 1})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := table[i%len(table)]
+				eng.Delete(r.Prefix)
+				eng.Insert(r.Prefix, fib.Entry{Port: 2})
+			}
+		})
+	}
+}
+
+// BenchmarkDecisionProcess measures best-path selection across candidate
+// set sizes.
+func BenchmarkDecisionProcess(b *testing.B) {
+	for _, peers := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("candidates%d", peers), func(b *testing.B) {
+			cands := make([]rib.Candidate, peers)
+			for i := range cands {
+				cands[i] = rib.Candidate{
+					Peer: rib.PeerInfo{
+						Addr: netaddr.Addr(i + 1), ID: netaddr.Addr(i + 1),
+						AS: uint16(i + 100), EBGP: true,
+					},
+					Attrs: wire.NewPathAttrs(wire.OriginIGP,
+						wire.NewASPath(uint16(i+100), uint16(i+200), uint16(i%3+1)),
+						netaddr.Addr(i+1)),
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rib.Best(cands)
+			}
+		})
+	}
+}
+
+// BenchmarkRIBChurn measures the full announce path through the RIB.
+func BenchmarkRIBChurn(b *testing.B) {
+	r := rib.New()
+	p1 := rib.PeerInfo{Addr: 1, ID: 1, AS: 65001, EBGP: true}
+	p2 := rib.PeerInfo{Addr: 2, ID: 2, AS: 65002, EBGP: true}
+	r.AddPeer(p1)
+	r.AddPeer(p2)
+	short := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 1), netaddr.Addr(1))
+	long := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65002, 1, 2, 3), netaddr.Addr(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i%4096)<<12), 20)
+		r.Announce(p1.Addr, p, short)
+		r.Announce(p2.Addr, p, long)
+	}
+}
+
+// BenchmarkForwarding measures the RFC 1812 per-packet path (validate,
+// TTL, checksum, LPM) against a 100k-entry FIB.
+func BenchmarkForwarding(b *testing.B) {
+	table := fib.NewTable(fib.NewPatricia())
+	routes := core.GenerateTable(core.TableGenConfig{N: 100000, Seed: 8})
+	for _, r := range routes {
+		table.Insert(r.Prefix, fib.Entry{NextHop: 1, Port: 1})
+	}
+	eng := forward.New(table, forward.DiscardEgress)
+	pkts := make([][]byte, 256)
+	for i := range pkts {
+		pkts[i] = packet.Marshal(packet.Header{
+			TTL: 64, Protocol: 17,
+			Src: netaddr.AddrFrom4(10, 0, 0, 1),
+			Dst: routes[i*97%len(routes)].Prefix.Addr(),
+		}, make([]byte, 64))
+	}
+	b.SetBytes(int64(len(pkts[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := pkts[i%len(pkts)]
+		pkt[8] = 64 // restore TTL consumed by the previous pass
+		pkt[10], pkt[11] = 0, 0
+		cs := packet.Checksum(pkt[:packet.MinHeaderLen])
+		pkt[10], pkt[11] = byte(cs>>8), byte(cs)
+		eng.Process(pkt)
+	}
+}
+
+// BenchmarkTableGen measures workload generation.
+func BenchmarkTableGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.GenerateTable(core.TableGenConfig{N: 10000, Seed: int64(i)})
+	}
+}
+
+// BenchmarkDataplane measures the parallel forwarding plane's per-packet
+// cost at several worker counts (the IXP2400 packet-processor analogue).
+func BenchmarkDataplane(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			table := fib.NewTable(fib.NewPatricia())
+			routes := core.GenerateTable(core.TableGenConfig{N: 50000, Seed: 3})
+			for _, r := range routes {
+				table.Insert(r.Prefix, fib.Entry{NextHop: 1, Port: 1})
+			}
+			plane, err := dataplane.New(dataplane.Config{
+				Workers: workers, QueueDepth: 65536, FIB: table,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plane.Start()
+			pkts := make([][]byte, 512)
+			for i := range pkts {
+				pkts[i] = packet.Marshal(packet.Header{
+					TTL: 64, Protocol: 17,
+					Src: netaddr.AddrFrom4(10, 0, 0, 1),
+					Dst: routes[i*83%len(routes)].Prefix.Addr(),
+				}, make([]byte, 64))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pkt := pkts[i%len(pkts)]
+				fresh := append([]byte(nil), pkt...) // plane owns injected buffers
+				for !plane.Inject(fresh) {
+				}
+			}
+			b.StopTimer()
+			plane.Stop()
+		})
+	}
+}
+
+// BenchmarkAggregate measures CIDR aggregation over a realistic table.
+func BenchmarkAggregate(b *testing.B) {
+	routes := core.GenerateTable(core.TableGenConfig{N: 20000, Seed: 4})
+	in := make([]aggregate.Route, len(routes))
+	for i, r := range routes {
+		in[i] = aggregate.Route{
+			Prefix: r.Prefix,
+			Attrs:  wire.NewPathAttrs(wire.OriginIGP, r.Path, netaddr.AddrFrom4(10, 0, 0, 1)),
+		}
+	}
+	cfg := aggregate.NewConfig(65000, netaddr.AddrFrom4(10, 0, 0, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggregate.Aggregate(in, cfg)
+	}
+}
+
+// BenchmarkDamping measures the flap damper's per-event cost.
+func BenchmarkDamping(b *testing.B) {
+	d := damping.New(damping.Config{}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Flap(netaddr.Addr(i%64), netaddr.PrefixFrom(netaddr.Addr(uint32(i%4096)<<12), 20))
+	}
+}
+
+// BenchmarkMRTRoundTrip measures table dump serialization.
+func BenchmarkMRTRoundTrip(b *testing.B) {
+	routes := core.GenerateTable(core.TableGenConfig{N: 5000, Seed: 5, FirstAS: 65001})
+	tbl := &mrt.Table{
+		CollectorID: netaddr.AddrFrom4(10, 0, 0, 1),
+		ViewName:    "bench",
+		Peers:       []mrt.Peer{{ID: 1, Addr: 1, AS: 65001}},
+	}
+	for _, r := range routes {
+		tbl.Prefixes = append(tbl.Prefixes, mrt.Prefix{
+			Prefix: r.Prefix,
+			Entries: []mrt.RIBEntry{{
+				Attrs: wire.NewPathAttrs(wire.OriginIGP, r.Path, netaddr.AddrFrom4(10, 0, 0, 1)),
+			}},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := mrt.Write(&buf, tbl, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mrt.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWormStormPoint measures one open-loop storm evaluation (the
+// unit of the worm survivability search).
+func BenchmarkWormStormPoint(b *testing.B) {
+	sys, _ := platform.SystemByName("Xeon")
+	for i := 0; i < b.N; i++ {
+		sim := platform.NewSim(sys)
+		if _, err := sim.RunOpenLoop(platform.OpenLoopSpec{
+			Kind: platform.KindReplace, PrefixesPerMsg: 1,
+			MsgsPerSec: 1000, Duration: 10,
+		}, platform.CrossTraffic{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

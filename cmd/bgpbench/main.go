@@ -1,0 +1,414 @@
+// Command bgpbench regenerates every table and figure of "Benchmarking
+// BGP Routers" (IISWC 2007) on the modeled substrate, and runs the same
+// eight-scenario benchmark against this repository's live Go BGP router.
+//
+// Usage:
+//
+//	bgpbench table3  [-n prefixes]
+//	bgpbench fig3    [-n prefixes] [-csv dir]
+//	bgpbench fig4    [-n prefixes] [-csv dir]
+//	bgpbench fig5    [-n prefixes] [-step mbps] [-csv dir]
+//	bgpbench fig6    [-n prefixes] [-cross mbps] [-csv dir]
+//	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
+//	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-crossworkers K] [-crosspps R]
+//	bgpbench livesweep [-n prefixes] [-num N]
+//	bgpbench worm
+//	bgpbench ablate  [-n prefixes]
+//	bgpbench mrt <file>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"bgpbench/internal/bench"
+	"bgpbench/internal/mrt"
+	"bgpbench/internal/platform"
+	"bgpbench/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table3":
+		err = cmdTable3(args)
+	case "fig3":
+		err = cmdFig3(args)
+	case "fig4":
+		err = cmdFig4(args)
+	case "fig5":
+		err = cmdFig5(args)
+	case "fig6":
+		err = cmdFig6(args)
+	case "scenario":
+		err = cmdScenario(args)
+	case "live":
+		err = cmdLive(args)
+	case "ablate":
+		err = cmdAblate(args)
+	case "worm":
+		err = cmdWorm(args)
+	case "livesweep":
+		err = cmdLiveSweep(args)
+	case "mrt":
+		err = cmdMRT(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "bgpbench: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bgpbench - reproduce "Benchmarking BGP Routers" (IISWC 2007)
+
+commands:
+  table3     Table III: tps for 8 scenarios x 4 modeled systems, no cross-traffic
+  fig3       Figure 3: per-process CPU load during Scenario 6 (PIII, Xeon, IXP2400)
+  fig4       Figure 4: Pentium III CPU load, small vs large packets (Scenarios 1-2)
+  fig5       Figure 5: tps vs cross-traffic for all scenarios and systems
+  fig6       Figure 6: Pentium III Scenario 8 with and without cross-traffic
+  scenario   run one scenario on one modeled system and print phase detail
+  live       run the benchmark against the live Go BGP router over loopback
+  ablate     ablation studies of the model's design choices
+  worm       update-storm survivability (max sustainable / keepalive-safe rates)
+  livesweep  live Figure-5 analogue: tps vs rate-controlled cross-traffic
+  mrt        summarize an MRT TABLE_DUMP_V2 file (peers, lengths, origins)
+
+run "bgpbench <command> -h" for flags.
+`)
+}
+
+func csvOut(dir, name string, set *trace.Set) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("  wrote %s\n", f.Name())
+	return set.WriteCSV(f)
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	n := fs.Int("n", 20000, "routing table size in prefixes")
+	fs.Parse(args)
+	fmt.Printf("Simulating 8 scenarios x 4 systems, table size %d...\n\n", *n)
+	sim, err := bench.Table3(*n)
+	if err != nil {
+		return err
+	}
+	bench.WriteTable3(os.Stdout, sim)
+	geo, worst := bench.Table3Fidelity(sim)
+	fmt.Printf("\nfidelity vs paper: geometric-mean ratio %.3f, worst cell %.3f\n", geo, worst)
+	return nil
+}
+
+func printPhases(phases []platform.PhaseResult) {
+	for _, p := range phases {
+		fmt.Printf("  %-16s start=%8.1fs dur=%8.1fs prefixes=%-7d tps=%9.1f",
+			p.Name, p.Start, p.Duration, p.Prefixes, p.TPS)
+		if p.OfferedMbps > 0 {
+			fmt.Printf("  fwd=%.1f/%.1f Mbps", p.ForwardedMbps, p.OfferedMbps)
+		}
+		fmt.Println()
+	}
+}
+
+func cmdFig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	n := fs.Int("n", 20000, "routing table size in prefixes")
+	dir := fs.String("csv", "", "directory for CSV trace output")
+	fs.Parse(args)
+	results, err := bench.Fig3(*n)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("\nFigure 3 (%s): per-process CPU load during Scenario 6\n", r.System)
+		printPhases(r.Phases)
+		r.Traces.RenderASCII(os.Stdout, 76)
+		if err := csvOut(*dir, "fig3_"+r.System+".csv", r.Traces); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	n := fs.Int("n", 20000, "routing table size in prefixes")
+	dir := fs.String("csv", "", "directory for CSV trace output")
+	fs.Parse(args)
+	results, err := bench.Fig4(*n)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("\nFigure 4 (%s): Pentium III CPU load\n", r.Scenario)
+		printPhases(r.Phases)
+		r.Traces.RenderASCII(os.Stdout, 76)
+		name := fmt.Sprintf("fig4_scenario%d.csv", r.Scenario.Num)
+		if err := csvOut(*dir, name, r.Traces); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	n := fs.Int("n", 5000, "routing table size in prefixes (smaller: 8x4xsweep runs)")
+	step := fs.Float64("step", 100, "cross-traffic sweep step in Mbps")
+	dir := fs.String("csv", "", "directory for CSV output")
+	fs.Parse(args)
+	fmt.Printf("Sweeping cross-traffic for 8 scenarios x 4 systems (step %.0f Mbps)...\n", *step)
+	series, err := bench.Fig5(*n, *step)
+	if err != nil {
+		return err
+	}
+	cur := 0
+	for _, s := range series {
+		if s.Scenario.Num != cur {
+			cur = s.Scenario.Num
+			fmt.Printf("\nBenchmark %d (%s)\n", cur, s.Scenario)
+			fmt.Printf("  %-12s", "cross Mbps")
+			fmt.Println("tps...")
+		}
+		fmt.Printf("  %-12s", s.System)
+		for _, p := range s.Points {
+			fmt.Printf(" %9.1f@%-4.0f", p.TPS, p.CrossMbps)
+		}
+		fmt.Println()
+	}
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*dir, "fig5.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Printf("\n  wrote %s\n", f.Name())
+		return bench.WriteFig5CSV(f, series)
+	}
+	return nil
+}
+
+func cmdFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	n := fs.Int("n", 20000, "routing table size in prefixes")
+	cross := fs.Float64("cross", 300, "cross-traffic level in Mbps")
+	dir := fs.String("csv", "", "directory for CSV trace output")
+	fs.Parse(args)
+	results, err := bench.Fig6(*n, *cross)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("\nFigure 6: Pentium III, Scenario 8, cross-traffic %.0f Mbps (tps %.1f)\n", r.CrossMbps, r.TPS)
+		printPhases(r.Phases)
+		r.Traces.RenderASCII(os.Stdout, 76)
+		name := fmt.Sprintf("fig6_cross%.0f.csv", r.CrossMbps)
+		if err := csvOut(*dir, name, r.Traces); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	num := fs.Int("num", 1, "scenario number 1-8")
+	system := fs.String("system", "PentiumIII", "system: PentiumIII, Xeon, IXP2400, Cisco")
+	n := fs.Int("n", 20000, "routing table size in prefixes")
+	cross := fs.Float64("cross", 0, "cross-traffic in Mbps")
+	fs.Parse(args)
+	scn, err := bench.ScenarioByNum(*num)
+	if err != nil {
+		return err
+	}
+	sys, ok := platform.SystemByName(*system)
+	if !ok {
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	res, err := bench.RunModeled(sys, scn, *n, platform.CrossTraffic{Mbps: *cross})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s, table %d, cross %.0f Mbps\n", scn, sys.Name, *n, *cross)
+	printPhases(res.Full.Phases)
+	fmt.Printf("measured phase tps: %.1f\n", res.TPS)
+	res.Full.Traces.RenderASCII(os.Stdout, 76)
+	return nil
+}
+
+func cmdLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	n := fs.Int("n", 10000, "routing table size in prefixes")
+	num := fs.Int("num", 0, "scenario number 1-8 (0 = all)")
+	fib := fs.String("fib", "patricia", "FIB engine: linear, binary, patricia, hashlen")
+	crossWorkers := fs.Int("crossworkers", 0, "goroutines saturating the forwarding plane")
+	crossPPS := fs.Float64("crosspps", 0, "rate-controlled cross-traffic in packets/second")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+
+	cfg := bench.LiveConfig{
+		TableSize:    *n,
+		Seed:         *seed,
+		FIBEngine:    *fib,
+		CrossWorkers: *crossWorkers,
+		CrossPPS:     *crossPPS,
+		Timeout:      5 * time.Minute,
+	}
+	var scns []bench.Scenario
+	if *num == 0 {
+		scns = bench.Scenarios
+	} else {
+		scn, err := bench.ScenarioByNum(*num)
+		if err != nil {
+			return err
+		}
+		scns = []bench.Scenario{scn}
+	}
+	fmt.Printf("Live benchmark: Go BGP router over loopback, table %d, fib=%s, crossworkers=%d\n\n",
+		*n, *fib, *crossWorkers)
+	fmt.Printf("%-48s %12s %10s %14s\n", "scenario", "tps", "duration", "fwd pkts/s")
+	for _, scn := range scns {
+		res, err := bench.RunLive(scn, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-48s %12.0f %9.3fs %14.0f\n",
+			scn.String(), res.TPS, res.Duration.Seconds(), res.FwdPacketsPerSec)
+	}
+	return nil
+}
+
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	n := fs.Int("n", 20000, "routing table size in prefixes")
+	fs.Parse(args)
+	return bench.Ablate(os.Stdout, *n)
+}
+
+func cmdWorm(args []string) error {
+	fs := flag.NewFlagSet("worm", flag.ExitOnError)
+	fs.Parse(args)
+	fmt.Println("Searching survivable update rates (binary search per system)...")
+	rows, err := bench.WormStorm()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.WriteWormReport(os.Stdout, rows)
+	return nil
+}
+
+func cmdLiveSweep(args []string) error {
+	fs := flag.NewFlagSet("livesweep", flag.ExitOnError)
+	n := fs.Int("n", 10000, "routing table size in prefixes")
+	num := fs.Int("num", 2, "scenario number 1-8")
+	fs.Parse(args)
+	scn, err := bench.ScenarioByNum(*num)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Live cross-traffic sweep: %s on the Go router, table %d\n\n", scn, *n)
+	fmt.Printf("%12s %12s %14s\n", "cross pps", "tps", "fwd pkts/s")
+	for _, pps := range []float64{0, 50000, 100000, 250000, 500000, 1000000} {
+		res, err := bench.RunLive(scn, bench.LiveConfig{
+			TableSize: *n, Seed: 1, CrossPPS: pps, Timeout: 5 * time.Minute,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12.0f %12.0f %14.0f\n", pps, res.TPS, res.FwdPacketsPerSec)
+	}
+	return nil
+}
+
+func cmdMRT(args []string) error {
+	fs := flag.NewFlagSet("mrt", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bgpbench mrt <file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tbl, err := mrt.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MRT TABLE_DUMP_V2: collector %s, view %q\n", tbl.CollectorID, tbl.ViewName)
+	fmt.Printf("peers: %d\n", len(tbl.Peers))
+	for i, p := range tbl.Peers {
+		fmt.Printf("  [%d] AS %-6d id %-15s addr %s\n", i, p.AS, p.ID, p.Addr)
+	}
+	lenHist := map[int]int{}
+	pathLenSum, entries := 0, 0
+	origins := map[uint16]int{}
+	for _, p := range tbl.Prefixes {
+		lenHist[p.Prefix.Len()]++
+		for _, e := range p.Entries {
+			entries++
+			pathLenSum += e.Attrs.ASPath.Length()
+			if o, ok := e.Attrs.ASPath.Origin(); ok {
+				origins[o]++
+			}
+		}
+	}
+	fmt.Printf("prefixes: %d (%d RIB entries)\n", len(tbl.Prefixes), entries)
+	fmt.Println("prefix length histogram:")
+	for l := 0; l <= 32; l++ {
+		if lenHist[l] > 0 {
+			fmt.Printf("  /%-3d %7d  %s\n", l, lenHist[l], strings.Repeat("#", 1+lenHist[l]*50/len(tbl.Prefixes)))
+		}
+	}
+	if entries > 0 {
+		fmt.Printf("mean AS-path length: %.2f\n", float64(pathLenSum)/float64(entries))
+	}
+	type oc struct {
+		as uint16
+		n  int
+	}
+	var top []oc
+	for a, n := range origins {
+		top = append(top, oc{a, n})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Println("top origin ASNs:")
+	for _, o := range top {
+		fmt.Printf("  AS %-6d %d prefixes\n", o.as, o.n)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Command bgpspeaker is a standalone benchmark BGP speaker: it connects
+// to a router under test, injects a synthetic routing table (and
+// optionally withdraws it again), and reports the achieved transaction
+// rate. It speaks standard BGP-4 and works against any router, not only
+// bgprouterd.
+//
+//	bgpspeaker -target 127.0.0.1:1790 -as 65001 -id 1.1.1.1 -n 20000 -permsg 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/mrt"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/speaker"
+	"bgpbench/internal/wire"
+)
+
+func main() {
+	target := flag.String("target", "127.0.0.1:1790", "router under test, host:port")
+	as := flag.Uint("as", 65001, "local autonomous system number")
+	id := flag.String("id", "1.1.1.1", "BGP identifier (IPv4), also used as next hop")
+	n := flag.Int("n", 20000, "number of prefixes to announce")
+	perMsg := flag.Int("permsg", 1, "prefixes per UPDATE (1 = small packets, 500 = large)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	uniform := flag.Bool("uniform", true, "share one AS path across all routes (enables large-packet packing)")
+	withdraw := flag.Bool("withdraw", false, "withdraw the table again after announcing")
+	linger := flag.Duration("linger", 3*time.Second, "time to keep the session up after sending")
+	dump := flag.String("dump", "", "write the generated table as an MRT TABLE_DUMP_V2 file and exit")
+	load := flag.String("load", "", "announce routes from an MRT TABLE_DUMP_V2 file instead of generating them")
+	flag.Parse()
+
+	localID, err := netaddr.ParseAddr(*id)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dump != "" {
+		if err := dumpTable(*dump, *n, *seed, uint16(*as), localID); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d-prefix MRT dump to %s\n", *n, *dump)
+		return
+	}
+	sp := speaker.New(speaker.Config{
+		AS:     uint16(*as),
+		ID:     localID,
+		Target: *target,
+	})
+	if err := sp.Connect(15 * time.Second); err != nil {
+		fatal(err)
+	}
+	defer sp.Stop()
+	fmt.Printf("bgpspeaker: session established with %s (AS %d)\n", *target, *as)
+
+	var table []core.Route
+	if *load != "" {
+		table, err = loadTable(*load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d prefixes from %s\n", len(table), *load)
+	} else {
+		table = core.GenerateTable(core.TableGenConfig{N: *n, Seed: *seed, FirstAS: uint16(*as)})
+		if *uniform {
+			table = core.UniformPath(table, wire.NewASPath(uint16(*as), 100, 101, 102))
+		}
+	}
+
+	start := time.Now()
+	if err := sp.Announce(table, *perMsg); err != nil {
+		fatal(err)
+	}
+	dur := time.Since(start)
+	fmt.Printf("announced %d prefixes in %v (%.0f prefixes/s wire rate)\n",
+		len(table), dur.Round(time.Millisecond), float64(len(table))/dur.Seconds())
+
+	if *withdraw {
+		start = time.Now()
+		if err := sp.Withdraw(table, *perMsg); err != nil {
+			fatal(err)
+		}
+		dur = time.Since(start)
+		fmt.Printf("withdrew %d prefixes in %v (%.0f prefixes/s wire rate)\n",
+			len(table), dur.Round(time.Millisecond), float64(len(table))/dur.Seconds())
+	}
+
+	// Keep the session alive so the router finishes processing; report
+	// anything it advertises back to us.
+	time.Sleep(*linger)
+	fmt.Printf("received from router: %d updates, %d prefixes, %d withdrawals\n",
+		sp.UpdatesReceived(), sp.PrefixesReceived(), sp.WithdrawalsReceived())
+}
+
+// dumpTable writes a freshly generated table as an MRT file.
+func dumpTable(path string, n int, seed int64, as uint16, id netaddr.Addr) error {
+	routes := core.GenerateTable(core.TableGenConfig{N: n, Seed: seed, FirstAS: as})
+	tbl := &mrt.Table{
+		CollectorID: id,
+		ViewName:    "bgpspeaker",
+		Peers:       []mrt.Peer{{ID: id, Addr: id, AS: as}},
+	}
+	for _, r := range routes {
+		tbl.Prefixes = append(tbl.Prefixes, mrt.Prefix{
+			Prefix: r.Prefix,
+			Entries: []mrt.RIBEntry{{
+				Attrs: wire.NewPathAttrs(wire.OriginIGP, r.Path, id),
+			}},
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mrt.Write(f, tbl, uint32(time.Now().Unix()))
+}
+
+// loadTable reads routes (first path per prefix) from an MRT file.
+func loadTable(path string) ([]core.Route, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tbl, err := mrt.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Route
+	for _, p := range tbl.Prefixes {
+		if len(p.Entries) == 0 {
+			continue
+		}
+		out = append(out, core.Route{Prefix: p.Prefix, Path: p.Entries[0].Attrs.ASPath})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgpspeaker:", err)
+	os.Exit(1)
+}

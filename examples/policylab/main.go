@@ -1,0 +1,123 @@
+// Policylab: drive the policy engine and CIDR aggregation against a live
+// router. An upstream speaker announces a mixed table; the router's
+// import policy filters bogons, tags provider routes with communities,
+// and localizes preference; the example then aggregates the surviving
+// routes and reports the FIB compression that aggregation would buy.
+//
+//	go run ./examples/policylab
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bgpbench/internal/aggregate"
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
+	"bgpbench/internal/speaker"
+	"bgpbench/internal/wire"
+)
+
+func main() {
+	// Import policy: drop RFC 1918 space, prefer short paths, tag the rest.
+	bogons := &policy.PrefixList{Name: "bogons", Rules: []policy.PrefixRule{
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), GE: 8, LE: 32, Action: policy.Permit},
+		{Prefix: netaddr.MustParsePrefix("172.16.0.0/12"), GE: 12, LE: 32, Action: policy.Permit},
+		{Prefix: netaddr.MustParsePrefix("192.168.0.0/16"), GE: 16, LE: 32, Action: policy.Permit},
+	}}
+	prefer := uint32(200)
+	tag := wire.CommunityFrom(65000, 65001)
+	importMap := &policy.RouteMap{
+		Name: "from-upstream",
+		Terms: []policy.Term{
+			{
+				Name:   "drop-bogons",
+				Match:  policy.Match{PrefixList: bogons},
+				Action: policy.Deny,
+			},
+			{
+				Name:   "prefer-short",
+				Match:  policy.Match{ASPath: &policy.ASPathCond{MaxLen: 2}},
+				Set:    policy.Set{LocalPref: &prefer, AddCommunity: []wire.Community{tag}},
+				Action: policy.Permit,
+			},
+			{
+				Name:   "tag-rest",
+				Set:    policy.Set{AddCommunity: []wire.Community{tag}},
+				Action: policy.Permit,
+			},
+		},
+	}
+
+	router, err := core.NewRouter(core.Config{
+		AS:         65000,
+		ID:         netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr: "127.0.0.1:0",
+		Neighbors:  []core.NeighborConfig{{AS: 65001, Import: importMap}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := router.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer router.Stop()
+
+	up := speaker.New(speaker.Config{
+		AS: 65001, ID: netaddr.MustParseAddr("1.1.1.1"), Target: router.ListenAddr(),
+	})
+	if err := up.Connect(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	defer up.Stop()
+
+	// A mixed announcement: legitimate space, bogons, and sibling blocks
+	// that aggregation can merge.
+	var routes []core.Route
+	for i := 0; i < 64; i++ {
+		routes = append(routes, core.Route{
+			Prefix: netaddr.PrefixFrom(netaddr.AddrFrom4(198, 18, byte(i), 0), 24),
+			Path:   wire.NewASPath(65001, 7),
+		})
+	}
+	routes = append(routes,
+		core.Route{Prefix: netaddr.MustParsePrefix("10.66.0.0/16"), Path: wire.NewASPath(65001, 8)},      // bogon
+		core.Route{Prefix: netaddr.MustParsePrefix("192.168.44.0/24"), Path: wire.NewASPath(65001, 8)},   // bogon
+		core.Route{Prefix: netaddr.MustParsePrefix("203.0.113.0/24"), Path: wire.NewASPath(65001, 8, 9)}, // long path
+	)
+	if err := up.Announce(routes, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for router.Transactions() < uint64(len(routes)) {
+		if time.Now().After(deadline) {
+			log.Fatalf("router processed %d/%d", router.Transactions(), len(routes))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	fmt.Printf("announced %d routes; router accepted %d into the FIB (bogons filtered)\n",
+		len(routes), router.FIB().Len())
+
+	// Collect the accepted routes for aggregation analysis.
+	var accepted []aggregate.Route
+	router.FIB().Walk(func(p netaddr.Prefix, e fib.Entry) bool {
+		accepted = append(accepted, aggregate.Route{
+			Prefix: p,
+			Attrs:  wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 7), e.NextHop),
+		})
+		return true
+	})
+	agg := aggregate.Aggregate(accepted, aggregate.NewConfig(65000, netaddr.MustParseAddr("10.255.0.1")))
+	fmt.Printf("CIDR aggregation: %d routes -> %d aggregates (%.0f%% FIB compression)\n",
+		len(accepted), len(agg), 100*(1-float64(len(agg))/float64(len(accepted))))
+	for _, r := range agg {
+		if r.Prefix.Len() <= 20 {
+			fmt.Printf("  %-18s %s\n", r.Prefix, r.Attrs.ASPath)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Quickstart: bring up the Go BGP router with two peers over loopback
+// TCP, announce routes from both sides, and watch the decision process
+// pick best paths and program the forwarding table.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/speaker"
+	"bgpbench/internal/wire"
+)
+
+func main() {
+	// 1. Start a router (AS 65000) that accepts two neighbours.
+	router, err := core.NewRouter(core.Config{
+		AS:         65000,
+		ID:         netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr: "127.0.0.1:0",
+		Neighbors: []core.NeighborConfig{
+			{AS: 65001},
+			{AS: 65002},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := router.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer router.Stop()
+	fmt.Printf("router: AS 65000 listening on %s\n", router.ListenAddr())
+
+	// 2. Connect two speakers.
+	sp1 := speaker.New(speaker.Config{
+		AS: 65001, ID: netaddr.MustParseAddr("1.1.1.1"), Target: router.ListenAddr(),
+	})
+	if err := sp1.Connect(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	defer sp1.Stop()
+	sp2 := speaker.New(speaker.Config{
+		AS: 65002, ID: netaddr.MustParseAddr("2.2.2.2"), Target: router.ListenAddr(),
+	})
+	if err := sp2.Connect(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	defer sp2.Stop()
+	fmt.Println("speakers: AS 65001 and AS 65002 established")
+
+	// 3. Speaker 1 announces a route with a 3-hop path.
+	route := core.Route{
+		Prefix: netaddr.MustParsePrefix("192.0.2.0/24"),
+		Path:   wire.NewASPath(65001, 300, 400),
+	}
+	if err := sp1.Announce([]core.Route{route}, 1); err != nil {
+		log.Fatal(err)
+	}
+	waitFIB(router, 1)
+	show(router, "after speaker 1's announcement (path 65001 300 400)")
+
+	// 4. Speaker 2 announces the same prefix with a shorter path: the
+	// decision process must switch the best route and update the FIB.
+	better := core.Route{
+		Prefix: route.Prefix,
+		Path:   wire.NewASPath(65002, 400),
+	}
+	if err := sp2.Announce([]core.Route{better}, 1); err != nil {
+		log.Fatal(err)
+	}
+	waitNextHop(router, route.Prefix, netaddr.MustParseAddr("2.2.2.2"))
+	show(router, "after speaker 2's shorter path (65002 400): best route replaced")
+
+	// 5. Speaker 2 withdraws: the router falls back to speaker 1's route.
+	if err := sp2.Withdraw([]core.Route{better}, 1); err != nil {
+		log.Fatal(err)
+	}
+	waitNextHop(router, route.Prefix, netaddr.MustParseAddr("1.1.1.1"))
+	show(router, "after speaker 2's withdrawal: fallback to speaker 1")
+
+	fmt.Printf("\nrouter processed %d transactions, %d forwarding-table changes\n",
+		router.Transactions(), router.FIBChanges())
+}
+
+func show(router *core.Router, label string) {
+	fmt.Printf("\n%s:\n", label)
+	fmt.Printf("  FIB (%d entries):\n", router.FIB().Len())
+	router.FIB().Walk(func(p netaddr.Prefix, e fib.Entry) bool {
+		fmt.Printf("    %-18s via %s (port %d)\n", p, e.NextHop, e.Port)
+		return true
+	})
+}
+
+func waitFIB(router *core.Router, n int) {
+	for i := 0; i < 5000 && router.FIB().Len() < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitNextHop(router *core.Router, p netaddr.Prefix, nh netaddr.Addr) {
+	for i := 0; i < 5000; i++ {
+		if e, ok := router.FIB().Lookup(p.Addr()); ok && e.NextHop == nh {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatalf("next hop for %v never became %v", p, nh)
+}

@@ -1,0 +1,3 @@
+module bgpbench
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package aggregate implements CIDR route aggregation (RFC 1519, and the
+// route-aggregation rules of RFC 4271 section 9.2.2.2): adjacent prefixes
+// with compatible forwarding are merged into shorter covering prefixes,
+// combining their AS paths into AS_SETs and marking information loss with
+// ATOMIC_AGGREGATE. Aggregation is the address-management mechanism that
+// keeps the global table (the paper's 180,000+ prefixes) tractable; the
+// router can apply it on export, and the lookupalgos example uses it to
+// study FIB size sensitivity.
+package aggregate
+
+import (
+	"sort"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// Route pairs a prefix with the attributes it is advertised with.
+type Route struct {
+	Prefix netaddr.Prefix
+	Attrs  wire.PathAttrs
+}
+
+// Config controls aggregation.
+type Config struct {
+	// LocalAS/LocalID stamp the AGGREGATOR attribute on merged routes.
+	LocalAS uint16
+	LocalID netaddr.Addr
+	// MinLen stops aggregation from producing prefixes shorter than this
+	// (default 8: never synthesize super-/8 aggregates).
+	MinLen int
+	// RequireSameNextHop only merges siblings sharing a NEXT_HOP, keeping
+	// the aggregate forwarding-equivalent to its parts (default true via
+	// NewConfig; the zero value of this struct merges freely).
+	RequireSameNextHop bool
+}
+
+// NewConfig returns the conventional safe configuration.
+func NewConfig(localAS uint16, localID netaddr.Addr) Config {
+	return Config{LocalAS: localAS, LocalID: localID, MinLen: 8, RequireSameNextHop: true}
+}
+
+// Aggregate merges sibling prefixes bottom-up until no further merge is
+// possible and returns the reduced route set in prefix order. Input order
+// is irrelevant; duplicate prefixes keep the first occurrence.
+func Aggregate(routes []Route, cfg Config) []Route {
+	if cfg.MinLen <= 0 {
+		cfg.MinLen = 8
+	}
+	byPrefix := make(map[netaddr.Prefix]Route, len(routes))
+	for _, r := range routes {
+		if _, ok := byPrefix[r.Prefix]; !ok {
+			byPrefix[r.Prefix] = r
+		}
+	}
+	// Work longest-prefix-first so merges cascade upward.
+	for length := 32; length > cfg.MinLen; length-- {
+		var candidates []netaddr.Prefix
+		for p := range byPrefix {
+			if p.Len() == length {
+				candidates = append(candidates, p)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Compare(candidates[j]) < 0 })
+		for _, p := range candidates {
+			r, ok := byPrefix[p]
+			if !ok {
+				continue // already consumed by a sibling merge
+			}
+			sib := sibling(p)
+			sr, ok := byPrefix[sib]
+			if !ok {
+				continue
+			}
+			if cfg.RequireSameNextHop && r.Attrs.NextHop != sr.Attrs.NextHop {
+				continue
+			}
+			parent := netaddr.PrefixFrom(p.Addr(), length-1)
+			if _, exists := byPrefix[parent]; exists {
+				// A covering route already exists; the more-specifics stay.
+				continue
+			}
+			merged := mergeAttrs(r.Attrs, sr.Attrs, cfg)
+			delete(byPrefix, p)
+			delete(byPrefix, sib)
+			byPrefix[parent] = Route{Prefix: parent, Attrs: merged}
+		}
+	}
+	out := make([]Route, 0, len(byPrefix))
+	for _, r := range byPrefix {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// sibling returns the prefix differing only in the last bit.
+func sibling(p netaddr.Prefix) netaddr.Prefix {
+	bit := netaddr.Addr(1) << (32 - uint(p.Len()))
+	return netaddr.PrefixFrom(p.Addr()^bit, p.Len())
+}
+
+// mergeAttrs combines two attribute sets per RFC 4271 section 9.2.2.2
+// (simplified to the AS_SEQUENCE+AS_SET form): the shared leading
+// AS_SEQUENCE is kept, the remaining ASNs collapse into one AS_SET, the
+// less specific ORIGIN wins, MED survives only when equal, and
+// ATOMIC_AGGREGATE records any path-information loss.
+func mergeAttrs(a, b wire.PathAttrs, cfg Config) wire.PathAttrs {
+	out := a.Clone()
+	if !a.ASPath.Equal(b.ASPath) {
+		out.ASPath = mergePaths(a.ASPath, b.ASPath)
+		out.AtomicAggregate = true
+	}
+	if a.Origin != b.Origin {
+		if b.Origin > out.Origin {
+			out.Origin = b.Origin
+		}
+	}
+	if a.HasMED != b.HasMED || a.MED != b.MED {
+		out.HasMED, out.MED = false, 0
+	}
+	// Communities: union, preserving stable order.
+	for _, c := range b.Communities {
+		if !out.HasCommunity(c) {
+			out.Communities = append(out.Communities, c)
+		}
+	}
+	if cfg.LocalAS != 0 {
+		out.Aggregator = &wire.Aggregator{AS: cfg.LocalAS, Addr: cfg.LocalID}
+	}
+	return out
+}
+
+// mergePaths keeps the longest common leading sequence and collapses the
+// remainder of both paths into a single sorted AS_SET.
+func mergePaths(a, b wire.ASPath) wire.ASPath {
+	fa, fb := flatten(a), flatten(b)
+	common := 0
+	for common < len(fa) && common < len(fb) && fa[common] == fb[common] {
+		common++
+	}
+	setMembers := map[uint16]bool{}
+	for _, x := range fa[common:] {
+		setMembers[x] = true
+	}
+	for _, x := range fb[common:] {
+		setMembers[x] = true
+	}
+	var out wire.ASPath
+	if common > 0 {
+		out.Segments = append(out.Segments, wire.ASSegment{
+			Type: wire.SegASSequence,
+			ASNs: append([]uint16(nil), fa[:common]...),
+		})
+	}
+	if len(setMembers) > 0 {
+		set := make([]uint16, 0, len(setMembers))
+		for x := range setMembers {
+			set = append(set, x)
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		out.Segments = append(out.Segments, wire.ASSegment{Type: wire.SegASSet, ASNs: set})
+	}
+	return out
+}
+
+func flatten(p wire.ASPath) []uint16 {
+	var out []uint16
+	for _, s := range p.Segments {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+func route(p string, nextHop string, asns ...uint16) Route {
+	return Route{
+		Prefix: netaddr.MustParsePrefix(p),
+		Attrs:  wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(asns...), netaddr.MustParseAddr(nextHop)),
+	}
+}
+
+func cfg() Config {
+	return NewConfig(65000, netaddr.MustParseAddr("10.0.0.1"))
+}
+
+func TestMergeSiblings(t *testing.T) {
+	in := []Route{
+		route("10.0.0.0/24", "192.0.2.1", 100, 200),
+		route("10.0.1.0/24", "192.0.2.1", 100, 200),
+	}
+	out := Aggregate(in, cfg())
+	if len(out) != 1 {
+		t.Fatalf("got %d routes, want 1: %v", len(out), out)
+	}
+	if out[0].Prefix != netaddr.MustParsePrefix("10.0.0.0/23") {
+		t.Fatalf("aggregate = %v", out[0].Prefix)
+	}
+	// Identical paths: no information loss.
+	if out[0].Attrs.AtomicAggregate {
+		t.Error("ATOMIC_AGGREGATE set despite identical paths")
+	}
+	if out[0].Attrs.Aggregator == nil || out[0].Attrs.Aggregator.AS != 65000 {
+		t.Errorf("AGGREGATOR = %+v", out[0].Attrs.Aggregator)
+	}
+}
+
+func TestCascadingMerge(t *testing.T) {
+	// Four adjacent /24s collapse all the way to one /22.
+	in := []Route{
+		route("10.0.0.0/24", "192.0.2.1", 100),
+		route("10.0.1.0/24", "192.0.2.1", 100),
+		route("10.0.2.0/24", "192.0.2.1", 100),
+		route("10.0.3.0/24", "192.0.2.1", 100),
+	}
+	out := Aggregate(in, cfg())
+	if len(out) != 1 || out[0].Prefix != netaddr.MustParsePrefix("10.0.0.0/22") {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestNonSiblingsNotMerged(t *testing.T) {
+	// 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not siblings (their
+	// union is not a valid /23).
+	in := []Route{
+		route("10.0.1.0/24", "192.0.2.1", 100),
+		route("10.0.2.0/24", "192.0.2.1", 100),
+	}
+	out := Aggregate(in, cfg())
+	if len(out) != 2 {
+		t.Fatalf("non-siblings merged: %v", out)
+	}
+}
+
+func TestDifferentNextHopsNotMerged(t *testing.T) {
+	in := []Route{
+		route("10.0.0.0/24", "192.0.2.1", 100),
+		route("10.0.1.0/24", "192.0.2.2", 100),
+	}
+	out := Aggregate(in, cfg())
+	if len(out) != 2 {
+		t.Fatalf("routes with different next hops merged: %v", out)
+	}
+	// Unless the configuration allows it.
+	c := cfg()
+	c.RequireSameNextHop = false
+	out = Aggregate(in, c)
+	if len(out) != 1 {
+		t.Fatalf("free merge failed: %v", out)
+	}
+}
+
+func TestPathMergeBuildsASSet(t *testing.T) {
+	in := []Route{
+		route("10.0.0.0/24", "192.0.2.1", 100, 200, 300),
+		route("10.0.1.0/24", "192.0.2.1", 100, 250, 350),
+	}
+	out := Aggregate(in, cfg())
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	a := out[0].Attrs
+	if !a.AtomicAggregate {
+		t.Error("ATOMIC_AGGREGATE not set for differing paths")
+	}
+	path := a.ASPath
+	if len(path.Segments) != 2 {
+		t.Fatalf("segments = %v", path.Segments)
+	}
+	if path.Segments[0].Type != wire.SegASSequence || len(path.Segments[0].ASNs) != 1 || path.Segments[0].ASNs[0] != 100 {
+		t.Fatalf("common sequence = %v", path.Segments[0])
+	}
+	if path.Segments[1].Type != wire.SegASSet || len(path.Segments[1].ASNs) != 4 {
+		t.Fatalf("AS_SET = %v", path.Segments[1])
+	}
+	for _, want := range []uint16{200, 250, 300, 350} {
+		if !path.Contains(want) {
+			t.Errorf("AS_SET missing %d", want)
+		}
+	}
+}
+
+func TestOriginAndMEDMerge(t *testing.T) {
+	a := route("10.0.0.0/24", "192.0.2.1", 100)
+	a.Attrs.Origin = wire.OriginIGP
+	a.Attrs.HasMED, a.Attrs.MED = true, 5
+	b := route("10.0.1.0/24", "192.0.2.1", 100)
+	b.Attrs.Origin = wire.OriginIncomplete
+	b.Attrs.HasMED, b.Attrs.MED = true, 9
+	out := Aggregate([]Route{a, b}, cfg())
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Attrs.Origin != wire.OriginIncomplete {
+		t.Errorf("origin = %v, want INCOMPLETE (least specific)", out[0].Attrs.Origin)
+	}
+	if out[0].Attrs.HasMED {
+		t.Error("differing MEDs must be dropped")
+	}
+}
+
+func TestExistingCoveringRouteBlocksMerge(t *testing.T) {
+	in := []Route{
+		route("10.0.0.0/23", "192.0.2.9", 500),
+		route("10.0.0.0/24", "192.0.2.1", 100),
+		route("10.0.1.0/24", "192.0.2.1", 100),
+	}
+	out := Aggregate(in, cfg())
+	if len(out) != 3 {
+		t.Fatalf("merge overwrote an existing covering route: %v", out)
+	}
+}
+
+func TestMinLenStopsAggregation(t *testing.T) {
+	c := cfg()
+	c.MinLen = 23
+	in := []Route{
+		route("10.0.0.0/24", "192.0.2.1", 100),
+		route("10.0.1.0/24", "192.0.2.1", 100),
+		route("10.0.2.0/24", "192.0.2.1", 100),
+		route("10.0.3.0/24", "192.0.2.1", 100),
+	}
+	out := Aggregate(in, c)
+	// /24 pairs merge to /23s, but /23 -> /22 is blocked.
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	for _, r := range out {
+		if r.Prefix.Len() != 23 {
+			t.Fatalf("prefix %v shorter than MinLen", r.Prefix)
+		}
+	}
+}
+
+// TestAggregateCoversInput: every input address remains covered by some
+// output prefix with the same next hop — the forwarding-equivalence
+// property.
+func TestAggregateCoversInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var in []Route
+	nextHops := []string{"192.0.2.1", "192.0.2.2"}
+	seen := map[netaddr.Prefix]bool{}
+	for len(in) < 400 {
+		a := netaddr.Addr(0x0A000000 | uint32(rng.Intn(1<<16))<<8)
+		p := netaddr.PrefixFrom(a, 24)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		in = append(in, route(
+			p.String(),
+			nextHops[rng.Intn(2)],
+			uint16(100+rng.Intn(3)),
+		))
+	}
+	out := Aggregate(in, cfg())
+	if len(out) > len(in) {
+		t.Fatalf("aggregation grew the table: %d -> %d", len(in), len(out))
+	}
+	for _, r := range in {
+		covered := false
+		for _, o := range out {
+			if o.Prefix.Len() <= r.Prefix.Len() && o.Prefix.Contains(r.Prefix.Addr()) &&
+				o.Attrs.NextHop == r.Attrs.NextHop {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("input %v (via %v) not covered by any aggregate", r.Prefix, r.Attrs.NextHop)
+		}
+	}
+}
+
+func TestDuplicateInputsKeepFirst(t *testing.T) {
+	a := route("10.0.0.0/24", "192.0.2.1", 100)
+	b := route("10.0.0.0/24", "192.0.2.2", 999)
+	out := Aggregate([]Route{a, b}, cfg())
+	if len(out) != 1 || out[0].Attrs.NextHop != netaddr.MustParseAddr("192.0.2.1") {
+		t.Fatalf("out = %v", out)
+	}
+}

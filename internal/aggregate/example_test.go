@@ -1,0 +1,33 @@
+package aggregate_test
+
+import (
+	"fmt"
+
+	"bgpbench/internal/aggregate"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// ExampleAggregate merges four sibling /24s from the same next hop into
+// one /22, combining the differing tails of their AS paths into an
+// AS_SET and marking the information loss with ATOMIC_AGGREGATE.
+func ExampleAggregate() {
+	mk := func(p string, tail uint16) aggregate.Route {
+		return aggregate.Route{
+			Prefix: netaddr.MustParsePrefix(p),
+			Attrs:  wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(64500, tail), netaddr.MustParseAddr("192.0.2.1")),
+		}
+	}
+	in := []aggregate.Route{
+		mk("198.18.0.0/24", 100),
+		mk("198.18.1.0/24", 101),
+		mk("198.18.2.0/24", 102),
+		mk("198.18.3.0/24", 103),
+	}
+	out := aggregate.Aggregate(in, aggregate.NewConfig(65000, netaddr.MustParseAddr("10.0.0.1")))
+	for _, r := range out {
+		fmt.Printf("%s path=[%s] atomic=%v\n", r.Prefix, r.Attrs.ASPath, r.Attrs.AtomicAggregate)
+	}
+	// Output:
+	// 198.18.0.0/22 path=[64500 {100,101,102,103}] atomic=true
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+var table3Cache struct {
+	once sync.Once
+	sim  [8][4]float64
+	err  error
+}
+
+// cachedTable3 computes the simulated Table III once per test binary.
+func cachedTable3(t *testing.T) [8][4]float64 {
+	t.Helper()
+	table3Cache.once.Do(func() {
+		table3Cache.sim, table3Cache.err = Table3(20000)
+	})
+	if table3Cache.err != nil {
+		t.Fatal(table3Cache.err)
+	}
+	return table3Cache.sim
+}
+
+// TestTable3Calibration regenerates Table III on the modeled substrate and
+// checks fidelity against the paper's measurements: every cell within 25%
+// and a geometric-mean ratio within 10%. Run with -v for the side-by-side
+// table.
+func TestTable3Calibration(t *testing.T) {
+	sim := cachedTable3(t)
+	if testing.Verbose() {
+		WriteTable3(os.Stdout, sim)
+	}
+	geo, worst := Table3Fidelity(sim)
+	t.Logf("fidelity: geometric mean ratio %.3f, worst cell %.3f", geo, worst)
+	if geo > 1.10 || worst > 1.25 {
+		WriteTable3(os.Stderr, sim)
+		t.Errorf("fidelity regressed: geometric mean %.3f (limit 1.10), worst %.3f (limit 1.25)", geo, worst)
+	}
+}
+
+// TestTable3ShapeFindings asserts the qualitative observations the paper
+// draws from Table III (Section V.A bullets), which must hold regardless
+// of exact calibration:
+//
+//  1. the dual-core router is fastest except where the commercial router
+//     wins (scenarios 2, 4, 8);
+//  2. roughly an order of magnitude separates Xeon/PentiumIII and
+//     PentiumIII/IXP2400;
+//  3. scenarios without forwarding-table changes are faster than those
+//     with (5 vs 1, 6 vs 2 per system);
+//  4. large packets beat small packets on the uni-core router;
+//  5. the commercial system is slower than the network processor on small
+//     packets.
+func TestTable3ShapeFindings(t *testing.T) {
+	sim := cachedTable3(t)
+	const piii, xeon, ixp, cisco = 0, 1, 2, 3
+
+	// (1) Xeon wins everywhere except the Cisco's large-packet cells.
+	for i := 0; i < 8; i++ {
+		best := xeon
+		for s := 0; s < 4; s++ {
+			if sim[i][s] > sim[i][best] {
+				best = s
+			}
+		}
+		switch i + 1 {
+		case 2, 4:
+			if best != cisco {
+				t.Errorf("scenario %d: expected Cisco fastest, got column %d", i+1, best)
+			}
+		case 8:
+			if best != cisco && best != xeon {
+				t.Errorf("scenario %d: expected Cisco or Xeon fastest, got column %d", i+1, best)
+			}
+		default:
+			if best != xeon {
+				t.Errorf("scenario %d: expected Xeon fastest, got column %d", i+1, best)
+			}
+		}
+	}
+
+	// (2) Clear performance steps Xeon -> PentiumIII -> IXP2400. (The
+	// paper calls this "roughly one order of magnitude", though its own
+	// Table III ratios range from ~3x to ~15x.)
+	for i := 0; i < 8; i++ {
+		if r := sim[i][xeon] / sim[i][piii]; r < 2.5 {
+			t.Errorf("scenario %d: Xeon/PentiumIII ratio %.1f < 2.5", i+1, r)
+		}
+		if r := sim[i][piii] / sim[i][ixp]; r < 2.5 {
+			t.Errorf("scenario %d: PentiumIII/IXP ratio %.1f < 2.5", i+1, r)
+		}
+	}
+
+	// (3) No-FIB-change scenarios are faster than FIB-changing ones.
+	for _, s := range []int{piii, xeon, ixp} {
+		if sim[4][s] <= sim[0][s] {
+			t.Errorf("system %d: scenario 5 (%.0f) not faster than scenario 1 (%.0f)", s, sim[4][s], sim[0][s])
+		}
+		if sim[5][s] <= sim[1][s] {
+			t.Errorf("system %d: scenario 6 (%.0f) not faster than scenario 2 (%.0f)", s, sim[5][s], sim[1][s])
+		}
+	}
+
+	// (4) Large packets beat small on the uni-core router.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		if sim[pair[1]][piii] <= sim[pair[0]][piii] {
+			t.Errorf("PentiumIII: scenario %d (%.0f) not faster than scenario %d (%.0f)",
+				pair[1]+1, sim[pair[1]][piii], pair[0]+1, sim[pair[0]][piii])
+		}
+	}
+
+	// (5) Cisco slower than IXP2400 on every small-packet scenario.
+	for _, i := range []int{0, 2, 4, 6} {
+		if sim[i][cisco] >= sim[i][ixp] {
+			t.Errorf("scenario %d: Cisco (%.1f) not slower than IXP (%.1f)", i+1, sim[i][cisco], sim[i][ixp])
+		}
+	}
+
+	// Bonus: the dual-core anomaly the raw data shows — large packets
+	// *hurt* the Xeon in FIB-changing withdraw/replace scenarios.
+	if sim[3][xeon] >= sim[2][xeon] {
+		t.Errorf("Xeon: scenario 4 (%.0f) should be slower than scenario 3 (%.0f)", sim[3][xeon], sim[2][xeon])
+	}
+	if sim[7][xeon] >= sim[6][xeon] {
+		t.Errorf("Xeon: scenario 8 (%.0f) should be slower than scenario 7 (%.0f)", sim[7][xeon], sim[6][xeon])
+	}
+}

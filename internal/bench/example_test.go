@@ -1,0 +1,37 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"bgpbench/internal/bench"
+	"bgpbench/internal/platform"
+)
+
+// ExampleRunModeled reproduces one cell of the paper's Table III: the
+// Pentium III under Scenario 6 (incremental announcements, large packets,
+// no forwarding-table change).
+func ExampleRunModeled() {
+	sys, _ := platform.SystemByName("PentiumIII")
+	scn, _ := bench.ScenarioByNum(6)
+	res, _ := bench.RunModeled(sys, scn, 20000, platform.CrossTraffic{})
+	fmt.Printf("%s: %.0f transactions/second (paper: 3636.4)\n", scn, res.TPS)
+	// Output:
+	// Scenario 6 (incremental-nochange, large packets): 3584 transactions/second (paper: 3636.4)
+}
+
+// ExampleScenario_Phases shows the Figure 1 phase structure of a scenario.
+func ExampleScenario_Phases() {
+	scn, _ := bench.ScenarioByNum(7)
+	phases, measured := scn.Phases(20000)
+	for i, p := range phases {
+		marker := " "
+		if i == measured {
+			marker = "*"
+		}
+		fmt.Printf("%s %s: %d messages x %d prefixes\n", marker, p.Name, p.Messages, p.PrefixesPerMsg)
+	}
+	// Output:
+	//   phase1-inject: 20000 messages x 1 prefixes
+	//   phase2-export: 40 messages x 500 prefixes
+	// * phase3-shorter: 20000 messages x 1 prefixes
+}

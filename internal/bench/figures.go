@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bgpbench/internal/platform"
+	"bgpbench/internal/trace"
+)
+
+// Fig3Result reproduces Figure 3: per-process CPU load over time while a
+// system runs Scenario 6 (all three phases).
+type Fig3Result struct {
+	System string
+	Traces *trace.Set
+	Phases []platform.PhaseResult
+}
+
+// Fig3 runs Scenario 6 on the named systems (the paper shows Pentium III,
+// Xeon, and IXP2400) and returns their traces.
+func Fig3(tableSize int, systems ...string) ([]Fig3Result, error) {
+	if len(systems) == 0 {
+		systems = []string{"PentiumIII", "Xeon", "IXP2400"}
+	}
+	scn, _ := ScenarioByNum(6)
+	var out []Fig3Result
+	for _, name := range systems {
+		sys, ok := platform.SystemByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown system %q", name)
+		}
+		res, err := RunModeled(sys, scn, tableSize, platform.CrossTraffic{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig3Result{System: name, Traces: res.Full.Traces, Phases: res.Full.Phases})
+	}
+	return out, nil
+}
+
+// Fig4Result reproduces Figure 4: Pentium III CPU load under Scenario 1
+// (small packets) vs Scenario 2 (large packets).
+type Fig4Result struct {
+	Scenario Scenario
+	Traces   *trace.Set
+	Phases   []platform.PhaseResult
+}
+
+// Fig4 runs Scenarios 1 and 2 on the Pentium III and returns both traces.
+func Fig4(tableSize int) ([2]Fig4Result, error) {
+	var out [2]Fig4Result
+	sys, _ := platform.SystemByName("PentiumIII")
+	for i, num := range []int{1, 2} {
+		scn, _ := ScenarioByNum(num)
+		res, err := RunModeled(sys, scn, tableSize, platform.CrossTraffic{})
+		if err != nil {
+			return out, err
+		}
+		out[i] = Fig4Result{Scenario: scn, Traces: res.Full.Traces, Phases: res.Full.Phases}
+	}
+	return out, nil
+}
+
+// Fig5Point is one sample of Figure 5: a (cross-traffic, tps) pair.
+type Fig5Point struct {
+	CrossMbps float64
+	TPS       float64
+}
+
+// Fig5Series is one curve of Figure 5: a system under one scenario swept
+// across cross-traffic levels up to its forwarding capacity.
+type Fig5Series struct {
+	System   string
+	Scenario Scenario
+	Points   []Fig5Point
+}
+
+// Fig5 sweeps cross-traffic for every scenario and system, reproducing the
+// paper's 8-panel figure. Steps are 100 Mbps up to each system's
+// forwarding limit (the paper's x-axis), always including the limit
+// itself.
+func Fig5(tableSize int, stepMbps float64) ([]Fig5Series, error) {
+	if stepMbps <= 0 {
+		stepMbps = 100
+	}
+	var out []Fig5Series
+	for _, scn := range Scenarios {
+		for _, sys := range platform.Systems() {
+			series := Fig5Series{System: sys.Name, Scenario: scn}
+			levels := []float64{0}
+			for m := stepMbps; m < sys.ForwardCapMbps; m += stepMbps {
+				levels = append(levels, m)
+			}
+			levels = append(levels, sys.ForwardCapMbps)
+			for _, mbps := range levels {
+				res, err := RunModeled(sys, scn, tableSize, platform.CrossTraffic{Mbps: mbps})
+				if err != nil {
+					return nil, err
+				}
+				series.Points = append(series.Points, Fig5Point{CrossMbps: mbps, TPS: res.TPS})
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// WriteFig5CSV emits "scenario,system,cross_mbps,tps" rows.
+func WriteFig5CSV(w io.Writer, series []Fig5Series) error {
+	if _, err := fmt.Fprintln(w, "scenario,system,cross_mbps,tps"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%d,%s,%.0f,%.2f\n", s.Scenario.Num, s.System, p.CrossMbps, p.TPS); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6Result reproduces Figure 6: Pentium III running Scenario 8 without
+// and with 300 Mbps of cross-traffic, including the forwarding-rate trace.
+type Fig6Result struct {
+	CrossMbps float64
+	TPS       float64
+	Traces    *trace.Set
+	Phases    []platform.PhaseResult
+}
+
+// Fig6 runs Scenario 8 on the Pentium III at 0 and crossMbps (default 300).
+func Fig6(tableSize int, crossMbps float64) ([2]Fig6Result, error) {
+	if crossMbps <= 0 {
+		crossMbps = 300
+	}
+	var out [2]Fig6Result
+	sys, _ := platform.SystemByName("PentiumIII")
+	scn, _ := ScenarioByNum(8)
+	for i, mbps := range []float64{0, crossMbps} {
+		res, err := RunModeled(sys, scn, tableSize, platform.CrossTraffic{Mbps: mbps})
+		if err != nil {
+			return out, err
+		}
+		out[i] = Fig6Result{
+			CrossMbps: mbps,
+			TPS:       res.TPS,
+			Traces:    res.Full.Traces,
+			Phases:    res.Full.Phases,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bgpbench/internal/platform"
+)
+
+const figTable = 3000
+
+func TestFig3TracesHavePhaseStructure(t *testing.T) {
+	results, err := Fig3(figTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("systems = %d", len(results))
+	}
+	for _, r := range results {
+		if len(r.Phases) != 3 {
+			t.Fatalf("%s: phases = %d, want 3", r.System, len(r.Phases))
+		}
+		for _, name := range []string{"cpu:bgp", "cpu:rib", "cpu:fea"} {
+			found := false
+			for _, n := range r.Traces.Names() {
+				if n == name {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: missing trace %s", r.System, name)
+			}
+		}
+	}
+	// Ordering: Xeon completes everything fastest, IXP slowest (the
+	// paper's x-axis spans: <90s, ~500s, >half hour).
+	total := func(r Fig3Result) float64 {
+		last := r.Phases[len(r.Phases)-1]
+		return last.Start + last.Duration
+	}
+	byName := map[string]Fig3Result{}
+	for _, r := range results {
+		byName[r.System] = r
+	}
+	if !(total(byName["Xeon"]) < total(byName["PentiumIII"]) &&
+		total(byName["PentiumIII"]) < total(byName["IXP2400"])) {
+		t.Errorf("completion ordering wrong: Xeon %.1fs, PIII %.1fs, IXP %.1fs",
+			total(byName["Xeon"]), total(byName["PentiumIII"]), total(byName["IXP2400"]))
+	}
+	// The rtrmgr overhead is a visible component on the IXP (the paper's
+	// "considerable component of the total workload") and negligible on
+	// the Xeon.
+	ixpMgr := byName["IXP2400"].Traces.Get("cpu:rtrmgr").Mean()
+	xeonMgr := byName["Xeon"].Traces.Get("cpu:rtrmgr").Mean()
+	if ixpMgr < 2*xeonMgr {
+		t.Errorf("IXP rtrmgr share (%.2f%%) not clearly above Xeon's (%.2f%%)", ixpMgr, xeonMgr)
+	}
+}
+
+func TestFig4PacketSizeContrast(t *testing.T) {
+	results, err := Fig4(figTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := results[0], results[1]
+	if small.Scenario.Num != 1 || large.Scenario.Num != 2 {
+		t.Fatal("scenario order wrong")
+	}
+	// Large packets finish the phase faster.
+	if large.Phases[0].Duration >= small.Phases[0].Duration {
+		t.Errorf("large packets not faster: %.1fs vs %.1fs",
+			large.Phases[0].Duration, small.Phases[0].Duration)
+	}
+	// The paper's Figure 4 contrast: with large packets, xorp_bgp's
+	// activity is compressed into an early fraction of the run.
+	activeFraction := func(r Fig4Result) float64 {
+		s := r.Traces.Get("cpu:bgp")
+		active := 0
+		for _, v := range s.Values {
+			if v > 0.5 {
+				active++
+			}
+		}
+		if len(s.Values) == 0 {
+			return 0
+		}
+		return float64(active) / float64(len(s.Values))
+	}
+	if af := activeFraction(large); af > activeFraction(small) {
+		t.Errorf("bgp active fraction: large %.2f should be <= small %.2f",
+			af, activeFraction(small))
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	series, err := Fig5(figTable, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.Scenario.Num != 2 {
+			continue // one scenario suffices for the shape assertions
+		}
+		first := s.Points[0].TPS
+		last := s.Points[len(s.Points)-1].TPS
+		switch s.System {
+		case "PentiumIII", "Xeon":
+			if !(last < first && last > first/2) {
+				t.Errorf("%s: expected gradual decline, got %.1f -> %.1f", s.System, first, last)
+			}
+			// Monotone non-increasing.
+			for i := 1; i < len(s.Points); i++ {
+				if s.Points[i].TPS > s.Points[i-1].TPS*1.01 {
+					t.Errorf("%s: tps increased with load at %.0f Mbps", s.System, s.Points[i].CrossMbps)
+				}
+			}
+		case "IXP2400":
+			if last < first*0.99 || last > first*1.01 {
+				t.Errorf("IXP2400: expected flat curve, got %.1f -> %.1f", first, last)
+			}
+		case "Cisco":
+			if last > first/5 {
+				t.Errorf("Cisco large packets: expected drastic drop, got %.1f -> %.1f", first, last)
+			}
+		}
+	}
+}
+
+func TestFig6ContentionSignatures(t *testing.T) {
+	results, err := Fig6(figTable, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCross, withCross := results[0], results[1]
+	if noCross.TPS <= withCross.TPS {
+		t.Errorf("cross-traffic did not slow BGP: %.1f vs %.1f", noCross.TPS, withCross.TPS)
+	}
+	// The paper's Figure 6(b): interrupts total 20-30% of CPU at 300 Mbps.
+	intr := withCross.Traces.Get("cpu:interrupts").Mean()
+	if intr < 15 || intr > 35 {
+		t.Errorf("interrupt share = %.1f%%, want ~20-30%%", intr)
+	}
+	// Figure 6(c): the forwarding rate dips below the offered 300 Mbps
+	// during the FIB-heavy phases.
+	measured := withCross.Phases[len(withCross.Phases)-1]
+	if measured.ForwardedMbps >= measured.OfferedMbps-5 {
+		t.Errorf("no forwarding loss under contention: %.1f of %.1f Mbps",
+			measured.ForwardedMbps, measured.OfferedMbps)
+	}
+	// And the no-cross run has no interrupt series at all.
+	for _, n := range noCross.Traces.Names() {
+		if strings.Contains(n, "interrupts") {
+			t.Error("interrupt trace present without cross-traffic")
+		}
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	series := []Fig5Series{{
+		System:   "PentiumIII",
+		Scenario: Scenarios[0],
+		Points:   []Fig5Point{{CrossMbps: 0, TPS: 185.2}, {CrossMbps: 100, TPS: 170}},
+	}}
+	var sb strings.Builder
+	if err := WriteFig5CSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "scenario,system,cross_mbps,tps\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,PentiumIII,0,185.20") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestFig3UnknownSystem(t *testing.T) {
+	if _, err := Fig3(figTable, "PDP11"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+// TestWormStormSearchSmall exercises the binary search on one system with
+// a reduced range so the full sweep stays out of the unit-test budget.
+func TestWormStormSearchSmall(t *testing.T) {
+	sys, _ := platform.SystemByName("PentiumIII")
+	// At 50 msg/s the PIII sustains; at 5000 it cannot (calibrated
+	// capacity is ~226/s).
+	ok, safe, err := stormAt(sys, 50)
+	if err != nil || !ok || !safe {
+		t.Fatalf("50 msg/s: ok=%v safe=%v err=%v", ok, safe, err)
+	}
+	ok, _, err = stormAt(sys, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("5000 msg/s should overwhelm the PentiumIII")
+	}
+	rate, err := maxRate(50, 5000, func(r float64) (bool, error) {
+		s, _, err := stormAt(sys, r)
+		return s, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 100 || rate > 500 {
+		t.Fatalf("sustainable rate = %.0f, want ~226", rate)
+	}
+}

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/dataplane"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/packet"
+	"bgpbench/internal/speaker"
+	"bgpbench/internal/wire"
+)
+
+// LiveConfig parameterizes a live benchmark run against the Go router —
+// the "fifth system" next to the four modeled ones.
+type LiveConfig struct {
+	// TableSize is the routing-table size in prefixes (default 10000).
+	TableSize int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// FIBEngine selects the router's lookup structure (default patricia).
+	FIBEngine string
+	// CrossWorkers, when positive, runs that many goroutines saturating
+	// the router's forwarding engine with packets during the measured
+	// phase — the live analogue of the paper's cross-traffic.
+	CrossWorkers int
+	// CrossPPS, when positive, instead drives a rate-controlled packet
+	// source through a parallel data plane sharing the router's FIB —
+	// the live analogue of Figure 5's controlled cross-traffic levels.
+	// Ignored when CrossWorkers is set.
+	CrossPPS float64
+	// Timeout bounds each phase (default 120s).
+	Timeout time.Duration
+}
+
+func (c *LiveConfig) defaults() {
+	if c.TableSize == 0 {
+		c.TableSize = 10000
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 120 * time.Second
+	}
+	if c.FIBEngine == "" {
+		c.FIBEngine = "patricia"
+	}
+}
+
+// LiveResult reports one live scenario execution.
+type LiveResult struct {
+	Scenario Scenario
+	Prefixes int
+	Duration time.Duration
+	// TPS is prefix transactions per second of the measured phase.
+	TPS float64
+	// FwdPacketsPerSec is the forwarding throughput sustained during the
+	// measured phase when CrossWorkers > 0.
+	FwdPacketsPerSec float64
+	// FIBChanges observed during the whole run (sanity: scenarios 5-6 must
+	// not add changes in Phase 3).
+	FIBChanges uint64
+}
+
+const (
+	liveRouterAS   = 65000
+	liveSpeaker1AS = 65001
+	liveSpeaker2AS = 65002
+)
+
+// basePathFor returns the uniform AS path Speaker 1 announces with: long
+// enough (4 hops) that Scenario 7/8's shortened variants are strictly
+// shorter and Scenario 5/6's lengthened variants strictly longer.
+func basePathFor() wire.ASPath {
+	return wire.NewASPath(liveSpeaker1AS, 100, 101, 102)
+}
+
+// RunLive executes one benchmark scenario against a freshly started Go
+// router over loopback TCP and returns the measured transactions/second.
+func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
+	cfg.defaults()
+	out := LiveResult{Scenario: scn}
+
+	router, err := core.NewRouter(core.Config{
+		AS:         liveRouterAS,
+		ID:         netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr: "127.0.0.1:0",
+		FIBEngine:  cfg.FIBEngine,
+		Neighbors: []core.NeighborConfig{
+			{AS: liveSpeaker1AS},
+			{AS: liveSpeaker2AS},
+		},
+	})
+	if err != nil {
+		return out, err
+	}
+	if err := router.Start(); err != nil {
+		return out, err
+	}
+	defer router.Stop()
+
+	sp1 := speaker.New(speaker.Config{
+		AS: liveSpeaker1AS, ID: netaddr.MustParseAddr("1.1.1.1"),
+		Target: router.ListenAddr(), Name: "speaker1",
+	})
+	if err := sp1.Connect(10 * time.Second); err != nil {
+		return out, err
+	}
+	defer sp1.Stop()
+
+	// The generated table shares one AS path so that large-packet runs
+	// actually pack 500 prefixes per UPDATE (the paper's large packets
+	// carry one attribute block for 500 NLRI entries).
+	table := core.UniformPath(
+		core.GenerateTable(core.TableGenConfig{N: cfg.TableSize, Seed: cfg.Seed, FirstAS: liveSpeaker1AS}),
+		basePathFor(),
+	)
+	n := uint64(len(table))
+
+	waitTx := func(target uint64) (time.Duration, error) {
+		deadline := time.Now().Add(cfg.Timeout)
+		start := time.Now()
+		for router.Transactions() < target {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("live %s: %d/%d transactions after %v",
+					scn, router.Transactions(), target, cfg.Timeout)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return time.Since(start), nil
+	}
+
+	// measure wraps a phase: optional cross-load, send, wait, timing.
+	measure := func(send func() error, txTarget uint64) error {
+		stopCross, fwdRate := startCross(router, cfg)
+		start := time.Now()
+		if err := send(); err != nil {
+			stopCross()
+			return err
+		}
+		if _, err := waitTx(txTarget); err != nil {
+			stopCross()
+			return err
+		}
+		out.Duration = time.Since(start)
+		stopCross()
+		out.FwdPacketsPerSec = fwdRate()
+		out.Prefixes = int(n)
+		out.TPS = float64(n) / out.Duration.Seconds()
+		return nil
+	}
+
+	per := scn.PrefixesPerMsg
+	switch scn.Op {
+	case OpStartUp:
+		if err := measure(func() error { return sp1.Announce(table, per) }, n); err != nil {
+			return out, err
+		}
+	case OpEnding:
+		if err := sp1.Announce(table, per); err != nil {
+			return out, err
+		}
+		if _, err := waitTx(n); err != nil {
+			return out, err
+		}
+		if err := measure(func() error { return sp1.Withdraw(table, per) }, 2*n); err != nil {
+			return out, err
+		}
+	case OpIncrementalNoChange, OpIncrementalChange:
+		if err := sp1.Announce(table, per); err != nil {
+			return out, err
+		}
+		if _, err := waitTx(n); err != nil {
+			return out, err
+		}
+		// Phase 2: Speaker 2 connects and receives the table.
+		sp2 := speaker.New(speaker.Config{
+			AS: liveSpeaker2AS, ID: netaddr.MustParseAddr("2.2.2.2"),
+			Target: router.ListenAddr(), Name: "speaker2",
+		})
+		if err := sp2.Connect(10 * time.Second); err != nil {
+			return out, err
+		}
+		defer sp2.Stop()
+		if err := sp2.WaitForPrefixes(n, cfg.Timeout); err != nil {
+			return out, err
+		}
+		// Phase 3: Speaker 2 re-announces with longer or shorter paths.
+		variant := make([]core.Route, len(table))
+		for i, r := range table {
+			if scn.Op == OpIncrementalNoChange {
+				variant[i] = core.Lengthen(r, liveSpeaker2AS, 2, cfg.Seed)
+			} else {
+				variant[i] = core.Shorten(r, liveSpeaker2AS)
+			}
+		}
+		fibBefore := router.FIBChanges()
+		if err := measure(func() error { return sp2.Announce(variant, per) }, 2*n); err != nil {
+			return out, err
+		}
+		if scn.Op == OpIncrementalNoChange && router.FIBChanges() != fibBefore {
+			return out, fmt.Errorf("live %s: forwarding table changed (%d -> %d) in a no-change scenario",
+				scn, fibBefore, router.FIBChanges())
+		}
+	}
+	out.FIBChanges = router.FIBChanges()
+	return out, nil
+}
+
+// startCross selects the configured cross-traffic mode.
+func startCross(router *core.Router, cfg LiveConfig) (stop func(), rate func() float64) {
+	if cfg.CrossWorkers > 0 {
+		return startCrossLoad(router, cfg.CrossWorkers)
+	}
+	if cfg.CrossPPS > 0 {
+		return startCrossRate(router, cfg.CrossPPS)
+	}
+	return func() {}, func() float64 { return 0 }
+}
+
+// startCrossRate drives a rate-controlled source through a parallel data
+// plane sharing the router's FIB.
+func startCrossRate(router *core.Router, pps float64) (stop func(), rate func() float64) {
+	plane, err := dataplane.New(dataplane.Config{
+		Workers:    2,
+		QueueDepth: 8192,
+		FIB:        router.FIB(),
+	})
+	if err != nil {
+		return func() {}, func() float64 { return 0 }
+	}
+	plane.Start()
+	src := dataplane.NewSource(plane, pps, 1000)
+	start := time.Now()
+	src.Start()
+	var window time.Duration
+	var once sync.Once
+	return func() {
+			once.Do(func() {
+				src.Stop()
+				plane.Stop()
+				window = time.Since(start)
+			})
+		}, func() float64 {
+			if window <= 0 {
+				return 0
+			}
+			return float64(plane.Stats().Forwarded+plane.Stats().DropNoRoute) / window.Seconds()
+		}
+}
+
+// startCrossLoad saturates the router's forwarding engine with workers
+// goroutines; the returned stop function halts them and rate() reports the
+// mean forwarded packets/second over the load window.
+func startCrossLoad(router *core.Router, workers int) (stop func(), rate func() float64) {
+	if workers <= 0 {
+		return func() {}, func() float64 { return 0 }
+	}
+	var done atomic.Bool
+	var forwarded atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	fwd := router.Forwarder()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			// Pre-build a template packet; rewrite the destination per
+			// iteration (cheap xorshift) and restore TTL/checksum fields.
+			x := seed | 1
+			for !done.Load() {
+				for i := 0; i < 256; i++ {
+					x ^= x << 13
+					x ^= x >> 17
+					x ^= x << 5
+					pkt := packet.Marshal(packet.Header{
+						TTL:      16,
+						Protocol: 17,
+						Src:      netaddr.AddrFrom4(172, 16, byte(x>>8), byte(x)),
+						Dst:      netaddr.Addr(x),
+					}, nil)
+					fwd.Process(pkt)
+				}
+				forwarded.Add(256)
+			}
+		}(uint32(w)*2654435761 + 12345)
+	}
+	var window time.Duration
+	return func() {
+			if done.CompareAndSwap(false, true) {
+				wg.Wait()
+				window = time.Since(start)
+			}
+		}, func() float64 {
+			if window <= 0 {
+				return 0
+			}
+			return float64(forwarded.Load()) / window.Seconds()
+		}
+}

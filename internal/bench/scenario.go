@@ -1,0 +1,186 @@
+// Package bench implements the paper's benchmark: the eight workload
+// scenarios of Table I, the phase orchestration of Figure 1, the
+// transactions-per-second metric, and the runners that regenerate every
+// table and figure of the evaluation section on the modeled substrate
+// (internal/platform) and the live substrate (the Go router).
+package bench
+
+import (
+	"fmt"
+
+	"bgpbench/internal/platform"
+)
+
+// SmallPacket and LargePacket are the two packet-size operating points of
+// Table I: one prefix per UPDATE vs. 500 prefixes per UPDATE.
+const (
+	SmallPacket = 1
+	LargePacket = 500
+)
+
+// Operation is the BGP operation class a scenario exercises.
+type Operation int
+
+// Scenario operation classes (the rows of Table I).
+const (
+	// OpStartUp injects a full table of announcements into empty RIBs.
+	OpStartUp Operation = iota
+	// OpEnding withdraws every previously announced prefix.
+	OpEnding
+	// OpIncrementalNoChange announces already-known prefixes with longer
+	// AS paths: the decision process runs but the forwarding table does
+	// not change.
+	OpIncrementalNoChange
+	// OpIncrementalChange announces already-known prefixes with shorter
+	// AS paths: best routes are replaced and the forwarding table updated.
+	OpIncrementalChange
+)
+
+// String names the operation.
+func (o Operation) String() string {
+	switch o {
+	case OpStartUp:
+		return "start-up"
+	case OpEnding:
+		return "ending"
+	case OpIncrementalNoChange:
+		return "incremental-nochange"
+	case OpIncrementalChange:
+		return "incremental-change"
+	}
+	return fmt.Sprintf("Operation(%d)", int(o))
+}
+
+// Scenario is one of the paper's eight benchmark scenarios (Table I).
+type Scenario struct {
+	Num            int
+	Op             Operation
+	PrefixesPerMsg int
+	// FIBChanges records Table I's "Forwarding Table Changes" row.
+	FIBChanges bool
+}
+
+// String renders e.g. "Scenario 5 (incremental-nochange, large packets)".
+func (s Scenario) String() string {
+	size := "small"
+	if s.PrefixesPerMsg > 1 {
+		size = "large"
+	}
+	return fmt.Sprintf("Scenario %d (%s, %s packets)", s.Num, s.Op, size)
+}
+
+// Scenarios lists the eight benchmark scenarios in Table I order.
+var Scenarios = []Scenario{
+	{Num: 1, Op: OpStartUp, PrefixesPerMsg: SmallPacket, FIBChanges: true},
+	{Num: 2, Op: OpStartUp, PrefixesPerMsg: LargePacket, FIBChanges: true},
+	{Num: 3, Op: OpEnding, PrefixesPerMsg: SmallPacket, FIBChanges: true},
+	{Num: 4, Op: OpEnding, PrefixesPerMsg: LargePacket, FIBChanges: true},
+	{Num: 5, Op: OpIncrementalNoChange, PrefixesPerMsg: SmallPacket, FIBChanges: false},
+	{Num: 6, Op: OpIncrementalNoChange, PrefixesPerMsg: LargePacket, FIBChanges: false},
+	{Num: 7, Op: OpIncrementalChange, PrefixesPerMsg: SmallPacket, FIBChanges: true},
+	{Num: 8, Op: OpIncrementalChange, PrefixesPerMsg: LargePacket, FIBChanges: true},
+}
+
+// ScenarioByNum returns the scenario with the given 1-based number.
+func ScenarioByNum(n int) (Scenario, error) {
+	if n < 1 || n > len(Scenarios) {
+		return Scenario{}, fmt.Errorf("bench: scenario %d out of range 1..%d", n, len(Scenarios))
+	}
+	return Scenarios[n-1], nil
+}
+
+// messagesFor splits a prefix count into whole messages (rounding up).
+func messagesFor(prefixes, perMsg int) int {
+	return (prefixes + perMsg - 1) / perMsg
+}
+
+// Phases expands a scenario into its platform phases per the methodology
+// of Figure 1. tableSize is the routing-table size in prefixes. The
+// returned measured index selects the phase whose duration defines the
+// scenario's transactions-per-second.
+func (s Scenario) Phases(tableSize int) (phases []platform.Phase, measured int) {
+	per := s.PrefixesPerMsg
+	switch s.Op {
+	case OpStartUp:
+		// Phase 1 only: the router learns the table from Speaker 1.
+		return []platform.Phase{{
+			Name: "phase1-inject", Kind: platform.KindAnnounce,
+			Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+		}}, 0
+	case OpEnding:
+		// Phase 1 sets up (not measured; the paper waits for the router to
+		// finish processing before Phase 3), Phase 2 is omitted, Phase 3
+		// withdraws everything.
+		return []platform.Phase{
+			{
+				Name: "phase1-inject", Kind: platform.KindAnnounce,
+				Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+			},
+			{
+				Name: "phase3-withdraw", Kind: platform.KindWithdraw,
+				Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+			},
+		}, 1
+	case OpIncrementalNoChange:
+		return []platform.Phase{
+			{
+				Name: "phase1-inject", Kind: platform.KindAnnounce,
+				Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+			},
+			{
+				Name: "phase2-export", Kind: platform.KindExport,
+				Messages: messagesFor(tableSize, platform.ExportBatchSize), PrefixesPerMsg: platform.ExportBatchSize,
+			},
+			{
+				Name: "phase3-longer", Kind: platform.KindAnnounceNoChange,
+				Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+			},
+		}, 2
+	case OpIncrementalChange:
+		return []platform.Phase{
+			{
+				Name: "phase1-inject", Kind: platform.KindAnnounce,
+				Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+			},
+			{
+				Name: "phase2-export", Kind: platform.KindExport,
+				Messages: messagesFor(tableSize, platform.ExportBatchSize), PrefixesPerMsg: platform.ExportBatchSize,
+			},
+			{
+				Name: "phase3-shorter", Kind: platform.KindReplace,
+				Messages: messagesFor(tableSize, per), PrefixesPerMsg: per,
+			},
+		}, 2
+	}
+	return nil, 0
+}
+
+// ModeledResult is one scenario execution on one modeled system.
+type ModeledResult struct {
+	System   string
+	Scenario Scenario
+	// TPS is the transactions/second of the measured phase (Table III).
+	TPS float64
+	// Measured is the measured phase's detail.
+	Measured platform.PhaseResult
+	// Full carries every phase and the traces for figure rendering.
+	Full platform.Result
+}
+
+// RunModeled executes one scenario on a modeled system under the given
+// cross-traffic and table size.
+func RunModeled(sys platform.SystemConfig, scn Scenario, tableSize int, cross platform.CrossTraffic) (ModeledResult, error) {
+	phases, mIdx := scn.Phases(tableSize)
+	sim := platform.NewSim(sys)
+	full, err := sim.RunPhases(phases, cross, 0)
+	if err != nil {
+		return ModeledResult{}, fmt.Errorf("%s on %s: %w", scn, sys.Name, err)
+	}
+	return ModeledResult{
+		System:   sys.Name,
+		Scenario: scn,
+		TPS:      full.Phases[mIdx].TPS,
+		Measured: full.Phases[mIdx],
+		Full:     full,
+	}, nil
+}

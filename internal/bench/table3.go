@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"bgpbench/internal/platform"
+)
+
+// PaperTable3 holds the paper's measured Table III values (transactions
+// per second without cross-traffic), indexed [scenario-1][system] in the
+// paper's column order: Pentium III, Xeon, IXP2400, Cisco. These are the
+// calibration targets and the reference EXPERIMENTS.md compares against.
+var PaperTable3 = [8][4]float64{
+	{185.2, 2105.3, 24.1, 10.7},
+	{312.5, 2247.2, 36.4, 2492.9},
+	{204.1, 2898.6, 26.7, 10.4},
+	{344.8, 1941.7, 43.5, 2927.5},
+	{1111.1, 3389.8, 85.7, 10.9},
+	{3636.4, 10000.0, 230.8, 3332.3},
+	{116.6, 784.3, 11.6, 10.7},
+	{118.7, 673.4, 14.9, 2445.2},
+}
+
+// PaperSystemNames gives Table III's column order.
+var PaperSystemNames = []string{"PentiumIII", "Xeon", "IXP2400", "Cisco"}
+
+// Table3 runs all eight scenarios on all four modeled systems without
+// cross-traffic and returns the simulated Table III, indexed like
+// PaperTable3.
+func Table3(tableSize int) ([8][4]float64, error) {
+	var out [8][4]float64
+	for si, sys := range platform.Systems() {
+		for i, scn := range Scenarios {
+			res, err := RunModeled(sys, scn, tableSize, platform.CrossTraffic{})
+			if err != nil {
+				return out, err
+			}
+			out[i][si] = res.TPS
+		}
+	}
+	return out, nil
+}
+
+// WriteTable3 renders the simulated table next to the paper's values with
+// the per-cell ratio, in the paper's layout.
+func WriteTable3(w io.Writer, sim [8][4]float64) {
+	fmt.Fprintln(w, "Table III: BGP performance without cross-traffic (transactions/second)")
+	fmt.Fprintln(w, "                     PentiumIII            Xeon              IXP2400             Cisco")
+	fmt.Fprintln(w, "              sim    paper ratio    sim    paper ratio   sim   paper ratio   sim    paper ratio")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(w, "Scenario %d ", i+1)
+		for s := 0; s < 4; s++ {
+			ratio := math.NaN()
+			if PaperTable3[i][s] != 0 {
+				ratio = sim[i][s] / PaperTable3[i][s]
+			}
+			fmt.Fprintf(w, " %8.1f %7.1f %5.2f", sim[i][s], PaperTable3[i][s], ratio)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table3Fidelity summarizes how close the simulated table is to the
+// paper's: the geometric mean and worst-case of per-cell ratios
+// (sim/paper, folded to >= 1).
+func Table3Fidelity(sim [8][4]float64) (geoMean, worst float64) {
+	logSum, n := 0.0, 0
+	worst = 1.0
+	for i := 0; i < 8; i++ {
+		for s := 0; s < 4; s++ {
+			if PaperTable3[i][s] == 0 || sim[i][s] == 0 {
+				continue
+			}
+			r := sim[i][s] / PaperTable3[i][s]
+			if r < 1 {
+				r = 1 / r
+			}
+			logSum += math.Log(r)
+			n++
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	if n > 0 {
+		geoMean = math.Exp(logSum / float64(n))
+	}
+	return geoMean, worst
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bgpbench/internal/platform"
+)
+
+// WormRow summarizes one system's survivable update rates. It quantifies
+// the paper's Section V.C implications: a typical BGP load is on the
+// order of 100 messages/second, network-wide events (worm outbreaks)
+// raise that by 2-3 orders of magnitude, and a router that falls behind
+// stops answering keepalives and takes its sessions down with it.
+type WormRow struct {
+	System string
+	// MaxSustainedMsgsPerSec is the largest arrival rate (1-prefix
+	// incremental announcements, FIB-changing) at which the backlog
+	// drains within the grace window.
+	MaxSustainedMsgsPerSec float64
+	// MaxKeepaliveSafeMsgsPerSec additionally requires every message's
+	// queueing delay to stay under the hold time (90 s), i.e. the session
+	// survives the storm.
+	MaxKeepaliveSafeMsgsPerSec float64
+	// SurvivesTypical / SurvivesWorm: the two operating points the paper
+	// names — 100 msgs/s typical, 10,000 msgs/s (two orders up) worm-like.
+	SurvivesTypical bool
+	SurvivesWorm    bool
+}
+
+// wormSpec builds the storm specification at a rate.
+func wormSpec(rate float64) platform.OpenLoopSpec {
+	return platform.OpenLoopSpec{
+		Kind:           platform.KindReplace, // route changes that touch the FIB
+		PrefixesPerMsg: 1,
+		MsgsPerSec:     rate,
+		Duration:       30,
+		HoldTime:       90,
+	}
+}
+
+// stormAt runs one storm and reports (sustained, keepaliveSafe).
+func stormAt(sys platform.SystemConfig, rate float64) (bool, bool, error) {
+	sim := platform.NewSim(sys)
+	res, err := sim.RunOpenLoop(wormSpec(rate), platform.CrossTraffic{})
+	if err != nil {
+		return false, false, err
+	}
+	return res.Sustained, res.Sustained && !res.KeepaliveMissed, nil
+}
+
+// maxRate binary-searches the largest rate in [lo, hi] (msgs/s) where ok
+// returns true, assuming monotonicity. Returns 0 when even lo fails.
+func maxRate(lo, hi float64, ok func(float64) (bool, error)) (float64, error) {
+	good, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !good {
+		return 0, nil
+	}
+	if good, err = ok(hi); err != nil {
+		return 0, err
+	} else if good {
+		return hi, nil
+	}
+	for hi/lo > 1.05 {
+		mid := (lo + hi) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// WormStorm computes the survivable-rate table for all four systems.
+func WormStorm() ([]WormRow, error) {
+	var out []WormRow
+	for _, sys := range platform.Systems() {
+		row := WormRow{System: sys.Name}
+		sustained, err := maxRate(1, 20000, func(r float64) (bool, error) {
+			s, _, err := stormAt(sys, r)
+			return s, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.MaxSustainedMsgsPerSec = sustained
+		safe, err := maxRate(1, 20000, func(r float64) (bool, error) {
+			_, k, err := stormAt(sys, r)
+			return k, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.MaxKeepaliveSafeMsgsPerSec = safe
+		row.SurvivesTypical = safe >= 100
+		row.SurvivesWorm = safe >= 10000
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteWormReport renders the table.
+func WriteWormReport(w io.Writer, rows []WormRow) {
+	fmt.Fprintln(w, "Update-storm survivability (1-prefix FIB-changing updates, 30 s storm, 90 s hold time)")
+	fmt.Fprintf(w, "%-12s %18s %18s %10s %10s\n",
+		"system", "sustained msg/s", "keepalive-safe", "typical", "worm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %18.0f %18.0f %10v %10v\n",
+			r.System, r.MaxSustainedMsgsPerSec, r.MaxKeepaliveSafeMsgsPerSec,
+			r.SurvivesTypical, r.SurvivesWorm)
+	}
+	fmt.Fprintln(w, "\ntypical = 100 msgs/s (paper Sec. II); worm = 10,000 msgs/s (2 orders up)")
+}

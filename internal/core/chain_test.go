@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// TestThreeRouterChainPropagation wires three Go routers into a transit
+// chain — origin speaker -> A (AS 100) -> B (AS 200) -> C (AS 300) ->
+// watcher speaker — and verifies that routes propagate hop by hop with
+// correct AS-path prepending and next-hop rewriting at every eBGP edge,
+// and that withdrawals ripple back through the chain.
+func TestThreeRouterChainPropagation(t *testing.T) {
+	newChainRouter := func(as uint16, id string, neighbors ...NeighborConfig) *Router {
+		t.Helper()
+		r, err := NewRouter(Config{
+			AS:         as,
+			ID:         netaddr.MustParseAddr(id),
+			ListenAddr: "127.0.0.1:0",
+			Neighbors:  neighbors,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.Stop)
+		return r
+	}
+
+	// Build front to back: each router dials its upstream.
+	routerA := newChainRouter(100, "10.0.0.1",
+		NeighborConfig{AS: 65001}, // origin speaker
+		NeighborConfig{AS: 200},   // B connects inbound
+	)
+	routerB := newChainRouter(200, "20.0.0.1",
+		NeighborConfig{AS: 100, DialTarget: routerA.ListenAddr()},
+		NeighborConfig{AS: 300}, // C connects inbound
+	)
+	routerC2 := newChainRouter(300, "30.0.0.2",
+		NeighborConfig{AS: 200, DialTarget: routerB.ListenAddr()},
+		NeighborConfig{AS: 400}, // watcher speaker
+	)
+
+	origin := dialSpeaker(t, routerA, 65001, "1.1.1.1")
+	defer origin.stop()
+	watcher := dialSpeaker(t, routerC2, 400, "4.4.4.4")
+	defer watcher.stop()
+
+	routes := []Route{
+		{Prefix: netaddr.MustParsePrefix("198.51.100.0/24"), Path: wire.NewASPath(65001, 7000)},
+		{Prefix: netaddr.MustParsePrefix("203.0.113.0/24"), Path: wire.NewASPath(65001, 7000, 7001)},
+	}
+	origin.announce(t, routes, 1)
+
+	// The watcher at the end of the chain must receive both routes.
+	waitFor(t, 15*time.Second, func() bool { return watcher.prefixesIn.Load() >= 2 })
+
+	// Path correctness: 300 200 100 65001 ...
+	watcher.mu.Lock()
+	sample := watcher.sampleUpdate
+	watcher.mu.Unlock()
+	path := sample.Attrs.ASPath
+	flat := []uint16{}
+	for _, seg := range path.Segments {
+		flat = append(flat, seg.ASNs...)
+	}
+	if len(flat) < 4 || flat[0] != 300 || flat[1] != 200 || flat[2] != 100 || flat[3] != 65001 {
+		t.Fatalf("end-to-end AS path = %v, want 300 200 100 65001 ...", path)
+	}
+	// Next hop at the last edge is router C's next-hop-self.
+	if sample.Attrs.NextHop != netaddr.MustParseAddr("30.0.0.2") {
+		t.Fatalf("next hop = %v, want 30.0.0.2", sample.Attrs.NextHop)
+	}
+
+	// Every router along the chain installed the routes.
+	for name, r := range map[string]*Router{"A": routerA, "B": routerB, "C": routerC2} {
+		waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() >= 2 })
+		_ = name
+	}
+
+	// Withdrawal ripples to the watcher.
+	origin.withdraw(t, routes, 1)
+	waitFor(t, 15*time.Second, func() bool { return watcher.withdrawsIn.Load() >= 2 })
+	waitFor(t, 10*time.Second, func() bool { return routerC2.FIB().Len() == 0 })
+}

@@ -1,0 +1,796 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpbench/internal/damping"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/forward"
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
+	"bgpbench/internal/rib"
+	"bgpbench/internal/session"
+	"bgpbench/internal/wire"
+)
+
+// NeighborConfig describes one configured peer of the router.
+type NeighborConfig struct {
+	// AS identifies the neighbour; inbound sessions are matched to their
+	// configuration by the AS in their OPEN message.
+	AS uint16
+	// DialTarget, when non-empty, makes the router initiate the session.
+	DialTarget string
+	// Import/Export policies; nil permits everything unchanged.
+	Import, Export *policy.RouteMap
+	// MaxPrefixes, when positive, tears the session down (administrative
+	// CEASE) if the peer contributes more than this many prefixes — the
+	// standard protection against table overflow.
+	MaxPrefixes int
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	AS       uint16
+	ID       netaddr.Addr
+	HoldTime uint16 // default 90
+	// ListenAddr ("host:port", port 0 for ephemeral) accepts inbound
+	// sessions; empty disables listening.
+	ListenAddr string
+	// NextHop is the address the router advertises as NEXT_HOP on eBGP
+	// exports (next-hop-self). Defaults to ID.
+	NextHop   netaddr.Addr
+	Neighbors []NeighborConfig
+	// FIBEngine selects the lookup structure ("patricia" default).
+	FIBEngine string
+	// ExportBatch caps prefixes per UPDATE during initial table transfer
+	// to a new peer (Phase 2 of the benchmark). Default 500.
+	ExportBatch int
+	// Damping enables route-flap damping (RFC 2439) with the given
+	// parameters; nil disables it. Suppressed routes are removed from the
+	// decision process until their penalty decays below the reuse limit.
+	Damping *damping.Config
+	// MRAI, when positive, coalesces outbound route changes per peer and
+	// flushes them at this MinRouteAdvertisementInterval instead of
+	// emitting one UPDATE per change (RFC 4271 section 9.2.1.1).
+	MRAI time.Duration
+}
+
+// peerState is the router-side state for one established neighbour.
+type peerState struct {
+	info   rib.PeerInfo
+	cfg    NeighborConfig
+	sess   *session.Session
+	adjOut *rib.AdjOut
+	out    *outQueue
+	// prefixCount tracks the routes this peer currently contributes, for
+	// max-prefix enforcement. Owned by the decision worker.
+	prefixCount int
+	overLimit   bool
+
+	// pending accumulates MRAI-coalesced route changes: attrs to announce,
+	// or nil to withdraw. Guarded by pendingMu; flushed by the peer's
+	// mraiFlusher goroutine.
+	pendingMu sync.Mutex
+	pending   map[netaddr.Prefix]*wire.PathAttrs
+}
+
+// Router is a live BGP speaker: it terminates sessions, applies policy,
+// runs the decision process, installs routes into a shared FIB, and
+// re-advertises its Loc-RIB to peers. The paper's "router under test".
+type Router struct {
+	cfg Config
+
+	rib *rib.RIB
+	fib *fib.Table
+	fwd *forward.Engine
+
+	listener net.Listener
+	work     chan workItem
+	done     chan struct{}
+	wg       sync.WaitGroup
+	damper   *damping.Damper // nil when damping is disabled
+
+	mu       sync.Mutex
+	peers    map[netaddr.Addr]*peerState // keyed by peer BGP ID
+	sessions []*session.Session          // all sessions ever attached (for Stop)
+
+	transactions atomic.Uint64 // prefix-level operations completed
+	fibChanges   atomic.Uint64
+}
+
+type workKind int
+
+const (
+	workUpdate workKind = iota
+	workPeerUp
+	workPeerDown
+	workRefresh
+	workRIBLen
+)
+
+type workItem struct {
+	kind   workKind
+	peerID netaddr.Addr
+	update wire.Update
+	reply  chan int
+}
+
+// NewRouter validates the configuration and builds a stopped router.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.AS == 0 {
+		return nil, fmt.Errorf("core: router AS must be nonzero")
+	}
+	if cfg.ID == 0 {
+		return nil, fmt.Errorf("core: router ID must be nonzero")
+	}
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 90
+	}
+	if cfg.NextHop == 0 {
+		cfg.NextHop = cfg.ID
+	}
+	if cfg.FIBEngine == "" {
+		cfg.FIBEngine = "patricia"
+	}
+	if cfg.ExportBatch == 0 {
+		cfg.ExportBatch = 500
+	}
+	eng, err := fib.NewEngine(cfg.FIBEngine)
+	if err != nil {
+		return nil, err
+	}
+	table := fib.NewTable(eng)
+	r := &Router{
+		cfg:   cfg,
+		rib:   rib.New(),
+		fib:   table,
+		fwd:   forward.New(table, nil),
+		work:  make(chan workItem, 8192),
+		done:  make(chan struct{}),
+		peers: make(map[netaddr.Addr]*peerState),
+	}
+	if cfg.Damping != nil {
+		r.damper = damping.New(*cfg.Damping, nil)
+	}
+	r.fwd.AddLocalAddr(cfg.ID)
+	return r, nil
+}
+
+// Damper exposes the flap damper for diagnostics; nil when disabled.
+func (r *Router) Damper() *damping.Damper { return r.damper }
+
+// Start begins listening (if configured), dials active neighbours, and
+// launches the decision worker.
+func (r *Router) Start() error {
+	if r.cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", r.cfg.ListenAddr)
+		if err != nil {
+			return err
+		}
+		r.listener = ln
+		r.wg.Add(1)
+		go r.acceptLoop(ln)
+	}
+	r.wg.Add(1)
+	go r.worker()
+	for _, n := range r.cfg.Neighbors {
+		if n.DialTarget != "" {
+			r.startSession(n, "")
+		}
+	}
+	return nil
+}
+
+// ListenAddr returns the bound listen address ("host:port"), valid after
+// Start when ListenAddr was configured.
+func (r *Router) ListenAddr() string {
+	if r.listener == nil {
+		return ""
+	}
+	return r.listener.Addr().String()
+}
+
+// Stop tears down all sessions and stops the router.
+func (r *Router) Stop() {
+	select {
+	case <-r.done:
+		return
+	default:
+	}
+	close(r.done)
+	if r.listener != nil {
+		r.listener.Close()
+	}
+	r.mu.Lock()
+	sessions := append([]*session.Session(nil), r.sessions...)
+	for _, p := range r.peers {
+		p.out.close()
+	}
+	r.mu.Unlock()
+	for _, s := range sessions {
+		s.Stop()
+	}
+	r.wg.Wait()
+}
+
+// FIB exposes the shared forwarding table (read by the data plane).
+func (r *Router) FIB() *fib.Table { return r.fib }
+
+// Forwarder exposes the data-plane engine bound to the router's FIB.
+func (r *Router) Forwarder() *forward.Engine { return r.fwd }
+
+// Transactions returns the number of prefix-level routing operations
+// (announcements and withdrawals) the router has completed. This is the
+// paper's "transactions" numerator.
+func (r *Router) Transactions() uint64 { return r.transactions.Load() }
+
+// FIBChanges returns the number of forwarding-table changes applied.
+func (r *Router) FIBChanges() uint64 { return r.fibChanges.Load() }
+
+// RIBLen returns the Loc-RIB size.
+func (r *Router) RIBLen() int {
+	res := make(chan int, 1)
+	select {
+	case r.work <- workItem{kind: workRIBLen, reply: res}:
+		return <-res
+	case <-r.done:
+		return -1
+	}
+}
+
+// acceptLoop attaches inbound connections to passive sessions.
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// The neighbour is identified after OPEN by its AS; accept with
+		// PeerAS 0 and let sessionUp sort it out.
+		s := r.startSession(NeighborConfig{}, "inbound")
+		s.Attach(conn)
+	}
+}
+
+// startSession creates and starts one session. For inbound sessions
+// (label != ""), cfg is resolved later from the peer's OPEN.
+func (r *Router) startSession(n NeighborConfig, label string) *session.Session {
+	passive := n.DialTarget == ""
+	name := label
+	if name == "" {
+		name = fmt.Sprintf("as%d", n.AS)
+	}
+	s := session.New(session.Config{
+		FSM: fsm.Config{
+			LocalAS:  r.cfg.AS,
+			LocalID:  r.cfg.ID,
+			HoldTime: r.cfg.HoldTime,
+			PeerAS:   n.AS,
+			Passive:  passive,
+		},
+		DialTarget: n.DialTarget,
+		Handler:    &routerHandler{r: r},
+		Name:       name,
+	})
+	r.mu.Lock()
+	r.sessions = append(r.sessions, s)
+	r.mu.Unlock()
+	s.Start()
+	return s
+}
+
+// routerHandler adapts session callbacks onto the router's work queue.
+type routerHandler struct {
+	r *Router
+}
+
+// Established registers the peer and schedules the initial table export.
+func (h *routerHandler) Established(s *session.Session) {
+	r := h.r
+	open := s.PeerOpen()
+	ncfg, ok := r.neighborConfigFor(open.AS)
+	if !ok {
+		// Unconfigured peer: terminate. Stop must not run on the session's
+		// own event loop, so do it asynchronously.
+		go s.Stop()
+		return
+	}
+	ps := &peerState{
+		info: rib.PeerInfo{
+			Addr: open.ID, // loopback benches reuse IPs; the BGP ID is unique
+			ID:   open.ID,
+			AS:   open.AS,
+			EBGP: open.AS != r.cfg.AS,
+		},
+		cfg:    ncfg,
+		sess:   s,
+		adjOut: rib.NewAdjOut(),
+		out:    newOutQueue(),
+	}
+	r.mu.Lock()
+	if old, exists := r.peers[open.ID]; exists {
+		old.out.close()
+	}
+	r.peers[open.ID] = ps
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go r.sender(ps)
+	if r.cfg.MRAI > 0 {
+		r.wg.Add(1)
+		go r.mraiFlusher(ps)
+	}
+
+	select {
+	case r.work <- workItem{kind: workPeerUp, peerID: open.ID}:
+	case <-r.done:
+	}
+}
+
+// Update queues a received UPDATE for the decision worker.
+func (h *routerHandler) Update(s *session.Session, u wire.Update) {
+	r := h.r
+	id := s.PeerOpen().ID
+	select {
+	case r.work <- workItem{kind: workUpdate, peerID: id, update: u}:
+	case <-r.done:
+	}
+}
+
+// Refresh re-sends the peer's Adj-RIB-Out on a ROUTE-REFRESH request
+// (RFC 2918).
+func (h *routerHandler) Refresh(s *session.Session, _ wire.RouteRefresh) {
+	r := h.r
+	select {
+	case r.work <- workItem{kind: workRefresh, peerID: s.PeerOpen().ID}:
+	case <-r.done:
+	}
+}
+
+// Down unregisters the peer and withdraws its routes.
+func (h *routerHandler) Down(s *session.Session, _ error) {
+	r := h.r
+	id := s.PeerOpen().ID
+	select {
+	case r.work <- workItem{kind: workPeerDown, peerID: id}:
+	case <-r.done:
+	}
+}
+
+func (r *Router) neighborConfigFor(as uint16) (NeighborConfig, bool) {
+	for _, n := range r.cfg.Neighbors {
+		if n.AS == as {
+			return n, true
+		}
+	}
+	return NeighborConfig{}, false
+}
+
+// sender drains a peer's unbounded out-queue into its session, isolating
+// the decision worker from transport back-pressure.
+func (r *Router) sender(ps *peerState) {
+	defer r.wg.Done()
+	for {
+		msgs, ok := ps.out.take()
+		if !ok {
+			return
+		}
+		for _, m := range msgs {
+			if err := ps.sess.Send(m); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// worker is the single decision-process goroutine (the analogue of the
+// xorp_bgp + xorp_rib processes). It owns the RIB and the Adj-RIB-Outs.
+func (r *Router) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case w := <-r.work:
+			switch w.kind {
+			case workUpdate:
+				r.processUpdate(w.peerID, w.update)
+			case workPeerUp:
+				r.processPeerUp(w.peerID)
+			case workPeerDown:
+				r.processPeerDown(w.peerID)
+			case workRefresh:
+				r.processRefresh(w.peerID)
+			case workRIBLen:
+				w.reply <- r.rib.Len()
+			}
+		}
+	}
+}
+
+func (r *Router) peerByID(id netaddr.Addr) *peerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peers[id]
+}
+
+// snapshotPeers returns the current established peers.
+func (r *Router) snapshotPeers() []*peerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*peerState, 0, len(r.peers))
+	for _, p := range r.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// processPeerUp registers the peer in the RIB and exports the current
+// Loc-RIB to it (Phase 2 of the benchmark methodology).
+func (r *Router) processPeerUp(id netaddr.Addr) {
+	ps := r.peerByID(id)
+	if ps == nil {
+		return
+	}
+	r.rib.AddPeer(ps.info)
+
+	// Initial table transfer: batch routes sharing an attribute block.
+	var batch []netaddr.Prefix
+	var batchAttrs wire.PathAttrs
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		ps.out.push(wire.Update{Attrs: batchAttrs, NLRI: append([]netaddr.Prefix(nil), batch...)})
+		batch = batch[:0]
+	}
+	r.rib.WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
+		attrs, ok := r.exportAttrs(ps, p, c)
+		if !ok {
+			return true
+		}
+		if !ps.adjOut.Advertise(p, attrs) {
+			return true
+		}
+		if len(batch) > 0 && (!attrs.Equal(batchAttrs) || len(batch) >= r.cfg.ExportBatch) {
+			flush()
+		}
+		if len(batch) == 0 {
+			batchAttrs = attrs
+		}
+		batch = append(batch, p)
+		return true
+	})
+	flush()
+}
+
+// processRefresh rebuilds and re-sends the peer's Adj-RIB-Out from
+// scratch: the RFC 2918 response to a ROUTE-REFRESH request.
+func (r *Router) processRefresh(id netaddr.Addr) {
+	ps := r.peerByID(id)
+	if ps == nil {
+		return
+	}
+	// Reset the advertised view (and any MRAI-pending changes) so every
+	// current route is re-sent, then reuse the initial-export path.
+	ps.pendingMu.Lock()
+	ps.pending = nil
+	ps.pendingMu.Unlock()
+	*ps.adjOut = *rib.NewAdjOut()
+	r.processPeerUp(id)
+}
+
+// processPeerDown withdraws everything learned from the peer.
+func (r *Router) processPeerDown(id netaddr.Addr) {
+	r.mu.Lock()
+	ps := r.peers[id]
+	if ps != nil {
+		delete(r.peers, id)
+	}
+	r.mu.Unlock()
+	if ps == nil {
+		return
+	}
+	ps.out.close()
+	if r.damper != nil {
+		r.damper.Forget(ps.info.Addr)
+	}
+	changes := r.rib.RemovePeer(ps.info.Addr)
+	for _, ch := range changes {
+		r.applyChange(ch)
+	}
+	r.transactions.Add(uint64(len(changes)))
+}
+
+// processUpdate runs import policy and the decision process on one UPDATE.
+func (r *Router) processUpdate(id netaddr.Addr, u wire.Update) {
+	ps := r.peerByID(id)
+	if ps == nil {
+		return
+	}
+	if ps.overLimit {
+		// Session is being torn down for exceeding its prefix limit;
+		// ignore anything still in flight.
+		r.transactions.Add(uint64(len(u.Withdrawn) + len(u.NLRI)))
+		return
+	}
+	for _, p := range u.Withdrawn {
+		had := r.peerHasRoute(ps.info.Addr, p)
+		if r.damper != nil && had {
+			r.damper.Flap(ps.info.Addr, p)
+		}
+		if ch, ok := r.rib.Withdraw(ps.info.Addr, p); ok {
+			r.applyChange(ch)
+		}
+		if had {
+			ps.prefixCount--
+		}
+		r.transactions.Add(1)
+	}
+	if len(u.NLRI) == 0 {
+		return
+	}
+	// Loop detection: reject paths containing our own AS.
+	if u.Attrs.ASPath.Contains(r.cfg.AS) {
+		r.transactions.Add(uint64(len(u.NLRI)))
+		return
+	}
+	for _, p := range u.NLRI {
+		attrs, ok := ps.cfg.Import.Apply(p, u.Attrs)
+		if !ok {
+			r.transactions.Add(1)
+			continue
+		}
+		if r.damper != nil && r.dampAnnounce(ps.info.Addr, p, attrs) {
+			// Suppressed: the route must not be used; drop any candidate
+			// the peer previously contributed.
+			if ch, ok := r.rib.Withdraw(ps.info.Addr, p); ok {
+				r.applyChange(ch)
+			}
+			r.transactions.Add(1)
+			continue
+		}
+		had := r.peerHasRoute(ps.info.Addr, p)
+		if ch, ok := r.rib.Announce(ps.info.Addr, p, attrs); ok {
+			r.applyChange(ch)
+		}
+		if !had {
+			ps.prefixCount++
+			if ps.cfg.MaxPrefixes > 0 && ps.prefixCount > ps.cfg.MaxPrefixes {
+				// Over the limit: administratively stop the session. The
+				// resulting Down callback withdraws everything the peer
+				// contributed.
+				ps.overLimit = true
+				r.transactions.Add(1)
+				go ps.sess.Stop()
+				return
+			}
+		}
+		r.transactions.Add(1)
+	}
+}
+
+// peerHasRoute reports whether the peer currently contributes a candidate
+// for the prefix.
+func (r *Router) peerHasRoute(peer netaddr.Addr, p netaddr.Prefix) bool {
+	for _, c := range r.rib.Candidates(p) {
+		if c.Peer.Addr == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// dampAnnounce applies flap accounting to an announcement: a
+// re-announcement with changed attributes counts as a flap (RFC 2439
+// attribute-change event). It reports whether the route is suppressed.
+func (r *Router) dampAnnounce(peer netaddr.Addr, p netaddr.Prefix, attrs wire.PathAttrs) bool {
+	for _, c := range r.rib.Candidates(p) {
+		if c.Peer.Addr == peer {
+			if !c.Attrs.Equal(attrs) {
+				return r.damper.Flap(peer, p)
+			}
+			return r.damper.Suppressed(peer, p)
+		}
+	}
+	return r.damper.Suppressed(peer, p)
+}
+
+// applyChange pushes one Loc-RIB transition into the FIB and to peers.
+func (r *Router) applyChange(ch rib.Change) {
+	// Forwarding table.
+	if ch.New != nil {
+		entry := fib.Entry{NextHop: ch.New.Attrs.NextHop, Port: int(ch.New.Peer.AS) % 16}
+		if ch.Old == nil || ch.Old.Attrs.NextHop != ch.New.Attrs.NextHop {
+			r.fib.Insert(ch.Prefix, entry)
+			r.fibChanges.Add(1)
+		}
+	} else if ch.Old != nil {
+		r.fib.Delete(ch.Prefix)
+		r.fibChanges.Add(1)
+	}
+
+	// Adj-RIB-Out propagation.
+	for _, ps := range r.snapshotPeers() {
+		if ch.New != nil {
+			// Do not advertise a route back to the peer it came from.
+			if ps.info.Addr == ch.New.Peer.Addr {
+				// If we previously advertised another route for this prefix
+				// to that peer, withdraw it.
+				if ps.adjOut.Withdraw(ch.Prefix) {
+					r.emit(ps, ch.Prefix, nil)
+				}
+				continue
+			}
+			attrs, ok := r.exportAttrs(ps, ch.Prefix, *ch.New)
+			if !ok {
+				if ps.adjOut.Withdraw(ch.Prefix) {
+					r.emit(ps, ch.Prefix, nil)
+				}
+				continue
+			}
+			if ps.adjOut.Advertise(ch.Prefix, attrs) {
+				r.emit(ps, ch.Prefix, &attrs)
+			}
+		} else {
+			if ps.adjOut.Withdraw(ch.Prefix) {
+				r.emit(ps, ch.Prefix, nil)
+			}
+		}
+	}
+}
+
+// emit sends one route change toward a peer: immediately when MRAI is
+// disabled, otherwise coalesced into the peer's pending set and flushed by
+// its MRAI ticker. attrs == nil means withdraw.
+func (r *Router) emit(ps *peerState, p netaddr.Prefix, attrs *wire.PathAttrs) {
+	if r.cfg.MRAI <= 0 {
+		if attrs == nil {
+			ps.out.push(wire.Update{Withdrawn: []netaddr.Prefix{p}})
+		} else {
+			ps.out.push(wire.Update{Attrs: *attrs, NLRI: []netaddr.Prefix{p}})
+		}
+		return
+	}
+	ps.pendingMu.Lock()
+	if ps.pending == nil {
+		ps.pending = make(map[netaddr.Prefix]*wire.PathAttrs)
+	}
+	ps.pending[p] = attrs
+	ps.pendingMu.Unlock()
+}
+
+// mraiFlusher drains a peer's pending set every MRAI, packing withdrawals
+// together and grouping announcements that share an attribute block.
+func (r *Router) mraiFlusher(ps *peerState) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.MRAI)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.flushPending(ps)
+		}
+	}
+}
+
+func (r *Router) flushPending(ps *peerState) {
+	ps.pendingMu.Lock()
+	pending := ps.pending
+	ps.pending = nil
+	ps.pendingMu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	var withdrawn []netaddr.Prefix
+	groups := make(map[string]*wire.Update)
+	var order []string
+	for p, attrs := range pending {
+		if attrs == nil {
+			withdrawn = append(withdrawn, p)
+			continue
+		}
+		key := string(wire.MarshalAttrs(*attrs))
+		g := groups[key]
+		if g == nil {
+			g = &wire.Update{Attrs: *attrs}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.NLRI = append(g.NLRI, p)
+	}
+	// Withdrawals ride in one UPDATE (chunked to the batch limit).
+	for i := 0; i < len(withdrawn); i += r.cfg.ExportBatch {
+		j := i + r.cfg.ExportBatch
+		if j > len(withdrawn) {
+			j = len(withdrawn)
+		}
+		ps.out.push(wire.Update{Withdrawn: withdrawn[i:j]})
+	}
+	for _, key := range order {
+		g := groups[key]
+		for i := 0; i < len(g.NLRI); i += r.cfg.ExportBatch {
+			j := i + r.cfg.ExportBatch
+			if j > len(g.NLRI) {
+				j = len(g.NLRI)
+			}
+			ps.out.push(wire.Update{Attrs: g.Attrs, NLRI: g.NLRI[i:j]})
+		}
+	}
+}
+
+// exportAttrs applies export policy and standard eBGP transformations
+// (own-AS prepend, next-hop-self) for a route toward a peer.
+func (r *Router) exportAttrs(ps *peerState, p netaddr.Prefix, c rib.Candidate) (wire.PathAttrs, bool) {
+	// iBGP split-horizon: do not re-advertise iBGP routes to iBGP peers.
+	if !c.Peer.EBGP && !ps.info.EBGP {
+		return wire.PathAttrs{}, false
+	}
+	attrs, ok := ps.cfg.Export.Apply(p, c.Attrs)
+	if !ok {
+		return wire.PathAttrs{}, false
+	}
+	if ps.info.EBGP {
+		attrs = attrs.Clone()
+		attrs.ASPath = attrs.ASPath.Prepend(r.cfg.AS)
+		attrs.NextHop, attrs.HasNextHop = r.cfg.NextHop, true
+		// LOCAL_PREF is not sent on eBGP sessions.
+		attrs.HasLocalPref, attrs.LocalPref = false, 0
+	}
+	return attrs, true
+}
+
+// outQueue is an unbounded FIFO of messages with close semantics. It
+// decouples the decision worker from slow peers so back-pressure on one
+// session cannot deadlock route propagation.
+type outQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []wire.Message
+	closed bool
+}
+
+func newOutQueue() *outQueue {
+	q := &outQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *outQueue) push(m wire.Message) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, m)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// take blocks for the next batch of messages; ok=false after close.
+func (q *outQueue) take() ([]wire.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	items := q.items
+	q.items = nil
+	return items, true
+}
+
+func (q *outQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bgpbench/internal/damping"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+func TestRouterFlapDampingSuppressesUnstableRoute(t *testing.T) {
+	cfg := testRouterConfig(NeighborConfig{AS: 65001})
+	// Suppress below two full penalties: with default limits the second
+	// flap lands at 2000 minus epsilon of decay, so real configurations
+	// need three flaps; 1800 makes two flaps suppress deterministically.
+	cfg.Damping = &damping.Config{SuppressLimit: 1800}
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	route := []Route{{
+		Prefix: netaddr.MustParsePrefix("192.0.2.0/24"),
+		Path:   wire.NewASPath(65001, 7),
+	}}
+
+	// Announce; withdraw (flap 1); re-announce; withdraw (flap 2);
+	// re-announce -> suppressed.
+	sp.announce(t, route, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 1 })
+	sp.withdraw(t, route, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 0 })
+	sp.announce(t, route, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 1 })
+	sp.withdraw(t, route, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 0 })
+
+	sp.announce(t, route, 1)
+	// The re-announcement must be suppressed: transactions advance but the
+	// FIB stays empty.
+	waitFor(t, 5*time.Second, func() bool { return r.Transactions() >= 5 })
+	time.Sleep(20 * time.Millisecond)
+	if r.FIB().Len() != 0 {
+		t.Fatalf("suppressed route installed: FIB len %d", r.FIB().Len())
+	}
+	if r.Damper() == nil || r.Damper().Flaps() < 2 {
+		t.Fatalf("damper flaps = %v", r.Damper().Flaps())
+	}
+}
+
+func TestRouterDampingStableRouteUnaffected(t *testing.T) {
+	cfg := testRouterConfig(NeighborConfig{AS: 65001})
+	cfg.Damping = &damping.Config{}
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	routes := GenerateTable(TableGenConfig{N: 100, Seed: 9, FirstAS: 65001})
+	sp.announce(t, routes, 50)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 100 })
+	// Identical re-announcement is not a flap.
+	sp.announce(t, routes, 50)
+	waitFor(t, 5*time.Second, func() bool { return r.Transactions() == 200 })
+	if got := r.Damper().Flaps(); got != 0 {
+		t.Fatalf("stable routes produced %d flaps", got)
+	}
+	if r.FIB().Len() != 100 {
+		t.Fatalf("FIB len = %d", r.FIB().Len())
+	}
+}
+
+func TestRouterMRAICoalescesChurn(t *testing.T) {
+	cfg := testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65002},
+	)
+	cfg.MRAI = 100 * time.Millisecond
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+
+	sp1 := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp1.stop()
+	sp2 := dialSpeaker(t, r, 65002, "2.2.2.2")
+	defer sp2.stop()
+
+	// Churn one prefix rapidly: announce/withdraw 20 times within one MRAI
+	// window, ending announced. Speaker 2 should see far fewer UPDATEs
+	// than 40 — ideally the coalesced net result.
+	route := []Route{{
+		Prefix: netaddr.MustParsePrefix("203.0.113.0/24"),
+		Path:   wire.NewASPath(65001, 9),
+	}}
+	for i := 0; i < 20; i++ {
+		sp1.announce(t, route, 1)
+		sp1.withdraw(t, route, 1)
+	}
+	sp1.announce(t, route, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.Transactions() >= 41 })
+
+	// Wait two MRAI windows for the flush, then check the peer's view.
+	waitFor(t, 5*time.Second, func() bool { return sp2.prefixesIn.Load() >= 1 })
+	time.Sleep(250 * time.Millisecond)
+	updates := sp2.prefixesIn.Load() + sp2.withdrawsIn.Load()
+	if updates > 8 {
+		t.Fatalf("MRAI sent %d route events for 41 input churns; want strong coalescing", updates)
+	}
+	// Final state must be correct: the route is announced.
+	if sp2.prefixesIn.Load() < 1 {
+		t.Fatal("net announcement never delivered")
+	}
+	if r.FIB().Len() != 1 {
+		t.Fatalf("FIB len = %d", r.FIB().Len())
+	}
+}
+
+func TestRouterMRAIBulkTransferStillBatches(t *testing.T) {
+	cfg := testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65002},
+	)
+	cfg.MRAI = 50 * time.Millisecond
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+
+	sp1 := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp1.stop()
+	routes := UniformPath(
+		GenerateTable(TableGenConfig{N: 600, Seed: 10, FirstAS: 65001}),
+		wire.NewASPath(65001, 70, 71),
+	)
+	sp1.announce(t, routes, 200)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 600 })
+
+	sp2 := dialSpeaker(t, r, 65002, "2.2.2.2")
+	defer sp2.stop()
+	// Phase 2 export is immediate (not MRAI-gated).
+	waitFor(t, 10*time.Second, func() bool { return sp2.prefixesIn.Load() == 600 })
+
+	// Incremental changes flow via MRAI with attribute grouping.
+	shorter := make([]Route, len(routes))
+	for i, rt := range routes {
+		shorter[i] = Shorten(rt, 65002)
+	}
+	sp1rcvBefore := sp1.prefixesIn.Load()
+	sp2.announce(t, shorter, 200)
+	waitFor(t, 10*time.Second, func() bool { return sp1.prefixesIn.Load() >= sp1rcvBefore+600 })
+}
+
+func TestRouterMaxPrefixesTearsDownSession(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001, MaxPrefixes: 100}))
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	routes := GenerateTable(TableGenConfig{N: 150, Seed: 14, FirstAS: 65001})
+	sp.announce(t, routes, 50)
+
+	// The session must go down and every contributed route must vanish.
+	waitFor(t, 10*time.Second, func() bool { return !sp.sess.Established() })
+	waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == 0 })
+}
+
+func TestRouterMaxPrefixesAllowsWithinLimit(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001, MaxPrefixes: 200}))
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	routes := GenerateTable(TableGenConfig{N: 200, Seed: 15, FirstAS: 65001})
+	sp.announce(t, routes, 50)
+	waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == 200 })
+	if !sp.sess.Established() {
+		t.Fatal("session should survive at exactly the limit")
+	}
+	// Withdrawals free budget: withdraw half, announce a fresh half.
+	sp.withdraw(t, routes[:100], 50)
+	waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == 100 })
+	fresh := GenerateTable(TableGenConfig{N: 100, Seed: 16, FirstAS: 65001})
+	sp.announce(t, fresh, 50)
+	waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == 200 })
+	if !sp.sess.Established() {
+		t.Fatal("session should survive after withdraw/announce churn within limit")
+	}
+}
+
+func TestRouterRIBLen(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001}))
+	defer r.Stop()
+	if got := r.RIBLen(); got != 0 {
+		t.Fatalf("empty RIBLen = %d", got)
+	}
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+	routes := GenerateTable(TableGenConfig{N: 70, Seed: 17, FirstAS: 65001})
+	sp.announce(t, routes, 70)
+	waitFor(t, 5*time.Second, func() bool { return r.RIBLen() == 70 })
+	if r.RIBLen() != r.FIB().Len() {
+		t.Fatalf("RIB (%d) and FIB (%d) disagree", r.RIBLen(), r.FIB().Len())
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
+	"bgpbench/internal/wire"
+)
+
+// The router tests drive a live Router through loopback TCP sessions using
+// raw session-level speakers from the speaker package would create an
+// import cycle, so a minimal in-package harness lives in testhelp_test.go.
+
+func testRouterConfig(neighbors ...NeighborConfig) Config {
+	return Config{
+		AS:         65000,
+		ID:         netaddr.MustParseAddr("10.255.0.1"),
+		HoldTime:   90,
+		ListenAddr: "127.0.0.1:0",
+		Neighbors:  neighbors,
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{ID: netaddr.MustParseAddr("1.1.1.1")}); err == nil {
+		t.Error("zero AS accepted")
+	}
+	if _, err := NewRouter(Config{AS: 1}); err == nil {
+		t.Error("zero ID accepted")
+	}
+	if _, err := NewRouter(Config{AS: 1, ID: 1, FIBEngine: "bogus"}); err == nil {
+		t.Error("bogus FIB engine accepted")
+	}
+}
+
+func TestRouterLearnsAndInstallsRoutes(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(
+		NeighborConfig{AS: 65001},
+	))
+	defer r.Stop()
+
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	routes := GenerateTable(TableGenConfig{N: 200, Seed: 1, FirstAS: 65001})
+	sp.announce(t, routes, 50)
+
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 200 })
+	if got := r.Transactions(); got != 200 {
+		t.Errorf("transactions = %d, want 200", got)
+	}
+
+	// Spot-check a FIB entry resolves to the speaker's next hop.
+	e, ok := r.FIB().Lookup(routes[0].Prefix.Addr())
+	if !ok || e.NextHop != netaddr.MustParseAddr("1.1.1.1") {
+		t.Errorf("FIB lookup = %+v, %v", e, ok)
+	}
+}
+
+func TestRouterWithdrawals(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001}))
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	routes := GenerateTable(TableGenConfig{N: 100, Seed: 2, FirstAS: 65001})
+	sp.announce(t, routes, 100)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 100 })
+
+	sp.withdraw(t, routes, 100)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 0 })
+	if got := r.Transactions(); got != 200 {
+		t.Errorf("transactions = %d, want 200 (100 announce + 100 withdraw)", got)
+	}
+}
+
+func TestRouterPhase2Propagation(t *testing.T) {
+	// Speaker 1 fills the router, then Speaker 2 connects and must receive
+	// the full table (the benchmark's Phase 2).
+	r := mustStartRouter(t, testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65002},
+	))
+	defer r.Stop()
+
+	sp1 := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp1.stop()
+	routes := GenerateTable(TableGenConfig{N: 300, Seed: 3, FirstAS: 65001})
+	sp1.announce(t, routes, 100)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 300 })
+
+	sp2 := dialSpeaker(t, r, 65002, "2.2.2.2")
+	defer sp2.stop()
+	waitFor(t, 10*time.Second, func() bool { return sp2.prefixesIn.Load() == 300 })
+
+	// Exported paths must carry the router's AS prepended and the
+	// router's next hop.
+	sp2.mu.Lock()
+	u := sp2.sampleUpdate
+	sp2.mu.Unlock()
+	if f, _ := u.Attrs.ASPath.First(); f != 65000 {
+		t.Errorf("exported first AS = %d, want 65000", f)
+	}
+	if u.Attrs.NextHop != r.cfg.NextHop {
+		t.Errorf("exported next hop = %v, want %v", u.Attrs.NextHop, r.cfg.NextHop)
+	}
+}
+
+func TestRouterIncrementalBestPathReplacement(t *testing.T) {
+	// Scenario 7/8 shape: Speaker 2 announces the same prefixes with a
+	// shorter path; the router must replace best routes and re-advertise
+	// to Speaker 1... but not back to Speaker 2.
+	r := mustStartRouter(t, testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65002},
+	))
+	defer r.Stop()
+
+	sp1 := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp1.stop()
+	routes := GenerateTable(TableGenConfig{N: 100, Seed: 4, FirstAS: 65001, MinPathLen: 3, MaxPathLen: 3})
+	sp1.announce(t, routes, 100)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 100 })
+
+	sp2 := dialSpeaker(t, r, 65002, "2.2.2.2")
+	defer sp2.stop()
+	waitFor(t, 5*time.Second, func() bool { return sp2.prefixesIn.Load() == 100 })
+
+	base := r.FIBChanges()
+	shorter := make([]Route, len(routes))
+	for i, rt := range routes {
+		shorter[i] = Shorten(rt, 65002)
+	}
+	sp2.announce(t, shorter, 100)
+
+	// The replacement changes next hops, so FIB changes must grow by 100.
+	waitFor(t, 5*time.Second, func() bool { return r.FIBChanges() >= base+100 })
+	for _, rt := range routes[:10] {
+		e, ok := r.FIB().Lookup(rt.Prefix.Addr())
+		if !ok || e.NextHop != netaddr.MustParseAddr("2.2.2.2") {
+			t.Fatalf("FIB not switched to speaker 2: %+v %v", e, ok)
+		}
+	}
+	// Speaker 1 receives the replacement announcements.
+	waitFor(t, 5*time.Second, func() bool { return sp1.prefixesIn.Load() >= 100 })
+}
+
+func TestRouterIncrementalLongerPathNoFIBChange(t *testing.T) {
+	// Scenario 5/6 shape: longer-path announcements must not alter the
+	// forwarding table.
+	r := mustStartRouter(t, testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65002},
+	))
+	defer r.Stop()
+
+	sp1 := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp1.stop()
+	routes := GenerateTable(TableGenConfig{N: 100, Seed: 5, FirstAS: 65001, MinPathLen: 3, MaxPathLen: 3})
+	sp1.announce(t, routes, 100)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 100 })
+	sp2 := dialSpeaker(t, r, 65002, "2.2.2.2")
+	defer sp2.stop()
+	waitFor(t, 5*time.Second, func() bool { return sp2.prefixesIn.Load() == 100 })
+
+	base := r.FIBChanges()
+	baseTx := r.Transactions()
+	longer := make([]Route, len(routes))
+	for i, rt := range routes {
+		longer[i] = Lengthen(rt, 65002, 2, 99)
+	}
+	sp2.announce(t, longer, 100)
+
+	// All 100 must be processed as transactions...
+	waitFor(t, 5*time.Second, func() bool { return r.Transactions() >= baseTx+100 })
+	// ...but the FIB must not change.
+	if got := r.FIBChanges(); got != base {
+		t.Errorf("FIB changes grew by %d, want 0", got-base)
+	}
+	for _, rt := range routes[:10] {
+		e, _ := r.FIB().Lookup(rt.Prefix.Addr())
+		if e.NextHop != netaddr.MustParseAddr("1.1.1.1") {
+			t.Fatalf("FIB switched despite longer path")
+		}
+	}
+}
+
+func TestRouterPeerDownWithdrawsRoutes(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65002},
+	))
+	defer r.Stop()
+
+	sp1 := dialSpeaker(t, r, 65001, "1.1.1.1")
+	routes := GenerateTable(TableGenConfig{N: 80, Seed: 6, FirstAS: 65001})
+	sp1.announce(t, routes, 80)
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 80 })
+
+	sp2 := dialSpeaker(t, r, 65002, "2.2.2.2")
+	defer sp2.stop()
+	waitFor(t, 5*time.Second, func() bool { return sp2.prefixesIn.Load() == 80 })
+
+	sp1.stop()
+	waitFor(t, 5*time.Second, func() bool { return r.FIB().Len() == 0 })
+	waitFor(t, 5*time.Second, func() bool { return sp2.withdrawsIn.Load() == 80 })
+}
+
+func TestRouterImportPolicyFilters(t *testing.T) {
+	deny := &policy.RouteMap{
+		Name: "deny-10/8",
+		Terms: []policy.Term{
+			{
+				Match: policy.Match{PrefixList: &policy.PrefixList{Rules: []policy.PrefixRule{
+					{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), GE: 8, LE: 32, Action: policy.Permit},
+				}}},
+				Action: policy.Deny,
+			},
+		},
+		DefaultPermit: true,
+	}
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001, Import: deny}))
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	routes := []Route{
+		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Path: wire.NewASPath(65001, 1)},
+		{Prefix: netaddr.MustParsePrefix("172.16.0.0/16"), Path: wire.NewASPath(65001, 2)},
+		{Prefix: netaddr.MustParsePrefix("192.168.0.0/16"), Path: wire.NewASPath(65001, 3)},
+	}
+	sp.announce(t, routes, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.Transactions() == 3 })
+	if got := r.FIB().Len(); got != 2 {
+		t.Errorf("FIB len = %d, want 2 (10/8 filtered)", got)
+	}
+	if _, ok := r.FIB().Lookup(netaddr.MustParseAddr("10.1.2.3")); ok {
+		t.Error("filtered prefix present in FIB")
+	}
+}
+
+func TestRouterLoopDetection(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001}))
+	defer r.Stop()
+	sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer sp.stop()
+
+	// A path containing the router's own AS (65000) must be rejected.
+	looped := []Route{{
+		Prefix: netaddr.MustParsePrefix("10.0.0.0/8"),
+		Path:   wire.NewASPath(65001, 65000, 2),
+	}}
+	sp.announce(t, looped, 1)
+	waitFor(t, 5*time.Second, func() bool { return r.Transactions() == 1 })
+	if r.FIB().Len() != 0 {
+		t.Error("looped route installed")
+	}
+}
+
+func TestRouterRejectsUnknownAS(t *testing.T) {
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001}))
+	defer r.Stop()
+
+	sp, err := tryDialSpeaker(r, 65077, "7.7.7.7")
+	if err == nil {
+		defer sp.stop()
+		// Session may establish briefly before the router stops it; wait
+		// for the teardown.
+		waitFor(t, 5*time.Second, func() bool { return !sp.sess.Established() })
+	}
+}

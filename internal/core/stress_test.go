@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// TestRouterManyPeersConcurrentChurn subjects the router to four peers
+// announcing and withdrawing overlapping prefixes concurrently, then
+// verifies convergence: the FIB must exactly reflect the surviving best
+// routes.
+func TestRouterManyPeersConcurrentChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const peers = 4
+	var neighbors []NeighborConfig
+	for i := 0; i < peers; i++ {
+		neighbors = append(neighbors, NeighborConfig{AS: uint16(65001 + i)})
+	}
+	r := mustStartRouter(t, testRouterConfig(neighbors...))
+	defer r.Stop()
+
+	sps := make([]*testSpeaker, peers)
+	for i := range sps {
+		sps[i] = dialSpeaker(t, r, uint16(65001+i), fmt.Sprintf("1.1.1.%d", i+1))
+		defer sps[i].stop()
+	}
+
+	// Shared prefix universe: every peer announces all prefixes with a
+	// path whose length encodes its priority, then half the peers
+	// withdraw. Peer 0 has the shortest paths and must win everything it
+	// keeps.
+	const nPrefixes = 300
+	prefixes := make([]netaddr.Prefix, nPrefixes)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFrom(netaddr.Addr(0x30000000+uint32(i)<<12), 20)
+	}
+
+	var wg sync.WaitGroup
+	expectedTx := uint64(0)
+	var txMu sync.Mutex
+	for pi, sp := range sps {
+		wg.Add(1)
+		go func(pi int, sp *testSpeaker) {
+			defer wg.Done()
+			asns := make([]uint16, pi+1)
+			for j := range asns {
+				asns[j] = uint16(65001 + pi)
+				if j > 0 {
+					asns[j] = uint16(1000 + 100*pi + j)
+				}
+			}
+			routes := make([]Route, nPrefixes)
+			for i, p := range prefixes {
+				routes[i] = Route{Prefix: p, Path: wire.NewASPath(asns...)}
+			}
+			sp.announce(t, routes, 50)
+			n := uint64(nPrefixes)
+			// Odd peers withdraw everything again.
+			if pi%2 == 1 {
+				sp.withdraw(t, routes, 50)
+				n += nPrefixes
+			}
+			txMu.Lock()
+			expectedTx += n
+			txMu.Unlock()
+		}(pi, sp)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for r.Transactions() < uint64(peers)*nPrefixes {
+		if time.Now().After(deadline) {
+			t.Fatalf("transactions stalled at %d", r.Transactions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	txMu.Lock()
+	want := expectedTx
+	txMu.Unlock()
+	waitFor(t, 20*time.Second, func() bool { return r.Transactions() >= want })
+
+	// Every prefix must resolve via peer 0 (shortest path, still present).
+	waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == nPrefixes })
+	for _, p := range prefixes[:20] {
+		e, ok := r.FIB().Lookup(p.Addr())
+		if !ok || e.NextHop != netaddr.MustParseAddr("1.1.1.1") {
+			t.Fatalf("prefix %v: best = %+v, %v; want via 1.1.1.1", p, e, ok)
+		}
+	}
+}
+
+// TestRouterSurvivesPeerFlapStorm churns session state itself: a speaker
+// connects, fills the table, and disconnects, repeatedly. The router must
+// end clean (empty FIB) with no goroutine wedge.
+func TestRouterSurvivesPeerFlapStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	r := mustStartRouter(t, testRouterConfig(NeighborConfig{AS: 65001}))
+	defer r.Stop()
+
+	routes := GenerateTable(TableGenConfig{N: 200, Seed: 13, FirstAS: 65001})
+	for round := 0; round < 5; round++ {
+		sp := dialSpeaker(t, r, 65001, "1.1.1.1")
+		sp.announce(t, routes, 100)
+		waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == 200 })
+		sp.stop()
+		waitFor(t, 10*time.Second, func() bool { return r.FIB().Len() == 0 })
+	}
+	if r.Transactions() < 5*2*200 {
+		t.Fatalf("transactions = %d, want >= %d", r.Transactions(), 5*2*200)
+	}
+}

@@ -1,0 +1,238 @@
+// Package core implements the BGP router under test — sessions, import and
+// export policy, the decision process over the three RIBs, and FIB
+// installation — together with the deterministic workload generators both
+// benchmark substrates (live and modeled) feed it with.
+package core
+
+import (
+	"math/rand"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// Route is one generated routing-table entry: a prefix and the AS path a
+// speaker announces it with.
+type Route struct {
+	Prefix netaddr.Prefix
+	Path   wire.ASPath
+}
+
+// prefixLengthWeights approximates the CIDR length distribution of the
+// mid-2000s global routing table: dominated by /24s with mass at /16 and
+// the /19-/23 aggregates.
+var prefixLengthWeights = []struct {
+	length int
+	weight int
+}{
+	{8, 1}, {12, 1}, {14, 1}, {15, 1},
+	{16, 12}, {17, 3}, {18, 4}, {19, 7},
+	{20, 8}, {21, 8}, {22, 10}, {23, 10}, {24, 54},
+}
+
+// TableGenConfig parameterizes the synthetic table generator.
+type TableGenConfig struct {
+	// N is the number of distinct prefixes.
+	N int
+	// Seed makes generation deterministic; equal seeds give equal tables.
+	Seed int64
+	// MinPathLen / MaxPathLen bound AS-path lengths (inclusive). Defaults
+	// are 2 and 5: paths of at least 2 leave room for the "shorter path"
+	// variants used by Scenarios 7-8.
+	MinPathLen, MaxPathLen int
+	// FirstAS, when nonzero, forces every path's first (neighbour) AS,
+	// matching routes as announced by one speaker.
+	FirstAS uint16
+}
+
+// GenerateTable produces a deterministic synthetic routing table with a
+// realistic prefix-length mix, unique prefixes, and loop-free AS paths.
+func GenerateTable(cfg TableGenConfig) []Route {
+	if cfg.MinPathLen == 0 {
+		cfg.MinPathLen = 2
+	}
+	if cfg.MaxPathLen == 0 {
+		cfg.MaxPathLen = 5
+	}
+	if cfg.MaxPathLen < cfg.MinPathLen {
+		cfg.MaxPathLen = cfg.MinPathLen
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	totalWeight := 0
+	for _, w := range prefixLengthWeights {
+		totalWeight += w.weight
+	}
+	pickLen := func() int {
+		x := rng.Intn(totalWeight)
+		for _, w := range prefixLengthWeights {
+			if x < w.weight {
+				return w.length
+			}
+			x -= w.weight
+		}
+		return 24
+	}
+
+	seen := make(map[netaddr.Prefix]bool, cfg.N)
+	out := make([]Route, 0, cfg.N)
+	for len(out) < cfg.N {
+		l := pickLen()
+		// Keep generated space inside 1.0.0.0/8 .. 223.0.0.0/8 (unicast).
+		a := netaddr.Addr(rng.Uint32())
+		o1 := byte(a >> 24)
+		if o1 == 0 || o1 >= 224 {
+			continue
+		}
+		p := netaddr.PrefixFrom(a, l)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, Route{Prefix: p, Path: genPath(rng, cfg)})
+	}
+	return out
+}
+
+// genPath builds a loop-free AS_SEQUENCE.
+func genPath(rng *rand.Rand, cfg TableGenConfig) wire.ASPath {
+	n := cfg.MinPathLen
+	if cfg.MaxPathLen > cfg.MinPathLen {
+		n += rng.Intn(cfg.MaxPathLen - cfg.MinPathLen + 1)
+	}
+	asns := make([]uint16, 0, n)
+	used := make(map[uint16]bool, n)
+	if cfg.FirstAS != 0 {
+		asns = append(asns, cfg.FirstAS)
+		used[cfg.FirstAS] = true
+	}
+	for len(asns) < n {
+		a := uint16(1 + rng.Intn(64000))
+		if used[a] {
+			continue
+		}
+		used[a] = true
+		asns = append(asns, a)
+	}
+	return wire.NewASPath(asns...)
+}
+
+// Lengthen returns a copy of the route whose AS path is extra hops longer
+// (prepending fresh ASNs after the first hop is replaced by newFirstAS).
+// It models the same destination advertised by a different neighbour with
+// a less attractive path — the Scenario 5-6 workload.
+func Lengthen(r Route, newFirstAS uint16, extra int, seed int64) Route {
+	rng := rand.New(rand.NewSource(seed ^ int64(r.Prefix.Addr())))
+	asns := flatten(r.Path)
+	out := make([]uint16, 0, len(asns)+extra)
+	out = append(out, newFirstAS)
+	for i := 0; i < extra; i++ {
+		out = append(out, uint16(1+rng.Intn(64000)))
+	}
+	// Keep the original path after the first hop so the origin AS is
+	// unchanged (same destination network).
+	if len(asns) > 1 {
+		out = append(out, asns[1:]...)
+	} else {
+		out = append(out, asns...)
+	}
+	return Route{Prefix: r.Prefix, Path: wire.NewASPath(out...)}
+}
+
+// Shorten returns a copy of the route with a strictly shorter AS path via
+// a different first hop — the Scenario 7-8 workload (the router must
+// replace its best route and update the FIB). Paths of length <= 1 are
+// returned with length 1.
+func Shorten(r Route, newFirstAS uint16) Route {
+	asns := flatten(r.Path)
+	var out []uint16
+	switch {
+	case len(asns) <= 1:
+		out = []uint16{newFirstAS}
+	case len(asns) == 2:
+		out = []uint16{newFirstAS}
+	default:
+		out = append([]uint16{newFirstAS}, asns[2:]...)
+	}
+	return Route{Prefix: r.Prefix, Path: wire.NewASPath(out...)}
+}
+
+func flatten(p wire.ASPath) []uint16 {
+	var out []uint16
+	for _, s := range p.Segments {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+// Updates converts routes into UPDATE messages with at most
+// prefixesPerMsg NLRI entries each, grouping only routes that share a
+// path. prefixesPerMsg is the paper's packet-size axis: 1 for "small
+// packets", 500 for "large packets" (large updates group by path).
+//
+// When grouping, routes with distinct paths are never merged; with
+// prefixesPerMsg == 1 each route gets its own message regardless.
+func Updates(routes []Route, nextHop netaddr.Addr, prefixesPerMsg int) []wire.Update {
+	if prefixesPerMsg < 1 {
+		prefixesPerMsg = 1
+	}
+	var out []wire.Update
+	if prefixesPerMsg == 1 {
+		for _, r := range routes {
+			out = append(out, wire.Update{
+				Attrs: wire.NewPathAttrs(wire.OriginIGP, r.Path, nextHop),
+				NLRI:  []netaddr.Prefix{r.Prefix},
+			})
+		}
+		return out
+	}
+	// Group consecutive routes by identical path to share one attribute
+	// block, capped at prefixesPerMsg and the wire-format size limit.
+	i := 0
+	for i < len(routes) {
+		j := i + 1
+		for j < len(routes) && j-i < prefixesPerMsg && routes[j].Path.Equal(routes[i].Path) {
+			j++
+		}
+		u := wire.Update{Attrs: wire.NewPathAttrs(wire.OriginIGP, routes[i].Path, nextHop)}
+		for _, r := range routes[i:j] {
+			u.NLRI = append(u.NLRI, r.Prefix)
+		}
+		out = append(out, u)
+		i = j
+	}
+	return out
+}
+
+// Withdrawals converts routes into withdrawal UPDATEs with at most
+// prefixesPerMsg withdrawn prefixes each.
+func Withdrawals(routes []Route, prefixesPerMsg int) []wire.Update {
+	if prefixesPerMsg < 1 {
+		prefixesPerMsg = 1
+	}
+	var out []wire.Update
+	for i := 0; i < len(routes); i += prefixesPerMsg {
+		j := i + prefixesPerMsg
+		if j > len(routes) {
+			j = len(routes)
+		}
+		var u wire.Update
+		for _, r := range routes[i:j] {
+			u.Withdrawn = append(u.Withdrawn, r.Prefix)
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// UniformPath rewrites every route to share one AS path, letting large
+// UPDATEs actually pack prefixesPerMsg prefixes (the paper's large-packet
+// scenarios pack 500 prefixes into one UPDATE, which requires a shared
+// attribute block).
+func UniformPath(routes []Route, path wire.ASPath) []Route {
+	out := make([]Route, len(routes))
+	for i, r := range routes {
+		out[i] = Route{Prefix: r.Prefix, Path: path}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+func TestGenerateTableDeterministic(t *testing.T) {
+	a := GenerateTable(TableGenConfig{N: 500, Seed: 42})
+	b := GenerateTable(TableGenConfig{N: 500, Seed: 42})
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Prefix != b[i].Prefix || !a[i].Path.Equal(b[i].Path) {
+			t.Fatalf("entry %d differs between equal seeds", i)
+		}
+	}
+	c := GenerateTable(TableGenConfig{N: 500, Seed: 43})
+	same := 0
+	for i := range a {
+		if a[i].Prefix == c[i].Prefix {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestGenerateTableUniquePrefixes(t *testing.T) {
+	routes := GenerateTable(TableGenConfig{N: 5000, Seed: 7})
+	seen := make(map[netaddr.Prefix]bool, len(routes))
+	for _, r := range routes {
+		if seen[r.Prefix] {
+			t.Fatalf("duplicate prefix %v", r.Prefix)
+		}
+		seen[r.Prefix] = true
+		o1 := byte(r.Prefix.Addr() >> 24)
+		if o1 == 0 || o1 >= 224 {
+			t.Fatalf("prefix %v outside unicast space", r.Prefix)
+		}
+	}
+}
+
+func TestGenerateTablePathBounds(t *testing.T) {
+	routes := GenerateTable(TableGenConfig{N: 1000, Seed: 9, MinPathLen: 2, MaxPathLen: 5, FirstAS: 65001})
+	for _, r := range routes {
+		l := r.Path.Length()
+		if l < 2 || l > 5 {
+			t.Fatalf("path length %d out of [2,5]", l)
+		}
+		if f, _ := r.Path.First(); f != 65001 {
+			t.Fatalf("first AS %d, want 65001", f)
+		}
+		// Loop-free.
+		seen := map[uint16]bool{}
+		for _, seg := range r.Path.Segments {
+			for _, a := range seg.ASNs {
+				if seen[a] {
+					t.Fatalf("AS loop in generated path %v", r.Path)
+				}
+				seen[a] = true
+			}
+		}
+	}
+}
+
+func TestGenerateTableLengthDistribution(t *testing.T) {
+	routes := GenerateTable(TableGenConfig{N: 20000, Seed: 3})
+	counts := map[int]int{}
+	for _, r := range routes {
+		counts[r.Prefix.Len()]++
+	}
+	// /24 should dominate (roughly half).
+	if frac := float64(counts[24]) / float64(len(routes)); frac < 0.40 || frac > 0.60 {
+		t.Errorf("/24 fraction = %.2f, want ~0.45-0.55", frac)
+	}
+	// /16 should be the second-largest coarse aggregate.
+	if counts[16] == 0 || counts[16] < counts[8] {
+		t.Errorf("length histogram implausible: %v", counts)
+	}
+}
+
+func TestLengthenAddsHops(t *testing.T) {
+	r := Route{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Path: wire.NewASPath(100, 200, 300)}
+	longer := Lengthen(r, 999, 2, 1)
+	if longer.Path.Length() != r.Path.Length()+2 {
+		t.Fatalf("length %d, want %d", longer.Path.Length(), r.Path.Length()+2)
+	}
+	if f, _ := longer.Path.First(); f != 999 {
+		t.Fatalf("first AS %d, want 999", f)
+	}
+	if o, _ := longer.Path.Origin(); o != 300 {
+		t.Fatalf("origin AS changed: %d", o)
+	}
+	if longer.Prefix != r.Prefix {
+		t.Fatal("prefix changed")
+	}
+	// Deterministic.
+	again := Lengthen(r, 999, 2, 1)
+	if !again.Path.Equal(longer.Path) {
+		t.Fatal("Lengthen not deterministic")
+	}
+}
+
+func TestShortenRemovesHops(t *testing.T) {
+	r := Route{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Path: wire.NewASPath(100, 200, 300)}
+	shorter := Shorten(r, 999)
+	if shorter.Path.Length() != 2 {
+		t.Fatalf("length %d, want 2", shorter.Path.Length())
+	}
+	if f, _ := shorter.Path.First(); f != 999 {
+		t.Fatalf("first AS %d", f)
+	}
+	if o, _ := shorter.Path.Origin(); o != 300 {
+		t.Fatalf("origin AS changed: %d", o)
+	}
+	// Degenerate paths.
+	tiny := Shorten(Route{Prefix: r.Prefix, Path: wire.NewASPath(5)}, 999)
+	if tiny.Path.Length() != 1 {
+		t.Fatalf("tiny length %d", tiny.Path.Length())
+	}
+}
+
+func TestUpdatesSmallPackets(t *testing.T) {
+	routes := GenerateTable(TableGenConfig{N: 50, Seed: 1})
+	ups := Updates(routes, netaddr.MustParseAddr("10.0.0.1"), 1)
+	if len(ups) != 50 {
+		t.Fatalf("updates = %d, want 50", len(ups))
+	}
+	for i, u := range ups {
+		if len(u.NLRI) != 1 || u.NLRI[0] != routes[i].Prefix {
+			t.Fatalf("update %d malformed", i)
+		}
+		if !u.Attrs.HasNextHop || !u.Attrs.HasOrigin {
+			t.Fatalf("update %d missing mandatory attrs", i)
+		}
+	}
+}
+
+func TestUpdatesLargePackets(t *testing.T) {
+	routes := GenerateTable(TableGenConfig{N: 1200, Seed: 1})
+	shared := UniformPath(routes, wire.NewASPath(65001, 70))
+	ups := Updates(shared, netaddr.MustParseAddr("10.0.0.1"), 500)
+	if len(ups) != 3 {
+		t.Fatalf("updates = %d, want 3 (500+500+200)", len(ups))
+	}
+	total := 0
+	for _, u := range ups {
+		if len(u.NLRI) > 500 {
+			t.Fatalf("update carries %d prefixes", len(u.NLRI))
+		}
+		total += len(u.NLRI)
+		// Every UPDATE must fit in the wire-format limit.
+		if _, err := wire.Marshal(u); err != nil {
+			t.Fatalf("oversized update: %v", err)
+		}
+	}
+	if total != 1200 {
+		t.Fatalf("total prefixes %d", total)
+	}
+}
+
+func TestUpdatesGroupingRespectsPaths(t *testing.T) {
+	routes := []Route{
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/24"), Path: wire.NewASPath(1, 2)},
+		{Prefix: netaddr.MustParsePrefix("10.0.1.0/24"), Path: wire.NewASPath(1, 2)},
+		{Prefix: netaddr.MustParsePrefix("10.0.2.0/24"), Path: wire.NewASPath(3, 4)},
+	}
+	ups := Updates(routes, netaddr.MustParseAddr("10.0.0.1"), 500)
+	if len(ups) != 2 {
+		t.Fatalf("updates = %d, want 2 (path change forces split)", len(ups))
+	}
+	if len(ups[0].NLRI) != 2 || len(ups[1].NLRI) != 1 {
+		t.Fatalf("grouping wrong: %d, %d", len(ups[0].NLRI), len(ups[1].NLRI))
+	}
+}
+
+func TestWithdrawalsPacking(t *testing.T) {
+	routes := GenerateTable(TableGenConfig{N: 1001, Seed: 2})
+	ws := Withdrawals(routes, 500)
+	if len(ws) != 3 {
+		t.Fatalf("withdrawal messages = %d, want 3", len(ws))
+	}
+	total := 0
+	for _, u := range ws {
+		if len(u.NLRI) != 0 {
+			t.Fatal("withdrawal update carries NLRI")
+		}
+		total += len(u.Withdrawn)
+		if _, err := wire.Marshal(u); err != nil {
+			t.Fatalf("oversized withdrawal: %v", err)
+		}
+	}
+	if total != 1001 {
+		t.Fatalf("total withdrawn %d", total)
+	}
+	// Small packets.
+	ws = Withdrawals(routes[:5], 1)
+	if len(ws) != 5 {
+		t.Fatalf("small withdrawals = %d", len(ws))
+	}
+}

@@ -1,0 +1,188 @@
+// Package damping implements BGP route-flap damping (RFC 2439): routes
+// that flap — are repeatedly withdrawn and re-announced, or whose
+// attributes keep changing — accumulate a penalty that decays
+// exponentially; while the penalty exceeds the suppress threshold the
+// route is not used or propagated. Route instability is the phenomenon
+// the paper's motivation cites (Labovitz et al.); damping is the
+// countermeasure deployed routers of the era applied, and the router in
+// this repository can enable it per neighbour.
+package damping
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Config holds the damping parameters. Zero values take the conventional
+// defaults (Cisco-style): penalty 1000 per flap, suppress above 2000,
+// reuse below 750, 15-minute half-life, 60-minute maximum suppression.
+type Config struct {
+	Penalty       float64
+	SuppressLimit float64
+	ReuseLimit    float64
+	HalfLife      time.Duration
+	MaxSuppress   time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Penalty == 0 {
+		c.Penalty = 1000
+	}
+	if c.SuppressLimit == 0 {
+		c.SuppressLimit = 2000
+	}
+	if c.ReuseLimit == 0 {
+		c.ReuseLimit = 750
+	}
+	if c.HalfLife == 0 {
+		c.HalfLife = 15 * time.Minute
+	}
+	if c.MaxSuppress == 0 {
+		c.MaxSuppress = 60 * time.Minute
+	}
+	return c
+}
+
+// ceiling is the maximum penalty: the value that decays to the reuse
+// limit in exactly MaxSuppress (RFC 2439 section 4.2).
+func (c Config) ceiling() float64 {
+	halfLives := c.MaxSuppress.Seconds() / c.HalfLife.Seconds()
+	return c.ReuseLimit * math.Pow(2, halfLives)
+}
+
+// state tracks one (peer, prefix) pair.
+type state struct {
+	penalty    float64
+	lastDecay  time.Time
+	suppressed bool
+}
+
+type key struct {
+	peer   netaddr.Addr
+	prefix netaddr.Prefix
+}
+
+// Damper tracks flap penalties per (peer, prefix). It is safe for
+// concurrent use.
+type Damper struct {
+	cfg     Config
+	ceiling float64
+	now     func() time.Time
+
+	mu      sync.Mutex
+	entries map[key]*state
+	flaps   uint64
+}
+
+// New builds a damper; a nil clock uses time.Now.
+func New(cfg Config, clock func() time.Time) *Damper {
+	if clock == nil {
+		clock = time.Now
+	}
+	c := cfg.withDefaults()
+	return &Damper{
+		cfg:     c,
+		ceiling: c.ceiling(),
+		now:     clock,
+		entries: make(map[key]*state),
+	}
+}
+
+// decay applies exponential decay since the last update.
+func (d *Damper) decay(s *state, now time.Time) {
+	dt := now.Sub(s.lastDecay).Seconds()
+	if dt <= 0 {
+		return
+	}
+	s.penalty *= math.Pow(0.5, dt/d.cfg.HalfLife.Seconds())
+	s.lastDecay = now
+	if s.suppressed && s.penalty < d.cfg.ReuseLimit {
+		s.suppressed = false
+	}
+	if s.penalty < 1 {
+		s.penalty = 0
+	}
+}
+
+// Flap records one instability event (withdrawal, or re-announcement
+// with changed attributes) and reports whether the route is now
+// suppressed.
+func (d *Damper) Flap(peer netaddr.Addr, prefix netaddr.Prefix) bool {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flaps++
+	k := key{peer: peer, prefix: prefix}
+	s := d.entries[k]
+	if s == nil {
+		s = &state{lastDecay: now}
+		d.entries[k] = s
+	}
+	d.decay(s, now)
+	s.penalty += d.cfg.Penalty
+	if s.penalty > d.ceiling {
+		s.penalty = d.ceiling
+	}
+	if s.penalty >= d.cfg.SuppressLimit {
+		s.suppressed = true
+	}
+	return s.suppressed
+}
+
+// Suppressed reports whether the route is currently suppressed (after
+// applying decay).
+func (d *Damper) Suppressed(peer netaddr.Addr, prefix netaddr.Prefix) bool {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.entries[key{peer: peer, prefix: prefix}]
+	if s == nil {
+		return false
+	}
+	d.decay(s, now)
+	if s.penalty == 0 && !s.suppressed {
+		delete(d.entries, key{peer: peer, prefix: prefix})
+	}
+	return s.suppressed
+}
+
+// Penalty returns the current (decayed) penalty, for diagnostics.
+func (d *Damper) Penalty(peer netaddr.Addr, prefix netaddr.Prefix) float64 {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.entries[key{peer: peer, prefix: prefix}]
+	if s == nil {
+		return 0
+	}
+	d.decay(s, now)
+	return s.penalty
+}
+
+// Forget clears all state learned from a peer (session reset).
+func (d *Damper) Forget(peer netaddr.Addr) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.entries {
+		if k.peer == peer {
+			delete(d.entries, k)
+		}
+	}
+}
+
+// Len returns the number of tracked (peer, prefix) pairs.
+func (d *Damper) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Flaps returns the total flap events recorded.
+func (d *Damper) Flaps() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flaps
+}

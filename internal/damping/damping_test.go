@@ -1,0 +1,160 @@
+package damping
+
+import (
+	"testing"
+	"time"
+
+	"bgpbench/internal/netaddr"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestDamper() (*Damper, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	return New(Config{}, clk.now), clk
+}
+
+var (
+	peerX = netaddr.MustParseAddr("10.0.0.1")
+	pfx   = netaddr.MustParsePrefix("192.0.2.0/24")
+)
+
+func TestSingleFlapNotSuppressed(t *testing.T) {
+	d, _ := newTestDamper()
+	if d.Flap(peerX, pfx) {
+		t.Fatal("one flap (penalty 1000 < 2000) should not suppress")
+	}
+	if got := d.Penalty(peerX, pfx); got != 1000 {
+		t.Fatalf("penalty = %v, want 1000", got)
+	}
+}
+
+func TestRepeatedFlapsSuppress(t *testing.T) {
+	d, _ := newTestDamper()
+	d.Flap(peerX, pfx)
+	if !d.Flap(peerX, pfx) {
+		t.Fatal("second flap (penalty 2000 >= 2000) should suppress")
+	}
+	if !d.Suppressed(peerX, pfx) {
+		t.Fatal("route should be suppressed")
+	}
+}
+
+func TestDecayReleasesSuppression(t *testing.T) {
+	d, clk := newTestDamper()
+	for i := 0; i < 3; i++ {
+		d.Flap(peerX, pfx) // penalty 3000
+	}
+	if !d.Suppressed(peerX, pfx) {
+		t.Fatal("should be suppressed at penalty 3000")
+	}
+	// 3000 decays below the 750 reuse limit after two half-lives
+	// (3000 -> 1500 -> 750); go exactly two half-lives and check, then one
+	// more to be safely below.
+	clk.advance(30 * time.Minute)
+	if d.Suppressed(peerX, pfx) && d.Penalty(peerX, pfx) > 750.01 {
+		t.Fatalf("penalty %v after two half-lives, want <= 750", d.Penalty(peerX, pfx))
+	}
+	clk.advance(15 * time.Minute)
+	if d.Suppressed(peerX, pfx) {
+		t.Fatal("suppression should lift below the reuse limit")
+	}
+}
+
+func TestPenaltyCeilingBoundsSuppression(t *testing.T) {
+	d, clk := newTestDamper()
+	// Hammer the route: penalty must cap at the ceiling so suppression
+	// cannot exceed MaxSuppress (60 min).
+	for i := 0; i < 100; i++ {
+		d.Flap(peerX, pfx)
+	}
+	ceiling := Config{}.withDefaults().ceiling()
+	if got := d.Penalty(peerX, pfx); got > ceiling+0.01 {
+		t.Fatalf("penalty %v exceeds ceiling %v", got, ceiling)
+	}
+	clk.advance(61 * time.Minute)
+	if d.Suppressed(peerX, pfx) {
+		t.Fatal("suppression must lift within MaxSuppress of the last flap")
+	}
+}
+
+func TestIndependentPeersAndPrefixes(t *testing.T) {
+	d, _ := newTestDamper()
+	peerY := netaddr.MustParseAddr("10.0.0.2")
+	other := netaddr.MustParsePrefix("198.51.100.0/24")
+	d.Flap(peerX, pfx)
+	d.Flap(peerX, pfx)
+	if !d.Suppressed(peerX, pfx) {
+		t.Fatal("peerX/pfx should be suppressed")
+	}
+	if d.Suppressed(peerY, pfx) {
+		t.Fatal("same prefix from another peer must be independent")
+	}
+	if d.Suppressed(peerX, other) {
+		t.Fatal("another prefix from the same peer must be independent")
+	}
+}
+
+func TestForgetClearsPeerState(t *testing.T) {
+	d, _ := newTestDamper()
+	peerY := netaddr.MustParseAddr("10.0.0.2")
+	d.Flap(peerX, pfx)
+	d.Flap(peerY, pfx)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	d.Forget(peerX)
+	if d.Len() != 1 {
+		t.Fatalf("Len after Forget = %d", d.Len())
+	}
+	if d.Penalty(peerX, pfx) != 0 {
+		t.Fatal("forgotten peer retains penalty")
+	}
+}
+
+func TestFullyDecayedEntriesGarbageCollected(t *testing.T) {
+	d, clk := newTestDamper()
+	d.Flap(peerX, pfx)
+	clk.advance(24 * time.Hour)
+	if d.Suppressed(peerX, pfx) {
+		t.Fatal("fully decayed route suppressed")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("decayed entry not collected: Len = %d", d.Len())
+	}
+}
+
+func TestFlapsCounter(t *testing.T) {
+	d, _ := newTestDamper()
+	d.Flap(peerX, pfx)
+	d.Flap(peerX, pfx)
+	if d.Flaps() != 2 {
+		t.Fatalf("Flaps = %d", d.Flaps())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Penalty != 1000 || c.SuppressLimit != 2000 || c.ReuseLimit != 750 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.HalfLife != 15*time.Minute || c.MaxSuppress != 60*time.Minute {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	// Ceiling: reuse * 2^(60/15) = 750 * 16 = 12000.
+	if got := c.ceiling(); got != 12000 {
+		t.Fatalf("ceiling = %v, want 12000", got)
+	}
+}
+
+func TestNilClockDefaultsToWallTime(t *testing.T) {
+	d := New(Config{}, nil)
+	d.Flap(peerX, pfx)
+	if d.Penalty(peerX, pfx) <= 0 {
+		t.Fatal("penalty not recorded with wall clock")
+	}
+}

@@ -1,0 +1,132 @@
+// Package dataplane implements a parallel multi-queue forwarding plane:
+// a pool of worker goroutines — the analogue of the IXP2400's packet
+// processors — each draining a bounded ingress queue and running the
+// RFC 1812 forwarding path over a shared FIB. Packets hash to workers by
+// destination (flow affinity), and queue overflow drops packets exactly
+// as a saturated line card would. The crosstraffic example and the live
+// benchmark's forwarding-load generator are built on it.
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bgpbench/internal/fib"
+	"bgpbench/internal/forward"
+	"bgpbench/internal/packet"
+)
+
+// Config parameterizes the plane.
+type Config struct {
+	// Workers is the number of packet processors (default 4).
+	Workers int
+	// QueueDepth bounds each worker's ingress queue (default 1024).
+	QueueDepth int
+	// FIB is the shared forwarding table (required).
+	FIB *fib.Table
+	// Egress receives forwarded packets; nil discards.
+	Egress forward.Egress
+}
+
+// Stats aggregates data-plane counters.
+type Stats struct {
+	Injected     uint64
+	IngressDrops uint64 // dropped at a full ingress queue
+	forward.Snapshot
+}
+
+// Plane is a running forwarding plane.
+type Plane struct {
+	cfg     Config
+	eng     *forward.Engine
+	queues  []chan []byte
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+
+	injected     atomic.Uint64
+	ingressDrops atomic.Uint64
+}
+
+// New validates the configuration and builds a stopped plane.
+func New(cfg Config) (*Plane, error) {
+	if cfg.FIB == nil {
+		return nil, fmt.Errorf("dataplane: FIB is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	p := &Plane{
+		cfg:    cfg,
+		eng:    forward.New(cfg.FIB, cfg.Egress),
+		queues: make([]chan []byte, cfg.Workers),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan []byte, cfg.QueueDepth)
+	}
+	return p, nil
+}
+
+// Engine exposes the underlying forwarding engine (e.g. to register local
+// addresses before Start).
+func (p *Plane) Engine() *forward.Engine { return p.eng }
+
+// Start launches the workers.
+func (p *Plane) Start() {
+	for i := range p.queues {
+		p.wg.Add(1)
+		go p.worker(p.queues[i])
+	}
+}
+
+func (p *Plane) worker(q chan []byte) {
+	defer p.wg.Done()
+	for pkt := range q {
+		p.eng.Process(pkt)
+	}
+}
+
+// Stop drains and terminates the workers. Inject after Stop returns false.
+func (p *Plane) Stop() {
+	if !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.wg.Wait()
+}
+
+// Inject offers one packet to the plane. It hashes the destination to a
+// worker (flow affinity keeps a flow in order) and reports false when the
+// packet was dropped at ingress (queue full or plane stopped). The buffer
+// is owned by the plane after a true return.
+func (p *Plane) Inject(pkt []byte) bool {
+	if p.stopped.Load() || len(pkt) < packet.MinHeaderLen {
+		p.ingressDrops.Add(1)
+		return false
+	}
+	p.injected.Add(1)
+	dst := uint32(packet.Dst(pkt))
+	// Fibonacci hashing spreads sequential destinations.
+	idx := int((dst * 2654435761) % uint32(len(p.queues)))
+	select {
+	case p.queues[idx] <- pkt:
+		return true
+	default:
+		p.ingressDrops.Add(1)
+		return false
+	}
+}
+
+// Stats snapshots all counters.
+func (p *Plane) Stats() Stats {
+	return Stats{
+		Injected:     p.injected.Load(),
+		IngressDrops: p.ingressDrops.Load(),
+		Snapshot:     p.eng.Stats.Snapshot(),
+	}
+}

@@ -1,0 +1,232 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bgpbench/internal/fib"
+	"bgpbench/internal/forward"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/packet"
+)
+
+func testFIB() *fib.Table {
+	t := fib.NewTable(fib.NewPatricia())
+	t.Insert(netaddr.MustParsePrefix("10.0.0.0/8"), fib.Entry{Port: 1, NextHop: netaddr.MustParseAddr("192.0.2.1")})
+	t.Insert(netaddr.MustParsePrefix("172.16.0.0/12"), fib.Entry{Port: 2, NextHop: netaddr.MustParseAddr("192.0.2.2")})
+	return t
+}
+
+func mkPkt(dst string, ttl uint8) []byte {
+	return packet.Marshal(packet.Header{
+		TTL: ttl, Protocol: 17,
+		Src: netaddr.MustParseAddr("198.51.100.1"),
+		Dst: netaddr.MustParseAddr(dst),
+	}, []byte("data"))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil FIB accepted")
+	}
+	p, err := New(Config{FIB: testFIB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.queues) != 4 || cap(p.queues[0]) != 1024 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestParallelForwardingAccountsAllPackets(t *testing.T) {
+	var mu sync.Mutex
+	ports := map[int]int{}
+	p, err := New(Config{
+		Workers: 4, QueueDepth: 4096, FIB: testFIB(),
+		Egress: forward.EgressFunc(func(port int, _ netaddr.Addr, _ []byte) {
+			mu.Lock()
+			ports[port]++
+			mu.Unlock()
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	const n = 10000
+	accepted := 0
+	for i := 0; i < n; i++ {
+		var pkt []byte
+		switch i % 3 {
+		case 0:
+			pkt = mkPkt("10.1.2.3", 64)
+		case 1:
+			pkt = mkPkt("172.16.5.5", 64)
+		default:
+			pkt = mkPkt("203.0.113.1", 64) // no route
+		}
+		if p.Inject(pkt) {
+			accepted++
+		}
+	}
+	p.Stop()
+
+	st := p.Stats()
+	if st.Injected != n {
+		t.Fatalf("Injected = %d", st.Injected)
+	}
+	processed := st.Forwarded + st.DropNoRoute + st.DropTTL + st.DropBad + st.Local
+	if processed != uint64(accepted) {
+		t.Fatalf("processed %d != accepted %d (packets lost silently)", processed, accepted)
+	}
+	if st.Forwarded == 0 || st.DropNoRoute == 0 {
+		t.Fatalf("stats implausible: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ports[1] == 0 || ports[2] == 0 {
+		t.Fatalf("egress ports unused: %v", ports)
+	}
+}
+
+func TestIngressOverflowDrops(t *testing.T) {
+	block := make(chan struct{})
+	p, err := New(Config{
+		Workers: 1, QueueDepth: 8, FIB: testFIB(),
+		Egress: forward.EgressFunc(func(int, netaddr.Addr, []byte) {
+			<-block // wedge the worker
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	dropped := 0
+	for i := 0; i < 64; i++ {
+		if !p.Inject(mkPkt("10.0.0.1", 64)) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no ingress drops despite wedged worker")
+	}
+	close(block)
+	p.Stop()
+	if got := p.Stats().IngressDrops; got != uint64(dropped) {
+		t.Fatalf("IngressDrops = %d, want %d", got, dropped)
+	}
+}
+
+func TestInjectAfterStop(t *testing.T) {
+	p, err := New(Config{FIB: testFIB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Stop()
+	if p.Inject(mkPkt("10.0.0.1", 64)) {
+		t.Fatal("Inject accepted after Stop")
+	}
+	p.Stop() // double stop is a no-op
+}
+
+func TestRuntTooShortDropped(t *testing.T) {
+	p, err := New(Config{FIB: testFIB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	if p.Inject([]byte{1, 2, 3}) {
+		t.Fatal("runt packet accepted")
+	}
+}
+
+func TestFlowAffinityKeepsOrder(t *testing.T) {
+	// All packets of one flow must be processed in order: record egress
+	// sequence numbers for a single destination.
+	var mu sync.Mutex
+	var seq []byte
+	p, err := New(Config{
+		Workers: 4, QueueDepth: 1024, FIB: testFIB(),
+		Egress: forward.EgressFunc(func(_ int, _ netaddr.Addr, pkt []byte) {
+			mu.Lock()
+			seq = append(seq, pkt[len(pkt)-1])
+			mu.Unlock()
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < 200; i++ {
+		pkt := packet.Marshal(packet.Header{
+			TTL: 64, Protocol: 17,
+			Src: netaddr.MustParseAddr("198.51.100.1"),
+			Dst: netaddr.MustParseAddr("10.9.9.9"),
+		}, []byte{byte(i)})
+		for !p.Inject(pkt) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	p.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seq) != 200 {
+		t.Fatalf("forwarded %d/200", len(seq))
+	}
+	for i := range seq {
+		if seq[i] != byte(i) {
+			t.Fatalf("flow reordered at %d: %d", i, seq[i])
+		}
+	}
+}
+
+func TestLocalAddressDelivery(t *testing.T) {
+	p, err := New(Config{FIB: testFIB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Engine().AddLocalAddr(netaddr.MustParseAddr("10.255.255.1"))
+	p.Start()
+	p.Inject(mkPkt("10.255.255.1", 64))
+	p.Stop()
+	if p.Stats().Local != 1 {
+		t.Fatalf("Local = %d", p.Stats().Local)
+	}
+}
+
+func TestSourceApproximatesTargetRate(t *testing.T) {
+	p, err := New(Config{Workers: 2, QueueDepth: 8192, FIB: testFIB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	src := NewSource(p, 50000, 200)
+	src.Start()
+	time.Sleep(300 * time.Millisecond)
+	src.Stop()
+	p.Stop()
+	got := float64(src.Generated()) / 0.3
+	if got < 25000 || got > 100000 {
+		t.Fatalf("generated rate %.0f pps, want ~50000 (loose bounds for CI jitter)", got)
+	}
+	if src.Accepted() == 0 {
+		t.Fatal("nothing accepted")
+	}
+}
+
+func TestSourceStopIdempotent(t *testing.T) {
+	p, err := New(Config{FIB: testFIB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	src := NewSource(p, 1000, 0)
+	src.Start()
+	src.Stop()
+	src.Stop()
+	p.Stop()
+}

@@ -1,0 +1,129 @@
+package fib
+
+import "bgpbench/internal/netaddr"
+
+// BinaryTrie is the textbook one-bit-per-level trie. Lookup walks at most
+// 32 levels, remembering the last node that held a route.
+type BinaryTrie struct {
+	root *btNode
+	n    int
+}
+
+type btNode struct {
+	child [2]*btNode
+	entry Entry
+	has   bool
+}
+
+// NewBinaryTrie returns an empty binary trie.
+func NewBinaryTrie() *BinaryTrie {
+	return &BinaryTrie{root: &btNode{}}
+}
+
+// Insert adds or replaces the entry for a prefix.
+func (t *BinaryTrie) Insert(p netaddr.Prefix, e Entry) {
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Len(); i++ {
+		b := a.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &btNode{}
+		}
+		n = n.child[b]
+	}
+	if !n.has {
+		t.n++
+	}
+	n.entry, n.has = e, true
+}
+
+// Delete removes a prefix, pruning now-empty branches.
+func (t *BinaryTrie) Delete(p netaddr.Prefix) bool {
+	// Record the path so empty nodes can be pruned bottom-up.
+	path := make([]*btNode, 0, 33)
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Len(); i++ {
+		path = append(path, n)
+		n = n.child[a.Bit(i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.has {
+		return false
+	}
+	n.has = false
+	t.n--
+	for i := len(path) - 1; i >= 0; i-- {
+		child := n
+		n = path[i]
+		if child.has || child.child[0] != nil || child.child[1] != nil {
+			break
+		}
+		n.child[a.Bit(i)] = nil
+	}
+	return true
+}
+
+// Lookup walks the trie, returning the deepest entry on the path.
+func (t *BinaryTrie) Lookup(addr netaddr.Addr) (Entry, bool) {
+	var best Entry
+	found := false
+	n := t.root
+	for i := 0; ; i++ {
+		if n.has {
+			best, found = n.entry, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[addr.Bit(i)]
+		if n == nil {
+			break
+		}
+	}
+	return best, found
+}
+
+// LookupExact returns the entry stored for exactly this prefix.
+func (t *BinaryTrie) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Len(); i++ {
+		n = n.child[a.Bit(i)]
+		if n == nil {
+			return Entry{}, false
+		}
+	}
+	if !n.has {
+		return Entry{}, false
+	}
+	return n.entry, true
+}
+
+// Len returns the number of installed prefixes.
+func (t *BinaryTrie) Len() int { return t.n }
+
+// Walk visits entries in trie (address) order.
+func (t *BinaryTrie) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *BinaryTrie) walk(n *btNode, addr netaddr.Addr, depth int, fn func(netaddr.Prefix, Entry) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.has {
+		if !fn(netaddr.PrefixFrom(addr, depth), n.entry) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+}

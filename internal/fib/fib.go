@@ -1,0 +1,140 @@
+// Package fib implements the forwarding information base: longest-prefix-
+// match lookup structures mapping IPv4 destination addresses to next hops.
+//
+// Four interchangeable engines are provided, spanning the classic design
+// space surveyed by Ruiz-Sanchez et al. (IEEE Network 2001), which the
+// paper's forwarding path depends on:
+//
+//   - Linear: sorted linear scan; the obviously-correct reference used by
+//     the property tests and the baseline in lookup benchmarks.
+//   - BinaryTrie: one bit per level, the textbook structure.
+//   - Patricia: path-compressed binary trie; fewer nodes, deeper logic.
+//   - HashLengths: one hash table per prefix length, probed longest-first.
+//
+// Engines are not safe for concurrent use; Table adds the RWMutex wrapper
+// the router's data plane and control plane share.
+package fib
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Entry is the forwarding action for a destination prefix.
+type Entry struct {
+	NextHop netaddr.Addr // next-hop router address
+	Port    int          // egress interface index
+}
+
+// Engine is a longest-prefix-match structure. Implementations are
+// single-goroutine; wrap with Table for shared use.
+type Engine interface {
+	// Insert adds or replaces the entry for a prefix.
+	Insert(p netaddr.Prefix, e Entry)
+	// Delete removes a prefix, reporting whether it was present.
+	Delete(p netaddr.Prefix) bool
+	// Lookup returns the entry of the longest prefix containing addr.
+	Lookup(addr netaddr.Addr) (Entry, bool)
+	// LookupExact returns the entry stored for exactly this prefix.
+	LookupExact(p netaddr.Prefix) (Entry, bool)
+	// Len returns the number of installed prefixes.
+	Len() int
+	// Walk visits all entries in unspecified order until fn returns false.
+	Walk(fn func(netaddr.Prefix, Entry) bool)
+}
+
+// EngineNames lists the selectable engine implementations.
+var EngineNames = []string{"linear", "binary", "patricia", "hashlen"}
+
+// NewEngine constructs an engine by name.
+func NewEngine(name string) (Engine, error) {
+	switch name {
+	case "linear":
+		return NewLinear(), nil
+	case "binary":
+		return NewBinaryTrie(), nil
+	case "patricia":
+		return NewPatricia(), nil
+	case "hashlen":
+		return NewHashLengths(), nil
+	}
+	return nil, fmt.Errorf("fib: unknown engine %q (have %v)", name, EngineNames)
+}
+
+// Table is a concurrency-safe FIB shared between the control plane (which
+// installs and removes routes) and the data plane (which looks up
+// destinations). It also counts updates and lookups so benchmark scenarios
+// can verify which operations touched the forwarding table.
+type Table struct {
+	mu      sync.RWMutex
+	eng     Engine
+	updates atomic.Uint64
+	lookups atomic.Uint64
+}
+
+// NewTable wraps an engine; a nil engine defaults to Patricia.
+func NewTable(eng Engine) *Table {
+	if eng == nil {
+		eng = NewPatricia()
+	}
+	return &Table{eng: eng}
+}
+
+// Insert adds or replaces a route.
+func (t *Table) Insert(p netaddr.Prefix, e Entry) {
+	t.mu.Lock()
+	t.eng.Insert(p, e)
+	t.mu.Unlock()
+	t.updates.Add(1)
+}
+
+// Delete removes a route, reporting whether it was present.
+func (t *Table) Delete(p netaddr.Prefix) bool {
+	t.mu.Lock()
+	ok := t.eng.Delete(p)
+	t.mu.Unlock()
+	t.updates.Add(1)
+	return ok
+}
+
+// Lookup resolves a destination address.
+func (t *Table) Lookup(addr netaddr.Addr) (Entry, bool) {
+	t.lookups.Add(1)
+	t.mu.RLock()
+	e, ok := t.eng.Lookup(addr)
+	t.mu.RUnlock()
+	return e, ok
+}
+
+// LookupExact returns the entry stored for exactly this prefix.
+func (t *Table) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	t.mu.RLock()
+	e, ok := t.eng.LookupExact(p)
+	t.mu.RUnlock()
+	return e, ok
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := t.eng.Len()
+	t.mu.RUnlock()
+	return n
+}
+
+// Walk visits all entries while holding the read lock; fn must not call
+// back into the table.
+func (t *Table) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.eng.Walk(fn)
+}
+
+// Updates returns the count of Insert+Delete operations since creation.
+func (t *Table) Updates() uint64 { return t.updates.Load() }
+
+// Lookups returns the count of Lookup operations since creation.
+func (t *Table) Lookups() uint64 { return t.lookups.Load() }

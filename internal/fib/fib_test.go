@@ -1,0 +1,293 @@
+package fib
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+)
+
+func allEngines(t *testing.T) map[string]Engine {
+	t.Helper()
+	out := make(map[string]Engine, len(EngineNames))
+	for _, name := range EngineNames {
+		e, err := NewEngine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = e
+	}
+	return out
+}
+
+func TestNewEngineUnknown(t *testing.T) {
+	if _, err := NewEngine("btree"); err == nil {
+		t.Fatal("unknown engine name should error")
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	for name, e := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			p8 := netaddr.MustParsePrefix("10.0.0.0/8")
+			p16 := netaddr.MustParsePrefix("10.1.0.0/16")
+			p24 := netaddr.MustParsePrefix("10.1.2.0/24")
+
+			e.Insert(p8, Entry{Port: 1})
+			e.Insert(p16, Entry{Port: 2})
+			e.Insert(p24, Entry{Port: 3})
+			if e.Len() != 3 {
+				t.Fatalf("Len = %d, want 3", e.Len())
+			}
+
+			cases := []struct {
+				addr string
+				port int
+				ok   bool
+			}{
+				{"10.1.2.3", 3, true},
+				{"10.1.3.1", 2, true},
+				{"10.2.0.1", 1, true},
+				{"11.0.0.1", 0, false},
+			}
+			for _, c := range cases {
+				got, ok := e.Lookup(netaddr.MustParseAddr(c.addr))
+				if ok != c.ok || (ok && got.Port != c.port) {
+					t.Errorf("Lookup(%s) = %+v,%v; want port %d,%v", c.addr, got, ok, c.port, c.ok)
+				}
+			}
+
+			// Replacement does not change Len.
+			e.Insert(p16, Entry{Port: 9})
+			if e.Len() != 3 {
+				t.Fatalf("Len after replace = %d, want 3", e.Len())
+			}
+			if got, _ := e.Lookup(netaddr.MustParseAddr("10.1.3.1")); got.Port != 9 {
+				t.Fatalf("replace not visible: port %d", got.Port)
+			}
+
+			// Exact lookups.
+			if got, ok := e.LookupExact(p24); !ok || got.Port != 3 {
+				t.Fatalf("LookupExact(%v) = %+v,%v", p24, got, ok)
+			}
+			if _, ok := e.LookupExact(netaddr.MustParsePrefix("10.1.2.0/25")); ok {
+				t.Fatal("LookupExact of absent prefix should miss")
+			}
+
+			// Deletion uncovers the shorter prefix.
+			if !e.Delete(p24) {
+				t.Fatal("Delete(p24) = false")
+			}
+			if e.Delete(p24) {
+				t.Fatal("double Delete(p24) = true")
+			}
+			if got, _ := e.Lookup(netaddr.MustParseAddr("10.1.2.3")); got.Port != 9 {
+				t.Fatalf("after delete, Lookup port = %d, want 9", got.Port)
+			}
+			if e.Len() != 2 {
+				t.Fatalf("Len after delete = %d, want 2", e.Len())
+			}
+		})
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	for name, e := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			e.Insert(netaddr.MustParsePrefix("0.0.0.0/0"), Entry{Port: 7})
+			got, ok := e.Lookup(netaddr.MustParseAddr("203.0.113.99"))
+			if !ok || got.Port != 7 {
+				t.Fatalf("default route lookup = %+v,%v", got, ok)
+			}
+			if !e.Delete(netaddr.MustParsePrefix("0.0.0.0/0")) {
+				t.Fatal("cannot delete default route")
+			}
+			if _, ok := e.Lookup(netaddr.MustParseAddr("203.0.113.99")); ok {
+				t.Fatal("lookup should miss after deleting default route")
+			}
+		})
+	}
+}
+
+func TestHostRoutes(t *testing.T) {
+	for name, e := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			h := netaddr.MustParsePrefix("192.0.2.1/32")
+			e.Insert(h, Entry{Port: 4})
+			if got, ok := e.Lookup(netaddr.MustParseAddr("192.0.2.1")); !ok || got.Port != 4 {
+				t.Fatalf("host route lookup = %+v,%v", got, ok)
+			}
+			if _, ok := e.Lookup(netaddr.MustParseAddr("192.0.2.2")); ok {
+				t.Fatal("host route must not match neighbours")
+			}
+		})
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	prefixes := []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16", "0.0.0.0/0", "172.16.5.0/24"}
+	for name, e := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			for i, s := range prefixes {
+				e.Insert(netaddr.MustParsePrefix(s), Entry{Port: i})
+			}
+			seen := map[netaddr.Prefix]int{}
+			e.Walk(func(p netaddr.Prefix, en Entry) bool {
+				seen[p] = en.Port
+				return true
+			})
+			if len(seen) != len(prefixes) {
+				t.Fatalf("Walk visited %d entries, want %d", len(seen), len(prefixes))
+			}
+			for i, s := range prefixes {
+				if seen[netaddr.MustParsePrefix(s)] != i {
+					t.Errorf("prefix %s port = %d, want %d", s, seen[netaddr.MustParsePrefix(s)], i)
+				}
+			}
+			// Early termination.
+			count := 0
+			e.Walk(func(netaddr.Prefix, Entry) bool {
+				count++
+				return count < 2
+			})
+			if count != 2 {
+				t.Errorf("early-terminated Walk visited %d, want 2", count)
+			}
+		})
+	}
+}
+
+// TestEnginesAgree drives all engines with the same random operation
+// sequence and cross-checks every answer against the Linear reference.
+func TestEnginesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	ref := NewLinear()
+	others := map[string]Engine{
+		"binary":   NewBinaryTrie(),
+		"patricia": NewPatricia(),
+		"hashlen":  NewHashLengths(),
+	}
+
+	var inserted []netaddr.Prefix
+	randomPrefix := func() netaddr.Prefix {
+		// Cluster prefixes so deletes and overlaps actually happen.
+		return netaddr.PrefixFrom(netaddr.Addr(r.Uint32()&0x0F0F0000), 4+r.Intn(29))
+	}
+
+	for op := 0; op < 6000; op++ {
+		switch r.Intn(4) {
+		case 0, 1: // insert
+			p := randomPrefix()
+			e := Entry{NextHop: netaddr.Addr(r.Uint32()), Port: r.Intn(16)}
+			ref.Insert(p, e)
+			for _, eng := range others {
+				eng.Insert(p, e)
+			}
+			inserted = append(inserted, p)
+		case 2: // delete
+			var p netaddr.Prefix
+			if len(inserted) > 0 && r.Intn(4) != 0 {
+				p = inserted[r.Intn(len(inserted))]
+			} else {
+				p = randomPrefix()
+			}
+			want := ref.Delete(p)
+			for name, eng := range others {
+				if got := eng.Delete(p); got != want {
+					t.Fatalf("op %d: %s.Delete(%v) = %v, want %v", op, name, p, got, want)
+				}
+			}
+		case 3: // lookup
+			addr := netaddr.Addr(r.Uint32() & 0x0F0F00FF)
+			wantE, wantOK := ref.Lookup(addr)
+			for name, eng := range others {
+				gotE, gotOK := eng.Lookup(addr)
+				if gotOK != wantOK || gotE != wantE {
+					t.Fatalf("op %d: %s.Lookup(%v) = %+v,%v; want %+v,%v",
+						op, name, addr, gotE, gotOK, wantE, wantOK)
+				}
+			}
+		}
+		if op%500 == 0 {
+			for name, eng := range others {
+				if eng.Len() != ref.Len() {
+					t.Fatalf("op %d: %s.Len = %d, want %d", op, name, eng.Len(), ref.Len())
+				}
+			}
+		}
+	}
+
+	// Final exhaustive agreement check across the inserted population.
+	for _, p := range inserted {
+		wantE, wantOK := ref.LookupExact(p)
+		for name, eng := range others {
+			gotE, gotOK := eng.LookupExact(p)
+			if gotOK != wantOK || gotE != wantE {
+				t.Fatalf("final: %s.LookupExact(%v) = %+v,%v; want %+v,%v",
+					name, p, gotE, gotOK, wantE, wantOK)
+			}
+		}
+	}
+}
+
+func TestTableCounters(t *testing.T) {
+	tbl := NewTable(nil)
+	p := netaddr.MustParsePrefix("10.0.0.0/8")
+	tbl.Insert(p, Entry{Port: 1})
+	tbl.Lookup(netaddr.MustParseAddr("10.1.1.1"))
+	tbl.Lookup(netaddr.MustParseAddr("10.1.1.2"))
+	tbl.Delete(p)
+	if got := tbl.Updates(); got != 2 {
+		t.Errorf("Updates = %d, want 2", got)
+	}
+	if got := tbl.Lookups(); got != 2 {
+		t.Errorf("Lookups = %d, want 2", got)
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tbl.Len())
+	}
+}
+
+func TestTableConcurrentAccess(t *testing.T) {
+	tbl := NewTable(NewPatricia())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			p := netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<12), 20)
+			tbl.Insert(p, Entry{Port: i % 8})
+			if i%3 == 0 {
+				tbl.Delete(p)
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		tbl.Lookup(netaddr.Addr(uint32(i) << 12))
+	}
+	<-done
+	tbl.Walk(func(netaddr.Prefix, Entry) bool { return true })
+}
+
+func TestPatriciaCompression(t *testing.T) {
+	// Exercise split-node creation and cascading splice on delete.
+	p := NewPatricia()
+	a := netaddr.MustParsePrefix("10.0.0.0/24")
+	b := netaddr.MustParsePrefix("10.0.1.0/24")
+	c := netaddr.MustParsePrefix("10.0.0.0/16")
+	p.Insert(a, Entry{Port: 1})
+	p.Insert(b, Entry{Port: 2}) // forces a split node at /23
+	p.Insert(c, Entry{Port: 3})
+	if got, _ := p.Lookup(netaddr.MustParseAddr("10.0.0.1")); got.Port != 1 {
+		t.Fatalf("port = %d, want 1", got.Port)
+	}
+	if !p.Delete(a) || !p.Delete(b) {
+		t.Fatal("delete failed")
+	}
+	// The split node must be gone; /16 still answers.
+	if got, ok := p.Lookup(netaddr.MustParseAddr("10.0.0.1")); !ok || got.Port != 3 {
+		t.Fatalf("after deletes: %+v,%v", got, ok)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}

@@ -1,0 +1,88 @@
+package fib
+
+import (
+	"sort"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Linear is the reference LPM engine: a slice of routes kept sorted by
+// descending prefix length, scanned front to back on lookup. O(n) lookup,
+// but trivially correct — the other engines are property-tested against it.
+type Linear struct {
+	routes []linearRoute
+}
+
+type linearRoute struct {
+	prefix netaddr.Prefix
+	entry  Entry
+}
+
+// NewLinear returns an empty reference engine.
+func NewLinear() *Linear { return &Linear{} }
+
+// Insert adds or replaces the entry for a prefix.
+func (l *Linear) Insert(p netaddr.Prefix, e Entry) {
+	i := l.find(p)
+	if i >= 0 {
+		l.routes[i].entry = e
+		return
+	}
+	l.routes = append(l.routes, linearRoute{prefix: p, entry: e})
+	sort.Slice(l.routes, func(i, j int) bool {
+		a, b := l.routes[i].prefix, l.routes[j].prefix
+		if a.Len() != b.Len() {
+			return a.Len() > b.Len()
+		}
+		return a.Compare(b) < 0
+	})
+}
+
+func (l *Linear) find(p netaddr.Prefix) int {
+	for i, r := range l.routes {
+		if r.prefix == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Delete removes a prefix, reporting whether it was present.
+func (l *Linear) Delete(p netaddr.Prefix) bool {
+	i := l.find(p)
+	if i < 0 {
+		return false
+	}
+	l.routes = append(l.routes[:i], l.routes[i+1:]...)
+	return true
+}
+
+// Lookup scans longest-first for the first containing prefix.
+func (l *Linear) Lookup(addr netaddr.Addr) (Entry, bool) {
+	for _, r := range l.routes {
+		if r.prefix.Contains(addr) {
+			return r.entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// LookupExact returns the entry stored for exactly this prefix.
+func (l *Linear) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	if i := l.find(p); i >= 0 {
+		return l.routes[i].entry, true
+	}
+	return Entry{}, false
+}
+
+// Len returns the number of installed prefixes.
+func (l *Linear) Len() int { return len(l.routes) }
+
+// Walk visits entries in descending-length order.
+func (l *Linear) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	for _, r := range l.routes {
+		if !fn(r.prefix, r.entry) {
+			return
+		}
+	}
+}

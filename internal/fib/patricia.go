@@ -1,0 +1,211 @@
+package fib
+
+import "bgpbench/internal/netaddr"
+
+// Patricia is a path-compressed binary trie (radix tree): internal
+// single-child chains are collapsed, so the node count is O(number of
+// routes) and lookups take at most one branch per stored prefix on the
+// path. This is the default engine for the router's FIB.
+type Patricia struct {
+	root *pNode
+	n    int
+}
+
+type pNode struct {
+	prefix netaddr.Prefix
+	entry  Entry
+	has    bool
+	child  [2]*pNode
+}
+
+// NewPatricia returns an empty path-compressed trie.
+func NewPatricia() *Patricia {
+	return &Patricia{root: &pNode{prefix: netaddr.PrefixFrom(0, 0)}}
+}
+
+// commonPrefixLen returns the number of leading bits shared by a and b,
+// capped at maxLen.
+func commonPrefixLen(a, b netaddr.Addr, maxLen int) int {
+	x := uint32(a ^ b)
+	n := 0
+	for n < maxLen && x&0x80000000 == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Insert adds or replaces the entry for a prefix.
+func (t *Patricia) Insert(p netaddr.Prefix, e Entry) {
+	n := t.root
+	for {
+		if p == n.prefix {
+			if !n.has {
+				t.n++
+			}
+			n.entry, n.has = e, true
+			return
+		}
+		bit := p.Addr().Bit(n.prefix.Len())
+		c := n.child[bit]
+		if c == nil {
+			n.child[bit] = &pNode{prefix: p, entry: e, has: true}
+			t.n++
+			return
+		}
+		maxL := p.Len()
+		if c.prefix.Len() < maxL {
+			maxL = c.prefix.Len()
+		}
+		cpl := commonPrefixLen(p.Addr(), c.prefix.Addr(), maxL)
+		switch {
+		case cpl == c.prefix.Len():
+			// c.prefix is a (proper) prefix of p: descend.
+			n = c
+		case cpl == p.Len():
+			// p is a proper prefix of c.prefix: splice p above c.
+			nn := &pNode{prefix: p, entry: e, has: true}
+			nn.child[c.prefix.Addr().Bit(p.Len())] = c
+			n.child[bit] = nn
+			t.n++
+			return
+		default:
+			// Paths diverge at cpl: create a forwarding-only split node.
+			mid := &pNode{prefix: netaddr.PrefixFrom(p.Addr(), cpl)}
+			mid.child[c.prefix.Addr().Bit(cpl)] = c
+			mid.child[p.Addr().Bit(cpl)] = &pNode{prefix: p, entry: e, has: true}
+			n.child[bit] = mid
+			t.n++
+			return
+		}
+	}
+}
+
+// Delete removes a prefix, splicing out structural nodes that become
+// redundant.
+func (t *Patricia) Delete(p netaddr.Prefix) bool {
+	var parent *pNode
+	parentBit := 0
+	n := t.root
+	for n != nil && n.prefix != p {
+		if n.prefix.Len() >= p.Len() || !n.prefix.Contains(p.Addr()) {
+			return false
+		}
+		parent = n
+		parentBit = p.Addr().Bit(n.prefix.Len())
+		n = n.child[parentBit]
+	}
+	if n == nil || !n.has {
+		return false
+	}
+	n.has = false
+	t.n--
+	t.compress(parent, parentBit, n)
+	return true
+}
+
+// compress removes or splices a routeless node n (child parentBit of
+// parent) and then re-examines the parent, which may itself have become a
+// redundant split node.
+func (t *Patricia) compress(parent *pNode, parentBit int, n *pNode) {
+	for {
+		if n == t.root || n.has {
+			return
+		}
+		switch {
+		case n.child[0] == nil && n.child[1] == nil:
+			parent.child[parentBit] = nil
+		case n.child[0] != nil && n.child[1] != nil:
+			return // still a necessary split point
+		default:
+			c := n.child[0]
+			if c == nil {
+				c = n.child[1]
+			}
+			parent.child[parentBit] = c
+		}
+		// The parent may now be a routeless node with fewer than two
+		// children; walk up one level. Finding the grandparent needs a
+		// search from the root, but splicing cascades are rare and short.
+		n = parent
+		parent, parentBit = t.findParent(n)
+		if parent == nil {
+			return
+		}
+	}
+}
+
+// findParent locates the parent of n, or nil for the root.
+func (t *Patricia) findParent(n *pNode) (*pNode, int) {
+	if n == t.root {
+		return nil, 0
+	}
+	cur := t.root
+	for {
+		bit := n.prefix.Addr().Bit(cur.prefix.Len())
+		c := cur.child[bit]
+		if c == nil {
+			return nil, 0
+		}
+		if c == n {
+			return cur, bit
+		}
+		cur = c
+	}
+}
+
+// Lookup descends while node prefixes contain addr, returning the deepest
+// entry seen.
+func (t *Patricia) Lookup(addr netaddr.Addr) (Entry, bool) {
+	var best Entry
+	found := false
+	n := t.root
+	for n != nil && n.prefix.Contains(addr) {
+		if n.has {
+			best, found = n.entry, true
+		}
+		if n.prefix.Len() == 32 {
+			break
+		}
+		n = n.child[addr.Bit(n.prefix.Len())]
+	}
+	return best, found
+}
+
+// LookupExact returns the entry stored for exactly this prefix.
+func (t *Patricia) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	n := t.root
+	for n != nil {
+		if n.prefix == p {
+			if n.has {
+				return n.entry, true
+			}
+			return Entry{}, false
+		}
+		if n.prefix.Len() >= p.Len() || !n.prefix.Contains(p.Addr()) {
+			return Entry{}, false
+		}
+		n = n.child[p.Addr().Bit(n.prefix.Len())]
+	}
+	return Entry{}, false
+}
+
+// Len returns the number of installed prefixes.
+func (t *Patricia) Len() int { return t.n }
+
+// Walk visits entries in address order.
+func (t *Patricia) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Patricia) walk(n *pNode, fn func(netaddr.Prefix, Entry) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.has {
+		if !fn(n.prefix, n.entry) {
+			return false
+		}
+	}
+	return t.walk(n.child[0], fn) && t.walk(n.child[1], fn)
+}

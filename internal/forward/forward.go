@@ -1,0 +1,157 @@
+// Package forward implements an RFC 1812-compliant IPv4 forwarding engine:
+// header validation, TTL decrement with incremental checksum update, FIB
+// lookup, and egress dispatch. It is the data-plane component whose
+// contention with BGP processing the paper measures; the live router embeds
+// it, and the benchmark's cross-traffic exercises it.
+package forward
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/packet"
+)
+
+// Verdict classifies the outcome of processing one packet.
+type Verdict int
+
+// Forwarding outcomes.
+const (
+	VerdictForwarded Verdict = iota // sent to an egress port
+	VerdictLocal                    // addressed to the router itself
+	VerdictDropTTL                  // TTL expired
+	VerdictDropNoRoute
+	VerdictDropMalformed
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForwarded:
+		return "forwarded"
+	case VerdictLocal:
+		return "local"
+	case VerdictDropTTL:
+		return "drop-ttl"
+	case VerdictDropNoRoute:
+		return "drop-no-route"
+	case VerdictDropMalformed:
+		return "drop-malformed"
+	}
+	return "unknown"
+}
+
+// Stats counts per-verdict packet and byte totals. All fields are updated
+// atomically; the struct can be read while the engine runs.
+type Stats struct {
+	Forwarded    atomic.Uint64
+	Local        atomic.Uint64
+	DropTTL      atomic.Uint64
+	DropNoRoute  atomic.Uint64
+	DropBad      atomic.Uint64
+	BytesForward atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	Forwarded, Local, DropTTL, DropNoRoute, DropBad, BytesForward uint64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Forwarded:    s.Forwarded.Load(),
+		Local:        s.Local.Load(),
+		DropTTL:      s.DropTTL.Load(),
+		DropNoRoute:  s.DropNoRoute.Load(),
+		DropBad:      s.DropBad.Load(),
+		BytesForward: s.BytesForward.Load(),
+	}
+}
+
+// Egress receives forwarded packets. Implementations must be safe for
+// concurrent use if the engine is driven from multiple goroutines.
+type Egress interface {
+	// Transmit hands off a forwarded packet on the given port toward the
+	// given next hop. The buffer is owned by the callee after the call.
+	Transmit(port int, nextHop netaddr.Addr, pkt []byte)
+}
+
+// EgressFunc adapts a function to the Egress interface.
+type EgressFunc func(port int, nextHop netaddr.Addr, pkt []byte)
+
+// Transmit calls f.
+func (f EgressFunc) Transmit(port int, nextHop netaddr.Addr, pkt []byte) { f(port, nextHop, pkt) }
+
+// DiscardEgress drops all packets; used by benchmarks that only measure
+// the processing cost.
+var DiscardEgress Egress = EgressFunc(func(int, netaddr.Addr, []byte) {})
+
+// Engine is the forwarding engine. It consults a shared FIB table and a
+// set of local addresses (packets to which are delivered locally rather
+// than forwarded).
+type Engine struct {
+	FIB    *fib.Table
+	Egress Egress
+	Stats  Stats
+
+	local map[netaddr.Addr]bool
+}
+
+// New builds an engine over the given FIB. A nil egress discards packets.
+func New(table *fib.Table, egress Egress) *Engine {
+	if egress == nil {
+		egress = DiscardEgress
+	}
+	return &Engine{FIB: table, Egress: egress, local: make(map[netaddr.Addr]bool)}
+}
+
+// AddLocalAddr registers an address owned by the router; packets addressed
+// to it are delivered locally. Not safe to call concurrently with Process.
+func (e *Engine) AddLocalAddr(a netaddr.Addr) { e.local[a] = true }
+
+// Process runs the RFC 1812 forwarding path on one packet:
+//
+//  1. validate version, header length, total length, and header checksum;
+//  2. deliver locally if the destination is one of the router's addresses;
+//  3. decrement TTL, dropping expired packets (where a full router would
+//     also emit ICMP Time Exceeded);
+//  4. longest-prefix-match in the FIB;
+//  5. update the header checksum incrementally and transmit.
+//
+// The packet buffer is modified in place (TTL/checksum) and ownership
+// passes to the egress when the verdict is VerdictForwarded.
+func (e *Engine) Process(pkt []byte) Verdict {
+	if len(pkt) < packet.MinHeaderLen {
+		e.Stats.DropBad.Add(1)
+		return VerdictDropMalformed
+	}
+	if _, err := packet.ParseHeader(pkt); err != nil {
+		e.Stats.DropBad.Add(1)
+		return VerdictDropMalformed
+	}
+	dst := packet.Dst(pkt)
+	if e.local[dst] {
+		e.Stats.Local.Add(1)
+		return VerdictLocal
+	}
+	if err := packet.DecrementTTL(pkt); err != nil {
+		if errors.Is(err, packet.ErrTTLExpired) {
+			e.Stats.DropTTL.Add(1)
+			return VerdictDropTTL
+		}
+		e.Stats.DropBad.Add(1)
+		return VerdictDropMalformed
+	}
+	entry, ok := e.FIB.Lookup(dst)
+	if !ok {
+		e.Stats.DropNoRoute.Add(1)
+		return VerdictDropNoRoute
+	}
+	e.Stats.Forwarded.Add(1)
+	e.Stats.BytesForward.Add(uint64(len(pkt)))
+	e.Egress.Transmit(entry.Port, entry.NextHop, pkt)
+	return VerdictForwarded
+}

@@ -1,0 +1,139 @@
+package forward
+
+import (
+	"testing"
+
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/packet"
+)
+
+func newTestEngine() (*Engine, *[]int) {
+	table := fib.NewTable(fib.NewPatricia())
+	table.Insert(netaddr.MustParsePrefix("10.0.0.0/8"), fib.Entry{Port: 1, NextHop: netaddr.MustParseAddr("192.0.2.1")})
+	table.Insert(netaddr.MustParsePrefix("10.1.0.0/16"), fib.Entry{Port: 2, NextHop: netaddr.MustParseAddr("192.0.2.2")})
+	var ports []int
+	e := New(table, EgressFunc(func(port int, _ netaddr.Addr, _ []byte) {
+		ports = append(ports, port)
+	}))
+	e.AddLocalAddr(netaddr.MustParseAddr("192.0.2.254"))
+	return e, &ports
+}
+
+func mkPacket(dst string, ttl uint8) []byte {
+	return packet.Marshal(packet.Header{
+		TTL:      ttl,
+		Protocol: 17,
+		Src:      netaddr.MustParseAddr("172.16.0.1"),
+		Dst:      netaddr.MustParseAddr(dst),
+	}, []byte("payload"))
+}
+
+func TestForwardLongestMatch(t *testing.T) {
+	e, ports := newTestEngine()
+	if v := e.Process(mkPacket("10.1.2.3", 64)); v != VerdictForwarded {
+		t.Fatalf("verdict = %v", v)
+	}
+	if v := e.Process(mkPacket("10.2.2.3", 64)); v != VerdictForwarded {
+		t.Fatalf("verdict = %v", v)
+	}
+	if len(*ports) != 2 || (*ports)[0] != 2 || (*ports)[1] != 1 {
+		t.Fatalf("egress ports = %v, want [2 1]", *ports)
+	}
+	if got := e.Stats.Forwarded.Load(); got != 2 {
+		t.Fatalf("Forwarded = %d", got)
+	}
+}
+
+func TestForwardDecrementsTTLAndKeepsChecksumValid(t *testing.T) {
+	table := fib.NewTable(nil)
+	table.Insert(netaddr.MustParsePrefix("0.0.0.0/0"), fib.Entry{Port: 0})
+	var out []byte
+	e := New(table, EgressFunc(func(_ int, _ netaddr.Addr, pkt []byte) { out = pkt }))
+	if v := e.Process(mkPacket("8.8.8.8", 10)); v != VerdictForwarded {
+		t.Fatalf("verdict = %v", v)
+	}
+	h, err := packet.ParseHeader(out) // re-validates checksum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TTL != 9 {
+		t.Fatalf("TTL = %d, want 9", h.TTL)
+	}
+}
+
+func TestDropNoRoute(t *testing.T) {
+	e, _ := newTestEngine()
+	if v := e.Process(mkPacket("172.20.0.1", 64)); v != VerdictDropNoRoute {
+		t.Fatalf("verdict = %v", v)
+	}
+	if e.Stats.DropNoRoute.Load() != 1 {
+		t.Fatal("DropNoRoute not counted")
+	}
+}
+
+func TestDropTTL(t *testing.T) {
+	e, _ := newTestEngine()
+	if v := e.Process(mkPacket("10.0.0.1", 1)); v != VerdictDropTTL {
+		t.Fatalf("verdict = %v", v)
+	}
+	if v := e.Process(mkPacket("10.0.0.1", 0)); v != VerdictDropTTL {
+		t.Fatalf("verdict = %v", v)
+	}
+	if e.Stats.DropTTL.Load() != 2 {
+		t.Fatal("DropTTL not counted")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	e, ports := newTestEngine()
+	if v := e.Process(mkPacket("192.0.2.254", 64)); v != VerdictLocal {
+		t.Fatalf("verdict = %v", v)
+	}
+	if len(*ports) != 0 {
+		t.Fatal("local packet must not be transmitted")
+	}
+	// Local delivery happens before TTL handling: even TTL=1 is delivered.
+	if v := e.Process(mkPacket("192.0.2.254", 1)); v != VerdictLocal {
+		t.Fatalf("verdict = %v", v)
+	}
+}
+
+func TestDropMalformed(t *testing.T) {
+	e, _ := newTestEngine()
+	if v := e.Process([]byte{1, 2, 3}); v != VerdictDropMalformed {
+		t.Fatalf("short: %v", v)
+	}
+	bad := mkPacket("10.0.0.1", 64)
+	bad[8]++ // corrupt TTL so the checksum fails
+	if v := e.Process(bad); v != VerdictDropMalformed {
+		t.Fatalf("checksum: %v", v)
+	}
+	if e.Stats.DropBad.Load() != 2 {
+		t.Fatal("DropBad not counted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictForwarded:     "forwarded",
+		VerdictLocal:         "local",
+		VerdictDropTTL:       "drop-ttl",
+		VerdictDropNoRoute:   "drop-no-route",
+		VerdictDropMalformed: "drop-malformed",
+		Verdict(99):          "unknown",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	e, _ := newTestEngine()
+	e.Process(mkPacket("10.0.0.1", 64))
+	s := e.Stats.Snapshot()
+	if s.Forwarded != 1 || s.BytesForward == 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,391 @@
+// Package fsm implements the BGP session finite state machine of RFC 4271
+// section 8 as a pure event-to-actions transducer: it owns no sockets and
+// no timers. The session layer feeds it events (transport up/down, messages
+// received, timer expiries) and executes the actions it returns (send a
+// message, start/stop timers, tear down the connection). Keeping the FSM
+// pure makes every transition deterministic and directly testable.
+package fsm
+
+import (
+	"fmt"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// State is a BGP session state (RFC 4271 section 8.2.2).
+type State int
+
+// Session states.
+const (
+	Idle State = iota
+	Connect
+	Active
+	OpenSent
+	OpenConfirm
+	Established
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "Idle"
+	case Connect:
+		return "Connect"
+	case Active:
+		return "Active"
+	case OpenSent:
+		return "OpenSent"
+	case OpenConfirm:
+		return "OpenConfirm"
+	case Established:
+		return "Established"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// EventType identifies an input to the FSM.
+type EventType int
+
+// FSM input events (a practical subset of the RFC 4271 section 8.1 list).
+const (
+	EvManualStart        EventType = iota // operator starts the session
+	EvManualStop                          // operator stops the session
+	EvTCPConnEstablished                  // outbound connect succeeded or inbound accepted
+	EvTCPConnFails                        // transport lost or connect failed
+	EvConnectRetryExpires
+	EvHoldTimerExpires
+	EvKeepaliveTimerExpires
+	EvMsgOpen         // OPEN received (Event.Open set)
+	EvMsgKeepalive    // KEEPALIVE received
+	EvMsgUpdate       // UPDATE received (Event.Update set)
+	EvMsgNotification // NOTIFICATION received (Event.Notif set)
+	EvMsgError        // message failed to parse (Event.Err set, usually *wire.NotifyError)
+	EvMsgRouteRefresh // ROUTE-REFRESH received (Event.Refresh set)
+)
+
+// String names the event type.
+func (e EventType) String() string {
+	names := map[EventType]string{
+		EvManualStart: "ManualStart", EvManualStop: "ManualStop",
+		EvTCPConnEstablished: "TCPConnEstablished", EvTCPConnFails: "TCPConnFails",
+		EvConnectRetryExpires: "ConnectRetryExpires", EvHoldTimerExpires: "HoldTimerExpires",
+		EvKeepaliveTimerExpires: "KeepaliveTimerExpires", EvMsgOpen: "MsgOpen",
+		EvMsgKeepalive: "MsgKeepalive", EvMsgUpdate: "MsgUpdate",
+		EvMsgNotification: "MsgNotification", EvMsgError: "MsgError",
+		EvMsgRouteRefresh: "MsgRouteRefresh",
+	}
+	if n, ok := names[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("EventType(%d)", int(e))
+}
+
+// Event is one FSM input.
+type Event struct {
+	Type    EventType
+	Open    *wire.Open
+	Update  *wire.Update
+	Notif   *wire.Notification
+	Refresh *wire.RouteRefresh
+	Err     error
+}
+
+// ActionType identifies an output of the FSM.
+type ActionType int
+
+// FSM output actions, executed by the session layer in order.
+const (
+	ActConnect       ActionType = iota // initiate the TCP connection
+	ActSendOpen                        // send our OPEN
+	ActSendKeepalive                   // send a KEEPALIVE
+	ActSendNotify                      // send a NOTIFICATION (Action.Notif)
+	ActCloseConn                       // close the transport
+	ActStartHold                       // (re)start the hold timer with the negotiated time
+	ActStopHold
+	ActStartKeepalive // (re)start the keepalive interval timer
+	ActStopKeepalive
+	ActStartConnectRetry
+	ActStopConnectRetry
+	ActEstablished    // session reached Established (deliver routes now)
+	ActStopped        // session left Established / terminated
+	ActDeliverUpdate  // pass Action.Update to the routing layer
+	ActDeliverRefresh // pass Action.Refresh to the routing layer
+)
+
+// Action is one FSM output.
+type Action struct {
+	Type    ActionType
+	Notif   *wire.Notification
+	Update  *wire.Update
+	Refresh *wire.RouteRefresh
+}
+
+// Config is the local side of the session.
+type Config struct {
+	LocalAS  uint16
+	LocalID  netaddr.Addr
+	HoldTime uint16 // proposed hold time, seconds (0 disables keepalives)
+	// PeerAS, when nonzero, is enforced against the peer's OPEN.
+	PeerAS uint16
+	// Passive suppresses ActConnect on start: the session waits for an
+	// inbound connection (used by routers under test accepting speakers).
+	Passive bool
+	// Capabilities are advertised in our OPEN's optional parameters
+	// (RFC 5492). The session layer encodes them.
+	Capabilities []wire.Capability
+}
+
+// FSM is the state machine for one peering session.
+type FSM struct {
+	cfg   Config
+	state State
+
+	// Negotiated session parameters, valid from OpenConfirm onward.
+	peerOpen          wire.Open
+	negotiatedHold    uint16
+	transitions       uint64
+	lastNotifSent     *wire.Notification
+	establishedEvents uint64
+}
+
+// New builds an FSM in the Idle state.
+func New(cfg Config) *FSM {
+	return &FSM{cfg: cfg, state: Idle}
+}
+
+// State returns the current state.
+func (f *FSM) State() State { return f.state }
+
+// PeerOpen returns the peer's OPEN message, valid once the state has
+// reached OpenConfirm.
+func (f *FSM) PeerOpen() wire.Open { return f.peerOpen }
+
+// HoldTime returns the negotiated hold time in seconds (min of both
+// sides), valid once the state has reached OpenConfirm. The keepalive
+// interval is conventionally a third of it.
+func (f *FSM) HoldTime() uint16 { return f.negotiatedHold }
+
+// Transitions returns the number of state changes, for diagnostics.
+func (f *FSM) Transitions() uint64 { return f.transitions }
+
+func (f *FSM) to(s State) {
+	if s != f.state {
+		f.transitions++
+	}
+	f.state = s
+}
+
+// Handle consumes one event and returns the actions the session layer must
+// execute, in order. Unexpected events in a state follow the RFC's rule:
+// send a NOTIFICATION (FSM error), drop the connection, return to Idle.
+func (f *FSM) Handle(ev Event) []Action {
+	switch f.state {
+	case Idle:
+		return f.inIdle(ev)
+	case Connect, Active:
+		return f.inConnect(ev)
+	case OpenSent:
+		return f.inOpenSent(ev)
+	case OpenConfirm:
+		return f.inOpenConfirm(ev)
+	case Established:
+		return f.inEstablished(ev)
+	}
+	return nil
+}
+
+func (f *FSM) inIdle(ev Event) []Action {
+	switch ev.Type {
+	case EvManualStart:
+		if f.cfg.Passive {
+			f.to(Active)
+			return nil
+		}
+		f.to(Connect)
+		return []Action{{Type: ActConnect}, {Type: ActStartConnectRetry}}
+	default:
+		// All other events are ignored in Idle.
+		return nil
+	}
+}
+
+// inConnect covers both Connect and Active: waiting for a transport.
+func (f *FSM) inConnect(ev Event) []Action {
+	switch ev.Type {
+	case EvTCPConnEstablished:
+		f.to(OpenSent)
+		return []Action{
+			{Type: ActStopConnectRetry},
+			{Type: ActSendOpen},
+			{Type: ActStartHold}, // large initial hold until negotiated
+		}
+	case EvTCPConnFails:
+		f.to(Active)
+		return []Action{{Type: ActStartConnectRetry}}
+	case EvConnectRetryExpires:
+		if f.cfg.Passive {
+			return nil
+		}
+		f.to(Connect)
+		return []Action{{Type: ActConnect}, {Type: ActStartConnectRetry}}
+	case EvManualStop:
+		f.to(Idle)
+		return []Action{{Type: ActStopConnectRetry}, {Type: ActCloseConn}}
+	default:
+		return f.fsmError(ev)
+	}
+}
+
+func (f *FSM) inOpenSent(ev Event) []Action {
+	switch ev.Type {
+	case EvMsgOpen:
+		if ev.Open == nil {
+			return f.fsmError(ev)
+		}
+		if f.cfg.PeerAS != 0 && ev.Open.AS != f.cfg.PeerAS {
+			return f.notifyAndIdle(wire.ErrCodeOpen, wire.ErrSubBadPeerAS, nil)
+		}
+		f.peerOpen = *ev.Open
+		f.negotiatedHold = f.cfg.HoldTime
+		if ev.Open.HoldTime < f.negotiatedHold {
+			f.negotiatedHold = ev.Open.HoldTime
+		}
+		f.to(OpenConfirm)
+		acts := []Action{{Type: ActSendKeepalive}}
+		if f.negotiatedHold > 0 {
+			acts = append(acts, Action{Type: ActStartHold}, Action{Type: ActStartKeepalive})
+		} else {
+			acts = append(acts, Action{Type: ActStopHold}, Action{Type: ActStopKeepalive})
+		}
+		return acts
+	case EvMsgError:
+		return f.notifyFromError(ev.Err)
+	case EvMsgNotification:
+		f.to(Idle)
+		return []Action{{Type: ActCloseConn}}
+	case EvTCPConnFails:
+		f.to(Active)
+		return []Action{{Type: ActStartConnectRetry}}
+	case EvHoldTimerExpires:
+		return f.notifyAndIdle(wire.ErrCodeHoldTimer, 0, nil)
+	case EvManualStop:
+		return f.cease()
+	default:
+		return f.fsmError(ev)
+	}
+}
+
+func (f *FSM) inOpenConfirm(ev Event) []Action {
+	switch ev.Type {
+	case EvMsgKeepalive:
+		f.to(Established)
+		f.establishedEvents++
+		acts := []Action{{Type: ActEstablished}}
+		if f.negotiatedHold > 0 {
+			acts = append(acts, Action{Type: ActStartHold})
+		}
+		return acts
+	case EvMsgNotification:
+		f.to(Idle)
+		return []Action{{Type: ActCloseConn}}
+	case EvMsgError:
+		return f.notifyFromError(ev.Err)
+	case EvHoldTimerExpires:
+		return f.notifyAndIdle(wire.ErrCodeHoldTimer, 0, nil)
+	case EvKeepaliveTimerExpires:
+		return []Action{{Type: ActSendKeepalive}, {Type: ActStartKeepalive}}
+	case EvTCPConnFails:
+		f.to(Idle)
+		return []Action{{Type: ActCloseConn}}
+	case EvManualStop:
+		return f.cease()
+	default:
+		return f.fsmError(ev)
+	}
+}
+
+func (f *FSM) inEstablished(ev Event) []Action {
+	switch ev.Type {
+	case EvMsgUpdate:
+		if ev.Update == nil {
+			return f.fsmError(ev)
+		}
+		acts := []Action{{Type: ActDeliverUpdate, Update: ev.Update}}
+		if f.negotiatedHold > 0 {
+			acts = append(acts, Action{Type: ActStartHold})
+		}
+		return acts
+	case EvMsgKeepalive:
+		if f.negotiatedHold > 0 {
+			return []Action{{Type: ActStartHold}}
+		}
+		return nil
+	case EvMsgRouteRefresh:
+		if ev.Refresh == nil {
+			return f.fsmError(ev)
+		}
+		acts := []Action{{Type: ActDeliverRefresh, Refresh: ev.Refresh}}
+		if f.negotiatedHold > 0 {
+			acts = append(acts, Action{Type: ActStartHold})
+		}
+		return acts
+	case EvKeepaliveTimerExpires:
+		return []Action{{Type: ActSendKeepalive}, {Type: ActStartKeepalive}}
+	case EvHoldTimerExpires:
+		acts := f.notifyAndIdle(wire.ErrCodeHoldTimer, 0, nil)
+		return append([]Action{{Type: ActStopped}}, acts...)
+	case EvMsgNotification:
+		f.to(Idle)
+		return []Action{{Type: ActStopped}, {Type: ActCloseConn}}
+	case EvMsgError:
+		acts := f.notifyFromError(ev.Err)
+		return append([]Action{{Type: ActStopped}}, acts...)
+	case EvTCPConnFails:
+		f.to(Idle)
+		return []Action{{Type: ActStopped}, {Type: ActCloseConn}}
+	case EvManualStop:
+		acts := f.cease()
+		return append([]Action{{Type: ActStopped}}, acts...)
+	default:
+		acts := f.fsmError(ev)
+		return append([]Action{{Type: ActStopped}}, acts...)
+	}
+}
+
+// cease sends an administrative-shutdown NOTIFICATION and returns to Idle.
+func (f *FSM) cease() []Action {
+	return f.notifyAndIdle(wire.ErrCodeCease, 0, nil)
+}
+
+// fsmError handles an event illegal in the current state.
+func (f *FSM) fsmError(Event) []Action {
+	return f.notifyAndIdle(wire.ErrCodeFSM, 0, nil)
+}
+
+// notifyFromError converts a parse failure into the NOTIFICATION the RFC
+// prescribes, then tears the session down.
+func (f *FSM) notifyFromError(err error) []Action {
+	if ne, ok := err.(*wire.NotifyError); ok {
+		return f.notifyAndIdle(ne.Code, ne.Subcode, ne.Data)
+	}
+	return f.notifyAndIdle(wire.ErrCodeCease, 0, nil)
+}
+
+func (f *FSM) notifyAndIdle(code, subcode uint8, data []byte) []Action {
+	n := &wire.Notification{Code: code, Subcode: subcode, Data: data}
+	f.lastNotifSent = n
+	f.to(Idle)
+	return []Action{
+		{Type: ActSendNotify, Notif: n},
+		{Type: ActStopHold},
+		{Type: ActStopKeepalive},
+		{Type: ActStopConnectRetry},
+		{Type: ActCloseConn},
+	}
+}
+
+// LastNotificationSent returns the most recent NOTIFICATION this side
+// generated, for diagnostics and tests.
+func (f *FSM) LastNotificationSent() *wire.Notification { return f.lastNotifSent }

@@ -1,0 +1,261 @@
+// Package mrt reads and writes routing tables in a subset of the MRT
+// TABLE_DUMP_V2 format (RFC 6396): a PEER_INDEX_TABLE record followed by
+// RIB_IPV4_UNICAST records, with path attributes stored as standard BGP
+// attribute blocks. It lets benchmark workloads be saved, inspected with
+// standard tooling conventions, and replayed — the role real BGP table
+// snapshots played for the paper's table sizes.
+//
+// Scope: IPv4 unicast RIBs with 2-octet ASNs; timestamps are caller
+// supplied. Records this package does not produce (other types/subtypes)
+// are rejected on read with a descriptive error.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// MRT record types and subtypes (RFC 6396 section 4).
+const (
+	typeTableDumpV2       = 13
+	subtypePeerIndexTable = 1
+	subtypeRIBIPv4Unicast = 2
+)
+
+// Peer is one entry of the PEER_INDEX_TABLE.
+type Peer struct {
+	ID   netaddr.Addr // peer BGP identifier
+	Addr netaddr.Addr // peer transport address
+	AS   uint16
+}
+
+// RIBEntry is one path for a prefix, attributed to a peer by index.
+type RIBEntry struct {
+	PeerIndex    int
+	OriginatedAt uint32 // unix seconds
+	Attrs        wire.PathAttrs
+}
+
+// Prefix groups the paths for one NLRI.
+type Prefix struct {
+	Prefix  netaddr.Prefix
+	Entries []RIBEntry
+}
+
+// Table is a complete dump: the peer table and the RIB.
+type Table struct {
+	CollectorID netaddr.Addr
+	ViewName    string
+	Peers       []Peer
+	Prefixes    []Prefix
+}
+
+// Write emits the table as MRT TABLE_DUMP_V2 records. timestamp stamps
+// every record header (MRT headers carry wall time; pass a fixed value
+// for reproducible files).
+func Write(w io.Writer, t *Table, timestamp uint32) error {
+	bw := bufio.NewWriter(w)
+	if err := writeRecord(bw, timestamp, subtypePeerIndexTable, marshalPeerIndex(t)); err != nil {
+		return err
+	}
+	for seq, p := range t.Prefixes {
+		body, err := marshalRIB(uint32(seq), p)
+		if err != nil {
+			return err
+		}
+		if err := writeRecord(bw, timestamp, subtypeRIBIPv4Unicast, body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, ts uint32, subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], ts)
+	binary.BigEndian.PutUint16(hdr[4:6], typeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:8], subtype)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func marshalPeerIndex(t *Table) []byte {
+	var b []byte
+	b = t.CollectorID.AppendBytes(b)
+	b = append(b, byte(len(t.ViewName)>>8), byte(len(t.ViewName)))
+	b = append(b, t.ViewName...)
+	b = append(b, byte(len(t.Peers)>>8), byte(len(t.Peers)))
+	for _, p := range t.Peers {
+		// Peer type 0: IPv4 address, 2-octet AS.
+		b = append(b, 0)
+		b = p.ID.AppendBytes(b)
+		b = p.Addr.AppendBytes(b)
+		b = append(b, byte(p.AS>>8), byte(p.AS))
+	}
+	return b
+}
+
+func marshalRIB(seq uint32, p Prefix) ([]byte, error) {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, seq)
+	b = p.Prefix.AppendWire(b)
+	b = append(b, byte(len(p.Entries)>>8), byte(len(p.Entries)))
+	for _, e := range p.Entries {
+		if e.PeerIndex < 0 || e.PeerIndex > 0xFFFF {
+			return nil, fmt.Errorf("mrt: peer index %d out of range", e.PeerIndex)
+		}
+		b = append(b, byte(e.PeerIndex>>8), byte(e.PeerIndex))
+		b = binary.BigEndian.AppendUint32(b, e.OriginatedAt)
+		attrs := wire.MarshalAttrs(e.Attrs)
+		if len(attrs) > 0xFFFF {
+			return nil, fmt.Errorf("mrt: attribute block too large (%d bytes)", len(attrs))
+		}
+		b = append(b, byte(len(attrs)>>8), byte(len(attrs)))
+		b = append(b, attrs...)
+	}
+	return b, nil
+}
+
+// Read parses a dump produced by Write (or any TABLE_DUMP_V2 file within
+// this package's scope).
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	t := &Table{}
+	sawIndex := false
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("mrt: truncated record header: %w", err)
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:6])
+		subtype := binary.BigEndian.Uint16(hdr[6:8])
+		length := binary.BigEndian.Uint32(hdr[8:12])
+		if length > 1<<24 {
+			return nil, fmt.Errorf("mrt: implausible record length %d", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+		}
+		if typ != typeTableDumpV2 {
+			return nil, fmt.Errorf("mrt: unsupported record type %d (only TABLE_DUMP_V2)", typ)
+		}
+		switch subtype {
+		case subtypePeerIndexTable:
+			if err := parsePeerIndex(t, body); err != nil {
+				return nil, err
+			}
+			sawIndex = true
+		case subtypeRIBIPv4Unicast:
+			if !sawIndex {
+				return nil, fmt.Errorf("mrt: RIB record before PEER_INDEX_TABLE")
+			}
+			p, err := parseRIB(t, body)
+			if err != nil {
+				return nil, err
+			}
+			t.Prefixes = append(t.Prefixes, p)
+		default:
+			return nil, fmt.Errorf("mrt: unsupported TABLE_DUMP_V2 subtype %d", subtype)
+		}
+	}
+	if !sawIndex {
+		return nil, fmt.Errorf("mrt: no PEER_INDEX_TABLE record")
+	}
+	return t, nil
+}
+
+func parsePeerIndex(t *Table, b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("mrt: short PEER_INDEX_TABLE")
+	}
+	t.CollectorID = netaddr.AddrFromBytes(b[0:4])
+	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
+	if len(b) < 6+nameLen+2 {
+		return fmt.Errorf("mrt: PEER_INDEX_TABLE name overruns record")
+	}
+	t.ViewName = string(b[6 : 6+nameLen])
+	rest := b[6+nameLen:]
+	count := int(binary.BigEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return fmt.Errorf("mrt: truncated peer entry %d", i)
+		}
+		ptype := rest[0]
+		if ptype != 0 {
+			return fmt.Errorf("mrt: peer entry %d has unsupported type %d (IPv6/AS4 not in scope)", i, ptype)
+		}
+		if len(rest) < 11 {
+			return fmt.Errorf("mrt: truncated peer entry %d", i)
+		}
+		t.Peers = append(t.Peers, Peer{
+			ID:   netaddr.AddrFromBytes(rest[1:5]),
+			Addr: netaddr.AddrFromBytes(rest[5:9]),
+			AS:   binary.BigEndian.Uint16(rest[9:11]),
+		})
+		rest = rest[11:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("mrt: %d trailing bytes in PEER_INDEX_TABLE", len(rest))
+	}
+	return nil
+}
+
+func parseRIB(t *Table, b []byte) (Prefix, error) {
+	var out Prefix
+	if len(b) < 5 {
+		return out, fmt.Errorf("mrt: short RIB record")
+	}
+	b = b[4:] // sequence number (informational)
+	pfx, n, err := netaddr.PrefixFromWire(b)
+	if err != nil {
+		return out, fmt.Errorf("mrt: RIB prefix: %v", err)
+	}
+	out.Prefix = pfx
+	b = b[n:]
+	if len(b) < 2 {
+		return out, fmt.Errorf("mrt: RIB record missing entry count")
+	}
+	count := int(binary.BigEndian.Uint16(b[0:2]))
+	b = b[2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return out, fmt.Errorf("mrt: truncated RIB entry %d for %v", i, pfx)
+		}
+		e := RIBEntry{
+			PeerIndex:    int(binary.BigEndian.Uint16(b[0:2])),
+			OriginatedAt: binary.BigEndian.Uint32(b[2:6]),
+		}
+		if e.PeerIndex >= len(t.Peers) {
+			return out, fmt.Errorf("mrt: RIB entry references peer %d of %d", e.PeerIndex, len(t.Peers))
+		}
+		alen := int(binary.BigEndian.Uint16(b[6:8]))
+		if len(b) < 8+alen {
+			return out, fmt.Errorf("mrt: RIB entry %d attributes overrun record", i)
+		}
+		attrs, err := wire.UnmarshalAttrs(b[8 : 8+alen])
+		if err != nil {
+			return out, fmt.Errorf("mrt: RIB entry %d: %v", i, err)
+		}
+		e.Attrs = attrs
+		out.Entries = append(out.Entries, e)
+		b = b[8+alen:]
+	}
+	if len(b) != 0 {
+		return out, fmt.Errorf("mrt: %d trailing bytes in RIB record for %v", len(b), pfx)
+	}
+	return out, nil
+}

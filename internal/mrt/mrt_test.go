@@ -1,0 +1,180 @@
+package mrt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		CollectorID: netaddr.MustParseAddr("10.255.0.1"),
+		ViewName:    "bench-view",
+		Peers: []Peer{
+			{ID: netaddr.MustParseAddr("1.1.1.1"), Addr: netaddr.MustParseAddr("10.0.0.1"), AS: 65001},
+			{ID: netaddr.MustParseAddr("2.2.2.2"), Addr: netaddr.MustParseAddr("10.0.0.2"), AS: 65002},
+		},
+		Prefixes: []Prefix{
+			{
+				Prefix: netaddr.MustParsePrefix("192.0.2.0/24"),
+				Entries: []RIBEntry{
+					{PeerIndex: 0, OriginatedAt: 1190000000,
+						Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 7), netaddr.MustParseAddr("10.0.0.1"))},
+					{PeerIndex: 1, OriginatedAt: 1190000100,
+						Attrs: wire.NewPathAttrs(wire.OriginEGP, wire.NewASPath(65002, 9, 7), netaddr.MustParseAddr("10.0.0.2"))},
+				},
+			},
+			{
+				Prefix: netaddr.MustParsePrefix("10.0.0.0/8"),
+				Entries: []RIBEntry{
+					{PeerIndex: 0, Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001), netaddr.MustParseAddr("10.0.0.1"))},
+				},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTable(), 1190000000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleTable()
+	if got.CollectorID != want.CollectorID || got.ViewName != want.ViewName {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Peers) != 2 || got.Peers[1].AS != 65002 {
+		t.Fatalf("peers: %+v", got.Peers)
+	}
+	if len(got.Prefixes) != 2 {
+		t.Fatalf("prefixes: %d", len(got.Prefixes))
+	}
+	p0 := got.Prefixes[0]
+	if p0.Prefix != want.Prefixes[0].Prefix || len(p0.Entries) != 2 {
+		t.Fatalf("prefix 0: %+v", p0)
+	}
+	if !p0.Entries[0].Attrs.Equal(want.Prefixes[0].Entries[0].Attrs) {
+		t.Fatalf("attrs 0: %v", p0.Entries[0].Attrs)
+	}
+	if p0.Entries[1].OriginatedAt != 1190000100 || p0.Entries[1].PeerIndex != 1 {
+		t.Fatalf("entry 1: %+v", p0.Entries[1])
+	}
+}
+
+func TestRoundTripLargeGeneratedTable(t *testing.T) {
+	routes := core.GenerateTable(core.TableGenConfig{N: 3000, Seed: 12, FirstAS: 65001})
+	tbl := &Table{
+		CollectorID: netaddr.MustParseAddr("10.255.0.1"),
+		ViewName:    "gen",
+		Peers:       []Peer{{ID: netaddr.MustParseAddr("1.1.1.1"), Addr: netaddr.MustParseAddr("10.0.0.1"), AS: 65001}},
+	}
+	for _, r := range routes {
+		tbl.Prefixes = append(tbl.Prefixes, Prefix{
+			Prefix: r.Prefix,
+			Entries: []RIBEntry{{
+				Attrs: wire.NewPathAttrs(wire.OriginIGP, r.Path, netaddr.MustParseAddr("10.0.0.1")),
+			}},
+		})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tbl, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Prefixes) != len(routes) {
+		t.Fatalf("prefixes: %d != %d", len(got.Prefixes), len(routes))
+	}
+	for i := range routes {
+		if got.Prefixes[i].Prefix != routes[i].Prefix {
+			t.Fatalf("prefix %d: %v != %v", i, got.Prefixes[i].Prefix, routes[i].Prefix)
+		}
+		if !got.Prefixes[i].Entries[0].Attrs.ASPath.Equal(routes[i].Path) {
+			t.Fatalf("path %d differs", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Valid dump to mutate.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTable(), 1); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:6] }, "truncated record header"},
+		{"truncated body", func(b []byte) []byte { return b[:20] }, "truncated record body"},
+		{"wrong type", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[5] = 16 // BGP4MP
+			return c
+		}, "unsupported record type"},
+		{"wrong subtype", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[7] = 6 // RIB_GENERIC
+			return c
+		}, "unsupported TABLE_DUMP_V2 subtype"},
+		{"empty", func([]byte) []byte { return nil }, "no PEER_INDEX_TABLE"},
+	}
+	for _, c := range cases {
+		_, err := Read(bytes.NewReader(c.mutate(valid)))
+		if err == nil {
+			t.Errorf("%s: read succeeded", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRIBBeforeIndexRejected(t *testing.T) {
+	// Write a dump, then strip the first record (the index).
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTable(), 1); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	firstLen := 12 + int(uint32(b[8])<<24|uint32(b[9])<<16|uint32(b[10])<<8|uint32(b[11]))
+	if _, err := Read(bytes.NewReader(b[firstLen:])); err == nil {
+		t.Fatal("RIB-before-index accepted")
+	}
+}
+
+func TestBadPeerIndexRejected(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Prefixes[0].Entries[0].PeerIndex = 99
+	var buf bytes.Buffer
+	if err := Write(&buf, tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "references peer") {
+		t.Fatalf("bad peer index: %v", err)
+	}
+}
+
+func TestReadNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 3000; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		Read(bytes.NewReader(b))
+	}
+}

@@ -1,0 +1,25 @@
+package netaddr_test
+
+import (
+	"fmt"
+
+	"bgpbench/internal/netaddr"
+)
+
+func ExampleParsePrefix() {
+	p, _ := netaddr.ParsePrefix("10.1.2.3/16")
+	fmt.Println(p) // masked to the network address
+	fmt.Println(p.Contains(netaddr.MustParseAddr("10.1.9.9")))
+	fmt.Println(p.Contains(netaddr.MustParseAddr("10.2.0.1")))
+	// Output:
+	// 10.1.0.0/16
+	// true
+	// false
+}
+
+func ExamplePrefix_AppendWire() {
+	p := netaddr.MustParsePrefix("192.168.0.0/16")
+	fmt.Printf("% x\n", p.AppendWire(nil))
+	// Output:
+	// 10 c0 a8
+}

@@ -1,0 +1,220 @@
+// Package netaddr provides IPv4 address and CIDR prefix types used
+// throughout the BGP benchmark. It is a small, allocation-free substrate:
+// addresses are uint32 values and prefixes are (address, length) pairs,
+// which keeps RIB and FIB data structures compact and comparable.
+package netaddr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order (the most significant byte is
+// the first octet).
+type Addr uint32
+
+// AddrFrom4 assembles an Addr from four octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// AddrFromBytes reads a 4-byte big-endian slice. It panics if b is shorter
+// than 4 bytes; callers are expected to have validated lengths.
+func AddrFromBytes(b []byte) Addr {
+	return AddrFrom4(b[0], b[1], b[2], b[3])
+}
+
+// ParseAddr parses dotted-quad notation ("192.0.2.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+	}
+	var out Addr
+	for _, p := range parts {
+		if p == "" || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 octet %q in %q", p, s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 octet %q in %q", p, s)
+		}
+		out = out<<8 | Addr(v)
+	}
+	return out, nil
+}
+
+// MustParseAddr is ParseAddr for statically known inputs; it panics on error.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Octets returns the four octets of the address.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// Bytes returns the 4-byte big-endian representation.
+func (a Addr) Bytes() []byte {
+	o1, o2, o3, o4 := a.Octets()
+	return []byte{o1, o2, o3, o4}
+}
+
+// AppendBytes appends the big-endian representation to dst.
+func (a Addr) AppendBytes(dst []byte) []byte {
+	o1, o2, o3, o4 := a.Octets()
+	return append(dst, o1, o2, o3, o4)
+}
+
+// String renders dotted-quad notation.
+func (a Addr) String() string {
+	o1, o2, o3, o4 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o1, o2, o3, o4)
+}
+
+// Bit returns the i-th most significant bit (i in [0,31]).
+func (a Addr) Bit(i int) int {
+	return int(a>>(31-uint(i))) & 1
+}
+
+// Mask returns the network mask for a prefix length. Mask(0) is 0.
+func Mask(length int) Addr {
+	if length <= 0 {
+		return 0
+	}
+	if length >= 32 {
+		return 0xFFFFFFFF
+	}
+	return Addr(0xFFFFFFFF << (32 - uint(length)))
+}
+
+// ErrBadPrefix reports a syntactically or semantically invalid prefix.
+var ErrBadPrefix = errors.New("netaddr: invalid prefix")
+
+// Prefix is an IPv4 CIDR prefix. The address component is stored already
+// masked to the prefix length, so Prefix values compare with ==.
+type Prefix struct {
+	addr Addr
+	len  uint8
+}
+
+// PrefixFrom builds a prefix, masking the address to the given length.
+// Lengths outside [0,32] are clamped.
+func PrefixFrom(a Addr, length int) Prefix {
+	if length < 0 {
+		length = 0
+	}
+	if length > 32 {
+		length = 32
+	}
+	return Prefix{addr: a & Mask(length), len: uint8(length)}
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("%w: missing '/' in %q", ErrBadPrefix, s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+	}
+	l, err := strconv.Atoi(s[slash+1:])
+	if err != nil || l < 0 || l > 32 {
+		return Prefix{}, fmt.Errorf("%w: bad length in %q", ErrBadPrefix, s)
+	}
+	return PrefixFrom(a, l), nil
+}
+
+// MustParsePrefix is ParsePrefix for statically known inputs; it panics on
+// error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Addr returns the (masked) network address.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Len returns the prefix length in bits.
+func (p Prefix) Len() int { return int(p.len) }
+
+// Contains reports whether the address falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&Mask(int(p.len)) == p.addr
+}
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.len <= q.len {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// String renders "a.b.c.d/len".
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.addr, p.len)
+}
+
+// Compare orders prefixes first by address, then by length. It returns
+// -1, 0, or +1. This is the canonical ordering used by RIB iteration so
+// that update streams are deterministic.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.addr < q.addr:
+		return -1
+	case p.addr > q.addr:
+		return 1
+	case p.len < q.len:
+		return -1
+	case p.len > q.len:
+		return 1
+	}
+	return 0
+}
+
+// WireLen returns the number of NLRI payload bytes needed to encode the
+// prefix address ((len+7)/8), excluding the length octet itself.
+func (p Prefix) WireLen() int {
+	return (int(p.len) + 7) / 8
+}
+
+// AppendWire appends the RFC 4271 NLRI encoding (length octet followed by
+// the minimal number of address bytes) to dst.
+func (p Prefix) AppendWire(dst []byte) []byte {
+	dst = append(dst, p.len)
+	b := p.addr.Bytes()
+	return append(dst, b[:p.WireLen()]...)
+}
+
+// PrefixFromWire decodes one NLRI entry from b, returning the prefix and the
+// number of bytes consumed.
+func PrefixFromWire(b []byte) (Prefix, int, error) {
+	if len(b) < 1 {
+		return Prefix{}, 0, fmt.Errorf("%w: empty NLRI", ErrBadPrefix)
+	}
+	l := int(b[0])
+	if l > 32 {
+		return Prefix{}, 0, fmt.Errorf("%w: NLRI length %d > 32", ErrBadPrefix, l)
+	}
+	n := (l + 7) / 8
+	if len(b) < 1+n {
+		return Prefix{}, 0, fmt.Errorf("%w: truncated NLRI (need %d bytes, have %d)", ErrBadPrefix, 1+n, len(b))
+	}
+	var a Addr
+	for i := 0; i < n; i++ {
+		a |= Addr(b[1+i]) << (24 - 8*uint(i))
+	}
+	return PrefixFrom(a, l), 1 + n, nil
+}

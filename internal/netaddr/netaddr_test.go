@@ -1,0 +1,220 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"192.0.2.1", AddrFrom4(192, 0, 2, 1), true},
+		{"10.0.0.1", AddrFrom4(10, 0, 0, 1), true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"01.2.3.4", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded; want error", c.in)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrBytesRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		return AddrFromBytes(a.Bytes()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrBit(t *testing.T) {
+	a := MustParseAddr("128.0.0.1")
+	if a.Bit(0) != 1 {
+		t.Errorf("Bit(0) = %d, want 1", a.Bit(0))
+	}
+	if a.Bit(1) != 0 {
+		t.Errorf("Bit(1) = %d, want 0", a.Bit(1))
+	}
+	if a.Bit(31) != 1 {
+		t.Errorf("Bit(31) = %d, want 1", a.Bit(31))
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		len  int
+		want Addr
+	}{
+		{0, 0},
+		{-3, 0},
+		{8, 0xFF000000},
+		{16, 0xFFFF0000},
+		{24, 0xFFFFFF00},
+		{32, 0xFFFFFFFF},
+		{40, 0xFFFFFFFF},
+		{1, 0x80000000},
+		{31, 0xFFFFFFFE},
+	}
+	for _, c := range cases {
+		if got := Mask(c.len); got != c.want {
+			t.Errorf("Mask(%d) = %08x, want %08x", c.len, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.1.2.3/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "10.1.0.0/16" {
+		t.Errorf("masking: got %s, want 10.1.0.0/16", got)
+	}
+	if p.Len() != 16 {
+		t.Errorf("Len = %d, want 16", p.Len())
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "300.0.0.0/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded; want error", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("192.168.0.0/16")
+	if !p.Contains(MustParseAddr("192.168.42.1")) {
+		t.Error("should contain 192.168.42.1")
+	}
+	if p.Contains(MustParseAddr("192.169.0.1")) {
+		t.Error("should not contain 192.169.0.1")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("8.8.8.8")) {
+		t.Error("default route should contain everything")
+	}
+	host := MustParsePrefix("1.2.3.4/32")
+	if !host.Contains(MustParseAddr("1.2.3.4")) || host.Contains(MustParseAddr("1.2.3.5")) {
+		t.Error("host route containment wrong")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.1.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("10/8 and 10.1/16 should overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("10/8 and 11/8 should not overlap")
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("shorter prefix should order first at same address")
+	}
+	if a.Compare(c) != -1 || c.Compare(a) != 1 {
+		t.Error("lower address should order first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("Compare(self) != 0")
+	}
+}
+
+func TestPrefixCompareIsTotalOrder(t *testing.T) {
+	f := func(a1, a2 uint32, l1, l2 uint8) bool {
+		p := PrefixFrom(Addr(a1), int(l1%33))
+		q := PrefixFrom(Addr(a2), int(l2%33))
+		// Antisymmetry and consistency with equality.
+		if p.Compare(q) != -q.Compare(p) {
+			return false
+		}
+		return (p.Compare(q) == 0) == (p == q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixWireRoundTrip(t *testing.T) {
+	f := func(a uint32, l uint8) bool {
+		p := PrefixFrom(Addr(a), int(l%33))
+		buf := p.AppendWire(nil)
+		q, n, err := PrefixFromWire(buf)
+		return err == nil && n == len(buf) && q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixWireEncoding(t *testing.T) {
+	p := MustParsePrefix("192.168.0.0/16")
+	got := p.AppendWire(nil)
+	want := []byte{16, 192, 168}
+	if len(got) != len(want) {
+		t.Fatalf("wire = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wire = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPrefixFromWireErrors(t *testing.T) {
+	if _, _, err := PrefixFromWire(nil); err == nil {
+		t.Error("empty NLRI should error")
+	}
+	if _, _, err := PrefixFromWire([]byte{33, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("length 33 should error")
+	}
+	if _, _, err := PrefixFromWire([]byte{24, 10, 0}); err == nil {
+		t.Error("truncated NLRI should error")
+	}
+}
+
+func TestPrefixDefaultRouteWire(t *testing.T) {
+	p := MustParsePrefix("0.0.0.0/0")
+	buf := p.AppendWire(nil)
+	if len(buf) != 1 || buf[0] != 0 {
+		t.Fatalf("default route wire = %v, want [0]", buf)
+	}
+	q, n, err := PrefixFromWire(buf)
+	if err != nil || n != 1 || q != p {
+		t.Fatalf("default route round trip failed: %v %d %v", q, n, err)
+	}
+}

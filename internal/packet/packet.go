@@ -1,0 +1,173 @@
+// Package packet provides IPv4 packet synthesis and parsing for the data
+// plane: header construction, validation, the Internet checksum, and the
+// incremental checksum update (RFC 1624) used when a forwarder decrements
+// the TTL. The benchmark's cross-traffic generator and the RFC 1812
+// forwarding engine are built on it.
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"bgpbench/internal/netaddr"
+)
+
+// MinHeaderLen is the length of an IPv4 header without options.
+const MinHeaderLen = 20
+
+// Common errors returned by validation; forwarding code switches on these
+// to decide whether to drop or reply with an ICMP-equivalent action.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: not IPv4")
+	ErrBadIHL      = errors.New("packet: bad header length")
+	ErrBadChecksum = errors.New("packet: header checksum mismatch")
+	ErrBadTotalLen = errors.New("packet: bad total length")
+	ErrTTLExpired  = errors.New("packet: TTL expired")
+)
+
+// Header is a parsed IPv4 header (options preserved as raw bytes).
+type Header struct {
+	IHL      int // header length in 32-bit words (5..15)
+	TOS      uint8
+	TotalLen int
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      netaddr.Addr
+	Dst      netaddr.Addr
+	Options  []byte
+}
+
+// HeaderLen returns the header length in bytes.
+func (h Header) HeaderLen() int { return h.IHL * 4 }
+
+// String summarizes the header for diagnostics.
+func (h Header) String() string {
+	return fmt.Sprintf("IPv4 %s -> %s ttl=%d proto=%d len=%d", h.Src, h.Dst, h.TTL, h.Protocol, h.TotalLen)
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b, which is
+// padded with a zero byte if its length is odd.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// IncrementalChecksum updates checksum old for a 16-bit field change from
+// oldVal to newVal, per RFC 1624 equation 3: HC' = ~(~HC + ~m + m').
+func IncrementalChecksum(old, oldVal, newVal uint16) uint16 {
+	sum := uint32(^old&0xFFFF) + uint32(^oldVal&0xFFFF) + uint32(newVal)
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// Marshal renders the header followed by payload. The checksum field is
+// computed; h.Checksum is ignored. TotalLen is derived from the payload.
+func Marshal(h Header, payload []byte) []byte {
+	if h.IHL == 0 {
+		h.IHL = 5 + (len(h.Options)+3)/4
+	}
+	hl := h.IHL * 4
+	total := hl + len(payload)
+	b := make([]byte, total)
+	b[0] = 4<<4 | byte(h.IHL)
+	b[1] = h.TOS
+	b[2], b[3] = byte(total>>8), byte(total)
+	b[4], b[5] = byte(h.ID>>8), byte(h.ID)
+	ff := uint16(h.Flags)<<13 | h.FragOff&0x1FFF
+	b[6], b[7] = byte(ff>>8), byte(ff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	copy(b[12:16], h.Src.Bytes())
+	copy(b[16:20], h.Dst.Bytes())
+	copy(b[20:hl], h.Options)
+	cs := Checksum(b[:hl])
+	b[10], b[11] = byte(cs>>8), byte(cs)
+	copy(b[hl:], payload)
+	return b
+}
+
+// ParseHeader decodes and validates an IPv4 header in place. It checks
+// version, IHL, total length and the header checksum (the RFC 1812
+// receive-side validations); TTL handling is the forwarder's job.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < MinHeaderLen {
+		return Header{}, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return Header{}, ErrBadVersion
+	}
+	ihl := int(b[0] & 0x0F)
+	if ihl < 5 {
+		return Header{}, ErrBadIHL
+	}
+	hl := ihl * 4
+	if len(b) < hl {
+		return Header{}, ErrTruncated
+	}
+	if Checksum(b[:hl]) != 0 {
+		return Header{}, ErrBadChecksum
+	}
+	total := int(b[2])<<8 | int(b[3])
+	if total < hl || total > len(b) {
+		return Header{}, ErrBadTotalLen
+	}
+	h := Header{
+		IHL:      ihl,
+		TOS:      b[1],
+		TotalLen: total,
+		ID:       uint16(b[4])<<8 | uint16(b[5]),
+		Flags:    b[6] >> 5,
+		FragOff:  (uint16(b[6])<<8 | uint16(b[7])) & 0x1FFF,
+		TTL:      b[8],
+		Protocol: b[9],
+		Checksum: uint16(b[10])<<8 | uint16(b[11]),
+		Src:      netaddr.AddrFromBytes(b[12:16]),
+		Dst:      netaddr.AddrFromBytes(b[16:20]),
+	}
+	if hl > MinHeaderLen {
+		h.Options = append([]byte(nil), b[MinHeaderLen:hl]...)
+	}
+	return h, nil
+}
+
+// DecrementTTL performs the RFC 1812 TTL step directly on the packet
+// bytes: it decrements the TTL and patches the checksum incrementally
+// (RFC 1624). It returns ErrTTLExpired (leaving the packet unchanged) when
+// the TTL is already 0 or would reach 0.
+func DecrementTTL(b []byte) error {
+	if len(b) < MinHeaderLen {
+		return ErrTruncated
+	}
+	if b[8] <= 1 {
+		return ErrTTLExpired
+	}
+	// TTL shares its 16-bit checksum word with the protocol field.
+	oldWord := uint16(b[8])<<8 | uint16(b[9])
+	b[8]--
+	newWord := uint16(b[8])<<8 | uint16(b[9])
+	oldCS := uint16(b[10])<<8 | uint16(b[11])
+	newCS := IncrementalChecksum(oldCS, oldWord, newWord)
+	b[10], b[11] = byte(newCS>>8), byte(newCS)
+	return nil
+}
+
+// Dst extracts the destination address without a full parse; used on the
+// fast path. The caller must have validated the length.
+func Dst(b []byte) netaddr.Addr { return netaddr.AddrFromBytes(b[16:20]) }

@@ -1,0 +1,190 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bgpbench/internal/netaddr"
+)
+
+func testHeader() Header {
+	return Header{
+		TOS:      0,
+		ID:       0x1234,
+		TTL:      64,
+		Protocol: 17,
+		Src:      netaddr.MustParseAddr("10.0.0.1"),
+		Dst:      netaddr.MustParseAddr("192.0.2.5"),
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	payload := []byte("hello, router")
+	b := Marshal(testHeader(), payload)
+	h, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != netaddr.MustParseAddr("10.0.0.1") || h.Dst != netaddr.MustParseAddr("192.0.2.5") {
+		t.Fatalf("addresses wrong: %v", h)
+	}
+	if h.TTL != 64 || h.Protocol != 17 || h.ID != 0x1234 {
+		t.Fatalf("fields wrong: %+v", h)
+	}
+	if h.TotalLen != MinHeaderLen+len(payload) {
+		t.Fatalf("TotalLen = %d", h.TotalLen)
+	}
+}
+
+func TestMarshalWithOptions(t *testing.T) {
+	h := testHeader()
+	h.Options = []byte{0x94, 0x04, 0, 0} // router alert, padded to 4 bytes
+	b := Marshal(h, nil)
+	got, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HeaderLen() != 24 || len(got.Options) != 4 {
+		t.Fatalf("options round trip: %+v", got)
+	}
+}
+
+func TestChecksumValidatesZero(t *testing.T) {
+	// A correct header checksums to zero over the full header.
+	b := Marshal(testHeader(), nil)
+	if Checksum(b[:MinHeaderLen]) != 0 {
+		t.Fatal("checksum over valid header != 0")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length buffers are implicitly zero-padded.
+	if Checksum([]byte{0x12}) != ^uint16(0x1200) {
+		t.Fatalf("odd checksum = %#x", Checksum([]byte{0x12}))
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	good := Marshal(testHeader(), []byte("x"))
+
+	if _, err := ParseHeader(good[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 6<<4 | 5
+	if _, err := ParseHeader(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[0] = 4<<4 | 4
+	if _, err := ParseHeader(bad); !errors.Is(err, ErrBadIHL) {
+		t.Errorf("ihl: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[8] ^= 0xFF // corrupt TTL without fixing checksum
+	if _, err := ParseHeader(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("checksum: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2], bad[3] = 0xFF, 0xFF // total length beyond buffer
+	// Fix checksum so the total-length check is what fires.
+	bad[10], bad[11] = 0, 0
+	cs := Checksum(bad[:MinHeaderLen])
+	bad[10], bad[11] = byte(cs>>8), byte(cs)
+	if _, err := ParseHeader(bad); !errors.Is(err, ErrBadTotalLen) {
+		t.Errorf("total length: %v", err)
+	}
+}
+
+func TestDecrementTTL(t *testing.T) {
+	b := Marshal(testHeader(), []byte("payload"))
+	if err := DecrementTTL(b); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(b) // re-validates the checksum
+	if err != nil {
+		t.Fatalf("checksum invalid after decrement: %v", err)
+	}
+	if h.TTL != 63 {
+		t.Fatalf("TTL = %d, want 63", h.TTL)
+	}
+}
+
+func TestDecrementTTLExpired(t *testing.T) {
+	h := testHeader()
+	h.TTL = 1
+	b := Marshal(h, nil)
+	if err := DecrementTTL(b); !errors.Is(err, ErrTTLExpired) {
+		t.Fatalf("TTL=1: %v", err)
+	}
+	h.TTL = 0
+	b = Marshal(h, nil)
+	if err := DecrementTTL(b); !errors.Is(err, ErrTTLExpired) {
+		t.Fatalf("TTL=0: %v", err)
+	}
+}
+
+// TestIncrementalChecksumEqualsFull is the RFC 1624 property: patching the
+// checksum incrementally gives the same result as recomputing it in full.
+func TestIncrementalChecksumEqualsFull(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		h := Header{
+			TOS:      uint8(r.Intn(256)),
+			ID:       uint16(r.Intn(65536)),
+			TTL:      uint8(2 + r.Intn(254)),
+			Protocol: uint8(r.Intn(256)),
+			Src:      netaddr.Addr(r.Uint32()),
+			Dst:      netaddr.Addr(r.Uint32()),
+		}
+		b := Marshal(h, nil)
+		if err := DecrementTTL(b); err != nil {
+			t.Fatal(err)
+		}
+		// Full recomputation over the patched header.
+		incr := uint16(b[10])<<8 | uint16(b[11])
+		b[10], b[11] = 0, 0
+		full := Checksum(b[:MinHeaderLen])
+		if incr != full {
+			t.Fatalf("iteration %d: incremental %#x != full %#x", i, incr, full)
+		}
+		b[10], b[11] = byte(full>>8), byte(full)
+	}
+}
+
+func TestIncrementalChecksumProperty(t *testing.T) {
+	// For arbitrary single-word changes, incremental update must agree with
+	// a recomputed checksum of a 2-word pseudo buffer.
+	f := func(w1, w2, newW2 uint16) bool {
+		buf := []byte{byte(w1 >> 8), byte(w1), byte(w2 >> 8), byte(w2)}
+		old := Checksum(buf)
+		buf[2], buf[3] = byte(newW2>>8), byte(newW2)
+		full := Checksum(buf)
+		incr := IncrementalChecksum(old, w2, newW2)
+		// 0x0000 and 0xFFFF are equivalent representations of checksum zero
+		// in one's complement; normalize before comparing.
+		norm := func(x uint16) uint16 {
+			if x == 0xFFFF {
+				return 0
+			}
+			return x
+		}
+		return norm(full) == norm(incr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDstFastPath(t *testing.T) {
+	b := Marshal(testHeader(), nil)
+	if Dst(b) != netaddr.MustParseAddr("192.0.2.5") {
+		t.Fatalf("Dst = %v", Dst(b))
+	}
+}

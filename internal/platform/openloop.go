@@ -1,0 +1,165 @@
+package platform
+
+import "fmt"
+
+// OpenLoopSpec describes an open-loop update storm: UPDATE messages
+// arriving at a constant rate for a fixed window, as during the
+// network-wide events (worm outbreaks, route flaps) the paper cites as
+// the reason peak BGP load matters. Unlike the closed benchmark phases,
+// arrivals do not wait for the router: backlog builds if the router is
+// too slow, exactly as a real socket buffer and peer would behave.
+type OpenLoopSpec struct {
+	Kind           BatchKind
+	PrefixesPerMsg int
+	MsgsPerSec     float64
+	// Duration is the arrival window in seconds.
+	Duration float64
+	// HoldTime is the session hold time used for liveness analysis
+	// (default 90s). When the router's processing lags its input stream
+	// by more than the hold time it can no longer honor the protocol's
+	// liveness expectations — keepalives and withdrawals queue behind a
+	// backlog older than the session itself, and the peer declares the
+	// session dead: the paper's "trigger additional events".
+	HoldTime float64
+	// DrainGrace bounds how long after the arrival window the router may
+	// take to drain its backlog and still count as "sustained" (default:
+	// Duration, i.e. 2x the window in total).
+	DrainGrace float64
+}
+
+// OpenLoopResult reports how a system weathered an update storm.
+type OpenLoopResult struct {
+	System string
+	// Offered and Processed message totals; they are equal unless the run
+	// was aborted by the runaway guard.
+	OfferedMsgs  int
+	ProcessedTPS float64 // prefixes/second over the whole run
+	DrainSeconds float64 // time from end of arrivals until idle
+	Sustained    bool    // drained within the grace window
+	MaxLag       float64 // worst arrival-to-completion delay of any message (s)
+	MaxBacklog   int     // peak bgp input-queue length, messages
+	// KeepaliveMissed: the worst processing lag exceeded the hold time, so
+	// a real peer would have torn the session down mid-storm.
+	KeepaliveMissed bool
+}
+
+// RunOpenLoop subjects the system to an update storm and reports
+// sustainability and keepalive safety. The simulator must be fresh.
+func (s *Sim) RunOpenLoop(spec OpenLoopSpec, cross CrossTraffic) (OpenLoopResult, error) {
+	if spec.MsgsPerSec <= 0 || spec.Duration <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("platform: open loop needs positive rate and duration")
+	}
+	if spec.PrefixesPerMsg <= 0 {
+		spec.PrefixesPerMsg = 1
+	}
+	if spec.HoldTime <= 0 {
+		spec.HoldTime = 90
+	}
+	if spec.DrainGrace <= 0 {
+		spec.DrainGrace = spec.Duration
+	}
+	res := OpenLoopResult{System: s.sys.Name}
+	totalMsgs := int(spec.MsgsPerSec * spec.Duration)
+	res.OfferedMsgs = totalMsgs
+
+	interval := 1.0 / spec.MsgsPerSec
+	nextArrival := 0.0
+	injected := 0
+	maxSim := spec.Duration + spec.DrainGrace
+
+	c := &s.sys.Costs
+	for {
+		// Inject every message whose arrival time has passed.
+		for injected < totalMsgs && nextArrival <= s.now {
+			b := &batch{kind: spec.Kind, prefixes: spec.PrefixesPerMsg, st: stBGP, arrival: nextArrival, track: true}
+			if c.PerMsgPacingNs > 0 {
+				if s.pacingFree < nextArrival {
+					s.pacingFree = nextArrival
+				}
+				b.blocked = s.pacingFree
+				s.pacingFree += c.PerMsgPacingNs * 1e-9
+			}
+			b.rem = stageCycles(c, b)
+			s.advanceZeroStages(b)
+			if b.st != stDone {
+				s.queues[b.st.proc()] = append(s.queues[b.st.proc()], b)
+			}
+			if c.RtrmgrFrac > 0 {
+				if total := totalCycles(c, spec.Kind, spec.PrefixesPerMsg); total > 0 {
+					rb := &batch{kind: spec.Kind, prefixes: spec.PrefixesPerMsg, st: stDone}
+					rb.rem = total * c.RtrmgrFrac
+					s.queues[ProcRtrmgr] = append(s.queues[ProcRtrmgr], rb)
+				}
+			}
+			injected++
+			nextArrival += interval
+		}
+		if bl := len(s.queues[ProcBGP]); bl > res.MaxBacklog {
+			res.MaxBacklog = bl
+		}
+		if injected >= totalMsgs && s.idle() {
+			break
+		}
+		if s.now > maxSim {
+			// Did not drain in time: unsustainable. Record the failure and
+			// stop integrating.
+			res.Sustained = false
+			res.MaxLag = s.maxLag
+			if age := oldestPendingAge(s); age > res.MaxLag {
+				res.MaxLag = age
+			}
+			res.KeepaliveMissed = res.MaxLag > spec.HoldTime
+			if s.now > 0 {
+				res.ProcessedTPS = float64(processedPrefixes(s, spec, injected)) / s.now
+			}
+			return res, nil
+		}
+		s.step(cross)
+	}
+	res.Sustained = true
+	res.DrainSeconds = s.now - spec.Duration
+	if res.DrainSeconds < 0 {
+		res.DrainSeconds = 0
+	}
+	res.MaxLag = s.maxLag
+	res.KeepaliveMissed = res.MaxLag > spec.HoldTime
+	if s.now > 0 {
+		res.ProcessedTPS = float64(totalMsgs*spec.PrefixesPerMsg) / s.now
+	}
+	return res, nil
+}
+
+// oldestPendingAge returns the age of the oldest tracked batch still in
+// any queue.
+func oldestPendingAge(s *Sim) float64 {
+	max := 0.0
+	for p := Proc(0); p < numProcs; p++ {
+		for _, b := range s.queues[p] {
+			if b.track {
+				if age := s.now - b.arrival; age > max {
+					max = age
+				}
+			}
+		}
+	}
+	return max
+}
+
+// processedPrefixes estimates completed prefix work when a run is cut off.
+func processedPrefixes(s *Sim, spec OpenLoopSpec, injected int) int {
+	pending := 0
+	for p := Proc(0); p < numProcs; p++ {
+		if p == ProcRtrmgr {
+			continue
+		}
+		for _, b := range s.queues[p] {
+			_ = b
+			pending++
+		}
+	}
+	done := injected - pending
+	if done < 0 {
+		done = 0
+	}
+	return done * spec.PrefixesPerMsg
+}

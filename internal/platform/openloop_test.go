@@ -1,0 +1,107 @@
+package platform
+
+import "testing"
+
+func openLoopToy() SystemConfig {
+	sys := toy()
+	// 1M cycles/s; a 1-prefix replace costs ~100+10+5+20+(50+200) = 385
+	// cycles plus rtrmgr 0 => ~2600 msgs/s capacity.
+	return sys
+}
+
+func TestOpenLoopSustainedUnderCapacity(t *testing.T) {
+	sys := openLoopToy()
+	res, err := NewSim(sys).RunOpenLoop(OpenLoopSpec{
+		Kind: KindAnnounce, PrefixesPerMsg: 1, MsgsPerSec: 500, Duration: 5,
+	}, CrossTraffic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sustained {
+		t.Fatalf("500 msg/s should be sustainable: %+v", res)
+	}
+	if res.KeepaliveMissed {
+		t.Fatal("keepalive missed at low load")
+	}
+	if res.MaxLag > 1 {
+		t.Fatalf("pipeline lag %.2fs at low load", res.MaxLag)
+	}
+	if res.ProcessedTPS < 400 {
+		t.Fatalf("processed tps = %.0f", res.ProcessedTPS)
+	}
+}
+
+func TestOpenLoopOverloadNotSustained(t *testing.T) {
+	sys := openLoopToy()
+	res, err := NewSim(sys).RunOpenLoop(OpenLoopSpec{
+		Kind: KindAnnounce, PrefixesPerMsg: 1, MsgsPerSec: 50000, Duration: 5,
+		DrainGrace: 2,
+	}, CrossTraffic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sustained {
+		t.Fatalf("50k msg/s must overload the 1 MHz toy system: %+v", res)
+	}
+	if res.MaxBacklog == 0 {
+		t.Fatal("no backlog recorded under overload")
+	}
+}
+
+func TestOpenLoopKeepaliveMiss(t *testing.T) {
+	sys := openLoopToy()
+	// Slight overload with a long window: messages eventually queue for
+	// longer than a short hold time.
+	res, err := NewSim(sys).RunOpenLoop(OpenLoopSpec{
+		Kind: KindAnnounce, PrefixesPerMsg: 1, MsgsPerSec: 4000, Duration: 20,
+		HoldTime: 3, DrainGrace: 60,
+	}, CrossTraffic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.KeepaliveMissed {
+		t.Fatalf("expected keepalive miss: lag %.2fs sustained=%v", res.MaxLag, res.Sustained)
+	}
+}
+
+func TestOpenLoopMonotoneInRate(t *testing.T) {
+	sys := openLoopToy()
+	delays := make([]float64, 0, 3)
+	for _, rate := range []float64{500, 2000, 3500} {
+		res, err := NewSim(sys).RunOpenLoop(OpenLoopSpec{
+			Kind: KindAnnounce, PrefixesPerMsg: 1, MsgsPerSec: rate, Duration: 5,
+			DrainGrace: 120,
+		}, CrossTraffic{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays = append(delays, res.MaxLag)
+	}
+	// Allow quantum-granularity jitter between under-capacity points.
+	const eps = 2e-3
+	if !(delays[0] <= delays[1]+eps && delays[1] <= delays[2]+eps) {
+		t.Fatalf("pipeline lag not monotone in rate: %v", delays)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	if _, err := NewSim(toy()).RunOpenLoop(OpenLoopSpec{}, CrossTraffic{}); err == nil {
+		t.Fatal("zero-rate spec should error")
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	sys := PentiumIII()
+	spec := OpenLoopSpec{Kind: KindReplace, PrefixesPerMsg: 1, MsgsPerSec: 150, Duration: 5}
+	a, err := NewSim(sys).RunOpenLoop(spec, CrossTraffic{Mbps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSim(sys).RunOpenLoop(spec, CrossTraffic{Mbps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("open loop not deterministic:\n%+v\n%+v", a, b)
+	}
+}

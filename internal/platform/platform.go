@@ -1,0 +1,296 @@
+// Package platform simulates the four router systems of the paper's
+// Table II — uni-core Pentium III, dual-core Xeon, IXP2400 network
+// processor, and the Cisco 3620 commercial router — as a deterministic
+// fluid discrete-event model.
+//
+// BGP processing is expressed as batches of prefix work flowing through
+// the XORP-like process pipeline (bgp → policy → rib → fea, plus the
+// rtrmgr manager), scheduled over simulated cores with SMT, weighted fair
+// sharing, and interrupt-priority cross-traffic. Per-system cycle costs
+// are calibrated from the paper's own Table III measurements (see
+// costmodel.go); the cross-traffic figures are then *predictions* of the
+// model, not fits.
+//
+// The simulation advances in fixed quanta (default 1ms of simulated
+// time). Within each quantum:
+//
+//  1. cross-traffic packets claim interrupt + kernel forwarding cycles
+//     first (on systems whose data path shares the control cores);
+//  2. the remaining capacity is divided among runnable processes by
+//     weighted fair share, with each process capped at one hardware
+//     thread and co-scheduled threads paying an SMT efficiency penalty;
+//  3. batches consume cycles and hand off to the next pipeline stage on
+//     completion (message-granular handoff);
+//  4. per-process busy cycles, interrupt load, and achieved forwarding
+//     rate are accumulated into trace buckets.
+//
+// The model is fully deterministic: identical inputs give identical
+// results, which the tests assert.
+package platform
+
+import "fmt"
+
+// Proc identifies a modeled control-plane process. The names mirror the
+// XORP processes visible in the paper's Figures 3 and 4.
+type Proc int
+
+// Modeled processes.
+const (
+	ProcBGP Proc = iota
+	ProcPolicy
+	ProcRIB
+	ProcFEA
+	ProcRtrmgr
+	numProcs
+)
+
+// String returns the xorp-style process name.
+func (p Proc) String() string {
+	switch p {
+	case ProcBGP:
+		return "bgp"
+	case ProcPolicy:
+		return "policy"
+	case ProcRIB:
+		return "rib"
+	case ProcFEA:
+		return "fea"
+	case ProcRtrmgr:
+		return "rtrmgr"
+	}
+	return fmt.Sprintf("proc(%d)", int(p))
+}
+
+// CostModel holds the per-operation cycle costs of one system. All values
+// are cycles of that system's control processor unless suffixed Ns.
+type CostModel struct {
+	PerMsgBGP            float64 // per received UPDATE message (transport + header)
+	PerPrefixBGP         float64 // per announced prefix parsed in bgp
+	PerPrefixBGPWithdraw float64 // per withdrawn prefix parsed in bgp
+	PerPrefixPolicy      float64 // per prefix import-policy evaluation
+	PerPrefixRIB         float64 // per prefix decision process + Loc-RIB update
+	PerPrefixRIBReplace  float64 // extra rib work when the best route is replaced
+	PerFIBChange         float64 // fea work per inserted FIB entry
+	PerFIBWithdraw       float64 // fea work per deleted FIB entry
+	PerFIBReplace        float64 // fea work per replaced FIB entry (0 = PerFIBChange)
+	PerFIBBatch          float64 // fea IPC overhead per commit batch
+	// PerFIBBatchSuper* add n^2-scaled cycles to a batch commit of n
+	// entries (insert/withdraw/replace respectively). They model the
+	// superlinear cost of very large kernel FIB transactions observed on
+	// the dual-core system, where Table III shows large packets *slowing
+	// down* FIB-changing scenarios (4 and 8) — a second-order effect the
+	// paper's text does not discuss. Zero for systems without it.
+	PerFIBBatchSuperA float64
+	PerFIBBatchSuperW float64
+	PerFIBBatchSuperR float64
+	PerPrefixAdjOut   float64 // per prefix re-advertisement emission (in bgp)
+	PerMsgAdjOut      float64 // per emitted UPDATE message
+	// AdjOutAmortized controls replacement re-advertisement packing: when
+	// true the per-message emission cost is paid once per inbound batch
+	// (the implementation coalesces outbound updates); when false each
+	// replaced prefix is re-advertised in its own message.
+	AdjOutAmortized bool
+	PerMsgPacingNs  float64 // non-CPU serialization latency per received message
+	RtrmgrFrac      float64 // manager overhead as a fraction of pipeline cycles
+
+	PerCrossPktIntr   float64 // interrupt cycles per cross-traffic packet
+	PerCrossPktFwd    float64 // kernel forwarding cycles per cross-traffic packet
+	FIBLockFwdPenalty float64 // forwarding cycles lost per executed fea cycle
+}
+
+// SystemConfig describes one modeled router platform.
+type SystemConfig struct {
+	Name           string
+	Cores          int     // physical control-plane cores
+	ThreadsPerCore int     // hardware threads per core (SMT)
+	SMTEfficiency  float64 // extra throughput of a second thread (0..1)
+	ClockHz        float64 // cycles per second per core
+	SharedDataPath bool    // forwarding shares the control cores
+	ForwardCapMbps float64 // line-rate limit of the forwarding path
+	CrossPktBytes  int     // cross-traffic packet size
+	// ControlPriority inverts the OS priority relationship: BGP processing
+	// runs ahead of interrupt/forwarding work, which only gets leftover
+	// cycles. Real kernels do the opposite (the paper's Section V.B); this
+	// flag exists for the "what if" ablation.
+	ControlPriority bool
+	Costs           CostModel
+	// Weights bias the fair-share scheduler per process; zero means the
+	// default weight of 1. They shape the CPU-load traces (which process
+	// dominates when) without changing total work.
+	Weights [numProcs]float64
+}
+
+// threadCap returns the per-quantum cycle capacity of one core running k
+// co-scheduled threads.
+func (sc *SystemConfig) coreCapacity(dt float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	mult := 1.0
+	if k > 1 {
+		mult = 1 + sc.SMTEfficiency*float64(min(k, sc.ThreadsPerCore)-1)
+	}
+	return sc.ClockHz * dt * mult
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ExportBatchSize is the Loc-RIB walk batch used for Phase 2 initial
+// table transfer (routes per emitted UPDATE).
+const ExportBatchSize = 500
+
+// stage is a pipeline position of a batch.
+type stage int
+
+const (
+	stBGP stage = iota
+	stPolicy
+	stRIB
+	stFEA
+	stOut
+	stDone
+)
+
+func (s stage) proc() Proc {
+	switch s {
+	case stBGP, stOut:
+		return ProcBGP
+	case stPolicy:
+		return ProcPolicy
+	case stRIB:
+		return ProcRIB
+	case stFEA:
+		return ProcFEA
+	}
+	return ProcRtrmgr
+}
+
+// BatchKind classifies the routing operation a batch performs.
+type BatchKind int
+
+// Batch kinds, one per benchmark workload shape.
+const (
+	// KindAnnounce is a fresh announcement installing new FIB entries
+	// (Scenarios 1-2 and Phase 1 everywhere).
+	KindAnnounce BatchKind = iota
+	// KindWithdraw removes routes and FIB entries (Scenarios 3-4).
+	KindWithdraw
+	// KindAnnounceNoChange is an announcement losing the decision process:
+	// no FIB change (Scenarios 5-6).
+	KindAnnounceNoChange
+	// KindReplace is an announcement winning the decision process:
+	// best-route replacement, per-prefix FIB commits, re-advertisement
+	// (Scenarios 7-8).
+	KindReplace
+	// KindExport is Phase 2: the router advertises its Loc-RIB to a new
+	// peer (emission work only).
+	KindExport
+)
+
+// batch is a unit of pipeline work: the prefixes of one UPDATE message.
+type batch struct {
+	kind     BatchKind
+	prefixes int
+	st       stage
+	rem      float64 // cycles remaining in the current stage
+	blocked  float64 // absolute sim time (s) before which bgp may not start it
+	arrival  float64 // absolute sim time (s) the message arrived (open loop)
+	track    bool    // open-loop lag accounting enabled for this batch
+}
+
+// stageCycles computes the cycle cost of a batch in a stage.
+func stageCycles(c *CostModel, b *batch) float64 {
+	n := float64(b.prefixes)
+	switch b.st {
+	case stBGP:
+		switch b.kind {
+		case KindWithdraw:
+			return c.PerMsgBGP + n*c.PerPrefixBGPWithdraw
+		case KindExport:
+			return 0 // export batches skip the receive path
+		default:
+			return c.PerMsgBGP + n*c.PerPrefixBGP
+		}
+	case stPolicy:
+		if b.kind == KindWithdraw || b.kind == KindExport {
+			return 0
+		}
+		return n * c.PerPrefixPolicy
+	case stRIB:
+		if b.kind == KindExport {
+			return 0
+		}
+		cycles := n * c.PerPrefixRIB
+		if b.kind == KindReplace {
+			cycles += n * c.PerPrefixRIBReplace
+		}
+		return cycles
+	case stFEA:
+		switch b.kind {
+		case KindAnnounce:
+			// FIB commits are batched at message granularity.
+			return n*c.PerFIBChange + c.PerFIBBatch + n*n*c.PerFIBBatchSuperA
+		case KindWithdraw:
+			return n*c.PerFIBWithdraw + c.PerFIBBatch + n*n*c.PerFIBBatchSuperW
+		case KindReplace:
+			// Best-route replacements trickle through the decision process
+			// one prefix at a time, so each FIB commit pays the IPC cost.
+			fr := c.PerFIBReplace
+			if fr == 0 {
+				fr = c.PerFIBChange
+			}
+			return n*(fr+c.PerFIBBatch) + n*n*c.PerFIBBatchSuperR
+		default:
+			return 0
+		}
+	case stOut:
+		switch b.kind {
+		case KindReplace:
+			if c.AdjOutAmortized {
+				return n*c.PerPrefixAdjOut + c.PerMsgAdjOut
+			}
+			// Each replacement is re-advertised in its own message.
+			return n * (c.PerPrefixAdjOut + c.PerMsgAdjOut)
+		case KindExport:
+			return n*c.PerPrefixAdjOut + c.PerMsgAdjOut
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+// nextStage advances the pipeline position for a batch kind.
+func nextStage(b *batch) stage {
+	switch b.st {
+	case stBGP:
+		if b.kind == KindWithdraw {
+			return stRIB
+		}
+		if b.kind == KindExport {
+			return stOut
+		}
+		return stPolicy
+	case stPolicy:
+		return stRIB
+	case stRIB:
+		switch b.kind {
+		case KindAnnounce, KindWithdraw, KindReplace:
+			return stFEA
+		}
+		return stDone
+	case stFEA:
+		if b.kind == KindReplace {
+			return stOut
+		}
+		return stDone
+	case stOut:
+		return stDone
+	}
+	return stDone
+}

@@ -1,0 +1,419 @@
+package platform
+
+import (
+	"fmt"
+
+	"bgpbench/internal/trace"
+)
+
+// Phase is one benchmark phase: a homogeneous stream of UPDATE messages
+// (or export work) injected at the phase start and processed to
+// completion.
+type Phase struct {
+	Name           string
+	Kind           BatchKind
+	Messages       int
+	PrefixesPerMsg int
+}
+
+// Prefixes returns the total prefix operations in the phase.
+func (p Phase) Prefixes() int { return p.Messages * p.PrefixesPerMsg }
+
+// CrossTraffic is the data-plane load applied while the benchmark runs.
+type CrossTraffic struct {
+	Mbps float64
+}
+
+// PhaseResult reports one phase's timing.
+type PhaseResult struct {
+	Name     string
+	Start    float64 // seconds from simulation start
+	Duration float64 // seconds
+	Prefixes int
+	// TPS is prefix transactions per second of this phase — the paper's
+	// metric.
+	TPS float64
+	// OfferedMbps / ForwardedMbps summarize the data plane during the
+	// phase; they differ when contention causes loss (Figure 6c).
+	OfferedMbps   float64
+	ForwardedMbps float64
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	System string
+	Phases []PhaseResult
+	// Traces carries per-process CPU load in percent of one core
+	// ("cpu:<proc>"), interrupt load ("cpu:interrupts"), and achieved
+	// forwarding rate in Mbps ("fwd_mbps"), in 1-second buckets.
+	Traces *trace.Set
+	// TotalBusyCycles per process, for ablation assertions.
+	TotalBusyCycles [numProcs]float64
+}
+
+// Sim is the simulation engine. Create with NewSim, call RunPhases.
+type Sim struct {
+	sys    SystemConfig
+	dt     float64
+	bucket float64
+
+	now        float64
+	queues     [numProcs][]*batch
+	pacingFree float64
+	traces     *trace.Set
+	busy       [numProcs]float64
+	rr         int // rotation offset so oversubscribed processes time-slice
+	// maxLag tracks the worst end-to-end delay of tracked (open-loop)
+	// batches from arrival to pipeline completion. A router whose
+	// processing lags its input by more than the hold time cannot honor
+	// the protocol's liveness expectations (keepalive analysis).
+	maxLag float64
+
+	// per-quantum scratch
+	weights [numProcs]float64
+}
+
+// NewSim builds a simulator for a system. Quantum and trace bucket default
+// to 1ms and 1s.
+func NewSim(sys SystemConfig) *Sim {
+	s := &Sim{
+		sys:    sys,
+		dt:     1e-3,
+		bucket: 1.0,
+	}
+	for p := Proc(0); p < numProcs; p++ {
+		w := sys.Weights[p]
+		if w <= 0 {
+			w = 1
+		}
+		s.weights[p] = w
+	}
+	s.traces = trace.NewSet(s.bucket)
+	return s
+}
+
+// SetQuantum overrides the scheduling quantum (seconds of simulated time
+// per step). Smaller quanta refine capacity-sharing accuracy at linear
+// simulation cost; results must not depend materially on the choice
+// (asserted by TestQuantumInsensitivity).
+func (s *Sim) SetQuantum(dt float64) {
+	if dt > 0 {
+		s.dt = dt
+	}
+}
+
+// inject queues a phase's batches at the current simulated time.
+func (s *Sim) inject(ph Phase) {
+	c := &s.sys.Costs
+	if s.pacingFree < s.now {
+		s.pacingFree = s.now
+	}
+	for i := 0; i < ph.Messages; i++ {
+		b := &batch{kind: ph.Kind, prefixes: ph.PrefixesPerMsg, st: stBGP}
+		if c.PerMsgPacingNs > 0 && ph.Kind != KindExport {
+			b.blocked = s.pacingFree
+			s.pacingFree += c.PerMsgPacingNs * 1e-9
+		}
+		b.rem = stageCycles(c, b)
+		s.advanceZeroStages(b)
+		if b.st != stDone {
+			s.queues[b.st.proc()] = append(s.queues[b.st.proc()], b)
+		}
+		// Manager overhead: rtrmgr performs work proportional to the
+		// pipeline work of each batch (config pushes, status polling).
+		if c.RtrmgrFrac > 0 {
+			total := totalCycles(c, ph.Kind, ph.PrefixesPerMsg)
+			if total > 0 {
+				rb := &batch{kind: ph.Kind, prefixes: ph.PrefixesPerMsg, st: stDone}
+				rb.rem = total * c.RtrmgrFrac
+				s.queues[ProcRtrmgr] = append(s.queues[ProcRtrmgr], rb)
+			}
+		}
+	}
+}
+
+// advanceZeroStages skips stages whose cost is zero so queues only hold
+// batches with real work.
+func (s *Sim) advanceZeroStages(b *batch) {
+	c := &s.sys.Costs
+	for b.st != stDone && b.rem == 0 {
+		b.st = nextStage(b)
+		if b.st == stDone {
+			if b.track {
+				if lag := s.now - b.arrival; lag > s.maxLag {
+					s.maxLag = lag
+				}
+			}
+			return
+		}
+		b.rem = stageCycles(c, b)
+	}
+}
+
+// totalCycles sums a batch's cycles over all stages.
+func totalCycles(c *CostModel, kind BatchKind, prefixes int) float64 {
+	b := &batch{kind: kind, prefixes: prefixes, st: stBGP}
+	total := 0.0
+	for b.st != stDone {
+		total += stageCycles(c, b)
+		b.st = nextStage(b)
+	}
+	return total
+}
+
+// idle reports whether all queues are empty.
+func (s *Sim) idle() bool {
+	for p := Proc(0); p < numProcs; p++ {
+		if len(s.queues[p]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunPhases executes the phases in order, each injected when the previous
+// one has fully drained, under constant cross-traffic. maxSimSeconds
+// bounds runaway configurations (0 means 24 simulated hours).
+func (s *Sim) RunPhases(phases []Phase, cross CrossTraffic, maxSimSeconds float64) (Result, error) {
+	if maxSimSeconds <= 0 {
+		maxSimSeconds = 24 * 3600
+	}
+	res := Result{System: s.sys.Name, Traces: s.traces}
+	for _, ph := range phases {
+		start := s.now
+		s.inject(ph)
+		fwdSum, fwdQuanta := 0.0, 0.0
+		for !s.idle() {
+			if s.now-start > maxSimSeconds {
+				return res, fmt.Errorf("platform: phase %q exceeded %v simulated seconds", ph.Name, maxSimSeconds)
+			}
+			fwd := s.step(cross)
+			fwdSum += fwd
+			fwdQuanta++
+		}
+		dur := s.now - start
+		pr := PhaseResult{
+			Name:        ph.Name,
+			Start:       start,
+			Duration:    dur,
+			Prefixes:    ph.Prefixes(),
+			OfferedMbps: s.offeredMbps(cross),
+		}
+		if dur > 0 {
+			pr.TPS = float64(pr.Prefixes) / dur
+		}
+		if fwdQuanta > 0 {
+			pr.ForwardedMbps = fwdSum / fwdQuanta
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	res.TotalBusyCycles = s.busy
+	return res, nil
+}
+
+// offeredMbps clamps the requested cross-traffic to the system's line rate.
+func (s *Sim) offeredMbps(cross CrossTraffic) float64 {
+	m := cross.Mbps
+	if m > s.sys.ForwardCapMbps {
+		m = s.sys.ForwardCapMbps
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// step advances one quantum and returns the achieved forwarding rate in
+// Mbps for this quantum.
+func (s *Sim) step(cross CrossTraffic) float64 {
+	sys := &s.sys
+	c := &sys.Costs
+	dt := s.dt
+	bucketIdx := int(s.now / s.bucket)
+
+	// --- Data plane first: interrupts preempt everything. ---
+	offered := s.offeredMbps(cross)
+	demandPkts := 0.0
+	fwdDemand := 0.0
+	if offered > 0 && sys.CrossPktBytes > 0 {
+		demandPkts = offered * 1e6 * dt / 8 / float64(sys.CrossPktBytes)
+		fwdDemand = demandPkts * (c.PerCrossPktIntr + c.PerCrossPktFwd)
+	}
+	baseCap := float64(sys.Cores) * sys.ClockHz * dt
+	reserved := 0.0
+	if sys.SharedDataPath && !sys.ControlPriority {
+		reserved = fwdDemand
+		if cap95 := 0.95 * baseCap; reserved > cap95 {
+			reserved = cap95
+		}
+	}
+
+	// --- Control plane: weighted fair share of the remainder. ---
+	runnable := make([]Proc, 0, numProcs)
+	for p := Proc(0); p < numProcs; p++ {
+		if q := s.queues[p]; len(q) > 0 && q[0].blocked <= s.now {
+			runnable = append(runnable, p)
+		}
+	}
+	feaCycles := 0.0
+	ctrlCycles := 0.0
+	if len(runnable) > 0 {
+		// Distribute processes over hardware threads. When there are more
+		// runnable processes than threads, a rotating offset time-slices
+		// them across quanta (the OS scheduler's round robin); on a
+		// single-thread system all processes instead share the core by
+		// weighted fair share, which models fine-grained time slicing.
+		type coreState struct {
+			procs []Proc
+		}
+		cores := make([]coreState, sys.Cores)
+		if sys.Cores*sys.ThreadsPerCore <= 1 {
+			cores[0].procs = runnable
+		} else {
+			rot := make([]Proc, 0, len(runnable))
+			off := s.rr % len(runnable)
+			rot = append(rot, runnable[off:]...)
+			rot = append(rot, runnable[:off]...)
+			s.rr++
+			ci := 0
+			for _, p := range rot {
+				for try := 0; try < sys.Cores; try++ {
+					k := (ci + try) % sys.Cores
+					if len(cores[k].procs) < sys.ThreadsPerCore {
+						cores[k].procs = append(cores[k].procs, p)
+						ci = (k + 1) % sys.Cores
+						break
+					}
+				}
+			}
+		}
+		intrPerCore := reserved / float64(sys.Cores)
+		singleThread := sys.ClockHz * dt
+		for k := range cores {
+			procs := cores[k].procs
+			if len(procs) == 0 {
+				continue
+			}
+			capc := sys.coreCapacity(dt, len(procs)) - intrPerCore
+			if capc <= 0 {
+				continue
+			}
+			// Work-conserving weighted fair share: leftover grant from
+			// processes that ran out of work (or hit the one-thread cap)
+			// is redistributed to the others within the quantum.
+			granted := make(map[Proc]float64, len(procs))
+			remaining := capc
+			active := append([]Proc(nil), procs...)
+			for pass := 0; pass < int(numProcs) && remaining > 1e-9 && len(active) > 0; pass++ {
+				wsum := 0.0
+				for _, p := range active {
+					wsum += s.weights[p]
+				}
+				share := remaining
+				remaining = 0
+				next := active[:0]
+				for _, p := range active {
+					grant := share * s.weights[p] / wsum
+					if room := singleThread - granted[p]; grant > room {
+						remaining += grant - room
+						grant = room
+					}
+					used := s.execute(p, grant)
+					granted[p] += used
+					leftover := grant - used
+					if leftover > 1e-9 {
+						remaining += leftover
+						continue // drained its queue: drop from next pass
+					}
+					if granted[p] < singleThread-1e-9 {
+						next = append(next, p)
+					}
+				}
+				active = next
+			}
+			for _, p := range procs {
+				used := granted[p]
+				if used == 0 {
+					continue
+				}
+				s.busy[p] += used
+				ctrlCycles += used
+				if p == ProcFEA {
+					feaCycles += used
+				}
+				s.traces.Get("cpu:"+p.String()).Add(bucketIdx, 100*used/(sys.ClockHz*s.bucket))
+			}
+		}
+	}
+
+	// --- Data-plane outcome for this quantum. ---
+	achievedMbps := offered
+	if sys.SharedDataPath && fwdDemand > 0 {
+		avail := reserved - c.FIBLockFwdPenalty*feaCycles
+		if sys.ControlPriority {
+			// Ablation: forwarding only gets what the control plane left.
+			avail = baseCap - ctrlCycles - c.FIBLockFwdPenalty*feaCycles
+		}
+		if avail < 0 {
+			avail = 0
+		}
+		frac := avail / fwdDemand
+		if frac > 1 {
+			frac = 1
+		}
+		achievedMbps = offered * frac
+		intr := reserved
+		if sys.ControlPriority {
+			intr = frac * fwdDemand
+		}
+		s.traces.Get("cpu:interrupts").Add(bucketIdx, 100*intr/(sys.ClockHz*s.bucket))
+	}
+	if offered > 0 {
+		s.traces.Get("fwd_mbps").Add(bucketIdx, achievedMbps*dt/s.bucket)
+	}
+
+	s.now += dt
+	return achievedMbps
+}
+
+// execute consumes up to grant cycles from a process's queue and returns
+// the cycles actually used.
+func (s *Sim) execute(p Proc, grant float64) float64 {
+	used := 0.0
+	q := s.queues[p]
+	for grant > 1e-9 && len(q) > 0 {
+		b := q[0]
+		if b.blocked > s.now {
+			break
+		}
+		take := b.rem
+		if take > grant {
+			take = grant
+		}
+		b.rem -= take
+		grant -= take
+		used += take
+		if b.rem <= 1e-9 {
+			q = q[1:]
+			b.st = nextStage(b)
+			if b.st == stDone && b.track {
+				if lag := s.now - b.arrival; lag > s.maxLag {
+					s.maxLag = lag
+				}
+			}
+			if b.st != stDone {
+				b.rem = stageCycles(&s.sys.Costs, b)
+				s.advanceZeroStages(b)
+				if b.st != stDone {
+					if b.st.proc() == p {
+						q = append(q, b)
+					} else {
+						s.queues[b.st.proc()] = append(s.queues[b.st.proc()], b)
+					}
+				}
+			}
+		}
+	}
+	s.queues[p] = q
+	return used
+}

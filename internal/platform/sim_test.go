@@ -1,0 +1,378 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+// toy returns a small single-core system with simple costs for exact
+// hand-checkable results.
+func toy() SystemConfig {
+	return SystemConfig{
+		Name:           "toy",
+		Cores:          1,
+		ThreadsPerCore: 1,
+		ClockHz:        1e6, // 1M cycles/s
+		SharedDataPath: true,
+		ForwardCapMbps: 100,
+		CrossPktBytes:  1000,
+		Costs: CostModel{
+			PerMsgBGP:       100,
+			PerPrefixBGP:    10,
+			PerPrefixPolicy: 5,
+			PerPrefixRIB:    20,
+			PerFIBChange:    50,
+			PerFIBBatch:     200,
+			PerCrossPktIntr: 40,
+			PerCrossPktFwd:  40,
+		},
+	}
+}
+
+func runToy(t *testing.T, sys SystemConfig, phases []Phase, cross CrossTraffic) Result {
+	t.Helper()
+	res, err := NewSim(sys).RunPhases(phases, cross, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUniCoreTotalTimeEqualsTotalCycles(t *testing.T) {
+	// On one core with no cross-traffic, the phase duration must equal the
+	// total cycle count divided by the clock (work conservation).
+	sys := toy()
+	ph := Phase{Name: "p", Kind: KindAnnounce, Messages: 100, PrefixesPerMsg: 10}
+	res := runToy(t, sys, []Phase{ph}, CrossTraffic{})
+	wantCycles := 100 * (100 + 10*(10+5+20) + 10*50 + 200) // per msg: overhead + prefixes + fib
+	wantSec := float64(wantCycles) / sys.ClockHz
+	got := res.Phases[0].Duration
+	if math.Abs(got-wantSec)/wantSec > 0.02 {
+		t.Fatalf("duration = %.4fs, want %.4fs (±2%%)", got, wantSec)
+	}
+	if res.Phases[0].Prefixes != 1000 {
+		t.Fatalf("prefixes = %d", res.Phases[0].Prefixes)
+	}
+	if res.Phases[0].TPS <= 0 {
+		t.Fatal("TPS not computed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, sys := range Systems() {
+		phases := []Phase{
+			{Name: "a", Kind: KindAnnounce, Messages: 40, PrefixesPerMsg: 500},
+			{Name: "b", Kind: KindReplace, Messages: 40, PrefixesPerMsg: 500},
+		}
+		r1, err := NewSim(sys).RunPhases(phases, CrossTraffic{Mbps: 200}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewSim(sys).RunPhases(phases, CrossTraffic{Mbps: 200}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r1.Phases {
+			if r1.Phases[i].Duration != r2.Phases[i].Duration {
+				t.Fatalf("%s: phase %d durations differ: %v vs %v",
+					sys.Name, i, r1.Phases[i].Duration, r2.Phases[i].Duration)
+			}
+			if r1.Phases[i].ForwardedMbps != r2.Phases[i].ForwardedMbps {
+				t.Fatalf("%s: phase %d forwarding differs", sys.Name, i)
+			}
+		}
+	}
+}
+
+func TestLargePacketsFasterOnUniCore(t *testing.T) {
+	sys := toy()
+	small := []Phase{{Name: "s", Kind: KindAnnounce, Messages: 5000, PrefixesPerMsg: 1}}
+	large := []Phase{{Name: "l", Kind: KindAnnounce, Messages: 10, PrefixesPerMsg: 500}}
+	rs := runToy(t, sys, small, CrossTraffic{})
+	rl := runToy(t, sys, large, CrossTraffic{})
+	if rl.Phases[0].TPS <= rs.Phases[0].TPS {
+		t.Fatalf("large packets (%.0f tps) should beat small (%.0f tps)",
+			rl.Phases[0].TPS, rs.Phases[0].TPS)
+	}
+}
+
+func TestCrossTrafficSlowsSharedPath(t *testing.T) {
+	sys := toy()
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 500, PrefixesPerMsg: 10}}
+	r0 := runToy(t, sys, ph, CrossTraffic{})
+	r50 := runToy(t, sys, ph, CrossTraffic{Mbps: 50})
+	r100 := runToy(t, sys, ph, CrossTraffic{Mbps: 100})
+	if !(r0.Phases[0].TPS > r50.Phases[0].TPS && r50.Phases[0].TPS > r100.Phases[0].TPS) {
+		t.Fatalf("tps not monotonically decreasing with cross-traffic: %.0f, %.0f, %.0f",
+			r0.Phases[0].TPS, r50.Phases[0].TPS, r100.Phases[0].TPS)
+	}
+}
+
+func TestCrossTrafficIgnoredOnDedicatedDataPath(t *testing.T) {
+	sys := toy()
+	sys.SharedDataPath = false
+	sys.ForwardCapMbps = 1000
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 500, PrefixesPerMsg: 10}}
+	r0 := runToy(t, sys, ph, CrossTraffic{})
+	r1k := runToy(t, sys, ph, CrossTraffic{Mbps: 1000})
+	if math.Abs(r0.Phases[0].TPS-r1k.Phases[0].TPS)/r0.Phases[0].TPS > 0.01 {
+		t.Fatalf("dedicated data path must isolate control plane: %.0f vs %.0f",
+			r0.Phases[0].TPS, r1k.Phases[0].TPS)
+	}
+	// And forwarding achieves the full offered rate.
+	if got := r1k.Phases[0].ForwardedMbps; math.Abs(got-1000) > 1 {
+		t.Fatalf("forwarded = %.1f Mbps, want 1000", got)
+	}
+}
+
+func TestForwardingCapClampsOffered(t *testing.T) {
+	sys := toy() // cap 100 Mbps
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 100, PrefixesPerMsg: 10}}
+	r := runToy(t, sys, ph, CrossTraffic{Mbps: 500})
+	if r.Phases[0].OfferedMbps != 100 {
+		t.Fatalf("offered = %.1f, want clamped 100", r.Phases[0].OfferedMbps)
+	}
+}
+
+func TestMultiCorePipelineSpeedup(t *testing.T) {
+	// The same workload on 1 core vs 4 cores: the pipeline must speed up,
+	// but by less than 4x (single stage can't exceed one core).
+	uni := toy()
+	quad := toy()
+	quad.Cores = 4
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 2000, PrefixesPerMsg: 10}}
+	ru := runToy(t, uni, ph, CrossTraffic{})
+	rq := runToy(t, quad, ph, CrossTraffic{})
+	speedup := rq.Phases[0].TPS / ru.Phases[0].TPS
+	if speedup < 1.3 || speedup > 4 {
+		t.Fatalf("4-core speedup = %.2f, want in (1.3, 4)", speedup)
+	}
+}
+
+func TestPacingBoundsThroughput(t *testing.T) {
+	sys := toy()
+	sys.Costs.PerMsgPacingNs = 100e6 // 100ms per message -> 10 msgs/s max
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 50, PrefixesPerMsg: 1}}
+	r := runToy(t, sys, ph, CrossTraffic{})
+	if tps := r.Phases[0].TPS; tps > 10.5 || tps < 9 {
+		t.Fatalf("paced tps = %.2f, want ~10", tps)
+	}
+	// Pacing is wall time, not CPU: cross-traffic must not change it.
+	r2 := runToy(t, sys, ph, CrossTraffic{Mbps: 100})
+	if math.Abs(r2.Phases[0].TPS-r.Phases[0].TPS) > 0.5 {
+		t.Fatalf("pacing should be immune to cross-traffic: %.2f vs %.2f",
+			r2.Phases[0].TPS, r.Phases[0].TPS)
+	}
+}
+
+func TestFIBContentionCausesForwardingLoss(t *testing.T) {
+	// With FIBLockFwdPenalty, heavy fea activity must reduce the achieved
+	// forwarding rate below the offered rate (Figure 6c).
+	sys := toy()
+	sys.Costs.FIBLockFwdPenalty = 2.0
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 200, PrefixesPerMsg: 100}}
+	r := runToy(t, sys, ph, CrossTraffic{Mbps: 50})
+	if r.Phases[0].ForwardedMbps >= r.Phases[0].OfferedMbps-0.5 {
+		t.Fatalf("expected forwarding loss: forwarded %.1f vs offered %.1f",
+			r.Phases[0].ForwardedMbps, r.Phases[0].OfferedMbps)
+	}
+	// Without the penalty there is no loss at this load.
+	sys.Costs.FIBLockFwdPenalty = 0
+	r2 := runToy(t, sys, ph, CrossTraffic{Mbps: 50})
+	if r2.Phases[0].ForwardedMbps < r2.Phases[0].OfferedMbps-0.5 {
+		t.Fatalf("unexpected loss without penalty: %.1f vs %.1f",
+			r2.Phases[0].ForwardedMbps, r2.Phases[0].OfferedMbps)
+	}
+}
+
+func TestTracesRecorded(t *testing.T) {
+	sys := toy()
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 2000, PrefixesPerMsg: 10}}
+	r := runToy(t, sys, ph, CrossTraffic{Mbps: 50})
+	names := map[string]bool{}
+	for _, n := range r.Traces.Names() {
+		names[n] = true
+	}
+	for _, want := range []string{"cpu:bgp", "cpu:rib", "cpu:fea", "cpu:interrupts", "fwd_mbps"} {
+		if !names[want] {
+			t.Errorf("missing trace series %q (have %v)", want, r.Traces.Names())
+		}
+	}
+	// CPU traces on one core must not exceed 100% per bucket by much.
+	for _, n := range r.Traces.Names() {
+		if len(n) > 4 && n[:4] == "cpu:" && n != "cpu:interrupts" {
+			if m := r.Traces.Get(n).Max(); m > 101 {
+				t.Errorf("series %s exceeds 100%%: %.1f", n, m)
+			}
+		}
+	}
+}
+
+func TestRtrmgrOverhead(t *testing.T) {
+	with := toy()
+	with.Costs.RtrmgrFrac = 0.5
+	without := toy()
+	ph := []Phase{{Name: "p", Kind: KindAnnounce, Messages: 500, PrefixesPerMsg: 10}}
+	rw := runToy(t, with, ph, CrossTraffic{})
+	ro := runToy(t, without, ph, CrossTraffic{})
+	ratio := rw.Phases[0].Duration / ro.Phases[0].Duration
+	if ratio < 1.4 || ratio > 1.6 {
+		t.Fatalf("rtrmgr 50%% overhead changed duration by %.2fx, want ~1.5x", ratio)
+	}
+	if rw.TotalBusyCycles[ProcRtrmgr] == 0 {
+		t.Fatal("rtrmgr did no work")
+	}
+}
+
+func TestPhaseBoundaries(t *testing.T) {
+	sys := toy()
+	phases := []Phase{
+		{Name: "one", Kind: KindAnnounce, Messages: 100, PrefixesPerMsg: 10},
+		{Name: "two", Kind: KindWithdraw, Messages: 100, PrefixesPerMsg: 10},
+	}
+	r := runToy(t, sys, phases, CrossTraffic{})
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %d", len(r.Phases))
+	}
+	if r.Phases[1].Start < r.Phases[0].Duration {
+		t.Fatalf("phase 2 starts at %.3f before phase 1 ends at %.3f",
+			r.Phases[1].Start, r.Phases[0].Duration)
+	}
+	if r.Phases[0].Name != "one" || r.Phases[1].Name != "two" {
+		t.Fatal("phase names lost")
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	sys := toy()
+	sys.Costs.PerMsgPacingNs = 3600e9 // absurd pacing: 1 hour per message
+	_, err := NewSim(sys).RunPhases(
+		[]Phase{{Name: "p", Kind: KindAnnounce, Messages: 10, PrefixesPerMsg: 1}},
+		CrossTraffic{}, 5 /* seconds */)
+	if err == nil {
+		t.Fatal("expected runaway guard error")
+	}
+}
+
+func TestSystemByName(t *testing.T) {
+	for _, name := range []string{"PentiumIII", "Xeon", "IXP2400", "Cisco"} {
+		if _, ok := SystemByName(name); !ok {
+			t.Errorf("system %q not found", name)
+		}
+	}
+	if _, ok := SystemByName("Cray"); ok {
+		t.Error("unknown system resolved")
+	}
+}
+
+func TestProcNames(t *testing.T) {
+	want := map[Proc]string{ProcBGP: "bgp", ProcPolicy: "policy", ProcRIB: "rib", ProcFEA: "fea", ProcRtrmgr: "rtrmgr"}
+	for p, n := range want {
+		if p.String() != n {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), n)
+		}
+	}
+}
+
+func TestStageCyclesReplacePerPrefixCommit(t *testing.T) {
+	c := &CostModel{PerFIBChange: 100, PerFIBBatch: 1000}
+	ann := &batch{kind: KindAnnounce, prefixes: 500, st: stFEA}
+	rep := &batch{kind: KindReplace, prefixes: 500, st: stFEA}
+	a := stageCycles(c, ann)
+	r := stageCycles(c, rep)
+	if a != 500*100+1000 {
+		t.Errorf("announce fea cycles = %v", a)
+	}
+	if r != 500*(100+1000) {
+		t.Errorf("replace fea cycles = %v (per-prefix commits expected)", r)
+	}
+}
+
+// TestQuantumInsensitivity: halving the scheduling quantum must not move
+// phase durations by more than a few percent — the fluid model's results
+// are about work conservation, not step size.
+func TestQuantumInsensitivity(t *testing.T) {
+	phases := []Phase{
+		{Name: "p1", Kind: KindAnnounce, Messages: 40, PrefixesPerMsg: 500},
+		{Name: "p3", Kind: KindReplace, Messages: 40, PrefixesPerMsg: 500},
+	}
+	for _, sys := range []SystemConfig{PentiumIII(), Xeon()} {
+		a := NewSim(sys)
+		a.SetQuantum(1e-3)
+		ra, err := a.RunPhases(phases, CrossTraffic{Mbps: 100}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewSim(sys)
+		b.SetQuantum(0.5e-3)
+		rb, err := b.RunPhases(phases, CrossTraffic{Mbps: 100}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra.Phases {
+			da, db := ra.Phases[i].Duration, rb.Phases[i].Duration
+			if da == 0 || db == 0 {
+				t.Fatalf("%s phase %d: zero duration", sys.Name, i)
+			}
+			diff := (da - db) / da
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.05 {
+				t.Errorf("%s phase %d: quantum sensitivity %.1f%% (%.3fs vs %.3fs)",
+					sys.Name, i, 100*diff, da, db)
+			}
+		}
+	}
+}
+
+// TestTableSizeScalesLinearly: doubling the table roughly doubles phase
+// duration (tps is size-invariant), which is what lets the benchmark use
+// smaller tables than the paper's 180k.
+func TestTableSizeScalesLinearly(t *testing.T) {
+	sys := PentiumIII()
+	run := func(msgs int) float64 {
+		res, err := NewSim(sys).RunPhases([]Phase{
+			{Name: "p", Kind: KindAnnounce, Messages: msgs, PrefixesPerMsg: 500},
+		}, CrossTraffic{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Phases[0].TPS
+	}
+	small, large := run(10), run(40)
+	diff := (small - large) / large
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05 {
+		t.Fatalf("tps not size-invariant: %.1f vs %.1f", small, large)
+	}
+}
+
+// TestControlPriorityAblation: inverting the kernel's priority order gives
+// BGP its full throughput back at the cost of the data plane.
+func TestControlPriorityAblation(t *testing.T) {
+	phases := []Phase{{Name: "p", Kind: KindReplace, Messages: 2000, PrefixesPerMsg: 1}}
+	kern := PentiumIII()
+	ctrl := PentiumIII()
+	ctrl.ControlPriority = true
+	cross := CrossTraffic{Mbps: 300}
+
+	rk, err := NewSim(kern).RunPhases(phases, cross, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewSim(ctrl).RunPhases(phases, cross, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Phases[0].TPS <= rk.Phases[0].TPS {
+		t.Errorf("control priority should speed BGP: %.1f vs %.1f",
+			rc.Phases[0].TPS, rk.Phases[0].TPS)
+	}
+	if rc.Phases[0].ForwardedMbps >= rk.Phases[0].ForwardedMbps {
+		t.Errorf("control priority should hurt forwarding: %.1f vs %.1f Mbps",
+			rc.Phases[0].ForwardedMbps, rk.Phases[0].ForwardedMbps)
+	}
+}

@@ -1,0 +1,43 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
+	"bgpbench/internal/wire"
+)
+
+// ExampleRouteMap shows a typical import policy: drop a customer's more
+// specifics, raise preference for the rest.
+func ExampleRouteMap() {
+	pref := uint32(200)
+	rm := &policy.RouteMap{
+		Name: "from-customer",
+		Terms: []policy.Term{
+			{
+				Name: "no-more-specifics",
+				Match: policy.Match{PrefixList: &policy.PrefixList{Rules: []policy.PrefixRule{
+					{Prefix: netaddr.MustParsePrefix("203.0.113.0/24"), GE: 25, LE: 32, Action: policy.Permit},
+				}}},
+				Action: policy.Deny,
+			},
+			{
+				Name:   "prefer",
+				Set:    policy.Set{LocalPref: &pref},
+				Action: policy.Permit,
+			},
+		},
+	}
+
+	attrs := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(64512), netaddr.MustParseAddr("192.0.2.1"))
+
+	if _, ok := rm.Apply(netaddr.MustParsePrefix("203.0.113.128/25"), attrs); !ok {
+		fmt.Println("more-specific denied")
+	}
+	out, ok := rm.Apply(netaddr.MustParsePrefix("203.0.113.0/24"), attrs)
+	fmt.Println(ok, out.LocalPref)
+	// Output:
+	// more-specific denied
+	// true 200
+}

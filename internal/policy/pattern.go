@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bgpbench/internal/wire"
+)
+
+// ASPathPattern matches AS paths the way operators write as-path filters:
+// a sequence of tokens over the flattened path, where
+//
+//	65001   matches that exact ASN
+//	.       matches any single ASN
+//	.*      matches any (possibly empty) ASN sequence
+//	^       anchors at the path's first ASN (start of pattern only)
+//	$       anchors at the path's last ASN (end of pattern only)
+//
+// Without anchors the pattern matches any contiguous token subsequence,
+// so "7018" behaves like the classic "_7018_" (the AS appears anywhere in
+// the path, at token boundaries). Examples:
+//
+//	"^65001"        learned directly from AS 65001
+//	"7018"          traverses AS 7018 anywhere
+//	"^65001 .* 13$" from 65001, originated by 13
+//	"^. .$"         exactly two hops
+type ASPathPattern struct {
+	src           string
+	anchoredStart bool
+	anchoredEnd   bool
+	toks          []patternTok
+}
+
+type patternKind int
+
+const (
+	tokASN patternKind = iota
+	tokAny
+	tokAnySeq
+)
+
+type patternTok struct {
+	kind patternKind
+	asn  uint16
+}
+
+// CompileASPathPattern parses a pattern. Tokens are whitespace separated;
+// "^" must be first and "$" last.
+func CompileASPathPattern(src string) (*ASPathPattern, error) {
+	p := &ASPathPattern{src: src}
+	fields := strings.Fields(src)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("policy: empty as-path pattern")
+	}
+	if fields[0] == "^" {
+		p.anchoredStart = true
+		fields = fields[1:]
+	} else if strings.HasPrefix(fields[0], "^") {
+		p.anchoredStart = true
+		fields[0] = fields[0][1:]
+	}
+	if n := len(fields); n > 0 {
+		if fields[n-1] == "$" {
+			p.anchoredEnd = true
+			fields = fields[:n-1]
+		} else if strings.HasSuffix(fields[n-1], "$") {
+			p.anchoredEnd = true
+			fields[n-1] = fields[n-1][:len(fields[n-1])-1]
+		}
+	}
+	for _, f := range fields {
+		if f == "" {
+			continue
+		}
+		switch f {
+		case ".":
+			p.toks = append(p.toks, patternTok{kind: tokAny})
+		case ".*":
+			p.toks = append(p.toks, patternTok{kind: tokAnySeq})
+		default:
+			v, err := strconv.ParseUint(f, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("policy: bad as-path pattern token %q in %q", f, src)
+			}
+			p.toks = append(p.toks, patternTok{kind: tokASN, asn: uint16(v)})
+		}
+	}
+	if len(p.toks) == 0 && !(p.anchoredStart && p.anchoredEnd) {
+		return nil, fmt.Errorf("policy: as-path pattern %q has no tokens", src)
+	}
+	return p, nil
+}
+
+// MustCompileASPathPattern panics on error; for statically known patterns.
+func MustCompileASPathPattern(src string) *ASPathPattern {
+	p, err := CompileASPathPattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the source pattern.
+func (p *ASPathPattern) String() string { return p.src }
+
+// Match reports whether the pattern matches the path.
+func (p *ASPathPattern) Match(path wire.ASPath) bool {
+	var flat []uint16
+	for _, s := range path.Segments {
+		flat = append(flat, s.ASNs...)
+	}
+	if p.anchoredStart {
+		return p.matchAt(flat, 0, p.anchoredEnd)
+	}
+	for start := 0; start <= len(flat); start++ {
+		if p.matchAt(flat[start:], 0, p.anchoredEnd) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchAt matches toks[ti:] against path greedily with backtracking.
+func (p *ASPathPattern) matchAt(path []uint16, ti int, toEnd bool) bool {
+	if ti == len(p.toks) {
+		return !toEnd || len(path) == 0
+	}
+	t := p.toks[ti]
+	switch t.kind {
+	case tokASN:
+		if len(path) == 0 || path[0] != t.asn {
+			return false
+		}
+		return p.matchAt(path[1:], ti+1, toEnd)
+	case tokAny:
+		if len(path) == 0 {
+			return false
+		}
+		return p.matchAt(path[1:], ti+1, toEnd)
+	case tokAnySeq:
+		for skip := 0; skip <= len(path); skip++ {
+			if p.matchAt(path[skip:], ti+1, toEnd) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

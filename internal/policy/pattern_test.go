@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"testing"
+
+	"bgpbench/internal/wire"
+)
+
+func path(asns ...uint16) wire.ASPath { return wire.NewASPath(asns...) }
+
+func TestPatternBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		path    []uint16
+		want    bool
+	}{
+		// Unanchored substring semantics (the "_asn_" idiom).
+		{"7018", []uint16{1, 7018, 2}, true},
+		{"7018", []uint16{1, 2, 3}, false},
+		{"7018", []uint16{70, 18}, false}, // token, not text, boundaries
+		{"7018 2", []uint16{1, 7018, 2}, true},
+		{"7018 3", []uint16{1, 7018, 2}, false},
+
+		// Start anchor: learned directly from.
+		{"^65001", []uint16{65001, 2, 3}, true},
+		{"^65001", []uint16{2, 65001, 3}, false},
+
+		// End anchor: originated by.
+		{"13$", []uint16{1, 2, 13}, true},
+		{"13$", []uint16{13, 2, 1}, false},
+
+		// Full anchoring with wildcard sequence.
+		{"^65001 .* 13$", []uint16{65001, 13}, true},
+		{"^65001 .* 13$", []uint16{65001, 7, 8, 13}, true},
+		{"^65001 .* 13$", []uint16{65001, 7, 8}, false},
+		{"^65001 .* 13$", []uint16{9, 65001, 13}, false},
+
+		// Single-ASN wildcard: exact hop counts.
+		{"^. .$", []uint16{1, 2}, true},
+		{"^. .$", []uint16{1, 2, 3}, false},
+		{"^. .$", []uint16{1}, false},
+
+		// Leading wildcard sequence.
+		{"^.* 99$", []uint16{99}, true},
+		{"^.* 99$", []uint16{1, 2, 99}, true},
+
+		// Empty path.
+		{"^.*$", nil, true},
+		{"65001", nil, false},
+	}
+	for _, c := range cases {
+		p := MustCompileASPathPattern(c.pattern)
+		if got := p.Match(path(c.path...)); got != c.want {
+			t.Errorf("pattern %q on %v: got %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestPatternSpansSegments(t *testing.T) {
+	// The pattern operates on the flattened path: sequence + set members.
+	p := wire.ASPath{Segments: []wire.ASSegment{
+		{Type: wire.SegASSequence, ASNs: []uint16{100, 200}},
+		{Type: wire.SegASSet, ASNs: []uint16{300, 400}},
+	}}
+	if !MustCompileASPathPattern("200 300").Match(p) {
+		t.Error("pattern should span segment boundaries")
+	}
+	if !MustCompileASPathPattern("^100 .* 400$").Match(p) {
+		t.Error("anchored pattern across segments failed")
+	}
+}
+
+func TestPatternCompileErrors(t *testing.T) {
+	for _, bad := range []string{"", "  ", "abc", "70000000", "^ $ x"} {
+		if _, err := CompileASPathPattern(bad); err == nil {
+			t.Errorf("pattern %q compiled", bad)
+		}
+	}
+	// "^$" alone: matches only the empty path.
+	p, err := CompileASPathPattern("^ $")
+	if err != nil {
+		t.Fatalf("^ $ should compile: %v", err)
+	}
+	if !p.Match(path()) || p.Match(path(1)) {
+		t.Error("^ $ should match exactly the empty path")
+	}
+}
+
+func TestPatternInASPathCond(t *testing.T) {
+	cond := ASPathCond{Pattern: MustCompileASPathPattern("^65001 .* 13$")}
+	if !cond.Matches(path(65001, 5, 13)) {
+		t.Error("cond with pattern should match")
+	}
+	if cond.Matches(path(65002, 5, 13)) {
+		t.Error("cond with pattern should reject")
+	}
+	// Combined with other conditions (conjunctive).
+	cond.MaxLen = 2
+	if cond.Matches(path(65001, 5, 13)) {
+		t.Error("MaxLen should also bind")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if MustCompileASPathPattern("^1 .* 2$").String() != "^1 .* 2$" {
+		t.Error("String() should return the source")
+	}
+}

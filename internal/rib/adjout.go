@@ -1,0 +1,64 @@
+package rib
+
+import (
+	"sort"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// AdjOut is the Adj-RIB-Out for one peer: the routes the local speaker has
+// advertised to it. It deduplicates advertisements so the session layer
+// only sends UPDATEs that actually change the peer's view.
+type AdjOut struct {
+	routes map[netaddr.Prefix]wire.PathAttrs
+}
+
+// NewAdjOut returns an empty Adj-RIB-Out.
+func NewAdjOut() *AdjOut {
+	return &AdjOut{routes: make(map[netaddr.Prefix]wire.PathAttrs)}
+}
+
+// Advertise records that attrs were advertised for prefix. It reports
+// whether this differs from what the peer already holds (i.e. whether an
+// UPDATE must be sent).
+func (o *AdjOut) Advertise(prefix netaddr.Prefix, attrs wire.PathAttrs) bool {
+	if cur, ok := o.routes[prefix]; ok && cur.Equal(attrs) {
+		return false
+	}
+	o.routes[prefix] = attrs
+	return true
+}
+
+// Withdraw records the withdrawal of a prefix, reporting whether the peer
+// actually held it.
+func (o *AdjOut) Withdraw(prefix netaddr.Prefix) bool {
+	if _, ok := o.routes[prefix]; !ok {
+		return false
+	}
+	delete(o.routes, prefix)
+	return true
+}
+
+// Lookup returns the attributes last advertised for prefix.
+func (o *AdjOut) Lookup(prefix netaddr.Prefix) (wire.PathAttrs, bool) {
+	a, ok := o.routes[prefix]
+	return a, ok
+}
+
+// Len returns the number of advertised prefixes.
+func (o *AdjOut) Len() int { return len(o.routes) }
+
+// Walk visits advertised routes in prefix order until fn returns false.
+func (o *AdjOut) Walk(fn func(netaddr.Prefix, wire.PathAttrs) bool) {
+	prefixes := make([]netaddr.Prefix, 0, len(o.routes))
+	for p := range o.routes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+	for _, p := range prefixes {
+		if !fn(p, o.routes[p]) {
+			return
+		}
+	}
+}

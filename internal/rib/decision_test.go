@@ -1,0 +1,164 @@
+package rib
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+func peer(addr string, id string, as uint16, ebgp bool) PeerInfo {
+	return PeerInfo{
+		Addr: netaddr.MustParseAddr(addr),
+		ID:   netaddr.MustParseAddr(id),
+		AS:   as,
+		EBGP: ebgp,
+	}
+}
+
+func cand(p PeerInfo, attrs wire.PathAttrs) Candidate {
+	return Candidate{Peer: p, Attrs: attrs}
+}
+
+func baseAttrs(asns ...uint16) wire.PathAttrs {
+	return wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(asns...), netaddr.MustParseAddr("192.0.2.1"))
+}
+
+var (
+	peerA = peer("10.0.0.1", "1.1.1.1", 100, true)
+	peerB = peer("10.0.0.2", "2.2.2.2", 200, true)
+)
+
+func TestBetterLocalPref(t *testing.T) {
+	a := baseAttrs(1, 2, 3)
+	a.HasLocalPref, a.LocalPref = true, 200
+	b := baseAttrs(1) // shorter path, but lower pref
+	b.HasLocalPref, b.LocalPref = true, 100
+	if !Better(cand(peerA, a), cand(peerB, b)) {
+		t.Error("higher local-pref should win over shorter path")
+	}
+	// Unset local-pref counts as 100.
+	c := baseAttrs(1, 2, 3, 4)
+	if !Better(cand(peerA, a), cand(peerB, c)) {
+		t.Error("local-pref 200 should beat default 100")
+	}
+}
+
+func TestBetterASPathLength(t *testing.T) {
+	short := cand(peerA, baseAttrs(1, 2))
+	long := cand(peerB, baseAttrs(3, 4, 5))
+	if !Better(short, long) || Better(long, short) {
+		t.Error("shorter AS path should win")
+	}
+}
+
+func TestBetterOrigin(t *testing.T) {
+	igp := baseAttrs(1, 2)
+	egp := baseAttrs(1, 2)
+	egp.Origin = wire.OriginEGP
+	if !Better(cand(peerA, igp), cand(peerB, egp)) {
+		t.Error("IGP origin should beat EGP")
+	}
+}
+
+func TestBetterMEDSameNeighborOnly(t *testing.T) {
+	lowMED := baseAttrs(7, 2)
+	lowMED.HasMED, lowMED.MED = true, 10
+	highMED := baseAttrs(7, 3)
+	highMED.HasMED, highMED.MED = true, 20
+	// Same neighbour AS (7): MED compares.
+	if !Better(cand(peerA, lowMED), cand(peerB, highMED)) {
+		t.Error("lower MED should win for same neighbour AS")
+	}
+	// Different neighbour AS: MED skipped, falls through to router ID.
+	diffAS := baseAttrs(8, 3)
+	diffAS.HasMED, diffAS.MED = true, 20
+	if !Better(cand(peerA, lowMED), cand(peerB, diffAS)) {
+		t.Error("tie should break on router ID (peerA lower)")
+	}
+	if Better(cand(peerB, diffAS), cand(peerA, lowMED)) {
+		t.Error("router ID tiebreak asymmetry")
+	}
+}
+
+func TestBetterEBGPOverIBGP(t *testing.T) {
+	ibgpPeer := peer("10.0.0.3", "3.3.3.3", 100, false)
+	a := baseAttrs(1, 2)
+	if !Better(cand(peerA, a), cand(ibgpPeer, a)) {
+		t.Error("eBGP should beat iBGP")
+	}
+}
+
+func TestBetterRouterIDTiebreak(t *testing.T) {
+	a := baseAttrs(1, 2)
+	if !Better(cand(peerA, a), cand(peerB, a)) {
+		t.Error("lower router ID should win")
+	}
+	// Same ID: peer address decides.
+	b2 := peer("10.0.0.9", "1.1.1.1", 300, true)
+	if !Better(cand(peerA, a), cand(b2, a)) {
+		t.Error("lower peer address should win at equal IDs")
+	}
+}
+
+// TestBetterIsStrictWeakOrder checks antisymmetry and totality over random
+// candidate pairs from distinct peers — the property the Loc-RIB depends
+// on for convergence.
+func TestBetterIsStrictWeakOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	randCand := func(addrLow byte) Candidate {
+		attrs := baseAttrs()
+		n := 1 + r.Intn(5)
+		asns := make([]uint16, n)
+		for i := range asns {
+			asns[i] = uint16(1 + r.Intn(8))
+		}
+		attrs.ASPath = wire.NewASPath(asns...)
+		if r.Intn(2) == 0 {
+			attrs.HasLocalPref, attrs.LocalPref = true, uint32(100+r.Intn(3)*50)
+		}
+		if r.Intn(2) == 0 {
+			attrs.HasMED, attrs.MED = true, uint32(r.Intn(3)*10)
+		}
+		attrs.Origin = wire.Origin(r.Intn(3))
+		return cand(peer(
+			"10.0.0."+string(rune('0'+addrLow)),
+			"9.9.9."+string(rune('0'+addrLow)),
+			uint16(100+int(addrLow)),
+			r.Intn(2) == 0,
+		), attrs)
+	}
+	for i := 0; i < 3000; i++ {
+		a, b := randCand(1), randCand(2)
+		ab, ba := Better(a, b), Better(b, a)
+		if ab && ba {
+			t.Fatalf("Better not antisymmetric: %+v vs %+v", a, b)
+		}
+		if !ab && !ba {
+			t.Fatalf("Better not total for distinct peers: %+v vs %+v", a, b)
+		}
+		// Transitivity spot check with a third candidate.
+		c := randCand(3)
+		if Better(a, b) && Better(b, c) && !Better(a, c) {
+			t.Fatalf("Better not transitive")
+		}
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	if Best(nil) != -1 {
+		t.Error("Best(nil) != -1")
+	}
+}
+
+func TestBestPicksMostPreferred(t *testing.T) {
+	cands := []Candidate{
+		cand(peerB, baseAttrs(1, 2, 3)),
+		cand(peerA, baseAttrs(1, 2)), // shortest path: wins
+		cand(peer("10.0.0.3", "3.3.3.3", 300, true), baseAttrs(1, 2, 3, 4)),
+	}
+	if got := Best(cands); got != 1 {
+		t.Errorf("Best = %d, want 1", got)
+	}
+}

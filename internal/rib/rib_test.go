@@ -1,0 +1,260 @@
+package rib
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+func newRIB2() *RIB {
+	r := New()
+	r.AddPeer(peerA)
+	r.AddPeer(peerB)
+	return r
+}
+
+func pfx(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+func TestAnnounceWithdrawLifecycle(t *testing.T) {
+	r := newRIB2()
+	p := pfx("10.0.0.0/8")
+
+	ch, ok := r.Announce(peerA.Addr, p, baseAttrs(100, 1))
+	if !ok || ch.Old != nil || ch.New == nil {
+		t.Fatalf("first announce: %+v %v", ch, ok)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+
+	// Duplicate announce: no change.
+	if _, ok := r.Announce(peerA.Addr, p, baseAttrs(100, 1)); ok {
+		t.Fatal("duplicate announce should not produce a change")
+	}
+
+	// Withdraw removes the route entirely.
+	ch, ok = r.Withdraw(peerA.Addr, p)
+	if !ok || ch.New != nil || ch.Old == nil {
+		t.Fatalf("withdraw: %+v %v", ch, ok)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after withdraw = %d", r.Len())
+	}
+
+	// Withdraw of an absent route: no change.
+	if _, ok := r.Withdraw(peerA.Addr, p); ok {
+		t.Fatal("withdraw of absent route should be a no-op")
+	}
+}
+
+func TestAnnounceFromUnregisteredPeerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Announce(peerA.Addr, pfx("10.0.0.0/8"), baseAttrs(1))
+}
+
+func TestTwoPeersBestSelection(t *testing.T) {
+	r := newRIB2()
+	p := pfx("10.0.0.0/8")
+
+	// Peer A announces a long path (like Speaker 1 in the benchmark).
+	r.Announce(peerA.Addr, p, baseAttrs(100, 1, 2, 3))
+	// Peer B announces a longer path (Scenario 5/6): best must not change.
+	if _, ok := r.Announce(peerB.Addr, p, baseAttrs(200, 1, 2, 3, 4)); ok {
+		t.Fatal("longer path should not displace best route")
+	}
+	best, _ := r.Lookup(p)
+	if best.Peer.Addr != peerA.Addr {
+		t.Fatal("best should remain peer A")
+	}
+
+	// Peer B announces a shorter path (Scenario 7/8): best changes.
+	ch, ok := r.Announce(peerB.Addr, p, baseAttrs(200, 1))
+	if !ok || ch.New.Peer.Addr != peerB.Addr || ch.Old.Peer.Addr != peerA.Addr {
+		t.Fatalf("shorter path should win: %+v %v", ch, ok)
+	}
+
+	// Withdrawing the new best falls back to peer A.
+	ch, ok = r.Withdraw(peerB.Addr, p)
+	if !ok || ch.New.Peer.Addr != peerA.Addr {
+		t.Fatalf("fallback: %+v %v", ch, ok)
+	}
+	if len(r.Candidates(p)) != 1 {
+		t.Fatalf("candidates = %d", len(r.Candidates(p)))
+	}
+}
+
+func TestRemovePeer(t *testing.T) {
+	r := newRIB2()
+	for i := 0; i < 50; i++ {
+		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<16), 16)
+		r.Announce(peerA.Addr, p, baseAttrs(100, uint16(i+1)))
+		if i%2 == 0 {
+			r.Announce(peerB.Addr, p, baseAttrs(200, uint16(i+1))) // equal length; A wins on ID
+		}
+	}
+	changes := r.RemovePeer(peerA.Addr)
+	if len(changes) != 50 {
+		t.Fatalf("changes = %d, want 50", len(changes))
+	}
+	// Prefixes with a B candidate switch; the rest are removed.
+	switched, removed := 0, 0
+	for _, ch := range changes {
+		if ch.New != nil {
+			switched++
+		} else {
+			removed++
+		}
+	}
+	if switched != 25 || removed != 25 {
+		t.Fatalf("switched=%d removed=%d", switched, removed)
+	}
+	if r.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", r.Len())
+	}
+	if len(r.Peers()) != 1 {
+		t.Fatalf("Peers = %d, want 1", len(r.Peers()))
+	}
+}
+
+func TestWalkLocOrderedAndComplete(t *testing.T) {
+	r := newRIB2()
+	want := 200
+	for i := 0; i < want; i++ {
+		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<12), 20)
+		r.Announce(peerA.Addr, p, baseAttrs(100, uint16(i%7+1)))
+	}
+	var prev netaddr.Prefix
+	count := 0
+	r.WalkLoc(func(p netaddr.Prefix, c Candidate) bool {
+		if count > 0 && prev.Compare(p) >= 0 {
+			t.Fatalf("WalkLoc out of order: %v then %v", prev, p)
+		}
+		prev = p
+		count++
+		return true
+	})
+	if count != want {
+		t.Fatalf("visited %d, want %d", count, want)
+	}
+	// Early termination.
+	count = 0
+	r.WalkLoc(func(netaddr.Prefix, Candidate) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// TestLocRIBInvariant: after a random operation sequence, every Loc-RIB
+// best equals the decision-process winner over its candidates, recomputed
+// from scratch.
+func TestLocRIBInvariant(t *testing.T) {
+	r := newRIB2()
+	rng := rand.New(rand.NewSource(77))
+	peers := []PeerInfo{peerA, peerB}
+	prefixes := make([]netaddr.Prefix, 40)
+	for i := range prefixes {
+		prefixes[i] = netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<20), 12)
+	}
+	for op := 0; op < 5000; op++ {
+		p := prefixes[rng.Intn(len(prefixes))]
+		peer := peers[rng.Intn(2)]
+		if rng.Intn(3) == 0 {
+			r.Withdraw(peer.Addr, p)
+		} else {
+			n := 1 + rng.Intn(4)
+			asns := make([]uint16, n)
+			for i := range asns {
+				asns[i] = uint16(1 + rng.Intn(10))
+			}
+			r.Announce(peer.Addr, p, baseAttrs(asns...))
+		}
+	}
+	for _, p := range prefixes {
+		cands := r.Candidates(p)
+		best, ok := r.Lookup(p)
+		if len(cands) == 0 {
+			if ok {
+				t.Fatalf("%v: best exists with no candidates", p)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%v: candidates exist but no best", p)
+		}
+		idx := Best(cands)
+		if cands[idx].Peer.Addr != best.Peer.Addr || !cands[idx].Attrs.Equal(best.Attrs) {
+			t.Fatalf("%v: stored best differs from recomputed best", p)
+		}
+	}
+	if r.Decisions() == 0 {
+		t.Fatal("decision counter not incremented")
+	}
+}
+
+func TestAdjOutDedup(t *testing.T) {
+	o := NewAdjOut()
+	p := pfx("10.0.0.0/8")
+	a := baseAttrs(1, 2)
+
+	if !o.Advertise(p, a) {
+		t.Fatal("first advertise should report a change")
+	}
+	if o.Advertise(p, a) {
+		t.Fatal("identical re-advertise should be suppressed")
+	}
+	b := baseAttrs(1, 2, 3)
+	if !o.Advertise(p, b) {
+		t.Fatal("changed attributes should report a change")
+	}
+	if got, ok := o.Lookup(p); !ok || !got.Equal(b) {
+		t.Fatal("Lookup returned wrong attrs")
+	}
+	if !o.Withdraw(p) {
+		t.Fatal("withdraw of advertised prefix should report a change")
+	}
+	if o.Withdraw(p) {
+		t.Fatal("double withdraw should be suppressed")
+	}
+	if o.Len() != 0 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+}
+
+func TestAdjOutWalkOrdered(t *testing.T) {
+	o := NewAdjOut()
+	for i := 20; i > 0; i-- {
+		o.Advertise(netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<24), 8), baseAttrs(uint16(i)))
+	}
+	var prev netaddr.Prefix
+	n := 0
+	o.Walk(func(p netaddr.Prefix, _ wire.PathAttrs) bool {
+		if n > 0 && prev.Compare(p) >= 0 {
+			t.Fatalf("Walk out of order")
+		}
+		prev = p
+		n++
+		return true
+	})
+	if n != 20 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	c := Candidate{Peer: peerA, Attrs: baseAttrs(1)}
+	for _, ch := range []Change{
+		{Prefix: pfx("10.0.0.0/8"), New: &c},
+		{Prefix: pfx("10.0.0.0/8"), Old: &c},
+		{Prefix: pfx("10.0.0.0/8"), Old: &c, New: &c},
+	} {
+		if ch.String() == "" {
+			t.Error("empty Change.String()")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package session
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// TestCapabilitiesExchangedEndToEnd: capabilities configured on one side
+// arrive in the other side's PeerOpen.
+func TestCapabilitiesExchangedEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	pc := newCollector()
+	passive := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+		},
+		Handler: pc, Name: "passive",
+	})
+	passive.Start()
+	defer passive.Stop()
+	go func() {
+		if conn, err := ln.Accept(); err == nil {
+			passive.Attach(conn)
+		}
+	}()
+
+	ac := newCollector()
+	active := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"), HoldTime: 90,
+			Capabilities: []wire.Capability{wire.MultiprotocolIPv4Unicast(), wire.RouteRefreshCapability()},
+		},
+		DialTarget: ln.Addr().String(),
+		Handler:    ac, Name: "active",
+	})
+	active.Start()
+	defer active.Stop()
+
+	waitEstablished(t, ac, "active")
+	waitEstablished(t, pc, "passive")
+
+	caps, err := wire.ParseCapabilities(passive.PeerOpen().OptParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.HasCapability(caps, wire.CapMultiprotocol) || !wire.HasCapability(caps, wire.CapRouteRefresh) {
+		t.Fatalf("capabilities not received: %v", caps)
+	}
+}
+
+// rawDial opens a plain TCP connection to the listener and hands it to
+// the passive session, returning the raw conn for hostile writes.
+func rawPassive(t *testing.T) (*Session, *collector, net.Conn, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := newCollector()
+	passive := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+		},
+		Handler: pc, Name: "victim",
+	})
+	passive.Start()
+	accepted := make(chan struct{})
+	go func() {
+		if conn, err := ln.Accept(); err == nil {
+			passive.Attach(conn)
+		}
+		close(accepted)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+	return passive, pc, conn, func() {
+		conn.Close()
+		passive.Stop()
+		ln.Close()
+	}
+}
+
+// TestGarbageBytesTriggerNotification: a peer that writes garbage gets a
+// NOTIFICATION (connection-not-synchronized) and a close, and the session
+// survives as a process (no panic, clean teardown).
+func TestGarbageBytesTriggerNotification(t *testing.T) {
+	passive, _, conn, cleanup := rawPassive(t)
+	defer cleanup()
+
+	garbage := make([]byte, 64)
+	for i := range garbage {
+		garbage[i] = byte(i * 7)
+	}
+	if _, err := conn.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	// Expect a NOTIFICATION back before the close (the victim's own OPEN
+	// precedes it).
+	n := expectNotification(t, conn)
+	if n.Code != wire.ErrCodeHeader {
+		t.Fatalf("got %+v, want header-error NOTIFICATION", n)
+	}
+	// The victim session ends in Idle.
+	deadline := time.Now().Add(5 * time.Second)
+	for passive.State() != fsm.Idle {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim stuck in %v", passive.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOversizedLengthRejected: a header advertising a length beyond 4096
+// must be rejected with a bad-length NOTIFICATION.
+func TestOversizedLengthRejected(t *testing.T) {
+	_, _, conn, cleanup := rawPassive(t)
+	defer cleanup()
+
+	hdr := make([]byte, wire.HeaderLen)
+	for i := 0; i < 16; i++ {
+		hdr[i] = 0xFF
+	}
+	hdr[16], hdr[17] = 0xFF, 0xFF // length 65535
+	hdr[18] = byte(wire.MsgUpdate)
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	n := expectNotification(t, conn)
+	if n.Code != wire.ErrCodeHeader || n.Subcode != wire.ErrSubBadLength {
+		t.Fatalf("got %+v, want header/bad-length", n)
+	}
+}
+
+// expectNotification reads messages until a NOTIFICATION arrives (the
+// victim's own OPEN/KEEPALIVE may precede it).
+func expectNotification(t *testing.T, conn net.Conn) wire.Notification {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := wire.NewReader(conn)
+	for {
+		m, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("connection ended without NOTIFICATION: %v", err)
+		}
+		if n, ok := m.(wire.Notification); ok {
+			return n
+		}
+	}
+}
+
+// TestAbruptDisconnectBeforeOpen: closing the transport mid-handshake
+// must not wedge the session.
+func TestAbruptDisconnectBeforeOpen(t *testing.T) {
+	passive, _, conn, cleanup := rawPassive(t)
+	defer cleanup()
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for passive.State() != fsm.Idle && passive.State() != fsm.Active {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim stuck in %v after disconnect", passive.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMalformedUpdateAfterEstablishmentTearsDownCleanly drives a full
+// handshake by hand, then sends a structurally broken UPDATE.
+func TestMalformedUpdateAfterEstablishment(t *testing.T) {
+	passive, pc, conn, cleanup := rawPassive(t)
+	defer cleanup()
+
+	w := wire.NewWriter(conn)
+	r := wire.NewReader(conn)
+	if err := w.WriteMessage(wire.NewOpen(65001, 90, netaddr.MustParseAddr("1.1.1.1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMessage(wire.Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	waitEstablished(t, pc, "victim")
+
+	// UPDATE whose attribute block overruns: withdrawn len 0, attr len 200,
+	// but only 2 bytes of body follow.
+	body := []byte{0, 0, 0, 200, 0x40, 1}
+	msg := make([]byte, wire.HeaderLen+len(body))
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xFF
+	}
+	msg[16] = byte(len(msg) >> 8)
+	msg[17] = byte(len(msg))
+	msg[18] = byte(wire.MsgUpdate)
+	copy(msg[wire.HeaderLen:], body)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expect an UPDATE-error NOTIFICATION (possibly after the initial
+	// KEEPALIVE/OPEN exchange messages already queued).
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		m, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("connection died without NOTIFICATION: %v", err)
+		}
+		if n, ok := m.(wire.Notification); ok {
+			if n.Code != wire.ErrCodeUpdate {
+				t.Fatalf("NOTIFICATION code %d, want UPDATE error", n.Code)
+			}
+			break
+		}
+	}
+	select {
+	case <-pc.downs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("victim session never reported down")
+	}
+	_ = passive
+}

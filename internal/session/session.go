@@ -1,0 +1,564 @@
+// Package session drives one live BGP peering over TCP: it owns the
+// socket, the hold/keepalive/connect-retry timers, and a single event-loop
+// goroutine that feeds the pure FSM (internal/fsm) and executes the
+// actions it returns. Both the benchmark speakers and the router under
+// test are built from Sessions.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/wire"
+)
+
+// Handler receives session lifecycle callbacks. Callbacks run on the
+// session's event-loop goroutine: they must not block for long and must
+// not call back into the session synchronously except via Send/Stop.
+type Handler interface {
+	// Established fires when the session reaches the Established state.
+	Established(s *Session)
+	// Update delivers one received UPDATE message.
+	Update(s *Session, u wire.Update)
+	// Down fires when an established session terminates; err explains why.
+	Down(s *Session, err error)
+}
+
+// RefreshHandler is optionally implemented by Handlers that want
+// ROUTE-REFRESH (RFC 2918) delivery; sessions whose handler does not
+// implement it silently ignore refresh requests.
+type RefreshHandler interface {
+	Refresh(s *Session, r wire.RouteRefresh)
+}
+
+// NopHandler ignores all callbacks; embed it to implement a subset.
+type NopHandler struct{}
+
+// Established implements Handler.
+func (NopHandler) Established(*Session) {}
+
+// Update implements Handler.
+func (NopHandler) Update(*Session, wire.Update) {}
+
+// Down implements Handler.
+func (NopHandler) Down(*Session, error) {}
+
+// Config parameterizes a session.
+type Config struct {
+	FSM fsm.Config
+	// DialTarget is the peer's "host:port"; required unless the session is
+	// passive (conn supplied via Attach).
+	DialTarget string
+	// ConnectRetry is the interval between outbound connection attempts.
+	// Zero defaults to 2 seconds (short: benchmarks restart often).
+	ConnectRetry time.Duration
+	// DialTimeout bounds one connection attempt. Zero defaults to 5s.
+	DialTimeout time.Duration
+	Handler     Handler
+	// Name labels the session in errors and stats.
+	Name string
+}
+
+// Counters aggregates per-session message statistics. All fields are
+// atomics so they can be read while the session runs.
+type Counters struct {
+	MsgsIn      atomic.Uint64
+	MsgsOut     atomic.Uint64
+	UpdatesIn   atomic.Uint64
+	UpdatesOut  atomic.Uint64
+	PrefixesIn  atomic.Uint64 // announced NLRI received
+	WithdrawsIn atomic.Uint64 // withdrawn prefixes received
+}
+
+// event is the internal event-loop message: an FSM event plus optional
+// transport payload.
+type event struct {
+	fsm  fsm.Event
+	conn net.Conn // with EvTCPConnEstablished
+	err  error    // with EvTCPConnFails / EvMsgError
+}
+
+// Session is one BGP peering endpoint.
+type Session struct {
+	cfg    Config
+	fsm    *fsm.FSM
+	events chan event
+	outbox chan wire.Message
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// Owned by the event loop.
+	conn         net.Conn
+	writer       *wire.Writer
+	holdTimer    *time.Timer
+	kaTimer      *time.Timer
+	retryTimer   *time.Timer
+	readerCancel chan struct{}
+
+	Stats Counters
+
+	stateMirror atomic.Int32 // fsm.State mirror maintained by the loop
+
+	mu          sync.Mutex
+	established bool
+	lastErr     error
+}
+
+// New builds a session; call Start (or Attach for inbound connections) to
+// run it.
+func New(cfg Config) *Session {
+	if cfg.Handler == nil {
+		cfg.Handler = NopHandler{}
+	}
+	if cfg.ConnectRetry == 0 {
+		cfg.ConnectRetry = 2 * time.Second
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &Session{
+		cfg:    cfg,
+		fsm:    fsm.New(cfg.FSM),
+		events: make(chan event, 64),
+		outbox: make(chan wire.Message, 1024),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the event loop and (for active sessions) the first
+// connection attempt.
+func (s *Session) Start() {
+	s.wg.Add(1)
+	go s.loop()
+	s.events <- event{fsm: fsm.Event{Type: fsm.EvManualStart}}
+}
+
+// Attach hands an accepted inbound connection to a passive session. Call
+// after Start.
+func (s *Session) Attach(conn net.Conn) {
+	s.events <- event{fsm: fsm.Event{Type: fsm.EvTCPConnEstablished}, conn: conn}
+}
+
+// Stop terminates the session gracefully (CEASE notification when
+// established) and waits for its goroutines.
+func (s *Session) Stop() {
+	select {
+	case s.events <- event{fsm: fsm.Event{Type: fsm.EvManualStop}}:
+	case <-s.done:
+	}
+	// Give the loop a moment to process the stop, then force shutdown.
+	select {
+	case <-s.done:
+	case <-time.After(2 * time.Second):
+		s.closeDone()
+	}
+	s.wg.Wait()
+}
+
+func (s *Session) closeDone() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+}
+
+// Send queues a message for transmission on the established session. It
+// blocks when the outbox is full (back-pressure) and returns an error once
+// the session has terminated.
+func (s *Session) Send(m wire.Message) error {
+	select {
+	case s.outbox <- m:
+		return nil
+	case <-s.done:
+		return fmt.Errorf("session %s: closed", s.cfg.Name)
+	}
+}
+
+// Established reports whether the session is currently established.
+func (s *Session) Established() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.established
+}
+
+// Err returns the last terminal error.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// State returns the FSM state as last published by the event loop. Safe
+// for concurrent use; intended for diagnostics.
+func (s *Session) State() fsm.State { return fsm.State(s.stateMirror.Load()) }
+
+// Name returns the configured session name.
+func (s *Session) Name() string { return s.cfg.Name }
+
+// PeerOpen returns the peer's OPEN message, valid once the session has
+// established. Intended for use inside Handler callbacks, which run on the
+// event-loop goroutine that owns the FSM.
+func (s *Session) PeerOpen() wire.Open { return s.fsm.PeerOpen() }
+
+// loop is the event-loop goroutine: the only goroutine touching the FSM,
+// the writer, and the timers.
+func (s *Session) loop() {
+	defer s.wg.Done()
+	defer s.cleanup()
+	for {
+		select {
+		case <-s.done:
+			return
+		case ev := <-s.events:
+			if s.handle(ev) {
+				return
+			}
+		case m := <-s.outbox:
+			if !s.writeOut(m) {
+				continue
+			}
+		}
+	}
+}
+
+// writeOut sends one queued message plus any immediately available batch.
+func (s *Session) writeOut(first wire.Message) bool {
+	if s.writer == nil || s.fsm.State() != fsm.Established {
+		// Not established: drop silently. Benchmark speakers only send
+		// after Established fires, so this is a shutdown race, not a bug.
+		return false
+	}
+	write := func(m wire.Message) bool {
+		if err := s.writer.WriteMessageBuffered(m); err != nil {
+			s.transportError(err)
+			return false
+		}
+		s.Stats.MsgsOut.Add(1)
+		if m.Type() == wire.MsgUpdate {
+			s.Stats.UpdatesOut.Add(1)
+		}
+		return true
+	}
+	if !write(first) {
+		return false
+	}
+	// Opportunistically batch queued messages into one flush.
+batch:
+	for i := 0; i < 256; i++ {
+		select {
+		case m := <-s.outbox:
+			if !write(m) {
+				return false
+			}
+		default:
+			break batch
+		}
+	}
+	if err := s.writer.Flush(); err != nil {
+		s.transportError(err)
+		return false
+	}
+	return true
+}
+
+func (s *Session) transportError(err error) {
+	select {
+	case s.events <- event{fsm: fsm.Event{Type: fsm.EvTCPConnFails}, err: err}:
+	default:
+	}
+}
+
+// handle feeds one event through the FSM and executes the actions.
+// It returns true when the session is finished.
+func (s *Session) handle(ev event) bool {
+	if ev.conn != nil {
+		if s.conn != nil {
+			// Connection collision: keep the first transport, ignore the
+			// duplicate entirely (a full implementation would compare BGP
+			// identifiers per RFC 4271 section 6.8).
+			ev.conn.Close()
+			return false
+		}
+		// Adopt the transport before the FSM acts on it.
+		s.adoptConn(ev.conn)
+	}
+	if ev.err != nil && ev.fsm.Type == fsm.EvTCPConnFails {
+		s.recordErr(ev.err)
+	}
+	acts := s.fsm.Handle(ev.fsm)
+	s.stateMirror.Store(int32(s.fsm.State()))
+	finished := false
+	for _, a := range acts {
+		if s.execute(a, ev) {
+			finished = true
+		}
+	}
+	if ev.fsm.Type == fsm.EvManualStop {
+		s.closeDone()
+		finished = true
+	}
+	return finished
+}
+
+func (s *Session) execute(a fsm.Action, ev event) bool {
+	switch a.Type {
+	case fsm.ActConnect:
+		s.dial()
+	case fsm.ActSendOpen:
+		open := wire.NewOpen(s.cfg.FSM.LocalAS, s.cfg.FSM.HoldTime, s.cfg.FSM.LocalID)
+		if caps, err := wire.MarshalCapabilities(s.cfg.FSM.Capabilities); err == nil {
+			open.OptParams = caps
+		}
+		s.sendNow(open)
+	case fsm.ActSendKeepalive:
+		s.sendNow(wire.Keepalive{})
+	case fsm.ActSendNotify:
+		if a.Notif != nil {
+			s.sendNow(*a.Notif)
+		}
+	case fsm.ActCloseConn:
+		s.dropConn()
+		if s.fsm.State() == fsm.Idle {
+			// Terminal for this session object: benchmark sessions do not
+			// auto-restart once torn down.
+			s.closeDone()
+			return true
+		}
+	case fsm.ActStartHold:
+		s.startHold()
+	case fsm.ActStopHold:
+		s.stopTimer(&s.holdTimer)
+	case fsm.ActStartKeepalive:
+		s.startKeepalive()
+	case fsm.ActStopKeepalive:
+		s.stopTimer(&s.kaTimer)
+	case fsm.ActStartConnectRetry:
+		s.startRetry()
+	case fsm.ActStopConnectRetry:
+		s.stopTimer(&s.retryTimer)
+	case fsm.ActEstablished:
+		s.mu.Lock()
+		s.established = true
+		s.mu.Unlock()
+		s.cfg.Handler.Established(s)
+	case fsm.ActStopped:
+		s.mu.Lock()
+		s.established = false
+		err := s.lastErr
+		s.mu.Unlock()
+		if err == nil {
+			err = errors.New("session stopped")
+		}
+		s.cfg.Handler.Down(s, err)
+	case fsm.ActDeliverRefresh:
+		if a.Refresh != nil {
+			if rh, ok := s.cfg.Handler.(RefreshHandler); ok {
+				rh.Refresh(s, *a.Refresh)
+			}
+		}
+	case fsm.ActDeliverUpdate:
+		if a.Update != nil {
+			s.Stats.UpdatesIn.Add(1)
+			s.Stats.PrefixesIn.Add(uint64(len(a.Update.NLRI)))
+			s.Stats.WithdrawsIn.Add(uint64(len(a.Update.Withdrawn)))
+			s.cfg.Handler.Update(s, *a.Update)
+		}
+	}
+	return false
+}
+
+func (s *Session) recordErr(err error) {
+	s.mu.Lock()
+	if s.lastErr == nil {
+		s.lastErr = err
+	}
+	s.mu.Unlock()
+}
+
+// sendNow writes a control message immediately (bypassing the outbox so
+// OPEN/KEEPALIVE/NOTIFICATION are not queued behind bulk updates).
+func (s *Session) sendNow(m wire.Message) {
+	if s.writer == nil {
+		return
+	}
+	if err := s.writer.WriteMessage(m); err != nil {
+		s.transportError(err)
+		return
+	}
+	s.Stats.MsgsOut.Add(1)
+}
+
+// dial starts an asynchronous connection attempt.
+func (s *Session) dial() {
+	target := s.cfg.DialTarget
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		conn, err := net.DialTimeout("tcp", target, s.cfg.DialTimeout)
+		ev := event{}
+		if err != nil {
+			ev.fsm = fsm.Event{Type: fsm.EvTCPConnFails}
+			ev.err = err
+		} else {
+			ev.fsm = fsm.Event{Type: fsm.EvTCPConnEstablished}
+			ev.conn = conn
+		}
+		select {
+		case s.events <- ev:
+		case <-s.done:
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+}
+
+// adoptConn installs a transport and spawns its reader.
+func (s *Session) adoptConn(conn net.Conn) {
+	if s.conn != nil {
+		// Connection collision: keep the first transport, drop the new one.
+		conn.Close()
+		return
+	}
+	s.conn = conn
+	s.writer = wire.NewWriter(conn)
+	cancel := make(chan struct{})
+	s.readerCancel = cancel
+	s.wg.Add(1)
+	go s.readLoop(conn, cancel)
+}
+
+// readLoop converts inbound messages to FSM events.
+func (s *Session) readLoop(conn net.Conn, cancel chan struct{}) {
+	defer s.wg.Done()
+	r := wire.NewReader(conn)
+	for {
+		m, err := r.ReadMessage()
+		var ev event
+		switch {
+		case err == nil:
+			s.Stats.MsgsIn.Add(1)
+			ev.fsm = messageEvent(m)
+		default:
+			var ne *wire.NotifyError
+			if errors.As(err, &ne) {
+				ev.fsm = fsm.Event{Type: fsm.EvMsgError, Err: ne}
+			} else {
+				ev.fsm = fsm.Event{Type: fsm.EvTCPConnFails}
+				ev.err = err
+			}
+		}
+		select {
+		case s.events <- ev:
+		case <-cancel:
+			return
+		case <-s.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// messageEvent maps a parsed message onto its FSM event.
+func messageEvent(m wire.Message) fsm.Event {
+	switch v := m.(type) {
+	case wire.Open:
+		return fsm.Event{Type: fsm.EvMsgOpen, Open: &v}
+	case wire.Update:
+		return fsm.Event{Type: fsm.EvMsgUpdate, Update: &v}
+	case wire.Notification:
+		return fsm.Event{Type: fsm.EvMsgNotification, Notif: &v}
+	case wire.Keepalive:
+		return fsm.Event{Type: fsm.EvMsgKeepalive}
+	case wire.RouteRefresh:
+		return fsm.Event{Type: fsm.EvMsgRouteRefresh, Refresh: &v}
+	}
+	return fsm.Event{Type: fsm.EvMsgError, Err: fmt.Errorf("unknown message %T", m)}
+}
+
+func (s *Session) dropConn() {
+	if s.readerCancel != nil {
+		close(s.readerCancel)
+		s.readerCancel = nil
+	}
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.writer = nil
+}
+
+func (s *Session) startHold() {
+	d := time.Duration(s.holdSeconds()) * time.Second
+	if d == 0 {
+		return
+	}
+	s.stopTimer(&s.holdTimer)
+	s.holdTimer = time.AfterFunc(d, func() {
+		select {
+		case s.events <- event{fsm: fsm.Event{Type: fsm.EvHoldTimerExpires}}:
+		case <-s.done:
+		}
+	})
+}
+
+func (s *Session) holdSeconds() uint16 {
+	if s.fsm.State() == fsm.OpenSent || s.fsm.State() == fsm.Connect || s.fsm.State() == fsm.Active {
+		// Pre-negotiation: use a generous 4-minute bound (RFC suggestion).
+		return 240
+	}
+	return s.fsm.HoldTime()
+}
+
+func (s *Session) startKeepalive() {
+	hold := s.fsm.HoldTime()
+	if hold == 0 {
+		return
+	}
+	d := time.Duration(hold) * time.Second / 3
+	if d < time.Second {
+		d = time.Second
+	}
+	s.stopTimer(&s.kaTimer)
+	s.kaTimer = time.AfterFunc(d, func() {
+		select {
+		case s.events <- event{fsm: fsm.Event{Type: fsm.EvKeepaliveTimerExpires}}:
+		case <-s.done:
+		}
+	})
+}
+
+func (s *Session) startRetry() {
+	s.stopTimer(&s.retryTimer)
+	s.retryTimer = time.AfterFunc(s.cfg.ConnectRetry, func() {
+		select {
+		case s.events <- event{fsm: fsm.Event{Type: fsm.EvConnectRetryExpires}}:
+		case <-s.done:
+		}
+	})
+}
+
+func (s *Session) stopTimer(t **time.Timer) {
+	if *t != nil {
+		(*t).Stop()
+		*t = nil
+	}
+}
+
+func (s *Session) cleanup() {
+	s.stopTimer(&s.holdTimer)
+	s.stopTimer(&s.kaTimer)
+	s.stopTimer(&s.retryTimer)
+	s.dropConn()
+	s.closeDone()
+}

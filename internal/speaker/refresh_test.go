@@ -1,0 +1,50 @@
+package speaker
+
+import (
+	"testing"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/netaddr"
+)
+
+// TestRouteRefreshResendsTable: after the initial transfer, a
+// ROUTE-REFRESH must make the router re-send its whole Adj-RIB-Out.
+func TestRouteRefreshResendsTable(t *testing.T) {
+	r := startRouter(t)
+
+	sp1 := New(Config{AS: 65001, ID: netaddr.MustParseAddr("1.1.1.1"), Target: r.ListenAddr()})
+	if err := sp1.Connect(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer sp1.Stop()
+	routes := core.GenerateTable(core.TableGenConfig{N: 250, Seed: 6, FirstAS: 65001})
+	if err := sp1.Announce(routes, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	sp2 := New(Config{AS: 65002, ID: netaddr.MustParseAddr("2.2.2.2"), Target: r.ListenAddr()})
+	if err := sp2.Connect(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Stop()
+	if err := sp2.WaitForPrefixes(250, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refresh: the full table arrives again.
+	if err := sp2.RequestRefresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp2.WaitForPrefixes(500, 10*time.Second); err != nil {
+		t.Fatalf("refresh did not re-send the table: %v", err)
+	}
+
+	// A second refresh works too (the Adj-RIB-Out reset is repeatable).
+	if err := sp2.RequestRefresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp2.WaitForPrefixes(750, 10*time.Second); err != nil {
+		t.Fatalf("second refresh failed: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package speaker implements the benchmark's BGP speakers (Figure 1 of
+// the paper): Speaker 1 injects routing tables and incremental updates
+// into the router under test; Speaker 2 receives the router's
+// advertisements and detects convergence. Speakers are full BGP sessions
+// built on internal/session; they talk to any RFC 4271 router, not only
+// the one in this repository.
+package speaker
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/session"
+	"bgpbench/internal/wire"
+)
+
+// Config parameterizes a speaker.
+type Config struct {
+	AS       uint16
+	ID       netaddr.Addr
+	NextHop  netaddr.Addr // NEXT_HOP advertised with generated routes; defaults to ID
+	Target   string       // router under test, "host:port"
+	HoldTime uint16       // default 90
+	Name     string
+}
+
+// Speaker is one benchmark BGP speaker.
+type Speaker struct {
+	cfg  Config
+	sess *session.Session
+
+	established chan struct{}
+	down        chan error
+
+	prefixesIn  atomic.Uint64
+	withdrawsIn atomic.Uint64
+	updatesIn   atomic.Uint64
+	lastRecv    atomic.Int64 // unix nanos of last received update
+}
+
+// New builds a speaker; Connect starts it.
+func New(cfg Config) *Speaker {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 90
+	}
+	if cfg.NextHop == 0 {
+		cfg.NextHop = cfg.ID
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("speaker-as%d", cfg.AS)
+	}
+	s := &Speaker{
+		cfg:         cfg,
+		established: make(chan struct{}, 1),
+		down:        make(chan error, 1),
+	}
+	s.sess = session.New(session.Config{
+		FSM: fsm.Config{
+			LocalAS:  cfg.AS,
+			LocalID:  cfg.ID,
+			HoldTime: cfg.HoldTime,
+		},
+		DialTarget: cfg.Target,
+		Handler:    (*speakerHandler)(s),
+		Name:       cfg.Name,
+	})
+	return s
+}
+
+// speakerHandler keeps Handler methods off the Speaker's public API.
+type speakerHandler Speaker
+
+// Established implements session.Handler.
+func (h *speakerHandler) Established(*session.Session) {
+	select {
+	case h.established <- struct{}{}:
+	default:
+	}
+}
+
+// Update implements session.Handler.
+func (h *speakerHandler) Update(_ *session.Session, u wire.Update) {
+	s := (*Speaker)(h)
+	s.updatesIn.Add(1)
+	s.prefixesIn.Add(uint64(len(u.NLRI)))
+	s.withdrawsIn.Add(uint64(len(u.Withdrawn)))
+	s.lastRecv.Store(time.Now().UnixNano())
+}
+
+// Down implements session.Handler.
+func (h *speakerHandler) Down(_ *session.Session, err error) {
+	select {
+	case h.down <- err:
+	default:
+	}
+}
+
+// Connect starts the session and blocks until it establishes or the
+// timeout elapses.
+func (s *Speaker) Connect(timeout time.Duration) error {
+	s.sess.Start()
+	select {
+	case <-s.established:
+		return nil
+	case err := <-s.down:
+		return fmt.Errorf("speaker %s: session down during connect: %w", s.cfg.Name, err)
+	case <-time.After(timeout):
+		return fmt.Errorf("speaker %s: no session after %v", s.cfg.Name, timeout)
+	}
+}
+
+// Stop tears the session down.
+func (s *Speaker) Stop() { s.sess.Stop() }
+
+// Announce sends the routes as announcements packed prefixesPerMsg per
+// UPDATE (1 = the paper's small packets, 500 = large packets).
+func (s *Speaker) Announce(routes []core.Route, prefixesPerMsg int) error {
+	for _, u := range core.Updates(routes, s.cfg.NextHop, prefixesPerMsg) {
+		if err := s.sess.Send(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Withdraw sends withdrawals for the routes, packed prefixesPerMsg per
+// UPDATE.
+func (s *Speaker) Withdraw(routes []core.Route, prefixesPerMsg int) error {
+	for _, u := range core.Withdrawals(routes, prefixesPerMsg) {
+		if err := s.sess.Send(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RequestRefresh asks the router to re-send its full Adj-RIB-Out
+// (RFC 2918 ROUTE-REFRESH).
+func (s *Speaker) RequestRefresh() error {
+	return s.sess.Send(wire.IPv4UnicastRefresh())
+}
+
+// PrefixesReceived returns the number of announced prefixes received.
+func (s *Speaker) PrefixesReceived() uint64 { return s.prefixesIn.Load() }
+
+// WithdrawalsReceived returns the number of withdrawn prefixes received.
+func (s *Speaker) WithdrawalsReceived() uint64 { return s.withdrawsIn.Load() }
+
+// UpdatesReceived returns the number of UPDATE messages received.
+func (s *Speaker) UpdatesReceived() uint64 { return s.updatesIn.Load() }
+
+// WaitForPrefixes blocks until at least n announced prefixes have arrived.
+// It is the Phase 2 convergence detector: "the router transfers its route
+// information to Speaker 2".
+func (s *Speaker) WaitForPrefixes(n uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for s.prefixesIn.Load() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("speaker %s: %d/%d prefixes after %v",
+				s.cfg.Name, s.prefixesIn.Load(), n, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// WaitForWithdrawals blocks until at least n withdrawn prefixes arrived.
+func (s *Speaker) WaitForWithdrawals(n uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for s.withdrawsIn.Load() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("speaker %s: %d/%d withdrawals after %v",
+				s.cfg.Name, s.withdrawsIn.Load(), n, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// WaitQuiescent blocks until no update has arrived for the given idle
+// window (or the timeout elapses), returning whether quiescence was
+// reached. Used when the expected message count is not known exactly.
+func (s *Speaker) WaitQuiescent(idle, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		last := s.lastRecv.Load()
+		if last != 0 && time.Since(time.Unix(0, last)) >= idle {
+			return true
+		}
+		time.Sleep(idle / 4)
+	}
+	return false
+}

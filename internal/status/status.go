@@ -1,0 +1,69 @@
+// Package status exposes a router's operational state over HTTP for
+// inspection while benchmarks run: a JSON summary, a plain-text FIB dump,
+// and Prometheus-style counters. It is read-only and adds no processing
+// on the router's hot paths beyond the atomic counter reads.
+package status
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+)
+
+// Summary is the JSON document served at /status.
+type Summary struct {
+	AS           uint16 `json:"as"`
+	FIBEntries   int    `json:"fib_entries"`
+	FIBChanges   uint64 `json:"fib_changes"`
+	Transactions uint64 `json:"transactions"`
+	FIBLookups   uint64 `json:"fib_lookups"`
+	Flaps        uint64 `json:"flaps,omitempty"`
+}
+
+// Handler builds the HTTP mux for a router.
+//
+//	GET /status   JSON summary
+//	GET /fib      plain-text FIB dump (prefix, next hop, port)
+//	GET /metrics  Prometheus-style counters
+func Handler(r *core.Router, as uint16) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		s := Summary{
+			AS:           as,
+			FIBEntries:   r.FIB().Len(),
+			FIBChanges:   r.FIBChanges(),
+			Transactions: r.Transactions(),
+			FIBLookups:   r.FIB().Lookups(),
+		}
+		if d := r.Damper(); d != nil {
+			s.Flaps = d.Flaps()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s)
+	})
+	mux.HandleFunc("/fib", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		count := 0
+		r.FIB().Walk(func(p netaddr.Prefix, e fib.Entry) bool {
+			fmt.Fprintf(w, "%-20s via %-15s port %d\n", p, e.NextHop, e.Port)
+			count++
+			return true
+		})
+		fmt.Fprintf(w, "# %d entries\n", count)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "bgp_transactions_total %d\n", r.Transactions())
+		fmt.Fprintf(w, "bgp_fib_entries %d\n", r.FIB().Len())
+		fmt.Fprintf(w, "bgp_fib_changes_total %d\n", r.FIBChanges())
+		fmt.Fprintf(w, "bgp_fib_lookups_total %d\n", r.FIB().Lookups())
+		if d := r.Damper(); d != nil {
+			fmt.Fprintf(w, "bgp_flaps_total %d\n", d.Flaps())
+		}
+	})
+	return mux
+}

@@ -1,0 +1,104 @@
+package status
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/damping"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+)
+
+func testRouter(t *testing.T) *core.Router {
+	t.Helper()
+	r, err := core.NewRouter(core.Config{
+		AS:      65000,
+		ID:      netaddr.MustParseAddr("10.255.0.1"),
+		Damping: &damping.Config{},
+		Neighbors: []core.NeighborConfig{
+			{AS: 65001},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the FIB directly (no sessions needed for handler tests).
+	r.FIB().Insert(netaddr.MustParsePrefix("10.0.0.0/8"), fib.Entry{NextHop: netaddr.MustParseAddr("1.1.1.1"), Port: 3})
+	r.FIB().Insert(netaddr.MustParsePrefix("192.0.2.0/24"), fib.Entry{NextHop: netaddr.MustParseAddr("2.2.2.2"), Port: 5})
+	return r
+}
+
+func get(t *testing.T, r *core.Router, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(Handler(r, 65000))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatusJSON(t *testing.T) {
+	r := testRouter(t)
+	code, body := get(t, r, "/status")
+	if code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	if s.AS != 65000 || s.FIBEntries != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestFIBDump(t *testing.T) {
+	r := testRouter(t)
+	code, body := get(t, r, "/fib")
+	if code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	for _, want := range []string{"10.0.0.0/8", "192.0.2.0/24", "via 1.1.1.1", "# 2 entries"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fib dump missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	r := testRouter(t)
+	r.FIB().Lookup(netaddr.MustParseAddr("10.1.1.1"))
+	code, body := get(t, r, "/metrics")
+	if code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	for _, want := range []string{
+		"bgp_fib_entries 2",
+		"bgp_fib_lookups_total 1",
+		"bgp_transactions_total 0",
+		"bgp_flaps_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	r := testRouter(t)
+	code, _ := get(t, r, "/nope")
+	if code != 404 {
+		t.Fatalf("status code %d, want 404", code)
+	}
+}

@@ -1,0 +1,169 @@
+// Package trace provides time-bucketed series used to regenerate the
+// paper's time-domain figures: per-process CPU load (Figures 3, 4, 6a/6b)
+// and forwarding rate (Figure 6c). Series are written by the platform
+// simulator and rendered by cmd/bgpbench as CSV or ASCII plots.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named time series with fixed-width buckets.
+type Series struct {
+	Name   string
+	Bucket float64 // bucket width in seconds
+	Values []float64
+}
+
+// Add accumulates v into the given bucket, growing the series as needed.
+func (s *Series) Add(bucket int, v float64) {
+	if bucket < 0 {
+		return
+	}
+	for len(s.Values) <= bucket {
+		s.Values = append(s.Values, 0)
+	}
+	s.Values[bucket] += v
+}
+
+// Max returns the largest value in the series (0 for empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Set is a collection of series sharing a time base.
+type Set struct {
+	Bucket float64 // bucket width in seconds
+	series map[string]*Series
+	order  []string
+}
+
+// NewSet creates a set with the given bucket width in seconds.
+func NewSet(bucket float64) *Set {
+	return &Set{Bucket: bucket, series: make(map[string]*Series)}
+}
+
+// Get returns (creating if needed) the series with the given name.
+func (t *Set) Get(name string) *Series {
+	if s, ok := t.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name, Bucket: t.Bucket}
+	t.series[name] = s
+	t.order = append(t.order, name)
+	return s
+}
+
+// Names returns the series names in creation order.
+func (t *Set) Names() []string {
+	return append([]string(nil), t.order...)
+}
+
+// Len returns the number of buckets in the longest series.
+func (t *Set) Len() int {
+	n := 0
+	for _, s := range t.series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	return n
+}
+
+// WriteCSV emits "time,<name1>,<name2>,..." rows.
+func (t *Set) WriteCSV(w io.Writer) error {
+	names := t.Names()
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%.3f", float64(i)*t.Bucket))
+		for _, name := range names {
+			s := t.series[name]
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the set as per-series sparkline rows, downsampling to
+// width columns. It is the terminal rendering of the paper's CPU-load
+// figures.
+func (t *Set) RenderASCII(w io.Writer, width int) {
+	if width <= 0 {
+		width = 72
+	}
+	n := t.Len()
+	if n == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	names := t.Names()
+	sort.Strings(names)
+	maxName := 0
+	for _, name := range names {
+		if len(name) > maxName {
+			maxName = len(name)
+		}
+	}
+	for _, name := range names {
+		s := t.series[name]
+		max := s.Max()
+		var b strings.Builder
+		for col := 0; col < width; col++ {
+			lo := col * n / width
+			hi := (col + 1) * n / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			v := 0.0
+			for i := lo; i < hi && i < len(s.Values); i++ {
+				if s.Values[i] > v {
+					v = s.Values[i]
+				}
+			}
+			idx := 0
+			if max > 0 {
+				idx = int(math.Ceil(v / max * float64(len(glyphs)-1)))
+				if idx >= len(glyphs) {
+					idx = len(glyphs) - 1
+				}
+			}
+			b.WriteRune(glyphs[idx])
+		}
+		fmt.Fprintf(w, "%-*s |%s| max=%.1f\n", maxName, name, b.String(), max)
+	}
+	fmt.Fprintf(w, "%-*s  0s%*s%.0fs\n", maxName, "", width-2, "", float64(n)*t.Bucket)
+}

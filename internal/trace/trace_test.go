@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAdd(t *testing.T) {
+	s := &Series{Name: "x", Bucket: 1}
+	s.Add(3, 2.5)
+	s.Add(3, 1.5)
+	s.Add(0, 1.0)
+	s.Add(-1, 99) // ignored
+	if len(s.Values) != 4 {
+		t.Fatalf("len = %d, want 4", len(s.Values))
+	}
+	if s.Values[3] != 4.0 || s.Values[0] != 1.0 || s.Values[1] != 0 {
+		t.Fatalf("values = %v", s.Values)
+	}
+	if s.Max() != 4.0 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if got := s.Mean(); got != 5.0/4 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := &Series{}
+	if s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+}
+
+func TestSetGetCreatesOnce(t *testing.T) {
+	set := NewSet(0.5)
+	a := set.Get("cpu")
+	b := set.Get("cpu")
+	if a != b {
+		t.Fatal("Get created a duplicate series")
+	}
+	set.Get("fwd")
+	names := set.Names()
+	if len(names) != 2 || names[0] != "cpu" || names[1] != "fwd" {
+		t.Fatalf("names = %v", names)
+	}
+	if a.Bucket != 0.5 {
+		t.Fatalf("bucket = %v", a.Bucket)
+	}
+}
+
+func TestSetLen(t *testing.T) {
+	set := NewSet(1)
+	set.Get("a").Add(2, 1)
+	set.Get("b").Add(7, 1)
+	if set.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", set.Len())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	set := NewSet(1)
+	set.Get("a").Add(0, 1)
+	set.Get("a").Add(1, 2)
+	set.Get("b").Add(1, 3)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "time_s,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.000,1.0000,0.0000") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1.000,2.0000,3.0000") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	set := NewSet(1)
+	for i := 0; i < 100; i++ {
+		set.Get("load").Add(i, float64(i))
+	}
+	var buf bytes.Buffer
+	set.RenderASCII(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "load") || !strings.Contains(out, "max=99") {
+		t.Fatalf("render missing content: %q", out)
+	}
+	// Empty set renders a placeholder without panicking.
+	var empty bytes.Buffer
+	NewSet(1).RenderASCII(&empty, 40)
+	if !strings.Contains(empty.String(), "empty") {
+		t.Fatal("empty render missing placeholder")
+	}
+}

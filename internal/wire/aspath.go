@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASSegment is one segment of an AS_PATH attribute: either an ordered
+// AS_SEQUENCE or an unordered AS_SET (produced by aggregation).
+type ASSegment struct {
+	Type byte // SegASSet or SegASSequence
+	ASNs []uint16
+}
+
+// ASPath is the full AS_PATH attribute value: a list of segments.
+type ASPath struct {
+	Segments []ASSegment
+}
+
+// NewASPath builds a single-sequence path from the given ASNs. An empty
+// argument list yields an empty path (as originated by the local AS before
+// prepending).
+func NewASPath(asns ...uint16) ASPath {
+	if len(asns) == 0 {
+		return ASPath{}
+	}
+	seg := ASSegment{Type: SegASSequence, ASNs: append([]uint16(nil), asns...)}
+	return ASPath{Segments: []ASSegment{seg}}
+}
+
+// Length returns the AS-path length used by the decision process: each AS in
+// a sequence counts 1, and each AS_SET counts 1 in total (RFC 4271 sec 9.1.2.2).
+func (p ASPath) Length() int {
+	n := 0
+	for _, s := range p.Segments {
+		if s.Type == SegASSet {
+			n++
+		} else {
+			n += len(s.ASNs)
+		}
+	}
+	return n
+}
+
+// Contains reports whether the path traverses the given AS. It is the loop
+// detection predicate from RFC 4271 section 9.1.2.
+func (p ASPath) Contains(asn uint16) bool {
+	for _, s := range p.Segments {
+		for _, a := range s.ASNs {
+			if a == asn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// First returns the neighbouring AS (the first AS of the first sequence
+// segment) and true, or 0 and false for an empty path.
+func (p ASPath) First() (uint16, bool) {
+	for _, s := range p.Segments {
+		if len(s.ASNs) > 0 {
+			return s.ASNs[0], true
+		}
+	}
+	return 0, false
+}
+
+// Origin returns the originating AS (the last AS of the path) and true, or
+// 0 and false for an empty path.
+func (p ASPath) Origin() (uint16, bool) {
+	for i := len(p.Segments) - 1; i >= 0; i-- {
+		s := p.Segments[i]
+		if len(s.ASNs) > 0 {
+			return s.ASNs[len(s.ASNs)-1], true
+		}
+	}
+	return 0, false
+}
+
+// Prepend returns a copy of the path with asn prepended to the leading
+// AS_SEQUENCE, creating one if the path starts with a set or is empty. The
+// receiver is not modified; paths are treated as immutable once stored in a
+// RIB.
+func (p ASPath) Prepend(asn uint16) ASPath {
+	if len(p.Segments) == 0 || p.Segments[0].Type != SegASSequence {
+		segs := make([]ASSegment, 0, len(p.Segments)+1)
+		segs = append(segs, ASSegment{Type: SegASSequence, ASNs: []uint16{asn}})
+		for _, s := range p.Segments {
+			segs = append(segs, ASSegment{Type: s.Type, ASNs: append([]uint16(nil), s.ASNs...)})
+		}
+		return ASPath{Segments: segs}
+	}
+	segs := make([]ASSegment, len(p.Segments))
+	head := p.Segments[0]
+	asns := make([]uint16, 0, len(head.ASNs)+1)
+	asns = append(asns, asn)
+	asns = append(asns, head.ASNs...)
+	segs[0] = ASSegment{Type: SegASSequence, ASNs: asns}
+	for i := 1; i < len(p.Segments); i++ {
+		s := p.Segments[i]
+		segs[i] = ASSegment{Type: s.Type, ASNs: append([]uint16(nil), s.ASNs...)}
+	}
+	return ASPath{Segments: segs}
+}
+
+// Clone deep-copies the path.
+func (p ASPath) Clone() ASPath {
+	segs := make([]ASSegment, len(p.Segments))
+	for i, s := range p.Segments {
+		segs[i] = ASSegment{Type: s.Type, ASNs: append([]uint16(nil), s.ASNs...)}
+	}
+	return ASPath{Segments: segs}
+}
+
+// Equal reports deep equality of two paths.
+func (p ASPath) Equal(q ASPath) bool {
+	if len(p.Segments) != len(q.Segments) {
+		return false
+	}
+	for i := range p.Segments {
+		a, b := p.Segments[i], q.Segments[i]
+		if a.Type != b.Type || len(a.ASNs) != len(b.ASNs) {
+			return false
+		}
+		for j := range a.ASNs {
+			if a.ASNs[j] != b.ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the path in the conventional "65001 65002 {65003,65004}"
+// notation.
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i, s := range p.Segments {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.Type == SegASSet {
+			b.WriteByte('{')
+			for j, a := range s.ASNs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", a)
+			}
+			b.WriteByte('}')
+		} else {
+			for j, a := range s.ASNs {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%d", a)
+			}
+		}
+	}
+	return b.String()
+}
+
+// appendWire appends the attribute value encoding of the path.
+func (p ASPath) appendWire(dst []byte) []byte {
+	for _, s := range p.Segments {
+		dst = append(dst, s.Type, byte(len(s.ASNs)))
+		for _, a := range s.ASNs {
+			dst = append(dst, byte(a>>8), byte(a))
+		}
+	}
+	return dst
+}
+
+// wireLen returns the encoded size of the path attribute value.
+func (p ASPath) wireLen() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += 2 + 2*len(s.ASNs)
+	}
+	return n
+}
+
+// parseASPath decodes an AS_PATH attribute value.
+func parseASPath(b []byte) (ASPath, error) {
+	var p ASPath
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return ASPath{}, notifyErrf(ErrCodeUpdate, ErrSubMalformedASPath, nil, "truncated AS_PATH segment header")
+		}
+		typ, cnt := b[0], int(b[1])
+		if typ != SegASSet && typ != SegASSequence {
+			return ASPath{}, notifyErrf(ErrCodeUpdate, ErrSubMalformedASPath, nil, "bad AS_PATH segment type %d", typ)
+		}
+		if cnt == 0 {
+			return ASPath{}, notifyErrf(ErrCodeUpdate, ErrSubMalformedASPath, nil, "empty AS_PATH segment")
+		}
+		need := 2 + 2*cnt
+		if len(b) < need {
+			return ASPath{}, notifyErrf(ErrCodeUpdate, ErrSubMalformedASPath, nil, "truncated AS_PATH segment body")
+		}
+		seg := ASSegment{Type: typ, ASNs: make([]uint16, cnt)}
+		for i := 0; i < cnt; i++ {
+			seg.ASNs[i] = uint16(b[2+2*i])<<8 | uint16(b[3+2*i])
+		}
+		p.Segments = append(p.Segments, seg)
+		b = b[need:]
+	}
+	return p, nil
+}

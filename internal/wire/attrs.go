@@ -1,0 +1,394 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Community is an RFC 1997 community value, conventionally written
+// "asn:value".
+type Community uint32
+
+// String renders the conventional "asn:value" form.
+func (c Community) String() string {
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xFFFF)
+}
+
+// CommunityFrom builds a community from its AS and value halves.
+func CommunityFrom(asn, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// Aggregator is the AGGREGATOR attribute value: the AS and router that
+// formed an aggregate route.
+type Aggregator struct {
+	AS   uint16
+	Addr netaddr.Addr
+}
+
+// RawAttr preserves an optional transitive attribute this implementation
+// does not interpret, so it can be forwarded unchanged (RFC 4271 sec 5).
+type RawAttr struct {
+	Flags byte
+	Type  AttrType
+	Value []byte
+}
+
+// PathAttrs is the parsed path attribute block of an UPDATE message. The
+// zero value has no attributes set; HasMED/HasLocalPref discriminate unset
+// optional attributes from zero-valued ones.
+type PathAttrs struct {
+	Origin          Origin
+	HasOrigin       bool
+	ASPath          ASPath
+	NextHop         netaddr.Addr
+	HasNextHop      bool
+	MED             uint32
+	HasMED          bool
+	LocalPref       uint32
+	HasLocalPref    bool
+	AtomicAggregate bool
+	Aggregator      *Aggregator
+	Communities     []Community
+	Unknown         []RawAttr
+}
+
+// NewPathAttrs builds the minimal well-formed attribute set for an
+// announcement: ORIGIN, AS_PATH, and NEXT_HOP.
+func NewPathAttrs(origin Origin, path ASPath, nextHop netaddr.Addr) PathAttrs {
+	return PathAttrs{
+		Origin:     origin,
+		HasOrigin:  true,
+		ASPath:     path,
+		NextHop:    nextHop,
+		HasNextHop: true,
+	}
+}
+
+// Clone deep-copies the attribute set.
+func (a PathAttrs) Clone() PathAttrs {
+	out := a
+	out.ASPath = a.ASPath.Clone()
+	if a.Aggregator != nil {
+		agg := *a.Aggregator
+		out.Aggregator = &agg
+	}
+	out.Communities = append([]Community(nil), a.Communities...)
+	if a.Unknown != nil {
+		out.Unknown = make([]RawAttr, len(a.Unknown))
+		for i, u := range a.Unknown {
+			out.Unknown[i] = RawAttr{Flags: u.Flags, Type: u.Type, Value: append([]byte(nil), u.Value...)}
+		}
+	}
+	return out
+}
+
+// Equal reports semantic equality of two attribute sets (unknown attributes
+// compare by exact bytes).
+func (a PathAttrs) Equal(b PathAttrs) bool {
+	if a.HasOrigin != b.HasOrigin || (a.HasOrigin && a.Origin != b.Origin) {
+		return false
+	}
+	if !a.ASPath.Equal(b.ASPath) {
+		return false
+	}
+	if a.HasNextHop != b.HasNextHop || (a.HasNextHop && a.NextHop != b.NextHop) {
+		return false
+	}
+	if a.HasMED != b.HasMED || (a.HasMED && a.MED != b.MED) {
+		return false
+	}
+	if a.HasLocalPref != b.HasLocalPref || (a.HasLocalPref && a.LocalPref != b.LocalPref) {
+		return false
+	}
+	if a.AtomicAggregate != b.AtomicAggregate {
+		return false
+	}
+	if (a.Aggregator == nil) != (b.Aggregator == nil) {
+		return false
+	}
+	if a.Aggregator != nil && *a.Aggregator != *b.Aggregator {
+		return false
+	}
+	if len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != b.Communities[i] {
+			return false
+		}
+	}
+	if len(a.Unknown) != len(b.Unknown) {
+		return false
+	}
+	for i := range a.Unknown {
+		u, v := a.Unknown[i], b.Unknown[i]
+		if u.Flags != v.Flags || u.Type != v.Type || string(u.Value) != string(v.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasCommunity reports whether the set carries the given community.
+func (a PathAttrs) HasCommunity(c Community) bool {
+	for _, x := range a.Communities {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the attributes for logs.
+func (a PathAttrs) String() string {
+	var parts []string
+	if a.HasOrigin {
+		parts = append(parts, "origin="+a.Origin.String())
+	}
+	parts = append(parts, "as-path=["+a.ASPath.String()+"]")
+	if a.HasNextHop {
+		parts = append(parts, "next-hop="+a.NextHop.String())
+	}
+	if a.HasMED {
+		parts = append(parts, fmt.Sprintf("med=%d", a.MED))
+	}
+	if a.HasLocalPref {
+		parts = append(parts, fmt.Sprintf("local-pref=%d", a.LocalPref))
+	}
+	if len(a.Communities) > 0 {
+		cs := make([]string, len(a.Communities))
+		for i, c := range a.Communities {
+			cs[i] = c.String()
+		}
+		parts = append(parts, "communities="+strings.Join(cs, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+// MarshalAttrs renders the canonical path-attribute block encoding of a.
+// Equal attribute sets produce identical bytes, so the result doubles as
+// a grouping key when coalescing routes into shared UPDATE messages.
+func MarshalAttrs(a PathAttrs) []byte {
+	return a.appendWire(nil)
+}
+
+// UnmarshalAttrs decodes a path-attribute block (the inverse of
+// MarshalAttrs). MRT table dumps store attribute blocks in this format.
+func UnmarshalAttrs(b []byte) (PathAttrs, error) {
+	return parseAttrs(b)
+}
+
+func appendAttrHeader(dst []byte, flags byte, typ AttrType, valLen int) []byte {
+	if valLen > 255 {
+		flags |= FlagExtLen
+		return append(dst, flags, byte(typ), byte(valLen>>8), byte(valLen))
+	}
+	return append(dst, flags, byte(typ), byte(valLen))
+}
+
+// appendWire appends the full path attribute block. Attributes are emitted
+// in ascending type-code order, which keeps encodings canonical and
+// deterministic for tests.
+func (a PathAttrs) appendWire(dst []byte) []byte {
+	if a.HasOrigin {
+		dst = appendAttrHeader(dst, FlagTransitive, AttrOrigin, 1)
+		dst = append(dst, byte(a.Origin))
+	}
+	// AS_PATH is always emitted (possibly empty) when any attribute is
+	// present: it is mandatory for announcements.
+	pl := a.ASPath.wireLen()
+	dst = appendAttrHeader(dst, FlagTransitive, AttrASPath, pl)
+	dst = a.ASPath.appendWire(dst)
+	if a.HasNextHop {
+		dst = appendAttrHeader(dst, FlagTransitive, AttrNextHop, 4)
+		dst = a.NextHop.AppendBytes(dst)
+	}
+	if a.HasMED {
+		dst = appendAttrHeader(dst, FlagOptional, AttrMED, 4)
+		dst = append(dst, byte(a.MED>>24), byte(a.MED>>16), byte(a.MED>>8), byte(a.MED))
+	}
+	if a.HasLocalPref {
+		dst = appendAttrHeader(dst, FlagTransitive, AttrLocalPref, 4)
+		dst = append(dst, byte(a.LocalPref>>24), byte(a.LocalPref>>16), byte(a.LocalPref>>8), byte(a.LocalPref))
+	}
+	if a.AtomicAggregate {
+		dst = appendAttrHeader(dst, FlagTransitive, AttrAtomicAggregate, 0)
+	}
+	if a.Aggregator != nil {
+		dst = appendAttrHeader(dst, FlagOptional|FlagTransitive, AttrAggregator, 6)
+		dst = append(dst, byte(a.Aggregator.AS>>8), byte(a.Aggregator.AS))
+		dst = a.Aggregator.Addr.AppendBytes(dst)
+	}
+	if len(a.Communities) > 0 {
+		cs := append([]Community(nil), a.Communities...)
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		dst = appendAttrHeader(dst, FlagOptional|FlagTransitive, AttrCommunities, 4*len(cs))
+		for _, c := range cs {
+			dst = append(dst, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+		}
+	}
+	for _, u := range a.Unknown {
+		dst = appendAttrHeader(dst, u.Flags&^FlagExtLen, u.Type, len(u.Value))
+		dst = append(dst, u.Value...)
+	}
+	return dst
+}
+
+// parseAttrs decodes a path attribute block of exactly len(b) bytes.
+func parseAttrs(b []byte) (PathAttrs, error) {
+	var a PathAttrs
+	seen := map[AttrType]bool{}
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return a, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "truncated attribute header")
+		}
+		flags := b[0]
+		typ := AttrType(b[1])
+		var vlen, hlen int
+		if flags&FlagExtLen != 0 {
+			if len(b) < 4 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "truncated extended attribute header")
+			}
+			vlen = int(b[2])<<8 | int(b[3])
+			hlen = 4
+		} else {
+			vlen = int(b[2])
+			hlen = 3
+		}
+		if len(b) < hlen+vlen {
+			return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, b[:min(len(b), hlen)], "attribute %s length %d overruns block", typ, vlen)
+		}
+		val := b[hlen : hlen+vlen]
+		if seen[typ] {
+			return a, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "duplicate attribute %s", typ)
+		}
+		seen[typ] = true
+
+		if err := checkAttrFlags(flags, typ); err != nil {
+			return a, err
+		}
+		switch typ {
+		case AttrOrigin:
+			if vlen != 1 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, val, "ORIGIN length %d", vlen)
+			}
+			if val[0] > byte(OriginIncomplete) {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubInvalidOrigin, val, "ORIGIN value %d", val[0])
+			}
+			a.Origin, a.HasOrigin = Origin(val[0]), true
+		case AttrASPath:
+			p, err := parseASPath(val)
+			if err != nil {
+				return a, err
+			}
+			a.ASPath = p
+		case AttrNextHop:
+			if vlen != 4 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, val, "NEXT_HOP length %d", vlen)
+			}
+			a.NextHop, a.HasNextHop = netaddr.AddrFromBytes(val), true
+		case AttrMED:
+			if vlen != 4 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, val, "MED length %d", vlen)
+			}
+			a.MED, a.HasMED = be32(val), true
+		case AttrLocalPref:
+			if vlen != 4 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, val, "LOCAL_PREF length %d", vlen)
+			}
+			a.LocalPref, a.HasLocalPref = be32(val), true
+		case AttrAtomicAggregate:
+			if vlen != 0 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, val, "ATOMIC_AGGREGATE length %d", vlen)
+			}
+			a.AtomicAggregate = true
+		case AttrAggregator:
+			if vlen != 6 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubAttrLength, val, "AGGREGATOR length %d", vlen)
+			}
+			a.Aggregator = &Aggregator{
+				AS:   uint16(val[0])<<8 | uint16(val[1]),
+				Addr: netaddr.AddrFromBytes(val[2:6]),
+			}
+		case AttrCommunities:
+			if vlen%4 != 0 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubOptAttr, val, "COMMUNITIES length %d", vlen)
+			}
+			for i := 0; i < vlen; i += 4 {
+				a.Communities = append(a.Communities, Community(be32(val[i:i+4])))
+			}
+		default:
+			if flags&FlagOptional == 0 {
+				return a, notifyErrf(ErrCodeUpdate, ErrSubUnrecognizedWellKnown, val, "unrecognized well-known attribute %d", typ)
+			}
+			// Unknown optional attribute: keep transitive ones (with the
+			// partial bit set on re-advertisement), drop non-transitive.
+			if flags&FlagTransitive != 0 {
+				a.Unknown = append(a.Unknown, RawAttr{
+					Flags: flags | FlagPartial,
+					Type:  typ,
+					Value: append([]byte(nil), val...),
+				})
+			}
+		}
+		b = b[hlen+vlen:]
+	}
+	return a, nil
+}
+
+// validateForAnnounce enforces the mandatory attributes that RFC 4271
+// requires when an UPDATE carries NLRI.
+func (a PathAttrs) validateForAnnounce() error {
+	if !a.HasOrigin {
+		return notifyErrf(ErrCodeUpdate, ErrSubMissingWellKnown, []byte{byte(AttrOrigin)}, "missing ORIGIN")
+	}
+	if !a.HasNextHop {
+		return notifyErrf(ErrCodeUpdate, ErrSubMissingWellKnown, []byte{byte(AttrNextHop)}, "missing NEXT_HOP")
+	}
+	return nil
+}
+
+// checkAttrFlags enforces RFC 4271 section 5's flag rules for the
+// attributes this implementation recognizes: well-known attributes must be
+// transitive and not optional; MED is optional non-transitive; AGGREGATOR
+// and COMMUNITIES are optional transitive. Violations yield the
+// attribute-flags error (subcode 4).
+func checkAttrFlags(flags byte, typ AttrType) error {
+	bad := func() error {
+		return notifyErrf(ErrCodeUpdate, ErrSubAttrFlags, []byte{flags, byte(typ)},
+			"attribute %s has invalid flags %#x", typ, flags)
+	}
+	switch typ {
+	case AttrOrigin, AttrASPath, AttrNextHop, AttrLocalPref, AttrAtomicAggregate:
+		// Well-known: transitive set, optional clear.
+		if flags&FlagOptional != 0 || flags&FlagTransitive == 0 {
+			return bad()
+		}
+	case AttrMED:
+		// Optional non-transitive.
+		if flags&FlagOptional == 0 || flags&FlagTransitive != 0 {
+			return bad()
+		}
+	case AttrAggregator, AttrCommunities:
+		// Optional transitive.
+		if flags&FlagOptional == 0 || flags&FlagTransitive == 0 {
+			return bad()
+		}
+	}
+	return nil
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

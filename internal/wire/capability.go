@@ -1,0 +1,120 @@
+package wire
+
+import "fmt"
+
+// Optional parameter types in the OPEN message (RFC 4271 section 4.2 /
+// RFC 5492).
+const (
+	OptParamCapabilities = 2
+)
+
+// Capability codes (IANA BGP capability registry; the ones relevant to a
+// 2007-era speaker).
+const (
+	CapMultiprotocol   = 1  // RFC 2858
+	CapRouteRefresh    = 2  // RFC 2918
+	CapGracefulRestart = 64 // RFC 4724
+	CapFourOctetAS     = 65 // RFC 4893
+)
+
+// Capability is one advertised capability: a code and an opaque value.
+type Capability struct {
+	Code  uint8
+	Value []byte
+}
+
+// String names common capabilities.
+func (c Capability) String() string {
+	switch c.Code {
+	case CapMultiprotocol:
+		return "multiprotocol"
+	case CapRouteRefresh:
+		return "route-refresh"
+	case CapGracefulRestart:
+		return "graceful-restart"
+	case CapFourOctetAS:
+		return "4-octet-as"
+	}
+	return fmt.Sprintf("capability(%d)", c.Code)
+}
+
+// MultiprotocolIPv4Unicast is the conventional MP capability value for
+// AFI 1 (IPv4), SAFI 1 (unicast).
+func MultiprotocolIPv4Unicast() Capability {
+	return Capability{Code: CapMultiprotocol, Value: []byte{0, 1, 0, 1}}
+}
+
+// RouteRefreshCapability is the empty-bodied route-refresh capability.
+func RouteRefreshCapability() Capability {
+	return Capability{Code: CapRouteRefresh}
+}
+
+// MarshalCapabilities encodes capabilities as the OPEN message's optional
+// parameter block (one capabilities parameter holding all of them), ready
+// to assign to Open.OptParams.
+func MarshalCapabilities(caps []Capability) ([]byte, error) {
+	if len(caps) == 0 {
+		return nil, nil
+	}
+	var body []byte
+	for _, c := range caps {
+		if len(c.Value) > 255 {
+			return nil, fmt.Errorf("wire: capability %d value too long (%d bytes)", c.Code, len(c.Value))
+		}
+		body = append(body, c.Code, byte(len(c.Value)))
+		body = append(body, c.Value...)
+	}
+	if len(body) > 255 {
+		return nil, fmt.Errorf("wire: capabilities block too long (%d bytes)", len(body))
+	}
+	return append([]byte{OptParamCapabilities, byte(len(body))}, body...), nil
+}
+
+// ParseCapabilities extracts the capabilities advertised in an OPEN
+// message's optional parameters. Unknown optional parameter types are
+// skipped (per RFC 5492 they would normally trigger a NOTIFICATION, but a
+// benchmark speaker is deliberately permissive); malformed encodings
+// return an error with the RFC 4271 OPEN error subcode.
+func ParseCapabilities(optParams []byte) ([]Capability, error) {
+	var out []Capability
+	b := optParams
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, notifyErrf(ErrCodeOpen, ErrSubBadOptParam, nil, "truncated optional parameter header")
+		}
+		typ, plen := b[0], int(b[1])
+		if len(b) < 2+plen {
+			return nil, notifyErrf(ErrCodeOpen, ErrSubBadOptParam, nil, "optional parameter overruns block")
+		}
+		val := b[2 : 2+plen]
+		if typ == OptParamCapabilities {
+			for len(val) > 0 {
+				if len(val) < 2 {
+					return nil, notifyErrf(ErrCodeOpen, ErrSubBadOptParam, nil, "truncated capability header")
+				}
+				code, clen := val[0], int(val[1])
+				if len(val) < 2+clen {
+					return nil, notifyErrf(ErrCodeOpen, ErrSubBadOptParam, nil, "capability overruns parameter")
+				}
+				cap := Capability{Code: code}
+				if clen > 0 {
+					cap.Value = append([]byte(nil), val[2:2+clen]...)
+				}
+				out = append(out, cap)
+				val = val[2+clen:]
+			}
+		}
+		b = b[2+plen:]
+	}
+	return out, nil
+}
+
+// HasCapability reports whether the list advertises the given code.
+func HasCapability(caps []Capability, code uint8) bool {
+	for _, c := range caps {
+		if c.Code == code {
+			return true
+		}
+	}
+	return false
+}

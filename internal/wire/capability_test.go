@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCapabilitiesRoundTrip(t *testing.T) {
+	caps := []Capability{
+		MultiprotocolIPv4Unicast(),
+		RouteRefreshCapability(),
+		{Code: CapFourOctetAS, Value: []byte{0, 1, 0, 0}},
+	}
+	blob, err := MarshalCapabilities(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCapabilities(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(caps) {
+		t.Fatalf("got %d capabilities, want %d", len(got), len(caps))
+	}
+	for i := range caps {
+		if got[i].Code != caps[i].Code || !bytes.Equal(got[i].Value, caps[i].Value) {
+			t.Fatalf("capability %d: %+v != %+v", i, got[i], caps[i])
+		}
+	}
+}
+
+func TestCapabilitiesThroughOpenMessage(t *testing.T) {
+	caps := []Capability{MultiprotocolIPv4Unicast(), RouteRefreshCapability()}
+	blob, err := MarshalCapabilities(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOpen(65001, 90, 0x01010101)
+	o.OptParams = blob
+	m, err := Parse(mustMarshal(t, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCapabilities(m.(Open).OptParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasCapability(got, CapMultiprotocol) || !HasCapability(got, CapRouteRefresh) {
+		t.Fatalf("capabilities lost through OPEN: %v", got)
+	}
+	if HasCapability(got, CapGracefulRestart) {
+		t.Fatal("phantom capability")
+	}
+}
+
+func TestMarshalCapabilitiesEmpty(t *testing.T) {
+	blob, err := MarshalCapabilities(nil)
+	if err != nil || blob != nil {
+		t.Fatalf("empty: %v %v", blob, err)
+	}
+}
+
+func TestMarshalCapabilitiesLimits(t *testing.T) {
+	if _, err := MarshalCapabilities([]Capability{{Code: 1, Value: make([]byte, 256)}}); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	many := make([]Capability, 90)
+	for i := range many {
+		many[i] = Capability{Code: uint8(i), Value: []byte{1}}
+	}
+	if _, err := MarshalCapabilities(many); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestParseCapabilitiesErrors(t *testing.T) {
+	cases := [][]byte{
+		{2},             // truncated parameter header
+		{2, 5, 1, 2},    // parameter overruns block
+		{2, 1, 1},       // truncated capability header
+		{2, 3, 1, 5, 0}, // capability overruns parameter
+	}
+	for i, in := range cases {
+		if _, err := ParseCapabilities(in); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestParseCapabilitiesSkipsUnknownParams(t *testing.T) {
+	// Unknown parameter type 99 followed by a capabilities parameter.
+	in := []byte{99, 2, 0xAA, 0xBB, 2, 2, CapRouteRefresh, 0}
+	caps, err := ParseCapabilities(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 1 || caps[0].Code != CapRouteRefresh {
+		t.Fatalf("caps = %v", caps)
+	}
+}
+
+func TestCapabilityString(t *testing.T) {
+	for _, c := range []Capability{
+		{Code: CapMultiprotocol}, {Code: CapRouteRefresh},
+		{Code: CapGracefulRestart}, {Code: CapFourOctetAS}, {Code: 200},
+	} {
+		if c.String() == "" {
+			t.Errorf("empty name for code %d", c.Code)
+		}
+	}
+}
+
+// TestParseCapabilitiesNeverPanics throws random bytes at the parser.
+func TestParseCapabilitiesNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, r.Intn(64))
+		r.Read(buf)
+		ParseCapabilities(buf) // must not panic; errors are fine
+	}
+}

@@ -1,0 +1,182 @@
+// Package wire implements marshalling and unmarshalling of BGP-4 messages
+// as specified by RFC 4271. It covers the four message types (OPEN, UPDATE,
+// NOTIFICATION, KEEPALIVE), the mandatory and common optional path
+// attributes, and the NLRI prefix encoding. Parsing errors carry the
+// NOTIFICATION error code and subcode the receiver must send, so the
+// session layer can terminate sessions exactly as the RFC requires.
+package wire
+
+import "fmt"
+
+// Version is the only BGP protocol version this package speaks.
+const Version = 4
+
+// Protocol size limits from RFC 4271 section 4.1.
+const (
+	HeaderLen  = 19   // marker (16) + length (2) + type (1)
+	MaxMsgLen  = 4096 // maximum BGP message size, octets
+	MinOpenLen = 29   // header + version + AS + holdtime + ID + optlen
+)
+
+// MsgType identifies a BGP message type (RFC 4271 section 4.1).
+type MsgType uint8
+
+// BGP message types.
+const (
+	MsgOpen         MsgType = 1
+	MsgUpdate       MsgType = 2
+	MsgNotification MsgType = 3
+	MsgKeepalive    MsgType = 4
+	MsgRouteRefresh MsgType = 5 // RFC 2918
+)
+
+// String names the message type for logs and test failures.
+func (t MsgType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	case MsgRouteRefresh:
+		return "ROUTE-REFRESH"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// AttrType identifies a path attribute type code (RFC 4271 section 5).
+type AttrType uint8
+
+// Path attribute type codes.
+const (
+	AttrOrigin          AttrType = 1
+	AttrASPath          AttrType = 2
+	AttrNextHop         AttrType = 3
+	AttrMED             AttrType = 4
+	AttrLocalPref       AttrType = 5
+	AttrAtomicAggregate AttrType = 6
+	AttrAggregator      AttrType = 7
+	AttrCommunities     AttrType = 8 // RFC 1997
+)
+
+// String names the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case AttrOrigin:
+		return "ORIGIN"
+	case AttrASPath:
+		return "AS_PATH"
+	case AttrNextHop:
+		return "NEXT_HOP"
+	case AttrMED:
+		return "MULTI_EXIT_DISC"
+	case AttrLocalPref:
+		return "LOCAL_PREF"
+	case AttrAtomicAggregate:
+		return "ATOMIC_AGGREGATE"
+	case AttrAggregator:
+		return "AGGREGATOR"
+	case AttrCommunities:
+		return "COMMUNITIES"
+	}
+	return fmt.Sprintf("AttrType(%d)", uint8(t))
+}
+
+// Path attribute flag bits (RFC 4271 section 4.3).
+const (
+	FlagOptional   = 0x80
+	FlagTransitive = 0x40
+	FlagPartial    = 0x20
+	FlagExtLen     = 0x10
+)
+
+// Origin codes for the ORIGIN attribute.
+type Origin uint8
+
+// Origin attribute values; lower is more preferred in the decision process.
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+// String names the origin value.
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "INCOMPLETE"
+	}
+	return fmt.Sprintf("Origin(%d)", uint8(o))
+}
+
+// AS path segment types (RFC 4271 section 4.3, AS_PATH).
+const (
+	SegASSet      = 1
+	SegASSequence = 2
+)
+
+// NOTIFICATION error codes (RFC 4271 section 6.1).
+const (
+	ErrCodeHeader    = 1
+	ErrCodeOpen      = 2
+	ErrCodeUpdate    = 3
+	ErrCodeHoldTimer = 4
+	ErrCodeFSM       = 5
+	ErrCodeCease     = 6
+)
+
+// Message header error subcodes.
+const (
+	ErrSubSyncLost   = 1
+	ErrSubBadLength  = 2
+	ErrSubBadMsgType = 3
+)
+
+// OPEN message error subcodes.
+const (
+	ErrSubBadVersion  = 1
+	ErrSubBadPeerAS   = 2
+	ErrSubBadBGPID    = 3
+	ErrSubBadOptParam = 4
+	ErrSubBadHoldTime = 6
+)
+
+// UPDATE message error subcodes.
+const (
+	ErrSubMalformedAttrList     = 1
+	ErrSubUnrecognizedWellKnown = 2
+	ErrSubMissingWellKnown      = 3
+	ErrSubAttrFlags             = 4
+	ErrSubAttrLength            = 5
+	ErrSubInvalidOrigin         = 6
+	ErrSubInvalidNextHop        = 8
+	ErrSubOptAttr               = 9
+	ErrSubInvalidNetwork        = 10
+	ErrSubMalformedASPath       = 11
+)
+
+// NotifyError is a parse or validation failure that must be reported to the
+// peer with the embedded NOTIFICATION code and subcode before the session
+// is torn down.
+type NotifyError struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+	Reason  string
+}
+
+// Error formats the failure with its protocol code/subcode.
+func (e *NotifyError) Error() string {
+	return fmt.Sprintf("wire: %s (code %d subcode %d)", e.Reason, e.Code, e.Subcode)
+}
+
+func notifyErrf(code, subcode uint8, data []byte, format string, args ...interface{}) error {
+	return &NotifyError{Code: code, Subcode: subcode, Data: data, Reason: fmt.Sprintf(format, args...)}
+}

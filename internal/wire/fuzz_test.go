@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnRandomBytes is the robustness property a router's
+// message parser must have: arbitrary input produces an error or a valid
+// message, never a panic or out-of-range access.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(1701))
+	for i := 0; i < 20000; i++ {
+		n := r.Intn(128)
+		buf := make([]byte, n)
+		r.Read(buf)
+		Parse(buf)
+	}
+}
+
+// TestParseNeverPanicsOnCorruptedValidMessages flips bytes of well-formed
+// messages: framing stays plausible, bodies get hostile.
+func TestParseNeverPanicsOnCorruptedValidMessages(t *testing.T) {
+	r := rand.New(rand.NewSource(1702))
+	seeds := [][]byte{}
+	o, _ := Marshal(NewOpen(65001, 90, 0x0A000001))
+	seeds = append(seeds, o)
+	u, _ := Marshal(Update{
+		Attrs: NewPathAttrs(OriginIGP, NewASPath(1, 2, 3), 0x0A000001),
+		NLRI:  randomPrefixes(r, 8),
+	})
+	seeds = append(seeds, u)
+	nmsg, _ := Marshal(Notification{Code: 6})
+	seeds = append(seeds, nmsg)
+
+	for i := 0; i < 30000; i++ {
+		seed := seeds[r.Intn(len(seeds))]
+		buf := append([]byte(nil), seed...)
+		for flips := 1 + r.Intn(4); flips > 0; flips-- {
+			// Corrupt only past the marker so the body parser is reached.
+			pos := 16 + r.Intn(len(buf)-16)
+			buf[pos] ^= byte(1 << r.Intn(8))
+		}
+		// Re-fix the length field half of the time so deeper parsing runs.
+		if r.Intn(2) == 0 {
+			buf[16] = byte(len(buf) >> 8)
+			buf[17] = byte(len(buf))
+		}
+		m, err := Parse(buf)
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+	}
+}
+
+// TestParsedMessagesRemarshal: any message the parser accepts must survive
+// a marshal -> parse round trip (idempotent canonicalization).
+func TestParsedMessagesRemarshal(t *testing.T) {
+	r := rand.New(rand.NewSource(1703))
+	accepted := 0
+	for i := 0; i < 30000; i++ {
+		n := HeaderLen + r.Intn(96)
+		buf := make([]byte, n)
+		r.Read(buf)
+		// Plausible framing: fix marker, length, and a valid type.
+		for j := 0; j < 16; j++ {
+			buf[j] = 0xFF
+		}
+		buf[16], buf[17] = byte(n>>8), byte(n)
+		buf[18] = byte(1 + r.Intn(4))
+		m, err := Parse(buf)
+		if err != nil {
+			continue
+		}
+		accepted++
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted message failed to marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("remarshal not parseable: %v", err)
+		}
+	}
+	if accepted == 0 {
+		t.Log("no random frames parsed (expected: most are malformed)")
+	}
+}

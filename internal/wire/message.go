@@ -1,0 +1,321 @@
+package wire
+
+import (
+	"fmt"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Message is any BGP message that can be marshalled onto the wire.
+type Message interface {
+	// Type returns the BGP message type code.
+	Type() MsgType
+	// AppendBody appends the message body (everything after the 19-byte
+	// header) to dst and returns the extended slice.
+	AppendBody(dst []byte) []byte
+}
+
+// Marshal renders a complete BGP message: marker, length, type, body.
+func Marshal(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderLen, HeaderLen+64)
+	for i := 0; i < 16; i++ {
+		buf[i] = 0xFF
+	}
+	buf[18] = byte(m.Type())
+	buf = m.AppendBody(buf)
+	if len(buf) > MaxMsgLen {
+		return nil, fmt.Errorf("wire: %s message length %d exceeds maximum %d", m.Type(), len(buf), MaxMsgLen)
+	}
+	buf[16] = byte(len(buf) >> 8)
+	buf[17] = byte(len(buf))
+	return buf, nil
+}
+
+// ParseHeader validates a 19-byte BGP header and returns the total message
+// length and type.
+func ParseHeader(h []byte) (length int, typ MsgType, err error) {
+	if len(h) < HeaderLen {
+		return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, nil, "short header (%d bytes)", len(h))
+	}
+	for i := 0; i < 16; i++ {
+		if h[i] != 0xFF {
+			return 0, 0, notifyErrf(ErrCodeHeader, ErrSubSyncLost, nil, "connection not synchronized (marker byte %d = %#x)", i, h[i])
+		}
+	}
+	length = int(h[16])<<8 | int(h[17])
+	typ = MsgType(h[18])
+	if length < HeaderLen || length > MaxMsgLen {
+		return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, h[16:18], "bad message length %d", length)
+	}
+	switch typ {
+	case MsgOpen:
+		if length < MinOpenLen {
+			return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, h[16:18], "OPEN length %d < %d", length, MinOpenLen)
+		}
+	case MsgUpdate:
+		if length < HeaderLen+4 {
+			return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, h[16:18], "UPDATE length %d too small", length)
+		}
+	case MsgNotification:
+		if length < HeaderLen+2 {
+			return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, h[16:18], "NOTIFICATION length %d too small", length)
+		}
+	case MsgKeepalive:
+		if length != HeaderLen {
+			return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, h[16:18], "KEEPALIVE length %d != %d", length, HeaderLen)
+		}
+	case MsgRouteRefresh:
+		if length != HeaderLen+4 {
+			return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadLength, h[16:18], "ROUTE-REFRESH length %d != %d", length, HeaderLen+4)
+		}
+	default:
+		return 0, 0, notifyErrf(ErrCodeHeader, ErrSubBadMsgType, []byte{byte(typ)}, "bad message type %d", typ)
+	}
+	return length, typ, nil
+}
+
+// ParseBody decodes a message body of the given type. body excludes the
+// 19-byte header.
+func ParseBody(typ MsgType, body []byte) (Message, error) {
+	switch typ {
+	case MsgOpen:
+		return parseOpen(body)
+	case MsgUpdate:
+		return parseUpdate(body)
+	case MsgNotification:
+		return parseNotification(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, notifyErrf(ErrCodeHeader, ErrSubBadLength, nil, "KEEPALIVE with body")
+		}
+		return Keepalive{}, nil
+	case MsgRouteRefresh:
+		return parseRouteRefresh(body)
+	}
+	return nil, notifyErrf(ErrCodeHeader, ErrSubBadMsgType, []byte{byte(typ)}, "bad message type %d", typ)
+}
+
+// Parse decodes a complete message (header + body) from b.
+func Parse(b []byte) (Message, error) {
+	length, typ, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != length {
+		return nil, notifyErrf(ErrCodeHeader, ErrSubBadLength, nil, "buffer length %d != header length %d", len(b), length)
+	}
+	return ParseBody(typ, b[HeaderLen:])
+}
+
+// Open is the BGP OPEN message (RFC 4271 section 4.2).
+type Open struct {
+	Version  uint8
+	AS       uint16
+	HoldTime uint16 // seconds; 0 disables keepalives, otherwise must be >= 3
+	ID       netaddr.Addr
+	// OptParams carries raw optional parameters (e.g. capabilities,
+	// RFC 5492). They are preserved but not interpreted.
+	OptParams []byte
+}
+
+// NewOpen builds an OPEN with the protocol version filled in.
+func NewOpen(as uint16, holdTime uint16, id netaddr.Addr) Open {
+	return Open{Version: Version, AS: as, HoldTime: holdTime, ID: id}
+}
+
+// Type returns MsgOpen.
+func (Open) Type() MsgType { return MsgOpen }
+
+// AppendBody appends the OPEN body.
+func (o Open) AppendBody(dst []byte) []byte {
+	dst = append(dst, o.Version, byte(o.AS>>8), byte(o.AS), byte(o.HoldTime>>8), byte(o.HoldTime))
+	dst = o.ID.AppendBytes(dst)
+	dst = append(dst, byte(len(o.OptParams)))
+	return append(dst, o.OptParams...)
+}
+
+func parseOpen(b []byte) (Message, error) {
+	if len(b) < MinOpenLen-HeaderLen {
+		return nil, notifyErrf(ErrCodeOpen, ErrSubBadOptParam, nil, "short OPEN body (%d bytes)", len(b))
+	}
+	o := Open{
+		Version:  b[0],
+		AS:       uint16(b[1])<<8 | uint16(b[2]),
+		HoldTime: uint16(b[3])<<8 | uint16(b[4]),
+		ID:       netaddr.AddrFromBytes(b[5:9]),
+	}
+	optLen := int(b[9])
+	if len(b) != 10+optLen {
+		return nil, notifyErrf(ErrCodeOpen, ErrSubBadOptParam, nil, "OPEN optional parameter length %d mismatches body", optLen)
+	}
+	if o.Version != Version {
+		return nil, notifyErrf(ErrCodeOpen, ErrSubBadVersion, []byte{0, Version}, "unsupported version %d", o.Version)
+	}
+	if o.HoldTime == 1 || o.HoldTime == 2 {
+		return nil, notifyErrf(ErrCodeOpen, ErrSubBadHoldTime, nil, "hold time %d (must be 0 or >= 3)", o.HoldTime)
+	}
+	if o.ID == 0 {
+		return nil, notifyErrf(ErrCodeOpen, ErrSubBadBGPID, nil, "zero BGP identifier")
+	}
+	if optLen > 0 {
+		o.OptParams = append([]byte(nil), b[10:10+optLen]...)
+	}
+	return o, nil
+}
+
+// Update is the BGP UPDATE message (RFC 4271 section 4.3).
+type Update struct {
+	Withdrawn []netaddr.Prefix
+	Attrs     PathAttrs
+	NLRI      []netaddr.Prefix
+}
+
+// Type returns MsgUpdate.
+func (Update) Type() MsgType { return MsgUpdate }
+
+// AppendBody appends the UPDATE body.
+func (u Update) AppendBody(dst []byte) []byte {
+	// Withdrawn routes.
+	wStart := len(dst)
+	dst = append(dst, 0, 0)
+	for _, p := range u.Withdrawn {
+		dst = p.AppendWire(dst)
+	}
+	wLen := len(dst) - wStart - 2
+	dst[wStart] = byte(wLen >> 8)
+	dst[wStart+1] = byte(wLen)
+	// Path attributes: present only when the update announces something or
+	// explicitly carries attributes.
+	aStart := len(dst)
+	dst = append(dst, 0, 0)
+	if len(u.NLRI) > 0 || !u.Attrs.Equal(PathAttrs{}) {
+		dst = u.Attrs.appendWire(dst)
+	}
+	aLen := len(dst) - aStart - 2
+	dst[aStart] = byte(aLen >> 8)
+	dst[aStart+1] = byte(aLen)
+	for _, p := range u.NLRI {
+		dst = p.AppendWire(dst)
+	}
+	return dst
+}
+
+func parseUpdate(b []byte) (Message, error) {
+	if len(b) < 4 {
+		return nil, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "short UPDATE body")
+	}
+	wLen := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+wLen+2 {
+		return nil, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "withdrawn routes length %d overruns body", wLen)
+	}
+	var u Update
+	wb := b[2 : 2+wLen]
+	for len(wb) > 0 {
+		p, n, err := netaddr.PrefixFromWire(wb)
+		if err != nil {
+			return nil, notifyErrf(ErrCodeUpdate, ErrSubInvalidNetwork, nil, "withdrawn route: %v", err)
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wb = wb[n:]
+	}
+	rest := b[2+wLen:]
+	aLen := int(rest[0])<<8 | int(rest[1])
+	if len(rest) < 2+aLen {
+		return nil, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "attribute length %d overruns body", aLen)
+	}
+	if aLen > 0 {
+		attrs, err := parseAttrs(rest[2 : 2+aLen])
+		if err != nil {
+			return nil, err
+		}
+		u.Attrs = attrs
+	}
+	nb := rest[2+aLen:]
+	for len(nb) > 0 {
+		p, n, err := netaddr.PrefixFromWire(nb)
+		if err != nil {
+			return nil, notifyErrf(ErrCodeUpdate, ErrSubInvalidNetwork, nil, "NLRI: %v", err)
+		}
+		u.NLRI = append(u.NLRI, p)
+		nb = nb[n:]
+	}
+	if len(u.NLRI) > 0 {
+		if err := u.Attrs.validateForAnnounce(); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// Notification is the BGP NOTIFICATION message (RFC 4271 section 4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// NotificationFrom converts a NotifyError into the message announcing it.
+func NotificationFrom(e *NotifyError) Notification {
+	return Notification{Code: e.Code, Subcode: e.Subcode, Data: e.Data}
+}
+
+// Type returns MsgNotification.
+func (Notification) Type() MsgType { return MsgNotification }
+
+// AppendBody appends the NOTIFICATION body.
+func (n Notification) AppendBody(dst []byte) []byte {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...)
+}
+
+// Error lets a received Notification be used directly as a session error.
+func (n Notification) Error() string {
+	return fmt.Sprintf("wire: NOTIFICATION code %d subcode %d", n.Code, n.Subcode)
+}
+
+func parseNotification(b []byte) (Message, error) {
+	if len(b) < 2 {
+		return nil, notifyErrf(ErrCodeHeader, ErrSubBadLength, nil, "short NOTIFICATION body")
+	}
+	n := Notification{Code: b[0], Subcode: b[1]}
+	if len(b) > 2 {
+		n.Data = append([]byte(nil), b[2:]...)
+	}
+	return n, nil
+}
+
+// RouteRefresh is the RFC 2918 ROUTE-REFRESH message: a request that the
+// peer re-advertise its full Adj-RIB-Out for the address family.
+type RouteRefresh struct {
+	AFI  uint16
+	SAFI uint8
+}
+
+// IPv4UnicastRefresh requests the conventional AFI 1 / SAFI 1 table.
+func IPv4UnicastRefresh() RouteRefresh {
+	return RouteRefresh{AFI: 1, SAFI: 1}
+}
+
+// Type returns MsgRouteRefresh.
+func (RouteRefresh) Type() MsgType { return MsgRouteRefresh }
+
+// AppendBody appends AFI, reserved, SAFI.
+func (r RouteRefresh) AppendBody(dst []byte) []byte {
+	return append(dst, byte(r.AFI>>8), byte(r.AFI), 0, r.SAFI)
+}
+
+func parseRouteRefresh(b []byte) (Message, error) {
+	if len(b) != 4 {
+		return nil, notifyErrf(ErrCodeHeader, ErrSubBadLength, nil, "ROUTE-REFRESH body %d bytes", len(b))
+	}
+	return RouteRefresh{AFI: uint16(b[0])<<8 | uint16(b[1]), SAFI: b[3]}, nil
+}
+
+// Keepalive is the BGP KEEPALIVE message (header only).
+type Keepalive struct{}
+
+// Type returns MsgKeepalive.
+func (Keepalive) Type() MsgType { return MsgKeepalive }
+
+// AppendBody appends nothing: a KEEPALIVE is just the header.
+func (Keepalive) AppendBody(dst []byte) []byte { return dst }

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bufio"
+	"io"
+)
+
+// Reader decodes a stream of framed BGP messages from an io.Reader. It
+// buffers internally; do not mix reads on the underlying stream.
+type Reader struct {
+	br  *bufio.Reader
+	hdr [HeaderLen]byte
+	buf []byte
+}
+
+// NewReader wraps r for message-at-a-time decoding.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 2*MaxMsgLen)}
+}
+
+// ReadMessage blocks for one complete BGP message and decodes it. Protocol
+// violations are returned as *NotifyError so the caller can answer with the
+// corresponding NOTIFICATION; transport failures are returned verbatim.
+func (r *Reader) ReadMessage() (Message, error) {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
+		return nil, err
+	}
+	length, typ, err := ParseHeader(r.hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	bodyLen := length - HeaderLen
+	if cap(r.buf) < bodyLen {
+		r.buf = make([]byte, bodyLen)
+	}
+	body := r.buf[:bodyLen]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return nil, err
+	}
+	return ParseBody(typ, body)
+}
+
+// Writer encodes BGP messages onto an io.Writer with internal buffering.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w for message-at-a-time encoding.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 2*MaxMsgLen)}
+}
+
+// WriteMessage marshals and writes one message, flushing it to the
+// underlying stream.
+func (w *Writer) WriteMessage(m Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// WriteMessageBuffered marshals and writes one message without flushing,
+// letting callers batch several UPDATEs into one TCP segment. Call Flush
+// when the batch is complete.
+func (w *Writer) WriteMessageBuffered(m Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.bw.Write(b)
+	return err
+}
+
+// Flush pushes buffered messages to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+)
+
+func TestReaderWriterPipe(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+
+	msgs := []Message{
+		NewOpen(65001, 90, netaddr.MustParseAddr("1.1.1.1")),
+		Keepalive{},
+		Update{
+			Attrs: NewPathAttrs(OriginIGP, NewASPath(65001, 65002), netaddr.MustParseAddr("10.0.0.1")),
+			NLRI:  []netaddr.Prefix{netaddr.MustParsePrefix("192.0.2.0/24")},
+		},
+		Notification{Code: ErrCodeCease},
+	}
+	for _, m := range msgs {
+		if err := w.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d: type %v, want %v", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterBuffered(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteMessageBuffered(Keepalive{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 10; i++ {
+		if _, err := r.ReadMessage(); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+}
+
+func TestReaderGarbage(t *testing.T) {
+	garbage := bytes.Repeat([]byte{0x00}, HeaderLen)
+	r := NewReader(bytes.NewReader(garbage))
+	if _, err := r.ReadMessage(); !isNotify(err, ErrCodeHeader, ErrSubSyncLost) {
+		t.Fatalf("err = %v, want sync-lost", err)
+	}
+}
+
+func TestReaderTruncatedBody(t *testing.T) {
+	full, err := Marshal(NewOpen(1, 90, netaddr.MustParseAddr("1.1.1.1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if _, err := r.ReadMessage(); err == nil {
+		t.Fatal("truncated body should error")
+	}
+}
+
+func TestStreamOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const n = 200
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		w := NewWriter(conn)
+		for i := 0; i < n; i++ {
+			u := Update{
+				Attrs: NewPathAttrs(OriginIGP, NewASPath(uint16(i+1)), netaddr.AddrFrom4(10, 0, 0, 1)),
+				NLRI:  []netaddr.Prefix{netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<8), 24)},
+			}
+			if err := w.WriteMessageBuffered(u); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- w.Flush()
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := NewReader(conn)
+	for i := 0; i < n; i++ {
+		m, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		u, ok := m.(Update)
+		if !ok {
+			t.Fatalf("message %d: got %T", i, m)
+		}
+		if first, _ := u.Attrs.ASPath.First(); first != uint16(i+1) {
+			t.Fatalf("message %d: AS %d", i, first)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
