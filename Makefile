@@ -1,0 +1,28 @@
+# Development targets for bgpbench. `make check` is the pre-merge gate:
+# build, vet, race-test the concurrent control-plane packages, then the
+# full test suite.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sharded router and the session layer are the concurrency-heavy
+# packages; run them under the race detector every time.
+race:
+	$(GO) test -race ./internal/core/... ./internal/session/...
+
+test:
+	$(GO) test ./...
+
+check: build vet race test
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -141,6 +141,32 @@ func BenchmarkLive(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveShards sweeps the decision-worker count on Scenario 2
+// (start-up with large packets) — the "scaling the fifth system"
+// experiment the paper's four single-process systems could not run.
+func BenchmarkLiveShards(b *testing.B) {
+	for _, shards := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("shards%d", shards)
+		if shards == 0 {
+			name = "shardsGOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			scn, _ := bench.ScenarioByNum(2)
+			var tps float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunLive(scn, bench.LiveConfig{
+					TableSize: 50000, Seed: 1, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tps = res.TPS
+			}
+			b.ReportMetric(tps, "tps")
+		})
+	}
+}
+
 // BenchmarkLiveCrossTraffic is the live analogue of Figure 5: Scenario 2
 // with goroutines saturating the shared forwarding engine.
 func BenchmarkLiveCrossTraffic(b *testing.B) {
@@ -266,9 +292,9 @@ func BenchmarkDecisionProcess(b *testing.B) {
 						Addr: netaddr.Addr(i + 1), ID: netaddr.Addr(i + 1),
 						AS: uint16(i + 100), EBGP: true,
 					},
-					Attrs: wire.NewPathAttrs(wire.OriginIGP,
+					Attrs: attrsPtr(wire.NewPathAttrs(wire.OriginIGP,
 						wire.NewASPath(uint16(i+100), uint16(i+200), uint16(i%3+1)),
-						netaddr.Addr(i+1)),
+						netaddr.Addr(i+1))),
 				}
 			}
 			b.ResetTimer()
@@ -286,8 +312,8 @@ func BenchmarkRIBChurn(b *testing.B) {
 	p2 := rib.PeerInfo{Addr: 2, ID: 2, AS: 65002, EBGP: true}
 	r.AddPeer(p1)
 	r.AddPeer(p2)
-	short := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 1), netaddr.Addr(1))
-	long := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65002, 1, 2, 3), netaddr.Addr(2))
+	short := attrsPtr(wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 1), netaddr.Addr(1)))
+	long := attrsPtr(wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65002, 1, 2, 3), netaddr.Addr(2)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i%4096)<<12), 20)
@@ -295,6 +321,8 @@ func BenchmarkRIBChurn(b *testing.B) {
 		r.Announce(p2.Addr, p, long)
 	}
 }
+
+func attrsPtr(a wire.PathAttrs) *wire.PathAttrs { return &a }
 
 // BenchmarkForwarding measures the RFC 1812 per-packet path (validate,
 // TTL, checksum, LPM) against a 100k-entry FIB.

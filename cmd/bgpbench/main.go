@@ -10,7 +10,7 @@
 //	bgpbench fig5    [-n prefixes] [-step mbps] [-csv dir]
 //	bgpbench fig6    [-n prefixes] [-cross mbps] [-csv dir]
 //	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
-//	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-crossworkers K] [-crosspps R]
+//	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-crossworkers K] [-crosspps R] [-shards LIST] [-json file]
 //	bgpbench livesweep [-n prefixes] [-num N]
 //	bgpbench worm
 //	bgpbench ablate  [-n prefixes]
@@ -18,11 +18,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -274,15 +276,13 @@ func cmdLive(args []string) error {
 	crossWorkers := fs.Int("crossworkers", 0, "goroutines saturating the forwarding plane")
 	crossPPS := fs.Float64("crosspps", 0, "rate-controlled cross-traffic in packets/second")
 	seed := fs.Int64("seed", 1, "workload seed")
+	shards := fs.String("shards", "", "comma-separated decision-worker counts to sweep (0 = GOMAXPROCS); empty = GOMAXPROCS only")
+	jsonOut := fs.String("json", "", "write machine-readable results (scenario x shards x tps) to this file")
 	fs.Parse(args)
 
-	cfg := bench.LiveConfig{
-		TableSize:    *n,
-		Seed:         *seed,
-		FIBEngine:    *fib,
-		CrossWorkers: *crossWorkers,
-		CrossPPS:     *crossPPS,
-		Timeout:      5 * time.Minute,
+	shardList, err := parseShardList(*shards)
+	if err != nil {
+		return err
 	}
 	var scns []bench.Scenario
 	if *num == 0 {
@@ -296,16 +296,80 @@ func cmdLive(args []string) error {
 	}
 	fmt.Printf("Live benchmark: Go BGP router over loopback, table %d, fib=%s, crossworkers=%d\n\n",
 		*n, *fib, *crossWorkers)
-	fmt.Printf("%-48s %12s %10s %14s\n", "scenario", "tps", "duration", "fwd pkts/s")
+	fmt.Printf("%-48s %7s %12s %10s %14s\n", "scenario", "shards", "tps", "duration", "fwd pkts/s")
+	var rows []liveRow
 	for _, scn := range scns {
-		res, err := bench.RunLive(scn, cfg)
+		for _, sh := range shardList {
+			cfg := bench.LiveConfig{
+				TableSize:    *n,
+				Seed:         *seed,
+				FIBEngine:    *fib,
+				CrossWorkers: *crossWorkers,
+				CrossPPS:     *crossPPS,
+				Shards:       sh,
+				Timeout:      5 * time.Minute,
+			}
+			res, err := bench.RunLive(scn, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-48s %7d %12.0f %9.3fs %14.0f\n",
+				scn.String(), res.Shards, res.TPS, res.Duration.Seconds(), res.FwdPacketsPerSec)
+			rows = append(rows, liveRow{
+				Scenario:        res.Scenario.Num,
+				ScenarioName:    res.Scenario.String(),
+				Prefixes:        res.Prefixes,
+				Shards:          res.Shards,
+				TPS:             res.TPS,
+				DurationSeconds: res.Duration.Seconds(),
+				FwdPPS:          res.FwdPacketsPerSec,
+				FIBEngine:       *fib,
+			})
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-48s %12.0f %9.3fs %14.0f\n",
-			scn.String(), res.TPS, res.Duration.Seconds(), res.FwdPacketsPerSec)
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", *jsonOut, len(rows))
 	}
 	return nil
+}
+
+// liveRow is one record of the machine-readable live benchmark output.
+type liveRow struct {
+	Scenario        int     `json:"scenario"`
+	ScenarioName    string  `json:"scenario_name"`
+	Prefixes        int     `json:"prefixes"`
+	Shards          int     `json:"shards"`
+	TPS             float64 `json:"tps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	FwdPPS          float64 `json:"fwd_pps,omitempty"`
+	FIBEngine       string  `json:"fib_engine"`
+}
+
+// parseShardList parses the -shards sweep value: a comma-separated list of
+// worker counts, where 0 means GOMAXPROCS. Empty runs GOMAXPROCS only.
+func parseShardList(s string) ([]int, error) {
+	if s == "" {
+		return []int{0}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -shards value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func cmdAblate(args []string) error {

@@ -32,6 +32,10 @@ type LiveConfig struct {
 	// the live analogue of Figure 5's controlled cross-traffic levels.
 	// Ignored when CrossWorkers is set.
 	CrossPPS float64
+	// Shards sets the router's decision-worker count (0 = GOMAXPROCS,
+	// 1 = the classic single-worker pipeline). Sweeping this measures how
+	// the fifth system scales where the paper's four could not.
+	Shards int
 	// Timeout bounds each phase (default 120s).
 	Timeout time.Duration
 }
@@ -52,6 +56,8 @@ func (c *LiveConfig) defaults() {
 type LiveResult struct {
 	Scenario Scenario
 	Prefixes int
+	// Shards is the decision-worker count the router actually ran with.
+	Shards   int
 	Duration time.Duration
 	// TPS is prefix transactions per second of the measured phase.
 	TPS float64
@@ -87,6 +93,7 @@ func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 		ID:         netaddr.MustParseAddr("10.255.0.1"),
 		ListenAddr: "127.0.0.1:0",
 		FIBEngine:  cfg.FIBEngine,
+		Shards:     cfg.Shards,
 		Neighbors: []core.NeighborConfig{
 			{AS: liveSpeaker1AS},
 			{AS: liveSpeaker2AS},
@@ -95,6 +102,7 @@ func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 	if err != nil {
 		return out, err
 	}
+	out.Shards = router.Shards()
 	if err := router.Start(); err != nil {
 		return out, err
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"net"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,39 +60,76 @@ type Config struct {
 	// flushes them at this MinRouteAdvertisementInterval instead of
 	// emitting one UPDATE per change (RFC 4271 section 9.2.1.1).
 	MRAI time.Duration
+	// Shards is the number of prefix-sharded decision workers. Each shard
+	// owns a disjoint slice of the prefix space (a fixed hash of the
+	// prefix), its own Loc-RIB partition, and its own slice of every
+	// peer's Adj-RIB-Out, so shards process UPDATE bursts in parallel
+	// without cross-shard locking. Defaults to GOMAXPROCS; 1 reproduces
+	// the classic single-decision-worker pipeline.
+	Shards int
 }
 
 // peerState is the router-side state for one established neighbour.
 type peerState struct {
-	info   rib.PeerInfo
-	cfg    NeighborConfig
-	sess   *session.Session
-	adjOut *rib.AdjOut
-	out    *outQueue
-	// prefixCount tracks the routes this peer currently contributes, for
-	// max-prefix enforcement. Owned by the decision worker.
-	prefixCount int
-	overLimit   bool
+	info rib.PeerInfo
+	cfg  NeighborConfig
+	sess *session.Session
+	out  *outQueue
 
-	// pending accumulates MRAI-coalesced route changes: attrs to announce,
-	// or nil to withdraw. Guarded by pendingMu; flushed by the peer's
-	// mraiFlusher goroutine.
-	pendingMu sync.Mutex
-	pending   map[netaddr.Prefix]*wire.PathAttrs
+	// adjOut holds one Adj-RIB-Out partition per shard; partition i is
+	// touched only by shard worker i, so no locking is needed.
+	adjOut []*rib.AdjOut
+	// exportCache memoizes the per-peer export transform (AS prepend,
+	// next-hop-self) keyed by canonical input attrs, one map per shard.
+	// Only consulted when the peer has no export policy (policies may
+	// match on prefix, which the cache cannot key).
+	exportCache []map[exportKey]*wire.PathAttrs
+	// pending accumulates MRAI-coalesced route changes per shard: attrs
+	// to announce, or nil to withdraw. Flushed by the peer's mraiFlusher.
+	pending []pendingShard
+
+	// prefixCount tracks the routes this peer currently contributes
+	// across all shards, for max-prefix enforcement.
+	prefixCount atomic.Int64
+	overLimit   atomic.Bool
+	// downLeft counts shards that have not yet processed this peer's
+	// teardown; the last one performs the final cleanup.
+	downLeft atomic.Int32
+}
+
+type exportKey struct {
+	attrs   *wire.PathAttrs
+	srcEBGP bool
+}
+
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[netaddr.Prefix]*wire.PathAttrs
 }
 
 // Router is a live BGP speaker: it terminates sessions, applies policy,
 // runs the decision process, installs routes into a shared FIB, and
 // re-advertises its Loc-RIB to peers. The paper's "router under test".
+//
+// The decision process is sharded: prefixes hash onto N workers, each
+// owning a Loc-RIB partition (rib.Sharded) plus the matching partition of
+// every peer's Adj-RIB-Out, so a burst of UPDATEs spreads across cores —
+// the pipeline parallelism whose absence the paper measures in its
+// single-process software routers. Peer lifecycle events (up, down,
+// refresh) fan out to every shard; per-session FIFO dispatch keeps each
+// shard's view of a peer ordered (up before its updates before its down).
 type Router struct {
-	cfg Config
+	cfg       Config
+	nshards   int
+	neighbors map[uint16]NeighborConfig
 
-	rib *rib.RIB
-	fib *fib.Table
-	fwd *forward.Engine
+	rib      *rib.Sharded
+	fib      *fib.Table
+	fwd      *forward.Engine
+	interner *wire.Intern
 
 	listener net.Listener
-	work     chan workItem
+	shards   []*shard
 	done     chan struct{}
 	wg       sync.WaitGroup
 	damper   *damping.Damper // nil when damping is disabled
@@ -103,6 +142,14 @@ type Router struct {
 	fibChanges   atomic.Uint64
 }
 
+// shard is one decision worker: a work queue, the per-shard transaction
+// counter, and a reusable FIB-op scratch buffer.
+type shard struct {
+	work         chan workItem
+	transactions atomic.Uint64
+	fibOps       []fib.Op // scratch, owned by the shard worker
+}
+
 type workKind int
 
 const (
@@ -111,6 +158,7 @@ const (
 	workPeerDown
 	workRefresh
 	workRIBLen
+	workDump
 )
 
 type workItem struct {
@@ -118,6 +166,15 @@ type workItem struct {
 	peerID netaddr.Addr
 	update wire.Update
 	reply  chan int
+	dump   chan []LocRoute
+}
+
+// LocRoute is one row of a Loc-RIB snapshot: the selected route for a
+// prefix and the peer it was learned from.
+type LocRoute struct {
+	Prefix netaddr.Prefix
+	Peer   netaddr.Addr
+	Attrs  *wire.PathAttrs
 }
 
 // NewRouter validates the configuration and builds a stopped router.
@@ -140,19 +197,38 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.ExportBatch == 0 {
 		cfg.ExportBatch = 500
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("core: shard count %d must be positive", cfg.Shards)
+	}
+	neighbors := make(map[uint16]NeighborConfig, len(cfg.Neighbors))
+	for _, n := range cfg.Neighbors {
+		if _, dup := neighbors[n.AS]; dup {
+			return nil, fmt.Errorf("core: duplicate neighbor AS %d", n.AS)
+		}
+		neighbors[n.AS] = n
+	}
 	eng, err := fib.NewEngine(cfg.FIBEngine)
 	if err != nil {
 		return nil, err
 	}
 	table := fib.NewTable(eng)
 	r := &Router{
-		cfg:   cfg,
-		rib:   rib.New(),
-		fib:   table,
-		fwd:   forward.New(table, nil),
-		work:  make(chan workItem, 8192),
-		done:  make(chan struct{}),
-		peers: make(map[netaddr.Addr]*peerState),
+		cfg:       cfg,
+		nshards:   cfg.Shards,
+		neighbors: neighbors,
+		rib:       rib.NewSharded(cfg.Shards),
+		fib:       table,
+		fwd:       forward.New(table, nil),
+		interner:  wire.NewIntern(),
+		shards:    make([]*shard, cfg.Shards),
+		done:      make(chan struct{}),
+		peers:     make(map[netaddr.Addr]*peerState),
+	}
+	for i := range r.shards {
+		r.shards[i] = &shard{work: make(chan workItem, 8192)}
 	}
 	if cfg.Damping != nil {
 		r.damper = damping.New(*cfg.Damping, nil)
@@ -165,7 +241,7 @@ func NewRouter(cfg Config) (*Router, error) {
 func (r *Router) Damper() *damping.Damper { return r.damper }
 
 // Start begins listening (if configured), dials active neighbours, and
-// launches the decision worker.
+// launches the decision workers.
 func (r *Router) Start() error {
 	if r.cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", r.cfg.ListenAddr)
@@ -176,8 +252,10 @@ func (r *Router) Start() error {
 		r.wg.Add(1)
 		go r.acceptLoop(ln)
 	}
-	r.wg.Add(1)
-	go r.worker()
+	for i := range r.shards {
+		r.wg.Add(1)
+		go r.shardWorker(i)
+	}
 	for _, n := range r.cfg.Neighbors {
 		if n.DialTarget != "" {
 			r.startSession(n, "")
@@ -232,14 +310,120 @@ func (r *Router) Transactions() uint64 { return r.transactions.Load() }
 // FIBChanges returns the number of forwarding-table changes applied.
 func (r *Router) FIBChanges() uint64 { return r.fibChanges.Load() }
 
-// RIBLen returns the Loc-RIB size.
+// Shards returns the number of decision-worker shards.
+func (r *Router) Shards() int { return r.nshards }
+
+// ShardStat is an operational snapshot of one decision shard.
+type ShardStat struct {
+	QueueDepth   int    // work items waiting in the shard's queue
+	Transactions uint64 // prefix-level operations completed by the shard
+}
+
+// ShardStats returns a snapshot per shard, in shard order.
+func (r *Router) ShardStats() []ShardStat {
+	out := make([]ShardStat, r.nshards)
+	for i, s := range r.shards {
+		out[i] = ShardStat{QueueDepth: len(s.work), Transactions: s.transactions.Load()}
+	}
+	return out
+}
+
+// InternStats reports the path-attribute intern table's size and hit rate.
+func (r *Router) InternStats() wire.InternStats { return r.interner.Stats() }
+
+// FIBBatchStats reports batched FIB commits and the total ops they
+// carried; ops/batches is the mean commit batch size.
+func (r *Router) FIBBatchStats() (batches, ops uint64) { return r.fib.BatchStats() }
+
+// RIBLen returns the Loc-RIB size, synchronized through every shard
+// worker so queued work ahead of the query is accounted for.
 func (r *Router) RIBLen() int {
-	res := make(chan int, 1)
+	replies := make(chan int, r.nshards)
+	for i := range r.shards {
+		if !r.send(i, workItem{kind: workRIBLen, reply: replies}) {
+			return -1
+		}
+	}
+	total := 0
+	for range r.shards {
+		select {
+		case n := <-replies:
+			total += n
+		case <-r.done:
+			return -1
+		}
+	}
+	return total
+}
+
+// DumpLocRIB snapshots the Loc-RIB across all shards, sorted by prefix.
+// Like RIBLen it is a barrier: each shard answers after draining the work
+// queued ahead of the request. Returns nil after Stop.
+func (r *Router) DumpLocRIB() []LocRoute {
+	replies := make(chan []LocRoute, r.nshards)
+	for i := range r.shards {
+		if !r.send(i, workItem{kind: workDump, dump: replies}) {
+			return nil
+		}
+	}
+	var all []LocRoute
+	for range r.shards {
+		select {
+		case rs := <-replies:
+			all = append(all, rs...)
+		case <-r.done:
+			return nil
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Prefix.Compare(all[j].Prefix) < 0 })
+	return all
+}
+
+// send enqueues a work item on shard i, reporting false once the router
+// is stopped.
+func (r *Router) send(i int, w workItem) bool {
 	select {
-	case r.work <- workItem{kind: workRIBLen, reply: res}:
-		return <-res
+	case r.shards[i].work <- w:
+		return true
 	case <-r.done:
-		return -1
+		return false
+	}
+}
+
+// fanOut enqueues a peer lifecycle event on every shard.
+func (r *Router) fanOut(kind workKind, peerID netaddr.Addr) {
+	for i := range r.shards {
+		if !r.send(i, workItem{kind: kind, peerID: peerID}) {
+			return
+		}
+	}
+}
+
+// dispatchUpdate splits an UPDATE's prefixes by owning shard and enqueues
+// the per-shard sub-updates. With one shard the message passes through
+// untouched.
+func (r *Router) dispatchUpdate(peerID netaddr.Addr, u wire.Update) {
+	if r.nshards == 1 {
+		r.send(0, workItem{kind: workUpdate, peerID: peerID, update: u})
+		return
+	}
+	subs := make([]wire.Update, r.nshards)
+	for _, p := range u.Withdrawn {
+		si := rib.ShardOf(p, r.nshards)
+		subs[si].Withdrawn = append(subs[si].Withdrawn, p)
+	}
+	for _, p := range u.NLRI {
+		si := rib.ShardOf(p, r.nshards)
+		subs[si].NLRI = append(subs[si].NLRI, p)
+	}
+	for i := range subs {
+		if len(subs[i].Withdrawn) == 0 && len(subs[i].NLRI) == 0 {
+			continue
+		}
+		subs[i].Attrs = u.Attrs
+		if !r.send(i, workItem{kind: workUpdate, peerID: peerID, update: subs[i]}) {
+			return
+		}
 	}
 }
 
@@ -285,16 +469,17 @@ func (r *Router) startSession(n NeighborConfig, label string) *session.Session {
 	return s
 }
 
-// routerHandler adapts session callbacks onto the router's work queue.
+// routerHandler adapts session callbacks onto the shard work queues.
 type routerHandler struct {
 	r *Router
 }
 
-// Established registers the peer and schedules the initial table export.
+// Established registers the peer and schedules the initial table export
+// on every shard.
 func (h *routerHandler) Established(s *session.Session) {
 	r := h.r
 	open := s.PeerOpen()
-	ncfg, ok := r.neighborConfigFor(open.AS)
+	ncfg, ok := r.neighbors[open.AS]
 	if !ok {
 		// Unconfigured peer: terminate. Stop must not run on the session's
 		// own event loop, so do it asynchronously.
@@ -308,11 +493,18 @@ func (h *routerHandler) Established(s *session.Session) {
 			AS:   open.AS,
 			EBGP: open.AS != r.cfg.AS,
 		},
-		cfg:    ncfg,
-		sess:   s,
-		adjOut: rib.NewAdjOut(),
-		out:    newOutQueue(),
+		cfg:         ncfg,
+		sess:        s,
+		out:         newOutQueue(),
+		adjOut:      make([]*rib.AdjOut, r.nshards),
+		exportCache: make([]map[exportKey]*wire.PathAttrs, r.nshards),
+		pending:     make([]pendingShard, r.nshards),
 	}
+	for i := range ps.adjOut {
+		ps.adjOut[i] = rib.NewAdjOut()
+		ps.exportCache[i] = make(map[exportKey]*wire.PathAttrs)
+	}
+	ps.downLeft.Store(int32(r.nshards))
 	r.mu.Lock()
 	if old, exists := r.peers[open.ID]; exists {
 		old.out.close()
@@ -327,53 +519,27 @@ func (h *routerHandler) Established(s *session.Session) {
 		go r.mraiFlusher(ps)
 	}
 
-	select {
-	case r.work <- workItem{kind: workPeerUp, peerID: open.ID}:
-	case <-r.done:
-	}
+	r.fanOut(workPeerUp, open.ID)
 }
 
-// Update queues a received UPDATE for the decision worker.
+// Update queues a received UPDATE for the decision workers.
 func (h *routerHandler) Update(s *session.Session, u wire.Update) {
-	r := h.r
-	id := s.PeerOpen().ID
-	select {
-	case r.work <- workItem{kind: workUpdate, peerID: id, update: u}:
-	case <-r.done:
-	}
+	h.r.dispatchUpdate(s.PeerOpen().ID, u)
 }
 
 // Refresh re-sends the peer's Adj-RIB-Out on a ROUTE-REFRESH request
 // (RFC 2918).
 func (h *routerHandler) Refresh(s *session.Session, _ wire.RouteRefresh) {
-	r := h.r
-	select {
-	case r.work <- workItem{kind: workRefresh, peerID: s.PeerOpen().ID}:
-	case <-r.done:
-	}
+	h.r.fanOut(workRefresh, s.PeerOpen().ID)
 }
 
 // Down unregisters the peer and withdraws its routes.
 func (h *routerHandler) Down(s *session.Session, _ error) {
-	r := h.r
-	id := s.PeerOpen().ID
-	select {
-	case r.work <- workItem{kind: workPeerDown, peerID: id}:
-	case <-r.done:
-	}
-}
-
-func (r *Router) neighborConfigFor(as uint16) (NeighborConfig, bool) {
-	for _, n := range r.cfg.Neighbors {
-		if n.AS == as {
-			return n, true
-		}
-	}
-	return NeighborConfig{}, false
+	h.r.fanOut(workPeerDown, s.PeerOpen().ID)
 }
 
 // sender drains a peer's unbounded out-queue into its session, isolating
-// the decision worker from transport back-pressure.
+// the decision workers from transport back-pressure.
 func (r *Router) sender(ps *peerState) {
 	defer r.wg.Done()
 	for {
@@ -389,26 +555,35 @@ func (r *Router) sender(ps *peerState) {
 	}
 }
 
-// worker is the single decision-process goroutine (the analogue of the
-// xorp_bgp + xorp_rib processes). It owns the RIB and the Adj-RIB-Outs.
-func (r *Router) worker() {
+// shardWorker is decision worker i: it owns Loc-RIB shard i and partition
+// i of every peer's Adj-RIB-Out (the analogue of one xorp_bgp + xorp_rib
+// pipeline, replicated per core).
+func (r *Router) shardWorker(i int) {
 	defer r.wg.Done()
+	s := r.shards[i]
 	for {
 		select {
 		case <-r.done:
 			return
-		case w := <-r.work:
+		case w := <-s.work:
 			switch w.kind {
 			case workUpdate:
-				r.processUpdate(w.peerID, w.update)
+				r.processUpdate(i, w.peerID, w.update)
 			case workPeerUp:
-				r.processPeerUp(w.peerID)
+				r.processPeerUp(i, w.peerID)
 			case workPeerDown:
-				r.processPeerDown(w.peerID)
+				r.processPeerDown(i, w.peerID)
 			case workRefresh:
-				r.processRefresh(w.peerID)
+				r.processRefresh(i, w.peerID)
 			case workRIBLen:
-				w.reply <- r.rib.Len()
+				w.reply <- r.rib.Shard(i).Len()
+			case workDump:
+				var routes []LocRoute
+				r.rib.Shard(i).WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
+					routes = append(routes, LocRoute{Prefix: p, Peer: c.Peer.Addr, Attrs: c.Attrs})
+					return true
+				})
+				w.dump <- routes
 			}
 		}
 	}
@@ -431,34 +606,45 @@ func (r *Router) snapshotPeers() []*peerState {
 	return out
 }
 
-// processPeerUp registers the peer in the RIB and exports the current
-// Loc-RIB to it (Phase 2 of the benchmark methodology).
-func (r *Router) processPeerUp(id netaddr.Addr) {
+// countTx accounts n prefix-level transactions to shard si.
+func (r *Router) countTx(si int, n uint64) {
+	if n == 0 {
+		return
+	}
+	r.transactions.Add(n)
+	r.shards[si].transactions.Add(n)
+}
+
+// processPeerUp registers the peer in shard si's RIB and exports the
+// shard's Loc-RIB slice to it (Phase 2 of the benchmark methodology).
+func (r *Router) processPeerUp(si int, id netaddr.Addr) {
 	ps := r.peerByID(id)
 	if ps == nil {
 		return
 	}
-	r.rib.AddPeer(ps.info)
+	shardRIB := r.rib.Shard(si)
+	shardRIB.AddPeer(ps.info)
 
 	// Initial table transfer: batch routes sharing an attribute block.
+	// Attrs are interned, so "same block" is a pointer comparison.
 	var batch []netaddr.Prefix
-	var batchAttrs wire.PathAttrs
+	var batchAttrs *wire.PathAttrs
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		ps.out.push(wire.Update{Attrs: batchAttrs, NLRI: append([]netaddr.Prefix(nil), batch...)})
+		ps.out.push(wire.Update{Attrs: *batchAttrs, NLRI: append([]netaddr.Prefix(nil), batch...)})
 		batch = batch[:0]
 	}
-	r.rib.WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
-		attrs, ok := r.exportAttrs(ps, p, c)
+	shardRIB.WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
+		attrs, ok := r.exportAttrs(si, ps, p, c)
 		if !ok {
 			return true
 		}
-		if !ps.adjOut.Advertise(p, attrs) {
+		if !ps.adjOut[si].Advertise(p, attrs) {
 			return true
 		}
-		if len(batch) > 0 && (!attrs.Equal(batchAttrs) || len(batch) >= r.cfg.ExportBatch) {
+		if len(batch) > 0 && (attrs != batchAttrs || len(batch) >= r.cfg.ExportBatch) {
 			flush()
 		}
 		if len(batch) == 0 {
@@ -470,116 +656,149 @@ func (r *Router) processPeerUp(id netaddr.Addr) {
 	flush()
 }
 
-// processRefresh rebuilds and re-sends the peer's Adj-RIB-Out from
-// scratch: the RFC 2918 response to a ROUTE-REFRESH request.
-func (r *Router) processRefresh(id netaddr.Addr) {
+// processRefresh rebuilds and re-sends shard si's partition of the peer's
+// Adj-RIB-Out from scratch: the RFC 2918 response to a ROUTE-REFRESH
+// request, fanned out across shards.
+func (r *Router) processRefresh(si int, id netaddr.Addr) {
 	ps := r.peerByID(id)
 	if ps == nil {
 		return
 	}
-	// Reset the advertised view (and any MRAI-pending changes) so every
-	// current route is re-sent, then reuse the initial-export path.
-	ps.pendingMu.Lock()
-	ps.pending = nil
-	ps.pendingMu.Unlock()
-	*ps.adjOut = *rib.NewAdjOut()
-	r.processPeerUp(id)
+	// Reset the advertised view (and any MRAI-pending changes owned by
+	// this shard) so every current route is re-sent, then reuse the
+	// initial-export path.
+	sh := &ps.pending[si]
+	sh.mu.Lock()
+	sh.m = nil
+	sh.mu.Unlock()
+	ps.adjOut[si] = rib.NewAdjOut()
+	r.processPeerUp(si, id)
 }
 
-// processPeerDown withdraws everything learned from the peer.
-func (r *Router) processPeerDown(id netaddr.Addr) {
-	r.mu.Lock()
-	ps := r.peers[id]
-	if ps != nil {
-		delete(r.peers, id)
-	}
-	r.mu.Unlock()
+// processPeerDown withdraws everything the peer contributed to shard si;
+// the last shard to finish performs the final peer cleanup.
+func (r *Router) processPeerDown(si int, id netaddr.Addr) {
+	ps := r.peerByID(id)
 	if ps == nil {
 		return
 	}
-	ps.out.close()
-	if r.damper != nil {
-		r.damper.Forget(ps.info.Addr)
-	}
-	changes := r.rib.RemovePeer(ps.info.Addr)
+	s := r.shards[si]
+	ops := s.fibOps[:0]
+	changes := r.rib.Shard(si).RemovePeer(ps.info.Addr)
 	for _, ch := range changes {
-		r.applyChange(ch)
+		r.applyChange(si, ch, &ops)
 	}
-	r.transactions.Add(uint64(len(changes)))
+	r.commitFIB(&ops)
+	s.fibOps = ops[:0]
+	r.countTx(si, uint64(len(changes)))
+
+	if ps.downLeft.Add(-1) == 0 {
+		r.mu.Lock()
+		// Guard against a re-established session having replaced the entry.
+		if r.peers[id] == ps {
+			delete(r.peers, id)
+		}
+		r.mu.Unlock()
+		ps.out.close()
+		if r.damper != nil {
+			r.damper.Forget(ps.info.Addr)
+		}
+	}
 }
 
-// processUpdate runs import policy and the decision process on one UPDATE.
-func (r *Router) processUpdate(id netaddr.Addr, u wire.Update) {
+// processUpdate runs import policy and the decision process on one
+// (shard-local) UPDATE. FIB changes accumulate across the whole message
+// and commit as one batch.
+func (r *Router) processUpdate(si int, id netaddr.Addr, u wire.Update) {
 	ps := r.peerByID(id)
 	if ps == nil {
 		return
 	}
-	if ps.overLimit {
+	if ps.overLimit.Load() {
 		// Session is being torn down for exceeding its prefix limit;
 		// ignore anything still in flight.
-		r.transactions.Add(uint64(len(u.Withdrawn) + len(u.NLRI)))
+		r.countTx(si, uint64(len(u.Withdrawn)+len(u.NLRI)))
 		return
 	}
+	s := r.shards[si]
+	shardRIB := r.rib.Shard(si)
+	ops := s.fibOps[:0]
+	defer func() {
+		r.commitFIB(&ops)
+		s.fibOps = ops[:0]
+	}()
+
 	for _, p := range u.Withdrawn {
-		had := r.peerHasRoute(ps.info.Addr, p)
+		had := peerHasRoute(shardRIB, ps.info.Addr, p)
 		if r.damper != nil && had {
 			r.damper.Flap(ps.info.Addr, p)
 		}
-		if ch, ok := r.rib.Withdraw(ps.info.Addr, p); ok {
-			r.applyChange(ch)
+		if ch, ok := shardRIB.Withdraw(ps.info.Addr, p); ok {
+			r.applyChange(si, ch, &ops)
 		}
 		if had {
-			ps.prefixCount--
+			ps.prefixCount.Add(-1)
 		}
-		r.transactions.Add(1)
+		r.countTx(si, 1)
 	}
 	if len(u.NLRI) == 0 {
 		return
 	}
 	// Loop detection: reject paths containing our own AS.
 	if u.Attrs.ASPath.Contains(r.cfg.AS) {
-		r.transactions.Add(uint64(len(u.NLRI)))
+		r.countTx(si, uint64(len(u.NLRI)))
 		return
 	}
+	// With no import policy the post-policy attrs are identical for every
+	// prefix in the message: intern once, share the canonical pointer.
+	var msgAttrs *wire.PathAttrs
+	if ps.cfg.Import == nil {
+		msgAttrs = r.interner.Intern(u.Attrs)
+	}
 	for _, p := range u.NLRI {
-		attrs, ok := ps.cfg.Import.Apply(p, u.Attrs)
-		if !ok {
-			r.transactions.Add(1)
-			continue
+		attrs := msgAttrs
+		if attrs == nil {
+			a, ok := ps.cfg.Import.Apply(p, u.Attrs)
+			if !ok {
+				r.countTx(si, 1)
+				continue
+			}
+			attrs = r.interner.Intern(a)
 		}
-		if r.damper != nil && r.dampAnnounce(ps.info.Addr, p, attrs) {
+		if r.damper != nil && r.dampAnnounce(shardRIB, ps.info.Addr, p, attrs) {
 			// Suppressed: the route must not be used; drop any candidate
 			// the peer previously contributed.
-			if ch, ok := r.rib.Withdraw(ps.info.Addr, p); ok {
-				r.applyChange(ch)
+			if ch, ok := shardRIB.Withdraw(ps.info.Addr, p); ok {
+				r.applyChange(si, ch, &ops)
 			}
-			r.transactions.Add(1)
+			r.countTx(si, 1)
 			continue
 		}
-		had := r.peerHasRoute(ps.info.Addr, p)
-		if ch, ok := r.rib.Announce(ps.info.Addr, p, attrs); ok {
-			r.applyChange(ch)
+		had := peerHasRoute(shardRIB, ps.info.Addr, p)
+		if ch, ok := shardRIB.Announce(ps.info.Addr, p, attrs); ok {
+			r.applyChange(si, ch, &ops)
 		}
 		if !had {
-			ps.prefixCount++
-			if ps.cfg.MaxPrefixes > 0 && ps.prefixCount > ps.cfg.MaxPrefixes {
-				// Over the limit: administratively stop the session. The
-				// resulting Down callback withdraws everything the peer
-				// contributed.
-				ps.overLimit = true
-				r.transactions.Add(1)
-				go ps.sess.Stop()
+			n := ps.prefixCount.Add(1)
+			if ps.cfg.MaxPrefixes > 0 && n > int64(ps.cfg.MaxPrefixes) {
+				// Over the limit: administratively stop the session (once).
+				// The resulting Down callback withdraws everything the
+				// peer contributed.
+				if ps.overLimit.CompareAndSwap(false, true) {
+					go ps.sess.Stop()
+				}
+				r.countTx(si, 1)
 				return
 			}
 		}
-		r.transactions.Add(1)
+		r.countTx(si, 1)
 	}
 }
 
 // peerHasRoute reports whether the peer currently contributes a candidate
-// for the prefix.
-func (r *Router) peerHasRoute(peer netaddr.Addr, p netaddr.Prefix) bool {
-	for _, c := range r.rib.Candidates(p) {
+// for the prefix in the given RIB shard.
+func peerHasRoute(shardRIB *rib.RIB, peer netaddr.Addr, p netaddr.Prefix) bool {
+	for _, c := range shardRIB.Candidates(p) {
 		if c.Peer.Addr == peer {
 			return true
 		}
@@ -590,10 +809,11 @@ func (r *Router) peerHasRoute(peer netaddr.Addr, p netaddr.Prefix) bool {
 // dampAnnounce applies flap accounting to an announcement: a
 // re-announcement with changed attributes counts as a flap (RFC 2439
 // attribute-change event). It reports whether the route is suppressed.
-func (r *Router) dampAnnounce(peer netaddr.Addr, p netaddr.Prefix, attrs wire.PathAttrs) bool {
-	for _, c := range r.rib.Candidates(p) {
+// Attrs are interned, so the attribute-change check is a pointer compare.
+func (r *Router) dampAnnounce(shardRIB *rib.RIB, peer netaddr.Addr, p netaddr.Prefix, attrs *wire.PathAttrs) bool {
+	for _, c := range shardRIB.Candidates(p) {
 		if c.Peer.Addr == peer {
-			if !c.Attrs.Equal(attrs) {
+			if c.Attrs != attrs && !c.Attrs.Equal(*attrs) {
 				return r.damper.Flap(peer, p)
 			}
 			return r.damper.Suppressed(peer, p)
@@ -602,54 +822,64 @@ func (r *Router) dampAnnounce(peer netaddr.Addr, p netaddr.Prefix, attrs wire.Pa
 	return r.damper.Suppressed(peer, p)
 }
 
-// applyChange pushes one Loc-RIB transition into the FIB and to peers.
-func (r *Router) applyChange(ch rib.Change) {
-	// Forwarding table.
+// commitFIB flushes accumulated forwarding-table ops as one write-locked
+// batch.
+func (r *Router) commitFIB(ops *[]fib.Op) {
+	if len(*ops) == 0 {
+		return
+	}
+	r.fib.Apply(*ops)
+	r.fibChanges.Add(uint64(len(*ops)))
+	*ops = (*ops)[:0]
+}
+
+// applyChange pushes one Loc-RIB transition toward the FIB batch and to
+// peers.
+func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op) {
+	// Forwarding table: batch the op; the caller commits per message.
 	if ch.New != nil {
-		entry := fib.Entry{NextHop: ch.New.Attrs.NextHop, Port: int(ch.New.Peer.AS) % 16}
 		if ch.Old == nil || ch.Old.Attrs.NextHop != ch.New.Attrs.NextHop {
-			r.fib.Insert(ch.Prefix, entry)
-			r.fibChanges.Add(1)
+			entry := fib.Entry{NextHop: ch.New.Attrs.NextHop, Port: int(ch.New.Peer.AS) % 16}
+			*ops = append(*ops, fib.Op{Prefix: ch.Prefix, Entry: entry})
 		}
 	} else if ch.Old != nil {
-		r.fib.Delete(ch.Prefix)
-		r.fibChanges.Add(1)
+		*ops = append(*ops, fib.Op{Prefix: ch.Prefix, Delete: true})
 	}
 
-	// Adj-RIB-Out propagation.
+	// Adj-RIB-Out propagation (this shard's partition of every peer).
 	for _, ps := range r.snapshotPeers() {
 		if ch.New != nil {
 			// Do not advertise a route back to the peer it came from.
 			if ps.info.Addr == ch.New.Peer.Addr {
 				// If we previously advertised another route for this prefix
 				// to that peer, withdraw it.
-				if ps.adjOut.Withdraw(ch.Prefix) {
-					r.emit(ps, ch.Prefix, nil)
+				if ps.adjOut[si].Withdraw(ch.Prefix) {
+					r.emit(si, ps, ch.Prefix, nil)
 				}
 				continue
 			}
-			attrs, ok := r.exportAttrs(ps, ch.Prefix, *ch.New)
+			attrs, ok := r.exportAttrs(si, ps, ch.Prefix, *ch.New)
 			if !ok {
-				if ps.adjOut.Withdraw(ch.Prefix) {
-					r.emit(ps, ch.Prefix, nil)
+				if ps.adjOut[si].Withdraw(ch.Prefix) {
+					r.emit(si, ps, ch.Prefix, nil)
 				}
 				continue
 			}
-			if ps.adjOut.Advertise(ch.Prefix, attrs) {
-				r.emit(ps, ch.Prefix, &attrs)
+			if ps.adjOut[si].Advertise(ch.Prefix, attrs) {
+				r.emit(si, ps, ch.Prefix, attrs)
 			}
 		} else {
-			if ps.adjOut.Withdraw(ch.Prefix) {
-				r.emit(ps, ch.Prefix, nil)
+			if ps.adjOut[si].Withdraw(ch.Prefix) {
+				r.emit(si, ps, ch.Prefix, nil)
 			}
 		}
 	}
 }
 
 // emit sends one route change toward a peer: immediately when MRAI is
-// disabled, otherwise coalesced into the peer's pending set and flushed by
-// its MRAI ticker. attrs == nil means withdraw.
-func (r *Router) emit(ps *peerState, p netaddr.Prefix, attrs *wire.PathAttrs) {
+// disabled, otherwise coalesced into the peer's per-shard pending set and
+// flushed by its MRAI ticker. attrs == nil means withdraw.
+func (r *Router) emit(si int, ps *peerState, p netaddr.Prefix, attrs *wire.PathAttrs) {
 	if r.cfg.MRAI <= 0 {
 		if attrs == nil {
 			ps.out.push(wire.Update{Withdrawn: []netaddr.Prefix{p}})
@@ -658,16 +888,18 @@ func (r *Router) emit(ps *peerState, p netaddr.Prefix, attrs *wire.PathAttrs) {
 		}
 		return
 	}
-	ps.pendingMu.Lock()
-	if ps.pending == nil {
-		ps.pending = make(map[netaddr.Prefix]*wire.PathAttrs)
+	sh := &ps.pending[si]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[netaddr.Prefix]*wire.PathAttrs)
 	}
-	ps.pending[p] = attrs
-	ps.pendingMu.Unlock()
+	sh.m[p] = attrs
+	sh.mu.Unlock()
 }
 
-// mraiFlusher drains a peer's pending set every MRAI, packing withdrawals
-// together and grouping announcements that share an attribute block.
+// mraiFlusher drains a peer's pending sets every MRAI, packing
+// withdrawals together and grouping announcements that share an attribute
+// block.
 func (r *Router) mraiFlusher(ps *peerState) {
 	defer r.wg.Done()
 	t := time.NewTicker(r.cfg.MRAI)
@@ -683,29 +915,30 @@ func (r *Router) mraiFlusher(ps *peerState) {
 }
 
 func (r *Router) flushPending(ps *peerState) {
-	ps.pendingMu.Lock()
-	pending := ps.pending
-	ps.pending = nil
-	ps.pendingMu.Unlock()
-	if len(pending) == 0 {
-		return
-	}
 	var withdrawn []netaddr.Prefix
-	groups := make(map[string]*wire.Update)
-	var order []string
-	for p, attrs := range pending {
-		if attrs == nil {
-			withdrawn = append(withdrawn, p)
-			continue
+	// Attrs are interned: the canonical pointer is the grouping key, so no
+	// per-route marshal is needed to coalesce shared attribute blocks.
+	groups := make(map[*wire.PathAttrs]*wire.Update)
+	var order []*wire.PathAttrs
+	for i := range ps.pending {
+		sh := &ps.pending[i]
+		sh.mu.Lock()
+		pending := sh.m
+		sh.m = nil
+		sh.mu.Unlock()
+		for p, attrs := range pending {
+			if attrs == nil {
+				withdrawn = append(withdrawn, p)
+				continue
+			}
+			g := groups[attrs]
+			if g == nil {
+				g = &wire.Update{Attrs: *attrs}
+				groups[attrs] = g
+				order = append(order, attrs)
+			}
+			g.NLRI = append(g.NLRI, p)
 		}
-		key := string(wire.MarshalAttrs(*attrs))
-		g := groups[key]
-		if g == nil {
-			g = &wire.Update{Attrs: *attrs}
-			groups[key] = g
-			order = append(order, key)
-		}
-		g.NLRI = append(g.NLRI, p)
 	}
 	// Withdrawals ride in one UPDATE (chunked to the batch limit).
 	for i := 0; i < len(withdrawn); i += r.cfg.ExportBatch {
@@ -728,28 +961,45 @@ func (r *Router) flushPending(ps *peerState) {
 }
 
 // exportAttrs applies export policy and standard eBGP transformations
-// (own-AS prepend, next-hop-self) for a route toward a peer.
-func (r *Router) exportAttrs(ps *peerState, p netaddr.Prefix, c rib.Candidate) (wire.PathAttrs, bool) {
+// (own-AS prepend, next-hop-self) for a route toward a peer, returning an
+// interned canonical pointer. When the peer has no export policy the
+// transform is memoized per (input attrs, source session type), so the
+// per-prefix clone+prepend collapses into a map hit after first sight.
+func (r *Router) exportAttrs(si int, ps *peerState, p netaddr.Prefix, c rib.Candidate) (*wire.PathAttrs, bool) {
 	// iBGP split-horizon: do not re-advertise iBGP routes to iBGP peers.
 	if !c.Peer.EBGP && !ps.info.EBGP {
-		return wire.PathAttrs{}, false
+		return nil, false
 	}
-	attrs, ok := ps.cfg.Export.Apply(p, c.Attrs)
+	cacheable := ps.cfg.Export == nil
+	key := exportKey{attrs: c.Attrs, srcEBGP: c.Peer.EBGP}
+	if cacheable {
+		if out, ok := ps.exportCache[si][key]; ok {
+			return out, true
+		}
+	}
+	attrs, ok := ps.cfg.Export.Apply(p, *c.Attrs)
 	if !ok {
-		return wire.PathAttrs{}, false
+		return nil, false
 	}
+	var out *wire.PathAttrs
 	if ps.info.EBGP {
-		attrs = attrs.Clone()
-		attrs.ASPath = attrs.ASPath.Prepend(r.cfg.AS)
-		attrs.NextHop, attrs.HasNextHop = r.cfg.NextHop, true
+		a := attrs.Clone()
+		a.ASPath = a.ASPath.Prepend(r.cfg.AS)
+		a.NextHop, a.HasNextHop = r.cfg.NextHop, true
 		// LOCAL_PREF is not sent on eBGP sessions.
-		attrs.HasLocalPref, attrs.LocalPref = false, 0
+		a.HasLocalPref, a.LocalPref = false, 0
+		out = r.interner.Intern(a)
+	} else {
+		out = r.interner.Intern(attrs)
 	}
-	return attrs, true
+	if cacheable {
+		ps.exportCache[si][key] = out
+	}
+	return out, true
 }
 
 // outQueue is an unbounded FIFO of messages with close semantics. It
-// decouples the decision worker from slow peers so back-pressure on one
+// decouples the decision workers from slow peers so back-pressure on one
 // session cannot deadlock route propagation.
 type outQueue struct {
 	mu     sync.Mutex

@@ -1,0 +1,119 @@
+package fib
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+)
+
+// randomOps builds a batch mixing inserts, replacements, and deletes over a
+// small prefix pool so ops collide (replace-after-insert, delete-then-
+// reinsert) within one batch.
+func randomOps(rng *rand.Rand, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		p := netaddr.PrefixFrom(netaddr.Addr(uint32(rng.Intn(64))<<20), 12+rng.Intn(4)*4)
+		if rng.Intn(4) == 0 {
+			ops[i] = Op{Prefix: p, Delete: true}
+		} else {
+			ops[i] = Op{Prefix: p, Entry: Entry{NextHop: netaddr.Addr(rng.Uint32() | 1), Port: rng.Intn(16)}}
+		}
+	}
+	return ops
+}
+
+// TestApplyEquivalentToSingles: for every engine, Apply(ops) must leave the
+// table in exactly the state produced by the equivalent Insert/Delete
+// sequence.
+func TestApplyEquivalentToSingles(t *testing.T) {
+	for _, name := range EngineNames {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for round := 0; round < 20; round++ {
+				batched, _ := NewEngine(name)
+				single, _ := NewEngine(name)
+				// Pre-populate both identically so deletes have targets.
+				seedOps := randomOps(rng, 100)
+				for _, op := range seedOps {
+					if !op.Delete {
+						batched.Insert(op.Prefix, op.Entry)
+						single.Insert(op.Prefix, op.Entry)
+					}
+				}
+				ops := randomOps(rng, 150)
+				batched.Apply(ops)
+				for _, op := range ops {
+					if op.Delete {
+						single.Delete(op.Prefix)
+					} else {
+						single.Insert(op.Prefix, op.Entry)
+					}
+				}
+				if batched.Len() != single.Len() {
+					t.Fatalf("round %d: Len %d != %d", round, batched.Len(), single.Len())
+				}
+				single.Walk(func(p netaddr.Prefix, want Entry) bool {
+					got, ok := batched.LookupExact(p)
+					if !ok || got != want {
+						t.Fatalf("round %d: %v = %v/%v, want %v", round, p, got, ok, want)
+					}
+					return true
+				})
+				// Spot-check LPM agreement on random addresses.
+				for i := 0; i < 200; i++ {
+					addr := netaddr.Addr(uint32(rng.Intn(64)) << 20)
+					ge, gok := batched.Lookup(addr)
+					we, wok := single.Lookup(addr)
+					if gok != wok || ge != we {
+						t.Fatalf("round %d: Lookup(%v) = %v/%v, want %v/%v", round, addr, ge, gok, we, wok)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableApplyCountsBatches(t *testing.T) {
+	tbl := NewTable(NewLinear())
+	tbl.Apply(nil) // empty batch must not count
+	ops := []Op{
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Entry: Entry{NextHop: 1, Port: 1}},
+		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Entry: Entry{NextHop: 2, Port: 2}},
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Delete: true},
+	}
+	tbl.Apply(ops)
+	batches, total := tbl.BatchStats()
+	if batches != 1 || total != 3 {
+		t.Fatalf("BatchStats = %d, %d; want 1, 3", batches, total)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	if _, ok := tbl.LookupExact(netaddr.MustParsePrefix("10.1.0.0/16")); !ok {
+		t.Fatal("surviving route missing")
+	}
+	if tbl.Updates() != 3 {
+		t.Fatalf("Updates = %d, want 3", tbl.Updates())
+	}
+}
+
+// TestLinearApplyDeleteReinsert targets the bulk path's tombstone logic:
+// deleting a prefix and re-inserting it in the same batch must keep the
+// final entry.
+func TestLinearApplyDeleteReinsert(t *testing.T) {
+	l := NewLinear()
+	p := netaddr.MustParsePrefix("10.0.0.0/8")
+	l.Insert(p, Entry{NextHop: 1, Port: 1})
+	l.Apply([]Op{
+		{Prefix: p, Delete: true},
+		{Prefix: p, Entry: Entry{NextHop: 9, Port: 9}},
+		{Prefix: netaddr.MustParsePrefix("192.168.0.0/16"), Delete: true}, // absent: no-op
+	})
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if e, ok := l.LookupExact(p); !ok || e.NextHop != 9 {
+		t.Fatalf("entry = %v/%v, want NextHop 9", e, ok)
+	}
+}

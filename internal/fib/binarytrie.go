@@ -127,3 +127,7 @@ func (t *BinaryTrie) walk(n *btNode, addr netaddr.Addr, depth int, fn func(netad
 	}
 	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
 }
+
+// Apply performs the batch as ordered single ops; the trie has no cheaper
+// bulk restructuring.
+func (t *BinaryTrie) Apply(ops []Op) { applyOps(t, ops) }

@@ -29,6 +29,14 @@ type Entry struct {
 	Port    int          // egress interface index
 }
 
+// Op is one mutation in a batched FIB commit: an insert/replace of Entry
+// for Prefix, or a delete when Delete is set.
+type Op struct {
+	Prefix netaddr.Prefix
+	Entry  Entry
+	Delete bool
+}
+
 // Engine is a longest-prefix-match structure. Implementations are
 // single-goroutine; wrap with Table for shared use.
 type Engine interface {
@@ -36,6 +44,10 @@ type Engine interface {
 	Insert(p netaddr.Prefix, e Entry)
 	// Delete removes a prefix, reporting whether it was present.
 	Delete(p netaddr.Prefix) bool
+	// Apply performs a batch of mutations in order. Equivalent to calling
+	// Insert/Delete per op; engines may restructure once per batch instead
+	// of once per op.
+	Apply(ops []Op)
 	// Lookup returns the entry of the longest prefix containing addr.
 	Lookup(addr netaddr.Addr) (Entry, bool)
 	// LookupExact returns the entry stored for exactly this prefix.
@@ -44,6 +56,18 @@ type Engine interface {
 	Len() int
 	// Walk visits all entries in unspecified order until fn returns false.
 	Walk(fn func(netaddr.Prefix, Entry) bool)
+}
+
+// applyOps is the generic per-op batch implementation engines delegate to
+// when they have no cheaper bulk restructuring.
+func applyOps(eng Engine, ops []Op) {
+	for _, op := range ops {
+		if op.Delete {
+			eng.Delete(op.Prefix)
+		} else {
+			eng.Insert(op.Prefix, op.Entry)
+		}
+	}
 }
 
 // EngineNames lists the selectable engine implementations.
@@ -69,10 +93,12 @@ func NewEngine(name string) (Engine, error) {
 // destinations). It also counts updates and lookups so benchmark scenarios
 // can verify which operations touched the forwarding table.
 type Table struct {
-	mu      sync.RWMutex
-	eng     Engine
-	updates atomic.Uint64
-	lookups atomic.Uint64
+	mu       sync.RWMutex
+	eng      Engine
+	updates  atomic.Uint64
+	lookups  atomic.Uint64
+	batches  atomic.Uint64 // Apply calls with at least one op
+	batchOps atomic.Uint64 // total ops committed through Apply
 }
 
 // NewTable wraps an engine; a nil engine defaults to Patricia.
@@ -98,6 +124,21 @@ func (t *Table) Delete(p netaddr.Prefix) bool {
 	t.mu.Unlock()
 	t.updates.Add(1)
 	return ok
+}
+
+// Apply commits a batch of route changes under one write-lock round-trip
+// instead of per-prefix lock acquisitions — the control plane's bulk
+// commit path for a burst of decision-process changes.
+func (t *Table) Apply(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.eng.Apply(ops)
+	t.mu.Unlock()
+	t.updates.Add(uint64(len(ops)))
+	t.batches.Add(1)
+	t.batchOps.Add(uint64(len(ops)))
 }
 
 // Lookup resolves a destination address.
@@ -138,3 +179,9 @@ func (t *Table) Updates() uint64 { return t.updates.Load() }
 
 // Lookups returns the count of Lookup operations since creation.
 func (t *Table) Lookups() uint64 { return t.lookups.Load() }
+
+// BatchStats returns the number of batched commits and the total ops they
+// carried; ops/batches is the mean batch size.
+func (t *Table) BatchStats() (batches, ops uint64) {
+	return t.batches.Load(), t.batchOps.Load()
+}

@@ -92,3 +92,7 @@ func (h *HashLengths) Walk(fn func(netaddr.Prefix, Entry) bool) {
 		}
 	}
 }
+
+// Apply performs the batch as ordered single ops against the per-length
+// hash tables.
+func (h *HashLengths) Apply(ops []Op) { applyOps(h, ops) }

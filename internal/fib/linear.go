@@ -29,6 +29,10 @@ func (l *Linear) Insert(p netaddr.Prefix, e Entry) {
 		return
 	}
 	l.routes = append(l.routes, linearRoute{prefix: p, entry: e})
+	l.sort()
+}
+
+func (l *Linear) sort() {
 	sort.Slice(l.routes, func(i, j int) bool {
 		a, b := l.routes[i].prefix, l.routes[j].prefix
 		if a.Len() != b.Len() {
@@ -36,6 +40,46 @@ func (l *Linear) Insert(p netaddr.Prefix, e Entry) {
 		}
 		return a.Compare(b) < 0
 	})
+}
+
+// Apply commits a batch with one restructuring pass: ops mutate against a
+// prefix index, dead rows are compacted, and the slice is re-sorted once
+// instead of once per insert as repeated Insert calls would.
+func (l *Linear) Apply(ops []Op) {
+	idx := make(map[netaddr.Prefix]int, len(l.routes))
+	for i, r := range l.routes {
+		idx[r.prefix] = i
+	}
+	var dead map[int]bool
+	for _, op := range ops {
+		i, ok := idx[op.Prefix]
+		if op.Delete {
+			if ok {
+				if dead == nil {
+					dead = make(map[int]bool)
+				}
+				dead[i] = true
+				delete(idx, op.Prefix)
+			}
+			continue
+		}
+		if ok {
+			l.routes[i] = linearRoute{prefix: op.Prefix, entry: op.Entry}
+			continue
+		}
+		l.routes = append(l.routes, linearRoute{prefix: op.Prefix, entry: op.Entry})
+		idx[op.Prefix] = len(l.routes) - 1
+	}
+	if len(dead) > 0 {
+		out := l.routes[:0]
+		for i, r := range l.routes {
+			if !dead[i] {
+				out = append(out, r)
+			}
+		}
+		l.routes = out
+	}
+	l.sort()
 }
 
 func (l *Linear) find(p netaddr.Prefix) int {

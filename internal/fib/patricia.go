@@ -209,3 +209,7 @@ func (t *Patricia) walk(n *pNode, fn func(netaddr.Prefix, Entry) bool) bool {
 	}
 	return t.walk(n.child[0], fn) && t.walk(n.child[1], fn)
 }
+
+// Apply performs the batch as ordered single ops; the path-compressed trie
+// has no cheaper bulk restructuring.
+func (p *Patricia) Apply(ops []Op) { applyOps(p, ops) }

@@ -9,21 +9,24 @@ import (
 
 // AdjOut is the Adj-RIB-Out for one peer: the routes the local speaker has
 // advertised to it. It deduplicates advertisements so the session layer
-// only sends UPDATEs that actually change the peer's view.
+// only sends UPDATEs that actually change the peer's view. Attribute sets
+// are held by canonical pointer (wire.Intern), so one AdjOut entry costs a
+// map slot, not a copy of the attribute block, and the dedupe check is a
+// pointer comparison for interned attrs.
 type AdjOut struct {
-	routes map[netaddr.Prefix]wire.PathAttrs
+	routes map[netaddr.Prefix]*wire.PathAttrs
 }
 
 // NewAdjOut returns an empty Adj-RIB-Out.
 func NewAdjOut() *AdjOut {
-	return &AdjOut{routes: make(map[netaddr.Prefix]wire.PathAttrs)}
+	return &AdjOut{routes: make(map[netaddr.Prefix]*wire.PathAttrs)}
 }
 
 // Advertise records that attrs were advertised for prefix. It reports
 // whether this differs from what the peer already holds (i.e. whether an
 // UPDATE must be sent).
-func (o *AdjOut) Advertise(prefix netaddr.Prefix, attrs wire.PathAttrs) bool {
-	if cur, ok := o.routes[prefix]; ok && cur.Equal(attrs) {
+func (o *AdjOut) Advertise(prefix netaddr.Prefix, attrs *wire.PathAttrs) bool {
+	if cur, ok := o.routes[prefix]; ok && attrsEqual(cur, attrs) {
 		return false
 	}
 	o.routes[prefix] = attrs
@@ -41,7 +44,7 @@ func (o *AdjOut) Withdraw(prefix netaddr.Prefix) bool {
 }
 
 // Lookup returns the attributes last advertised for prefix.
-func (o *AdjOut) Lookup(prefix netaddr.Prefix) (wire.PathAttrs, bool) {
+func (o *AdjOut) Lookup(prefix netaddr.Prefix) (*wire.PathAttrs, bool) {
 	a, ok := o.routes[prefix]
 	return a, ok
 }
@@ -50,7 +53,7 @@ func (o *AdjOut) Lookup(prefix netaddr.Prefix) (wire.PathAttrs, bool) {
 func (o *AdjOut) Len() int { return len(o.routes) }
 
 // Walk visits advertised routes in prefix order until fn returns false.
-func (o *AdjOut) Walk(fn func(netaddr.Prefix, wire.PathAttrs) bool) {
+func (o *AdjOut) Walk(fn func(netaddr.Prefix, *wire.PathAttrs) bool) {
 	prefixes := make([]netaddr.Prefix, 0, len(o.routes))
 	for p := range o.routes {
 		prefixes = append(prefixes, p)

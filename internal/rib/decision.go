@@ -19,14 +19,16 @@ type PeerInfo struct {
 }
 
 // Candidate is one route for a prefix in an Adj-RIB-In, after import
-// policy.
+// policy. Attrs points at a canonical attribute set (see wire.Intern), so
+// candidates for the same path share one allocation and equality checks
+// on interned attribute sets reduce to pointer comparisons.
 type Candidate struct {
 	Peer  PeerInfo
-	Attrs wire.PathAttrs
+	Attrs *wire.PathAttrs
 }
 
 // effectiveLocalPref returns LOCAL_PREF or the default.
-func effectiveLocalPref(a wire.PathAttrs) uint32 {
+func effectiveLocalPref(a *wire.PathAttrs) uint32 {
 	if a.HasLocalPref {
 		return a.LocalPref
 	}
@@ -35,7 +37,7 @@ func effectiveLocalPref(a wire.PathAttrs) uint32 {
 
 // effectiveMED returns MED, treating absence as 0 (most preferred), the
 // conventional missing-as-best interpretation.
-func effectiveMED(a wire.PathAttrs) uint32 {
+func effectiveMED(a *wire.PathAttrs) uint32 {
 	if a.HasMED {
 		return a.MED
 	}

@@ -17,12 +17,13 @@ func peer(addr string, id string, as uint16, ebgp bool) PeerInfo {
 	}
 }
 
-func cand(p PeerInfo, attrs wire.PathAttrs) Candidate {
+func cand(p PeerInfo, attrs *wire.PathAttrs) Candidate {
 	return Candidate{Peer: p, Attrs: attrs}
 }
 
-func baseAttrs(asns ...uint16) wire.PathAttrs {
-	return wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(asns...), netaddr.MustParseAddr("192.0.2.1"))
+func baseAttrs(asns ...uint16) *wire.PathAttrs {
+	a := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(asns...), netaddr.MustParseAddr("192.0.2.1"))
+	return &a
 }
 
 var (

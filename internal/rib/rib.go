@@ -77,9 +77,11 @@ func (r *RIB) Peers() []PeerInfo {
 }
 
 // Announce records a route from a peer's Adj-RIB-In (post-import-policy)
-// and runs the decision process for the prefix. It returns the Loc-RIB
-// change, if any.
-func (r *RIB) Announce(peer netaddr.Addr, prefix netaddr.Prefix, attrs wire.PathAttrs) (Change, bool) {
+// and runs the decision process for the prefix. attrs should be a
+// canonical pointer (wire.Intern) shared across prefixes with the same
+// path; the RIB stores it without copying. It returns the Loc-RIB change,
+// if any.
+func (r *RIB) Announce(peer netaddr.Addr, prefix netaddr.Prefix, attrs *wire.PathAttrs) (Change, bool) {
 	pi, ok := r.peers[peer]
 	if !ok {
 		panic(fmt.Sprintf("rib: announce from unregistered peer %v", peer))
@@ -165,10 +167,22 @@ func (r *RIB) decide(prefix netaddr.Prefix, e *locEntry) (Change, bool) {
 	case old == nil && e.best == nil:
 		return Change{}, false
 	case old != nil && e.best != nil &&
-		old.Peer.Addr == e.best.Peer.Addr && old.Attrs.Equal(e.best.Attrs):
+		old.Peer.Addr == e.best.Peer.Addr && attrsEqual(old.Attrs, e.best.Attrs):
 		return Change{}, false
 	}
 	return Change{Prefix: prefix, Old: old, New: e.best}, true
+}
+
+// attrsEqual compares two attribute pointers: pointer equality first (the
+// common case with interned attribute sets), deep comparison otherwise.
+func attrsEqual(a, b *wire.PathAttrs) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Equal(*b)
 }
 
 // Lookup returns the current best route for a prefix.

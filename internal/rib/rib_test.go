@@ -188,7 +188,7 @@ func TestLocRIBInvariant(t *testing.T) {
 			t.Fatalf("%v: candidates exist but no best", p)
 		}
 		idx := Best(cands)
-		if cands[idx].Peer.Addr != best.Peer.Addr || !cands[idx].Attrs.Equal(best.Attrs) {
+		if cands[idx].Peer.Addr != best.Peer.Addr || !attrsEqual(cands[idx].Attrs, best.Attrs) {
 			t.Fatalf("%v: stored best differs from recomputed best", p)
 		}
 	}
@@ -212,7 +212,7 @@ func TestAdjOutDedup(t *testing.T) {
 	if !o.Advertise(p, b) {
 		t.Fatal("changed attributes should report a change")
 	}
-	if got, ok := o.Lookup(p); !ok || !got.Equal(b) {
+	if got, ok := o.Lookup(p); !ok || !attrsEqual(got, b) {
 		t.Fatal("Lookup returned wrong attrs")
 	}
 	if !o.Withdraw(p) {
@@ -233,7 +233,7 @@ func TestAdjOutWalkOrdered(t *testing.T) {
 	}
 	var prev netaddr.Prefix
 	n := 0
-	o.Walk(func(p netaddr.Prefix, _ wire.PathAttrs) bool {
+	o.Walk(func(p netaddr.Prefix, _ *wire.PathAttrs) bool {
 		if n > 0 && prev.Compare(p) >= 0 {
 			t.Fatalf("Walk out of order")
 		}

@@ -22,6 +22,9 @@ type Summary struct {
 	Transactions uint64 `json:"transactions"`
 	FIBLookups   uint64 `json:"fib_lookups"`
 	Flaps        uint64 `json:"flaps,omitempty"`
+	Shards       int    `json:"shards"`
+	InternSize   int    `json:"intern_size"`
+	FIBBatches   uint64 `json:"fib_batches"`
 }
 
 // Handler builds the HTTP mux for a router.
@@ -42,6 +45,9 @@ func Handler(r *core.Router, as uint16) http.Handler {
 		if d := r.Damper(); d != nil {
 			s.Flaps = d.Flaps()
 		}
+		s.Shards = r.Shards()
+		s.InternSize = r.InternStats().Size
+		s.FIBBatches, _ = r.FIBBatchStats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s)
 	})
@@ -64,6 +70,18 @@ func Handler(r *core.Router, as uint16) http.Handler {
 		if d := r.Damper(); d != nil {
 			fmt.Fprintf(w, "bgp_flaps_total %d\n", d.Flaps())
 		}
+		fmt.Fprintf(w, "bgp_shards %d\n", r.Shards())
+		for i, st := range r.ShardStats() {
+			fmt.Fprintf(w, "bgp_shard_queue_depth{shard=\"%d\"} %d\n", i, st.QueueDepth)
+			fmt.Fprintf(w, "bgp_shard_transactions_total{shard=\"%d\"} %d\n", i, st.Transactions)
+		}
+		is := r.InternStats()
+		fmt.Fprintf(w, "bgp_attr_intern_size %d\n", is.Size)
+		fmt.Fprintf(w, "bgp_attr_intern_hits_total %d\n", is.Hits)
+		fmt.Fprintf(w, "bgp_attr_intern_misses_total %d\n", is.Misses)
+		batches, ops := r.FIBBatchStats()
+		fmt.Fprintf(w, "bgp_fib_batches_total %d\n", batches)
+		fmt.Fprintf(w, "bgp_fib_batch_ops_total %d\n", ops)
 	})
 	return mux
 }

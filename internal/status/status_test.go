@@ -88,6 +88,14 @@ func TestMetrics(t *testing.T) {
 		"bgp_fib_lookups_total 1",
 		"bgp_transactions_total 0",
 		"bgp_flaps_total 0",
+		"bgp_shards ",
+		"bgp_shard_queue_depth{shard=\"0\"} 0",
+		"bgp_shard_transactions_total{shard=\"0\"} 0",
+		"bgp_attr_intern_size 0",
+		"bgp_attr_intern_hits_total 0",
+		"bgp_attr_intern_misses_total 0",
+		"bgp_fib_batches_total 0",
+		"bgp_fib_batch_ops_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

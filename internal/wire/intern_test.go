@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+)
+
+func internAttrs(asns ...uint16) PathAttrs {
+	return NewPathAttrs(OriginIGP, NewASPath(asns...), netaddr.MustParseAddr("192.0.2.1"))
+}
+
+func TestInternDedupes(t *testing.T) {
+	tbl := NewIntern()
+	a := tbl.Intern(internAttrs(1, 2, 3))
+	b := tbl.Intern(internAttrs(1, 2, 3))
+	if a != b {
+		t.Fatal("equal attrs should intern to the same pointer")
+	}
+	c := tbl.Intern(internAttrs(1, 2))
+	if c == a {
+		t.Fatal("distinct attrs must not share a pointer")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	s := tbl.Stats()
+	if s.Size != 2 || s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 1.0/3.0 {
+		t.Fatalf("HitRate = %v", got)
+	}
+}
+
+// TestInternDistinguishesOptionalAttrs: attribute sets that differ only in
+// optional attributes (MED, LOCAL_PREF, communities) must not collapse.
+func TestInternDistinguishesOptionalAttrs(t *testing.T) {
+	tbl := NewIntern()
+	base := internAttrs(1, 2)
+	withPref := internAttrs(1, 2)
+	withPref.HasLocalPref, withPref.LocalPref = true, 200
+	withMED := internAttrs(1, 2)
+	withMED.HasMED, withMED.MED = true, 50
+	p1, p2, p3 := tbl.Intern(base), tbl.Intern(withPref), tbl.Intern(withMED)
+	if p1 == p2 || p1 == p3 || p2 == p3 {
+		t.Fatal("optional-attribute variants must intern separately")
+	}
+	for i, want := range []*PathAttrs{p1, p2, p3} {
+		if !want.Equal([]PathAttrs{base, withPref, withMED}[i]) {
+			t.Fatalf("canonical copy %d differs from input", i)
+		}
+	}
+}
+
+// TestInternDoesNotAliasInput: mutating the caller's copy after interning
+// must not change the canonical copy.
+func TestInternDoesNotAliasInput(t *testing.T) {
+	tbl := NewIntern()
+	in := internAttrs(7, 8, 9)
+	p := tbl.Intern(in)
+	in.ASPath = NewASPath(1)
+	if !p.Equal(internAttrs(7, 8, 9)) {
+		t.Fatal("canonical copy aliases caller-owned state")
+	}
+}
+
+// TestInternConcurrent hammers the table from many goroutines interning a
+// small set of distinct attrs; all goroutines must converge on the same
+// canonical pointers. Run under -race this also proves thread safety.
+func TestInternConcurrent(t *testing.T) {
+	tbl := NewIntern()
+	const workers = 8
+	const distinct = 16
+	got := make([][]*PathAttrs, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*PathAttrs, distinct)
+			for i := 0; i < 500; i++ {
+				k := (i + w) % distinct
+				got[w][k] = tbl.Intern(internAttrs(uint16(k+1), uint16(k+100)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Len() != distinct {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), distinct)
+	}
+	for k := 0; k < distinct; k++ {
+		for w := 1; w < workers; w++ {
+			if got[w][k] != got[0][k] {
+				t.Fatalf("workers disagree on canonical pointer for key %d", k)
+			}
+		}
+	}
+}

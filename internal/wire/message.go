@@ -17,18 +17,27 @@ type Message interface {
 
 // Marshal renders a complete BGP message: marker, length, type, body.
 func Marshal(m Message) ([]byte, error) {
-	buf := make([]byte, HeaderLen, HeaderLen+64)
+	return AppendMessage(make([]byte, 0, HeaderLen+64), m)
+}
+
+// AppendMessage appends the complete wire encoding of m (marker, length,
+// type, body) to dst and returns the extended slice. Senders that encode
+// many messages reuse one buffer across calls instead of allocating per
+// message as Marshal does.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
 	for i := 0; i < 16; i++ {
-		buf[i] = 0xFF
+		dst = append(dst, 0xFF)
 	}
-	buf[18] = byte(m.Type())
-	buf = m.AppendBody(buf)
-	if len(buf) > MaxMsgLen {
-		return nil, fmt.Errorf("wire: %s message length %d exceeds maximum %d", m.Type(), len(buf), MaxMsgLen)
+	dst = append(dst, 0, 0, byte(m.Type()))
+	dst = m.AppendBody(dst)
+	n := len(dst) - start
+	if n > MaxMsgLen {
+		return dst[:start], fmt.Errorf("wire: %s message length %d exceeds maximum %d", m.Type(), n, MaxMsgLen)
 	}
-	buf[16] = byte(len(buf) >> 8)
-	buf[17] = byte(len(buf))
-	return buf, nil
+	dst[start+16] = byte(n >> 8)
+	dst[start+17] = byte(n)
+	return dst, nil
 }
 
 // ParseHeader validates a 19-byte BGP header and returns the total message

@@ -41,8 +41,11 @@ func (r *Reader) ReadMessage() (Message, error) {
 }
 
 // Writer encodes BGP messages onto an io.Writer with internal buffering.
+// It reuses one marshal buffer across messages, so the steady-state send
+// path allocates nothing per message. Not safe for concurrent use.
 type Writer struct {
-	bw *bufio.Writer
+	bw  *bufio.Writer
+	buf []byte // marshal scratch, reused across messages
 }
 
 // NewWriter wraps w for message-at-a-time encoding.
@@ -50,10 +53,20 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 2*MaxMsgLen)}
 }
 
+// encode marshals m into the writer's reusable scratch buffer.
+func (w *Writer) encode(m Message) ([]byte, error) {
+	b, err := AppendMessage(w.buf[:0], m)
+	if err != nil {
+		return nil, err
+	}
+	w.buf = b
+	return b, nil
+}
+
 // WriteMessage marshals and writes one message, flushing it to the
 // underlying stream.
 func (w *Writer) WriteMessage(m Message) error {
-	b, err := Marshal(m)
+	b, err := w.encode(m)
 	if err != nil {
 		return err
 	}
@@ -67,7 +80,7 @@ func (w *Writer) WriteMessage(m Message) error {
 // letting callers batch several UPDATEs into one TCP segment. Call Flush
 // when the batch is complete.
 func (w *Writer) WriteMessageBuffered(m Message) error {
-	b, err := Marshal(m)
+	b, err := w.encode(m)
 	if err != nil {
 		return err
 	}
