@@ -1,10 +1,11 @@
 # Development targets for bgpbench. `make check` is the pre-merge gate:
-# build, vet, race-test the concurrent control-plane packages, then the
+# build, vet, race-test the concurrent control-plane packages, run the
+# fault-injection conformance gate under the race detector, then the
 # full test suite.
 
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race conformance check bench
 
 all: check
 
@@ -19,10 +20,18 @@ vet:
 race:
 	$(GO) test -race ./internal/core/... ./internal/session/...
 
+# Conformance gate: one representative scenario under the flap-reset
+# fault profile, N=1 vs N=4 decision shards, plus the replay-determinism
+# check — all under the race detector (the netem layer, the reconnecting
+# speakers, and the sharded router interleave heavily here).
+conformance:
+	BGPBENCH_CONFORMANCE_GATE=1 $(GO) test -race \
+		-run 'TestConformanceGate|TestConformanceReplayDeterminism' ./internal/bench/
+
 test:
 	$(GO) test ./...
 
-check: build vet race test
+check: build vet race conformance test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

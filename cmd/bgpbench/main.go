@@ -12,6 +12,7 @@
 //	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
 //	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-crossworkers K] [-crosspps R] [-shards LIST] [-json file]
 //	bgpbench livesweep [-n prefixes] [-num N]
+//	bgpbench chaos   [-n prefixes] [-num N] [-profiles LIST] [-seed S] [-shards LIST] [-json file]
 //	bgpbench worm
 //	bgpbench ablate  [-n prefixes]
 //	bgpbench mrt <file>
@@ -30,6 +31,7 @@ import (
 
 	"bgpbench/internal/bench"
 	"bgpbench/internal/mrt"
+	"bgpbench/internal/netem"
 	"bgpbench/internal/platform"
 	"bgpbench/internal/trace"
 )
@@ -62,6 +64,8 @@ func main() {
 		err = cmdWorm(args)
 	case "livesweep":
 		err = cmdLiveSweep(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "mrt":
 		err = cmdMRT(args)
 	case "help", "-h", "--help":
@@ -91,6 +95,7 @@ commands:
   ablate     ablation studies of the model's design choices
   worm       update-storm survivability (max sustainable / keepalive-safe rates)
   livesweep  live Figure-5 analogue: tps vs rate-controlled cross-traffic
+  chaos      conformance replay under fault injection: digests across shards/profiles
   mrt        summarize an MRT TABLE_DUMP_V2 file (peers, lengths, origins)
 
 run "bgpbench <command> -h" for flags.
@@ -278,6 +283,8 @@ func cmdLive(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	shards := fs.String("shards", "", "comma-separated decision-worker counts to sweep (0 = GOMAXPROCS); empty = GOMAXPROCS only")
 	jsonOut := fs.String("json", "", "write machine-readable results (scenario x shards x tps) to this file")
+	profile := fs.String("profile", "", "netem fault profile for the speaker transports (empty/clean = none)")
+	faultSeed := fs.Int64("faultseed", 0, "fault-schedule seed (0 = workload seed)")
 	fs.Parse(args)
 
 	shardList, err := parseShardList(*shards)
@@ -308,13 +315,21 @@ func cmdLive(args []string) error {
 				CrossPPS:     *crossPPS,
 				Shards:       sh,
 				Timeout:      5 * time.Minute,
+				FaultProfile: *profile,
+				FaultSeed:    *faultSeed,
 			}
 			res, err := bench.RunLive(scn, cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-48s %7d %12.0f %9.3fs %14.0f\n",
+			fmt.Printf("%-48s %7d %12.0f %9.3fs %14.0f",
 				scn.String(), res.Shards, res.TPS, res.Duration.Seconds(), res.FwdPacketsPerSec)
+			if *profile != "" && *profile != "clean" {
+				st := res.Faults
+				fmt.Printf("  [%s: %d faults, %d retries]", res.FaultProfile,
+					st.Corrupts+st.Reorders+st.Stalls+st.ReadStalls+st.Resets, res.Retries)
+			}
+			fmt.Println()
 			rows = append(rows, liveRow{
 				Scenario:        res.Scenario.Num,
 				ScenarioName:    res.Scenario.String(),
@@ -412,6 +427,101 @@ func cmdLiveSweep(args []string) error {
 		}
 		fmt.Printf("%12.0f %12.0f %14.0f\n", pps, res.TPS, res.FwdPacketsPerSec)
 	}
+	return nil
+}
+
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	n := fs.Int("n", 0, "routing table size in prefixes (0 = conformance default)")
+	num := fs.Int("num", 0, "scenario number 1-8 (0 = all)")
+	profiles := fs.String("profiles", "clean,lossy-reorder,flap-reset", "comma-separated netem fault profiles")
+	seed := fs.Int64("seed", 1701, "workload and fault-schedule seed")
+	shards := fs.String("shards", "1,4", "comma-separated decision-worker counts to compare")
+	jsonOut := fs.String("json", "", "write machine-readable conformance results to this file")
+	fs.Parse(args)
+
+	shardList, err := parseShardList(*shards)
+	if err != nil {
+		return err
+	}
+	var profileList []string
+	for _, p := range strings.Split(*profiles, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if _, ok := netem.ProfileByName(p); !ok {
+			return fmt.Errorf("unknown fault profile %q (known: %s)", p, strings.Join(netem.ProfileNames(), ", "))
+		}
+		profileList = append(profileList, p)
+	}
+	var scns []bench.Scenario
+	if *num == 0 {
+		scns = bench.Scenarios
+	} else {
+		scn, err := bench.ScenarioByNum(*num)
+		if err != nil {
+			return err
+		}
+		scns = []bench.Scenario{scn}
+	}
+
+	fmt.Printf("Chaos conformance: seed %d, profiles [%s], shards %v\n\n",
+		*seed, strings.Join(profileList, " "), shardList)
+	fmt.Printf("%-48s %-14s %7s %10s %8s %8s %8s  %s\n",
+		"scenario", "profile", "shards", "duration", "tx", "retries", "faults", "state digest")
+	var all []bench.ConformanceResult
+	mismatches := 0
+	for _, scn := range scns {
+		// Digests must agree across every (profile, shards) cell of one
+		// scenario: the fault profiles guarantee eventual delivery, so the
+		// settled state is invariant.
+		want := ""
+		for _, profile := range profileList {
+			for _, sh := range shardList {
+				res, err := bench.RunConformance(scn, bench.ConformanceConfig{
+					Profile:   profile,
+					Seed:      *seed,
+					Shards:    sh,
+					TableSize: *n,
+				})
+				if err != nil {
+					return err
+				}
+				all = append(all, res)
+				st := res.Faults
+				faults := st.Corrupts + st.Reorders + st.Stalls + st.ReadStalls + st.Resets
+				digest := res.StateDigest()
+				mark := ""
+				if want == "" {
+					want = digest
+				} else if digest != want {
+					mark = "  << MISMATCH"
+					mismatches++
+				}
+				fmt.Printf("%-48s %-14s %7d %9.2fs %8d %8d %8d  %.16s%s\n",
+					scn.String(), profile, res.Shards, res.Duration.Seconds(),
+					res.Transactions, res.Retries, faults, digest, mark)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d runs)\n", *jsonOut, len(all))
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("chaos: %d digest mismatch(es) — router state diverged across shards or profiles", mismatches)
+	}
+	fmt.Println("\nall digests agree: conformance holds across shard counts and fault profiles")
 	return nil
 }
 

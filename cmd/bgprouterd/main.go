@@ -5,11 +5,13 @@
 //
 //	bgprouterd -listen 127.0.0.1:1790 -as 65000 -id 10.0.0.1 -neighbors 65001,65002
 //	bgprouterd -config router.conf
+//	bgprouterd -chaos lossy-reorder -chaos-seed 7   # fault-injected listener
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -21,6 +23,7 @@ import (
 	"bgpbench/internal/config"
 	"bgpbench/internal/core"
 	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
 	"bgpbench/internal/status"
 )
 
@@ -33,6 +36,8 @@ func main() {
 	fib := flag.String("fib", "patricia", "FIB engine: linear, binary, patricia, hashlen")
 	statsEvery := flag.Duration("stats", 5*time.Second, "statistics print interval (0 disables)")
 	httpAddr := flag.String("http", "", "serve /status, /fib, /metrics on this address (empty disables)")
+	chaos := flag.String("chaos", "", "wrap the BGP listener in this netem fault profile (empty disables)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
 	flag.Parse()
 
 	var cfg core.Config
@@ -74,6 +79,22 @@ func main() {
 		fatal(fmt.Errorf("no neighbours configured"))
 	}
 
+	// Fault injection on every accepted session: the daemon runs on the
+	// real clock, so latency/stall shaping costs wall time.
+	var inj *netem.Injector
+	if *chaos != "" {
+		profile, ok := netem.ProfileByName(*chaos)
+		if !ok {
+			fatal(fmt.Errorf("unknown fault profile %q (known: %s)",
+				*chaos, strings.Join(netem.ProfileNames(), ", ")))
+		}
+		profile.Seed = *chaosSeed
+		inj = netem.NewInjector(profile, netem.NewRealClock())
+		cfg.ListenWrap = func(ln net.Listener) net.Listener {
+			return inj.WrapListener(ln, "bgprouterd")
+		}
+	}
+
 	router, err := core.NewRouter(cfg)
 	if err != nil {
 		fatal(err)
@@ -83,10 +104,14 @@ func main() {
 	}
 	fmt.Printf("bgprouterd: AS %d, ID %s, listening on %s, %d neighbours, fib=%s\n",
 		cfg.AS, cfg.ID, router.ListenAddr(), len(cfg.Neighbors), cfg.FIBEngine)
+	if inj != nil {
+		fmt.Printf("bgprouterd: chaos profile %q, seed %d (netem_* counters on /metrics)\n",
+			*chaos, *chaosSeed)
+	}
 	if *httpAddr != "" {
 		go func() {
 			fmt.Printf("bgprouterd: status endpoint on http://%s/status\n", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, status.Handler(router, cfg.AS)); err != nil {
+			if err := http.ListenAndServe(*httpAddr, status.HandlerWithFaults(router, cfg.AS, inj)); err != nil {
 				fmt.Fprintln(os.Stderr, "bgprouterd: http:", err)
 			}
 		}()

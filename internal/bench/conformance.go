@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
+	"bgpbench/internal/speaker"
+	"bgpbench/internal/wire"
+)
+
+// ConformanceConfig parameterizes one conformance replay: a scenario
+// driven over fault-injected transports, settled, and digested.
+type ConformanceConfig struct {
+	// Profile names the netem fault profile ("clean", "lossy-reorder",
+	// "flap-reset", ...).
+	Profile string
+	// Seed drives both the workload generator and the fault schedules.
+	Seed int64
+	// Shards is the router's decision-worker count (0 = GOMAXPROCS).
+	Shards int
+	// TableSize is the routing-table size in prefixes (default 600 —
+	// small enough for CI, large enough that every scenario's byte
+	// stream extends past the fault horizon of the named profiles).
+	TableSize int
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
+}
+
+func (c *ConformanceConfig) defaults() {
+	if c.TableSize == 0 {
+		c.TableSize = 600
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.Profile == "" {
+		c.Profile = "clean"
+	}
+}
+
+// ConformanceResult carries the post-convergence state digests of one
+// run. Two runs of the same scenario agree on every digest iff the
+// router converged to identical Loc-RIB, per-peer Adj-RIB-Out, and FIB
+// contents — regardless of shard count or fault profile.
+type ConformanceResult struct {
+	Scenario Scenario `json:"-"`
+	Profile  string   `json:"profile"`
+	Shards   int      `json:"shards"`
+	// LocRIBDigest hashes the selected route per prefix (prefix, peer,
+	// canonical attribute bytes), in prefix order.
+	LocRIBDigest string `json:"loc_rib_digest"`
+	// AdjOutDigests hashes each established peer's Adj-RIB-Out, keyed by
+	// the peer's BGP identifier.
+	AdjOutDigests map[string]string `json:"adj_out_digests"`
+	// FIBDigest hashes the forwarding table (prefix, next hop, port).
+	FIBDigest string `json:"fib_digest"`
+	// ScheduleDigest hashes the planned fault schedule (see
+	// netem.Injector.ScheduleDigest); replay determinism means equal
+	// seeds produce equal schedule digests.
+	ScheduleDigest string `json:"schedule_digest"`
+	// RIBLen is the settled Loc-RIB size.
+	RIBLen int `json:"rib_len"`
+	// Transactions and Retries report how much work the run took; faulted
+	// runs inflate both, but the digests must not move.
+	Transactions uint64              `json:"transactions"`
+	Retries      uint64              `json:"retries"`
+	Faults       netem.StatsSnapshot `json:"faults"`
+	Duration     time.Duration       `json:"duration"`
+}
+
+// StateDigest folds the Loc-RIB, Adj-RIB-Out, and FIB digests into one
+// comparable string.
+func (r ConformanceResult) StateDigest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "loc:%s\nfib:%s\n", r.LocRIBDigest, r.FIBDigest)
+	// AdjOutDigests is keyed by peer ID; iterate in the deterministic
+	// order PeerIDs produced (reconstructed by sorting keys).
+	for _, k := range sortedKeys(r.AdjOutDigests) {
+		fmt.Fprintf(h, "adj[%s]:%s\n", k, r.AdjOutDigests[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RunConformance executes one scenario against a live router with the
+// speakers' transports wrapped in the named fault profile, waits for
+// convergence, and returns the router's state digests.
+//
+// Convergence detection is quiescence-based, not transaction-counting:
+// faulted runs replay journals after flaps, so the total transaction
+// count is not knowable up front. A phase is settled when the expected
+// sessions are established, the phase's state predicate holds, and the
+// router's transaction/FIB counters plus the speakers' retry counters
+// have been still for an idle window.
+func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, error) {
+	cfg.defaults()
+	out := ConformanceResult{Scenario: scn, Profile: cfg.Profile}
+
+	profile, ok := netem.ProfileByName(cfg.Profile)
+	if !ok {
+		return out, fmt.Errorf("conformance: unknown fault profile %q", cfg.Profile)
+	}
+	profile.Seed = cfg.Seed
+	// The virtual clock makes scheduled latency and stalls free: a
+	// profile with seconds of stall time settles in milliseconds.
+	inj := netem.NewInjector(profile, netem.NewVirtualClock())
+
+	router, err := core.NewRouter(core.Config{
+		AS:         liveRouterAS,
+		ID:         netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr: "127.0.0.1:0",
+		Shards:     cfg.Shards,
+		Neighbors: []core.NeighborConfig{
+			{AS: liveSpeaker1AS},
+			{AS: liveSpeaker2AS},
+		},
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Shards = router.Shards()
+	if err := router.Start(); err != nil {
+		return out, err
+	}
+	defer router.Stop()
+
+	sp1 := speaker.New(speaker.Config{
+		AS: liveSpeaker1AS, ID: netaddr.MustParseAddr("1.1.1.1"),
+		Target: router.ListenAddr(), Name: "speaker1",
+		Dial: inj.Dial("speaker1"), Reconnect: true,
+	})
+	if err := sp1.Connect(10 * time.Second); err != nil {
+		return out, err
+	}
+	defer sp1.Stop()
+	var sp2 *speaker.Speaker
+	defer func() {
+		if sp2 != nil {
+			sp2.Stop()
+		}
+	}()
+
+	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
+
+	retries := func() uint64 {
+		n := sp1.Retries()
+		if sp2 != nil {
+			n += sp2.Retries()
+		}
+		return n
+	}
+	// settle blocks until check() holds and the run has been quiet for
+	// an idle window: no transactions, no FIB changes, no reconnects,
+	// and every speaker's session established.
+	settle := func(phase string, check func() bool) error {
+		const idle = 250 * time.Millisecond
+		var last [3]uint64
+		stableSince := time.Now()
+		for {
+			cur := [3]uint64{router.Transactions(), router.FIBChanges(), retries()}
+			ok := sp1.Established() && (sp2 == nil || sp2.Established()) && check()
+			if cur != last || !ok {
+				last = cur
+				stableSince = time.Now()
+			} else if time.Since(stableSince) >= idle {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("conformance %s [%s/%s]: %s did not settle after %v (tx=%d retries=%d faults=%+v)",
+					scn, cfg.Profile, shardLabel(out.Shards), phase, cfg.Timeout,
+					router.Transactions(), retries(), inj.Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	table := core.UniformPath(
+		core.GenerateTable(core.TableGenConfig{N: cfg.TableSize, Seed: cfg.Seed, FirstAS: liveSpeaker1AS}),
+		basePathFor(),
+	)
+	n := uint64(len(table))
+	per := scn.PrefixesPerMsg
+
+	// Phase 1: Speaker 1 injects the table.
+	if err := sp1.Announce(table, per); err != nil {
+		return out, err
+	}
+	if err := settle("phase1-inject", func() bool { return router.RIBLen() == int(n) }); err != nil {
+		return out, err
+	}
+
+	switch scn.Op {
+	case OpStartUp:
+		// Phase 1 only.
+	case OpEnding:
+		// Phase 3: withdraw everything.
+		if err := sp1.Withdraw(table, per); err != nil {
+			return out, err
+		}
+		if err := settle("phase3-withdraw", func() bool { return router.RIBLen() == 0 }); err != nil {
+			return out, err
+		}
+	case OpIncrementalNoChange, OpIncrementalChange:
+		// Phase 2: Speaker 2 connects and receives the table.
+		sp2 = speaker.New(speaker.Config{
+			AS: liveSpeaker2AS, ID: netaddr.MustParseAddr("2.2.2.2"),
+			Target: router.ListenAddr(), Name: "speaker2",
+			Dial: inj.Dial("speaker2"), Reconnect: true,
+		})
+		if err := sp2.Connect(10 * time.Second); err != nil {
+			return out, err
+		}
+		if err := sp2.WaitForPrefixes(n, cfg.Timeout); err != nil {
+			return out, err
+		}
+		// Phase 3: Speaker 2 re-announces with longer or shorter paths.
+		variant := make([]core.Route, len(table))
+		for i, r := range table {
+			if scn.Op == OpIncrementalNoChange {
+				variant[i] = core.Lengthen(r, liveSpeaker2AS, 2, cfg.Seed)
+			} else {
+				variant[i] = core.Shorten(r, liveSpeaker2AS)
+			}
+		}
+		if err := sp2.Announce(variant, per); err != nil {
+			return out, err
+		}
+		if err := settle("phase3-incremental", func() bool { return router.RIBLen() == int(n) }); err != nil {
+			return out, err
+		}
+	}
+
+	out.Duration = time.Since(start)
+	out.RIBLen = router.RIBLen()
+	out.Transactions = router.Transactions()
+	out.Retries = retries()
+	out.Faults = inj.Stats()
+	out.ScheduleDigest = inj.ScheduleDigest()
+	out.LocRIBDigest = digestLocRIB(router.DumpLocRIB())
+	out.AdjOutDigests = make(map[string]string)
+	for _, id := range router.PeerIDs() {
+		out.AdjOutDigests[id.String()] = digestAdjOut(router.DumpAdjOut(id))
+	}
+	out.FIBDigest = digestFIB(router)
+	return out, nil
+}
+
+func shardLabel(n int) string { return fmt.Sprintf("N=%d", n) }
+
+// digestLocRIB hashes a Loc-RIB snapshot: prefix, contributing peer, and
+// the canonical wire encoding of the selected attributes, in the sorted
+// prefix order DumpLocRIB guarantees.
+func digestLocRIB(routes []core.LocRoute) string {
+	h := sha256.New()
+	for _, r := range routes {
+		fmt.Fprintf(h, "%s %s ", r.Prefix, r.Peer)
+		h.Write(wire.MarshalAttrs(*r.Attrs))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// digestAdjOut hashes one peer's Adj-RIB-Out snapshot.
+func digestAdjOut(routes []core.AdjRoute) string {
+	h := sha256.New()
+	for _, r := range routes {
+		fmt.Fprintf(h, "%s ", r.Prefix)
+		h.Write(wire.MarshalAttrs(*r.Attrs))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// digestFIB hashes the forwarding table sorted by prefix (the engine's
+// walk order is implementation-defined).
+func digestFIB(router *core.Router) string {
+	type row struct {
+		p netaddr.Prefix
+		e fib.Entry
+	}
+	var rows []row
+	router.FIB().Walk(func(p netaddr.Prefix, e fib.Entry) bool {
+		rows = append(rows, row{p, e})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p.Compare(rows[j].p) < 0 })
+	h := sha256.New()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%s %s %d\n", r.p, r.e.NextHop, r.e.Port)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// gateProfiles are the profiles every scenario must pass conformance
+// under (the acceptance gate); all three eventually deliver the full
+// update stream, so the settled state must match the clean run.
+var gateProfiles = []string{"clean", "lossy-reorder", "flap-reset"}
+
+const conformanceSeed = 1701
+
+// runConf executes one conformance run, failing the test on error.
+func runConf(t *testing.T, scn Scenario, profile string, shards int) ConformanceResult {
+	t.Helper()
+	res, err := RunConformance(scn, ConformanceConfig{
+		Profile: profile,
+		Seed:    conformanceSeed,
+		Shards:  shards,
+	})
+	if err != nil {
+		t.Fatalf("%s [%s N=%d]: %v", scn, profile, shards, err)
+	}
+	return res
+}
+
+// TestConformanceMatrix is the acceptance gate: every scenario, under
+// every gate profile, must settle to the same Loc-RIB/Adj-RIB-Out/FIB
+// digests with one decision shard and with four — and every faulted run
+// must match the clean run's digests (the profiles guarantee eventual
+// delivery). Runs the full 8x3x2 matrix; skipped under -short.
+func TestConformanceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance matrix is long; run without -short")
+	}
+	for _, scn := range Scenarios {
+		scn := scn
+		t.Run(fmt.Sprintf("scenario%d", scn.Num), func(t *testing.T) {
+			t.Parallel()
+			var cleanDigest string
+			for _, profile := range gateProfiles {
+				single := runConf(t, scn, profile, 1)
+				sharded := runConf(t, scn, profile, 4)
+				if single.StateDigest() != sharded.StateDigest() {
+					t.Errorf("%s [%s]: N=1 and N=4 disagree:\n  N=1 loc=%s fib=%s\n  N=4 loc=%s fib=%s",
+						scn, profile,
+						single.LocRIBDigest, single.FIBDigest,
+						sharded.LocRIBDigest, sharded.FIBDigest)
+				}
+				if profile == "clean" {
+					cleanDigest = single.StateDigest()
+					if single.Faults.Corrupts+single.Faults.Resets+single.Faults.Reorders != 0 {
+						t.Errorf("%s [clean]: faults injected: %+v", scn, single.Faults)
+					}
+				} else {
+					if single.StateDigest() != cleanDigest {
+						t.Errorf("%s [%s]: faulted state differs from clean run", scn, profile)
+					}
+					if profile == "flap-reset" && single.Faults.Resets == 0 {
+						t.Errorf("%s [flap-reset]: no reset fired; profile exercised nothing", scn)
+					}
+					if profile == "lossy-reorder" && single.Faults.Corrupts+single.Faults.Reorders == 0 {
+						t.Errorf("%s [lossy-reorder]: no corruption fired; profile exercised nothing", scn)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceReplayDeterminism: same seed + same profile => the
+// byte-identical fault schedule and identical state digests across two
+// consecutive runs. This is the CI replay-determinism check.
+func TestConformanceReplayDeterminism(t *testing.T) {
+	scn := Scenarios[7] // incremental-change, large packets: all phases, both speakers
+	for _, profile := range []string{"lossy-reorder", "flap-reset"} {
+		a := runConf(t, scn, profile, 4)
+		b := runConf(t, scn, profile, 4)
+		if a.ScheduleDigest != b.ScheduleDigest {
+			t.Errorf("[%s] fault schedules differ across runs:\n  %s\n  %s",
+				profile, a.ScheduleDigest, b.ScheduleDigest)
+		}
+		if a.StateDigest() != b.StateDigest() {
+			t.Errorf("[%s] state digests differ across runs:\n  loc %s / %s\n  fib %s / %s",
+				profile, a.LocRIBDigest, b.LocRIBDigest, a.FIBDigest, b.FIBDigest)
+		}
+	}
+}
+
+// TestConformanceGate is the quick -race CI gate: one representative
+// scenario under one faulty profile, N=1 vs N=4. Selected via
+// BGPBENCH_CONFORMANCE_GATE=1 so the race run can execute just this
+// test; it also runs as part of the normal suite.
+func TestConformanceGate(t *testing.T) {
+	scn := Scenarios[6] // incremental-change, small packets: max message count
+	profile := "flap-reset"
+	single := runConf(t, scn, profile, 1)
+	sharded := runConf(t, scn, profile, 4)
+	if single.StateDigest() != sharded.StateDigest() {
+		t.Fatalf("%s [%s]: N=1 and N=4 disagree", scn, profile)
+	}
+	if single.Faults.Resets == 0 || sharded.Faults.Resets == 0 {
+		t.Fatalf("%s [%s]: no resets fired (single=%+v sharded=%+v)",
+			scn, profile, single.Faults, sharded.Faults)
+	}
+	if os.Getenv("BGPBENCH_CONFORMANCE_GATE") != "" {
+		t.Logf("gate: loc=%s fib=%s retries=%d", single.LocRIBDigest, single.FIBDigest, single.Retries+sharded.Retries)
+	}
+}

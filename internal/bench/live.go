@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"bgpbench/internal/core"
 	"bgpbench/internal/dataplane"
 	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
 	"bgpbench/internal/packet"
 	"bgpbench/internal/speaker"
 	"bgpbench/internal/wire"
@@ -38,6 +40,13 @@ type LiveConfig struct {
 	Shards int
 	// Timeout bounds each phase (default 120s).
 	Timeout time.Duration
+	// FaultProfile, when non-empty and not "clean", wraps both speakers'
+	// transports in the named netem fault profile (real clock, so
+	// latency/stall shaping costs wall time). Speakers run with
+	// journal-replay reconnection so the scenario still completes.
+	FaultProfile string
+	// FaultSeed seeds the fault schedule (default: Seed).
+	FaultSeed int64
 }
 
 func (c *LiveConfig) defaults() {
@@ -67,6 +76,11 @@ type LiveResult struct {
 	// FIBChanges observed during the whole run (sanity: scenarios 5-6 must
 	// not add changes in Phase 3).
 	FIBChanges uint64
+	// FaultProfile and Faults report the fault regime the run executed
+	// under; Retries counts speaker reconnections.
+	FaultProfile string
+	Faults       netem.StatsSnapshot
+	Retries      uint64
 }
 
 const (
@@ -86,7 +100,30 @@ func basePathFor() wire.ASPath {
 // router over loopback TCP and returns the measured transactions/second.
 func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 	cfg.defaults()
-	out := LiveResult{Scenario: scn}
+	out := LiveResult{Scenario: scn, FaultProfile: cfg.FaultProfile}
+
+	// Optional fault injection on both speaker transports. The live
+	// benchmark measures wall-clock TPS, so the injector runs on the
+	// real clock (unlike conformance runs, which use the virtual one).
+	var inj *netem.Injector
+	faulty := cfg.FaultProfile != "" && cfg.FaultProfile != "clean"
+	if cfg.FaultProfile != "" {
+		profile, ok := netem.ProfileByName(cfg.FaultProfile)
+		if !ok {
+			return out, fmt.Errorf("live %s: unknown fault profile %q", scn, cfg.FaultProfile)
+		}
+		profile.Seed = cfg.FaultSeed
+		if profile.Seed == 0 {
+			profile.Seed = cfg.Seed
+		}
+		inj = netem.NewInjector(profile, netem.NewRealClock())
+	}
+	speakerDial := func(name string) func(string, string, time.Duration) (net.Conn, error) {
+		if inj == nil {
+			return nil
+		}
+		return inj.Dial(name)
+	}
 
 	router, err := core.NewRouter(core.Config{
 		AS:         liveRouterAS,
@@ -111,6 +148,7 @@ func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 	sp1 := speaker.New(speaker.Config{
 		AS: liveSpeaker1AS, ID: netaddr.MustParseAddr("1.1.1.1"),
 		Target: router.ListenAddr(), Name: "speaker1",
+		Dial: speakerDial("speaker1"), Reconnect: faulty,
 	})
 	if err := sp1.Connect(10 * time.Second); err != nil {
 		return out, err
@@ -186,6 +224,7 @@ func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 		sp2 := speaker.New(speaker.Config{
 			AS: liveSpeaker2AS, ID: netaddr.MustParseAddr("2.2.2.2"),
 			Target: router.ListenAddr(), Name: "speaker2",
+			Dial: speakerDial("speaker2"), Reconnect: faulty,
 		})
 		if err := sp2.Connect(10 * time.Second); err != nil {
 			return out, err
@@ -207,12 +246,20 @@ func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 		if err := measure(func() error { return sp2.Announce(variant, per) }, 2*n); err != nil {
 			return out, err
 		}
-		if scn.Op == OpIncrementalNoChange && router.FIBChanges() != fibBefore {
+		// Session flaps legitimately churn the forwarding table (withdraw
+		// on down, re-add on replay), so the no-change invariant only
+		// holds on clean transports.
+		if !faulty && scn.Op == OpIncrementalNoChange && router.FIBChanges() != fibBefore {
 			return out, fmt.Errorf("live %s: forwarding table changed (%d -> %d) in a no-change scenario",
 				scn, fibBefore, router.FIBChanges())
 		}
+		out.Retries += sp2.Retries()
 	}
 	out.FIBChanges = router.FIBChanges()
+	out.Retries += sp1.Retries()
+	if inj != nil {
+		out.Faults = inj.Stats()
+	}
 	return out, nil
 }
 

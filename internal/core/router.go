@@ -43,6 +43,10 @@ type Config struct {
 	// ListenAddr ("host:port", port 0 for ephemeral) accepts inbound
 	// sessions; empty disables listening.
 	ListenAddr string
+	// ListenWrap, when non-nil, wraps the bound listener before the
+	// accept loop runs; the netem fault injector hooks in here to
+	// perturb inbound transports.
+	ListenWrap func(net.Listener) net.Listener
 	// NextHop is the address the router advertises as NEXT_HOP on eBGP
 	// exports (next-hop-self). Defaults to ID.
 	NextHop   netaddr.Addr
@@ -159,6 +163,7 @@ const (
 	workRefresh
 	workRIBLen
 	workDump
+	workAdjOut
 )
 
 type workItem struct {
@@ -167,6 +172,7 @@ type workItem struct {
 	update wire.Update
 	reply  chan int
 	dump   chan []LocRoute
+	adj    chan []AdjRoute
 }
 
 // LocRoute is one row of a Loc-RIB snapshot: the selected route for a
@@ -174,6 +180,13 @@ type workItem struct {
 type LocRoute struct {
 	Prefix netaddr.Prefix
 	Peer   netaddr.Addr
+	Attrs  *wire.PathAttrs
+}
+
+// AdjRoute is one row of a per-peer Adj-RIB-Out snapshot: a prefix and
+// the attributes currently advertised to that peer.
+type AdjRoute struct {
+	Prefix netaddr.Prefix
 	Attrs  *wire.PathAttrs
 }
 
@@ -247,6 +260,9 @@ func (r *Router) Start() error {
 		ln, err := net.Listen("tcp", r.cfg.ListenAddr)
 		if err != nil {
 			return err
+		}
+		if r.cfg.ListenWrap != nil {
+			ln = r.cfg.ListenWrap(ln)
 		}
 		r.listener = ln
 		r.wg.Add(1)
@@ -377,6 +393,44 @@ func (r *Router) DumpLocRIB() []LocRoute {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Prefix.Compare(all[j].Prefix) < 0 })
 	return all
+}
+
+// DumpAdjOut snapshots the Adj-RIB-Out the router currently advertises
+// to the peer with the given BGP ID, sorted by prefix. Like DumpLocRIB
+// it is a per-shard barrier; each shard worker walks its own partition,
+// so no locking races with the decision process. Returns nil when the
+// peer is unknown or the router is stopped.
+func (r *Router) DumpAdjOut(peerID netaddr.Addr) []AdjRoute {
+	replies := make(chan []AdjRoute, r.nshards)
+	for i := range r.shards {
+		if !r.send(i, workItem{kind: workAdjOut, peerID: peerID, adj: replies}) {
+			return nil
+		}
+	}
+	var all []AdjRoute
+	for range r.shards {
+		select {
+		case rs := <-replies:
+			all = append(all, rs...)
+		case <-r.done:
+			return nil
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Prefix.Compare(all[j].Prefix) < 0 })
+	return all
+}
+
+// PeerIDs returns the BGP IDs of the currently established peers in
+// sorted order.
+func (r *Router) PeerIDs() []netaddr.Addr {
+	r.mu.Lock()
+	ids := make([]netaddr.Addr, 0, len(r.peers))
+	for id := range r.peers {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // send enqueues a work item on shard i, reporting false once the router
@@ -584,6 +638,15 @@ func (r *Router) shardWorker(i int) {
 					return true
 				})
 				w.dump <- routes
+			case workAdjOut:
+				var routes []AdjRoute
+				if ps := r.peerByID(w.peerID); ps != nil {
+					ps.adjOut[i].Walk(func(p netaddr.Prefix, attrs *wire.PathAttrs) bool {
+						routes = append(routes, AdjRoute{Prefix: p, Attrs: attrs})
+						return true
+					})
+				}
+				w.adj <- routes
 			}
 		}
 	}

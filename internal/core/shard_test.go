@@ -195,4 +195,3 @@ func TestShardOfPartitionStable(t *testing.T) {
 		}
 	}
 }
-

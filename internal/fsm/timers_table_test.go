@@ -1,0 +1,196 @@
+package fsm
+
+import (
+	"testing"
+
+	"bgpbench/internal/wire"
+)
+
+// TestTimerEventTable pins the RFC 4271 section 8 transitions for the two
+// timer-driven recovery paths a faulted transport exercises: HoldTimer
+// expiry (a peer gone silent — netem's stall profile) and the
+// ConnectRetry cycle (a transport that keeps dying — netem's flap-reset
+// profile). Each case drives a fresh FSM along a setup path, fires one
+// event, and checks the resulting state, the actions that must (and must
+// not) be emitted, and any NOTIFICATION sent.
+func TestTimerEventTable(t *testing.T) {
+	type step struct {
+		ev Event
+	}
+	cases := []struct {
+		name    string
+		passive bool
+		setup   []step
+		fire    Event
+		want    State
+		wantAct []ActionType // all must appear, in this relative order
+		banAct  []ActionType // none may appear
+		notify  uint8        // expected NOTIFICATION code sent, 0 = none
+	}{
+		{
+			name:  "holdtimer/opensent-teardown",
+			setup: []step{{Event{Type: EvManualStart}}, {Event{Type: EvTCPConnEstablished}}},
+			fire:  Event{Type: EvHoldTimerExpires},
+			want:  Idle,
+			wantAct: []ActionType{
+				ActSendNotify, ActStopHold, ActStopKeepalive, ActStopConnectRetry, ActCloseConn,
+			},
+			banAct: []ActionType{ActStopped}, // never established: no Down callback
+			notify: wire.ErrCodeHoldTimer,
+		},
+		{
+			name: "holdtimer/openconfirm-teardown",
+			setup: []step{
+				{Event{Type: EvManualStart}},
+				{Event{Type: EvTCPConnEstablished}},
+				{Event{Type: EvMsgOpen, Open: peerOpen(65002, 90)}},
+			},
+			fire:    Event{Type: EvHoldTimerExpires},
+			want:    Idle,
+			wantAct: []ActionType{ActSendNotify, ActCloseConn},
+			banAct:  []ActionType{ActStopped},
+			notify:  wire.ErrCodeHoldTimer,
+		},
+		{
+			name: "holdtimer/established-teardown-with-stopped",
+			setup: []step{
+				{Event{Type: EvManualStart}},
+				{Event{Type: EvTCPConnEstablished}},
+				{Event{Type: EvMsgOpen, Open: peerOpen(65002, 90)}},
+				{Event{Type: EvMsgKeepalive}},
+			},
+			fire: Event{Type: EvHoldTimerExpires},
+			want: Idle,
+			// ActStopped must precede the teardown actions so the session
+			// layer fires Down before releasing the conn.
+			wantAct: []ActionType{ActStopped, ActSendNotify, ActCloseConn},
+			notify:  wire.ErrCodeHoldTimer,
+		},
+		{
+			name:    "connretry/connect-fail-arms-retry",
+			setup:   []step{{Event{Type: EvManualStart}}},
+			fire:    Event{Type: EvTCPConnFails},
+			want:    Active,
+			wantAct: []ActionType{ActStartConnectRetry},
+			banAct:  []ActionType{ActSendNotify, ActStopped},
+		},
+		{
+			name:    "connretry/active-expiry-reconnects",
+			setup:   []step{{Event{Type: EvManualStart}}, {Event{Type: EvTCPConnFails}}},
+			fire:    Event{Type: EvConnectRetryExpires},
+			want:    Connect,
+			wantAct: []ActionType{ActConnect, ActStartConnectRetry},
+			banAct:  []ActionType{ActSendNotify},
+		},
+		{
+			name:    "connretry/connect-expiry-redials",
+			setup:   []step{{Event{Type: EvManualStart}}},
+			fire:    Event{Type: EvConnectRetryExpires},
+			want:    Connect,
+			wantAct: []ActionType{ActConnect, ActStartConnectRetry},
+		},
+		{
+			name:    "connretry/passive-expiry-stays-active",
+			passive: true,
+			setup:   []step{{Event{Type: EvManualStart}}},
+			fire:    Event{Type: EvConnectRetryExpires},
+			want:    Active,
+			banAct:  []ActionType{ActConnect},
+		},
+		{
+			name:  "connretry/opensent-fail-back-to-active",
+			setup: []step{{Event{Type: EvManualStart}}, {Event{Type: EvTCPConnEstablished}}},
+			fire:  Event{Type: EvTCPConnFails},
+			want:  Active,
+			// Mid-OPEN transport loss re-arms the retry timer; the FSM does
+			// not emit ActCloseConn here, so the session layer must drop the
+			// dead conn itself (the regression fixed in faultrecovery_test).
+			wantAct: []ActionType{ActStartConnectRetry},
+			banAct:  []ActionType{ActSendNotify, ActStopped},
+		},
+		{
+			name: "connretry/established-fail-is-terminal",
+			setup: []step{
+				{Event{Type: EvManualStart}},
+				{Event{Type: EvTCPConnEstablished}},
+				{Event{Type: EvMsgOpen, Open: peerOpen(65002, 90)}},
+				{Event{Type: EvMsgKeepalive}},
+			},
+			fire:    Event{Type: EvTCPConnFails},
+			want:    Idle,
+			wantAct: []ActionType{ActStopped, ActCloseConn},
+			banAct:  []ActionType{ActSendNotify}, // the transport is gone: nothing to notify
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Passive = c.passive
+			f := New(cfg)
+			for _, s := range c.setup {
+				f.Handle(s.ev)
+			}
+			sentBefore := f.LastNotificationSent()
+			acts := f.Handle(c.fire)
+			if f.State() != c.want {
+				t.Fatalf("state = %v, want %v (acts %v)", f.State(), c.want, acts)
+			}
+			pos := -1
+			for _, want := range c.wantAct {
+				found := -1
+				for i, a := range acts {
+					if a.Type == want && i > pos {
+						found = i
+						break
+					}
+				}
+				if found < 0 {
+					t.Fatalf("action %v missing or out of order in %v", want, acts)
+				}
+				pos = found
+			}
+			for _, ban := range c.banAct {
+				if hasAction(acts, ban) {
+					t.Fatalf("forbidden action %v in %v", ban, acts)
+				}
+			}
+			switch n := f.LastNotificationSent(); {
+			case c.notify == 0:
+				if hasAction(acts, ActSendNotify) {
+					t.Fatalf("unexpected NOTIFICATION: %v", acts)
+				}
+			case n == nil || n == sentBefore:
+				t.Fatalf("no NOTIFICATION sent, want code %d", c.notify)
+			case n.Code != c.notify:
+				t.Fatalf("NOTIFICATION code = %d, want %d", n.Code, c.notify)
+			}
+		})
+	}
+}
+
+// TestConnectRetryCycleRepeats drives the Connect <-> Active loop through
+// several failed attempts — the FSM-level shape of a netem flap-reset
+// profile with FaultedAttempts > 1 — and checks the machine re-arms the
+// retry timer every round and still establishes once a dial survives.
+func TestConnectRetryCycleRepeats(t *testing.T) {
+	f := New(testConfig())
+	f.Handle(Event{Type: EvManualStart})
+	for round := 0; round < 4; round++ {
+		acts := f.Handle(Event{Type: EvTCPConnFails})
+		if f.State() != Active || !hasAction(acts, ActStartConnectRetry) {
+			t.Fatalf("round %d fail: state=%v acts=%v", round, f.State(), acts)
+		}
+		acts = f.Handle(Event{Type: EvConnectRetryExpires})
+		if f.State() != Connect || !hasAction(acts, ActConnect) || !hasAction(acts, ActStartConnectRetry) {
+			t.Fatalf("round %d retry: state=%v acts=%v", round, f.State(), acts)
+		}
+	}
+	// A surviving dial completes the handshake from Connect.
+	f.Handle(Event{Type: EvTCPConnEstablished})
+	f.Handle(Event{Type: EvMsgOpen, Open: peerOpen(65002, 90)})
+	f.Handle(Event{Type: EvMsgKeepalive})
+	if f.State() != Established {
+		t.Fatalf("after clean dial: state = %v", f.State())
+	}
+}

@@ -1,0 +1,133 @@
+package mrt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite the MRT golden fixtures under testdata/")
+
+// goldenCases enumerate the conformance fixtures: each builds its table
+// deterministically, so the encoder must reproduce the committed bytes
+// exactly. Regenerate with:
+//
+//	go test ./internal/mrt -run TestGolden -update
+var goldenCases = []struct {
+	name  string
+	stamp uint32
+	table func() *Table
+}{
+	{"sample", 1190000000, sampleTable},
+	{"single-peer-generated", 1190000500, func() *Table {
+		routes := core.GenerateTable(core.TableGenConfig{N: 250, Seed: 42, FirstAS: 65001})
+		tbl := &Table{
+			CollectorID: netaddr.MustParseAddr("10.255.0.1"),
+			ViewName:    "golden-gen",
+			Peers:       []Peer{{ID: netaddr.MustParseAddr("1.1.1.1"), Addr: netaddr.MustParseAddr("10.0.0.1"), AS: 65001}},
+		}
+		for _, r := range routes {
+			tbl.Prefixes = append(tbl.Prefixes, Prefix{
+				Prefix: r.Prefix,
+				Entries: []RIBEntry{{
+					Attrs: wire.NewPathAttrs(wire.OriginIGP, r.Path, netaddr.MustParseAddr("10.0.0.1")),
+				}},
+			})
+		}
+		return tbl
+	}},
+	{"multi-entry-best-path", 1190001000, func() *Table {
+		// Two peers advertising the same prefixes with different path
+		// lengths: the shape the conformance harness's Loc-RIB digests
+		// exercise (selection between peers).
+		tbl := &Table{
+			CollectorID: netaddr.MustParseAddr("10.255.0.1"),
+			ViewName:    "golden-multi",
+			Peers: []Peer{
+				{ID: netaddr.MustParseAddr("1.1.1.1"), Addr: netaddr.MustParseAddr("10.0.0.1"), AS: 65001},
+				{ID: netaddr.MustParseAddr("2.2.2.2"), Addr: netaddr.MustParseAddr("10.0.0.2"), AS: 65002},
+			},
+		}
+		for i := 0; i < 40; i++ {
+			p := netaddr.MustParsePrefix(fmt.Sprintf("203.0.%d.0/24", i))
+			tbl.Prefixes = append(tbl.Prefixes, Prefix{
+				Prefix: p,
+				Entries: []RIBEntry{
+					{PeerIndex: 0, OriginatedAt: 1190000000 + uint32(i),
+						Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 100, 101, 102), netaddr.MustParseAddr("10.0.0.1"))},
+					{PeerIndex: 1, OriginatedAt: 1190000000 + uint32(i),
+						Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65002, 100), netaddr.MustParseAddr("10.0.0.2"))},
+				},
+			})
+		}
+		return tbl
+	}},
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".mrt")
+}
+
+// TestGoldenFixtures pins the MRT wire encoding: the encoder's output for
+// each deterministic table must be byte-identical to the committed
+// fixture, and the decoder must read the fixture back into a table that
+// re-encodes to the same bytes (a full round trip through disk).
+func TestGoldenFixtures(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Write(&buf, c.table(), c.stamp); err != nil {
+				t.Fatal(err)
+			}
+			got := buf.Bytes()
+
+			path := goldenPath(c.name)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes, sha256 %.16s)", path, len(got), sha256hex(got))
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: encoding drifted from golden fixture:\n  got  %d bytes sha256 %.16s\n  want %d bytes sha256 %.16s\nre-run with -update if the change is intentional",
+					path, len(got), sha256hex(got), len(want), sha256hex(want))
+			}
+
+			// Decode the on-disk fixture and re-encode: the round trip must
+			// reproduce the fixture exactly (idempotent canonical form).
+			decoded, err := Read(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("golden fixture unreadable: %v", err)
+			}
+			var buf2 bytes.Buffer
+			if err := Write(&buf2, decoded, c.stamp); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf2.Bytes(), want) {
+				t.Fatalf("%s: decode->encode round trip not byte-identical", path)
+			}
+		})
+	}
+}
+
+func sha256hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

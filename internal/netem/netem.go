@@ -1,0 +1,716 @@
+// Package netem is a deterministic, seedable fault-injection layer for
+// net.Conn transports. It sits between a BGP session and its TCP socket
+// and perturbs the byte stream the way real peerings are perturbed:
+// latency and jitter, bandwidth caps, short writes, read/write stalls,
+// byte corruption, segment reordering, and mid-stream resets.
+//
+// Determinism is the point. Every fault is a scheduled Event placed at a
+// byte offset of the connection's write (or read) stream, and the
+// schedule is a pure function of (profile, seed, connection name,
+// attempt number) — never of wall time or goroutine interleaving. Two
+// runs with the same seed and profile therefore plan the byte-identical
+// fault schedule, which Injector.ScheduleDigest exposes for replay
+// checks. Time-shaped behaviour (latency, bandwidth, stalls) goes
+// through a pluggable Clock; the VirtualClock advances instantly, so
+// heavily-faulted conformance runs cost no wall-clock sleep.
+//
+// Convergence guarantee: any schedule containing corruption or
+// reordering ends with a reset. A flipped byte can decode into a valid
+// but different BGP message, silently polluting the receiver's RIB; the
+// trailing reset forces a session flap, the flap withdraws everything
+// the peer contributed, and a replaying speaker then restores the exact
+// intended state. This is what lets the conformance harness assert
+// digest equality between faulted and clean runs.
+package netem
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time for the fault layer. RealClock sleeps on wall
+// time (chaos runs against live routers); VirtualClock advances a
+// counter instantly (fast deterministic conformance runs).
+type Clock interface {
+	// Now returns elapsed virtual or wall time since the clock started.
+	Now() time.Duration
+	// Sleep advances the clock by d, blocking on wall time only for
+	// real clocks.
+	Sleep(d time.Duration)
+}
+
+type realClock struct{ start time.Time }
+
+// NewRealClock returns a Clock backed by wall time.
+func NewRealClock() Clock { return &realClock{start: time.Now()} }
+
+func (c *realClock) Now() time.Duration { return time.Since(c.start) }
+func (c *realClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// VirtualClock is a lock-free clock that advances instantly on Sleep.
+// Scheduled latencies and stalls cost zero wall time under it, which
+// keeps fault-heavy conformance runs inside a CI budget.
+type VirtualClock struct{ now atomic.Int64 }
+
+// NewVirtualClock returns a VirtualClock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the accumulated virtual time.
+func (c *VirtualClock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Sleep advances virtual time by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.now.Add(int64(d))
+	}
+}
+
+// Profile describes one fault regime. The zero value (plus a Name) is a
+// clean transparent transport. Continuous shaping (latency, bandwidth,
+// chunking) applies to every byte; scheduled events are placed at seeded
+// byte offsets in [MinOffset, Horizon) on each faulted attempt.
+type Profile struct {
+	Name string
+	// Seed drives every offset and mask draw. Same seed, same schedule.
+	Seed int64
+
+	// Latency (+ uniform Jitter) is added before each underlying write.
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBPS caps throughput by sleeping len/rate per write.
+	BandwidthBPS int64
+	// MaxChunk splits writes into short segments of at most this many
+	// bytes, exercising partial-write handling. 0 = unlimited.
+	MaxChunk int
+
+	// CorruptEvents byte flips are scheduled on the write stream.
+	CorruptEvents int
+	// ReorderEvents swap two adjacent segments of up to ReorderSeg bytes.
+	ReorderEvents int
+	ReorderSeg    int
+	// StallEvents pause the write stream for StallFor each.
+	StallEvents int
+	StallFor    time.Duration
+	// ReadStallEvents pause delivery of received bytes for ReadStallFor.
+	ReadStallEvents int
+	ReadStallFor    time.Duration
+	// ResetEvents close the transport mid-stream (a TCP session flap).
+	ResetEvents int
+
+	// MinOffset keeps events past the OPEN/KEEPALIVE handshake (default
+	// 64 bytes) so sessions establish before faults land.
+	MinOffset int64
+	// Horizon bounds event placement (default 2048 bytes).
+	Horizon int64
+	// FaultedAttempts is how many connection attempts per name receive
+	// the scheduled events; later attempts run clean, guaranteeing that
+	// a reconnecting speaker eventually delivers everything. Defaults
+	// to 1 when any events are configured.
+	FaultedAttempts int
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.MinOffset == 0 {
+		p.MinOffset = 64
+	}
+	if p.Horizon == 0 {
+		p.Horizon = 2048
+	}
+	if p.Horizon <= p.MinOffset {
+		p.Horizon = p.MinOffset + 1024
+	}
+	if p.ReorderSeg == 0 {
+		p.ReorderSeg = 256
+	}
+	if p.StallFor == 0 {
+		p.StallFor = 100 * time.Millisecond
+	}
+	if p.ReadStallFor == 0 {
+		p.ReadStallFor = 100 * time.Millisecond
+	}
+	if p.FaultedAttempts == 0 && p.eventCount() > 0 {
+		p.FaultedAttempts = 1
+	}
+	return p
+}
+
+func (p Profile) eventCount() int {
+	return p.CorruptEvents + p.ReorderEvents + p.StallEvents + p.ReadStallEvents + p.ResetEvents
+}
+
+// Profiles returns the named fault profiles the benchmark tooling knows
+// about, in presentation order.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "clean"},
+		{
+			// Jittery, fragmenting, occasionally corrupting link. The
+			// corruption forces a flap (trailing reset), so a replaying
+			// speaker still converges to the clean state.
+			Name:          "lossy-reorder",
+			Latency:       50 * time.Microsecond,
+			Jitter:        100 * time.Microsecond,
+			MaxChunk:      512,
+			CorruptEvents: 2,
+			ReorderEvents: 2,
+			ReorderSeg:    128,
+			MinOffset:     256,
+			Horizon:       1024,
+		},
+		{
+			// Session flaps: the transport resets mid-table on the first
+			// two attempts, then runs clean.
+			Name:            "flap-reset",
+			ResetEvents:     1,
+			MinOffset:       1024,
+			Horizon:         2560,
+			FaultedAttempts: 2,
+		},
+		{
+			// Read/write stalls long enough to trip short hold timers
+			// when run on a real clock.
+			Name:            "stall",
+			StallEvents:     1,
+			StallFor:        2 * time.Second,
+			ReadStallEvents: 1,
+			ReadStallFor:    2 * time.Second,
+			MinOffset:       49,
+			Horizon:         512,
+		},
+		{
+			// Constrained link: high latency, low bandwidth, tiny
+			// segments; no scheduled events.
+			Name:         "slow",
+			Latency:      2 * time.Millisecond,
+			Jitter:       time.Millisecond,
+			BandwidthBPS: 512 << 10,
+			MaxChunk:     256,
+		},
+	}
+}
+
+// ProfileByName looks a named profile up.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ProfileNames lists the known profile names.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// EventKind classifies one scheduled fault.
+type EventKind uint8
+
+// Scheduled fault kinds.
+const (
+	EvCorrupt EventKind = iota
+	EvReorder
+	EvStall
+	EvReadStall
+	EvReset
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCorrupt:
+		return "corrupt"
+	case EvReorder:
+		return "reorder"
+	case EvStall:
+		return "stall"
+	case EvReadStall:
+		return "readstall"
+	case EvReset:
+		return "reset"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled fault: a kind anchored at a byte offset of the
+// connection's write stream (read stream for EvReadStall). Arg carries
+// the kind-specific parameter: corrupt xor mask, reorder segment length,
+// or stall duration in nanoseconds.
+type Event struct {
+	Kind   EventKind
+	Offset int64
+	Arg    int64
+}
+
+// String renders the event for schedules and digests.
+func (e Event) String() string { return fmt.Sprintf("%s@%d:%d", e.Kind, e.Offset, e.Arg) }
+
+// mixSeed folds the profile seed, connection name, and attempt number
+// into one PRNG seed. Each (name, attempt) pair gets an independent,
+// reproducible stream.
+func mixSeed(seed int64, name string, attempt int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed*1_000_003 ^ int64(h.Sum64()) ^ (int64(attempt)+1)*-0x61c8864680b583eb
+}
+
+// Schedule computes the fault schedule for one connection attempt. It is
+// a pure function of its arguments: callers (and tests) can predict
+// exactly which bytes will be hit. Attempts at or past FaultedAttempts
+// return a nil (clean) schedule.
+func Schedule(p Profile, name string, attempt int) []Event {
+	p = p.withDefaults()
+	if attempt >= p.FaultedAttempts || p.eventCount() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(mixSeed(p.Seed, name, attempt)))
+	span := p.Horizon - p.MinOffset
+	off := func() int64 { return p.MinOffset + rng.Int63n(span) }
+	var evs []Event
+	for i := 0; i < p.CorruptEvents; i++ {
+		evs = append(evs, Event{Kind: EvCorrupt, Offset: off(), Arg: int64(1 << rng.Intn(8))})
+	}
+	for i := 0; i < p.ReorderEvents; i++ {
+		evs = append(evs, Event{Kind: EvReorder, Offset: off(), Arg: int64(p.ReorderSeg)})
+	}
+	for i := 0; i < p.StallEvents; i++ {
+		evs = append(evs, Event{Kind: EvStall, Offset: off(), Arg: int64(p.StallFor)})
+	}
+	for i := 0; i < p.ReadStallEvents; i++ {
+		evs = append(evs, Event{Kind: EvReadStall, Offset: off(), Arg: int64(p.ReadStallFor)})
+	}
+	for i := 0; i < p.ResetEvents; i++ {
+		evs = append(evs, Event{Kind: EvReset, Offset: off(), Arg: 0})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Offset != evs[j].Offset {
+			return evs[i].Offset < evs[j].Offset
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+	// Distinct offsets keep event semantics unambiguous.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Offset <= evs[i-1].Offset {
+			evs[i].Offset = evs[i-1].Offset + 1
+		}
+	}
+	// Convergence guarantee: stream-mutating events must be followed by
+	// a reset so the receiver flaps and a replaying sender can restore
+	// the intended state.
+	lastMut, lastReset := int64(-1), int64(-1)
+	for _, e := range evs {
+		switch e.Kind {
+		case EvCorrupt, EvReorder:
+			if e.Offset > lastMut {
+				lastMut = e.Offset
+			}
+		case EvReset:
+			if e.Offset > lastReset {
+				lastReset = e.Offset
+			}
+		}
+	}
+	if lastMut >= 0 && lastReset < lastMut {
+		evs = append(evs, Event{Kind: EvReset, Offset: lastMut + 512})
+	}
+	return evs
+}
+
+// StatsSnapshot is a point-in-time copy of an Injector's counters.
+type StatsSnapshot struct {
+	Dials      uint64 `json:"dials"`
+	Accepts    uint64 `json:"accepts"`
+	Conns      uint64 `json:"conns"`
+	Corrupts   uint64 `json:"corrupts"`
+	Reorders   uint64 `json:"reorders"`
+	Stalls     uint64 `json:"stalls"`
+	ReadStalls uint64 `json:"read_stalls"`
+	Resets     uint64 `json:"resets"`
+	BytesOut   uint64 `json:"bytes_out"`
+	BytesIn    uint64 `json:"bytes_in"`
+}
+
+type stats struct {
+	dials, accepts, conns      atomic.Uint64
+	corrupts, reorders         atomic.Uint64
+	stalls, readStalls, resets atomic.Uint64
+	bytesOut, bytesIn          atomic.Uint64
+}
+
+// ConnSchedule reports the planned fault schedule of one wrapped
+// connection attempt.
+type ConnSchedule struct {
+	Name    string
+	Attempt int
+	Events  []Event
+}
+
+// Injector wraps connections of one run under one Profile, assigning
+// each (name, attempt) its deterministic schedule and aggregating fault
+// counters.
+type Injector struct {
+	profile Profile
+	clock   Clock
+	st      stats
+
+	mu       sync.Mutex
+	attempts map[string]int
+	conns    []ConnSchedule
+}
+
+// NewInjector builds an injector for the profile. A nil clock defaults
+// to the real clock.
+func NewInjector(p Profile, clock Clock) *Injector {
+	if clock == nil {
+		clock = NewRealClock()
+	}
+	return &Injector{
+		profile:  p.withDefaults(),
+		clock:    clock,
+		attempts: make(map[string]int),
+	}
+}
+
+// Profile returns the injector's (defaulted) profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// Clock returns the injector's clock.
+func (in *Injector) Clock() Clock { return in.clock }
+
+// Wrap wraps an established connection under the given stream name. The
+// attempt number is the count of connections previously wrapped under
+// that name, so reconnects of a logical peer advance through the
+// profile's FaultedAttempts budget deterministically.
+func (in *Injector) Wrap(conn net.Conn, name string) *Conn {
+	in.mu.Lock()
+	attempt := in.attempts[name]
+	in.attempts[name]++
+	sched := Schedule(in.profile, name, attempt)
+	in.conns = append(in.conns, ConnSchedule{Name: name, Attempt: attempt, Events: sched})
+	in.mu.Unlock()
+	in.st.conns.Add(1)
+
+	c := &Conn{
+		inner:   conn,
+		inj:     in,
+		name:    name,
+		attempt: attempt,
+		paceRng: rand.New(rand.NewSource(mixSeed(in.profile.Seed, name+"/pace", attempt))),
+	}
+	for _, ev := range sched {
+		if ev.Kind == EvReadStall {
+			c.revs = append(c.revs, ev)
+		} else {
+			c.wevs = append(c.wevs, ev)
+		}
+	}
+	return c
+}
+
+// Dial returns a dial function (compatible with session.Config.Dial)
+// whose connections are wrapped under the given name, attempt-numbered
+// in dial order.
+func (in *Injector) Dial(name string) func(network, address string, timeout time.Duration) (net.Conn, error) {
+	return func(network, address string, timeout time.Duration) (net.Conn, error) {
+		in.st.dials.Add(1)
+		conn, err := net.DialTimeout(network, address, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(conn, name), nil
+	}
+}
+
+// WrapListener returns a listener whose accepted connections are wrapped
+// under the given name (attempt-numbered in accept order).
+func (in *Injector) WrapListener(ln net.Listener, name string) net.Listener {
+	return &Listener{inner: ln, inj: in, name: name}
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Dials:      in.st.dials.Load(),
+		Accepts:    in.st.accepts.Load(),
+		Conns:      in.st.conns.Load(),
+		Corrupts:   in.st.corrupts.Load(),
+		Reorders:   in.st.reorders.Load(),
+		Stalls:     in.st.stalls.Load(),
+		ReadStalls: in.st.readStalls.Load(),
+		Resets:     in.st.resets.Load(),
+		BytesOut:   in.st.bytesOut.Load(),
+		BytesIn:    in.st.bytesIn.Load(),
+	}
+}
+
+// Schedules returns the planned schedules of every connection wrapped so
+// far, sorted by (name, attempt).
+func (in *Injector) Schedules() []ConnSchedule {
+	in.mu.Lock()
+	out := append([]ConnSchedule(nil), in.conns...)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Attempt < out[j].Attempt
+	})
+	return out
+}
+
+// ScheduleDigest hashes the planned fault schedule of the whole run:
+// every wrapped connection's (name, attempt) and its events, in sorted
+// order. Two runs with the same seed, profile, and connection sequence
+// produce byte-identical schedules and therefore equal digests.
+func (in *Injector) ScheduleDigest() string {
+	h := sha256.New()
+	for _, cs := range in.Schedules() {
+		fmt.Fprintf(h, "%s#%d\n", cs.Name, cs.Attempt)
+		for _, ev := range cs.Events {
+			fmt.Fprintf(h, "  %s\n", ev)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Listener wraps accepted connections with the injector's profile.
+type Listener struct {
+	inner net.Listener
+	inj   *Injector
+	name  string
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.inj.st.accepts.Add(1)
+	return l.inj.Wrap(conn, l.name), nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is one fault-injected connection. Reads and writes each assume a
+// single caller goroutine (the session layer's reader and writer), which
+// matches net.Conn usage throughout this repository.
+type Conn struct {
+	inner   net.Conn
+	inj     *Injector
+	name    string
+	attempt int
+	paceRng *rand.Rand
+
+	wmu  sync.Mutex
+	woff int64
+	wevs []Event
+	wIdx int
+
+	rmu  sync.Mutex
+	roff int64
+	revs []Event
+	rIdx int
+
+	closed atomic.Bool
+}
+
+// Name returns the stream name and attempt of this connection.
+func (c *Conn) Name() (string, int) { return c.name, c.attempt }
+
+// resetError marks an injected reset so callers can distinguish
+// scheduled faults from environmental ones.
+type resetError struct {
+	name    string
+	attempt int
+	offset  int64
+}
+
+func (e *resetError) Error() string {
+	return fmt.Sprintf("netem: injected reset on %s#%d at write offset %d", e.name, e.attempt, e.offset)
+}
+
+// IsInjectedReset reports whether err is a scheduled netem reset.
+func IsInjectedReset(err error) bool {
+	_, ok := err.(*resetError)
+	return ok
+}
+
+// Write applies scheduled mutations and control events, then emits the
+// (possibly perturbed) bytes with pacing and chunking. Events fire at
+// exact byte offsets of the cumulative write stream, so their placement
+// does not depend on how callers segment their writes — with one
+// exception: a reorder swaps segments within the current call only
+// (cross-call holdback could deadlock request/response protocols).
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	base := c.woff
+	end := base + int64(len(p))
+
+	// First reset inside this call bounds which mutations can reach the
+	// wire at all.
+	resetAt := end
+	for i := c.wIdx; i < len(c.wevs); i++ {
+		ev := c.wevs[i]
+		if ev.Offset >= end {
+			break
+		}
+		if ev.Kind == EvReset {
+			resetAt = ev.Offset
+			break
+		}
+	}
+
+	buf := p
+	copied := false
+	mutate := func() {
+		if !copied {
+			buf = append([]byte(nil), p...)
+			copied = true
+		}
+	}
+	for i := c.wIdx; i < len(c.wevs); i++ {
+		ev := c.wevs[i]
+		if ev.Offset >= resetAt {
+			break
+		}
+		rel := int(ev.Offset - base)
+		switch ev.Kind {
+		case EvCorrupt:
+			mutate()
+			buf[rel] ^= byte(ev.Arg)
+			c.inj.st.corrupts.Add(1)
+		case EvReorder:
+			seg := int(ev.Arg)
+			if avail := (len(buf) - rel) / 2; avail < seg {
+				seg = avail
+			}
+			if seg > 0 {
+				mutate()
+				tmp := append([]byte(nil), buf[rel:rel+seg]...)
+				copy(buf[rel:rel+seg], buf[rel+seg:rel+2*seg])
+				copy(buf[rel+seg:rel+2*seg], tmp)
+				c.inj.st.reorders.Add(1)
+			}
+		}
+	}
+
+	n := 0
+	for n < len(buf) {
+		// Consume events due at the current offset; find the next
+		// boundary inside this call.
+		limit := len(buf)
+		for c.wIdx < len(c.wevs) {
+			ev := c.wevs[c.wIdx]
+			if ev.Offset > base+int64(n) {
+				if ev.Offset < end {
+					limit = int(ev.Offset - base)
+				}
+				break
+			}
+			c.wIdx++
+			switch ev.Kind {
+			case EvStall:
+				c.inj.st.stalls.Add(1)
+				c.inj.clock.Sleep(time.Duration(ev.Arg))
+			case EvReset:
+				c.inj.st.resets.Add(1)
+				c.closed.Store(true)
+				c.inner.Close()
+				return n, &resetError{name: c.name, attempt: c.attempt, offset: ev.Offset}
+			}
+		}
+		chunkEnd := limit
+		if c.inj.profile.MaxChunk > 0 && chunkEnd-n > c.inj.profile.MaxChunk {
+			chunkEnd = n + c.inj.profile.MaxChunk
+		}
+		chunk := buf[n:chunkEnd]
+		c.pace(len(chunk))
+		wn, err := c.inner.Write(chunk)
+		n += wn
+		c.woff += int64(wn)
+		c.inj.st.bytesOut.Add(uint64(wn))
+		if err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+// pace sleeps for the profile's latency/jitter/bandwidth shaping.
+func (c *Conn) pace(nbytes int) {
+	p := c.inj.profile
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(c.paceRng.Int63n(int64(p.Jitter)))
+	}
+	if p.BandwidthBPS > 0 {
+		d += time.Duration(int64(nbytes) * int64(time.Second) / p.BandwidthBPS)
+	}
+	if d > 0 {
+		c.inj.clock.Sleep(d)
+	}
+}
+
+// Read delegates to the inner transport, delaying delivery when the
+// cumulative read offset crosses a scheduled read stall.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	if n > 0 {
+		c.rmu.Lock()
+		c.roff += int64(n)
+		for c.rIdx < len(c.revs) && c.revs[c.rIdx].Offset < c.roff {
+			ev := c.revs[c.rIdx]
+			c.rIdx++
+			c.inj.st.readStalls.Add(1)
+			c.inj.clock.Sleep(time.Duration(ev.Arg))
+		}
+		c.rmu.Unlock()
+		c.inj.st.bytesIn.Add(uint64(n))
+	}
+	return n, err
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closed.Store(true)
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

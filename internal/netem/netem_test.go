@@ -1,0 +1,310 @@
+package netem
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// recordConn is a fake inner transport that records every Write segment.
+type recordConn struct {
+	segs   [][]byte
+	closed bool
+}
+
+func (c *recordConn) Write(p []byte) (int, error) {
+	c.segs = append(c.segs, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (c *recordConn) Read(p []byte) (int, error)       { return 0, nil }
+func (c *recordConn) Close() error                     { c.closed = true; return nil }
+func (c *recordConn) LocalAddr() net.Addr              { return nil }
+func (c *recordConn) RemoteAddr() net.Addr             { return nil }
+func (c *recordConn) SetDeadline(time.Time) error      { return nil }
+func (c *recordConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *recordConn) SetWriteDeadline(time.Time) error { return nil }
+
+func (c *recordConn) bytes() []byte {
+	var b bytes.Buffer
+	for _, s := range c.segs {
+		b.Write(s)
+	}
+	return b.Bytes()
+}
+
+// TestScheduleDeterministic: the schedule is a pure function of
+// (profile, name, attempt) — byte-identical across calls, different
+// across names and attempts.
+func TestScheduleDeterministic(t *testing.T) {
+	p, ok := ProfileByName("lossy-reorder")
+	if !ok {
+		t.Fatal("lossy-reorder profile missing")
+	}
+	p.Seed = 42
+	a := Schedule(p, "speaker1", 0)
+	b := Schedule(p, "speaker1", 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("lossy-reorder produced an empty schedule")
+	}
+	other := Schedule(p, "speaker2", 0)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different names produced identical schedules")
+	}
+	// Attempts at/past FaultedAttempts run clean — the convergence budget.
+	pd := p.withDefaults()
+	if got := Schedule(p, "speaker1", pd.FaultedAttempts); got != nil {
+		t.Fatalf("attempt %d not clean: %v", pd.FaultedAttempts, got)
+	}
+}
+
+// TestScheduleOrderingAndTrailingReset: events come back sorted with
+// strictly increasing offsets, and any schedule containing a mutation
+// (corrupt/reorder) ends with a reset at a later offset.
+func TestScheduleOrderingAndTrailingReset(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := Profile{
+			Name: "t", Seed: seed,
+			CorruptEvents: 3, ReorderEvents: 2, StallEvents: 1,
+			MinOffset: 100, Horizon: 400,
+		}
+		evs := Schedule(p, "x", 0)
+		lastMut, lastReset := int64(-1), int64(-1)
+		for i, ev := range evs {
+			if i > 0 && evs[i].Offset <= evs[i-1].Offset {
+				t.Fatalf("seed %d: offsets not strictly increasing: %v", seed, evs)
+			}
+			if ev.Offset < p.MinOffset {
+				t.Fatalf("seed %d: event %v before MinOffset %d", seed, ev, p.MinOffset)
+			}
+			switch ev.Kind {
+			case EvCorrupt, EvReorder:
+				lastMut = ev.Offset
+			case EvReset:
+				lastReset = ev.Offset
+			}
+			_ = i
+		}
+		if lastMut >= 0 && lastReset <= lastMut {
+			t.Fatalf("seed %d: no reset after last mutation: %v", seed, evs)
+		}
+	}
+}
+
+// TestVirtualClockInstant: sleeps accumulate on the virtual clock
+// without consuming wall time.
+func TestVirtualClockInstant(t *testing.T) {
+	vc := NewVirtualClock()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		vc.Sleep(time.Second)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("1000 virtual seconds took %v wall time", wall)
+	}
+	if vc.Now() != 1000*time.Second {
+		t.Fatalf("virtual now = %v, want 1000s", vc.Now())
+	}
+}
+
+// injectorWith wires a profile with explicit events by building a
+// wrapped recordConn; the events come from the profile's schedule.
+func wrapOne(t *testing.T, p Profile) (*Conn, *recordConn, *Injector) {
+	t.Helper()
+	inner := &recordConn{}
+	inj := NewInjector(p, NewVirtualClock())
+	return inj.Wrap(inner, "conn"), inner, inj
+}
+
+// TestCorruptExactByte: a corrupt event flips exactly the scheduled byte
+// with the scheduled mask, regardless of how the caller segments writes.
+func TestCorruptExactByte(t *testing.T) {
+	p := Profile{Name: "t", Seed: 7, CorruptEvents: 1, MinOffset: 64, Horizon: 128}
+	evs := Schedule(p, "conn", 0)
+	var corrupt Event
+	for _, ev := range evs {
+		if ev.Kind == EvCorrupt {
+			corrupt = ev
+		}
+	}
+
+	run := func(chunk int) []byte {
+		// The trailing convergence reset sits at corrupt.Offset+512; stay
+		// under it so every byte reaches the "wire".
+		c, inner, _ := wrapOne(t, p)
+		payload := make([]byte, int(corrupt.Offset)+100)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		for off := 0; off < len(payload); off += chunk {
+			end := off + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := c.Write(payload[off:end]); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+		return inner.bytes()
+	}
+
+	whole := run(1 << 20)
+	split := run(17) // deliberately misaligned segmentation
+	if !bytes.Equal(whole, split) {
+		t.Fatal("wire bytes depend on caller write segmentation")
+	}
+	want := byte(int(corrupt.Offset)) ^ byte(corrupt.Arg)
+	if whole[corrupt.Offset] != want {
+		t.Fatalf("byte %d = %#x, want %#x (mask %#x)", corrupt.Offset, whole[corrupt.Offset], want, corrupt.Arg)
+	}
+	// Neighbouring bytes untouched.
+	if whole[corrupt.Offset-1] != byte(int(corrupt.Offset)-1) || whole[corrupt.Offset+1] != byte(int(corrupt.Offset)+1) {
+		t.Fatal("corruption spilled into neighbouring bytes")
+	}
+}
+
+// TestResetAtOffset: a reset closes the transport once the scheduled
+// offset is reached, and IsInjectedReset identifies the error.
+func TestResetAtOffset(t *testing.T) {
+	p := Profile{Name: "t", Seed: 3, ResetEvents: 1, MinOffset: 64, Horizon: 128}
+	evs := Schedule(p, "conn", 0)
+	if len(evs) != 1 || evs[0].Kind != EvReset {
+		t.Fatalf("schedule = %v, want single reset", evs)
+	}
+	c, inner, inj := wrapOne(t, p)
+	payload := make([]byte, 256)
+	n, err := c.Write(payload)
+	if err == nil || !IsInjectedReset(err) {
+		t.Fatalf("Write = %d, %v; want injected reset", n, err)
+	}
+	if int64(n) != evs[0].Offset {
+		t.Fatalf("wrote %d bytes before reset, want %d", n, evs[0].Offset)
+	}
+	if !inner.closed {
+		t.Fatal("inner conn not closed by reset")
+	}
+	if st := inj.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", st.Resets)
+	}
+	// Next attempt of the same name runs clean (FaultedAttempts=1).
+	c2, inner2, _ := &Conn{}, &recordConn{}, inj
+	c2 = inj.Wrap(inner2, "conn")
+	if n, err := c2.Write(payload); n != len(payload) || err != nil {
+		t.Fatalf("second attempt: Write = %d, %v; want clean pass-through", n, err)
+	}
+}
+
+// TestMaxChunkSplitsWrites: MaxChunk bounds the size of every segment
+// reaching the inner transport without altering the byte stream.
+func TestMaxChunkSplitsWrites(t *testing.T) {
+	p := Profile{Name: "t", MaxChunk: 100}
+	c, inner, _ := wrapOne(t, p)
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if n, err := c.Write(payload); n != len(payload) || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if len(inner.segs) < 6 {
+		t.Fatalf("512 bytes with MaxChunk 100 produced %d segments", len(inner.segs))
+	}
+	for i, s := range inner.segs {
+		if len(s) > 100 {
+			t.Fatalf("segment %d has %d bytes > MaxChunk", i, len(s))
+		}
+	}
+	if !bytes.Equal(inner.bytes(), payload) {
+		t.Fatal("chunking altered the byte stream")
+	}
+}
+
+// TestReorderSwapsSegments: a reorder swaps two adjacent segments inside
+// one call, conserving the byte multiset.
+func TestReorderSwapsSegments(t *testing.T) {
+	p := Profile{Name: "t", Seed: 5, ReorderEvents: 1, ReorderSeg: 16, MinOffset: 64, Horizon: 128}
+	evs := Schedule(p, "conn", 0)
+	var re Event
+	for _, ev := range evs {
+		if ev.Kind == EvReorder {
+			re = ev
+		}
+	}
+	c, inner, inj := wrapOne(t, p)
+	payload := make([]byte, int(re.Offset)+64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := c.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := inner.bytes()
+	off, seg := int(re.Offset), int(re.Arg)
+	if !bytes.Equal(got[off:off+seg], payload[off+seg:off+2*seg]) ||
+		!bytes.Equal(got[off+seg:off+2*seg], payload[off:off+seg]) {
+		t.Fatal("segments not swapped at scheduled offset")
+	}
+	if !bytes.Equal(got[:off], payload[:off]) {
+		t.Fatal("bytes before the reorder were altered")
+	}
+	if st := inj.Stats(); st.Reorders != 1 {
+		t.Fatalf("Reorders = %d, want 1", st.Reorders)
+	}
+}
+
+// TestScheduleDigestStable: two injectors wrapping the same connection
+// sequence under the same profile report equal digests; a different
+// seed changes the digest.
+func TestScheduleDigestStable(t *testing.T) {
+	mk := func(seed int64) string {
+		p, _ := ProfileByName("lossy-reorder")
+		p.Seed = seed
+		inj := NewInjector(p, NewVirtualClock())
+		inj.Wrap(&recordConn{}, "speaker1")
+		inj.Wrap(&recordConn{}, "speaker2")
+		inj.Wrap(&recordConn{}, "speaker1") // reconnect
+		return inj.ScheduleDigest()
+	}
+	if mk(1) != mk(1) {
+		t.Fatal("same seed produced different schedule digests")
+	}
+	if mk(1) == mk(2) {
+		t.Fatal("different seeds produced identical schedule digests")
+	}
+}
+
+// TestProfilesResolvable: every named profile resolves and required
+// profiles exist.
+func TestProfilesResolvable(t *testing.T) {
+	for _, want := range []string{"clean", "lossy-reorder", "flap-reset", "stall", "slow"} {
+		if _, ok := ProfileByName(want); !ok {
+			t.Fatalf("profile %q missing", want)
+		}
+	}
+	if _, ok := ProfileByName("no-such"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+	if len(ProfileNames()) != len(Profiles()) {
+		t.Fatal("ProfileNames/Profiles length mismatch")
+	}
+}
+
+// TestPacingOnVirtualClock: latency/bandwidth shaping advances the
+// virtual clock by the expected amount without wall-time cost.
+func TestPacingOnVirtualClock(t *testing.T) {
+	p := Profile{Name: "t", Latency: time.Millisecond, BandwidthBPS: 1 << 20}
+	vc := NewVirtualClock()
+	inj := NewInjector(p, vc)
+	c := inj.Wrap(&recordConn{}, "conn")
+	if _, err := c.Write(make([]byte, 1<<20)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// One segment (no MaxChunk): 1ms latency + 1s of bandwidth delay.
+	if got := vc.Now(); got < time.Second || got > 2*time.Second {
+		t.Fatalf("virtual elapsed = %v, want ~1s", got)
+	}
+}

@@ -1,0 +1,249 @@
+package session
+
+import (
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
+	"bgpbench/internal/wire"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most max.
+func waitGoroutines(t *testing.T, max int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= max {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%d goroutines alive, want <= %d:\n%s", n, max, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMidOpenConnFailureRecovers: a transport that dies mid-OPEN (peer
+// closes after accepting, before replying) must not wedge the session.
+// Regression: the stale conn used to survive EvTCPConnFails, so the
+// retry's fresh transport was closed as a "connection collision" and the
+// session never established.
+func TestMidOpenConnFailureRecovers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	pc := newCollector()
+	passive := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+		},
+		Handler: pc, Name: "passive",
+	})
+	passive.Start()
+	defer passive.Stop()
+
+	go func() {
+		// First connection: slam the door mid-handshake.
+		if conn, err := ln.Accept(); err == nil {
+			conn.Close()
+		}
+		// Second connection: a real peer.
+		if conn, err := ln.Accept(); err == nil {
+			passive.Attach(conn)
+		}
+	}()
+
+	ac := newCollector()
+	active := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"), HoldTime: 90,
+		},
+		DialTarget:   ln.Addr().String(),
+		ConnectRetry: 200 * time.Millisecond,
+		Handler:      ac, Name: "active",
+	})
+	active.Start()
+	defer active.Stop()
+
+	waitEstablished(t, ac, "active")
+	if active.Err() == nil {
+		t.Error("the mid-OPEN failure should have been recorded")
+	}
+}
+
+// TestMidOpenConnFailureNoLeak: repeated mid-OPEN transport failures must
+// not leak reader goroutines or wedge the event loop.
+func TestMidOpenConnFailureNoLeak(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var accepted atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			conn.Close()
+		}
+	}()
+
+	base := runtime.NumGoroutine()
+	active := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"), HoldTime: 90,
+		},
+		DialTarget:   ln.Addr().String(),
+		ConnectRetry: 50 * time.Millisecond,
+		Name:         "active",
+	})
+	active.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for accepted.Load() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d retry attempts observed", accepted.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	active.Stop()
+	// The accept goroutine above stays parked in Accept; allow it plus
+	// scheduling noise.
+	waitGoroutines(t, base+2, 5*time.Second)
+}
+
+// TestDialHookUsed: Config.Dial replaces net.DialTimeout for outbound
+// attempts (this is the seam the netem fault injector plugs into).
+func TestDialHookUsed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	pc := newCollector()
+	passive := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+		},
+		Handler: pc, Name: "passive",
+	})
+	passive.Start()
+	defer passive.Stop()
+	go func() {
+		if conn, err := ln.Accept(); err == nil {
+			passive.Attach(conn)
+		}
+	}()
+
+	var dials atomic.Int32
+	ac := newCollector()
+	active := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"), HoldTime: 90,
+		},
+		DialTarget: ln.Addr().String(),
+		Dial: func(network, address string, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			return net.DialTimeout(network, address, timeout)
+		},
+		Handler: ac, Name: "active",
+	})
+	active.Start()
+	defer active.Stop()
+
+	waitEstablished(t, ac, "active")
+	if dials.Load() == 0 {
+		t.Fatal("custom Dial hook never invoked")
+	}
+}
+
+// TestNetemResetTearsDownCleanly: an established session whose transport
+// is reset mid-stream by the fault injector reports Down with the
+// injected error and terminates without leaking goroutines.
+func TestNetemResetTearsDownCleanly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	base := runtime.NumGoroutine()
+
+	pc := newCollector()
+	passive := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+		},
+		Handler: pc, Name: "passive",
+	})
+	passive.Start()
+	go func() {
+		if conn, err := ln.Accept(); err == nil {
+			passive.Attach(conn)
+		}
+	}()
+
+	inj := netem.NewInjector(netem.Profile{
+		Name: "reset", Seed: 11,
+		ResetEvents: 1, MinOffset: 64, Horizon: 256,
+	}, netem.NewVirtualClock())
+
+	ac := newCollector()
+	active := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"), HoldTime: 90,
+		},
+		DialTarget: ln.Addr().String(),
+		Dial:       inj.Dial("active"),
+		Handler:    ac, Name: "active",
+	})
+	active.Start()
+
+	waitEstablished(t, ac, "active")
+	waitEstablished(t, pc, "passive")
+
+	// Pump updates until the scheduled reset fires.
+	attrs := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001), netaddr.MustParseAddr("10.0.0.1"))
+	u := wire.Update{Attrs: attrs, NLRI: []netaddr.Prefix{netaddr.MustParsePrefix("192.0.2.0/24")}}
+	deadline := time.Now().Add(5 * time.Second)
+loop:
+	for {
+		select {
+		case <-ac.downs:
+			break loop
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never went down despite the scheduled reset")
+		}
+		_ = active.Send(u)
+		time.Sleep(time.Millisecond)
+	}
+
+	if inj.Stats().Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", inj.Stats().Resets)
+	}
+	active.Stop()
+	passive.Stop()
+	waitGoroutines(t, base+1, 5*time.Second)
+}

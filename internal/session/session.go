@@ -59,7 +59,11 @@ type Config struct {
 	ConnectRetry time.Duration
 	// DialTimeout bounds one connection attempt. Zero defaults to 5s.
 	DialTimeout time.Duration
-	Handler     Handler
+	// Dial, when non-nil, replaces net.DialTimeout for outbound
+	// connection attempts. Fault-injection layers (internal/netem) hook
+	// in here to wrap the transport.
+	Dial    func(network, address string, timeout time.Duration) (net.Conn, error)
+	Handler Handler
 	// Name labels the session in errors and stats.
 	Name string
 }
@@ -290,8 +294,21 @@ func (s *Session) handle(ev event) bool {
 		// Adopt the transport before the FSM acts on it.
 		s.adoptConn(ev.conn)
 	}
-	if ev.err != nil && ev.fsm.Type == fsm.EvTCPConnFails {
-		s.recordErr(ev.err)
+	if ev.fsm.Type == fsm.EvHoldTimerExpires {
+		// Record why the session is about to die: ActStopped reports the
+		// first recorded error to Handler.Down, and "the peer went silent"
+		// is the one teardown cause no transport error ever captures.
+		s.recordErr(&wire.NotifyError{Code: wire.ErrCodeHoldTimer, Reason: "hold timer expired"})
+	}
+	if ev.fsm.Type == fsm.EvTCPConnFails {
+		if ev.err != nil {
+			s.recordErr(ev.err)
+		}
+		// The failed transport is unusable: release it now (the FSM's
+		// Connect/Active transitions do not emit ActCloseConn) so a later
+		// reconnect is not mistaken for a connection collision and the
+		// reader goroutine is cancelled instead of leaked.
+		s.dropConn()
 	}
 	acts := s.fsm.Handle(ev.fsm)
 	s.stateMirror.Store(int32(s.fsm.State()))
@@ -399,10 +416,14 @@ func (s *Session) sendNow(m wire.Message) {
 // dial starts an asynchronous connection attempt.
 func (s *Session) dial() {
 	target := s.cfg.DialTarget
+	dialFn := s.cfg.Dial
+	if dialFn == nil {
+		dialFn = net.DialTimeout
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		conn, err := net.DialTimeout("tcp", target, s.cfg.DialTimeout)
+		conn, err := dialFn("tcp", target, s.cfg.DialTimeout)
 		ev := event{}
 		if err != nil {
 			ev.fsm = fsm.Event{Type: fsm.EvTCPConnFails}

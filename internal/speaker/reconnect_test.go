@@ -1,0 +1,98 @@
+package speaker
+
+import (
+	"testing"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
+)
+
+// TestReconnectReplaysJournal: a speaker whose transport is reset
+// mid-table must reconnect, replay its journal, and leave the router
+// with exactly the state a clean run produces.
+func TestReconnectReplaysJournal(t *testing.T) {
+	r := startRouter(t)
+
+	inj := netem.NewInjector(netem.Profile{
+		Name: "flap", Seed: 21,
+		ResetEvents: 1, MinOffset: 512, Horizon: 1536,
+		FaultedAttempts: 2,
+	}, netem.NewVirtualClock())
+
+	sp := New(Config{
+		AS: 65001, ID: netaddr.MustParseAddr("1.1.1.1"),
+		Target:    r.ListenAddr(),
+		Dial:      inj.Dial("speaker1"),
+		Reconnect: true,
+	})
+	if err := sp.Connect(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Stop()
+
+	routes := core.GenerateTable(core.TableGenConfig{N: 500, Seed: 3, FirstAS: 65001})
+	if err := sp.Announce(routes, 100); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for r.FIB().Len() < len(routes) {
+		if time.Now().After(deadline) {
+			t.Fatalf("router learned %d/%d routes after flap (retries=%d, resets=%d)",
+				r.FIB().Len(), len(routes), sp.Retries(), inj.Stats().Resets)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := inj.Stats().Resets; got == 0 {
+		t.Fatal("no reset was injected; test exercised nothing")
+	}
+	if sp.Retries() == 0 {
+		t.Fatal("speaker never reconnected")
+	}
+	if !sp.Established() {
+		t.Fatal("speaker not established after recovery")
+	}
+}
+
+// TestReconnectDisabledFailsHard: without Reconnect, an injected reset
+// surfaces as a dead session and the router keeps only the partial
+// table — the journal/replay machinery must not engage.
+func TestReconnectDisabledFailsHard(t *testing.T) {
+	r := startRouter(t)
+
+	inj := netem.NewInjector(netem.Profile{
+		Name: "flap", Seed: 21,
+		ResetEvents: 1, MinOffset: 512, Horizon: 1536,
+	}, netem.NewVirtualClock())
+
+	sp := New(Config{
+		AS: 65001, ID: netaddr.MustParseAddr("1.1.1.1"),
+		Target: r.ListenAddr(),
+		Dial:   inj.Dial("speaker1"),
+	})
+	if err := sp.Connect(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Stop()
+
+	routes := core.GenerateTable(core.TableGenConfig{N: 500, Seed: 3, FirstAS: 65001})
+	_ = sp.Announce(routes, 100) // transport may die mid-send
+
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.Stats().Resets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reset never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give the router a moment to process the teardown, then verify no
+	// reconnection happened.
+	time.Sleep(200 * time.Millisecond)
+	if sp.Retries() != 0 {
+		t.Fatalf("Retries = %d with Reconnect disabled", sp.Retries())
+	}
+	if sp.Established() {
+		t.Fatal("session still established after an injected reset")
+	}
+}

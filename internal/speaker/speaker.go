@@ -8,6 +8,8 @@ package speaker
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,15 +28,35 @@ type Config struct {
 	Target   string       // router under test, "host:port"
 	HoldTime uint16       // default 90
 	Name     string
+	// Dial, when non-nil, replaces net.DialTimeout for connection
+	// attempts; the netem fault injector hooks in here.
+	Dial func(network, address string, timeout time.Duration) (net.Conn, error)
+	// Reconnect makes the speaker survive session flaps: every sent
+	// UPDATE is journaled, and when the session goes down a fresh one is
+	// dialed and the whole journal replayed. Replay is idempotent — the
+	// router's final state per prefix depends only on the last message —
+	// so a speaker that flaps mid-table still converges to the state a
+	// clean run reaches.
+	Reconnect bool
+	// MaxReconnects bounds reconnection attempts (default 8).
+	MaxReconnects int
 }
 
 // Speaker is one benchmark BGP speaker.
 type Speaker struct {
-	cfg  Config
-	sess *session.Session
+	cfg Config
 
+	// mu guards sess/journal/closed and serializes sends with journal
+	// replay, so replayed and fresh UPDATEs never interleave per prefix.
+	mu      sync.Mutex
+	sess    *session.Session
+	journal []wire.Update
+	closed  bool
+
+	stopCh      chan struct{}
 	established chan struct{}
 	down        chan error
+	retries     atomic.Uint64
 
 	prefixesIn  atomic.Uint64
 	withdrawsIn atomic.Uint64
@@ -53,22 +75,32 @@ func New(cfg Config) *Speaker {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("speaker-as%d", cfg.AS)
 	}
+	if cfg.MaxReconnects == 0 {
+		cfg.MaxReconnects = 8
+	}
 	s := &Speaker{
 		cfg:         cfg,
+		stopCh:      make(chan struct{}),
 		established: make(chan struct{}, 1),
 		down:        make(chan error, 1),
 	}
-	s.sess = session.New(session.Config{
-		FSM: fsm.Config{
-			LocalAS:  cfg.AS,
-			LocalID:  cfg.ID,
-			HoldTime: cfg.HoldTime,
-		},
-		DialTarget: cfg.Target,
-		Handler:    (*speakerHandler)(s),
-		Name:       cfg.Name,
-	})
+	s.sess = s.newSession()
 	return s
+}
+
+// newSession builds a fresh session from the speaker's configuration.
+func (s *Speaker) newSession() *session.Session {
+	return session.New(session.Config{
+		FSM: fsm.Config{
+			LocalAS:  s.cfg.AS,
+			LocalID:  s.cfg.ID,
+			HoldTime: s.cfg.HoldTime,
+		},
+		DialTarget: s.cfg.Target,
+		Dial:       s.cfg.Dial,
+		Handler:    (*speakerHandler)(s),
+		Name:       s.cfg.Name,
+	})
 }
 
 // speakerHandler keeps Handler methods off the Speaker's public API.
@@ -91,18 +123,94 @@ func (h *speakerHandler) Update(_ *session.Session, u wire.Update) {
 	s.lastRecv.Store(time.Now().UnixNano())
 }
 
-// Down implements session.Handler.
-func (h *speakerHandler) Down(_ *session.Session, err error) {
+// Down implements session.Handler. It runs on the session's event-loop
+// goroutine and must not take s.mu: a journal replay can hold the lock
+// while blocked in Send, waiting for this very event loop to finish
+// tearing the session down.
+func (h *speakerHandler) Down(sess *session.Session, err error) {
 	select {
 	case h.down <- err:
 	default:
+	}
+	s := (*Speaker)(h)
+	if s.cfg.Reconnect {
+		go s.reconnect(sess)
+	}
+}
+
+// reconnect replaces the dead session and replays the journal. The
+// session layer itself retries TCP connects, so one fresh session per
+// flap suffices; if the replacement flaps too, its Down handler calls
+// back in here until MaxReconnects is exhausted.
+func (s *Speaker) reconnect(dead *session.Session) {
+	s.mu.Lock()
+	current := s.sess == dead && !s.closed
+	s.mu.Unlock()
+	if !current {
+		return
+	}
+	if int(s.retries.Add(1)) > s.cfg.MaxReconnects {
+		return
+	}
+	select {
+	case <-s.stopCh:
+		return
+	default:
+	}
+	// Drain stale signals from the dead session before starting a new
+	// one, so the waits below see only the replacement's.
+	for {
+		select {
+		case <-s.established:
+			continue
+		case <-s.down:
+			continue
+		default:
+		}
+		break
+	}
+	ns := s.newSession()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.sess = ns
+	s.mu.Unlock()
+	ns.Start()
+	select {
+	case <-s.established:
+	case <-s.stopCh:
+		ns.Stop()
+		return
+	case <-time.After(30 * time.Second):
+		ns.Stop()
+		return
+	}
+	// Replay the full journal under the send lock: fresh Announce or
+	// Withdraw calls queue behind the replay, preserving per-prefix
+	// message order.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess != ns || s.closed {
+		return
+	}
+	for _, u := range s.journal {
+		if err := ns.Send(u); err != nil {
+			// The replacement died mid-replay; its Down handler owns the
+			// next attempt.
+			return
+		}
 	}
 }
 
 // Connect starts the session and blocks until it establishes or the
 // timeout elapses.
 func (s *Speaker) Connect(timeout time.Duration) error {
-	s.sess.Start()
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	sess.Start()
 	select {
 	case <-s.established:
 		return nil
@@ -113,35 +221,71 @@ func (s *Speaker) Connect(timeout time.Duration) error {
 	}
 }
 
-// Stop tears the session down.
-func (s *Speaker) Stop() { s.sess.Stop() }
+// Stop tears the session down and disables reconnection.
+func (s *Speaker) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stopCh)
+	sess := s.sess
+	s.mu.Unlock()
+	sess.Stop()
+}
 
-// Announce sends the routes as announcements packed prefixesPerMsg per
-// UPDATE (1 = the paper's small packets, 500 = large packets).
-func (s *Speaker) Announce(routes []core.Route, prefixesPerMsg int) error {
-	for _, u := range core.Updates(routes, s.cfg.NextHop, prefixesPerMsg) {
+// Established reports whether the current session is established.
+func (s *Speaker) Established() bool {
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	return sess.Established()
+}
+
+// Retries returns how many reconnection attempts the speaker has made.
+func (s *Speaker) Retries() uint64 { return s.retries.Load() }
+
+// sendAll journals (when reconnecting) and transmits a batch of UPDATEs
+// under the send lock. With Reconnect enabled, transport errors are
+// swallowed: the messages are in the journal and the replacement session
+// replays them.
+func (s *Speaker) sendAll(msgs []wire.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Reconnect {
+		s.journal = append(s.journal, msgs...)
+	}
+	for _, u := range msgs {
 		if err := s.sess.Send(u); err != nil {
+			if s.cfg.Reconnect {
+				return nil
+			}
 			return err
 		}
 	}
 	return nil
+}
+
+// Announce sends the routes as announcements packed prefixesPerMsg per
+// UPDATE (1 = the paper's small packets, 500 = large packets).
+func (s *Speaker) Announce(routes []core.Route, prefixesPerMsg int) error {
+	return s.sendAll(core.Updates(routes, s.cfg.NextHop, prefixesPerMsg))
 }
 
 // Withdraw sends withdrawals for the routes, packed prefixesPerMsg per
 // UPDATE.
 func (s *Speaker) Withdraw(routes []core.Route, prefixesPerMsg int) error {
-	for _, u := range core.Withdrawals(routes, prefixesPerMsg) {
-		if err := s.sess.Send(u); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.sendAll(core.Withdrawals(routes, prefixesPerMsg))
 }
 
 // RequestRefresh asks the router to re-send its full Adj-RIB-Out
 // (RFC 2918 ROUTE-REFRESH).
 func (s *Speaker) RequestRefresh() error {
-	return s.sess.Send(wire.IPv4UnicastRefresh())
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	return sess.Send(wire.IPv4UnicastRefresh())
 }
 
 // PrefixesReceived returns the number of announced prefixes received.

@@ -12,6 +12,7 @@ import (
 	"bgpbench/internal/core"
 	"bgpbench/internal/fib"
 	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
 )
 
 // Summary is the JSON document served at /status.
@@ -33,6 +34,16 @@ type Summary struct {
 //	GET /fib      plain-text FIB dump (prefix, next hop, port)
 //	GET /metrics  Prometheus-style counters
 func Handler(r *core.Router, as uint16) http.Handler {
+	return handler(r, as, nil)
+}
+
+// HandlerWithFaults is Handler plus netem fault-injection counters on
+// /metrics, for routers running under a chaos profile.
+func HandlerWithFaults(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
+	return handler(r, as, inj)
+}
+
+func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		s := Summary{
@@ -82,6 +93,18 @@ func Handler(r *core.Router, as uint16) http.Handler {
 		batches, ops := r.FIBBatchStats()
 		fmt.Fprintf(w, "bgp_fib_batches_total %d\n", batches)
 		fmt.Fprintf(w, "bgp_fib_batch_ops_total %d\n", ops)
+		if inj != nil {
+			st := inj.Stats()
+			fmt.Fprintf(w, "netem_conns_total %d\n", st.Conns)
+			fmt.Fprintf(w, "netem_accepts_total %d\n", st.Accepts)
+			fmt.Fprintf(w, "netem_corrupts_total %d\n", st.Corrupts)
+			fmt.Fprintf(w, "netem_reorders_total %d\n", st.Reorders)
+			fmt.Fprintf(w, "netem_stalls_total %d\n", st.Stalls)
+			fmt.Fprintf(w, "netem_read_stalls_total %d\n", st.ReadStalls)
+			fmt.Fprintf(w, "netem_resets_total %d\n", st.Resets)
+			fmt.Fprintf(w, "netem_bytes_out_total %d\n", st.BytesOut)
+			fmt.Fprintf(w, "netem_bytes_in_total %d\n", st.BytesIn)
+		}
 	})
 	return mux
 }

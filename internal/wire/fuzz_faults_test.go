@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"bgpbench/internal/netem"
+)
+
+// openWithCaps builds the richest OPEN this speaker can emit: all four
+// known capability codes, one with a multi-byte value.
+func openWithCaps(t testing.TB) []byte {
+	t.Helper()
+	opt, err := MarshalCapabilities([]Capability{
+		MultiprotocolIPv4Unicast(),
+		RouteRefreshCapability(),
+		{Code: CapGracefulRestart, Value: []byte{0x40, 0x78, 0x00, 0x01, 0x01, 0x80}},
+		{Code: CapFourOctetAS, Value: []byte{0x00, 0x00, 0xFD, 0xE9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOpen(65001, 90, 0x0A000001)
+	o.OptParams = opt
+	b, err := Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParseNeverPanicsOnCorruptedOpenCapabilities flips bytes inside an
+// OPEN whose optional-parameter block carries capabilities. Both the
+// message parser and ParseCapabilities must reject or accept — never
+// panic — and anything accepted must survive a remarshal round trip.
+func TestParseNeverPanicsOnCorruptedOpenCapabilities(t *testing.T) {
+	r := rand.New(rand.NewSource(1704))
+	seed := openWithCaps(t)
+	for i := 0; i < 30000; i++ {
+		buf := append([]byte(nil), seed...)
+		for flips := 1 + r.Intn(4); flips > 0; flips-- {
+			// Corrupt past the marker; bias toward the optional-parameter
+			// region (byte 28 = opt param length, 29.. = capabilities).
+			pos := 16 + r.Intn(len(buf)-16)
+			if r.Intn(2) == 0 {
+				pos = 28 + r.Intn(len(buf)-28)
+			}
+			buf[pos] ^= byte(1 << r.Intn(8))
+		}
+		m, err := Parse(buf)
+		if err != nil {
+			continue
+		}
+		o, ok := m.(Open)
+		if !ok {
+			continue // a flip rewrote the type byte
+		}
+		caps, err := ParseCapabilities(o.OptParams)
+		if err == nil {
+			for _, c := range caps {
+				_ = c.String()
+			}
+		}
+		out, err := Marshal(o)
+		if err != nil {
+			t.Fatalf("accepted OPEN failed to marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("remarshaled OPEN not parseable: %v", err)
+		}
+	}
+}
+
+// TestParseCapabilitiesNeverPanicsOnRandomBytes drives the capability
+// parser with arbitrary optional-parameter blocks.
+func TestParseCapabilitiesNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(1705))
+	for i := 0; i < 20000; i++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		caps, err := ParseCapabilities(b)
+		if err == nil {
+			for _, c := range caps {
+				_ = c.String()
+				HasCapability(caps, c.Code)
+			}
+		}
+	}
+}
+
+// TestParseNeverPanicsOnCorruptedNotifications corrupts NOTIFICATION
+// frames, including ones with data payloads, and re-fixes the length
+// field half of the time so the body parser is reached.
+func TestParseNeverPanicsOnCorruptedNotifications(t *testing.T) {
+	r := rand.New(rand.NewSource(1706))
+	seeds := [][]byte{}
+	for _, n := range []Notification{
+		{Code: ErrCodeHoldTimer},
+		{Code: ErrCodeOpen, Subcode: ErrSubBadOptParam},
+		{Code: ErrCodeUpdate, Subcode: 3, Data: []byte{0x01, 0x02, 0x03, 0x04}},
+		{Code: ErrCodeCease, Data: bytes.Repeat([]byte{0xAB}, 32)},
+	} {
+		b, err := Marshal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, b)
+	}
+	for i := 0; i < 30000; i++ {
+		seed := seeds[r.Intn(len(seeds))]
+		buf := append([]byte(nil), seed...)
+		for flips := 1 + r.Intn(3); flips > 0; flips-- {
+			pos := 16 + r.Intn(len(buf)-16)
+			buf[pos] ^= byte(1 << r.Intn(8))
+		}
+		if r.Intn(2) == 0 {
+			buf[16] = byte(len(buf) >> 8)
+			buf[17] = byte(len(buf))
+		}
+		m, err := Parse(buf)
+		if err != nil {
+			continue
+		}
+		if n, ok := m.(Notification); ok {
+			if _, err := Marshal(n); err != nil {
+				t.Fatalf("accepted NOTIFICATION failed to marshal: %v", err)
+			}
+		}
+	}
+}
+
+// sinkConn is a minimal net.Conn that records everything written to it,
+// used as the inner transport under a netem wrapper.
+type sinkConn struct{ buf bytes.Buffer }
+
+func (c *sinkConn) Write(p []byte) (int, error)      { return c.buf.Write(p) }
+func (c *sinkConn) Read(p []byte) (int, error)       { return 0, io.EOF }
+func (c *sinkConn) Close() error                     { return nil }
+func (c *sinkConn) LocalAddr() net.Addr              { return nil }
+func (c *sinkConn) RemoteAddr() net.Addr             { return nil }
+func (c *sinkConn) SetDeadline(time.Time) error      { return nil }
+func (c *sinkConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// netemCorruptedStreams pushes a realistic BGP session transcript (OPEN
+// with capabilities, KEEPALIVE, UPDATE burst, NOTIFICATION) through
+// netem corruption/reorder profiles on the virtual clock and returns the
+// perturbed byte streams — the seed corpus the stream reader must survive.
+func netemCorruptedStreams(t testing.TB) [][]byte {
+	t.Helper()
+	r := rand.New(rand.NewSource(1707))
+	var transcript bytes.Buffer
+	w := NewWriter(&transcript)
+	var open Open
+	{
+		m, err := Parse(openWithCaps(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		open = m.(Open)
+	}
+	for _, m := range []Message{open, Keepalive{}} {
+		if err := w.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		u := Update{
+			Attrs: NewPathAttrs(OriginIGP, NewASPath(65001, 100, 101), 0x0A000001),
+			NLRI:  randomPrefixes(r, 12),
+		}
+		if err := w.WriteMessage(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteMessage(Notification{Code: ErrCodeCease}); err != nil {
+		t.Fatal(err)
+	}
+	clean := transcript.Bytes()
+
+	var streams [][]byte
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		inj := netem.NewInjector(netem.Profile{
+			Name:          "fuzz-corrupt",
+			Seed:          seed,
+			CorruptEvents: 4,
+			ReorderEvents: 3,
+			ReorderSeg:    64,
+			MaxChunk:      97, // prime: chunk boundaries drift across frames
+			MinOffset:     19, // first fault may land inside the OPEN
+			Horizon:       int64(len(clean)),
+		}, netem.NewVirtualClock())
+		sink := &sinkConn{}
+		nc := inj.Wrap(sink, "fuzz")
+		// Mutation schedules end in a reset; if it lands inside the
+		// transcript the write aborts there and the stream is truncated
+		// mid-frame — exactly what a flapped session's reader sees.
+		if _, err := nc.Write(append([]byte(nil), clean...)); err != nil && !netem.IsInjectedReset(err) {
+			t.Fatalf("netem write: %v", err)
+		}
+		if bytes.Equal(sink.buf.Bytes(), clean) {
+			t.Fatalf("seed %d: netem profile injected nothing", seed)
+		}
+		streams = append(streams, append([]byte(nil), sink.buf.Bytes()...))
+	}
+	return streams
+}
+
+// TestStreamReaderSurvivesNetemCorruptedFrames feeds netem-corrupted
+// session transcripts to the framed stream reader: every message must
+// decode, error cleanly, or end the stream — never panic or loop. This
+// is exactly the byte stream a session's reader goroutine sees when the
+// lossy-reorder profile fires mid-UPDATE.
+func TestStreamReaderSurvivesNetemCorruptedFrames(t *testing.T) {
+	for i, stream := range netemCorruptedStreams(t) {
+		rd := NewReader(bytes.NewReader(stream))
+		msgs, protoErrs := 0, 0
+		for {
+			m, err := rd.ReadMessage()
+			if err != nil {
+				var ne *NotifyError
+				if errors.As(err, &ne) {
+					// A protocol violation: resynchronization is the session
+					// layer's job (it resets); keep scanning from here to
+					// shake out more parser paths.
+					protoErrs++
+					continue
+				}
+				break // transport EOF (possibly mid-frame)
+			}
+			if m == nil {
+				t.Fatalf("stream %d: nil message with nil error", i)
+			}
+			msgs++
+			if msgs+protoErrs > 10000 {
+				t.Fatalf("stream %d: reader did not terminate", i)
+			}
+		}
+		if msgs == 0 && protoErrs == 0 {
+			t.Fatalf("stream %d: corrupted transcript produced no reader activity", i)
+		}
+	}
+}
+
+// TestParseNeverPanicsOnNetemCorruptedFrames reframes the corrupted
+// streams at true message boundaries of the clean transcript and throws
+// each damaged frame at Parse — a corpus of "right length, wrong bytes"
+// inputs that random flipping rarely reproduces.
+func TestParseNeverPanicsOnNetemCorruptedFrames(t *testing.T) {
+	for _, stream := range netemCorruptedStreams(t) {
+		// Walk frames using the embedded length fields; corruption may have
+		// rewritten them, so bound each slice by the remaining bytes.
+		for off := 0; off+HeaderLen <= len(stream); {
+			length := int(stream[off+16])<<8 | int(stream[off+17])
+			if length < HeaderLen || off+length > len(stream) {
+				off++ // lost framing: slide one byte, as a resync scan would
+				continue
+			}
+			Parse(stream[off : off+length])
+			off += length
+		}
+	}
+}
