@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race conformance check bench
+.PHONY: all build vet test race conformance check bench bench-smoke
 
 all: check
 
@@ -28,10 +28,17 @@ conformance:
 	BGPBENCH_CONFORMANCE_GATE=1 $(GO) test -race \
 		-run 'TestConformanceGate|TestConformanceReplayDeterminism' ./internal/bench/
 
+# Hot-path microbenchmark smoke: run the dispatch/process benchmarks for
+# one iteration so they compile and execute on every gate (real numbers
+# need -benchtime well above 1x).
+bench-smoke:
+	$(GO) test -run='^$$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate' \
+		-benchtime=1x ./internal/core/
+
 test:
 	$(GO) test ./...
 
-check: build vet race conformance test
+check: build vet race conformance bench-smoke test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

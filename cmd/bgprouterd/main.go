@@ -34,6 +34,9 @@ func main() {
 	id := flag.String("id", "10.0.0.1", "BGP identifier (IPv4)")
 	neighbors := flag.String("neighbors", "65001,65002", "comma-separated neighbour AS numbers to accept")
 	fib := flag.String("fib", "patricia", "FIB engine: linear, binary, patricia, hashlen")
+	shards := flag.Int("shards", 0, "decision-worker shard count (0 = GOMAXPROCS)")
+	batch := flag.Int("batch-updates", 0, "max UPDATEs coalesced per shard dispatch (0 = default 256, negative = disable batching)")
+	batchDelay := flag.Duration("batch-delay", 0, "max time an UPDATE may wait in a forming batch (0 = default 200us, negative = flush when the session idles)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "statistics print interval (0 disables)")
 	httpAddr := flag.String("http", "", "serve /status, /fib, /metrics on this address (empty disables)")
 	chaos := flag.String("chaos", "", "wrap the BGP listener in this netem fault profile (empty disables)")
@@ -68,11 +71,14 @@ func main() {
 			ncfgs = append(ncfgs, core.NeighborConfig{AS: uint16(n)})
 		}
 		cfg = core.Config{
-			AS:         uint16(*as),
-			ID:         routerID,
-			ListenAddr: *listen,
-			Neighbors:  ncfgs,
-			FIBEngine:  *fib,
+			AS:              uint16(*as),
+			ID:              routerID,
+			ListenAddr:      *listen,
+			Neighbors:       ncfgs,
+			FIBEngine:       *fib,
+			Shards:          *shards,
+			BatchMaxUpdates: *batch,
+			BatchMaxDelay:   *batchDelay,
 		}
 	}
 	if len(cfg.Neighbors) == 0 {
@@ -104,6 +110,9 @@ func main() {
 	}
 	fmt.Printf("bgprouterd: AS %d, ID %s, listening on %s, %d neighbours, fib=%s\n",
 		cfg.AS, cfg.ID, router.ListenAddr(), len(cfg.Neighbors), cfg.FIBEngine)
+	bu, bd := router.BatchLimits()
+	fmt.Printf("bgprouterd: %d shards, dispatch batching %d updates / %v\n",
+		router.Shards(), bu, bd)
 	if inj != nil {
 		fmt.Printf("bgprouterd: chaos profile %q, seed %d (netem_* counters on /metrics)\n",
 			*chaos, *chaosSeed)

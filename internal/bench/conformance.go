@@ -31,6 +31,11 @@ type ConformanceConfig struct {
 	TableSize int
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration
+	// BatchMaxUpdates / BatchMaxDelay forward to the router's batched
+	// dispatch knobs (0 = router defaults, negative = disable/idle-flush).
+	// Digests must be identical across every setting.
+	BatchMaxUpdates int
+	BatchMaxDelay   time.Duration
 }
 
 func (c *ConformanceConfig) defaults() {
@@ -121,10 +126,12 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 	inj := netem.NewInjector(profile, netem.NewVirtualClock())
 
 	router, err := core.NewRouter(core.Config{
-		AS:         liveRouterAS,
-		ID:         netaddr.MustParseAddr("10.255.0.1"),
-		ListenAddr: "127.0.0.1:0",
-		Shards:     cfg.Shards,
+		AS:              liveRouterAS,
+		ID:              netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr:      "127.0.0.1:0",
+		Shards:          cfg.Shards,
+		BatchMaxUpdates: cfg.BatchMaxUpdates,
+		BatchMaxDelay:   cfg.BatchMaxDelay,
 		Neighbors: []core.NeighborConfig{
 			{AS: liveSpeaker1AS},
 			{AS: liveSpeaker2AS},

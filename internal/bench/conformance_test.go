@@ -90,6 +90,38 @@ func TestConformanceReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestConformanceBatchingEquivalence: the batched dispatch path must
+// settle to digests identical to the unbatched one. One representative
+// small-packet scenario at N=4, swept across batch bounds (disabled,
+// degenerate 1-update batches, and a mid-size bound), plus one faulted
+// run to cover flush-before-teardown interleavings.
+func TestConformanceBatchingEquivalence(t *testing.T) {
+	scn := Scenarios[6] // incremental-change, small packets: max message count
+	run := func(profile string, batch int) ConformanceResult {
+		res, err := RunConformance(scn, ConformanceConfig{
+			Profile:         profile,
+			Seed:            conformanceSeed,
+			Shards:          4,
+			BatchMaxUpdates: batch,
+		})
+		if err != nil {
+			t.Fatalf("%s [%s batch=%d]: %v", scn, profile, batch, err)
+		}
+		return res
+	}
+	base := run("clean", -1) // batching disabled
+	for _, batch := range []int{1, 32, 256} {
+		if got := run("clean", batch); got.StateDigest() != base.StateDigest() {
+			t.Errorf("%s [clean]: batch=%d digests differ from unbatched:\n  loc %s / %s\n  fib %s / %s",
+				scn, batch, base.LocRIBDigest, got.LocRIBDigest, base.FIBDigest, got.FIBDigest)
+		}
+	}
+	faultBase := run("flap-reset", -1)
+	if got := run("flap-reset", 32); got.StateDigest() != faultBase.StateDigest() {
+		t.Errorf("%s [flap-reset]: batch=32 digests differ from unbatched", scn)
+	}
+}
+
 // TestConformanceGate is the quick -race CI gate: one representative
 // scenario under one faulty profile, N=1 vs N=4. Selected via
 // BGPBENCH_CONFORMANCE_GATE=1 so the race run can execute just this

@@ -1,0 +1,26 @@
+package bench
+
+import "runtime"
+
+// HostInfo records the execution environment a benchmark ran under, so
+// persisted results (BENCH_live.json) are comparable across machines:
+// a 4-shard number from a 1-core box means something very different
+// from the same number on 16 cores.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Host snapshots the current process's execution environment.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

@@ -21,6 +21,9 @@ router {
     mrai 5s
     damping
     export-batch 100
+    shards 2
+    batch-updates 64
+    batch-delay 150us
 }
 
 prefix-list bogons {
@@ -74,6 +77,12 @@ func TestParseFullConfig(t *testing.T) {
 	}
 	if cfg.Damping == nil {
 		t.Error("damping not enabled")
+	}
+	if cfg.Shards != 2 {
+		t.Errorf("shards = %d, want 2", cfg.Shards)
+	}
+	if cfg.BatchMaxUpdates != 64 || cfg.BatchMaxDelay != 150*time.Microsecond {
+		t.Errorf("batching: updates=%d delay=%v", cfg.BatchMaxUpdates, cfg.BatchMaxDelay)
 	}
 	if len(cfg.Neighbors) != 2 {
 		t.Fatalf("neighbors = %d", len(cfg.Neighbors))
@@ -151,6 +160,9 @@ func TestParseErrors(t *testing.T) {
 		{"undefined route-map", `router { as 1; id 1.1.1.1 } neighbor 2 { import nope }`, "unknown route-map"},
 		{"undefined prefix-list", `router { as 1 } route-map m { term t { match prefix-list nope } }`, "unknown prefix-list"},
 		{"bad mrai", `router { mrai banana }`, "bad mrai"},
+		{"bad batch-delay", `router { batch-delay soon }`, "bad batch-delay"},
+		{"bad batch-updates", `router { batch-updates many }`, "bad number"},
+		{"bad shards", `router { shards few }`, "bad number"},
 		{"bad prefix rule", `prefix-list p { frobnicate 10.0.0.0/8 } router { as 1 }`, "permit/deny"},
 		{"bad ge", `prefix-list p { permit 10.0.0.0/8 ge x } router { as 1 }`, "bad ge"},
 		{"bad community", `router { as 1 } route-map m { term t { set community zzz } }`, "bad community"},
@@ -225,6 +237,18 @@ route-map m { term t { match as-path "not-a-pattern" } }
 `)
 	if err == nil {
 		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestBatchDirectivesDisable(t *testing.T) {
+	cfg, err := Parse(`
+router { as 65000; id 1.1.1.1; batch-updates -1; batch-delay -1us }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BatchMaxUpdates != -1 || cfg.BatchMaxDelay != -time.Microsecond {
+		t.Fatalf("negative knobs not preserved: %+v", cfg)
 	}
 }
 

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/rib"
+	"bgpbench/internal/wire"
+)
+
+// benchPeer registers a hand-built established peer on the router,
+// bypassing the TCP session machinery so benchmarks measure only the
+// dispatch and decision paths. Must run before any work is enqueued.
+func benchPeer(r *Router, id netaddr.Addr, as uint16) *peerState {
+	ps := &peerState{
+		info:        rib.PeerInfo{Addr: id, ID: id, AS: as, EBGP: true},
+		cfg:         NeighborConfig{AS: as},
+		out:         newOutQueue(),
+		adjOut:      make([]*rib.AdjOut, r.nshards),
+		exportCache: make([]map[exportKey]*wire.PathAttrs, r.nshards),
+		pending:     make([]pendingShard, r.nshards),
+	}
+	for i := range ps.adjOut {
+		ps.adjOut[i] = rib.NewAdjOut()
+		ps.exportCache[i] = make(map[exportKey]*wire.PathAttrs)
+	}
+	ps.downLeft.Store(int32(r.nshards))
+	r.mu.Lock()
+	r.peers[id] = ps
+	r.mu.Unlock()
+	for i := 0; i < r.nshards; i++ {
+		r.rib.Shard(i).AddPeer(ps.info)
+	}
+	return ps
+}
+
+// benchUpdates builds a ring of single-prefix UPDATEs sharing one
+// attribute block — the paper's small-packet worst case for dispatch.
+func benchUpdates(n int, srcID netaddr.Addr, as uint16) []wire.Update {
+	table := UniformPath(
+		GenerateTable(TableGenConfig{N: n, Seed: 42, FirstAS: as}),
+		wire.NewASPath(as, 100, 101, 102),
+	)
+	return Updates(table, srcID, 1)
+}
+
+// waitTxB spins until the router has processed target transactions.
+func waitTxB(b *testing.B, r *Router, target uint64) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for r.Transactions() < target {
+		if time.Now().After(deadline) {
+			b.Fatalf("stalled at %d/%d transactions", r.Transactions(), target)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkDispatchUpdate measures the session→shard hot path end to
+// end — dispatch (per message or per batch) plus shard-worker decision
+// processing — for single-prefix UPDATEs across shard counts, with
+// batching off and on.
+func BenchmarkDispatchUpdate(b *testing.B) {
+	peerID := netaddr.MustParseAddr("1.1.1.1")
+	for _, shards := range []int{1, 4} {
+		for _, batch := range []int{-1, 256} {
+			mode := "batched"
+			if batch < 0 {
+				mode = "permsg"
+			}
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, mode), func(b *testing.B) {
+				r, err := NewRouter(Config{
+					AS:              65000,
+					ID:              netaddr.MustParseAddr("10.255.0.1"),
+					Shards:          shards,
+					BatchMaxUpdates: batch,
+					Neighbors:       []NeighborConfig{{AS: 65001}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer r.Stop()
+				benchPeer(r, peerID, 65001)
+				upds := benchUpdates(8192, peerID, 65001)
+				h := &routerHandler{r: r}
+				base := r.Transactions()
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				if batch < 0 {
+					for i := 0; i < b.N; i++ {
+						r.dispatchUpdate(peerID, upds[i%len(upds)])
+					}
+				} else {
+					for sent := 0; sent < b.N; {
+						lo := sent % len(upds)
+						hi := lo + batch
+						if hi > len(upds) {
+							hi = len(upds)
+						}
+						if hi-lo > b.N-sent {
+							hi = lo + b.N - sent
+						}
+						r.dispatchUpdateBatch(h, peerID, upds[lo:hi])
+						sent += hi - lo
+					}
+				}
+				waitTxB(b, r, base+uint64(b.N))
+			})
+		}
+	}
+}
+
+// BenchmarkProcessUpdate measures the shard worker's decision-process
+// core in isolation: processUpdateBatch called synchronously (no
+// workers, no channels) over single-prefix sub-updates.
+func BenchmarkProcessUpdate(b *testing.B) {
+	peerID := netaddr.MustParseAddr("1.1.1.1")
+	for _, batch := range []int{1, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			r, err := NewRouter(Config{
+				AS:        65000,
+				ID:        netaddr.MustParseAddr("10.255.0.1"),
+				Shards:    1,
+				Neighbors: []NeighborConfig{{AS: 65001}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchPeer(r, peerID, 65001)
+			upds := benchUpdates(8192, peerID, 65001)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				lo := done % len(upds)
+				hi := lo + batch
+				if hi > len(upds) {
+					hi = len(upds)
+				}
+				if hi-lo > b.N-done {
+					hi = lo + b.N - done
+				}
+				r.processUpdateBatch(0, peerID, upds[lo:hi])
+				done += hi - lo
+			}
+		})
+	}
+}

@@ -20,6 +20,13 @@ import (
 	"bgpbench/internal/wire"
 )
 
+// Default batch-dispatch bounds (see Config.BatchMaxUpdates and
+// Config.BatchMaxDelay).
+const (
+	DefaultBatchMaxUpdates = 256
+	DefaultBatchMaxDelay   = 200 * time.Microsecond
+)
+
 // NeighborConfig describes one configured peer of the router.
 type NeighborConfig struct {
 	// AS identifies the neighbour; inbound sessions are matched to their
@@ -71,6 +78,17 @@ type Config struct {
 	// without cross-shard locking. Defaults to GOMAXPROCS; 1 reproduces
 	// the classic single-decision-worker pipeline.
 	Shards int
+	// BatchMaxUpdates bounds how many consecutive UPDATEs from one
+	// session coalesce into a single shard dispatch: the whole batch is
+	// split by shard once and each shard receives one multi-update work
+	// item, so per-message dispatch overhead amortizes across the batch.
+	// Default 256; negative disables batching (one dispatch per message).
+	BatchMaxUpdates int
+	// BatchMaxDelay bounds how long the session layer may hold a received
+	// UPDATE while a batch accumulates. Default 200µs; negative flushes
+	// whenever the session's event queue idles (batches form only under
+	// backlog). Ignored when batching is disabled.
+	BatchMaxDelay time.Duration
 }
 
 // peerState is the router-side state for one established neighbour.
@@ -142,22 +160,39 @@ type Router struct {
 	peers    map[netaddr.Addr]*peerState // keyed by peer BGP ID
 	sessions []*session.Session          // all sessions ever attached (for Stop)
 
-	transactions atomic.Uint64 // prefix-level operations completed
-	fibChanges   atomic.Uint64
+	// batchPool recycles dispatchBatch buffers between session handlers
+	// and shard workers, so the batched hot path allocates nothing in
+	// steady state.
+	batchPool       sync.Pool
+	dispatchBatches atomic.Uint64 // handler batches dispatched
+	dispatchUpdates atomic.Uint64 // UPDATE messages those batches carried
+	fibChanges      atomic.Uint64
 }
 
-// shard is one decision worker: a work queue, the per-shard transaction
-// counter, and a reusable FIB-op scratch buffer.
+// shard is one decision worker: a work queue, worker-owned scratch
+// buffers, and the shard's transaction counter. The counters sit behind
+// cache-line padding so pollers reading one shard's counts never bounce
+// the line a neighbouring shard's worker is writing.
 type shard struct {
-	work         chan workItem
+	work chan workItem
+
+	// Scratch owned by the shard worker.
+	fibOps      []fib.Op
+	emit        emitBuf
+	single      []wire.Update // one-element batch for unbatched updates
+	peerScratch []*peerState
+
+	_            [64]byte // keep the hot counters on their own line
 	transactions atomic.Uint64
-	fibOps       []fib.Op // scratch, owned by the shard worker
+	batches      atomic.Uint64
+	_            [48]byte
 }
 
 type workKind int
 
 const (
 	workUpdate workKind = iota
+	workUpdateBatch
 	workPeerUp
 	workPeerDown
 	workRefresh
@@ -170,9 +205,33 @@ type workItem struct {
 	kind   workKind
 	peerID netaddr.Addr
 	update wire.Update
+	batch  *dispatchBatch // with workUpdateBatch; returned to the pool by the worker
 	reply  chan int
 	dump   chan []LocRoute
 	adj    chan []AdjRoute
+}
+
+// dispatchBatch is a pooled multi-update work item: one session handler
+// batch's sub-updates for a single shard, processed run-to-completion by
+// that shard's worker. The updates slice and its per-element prefix
+// buffers keep their capacity across pool round-trips.
+type dispatchBatch struct {
+	updates []wire.Update
+}
+
+// next returns a cleared sub-update slot, reusing the slot's prefix
+// buffers from earlier round-trips.
+func (b *dispatchBatch) next() *wire.Update {
+	if len(b.updates) < cap(b.updates) {
+		b.updates = b.updates[:len(b.updates)+1]
+	} else {
+		b.updates = append(b.updates, wire.Update{})
+	}
+	u := &b.updates[len(b.updates)-1]
+	u.Withdrawn = u.Withdrawn[:0]
+	u.NLRI = u.NLRI[:0]
+	u.Attrs = wire.PathAttrs{}
+	return u
 }
 
 // LocRoute is one row of a Loc-RIB snapshot: the selected route for a
@@ -216,6 +275,18 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("core: shard count %d must be positive", cfg.Shards)
 	}
+	switch {
+	case cfg.BatchMaxUpdates == 0:
+		cfg.BatchMaxUpdates = DefaultBatchMaxUpdates
+	case cfg.BatchMaxUpdates < 0:
+		cfg.BatchMaxUpdates = 0 // explicit disable
+	}
+	switch {
+	case cfg.BatchMaxDelay == 0:
+		cfg.BatchMaxDelay = DefaultBatchMaxDelay
+	case cfg.BatchMaxDelay < 0:
+		cfg.BatchMaxDelay = 0 // flush on event-queue idle
+	}
 	neighbors := make(map[uint16]NeighborConfig, len(cfg.Neighbors))
 	for _, n := range cfg.Neighbors {
 		if _, dup := neighbors[n.AS]; dup {
@@ -240,6 +311,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		done:      make(chan struct{}),
 		peers:     make(map[netaddr.Addr]*peerState),
 	}
+	r.batchPool.New = func() any { return new(dispatchBatch) }
 	for i := range r.shards {
 		r.shards[i] = &shard{work: make(chan workItem, 8192)}
 	}
@@ -320,8 +392,16 @@ func (r *Router) Forwarder() *forward.Engine { return r.fwd }
 
 // Transactions returns the number of prefix-level routing operations
 // (announcements and withdrawals) the router has completed. This is the
-// paper's "transactions" numerator.
-func (r *Router) Transactions() uint64 { return r.transactions.Load() }
+// paper's "transactions" numerator. The count lives in per-shard
+// counters (each written only by its shard worker) and is folded on
+// read, so the hot path never contends on a global atomic.
+func (r *Router) Transactions() uint64 {
+	var sum uint64
+	for _, s := range r.shards {
+		sum += s.transactions.Load()
+	}
+	return sum
+}
 
 // FIBChanges returns the number of forwarding-table changes applied.
 func (r *Router) FIBChanges() uint64 { return r.fibChanges.Load() }
@@ -333,15 +413,33 @@ func (r *Router) Shards() int { return r.nshards }
 type ShardStat struct {
 	QueueDepth   int    // work items waiting in the shard's queue
 	Transactions uint64 // prefix-level operations completed by the shard
+	Batches      uint64 // update work batches the shard has processed
 }
 
 // ShardStats returns a snapshot per shard, in shard order.
 func (r *Router) ShardStats() []ShardStat {
 	out := make([]ShardStat, r.nshards)
 	for i, s := range r.shards {
-		out[i] = ShardStat{QueueDepth: len(s.work), Transactions: s.transactions.Load()}
+		out[i] = ShardStat{
+			QueueDepth:   len(s.work),
+			Transactions: s.transactions.Load(),
+			Batches:      s.batches.Load(),
+		}
 	}
 	return out
+}
+
+// DispatchStats reports how many session-handler batches have been
+// dispatched to the shards and how many UPDATE messages they carried;
+// updates/batches is the mean coalescing factor.
+func (r *Router) DispatchStats() (batches, updates uint64) {
+	return r.dispatchBatches.Load(), r.dispatchUpdates.Load()
+}
+
+// BatchLimits returns the effective batch-dispatch bounds after
+// defaulting (maxUpdates == 0 means batching is disabled).
+func (r *Router) BatchLimits() (maxUpdates int, maxDelay time.Duration) {
+	return r.cfg.BatchMaxUpdates, r.cfg.BatchMaxDelay
 }
 
 // InternStats reports the path-attribute intern table's size and hit rate.
@@ -481,6 +579,75 @@ func (r *Router) dispatchUpdate(peerID netaddr.Addr, u wire.Update) {
 	}
 }
 
+// dispatchUpdateBatch splits a whole session-level batch of UPDATEs by
+// owning shard in one pass and enqueues at most one pooled multi-update
+// work item per shard, so dispatch cost amortizes across the batch
+// instead of being paid per message. h's split scratch is safe to reuse:
+// session callbacks are serialized and each session owns its handler.
+func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us []wire.Update) {
+	r.dispatchBatches.Add(1)
+	r.dispatchUpdates.Add(uint64(len(us)))
+	if r.nshards == 1 {
+		// The update structs must be copied out of the session-owned batch
+		// slice before the callback returns; their payload slices are
+		// single-use and safe to retain.
+		b := r.getBatch()
+		b.updates = append(b.updates[:0], us...)
+		if !r.send(0, workItem{kind: workUpdateBatch, peerID: peerID, batch: b}) {
+			r.putBatch(b)
+		}
+		return
+	}
+	if h.batches == nil {
+		h.batches = make([]*dispatchBatch, r.nshards)
+		h.cur = make([]*wire.Update, r.nshards)
+	}
+	batches, cur := h.batches, h.cur
+	for ui := range us {
+		u := &us[ui]
+		// Each source UPDATE needs its own sub-update per shard (attrs
+		// differ between messages); clear the per-shard cursors.
+		for i := range cur {
+			cur[i] = nil
+		}
+		for _, p := range u.Withdrawn {
+			si := rib.ShardOf(p, r.nshards)
+			sub := cur[si]
+			if sub == nil {
+				if batches[si] == nil {
+					batches[si] = r.getBatch()
+				}
+				sub = batches[si].next()
+				sub.Attrs = u.Attrs
+				cur[si] = sub
+			}
+			sub.Withdrawn = append(sub.Withdrawn, p)
+		}
+		for _, p := range u.NLRI {
+			si := rib.ShardOf(p, r.nshards)
+			sub := cur[si]
+			if sub == nil {
+				if batches[si] == nil {
+					batches[si] = r.getBatch()
+				}
+				sub = batches[si].next()
+				sub.Attrs = u.Attrs
+				cur[si] = sub
+			}
+			sub.NLRI = append(sub.NLRI, p)
+		}
+	}
+	for i, b := range batches {
+		if b == nil {
+			continue
+		}
+		batches[i] = nil
+		if !r.send(i, workItem{kind: workUpdateBatch, peerID: peerID, batch: b}) {
+			r.putBatch(b)
+		}
+	}
+}
+
 // acceptLoop attaches inbound connections to passive sessions.
 func (r *Router) acceptLoop(ln net.Listener) {
 	defer r.wg.Done()
@@ -512,9 +679,11 @@ func (r *Router) startSession(n NeighborConfig, label string) *session.Session {
 			PeerAS:   n.AS,
 			Passive:  passive,
 		},
-		DialTarget: n.DialTarget,
-		Handler:    &routerHandler{r: r},
-		Name:       name,
+		DialTarget:      n.DialTarget,
+		Handler:         &routerHandler{r: r},
+		Name:            name,
+		BatchMaxUpdates: r.cfg.BatchMaxUpdates,
+		BatchMaxDelay:   r.cfg.BatchMaxDelay,
 	})
 	r.mu.Lock()
 	r.sessions = append(r.sessions, s)
@@ -526,6 +695,11 @@ func (r *Router) startSession(n NeighborConfig, label string) *session.Session {
 // routerHandler adapts session callbacks onto the shard work queues.
 type routerHandler struct {
 	r *Router
+	// Batch-split scratch, reused across UpdateBatch calls. Callbacks are
+	// serialized per session and each session owns its handler, so no
+	// locking is needed.
+	cur     []*wire.Update
+	batches []*dispatchBatch
 }
 
 // Established registers the peer and schedules the initial table export
@@ -576,9 +750,16 @@ func (h *routerHandler) Established(s *session.Session) {
 	r.fanOut(workPeerUp, open.ID)
 }
 
-// Update queues a received UPDATE for the decision workers.
+// Update queues a received UPDATE for the decision workers (the
+// unbatched path, used when Config.BatchMaxUpdates disables batching).
 func (h *routerHandler) Update(s *session.Session, u wire.Update) {
 	h.r.dispatchUpdate(s.PeerOpen().ID, u)
+}
+
+// UpdateBatch queues a session-level batch of consecutive UPDATEs for
+// the decision workers as one per-shard dispatch.
+func (h *routerHandler) UpdateBatch(s *session.Session, us []wire.Update) {
+	h.r.dispatchUpdateBatch(h, s.PeerOpen().ID, us)
 }
 
 // Refresh re-sends the peer's Adj-RIB-Out on a ROUTE-REFRESH request
@@ -622,7 +803,11 @@ func (r *Router) shardWorker(i int) {
 		case w := <-s.work:
 			switch w.kind {
 			case workUpdate:
-				r.processUpdate(i, w.peerID, w.update)
+				s.single = append(s.single[:0], w.update)
+				r.processUpdateBatch(i, w.peerID, s.single)
+			case workUpdateBatch:
+				r.processUpdateBatch(i, w.peerID, w.batch.updates)
+				r.putBatch(w.batch)
 			case workPeerUp:
 				r.processPeerUp(i, w.peerID)
 			case workPeerDown:
@@ -658,24 +843,28 @@ func (r *Router) peerByID(id netaddr.Addr) *peerState {
 	return r.peers[id]
 }
 
-// snapshotPeers returns the current established peers.
-func (r *Router) snapshotPeers() []*peerState {
+// snapshotPeersInto appends the current established peers to buf,
+// reusing its capacity. Shard workers snapshot once per work batch
+// instead of once per route change, so r.mu is off the per-prefix path.
+func (r *Router) snapshotPeersInto(buf []*peerState) []*peerState {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*peerState, 0, len(r.peers))
 	for _, p := range r.peers {
-		out = append(out, p)
+		buf = append(buf, p)
 	}
-	return out
+	r.mu.Unlock()
+	return buf
 }
 
-// countTx accounts n prefix-level transactions to shard si.
-func (r *Router) countTx(si int, n uint64) {
-	if n == 0 {
-		return
-	}
-	r.transactions.Add(n)
-	r.shards[si].transactions.Add(n)
+// getBatch and putBatch recycle dispatch batches (and, transitively,
+// their per-slot prefix buffers) between session handlers and shard
+// workers.
+func (r *Router) getBatch() *dispatchBatch {
+	return r.batchPool.Get().(*dispatchBatch)
+}
+
+func (r *Router) putBatch(b *dispatchBatch) {
+	b.updates = b.updates[:0]
+	r.batchPool.Put(b)
 }
 
 // processPeerUp registers the peer in shard si's RIB and exports the
@@ -746,14 +935,18 @@ func (r *Router) processPeerDown(si int, id netaddr.Addr) {
 		return
 	}
 	s := r.shards[si]
+	s.peerScratch = r.snapshotPeersInto(s.peerScratch[:0])
 	ops := s.fibOps[:0]
 	changes := r.rib.Shard(si).RemovePeer(ps.info.Addr)
 	for _, ch := range changes {
-		r.applyChange(si, ch, &ops)
+		r.applyChange(si, ch, &ops, &s.emit, s.peerScratch)
 	}
 	r.commitFIB(&ops)
 	s.fibOps = ops[:0]
-	r.countTx(si, uint64(len(changes)))
+	r.flushEmits(si, &s.emit)
+	if n := uint64(len(changes)); n > 0 {
+		s.transactions.Add(n)
+	}
 
 	if ps.downLeft.Add(-1) == 0 {
 		r.mu.Lock()
@@ -769,27 +962,42 @@ func (r *Router) processPeerDown(si int, id netaddr.Addr) {
 	}
 }
 
-// processUpdate runs import policy and the decision process on one
-// (shard-local) UPDATE. FIB changes accumulate across the whole message
-// and commit as one batch.
-func (r *Router) processUpdate(si int, id netaddr.Addr, u wire.Update) {
+// processUpdateBatch runs the decision process over a batch of
+// shard-local sub-updates from one peer, run-to-completion: FIB ops,
+// Adj-RIB-Out emissions, MRAI merges, and transaction counts accumulate
+// across the whole batch and each flushes exactly once at batch end.
+func (r *Router) processUpdateBatch(si int, id netaddr.Addr, us []wire.Update) {
 	ps := r.peerByID(id)
 	if ps == nil {
 		return
 	}
+	s := r.shards[si]
+	s.peerScratch = r.snapshotPeersInto(s.peerScratch[:0])
+	ops := s.fibOps[:0]
+	var tx uint64
+	for ui := range us {
+		r.processOneUpdate(si, ps, &us[ui], &ops, &s.emit, s.peerScratch, &tx)
+	}
+	r.commitFIB(&ops)
+	s.fibOps = ops[:0]
+	r.flushEmits(si, &s.emit)
+	if tx > 0 {
+		s.transactions.Add(tx)
+	}
+	s.batches.Add(1)
+}
+
+// processOneUpdate runs import policy and the decision process on one
+// shard-local sub-update, accumulating FIB ops, emissions, and the
+// transaction count into the caller's batch state.
+func (r *Router) processOneUpdate(si int, ps *peerState, u *wire.Update, ops *[]fib.Op, eb *emitBuf, peers []*peerState, tx *uint64) {
 	if ps.overLimit.Load() {
 		// Session is being torn down for exceeding its prefix limit;
 		// ignore anything still in flight.
-		r.countTx(si, uint64(len(u.Withdrawn)+len(u.NLRI)))
+		*tx += uint64(len(u.Withdrawn) + len(u.NLRI))
 		return
 	}
-	s := r.shards[si]
 	shardRIB := r.rib.Shard(si)
-	ops := s.fibOps[:0]
-	defer func() {
-		r.commitFIB(&ops)
-		s.fibOps = ops[:0]
-	}()
 
 	for _, p := range u.Withdrawn {
 		had := peerHasRoute(shardRIB, ps.info.Addr, p)
@@ -797,19 +1005,19 @@ func (r *Router) processUpdate(si int, id netaddr.Addr, u wire.Update) {
 			r.damper.Flap(ps.info.Addr, p)
 		}
 		if ch, ok := shardRIB.Withdraw(ps.info.Addr, p); ok {
-			r.applyChange(si, ch, &ops)
+			r.applyChange(si, ch, ops, eb, peers)
 		}
 		if had {
 			ps.prefixCount.Add(-1)
 		}
-		r.countTx(si, 1)
+		*tx++
 	}
 	if len(u.NLRI) == 0 {
 		return
 	}
 	// Loop detection: reject paths containing our own AS.
 	if u.Attrs.ASPath.Contains(r.cfg.AS) {
-		r.countTx(si, uint64(len(u.NLRI)))
+		*tx += uint64(len(u.NLRI))
 		return
 	}
 	// With no import policy the post-policy attrs are identical for every
@@ -823,7 +1031,7 @@ func (r *Router) processUpdate(si int, id netaddr.Addr, u wire.Update) {
 		if attrs == nil {
 			a, ok := ps.cfg.Import.Apply(p, u.Attrs)
 			if !ok {
-				r.countTx(si, 1)
+				*tx++
 				continue
 			}
 			attrs = r.interner.Intern(a)
@@ -832,14 +1040,14 @@ func (r *Router) processUpdate(si int, id netaddr.Addr, u wire.Update) {
 			// Suppressed: the route must not be used; drop any candidate
 			// the peer previously contributed.
 			if ch, ok := shardRIB.Withdraw(ps.info.Addr, p); ok {
-				r.applyChange(si, ch, &ops)
+				r.applyChange(si, ch, ops, eb, peers)
 			}
-			r.countTx(si, 1)
+			*tx++
 			continue
 		}
 		had := peerHasRoute(shardRIB, ps.info.Addr, p)
 		if ch, ok := shardRIB.Announce(ps.info.Addr, p, attrs); ok {
-			r.applyChange(si, ch, &ops)
+			r.applyChange(si, ch, ops, eb, peers)
 		}
 		if !had {
 			n := ps.prefixCount.Add(1)
@@ -850,11 +1058,11 @@ func (r *Router) processUpdate(si int, id netaddr.Addr, u wire.Update) {
 				if ps.overLimit.CompareAndSwap(false, true) {
 					go ps.sess.Stop()
 				}
-				r.countTx(si, 1)
+				*tx++
 				return
 			}
 		}
-		r.countTx(si, 1)
+		*tx++
 	}
 }
 
@@ -896,10 +1104,10 @@ func (r *Router) commitFIB(ops *[]fib.Op) {
 	*ops = (*ops)[:0]
 }
 
-// applyChange pushes one Loc-RIB transition toward the FIB batch and to
-// peers.
-func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op) {
-	// Forwarding table: batch the op; the caller commits per message.
+// applyChange pushes one Loc-RIB transition toward the FIB batch and
+// into the emission buffer for every peer in the caller's snapshot.
+func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op, eb *emitBuf, peers []*peerState) {
+	// Forwarding table: batch the op; the caller commits per batch.
 	if ch.New != nil {
 		if ch.Old == nil || ch.Old.Attrs.NextHop != ch.New.Attrs.NextHop {
 			entry := fib.Entry{NextHop: ch.New.Attrs.NextHop, Port: int(ch.New.Peer.AS) % 16}
@@ -910,54 +1118,134 @@ func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op) {
 	}
 
 	// Adj-RIB-Out propagation (this shard's partition of every peer).
-	for _, ps := range r.snapshotPeers() {
+	for _, ps := range peers {
 		if ch.New != nil {
 			// Do not advertise a route back to the peer it came from.
 			if ps.info.Addr == ch.New.Peer.Addr {
 				// If we previously advertised another route for this prefix
 				// to that peer, withdraw it.
 				if ps.adjOut[si].Withdraw(ch.Prefix) {
-					r.emit(si, ps, ch.Prefix, nil)
+					eb.add(ps, ch.Prefix, nil)
 				}
 				continue
 			}
 			attrs, ok := r.exportAttrs(si, ps, ch.Prefix, *ch.New)
 			if !ok {
 				if ps.adjOut[si].Withdraw(ch.Prefix) {
-					r.emit(si, ps, ch.Prefix, nil)
+					eb.add(ps, ch.Prefix, nil)
 				}
 				continue
 			}
 			if ps.adjOut[si].Advertise(ch.Prefix, attrs) {
-				r.emit(si, ps, ch.Prefix, attrs)
+				eb.add(ps, ch.Prefix, attrs)
 			}
 		} else {
 			if ps.adjOut[si].Withdraw(ch.Prefix) {
-				r.emit(si, ps, ch.Prefix, nil)
+				eb.add(ps, ch.Prefix, nil)
 			}
 		}
 	}
 }
 
-// emit sends one route change toward a peer: immediately when MRAI is
-// disabled, otherwise coalesced into the peer's per-shard pending set and
-// flushed by its MRAI ticker. attrs == nil means withdraw.
-func (r *Router) emit(si int, ps *peerState, p netaddr.Prefix, attrs *wire.PathAttrs) {
-	if r.cfg.MRAI <= 0 {
-		if attrs == nil {
-			ps.out.push(wire.Update{Withdrawn: []netaddr.Prefix{p}})
-		} else {
-			ps.out.push(wire.Update{Attrs: *attrs, NLRI: []netaddr.Prefix{p}})
+// emitItem is one queued route change toward a peer; attrs == nil means
+// withdraw.
+type emitItem struct {
+	prefix netaddr.Prefix
+	attrs  *wire.PathAttrs
+}
+
+// emitPeer accumulates one peer's route changes across a work batch, in
+// decision order.
+type emitPeer struct {
+	ps    *peerState
+	items []emitItem
+}
+
+// emitBuf collects per-peer emissions across one work batch so each
+// peer's outbound changes flush once at batch end instead of one queue
+// push (or one MRAI lock take) per change. Slots and their item buffers
+// are reused across batches; peers[:n] are active.
+type emitBuf struct {
+	peers []emitPeer
+	n     int
+}
+
+// add appends a change for ps. The linear scan is over the handful of
+// peers touched this batch, which is small in every benchmark topology.
+func (b *emitBuf) add(ps *peerState, p netaddr.Prefix, attrs *wire.PathAttrs) {
+	for i := 0; i < b.n; i++ {
+		if b.peers[i].ps == ps {
+			b.peers[i].items = append(b.peers[i].items, emitItem{prefix: p, attrs: attrs})
+			return
 		}
-		return
 	}
-	sh := &ps.pending[si]
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[netaddr.Prefix]*wire.PathAttrs)
+	if b.n < len(b.peers) {
+		ep := &b.peers[b.n]
+		ep.ps = ps
+		ep.items = append(ep.items[:0], emitItem{prefix: p, attrs: attrs})
+	} else {
+		b.peers = append(b.peers, emitPeer{ps: ps, items: []emitItem{{prefix: p, attrs: attrs}}})
 	}
-	sh.m[p] = attrs
-	sh.mu.Unlock()
+	b.n++
+}
+
+// flushEmits drains the batch's accumulated emissions. With MRAI enabled
+// each peer's items merge into its pending set under a single lock take;
+// otherwise consecutive runs pack into few UPDATEs while preserving the
+// exact per-prefix transition order the per-change path would have
+// produced.
+func (r *Router) flushEmits(si int, eb *emitBuf) {
+	for i := 0; i < eb.n; i++ {
+		ep := &eb.peers[i]
+		if r.cfg.MRAI > 0 {
+			sh := &ep.ps.pending[si]
+			sh.mu.Lock()
+			if sh.m == nil {
+				sh.m = make(map[netaddr.Prefix]*wire.PathAttrs)
+			}
+			for _, it := range ep.items {
+				sh.m[it.prefix] = it.attrs
+			}
+			sh.mu.Unlock()
+		} else {
+			pushEmitRuns(ep.ps, ep.items, r.cfg.ExportBatch)
+		}
+		ep.ps = nil
+		ep.items = ep.items[:0]
+	}
+	eb.n = 0
+}
+
+// pushEmitRuns packs a peer's ordered emissions into UPDATEs: a run of
+// consecutive withdrawals shares one message, a run of consecutive
+// announcements with the same interned attribute block shares one
+// message, both chunked at the export batch limit. Packing never
+// reorders or coalesces across a run boundary, so the peer observes the
+// same per-prefix transition sequence as with one UPDATE per change.
+func pushEmitRuns(ps *peerState, items []emitItem, limit int) {
+	for i := 0; i < len(items); {
+		j := i + 1
+		if items[i].attrs == nil {
+			for j < len(items) && items[j].attrs == nil && j-i < limit {
+				j++
+			}
+			w := make([]netaddr.Prefix, j-i)
+			for k := i; k < j; k++ {
+				w[k-i] = items[k].prefix
+			}
+			ps.out.push(wire.Update{Withdrawn: w})
+		} else {
+			for j < len(items) && items[j].attrs == items[i].attrs && j-i < limit {
+				j++
+			}
+			n := make([]netaddr.Prefix, j-i)
+			for k := i; k < j; k++ {
+				n[k-i] = items[k].prefix
+			}
+			ps.out.push(wire.Update{Attrs: *items[i].attrs, NLRI: n})
+		}
+		i = j
+	}
 }
 
 // mraiFlusher drains a peer's pending sets every MRAI, packing

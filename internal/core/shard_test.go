@@ -15,11 +15,20 @@ import (
 // then a partial withdrawal — and returns the settled Loc-RIB and FIB.
 func runShardedWorkload(t *testing.T, shards int) ([]LocRoute, map[netaddr.Prefix]fib.Entry) {
 	t.Helper()
+	return runShardedWorkloadBatch(t, shards, 0, 0)
+}
+
+// runShardedWorkloadBatch is runShardedWorkload with explicit
+// batched-dispatch knobs (0 = router defaults, negative = disabled).
+func runShardedWorkloadBatch(t *testing.T, shards, batchUpdates int, batchDelay time.Duration) ([]LocRoute, map[netaddr.Prefix]fib.Entry) {
+	t.Helper()
 	r := mustStartRouter(t, Config{
-		AS:         65000,
-		ID:         netaddr.MustParseAddr("10.255.0.1"),
-		ListenAddr: "127.0.0.1:0",
-		Shards:     shards,
+		AS:              65000,
+		ID:              netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr:      "127.0.0.1:0",
+		Shards:          shards,
+		BatchMaxUpdates: batchUpdates,
+		BatchMaxDelay:   batchDelay,
 		Neighbors: []NeighborConfig{
 			{AS: 65001},
 			{AS: 65002},
@@ -70,12 +79,18 @@ func runShardedWorkload(t *testing.T, shards int) ([]LocRoute, map[netaddr.Prefi
 func TestShardedEquivalence(t *testing.T) {
 	locSingle, fibSingle := runShardedWorkload(t, 1)
 	locSharded, fibSharded := runShardedWorkload(t, 4)
+	assertSameState(t, locSingle, fibSingle, locSharded, fibSharded)
+}
 
-	if len(locSingle) != len(locSharded) {
-		t.Fatalf("Loc-RIB sizes differ: single=%d sharded=%d", len(locSingle), len(locSharded))
+// assertSameState fails unless two settled (Loc-RIB, FIB) snapshots are
+// identical row for row.
+func assertSameState(t *testing.T, locWant []LocRoute, fibWant map[netaddr.Prefix]fib.Entry, locGot []LocRoute, fibGot map[netaddr.Prefix]fib.Entry) {
+	t.Helper()
+	if len(locWant) != len(locGot) {
+		t.Fatalf("Loc-RIB sizes differ: want=%d got=%d", len(locWant), len(locGot))
 	}
-	for i := range locSingle {
-		a, b := locSingle[i], locSharded[i]
+	for i := range locWant {
+		a, b := locWant[i], locGot[i]
 		if a.Prefix != b.Prefix || a.Peer != b.Peer {
 			t.Fatalf("row %d: %v via %v != %v via %v", i, a.Prefix, a.Peer, b.Prefix, b.Peer)
 		}
@@ -83,11 +98,11 @@ func TestShardedEquivalence(t *testing.T) {
 			t.Fatalf("row %d (%v): attrs differ", i, a.Prefix)
 		}
 	}
-	if len(fibSingle) != len(fibSharded) {
-		t.Fatalf("FIB sizes differ: single=%d sharded=%d", len(fibSingle), len(fibSharded))
+	if len(fibWant) != len(fibGot) {
+		t.Fatalf("FIB sizes differ: want=%d got=%d", len(fibWant), len(fibGot))
 	}
-	for p, want := range fibSingle {
-		if got, ok := fibSharded[p]; !ok || got != want {
+	for p, want := range fibWant {
+		if got, ok := fibGot[p]; !ok || got != want {
 			t.Fatalf("FIB %v = %v/%v, want %v", p, got, ok, want)
 		}
 	}

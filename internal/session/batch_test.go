@@ -1,0 +1,192 @@
+package session
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// batchCollector is a collector that also implements BatchHandler,
+// recording each delivered batch.
+type batchCollector struct {
+	*collector
+	batches chan []wire.Update
+}
+
+func newBatchCollector() *batchCollector {
+	return &batchCollector{collector: newCollector(), batches: make(chan []wire.Update, 4096)}
+}
+
+func (c *batchCollector) UpdateBatch(_ *Session, us []wire.Update) {
+	// The batch slice is only valid during the callback; copy it out.
+	c.batches <- append([]wire.Update(nil), us...)
+}
+
+// startBatchPair wires an active (unbatched) session to a passive one
+// configured for batched delivery.
+func startBatchPair(t *testing.T, maxUpdates int, maxDelay time.Duration) (active *Session, bc *batchCollector, cleanup func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ac := newCollector()
+	bc = newBatchCollector()
+	passive := New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+		},
+		Handler:         bc,
+		Name:            "passive-batch",
+		BatchMaxUpdates: maxUpdates,
+		BatchMaxDelay:   maxDelay,
+	})
+	passive.Start()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		passive.Attach(conn)
+		acceptErr <- nil
+	}()
+
+	active = New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"),
+			HoldTime: 90,
+		},
+		DialTarget: ln.Addr().String(),
+		Handler:    ac,
+		Name:       "active",
+	})
+	active.Start()
+
+	waitEstablished(t, ac, "active")
+	waitEstablished(t, bc.collector, "passive")
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	cleanup = func() {
+		active.Stop()
+		passive.Stop()
+		ln.Close()
+	}
+	return active, bc, cleanup
+}
+
+func testPrefix(i int) netaddr.Prefix {
+	return netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<10), 22)
+}
+
+// TestBatchedDelivery: a BatchHandler must receive every UPDATE exactly
+// once, in arrival order, with no batch exceeding BatchMaxUpdates, and
+// none of them via the plain Update callback.
+func TestBatchedDelivery(t *testing.T) {
+	const maxBatch = 8
+	active, bc, cleanup := startBatchPair(t, maxBatch, time.Millisecond)
+	defer cleanup()
+
+	const n = 500
+	attrs := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001), netaddr.MustParseAddr("10.0.0.1"))
+	for i := 0; i < n; i++ {
+		u := wire.Update{Attrs: attrs, NLRI: []netaddr.Prefix{testPrefix(i)}}
+		if err := active.Send(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case batch := <-bc.batches:
+			if len(batch) == 0 || len(batch) > maxBatch {
+				t.Fatalf("batch size %d, want 1..%d", len(batch), maxBatch)
+			}
+			for _, u := range batch {
+				if len(u.NLRI) != 1 || u.NLRI[0] != testPrefix(got) {
+					t.Fatalf("update %d out of order: got %v, want %v", got, u.NLRI, testPrefix(got))
+				}
+				got++
+			}
+		case u := <-bc.updates:
+			t.Fatalf("plain Update callback fired (%v) despite BatchHandler", u.NLRI)
+		case <-deadline:
+			t.Fatalf("received %d/%d updates", got, n)
+		}
+	}
+}
+
+// TestBatchLoneUpdateLatency: with a batch bound far above one message,
+// a lone UPDATE must still be delivered within BatchMaxDelay (plus
+// scheduling slack) — the latency bound, not the count bound, flushes it.
+func TestBatchLoneUpdateLatency(t *testing.T) {
+	const delay = 100 * time.Millisecond
+	active, bc, cleanup := startBatchPair(t, 100000, delay)
+	defer cleanup()
+
+	attrs := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001), netaddr.MustParseAddr("10.0.0.1"))
+	start := time.Now()
+	if err := active.Send(wire.Update{Attrs: attrs, NLRI: []netaddr.Prefix{testPrefix(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-bc.batches:
+		if len(batch) != 1 {
+			t.Fatalf("batch size %d, want 1", len(batch))
+		}
+		if elapsed := time.Since(start); elapsed > delay+2*time.Second {
+			t.Fatalf("lone update held %v, want <= %v plus slack", elapsed, delay)
+		}
+	case <-time.After(delay + 5*time.Second):
+		t.Fatal("lone update never delivered")
+	}
+}
+
+// TestBatchFlushBeforeDown: a pending batch must be delivered before the
+// Down callback when the peer closes the session.
+func TestBatchFlushBeforeDown(t *testing.T) {
+	active, bc, cleanup := startBatchPair(t, 100000, time.Hour)
+	defer cleanup()
+
+	const n = 5
+	attrs := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001), netaddr.MustParseAddr("10.0.0.1"))
+	for i := 0; i < n; i++ {
+		if err := active.Send(wire.Update{Attrs: attrs, NLRI: []netaddr.Prefix{testPrefix(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the passive loop time to enqueue all n into the forming batch,
+	// then tear the session down; the hour-long delay means only the
+	// flush-before-Down path can deliver them.
+	time.Sleep(200 * time.Millisecond)
+	active.Stop()
+
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case batch := <-bc.batches:
+			got += len(batch)
+		case <-bc.downs:
+			// Down must arrive after every queued update.
+			if got != n {
+				t.Fatalf("Down before flush: %d/%d updates delivered", got, n)
+			}
+			return
+		case <-deadline:
+			t.Fatalf("no Down callback; %d/%d updates", got, n)
+		}
+	}
+}

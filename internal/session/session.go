@@ -36,6 +36,21 @@ type RefreshHandler interface {
 	Refresh(s *Session, r wire.RouteRefresh)
 }
 
+// BatchHandler is optionally implemented by Handlers that want coalesced
+// UPDATE delivery: when the session's Config enables batching
+// (BatchMaxUpdates > 0), consecutive received UPDATEs are accumulated and
+// delivered as one UpdateBatch call instead of per-message Update calls.
+//
+// Ordering guarantees: updates appear in the batch in arrival order, and
+// any pending batch is flushed before the Established, Refresh, or Down
+// callbacks fire, so a handler observes exactly the per-session event
+// order it would without batching. The batch slice is only valid until
+// the callback returns (the session reuses it); the updates' payload
+// slices (NLRI, Withdrawn, attribute contents) may be retained.
+type BatchHandler interface {
+	UpdateBatch(s *Session, us []wire.Update)
+}
+
 // NopHandler ignores all callbacks; embed it to implement a subset.
 type NopHandler struct{}
 
@@ -64,9 +79,22 @@ type Config struct {
 	// in here to wrap the transport.
 	Dial    func(network, address string, timeout time.Duration) (net.Conn, error)
 	Handler Handler
+	// BatchMaxUpdates, when positive and Handler implements BatchHandler,
+	// coalesces consecutive received UPDATEs into UpdateBatch deliveries
+	// of at most this many messages. Zero or negative disables batching.
+	BatchMaxUpdates int
+	// BatchMaxDelay bounds how long a received UPDATE may be held while a
+	// batch accumulates. Zero flushes as soon as the event queue idles, so
+	// batches only form under backlog.
+	BatchMaxDelay time.Duration
 	// Name labels the session in errors and stats.
 	Name string
 }
+
+// batchMaxPrefixes caps the prefixes accumulated across one batch (the
+// byte bound): a run of large UPDATEs flushes early so the decision
+// workers see bounded work items.
+const batchMaxPrefixes = 8192
 
 // Counters aggregates per-session message statistics. All fields are
 // atomics so they can be read while the session runs.
@@ -104,6 +132,14 @@ type Session struct {
 	retryTimer   *time.Timer
 	readerCancel chan struct{}
 
+	// Update batching (event-loop owned). bh is non-nil iff batching is
+	// enabled; batch accumulates deliverable UPDATEs between flushes.
+	bh            BatchHandler
+	batch         []wire.Update
+	batchPrefixes int
+	flushTimer    *time.Timer
+	flushC        <-chan time.Time
+
 	Stats Counters
 
 	stateMirror atomic.Int32 // fsm.State mirror maintained by the loop
@@ -125,13 +161,17 @@ func New(cfg Config) *Session {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
-	return &Session{
+	s := &Session{
 		cfg:    cfg,
 		fsm:    fsm.New(cfg.FSM),
 		events: make(chan event, 64),
 		outbox: make(chan wire.Message, 1024),
 		done:   make(chan struct{}),
 	}
+	if cfg.BatchMaxUpdates > 0 {
+		s.bh, _ = cfg.Handler.(BatchHandler)
+	}
+	return s
 }
 
 // Start launches the event loop and (for active sessions) the first
@@ -225,12 +265,63 @@ func (s *Session) loop() {
 			if s.handle(ev) {
 				return
 			}
+			// With no delay budget, flush as soon as the event queue
+			// idles: batches then only form under backlog.
+			if s.cfg.BatchMaxDelay <= 0 && len(s.batch) > 0 && len(s.events) == 0 {
+				s.flushBatch()
+			}
 		case m := <-s.outbox:
 			if !s.writeOut(m) {
 				continue
 			}
+		case <-s.flushC:
+			s.flushC = nil
+			s.flushBatch()
 		}
 	}
+}
+
+// deliverUpdate hands one received UPDATE to the handler: directly, or
+// into the coalescing batch when batching is enabled. The batch flushes
+// when it reaches BatchMaxUpdates messages or batchMaxPrefixes prefixes;
+// otherwise the flush timer (armed at first accumulation) bounds how
+// long the update is held to BatchMaxDelay.
+func (s *Session) deliverUpdate(u wire.Update) {
+	if s.bh == nil {
+		s.cfg.Handler.Update(s, u)
+		return
+	}
+	s.batch = append(s.batch, u)
+	s.batchPrefixes += len(u.NLRI) + len(u.Withdrawn)
+	if len(s.batch) >= s.cfg.BatchMaxUpdates || s.batchPrefixes >= batchMaxPrefixes {
+		s.flushBatch()
+		return
+	}
+	if s.flushC == nil && s.cfg.BatchMaxDelay > 0 {
+		if s.flushTimer == nil {
+			s.flushTimer = time.NewTimer(s.cfg.BatchMaxDelay)
+		} else {
+			s.flushTimer.Reset(s.cfg.BatchMaxDelay)
+		}
+		s.flushC = s.flushTimer.C
+	}
+}
+
+// flushBatch delivers the pending update batch, if any. A stale timer
+// fire after a size-triggered flush is harmless: it finds an empty batch
+// (or flushes a younger one early), never delays or reorders delivery.
+func (s *Session) flushBatch() {
+	if s.flushTimer != nil {
+		s.flushTimer.Stop()
+	}
+	s.flushC = nil
+	if len(s.batch) == 0 {
+		return
+	}
+	b := s.batch
+	s.batch = s.batch[:0]
+	s.batchPrefixes = 0
+	s.bh.UpdateBatch(s, b)
 }
 
 // writeOut sends one queued message plus any immediately available batch.
@@ -362,11 +453,15 @@ func (s *Session) execute(a fsm.Action, ev event) bool {
 	case fsm.ActStopConnectRetry:
 		s.stopTimer(&s.retryTimer)
 	case fsm.ActEstablished:
+		s.flushBatch()
 		s.mu.Lock()
 		s.established = true
 		s.mu.Unlock()
 		s.cfg.Handler.Established(s)
 	case fsm.ActStopped:
+		// Deliver updates received before the teardown so the handler sees
+		// them ahead of Down, exactly as without batching.
+		s.flushBatch()
 		s.mu.Lock()
 		s.established = false
 		err := s.lastErr
@@ -378,6 +473,7 @@ func (s *Session) execute(a fsm.Action, ev event) bool {
 	case fsm.ActDeliverRefresh:
 		if a.Refresh != nil {
 			if rh, ok := s.cfg.Handler.(RefreshHandler); ok {
+				s.flushBatch()
 				rh.Refresh(s, *a.Refresh)
 			}
 		}
@@ -386,7 +482,7 @@ func (s *Session) execute(a fsm.Action, ev event) bool {
 			s.Stats.UpdatesIn.Add(1)
 			s.Stats.PrefixesIn.Add(uint64(len(a.Update.NLRI)))
 			s.Stats.WithdrawsIn.Add(uint64(len(a.Update.Withdrawn)))
-			s.cfg.Handler.Update(s, *a.Update)
+			s.deliverUpdate(*a.Update)
 		}
 	}
 	return false
@@ -580,6 +676,7 @@ func (s *Session) cleanup() {
 	s.stopTimer(&s.holdTimer)
 	s.stopTimer(&s.kaTimer)
 	s.stopTimer(&s.retryTimer)
+	s.stopTimer(&s.flushTimer)
 	s.dropConn()
 	s.closeDone()
 }

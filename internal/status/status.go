@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"bgpbench/internal/core"
 	"bgpbench/internal/fib"
@@ -17,15 +18,17 @@ import (
 
 // Summary is the JSON document served at /status.
 type Summary struct {
-	AS           uint16 `json:"as"`
-	FIBEntries   int    `json:"fib_entries"`
-	FIBChanges   uint64 `json:"fib_changes"`
-	Transactions uint64 `json:"transactions"`
-	FIBLookups   uint64 `json:"fib_lookups"`
-	Flaps        uint64 `json:"flaps,omitempty"`
-	Shards       int    `json:"shards"`
-	InternSize   int    `json:"intern_size"`
-	FIBBatches   uint64 `json:"fib_batches"`
+	AS              uint16 `json:"as"`
+	FIBEntries      int    `json:"fib_entries"`
+	FIBChanges      uint64 `json:"fib_changes"`
+	Transactions    uint64 `json:"transactions"`
+	FIBLookups      uint64 `json:"fib_lookups"`
+	Flaps           uint64 `json:"flaps,omitempty"`
+	Shards          int    `json:"shards"`
+	InternSize      int    `json:"intern_size"`
+	FIBBatches      uint64 `json:"fib_batches"`
+	DispatchBatches uint64 `json:"dispatch_batches"`
+	DispatchUpdates uint64 `json:"dispatch_updates"`
 }
 
 // Handler builds the HTTP mux for a router.
@@ -59,6 +62,7 @@ func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
 		s.Shards = r.Shards()
 		s.InternSize = r.InternStats().Size
 		s.FIBBatches, _ = r.FIBBatchStats()
+		s.DispatchBatches, s.DispatchUpdates = r.DispatchStats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s)
 	})
@@ -85,7 +89,11 @@ func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
 		for i, st := range r.ShardStats() {
 			fmt.Fprintf(w, "bgp_shard_queue_depth{shard=\"%d\"} %d\n", i, st.QueueDepth)
 			fmt.Fprintf(w, "bgp_shard_transactions_total{shard=\"%d\"} %d\n", i, st.Transactions)
+			fmt.Fprintf(w, "bgp_shard_batches_total{shard=\"%d\"} %d\n", i, st.Batches)
 		}
+		db, du := r.DispatchStats()
+		fmt.Fprintf(w, "bgp_dispatch_batches_total %d\n", db)
+		fmt.Fprintf(w, "bgp_dispatch_updates_total %d\n", du)
 		is := r.InternStats()
 		fmt.Fprintf(w, "bgp_attr_intern_size %d\n", is.Size)
 		fmt.Fprintf(w, "bgp_attr_intern_hits_total %d\n", is.Hits)
@@ -106,5 +114,13 @@ func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
 			fmt.Fprintf(w, "netem_bytes_in_total %d\n", st.BytesIn)
 		}
 	})
+	// Profiling endpoints for the hot paths (CPU, heap, contention). A
+	// custom mux does not inherit net/http/pprof's DefaultServeMux
+	// registrations, so wire them explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

@@ -10,4 +10,8 @@ go test -race ./internal/core/... ./internal/session/...
 # determinism.
 BGPBENCH_CONFORMANCE_GATE=1 go test -race \
 	-run 'TestConformanceGate|TestConformanceReplayDeterminism' ./internal/bench/
+# Hot-path microbenchmark smoke: one iteration so the dispatch/process
+# benchmarks can never bit-rot.
+go test -run='^$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate' \
+	-benchtime=1x ./internal/core/
 go test ./...
