@@ -1,19 +1,38 @@
 # Development targets for bgpbench. `make check` is the pre-merge gate:
-# build, vet, race-test the concurrent control-plane packages, run the
+# build, formatting, vet, the project's own static analyzers (bgplint),
+# race-test the concurrent control-plane packages, run the
 # fault-injection conformance gate under the race detector, then the
 # full test suite.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race conformance check bench bench-smoke
+.PHONY: all build fmt vet lint test race conformance check bench bench-smoke
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# Fail (with the offending file list) if any file is not gofmt-clean.
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# go vet twice: the full default suite over everything, then an explicit
+# pass pinning the two checks the concurrency and counter code leans on
+# hardest (copied locks, discarded sync/atomic results) so they stay on
+# even if the default set ever changes.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -unusedresult ./...
+
+# Project-invariant static analysis (internal/analysis, cmd/bgplint):
+# deterministic clocks, pooled-buffer ownership, attribute-interning
+# immutability, router-mutex lock discipline, dropped protocol errors.
+# Non-zero exit (and the findings on stdout) fail the gate.
+lint:
+	$(GO) run ./cmd/bgplint ./...
 
 # The sharded router and the session layer are the concurrency-heavy
 # packages; run them under the race detector every time.
@@ -38,7 +57,7 @@ bench-smoke:
 test:
 	$(GO) test ./...
 
-check: build vet race conformance bench-smoke test
+check: build fmt vet lint race conformance bench-smoke test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

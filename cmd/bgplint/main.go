@@ -1,0 +1,20 @@
+// Command bgplint runs the repository's custom static analyzers: the
+// determinism, pooling, interning, locking, and error-handling
+// invariants that conventional vet checks cannot see. It is built on
+// the standard library's go/ast and go/types only and is wired into
+// `make check` and scripts/ci.sh; a non-zero exit fails the gate.
+//
+// Usage:
+//
+//	bgplint [-json] [-C dir] [packages]
+package main
+
+import (
+	"os"
+
+	"bgpbench/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

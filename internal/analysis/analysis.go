@@ -1,0 +1,190 @@
+// Package analysis is bgpbench's project-invariant static analyzer
+// suite. It is built on the standard library only (go/parser, go/ast,
+// go/types, go/importer, with package discovery driven by `go list
+// -json`): no golang.org/x/tools dependency, so the lint gate needs
+// nothing beyond the Go toolchain already required to build the repo.
+//
+// The generic vet checks catch generic bugs; the analyzers here encode
+// invariants specific to this codebase that vet cannot know about:
+//
+//   - detclock: deterministic packages (netem, platform, damping, the
+//     bench conformance path) must not read the wall clock or use global
+//     math/rand state outside the pluggable Clock implementations.
+//   - pooledbuf: values obtained from a sync.Pool must not escape the
+//     function that obtained them except through an audited ownership
+//     transfer, and every Get needs a matching Put.
+//   - internedattr: interned *wire.PathAttrs are compared by pointer and
+//     never mutated after interning.
+//   - lockdiscipline: no blocking I/O while holding the router mutex.
+//   - errdrop: no silently discarded error results in the protocol
+//     packages (wire, session, fsm), stricter than vet's unusedresult.
+//
+// Findings can be suppressed line-by-line with a justified allow
+// comment:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// placed on the offending line or the line directly above it. The
+// justification text is mandatory by convention (reviewed, not
+// enforced); an allow comment without one should not survive review.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer name, a position, and a
+// message.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Config   *Config
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in presentation order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetClock,
+		PooledBuf,
+		InternedAttr,
+		LockDiscipline,
+		ErrDrop,
+	}
+}
+
+// AnalyzerByName finds one analyzer by name.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// RunAnalyzers applies the analyzers to every non-dependency package and
+// returns the surviving findings (allow-comment suppressed ones removed)
+// sorted by position.
+func RunAnalyzers(pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allows.allowed(a.Name, d.Position.Filename, d.Position.Line) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowKey identifies one suppressed (file, line) for one analyzer.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) allowed(analyzer, file string, line int) bool {
+	return s[allowKey{analyzer, file, line}]
+}
+
+// collectAllows scans a package's comments for //lint:allow directives.
+// A directive suppresses findings on its own line and on the line
+// directly below it (the "comment above the statement" form). Several
+// analyzers may be named, comma-separated; everything after the names is
+// the human justification.
+func collectAllows(pkg *Package) allowSet {
+	allows := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					allows[allowKey{name, pos.Filename, pos.Line}] = true
+					allows[allowKey{name, pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// inspectFiles runs fn over every node of every file in the package.
+func inspectFiles(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

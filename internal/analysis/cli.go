@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Exit codes for Main, mirroring the convention of go vet: clean, has
+// findings, failed to even load.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// jsonDiagnostic is the stable machine-readable form emitted by -json.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Main implements the bgplint command: load the requested packages,
+// run every analyzer, print findings, and return a process exit code.
+// It is a plain function over writers so the regression tests can call
+// it in-process and assert on exit codes and output.
+func Main(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("bgplint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	jsonOut := flags.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	list := flags.Bool("list", false, "list available analyzers and exit")
+	dir := flags.String("C", ".", "directory to resolve packages from")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bgplint [-json] [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nSuppress a finding with `//lint:allow <analyzer> <justification>`\non the offending line or the line above it.\n")
+	}
+	if err := flags.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgplint: %v\n", err)
+		return ExitError
+	}
+	diags := RunAnalyzers(pkgs, DefaultConfig(), Analyzers())
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "bgplint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "bgplint: %d finding(s)\n", len(diags))
+		}
+		return ExitFindings
+	}
+	return ExitClean
+}

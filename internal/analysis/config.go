@@ -1,0 +1,154 @@
+package analysis
+
+// Config scopes the analyzers to the repo's invariants. Everything is
+// data so the fixture tests can point the same analyzers at small
+// synthetic packages; DefaultConfig returns the scopes enforced by the
+// `make lint` gate.
+type Config struct {
+	Detclock DetclockConfig
+	Interned InternedConfig
+	Lock     LockConfig
+	ErrDrop  ErrDropConfig
+}
+
+// DetclockConfig scopes the deterministic-clock check.
+type DetclockConfig struct {
+	// Packages maps an import path onto the file basenames to check; a
+	// nil or empty list means every file in the package.
+	Packages map[string][]string
+	// AllowFuncs are fully-qualified functions (types.Func.FullName form)
+	// allowed to touch the wall clock: the pluggable-clock
+	// implementations themselves.
+	AllowFuncs []string
+}
+
+// InternedConfig names the interned attribute types (qualified
+// "pkgpath.TypeName") whose values must be compared by pointer and never
+// mutated after interning.
+type InternedConfig struct {
+	Types []string
+}
+
+// LockConfig describes the router mutex and the calls considered
+// blocking while it is held.
+type LockConfig struct {
+	// Mutexes are "pkgpath.TypeName.fieldName" descriptors of the
+	// guarded mutex fields.
+	Mutexes []string
+	// Blocking are fully-qualified functions (types.Func.FullName form)
+	// that may block on I/O or another goroutine's progress.
+	Blocking []string
+	// Allow are fully-qualified functions exempt from the walk (audited
+	// by hand; the justification lives next to the config entry).
+	Allow []string
+}
+
+// ErrDropConfig lists the import paths where discarding an error result
+// is a finding.
+type ErrDropConfig struct {
+	Packages []string
+	// AllowCallees are fully-qualified functions (types.Func.FullName
+	// form) whose error result is documented to always be nil; dropping
+	// it is not a finding.
+	AllowCallees []string
+}
+
+// fixturePrefix scopes the analyzers onto their own testdata packages:
+// `go list ./...` never descends into testdata, so these entries are
+// inert for the repo gate while letting the regression tests run the
+// exact production configuration against the fixtures.
+const fixturePrefix = "bgpbench/internal/analysis/testdata/src/"
+
+// DefaultConfig returns the scopes the repo gate enforces.
+func DefaultConfig() *Config {
+	return &Config{
+		Detclock: DetclockConfig{
+			Packages: map[string][]string{
+				// The fault-injection substrate: schedules are pure
+				// functions of (profile, seed, name, attempt); wall time
+				// may only enter through the Clock interface.
+				"bgpbench/internal/netem": nil,
+				// The modeled platform: replays are exactly reproducible.
+				"bgpbench/internal/platform": nil,
+				// Flap damping: penalty decay is driven by the pluggable
+				// clock so tests can replay decision sequences.
+				"bgpbench/internal/damping": nil,
+				// Only the conformance path of bench is deterministic;
+				// live.go measures wall-clock throughput by design.
+				"bgpbench/internal/bench": {"conformance.go"},
+
+				fixturePrefix + "detclock": nil,
+			},
+			AllowFuncs: []string{
+				// The real-clock implementations behind the Clock
+				// interface are the one sanctioned wall-time boundary.
+				"bgpbench/internal/netem.NewRealClock",
+				"(*bgpbench/internal/netem.realClock).Now",
+				"(*bgpbench/internal/netem.realClock).Sleep",
+				// damping.New defaults a nil clock to time.Now.
+				"bgpbench/internal/damping.New",
+
+				fixturePrefix + "detclock.NewRealClock",
+			},
+		},
+		Interned: InternedConfig{
+			Types: []string{
+				"bgpbench/internal/wire.PathAttrs",
+
+				fixturePrefix + "internedattr.PathAttrs",
+			},
+		},
+		Lock: LockConfig{
+			Mutexes: []string{
+				"bgpbench/internal/core.Router.mu",
+
+				fixturePrefix + "lockdiscipline.Router.mu",
+			},
+			Blocking: []string{
+				"(net.Conn).Read",
+				"(net.Conn).Write",
+				"(*net.TCPConn).Read",
+				"(*net.TCPConn).Write",
+				"(*sync.WaitGroup).Wait",
+				"(*sync.Cond).Wait",
+				"time.Sleep",
+				// Send blocks on outbox back-pressure; Stop waits up to
+				// two seconds for the event loop.
+				"(*bgpbench/internal/session.Session).Send",
+				"(*bgpbench/internal/session.Session).Stop",
+				// The wire writer pushes onto the TCP socket.
+				"(*bgpbench/internal/wire.Writer).WriteMessage",
+				"(*bgpbench/internal/wire.Writer).WriteMessageBuffered",
+				"(*bgpbench/internal/wire.Writer).Flush",
+
+				"(net.Conn).SetDeadline",
+			},
+			Allow: []string{
+				fixturePrefix + "lockdiscipline.auditedHandoff",
+			},
+		},
+		ErrDrop: ErrDropConfig{
+			Packages: []string{
+				"bgpbench/internal/wire",
+				"bgpbench/internal/session",
+				"bgpbench/internal/fsm",
+
+				fixturePrefix + "errdrop",
+			},
+			AllowCallees: []string{
+				// In-memory writers documented to always return a nil
+				// error; their error results exist only to satisfy
+				// io.Writer-shaped interfaces.
+				"(*strings.Builder).Write",
+				"(*strings.Builder).WriteByte",
+				"(*strings.Builder).WriteRune",
+				"(*strings.Builder).WriteString",
+				"(*bytes.Buffer).Write",
+				"(*bytes.Buffer).WriteByte",
+				"(*bytes.Buffer).WriteRune",
+				"(*bytes.Buffer).WriteString",
+				"(hash.Hash).Write",
+			},
+		},
+	}
+}

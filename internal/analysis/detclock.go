@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetClock enforces the determinism contract of the modeled substrates:
+// packages whose behaviour must be a pure function of their seeds may
+// not consult the wall clock or the global math/rand state. Wall time
+// enters only through the pluggable Clock implementations named in the
+// config, and randomness only through rand.New(rand.NewSource(seed)).
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc:  "no wall-clock or unseeded randomness in deterministic packages",
+	Run:  runDetClock,
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// allowedRandFuncs construct explicitly seeded generators; everything
+// else in math/rand draws from (or reseeds) the global source.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetClock(pass *Pass) {
+	files, scoped := pass.Config.Detclock.Packages[pass.Pkg.ImportPath]
+	if !scoped {
+		return
+	}
+	allowFuncs := stringSet(pass.Config.Detclock.AllowFuncs)
+	info := pass.Pkg.Info
+
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(f.Pos()).Filename
+		if !fileInScope(files, filename) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			// Allow-listed clock implementations may touch wall time.
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok && allowFuncs[fn.FullName()] {
+					continue
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := info.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Methods (e.g. (*rand.Rand).Int63n on an explicitly
+				// seeded source, time.Time.Add) operate on explicit
+				// state; only package-level functions reach the wall
+				// clock or the global rand source.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if bannedTimeFuncs[fn.Name()] {
+						pass.Reportf(id.Pos(),
+							"wall-clock call time.%s in deterministic package %s (route time through the pluggable Clock)",
+							fn.Name(), pass.Pkg.Types.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRandFuncs[fn.Name()] {
+						pass.Reportf(id.Pos(),
+							"global math/rand state via rand.%s in deterministic package %s (use rand.New(rand.NewSource(seed)))",
+							fn.Name(), pass.Pkg.Types.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags silently discarded error results in the protocol
+// packages. It is stricter than vet's unusedresult: every call whose
+// (last) result is an error must consume it, and explicit `_ =` drops
+// are findings too unless annotated with //lint:allow errdrop and a
+// justification. Malformed-message and transport errors in wire,
+// session, and fsm are exactly the faults the netem harness injects;
+// dropping one on the floor turns an injected fault into silent state
+// divergence instead of a visible session event.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no discarded error results in the protocol packages",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	inScope := false
+	for _, p := range pass.Config.ErrDrop.Packages {
+		if p == pass.Pkg.ImportPath {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.Pkg.Info
+	allowed := stringSet(pass.Config.ErrDrop.AllowCallees)
+	// dropped reports whether the call discards a meaningful error: its
+	// last result is an error and the callee is not on the never-fails
+	// exemption list (strings.Builder and friends).
+	dropped := func(call *ast.CallExpr) bool {
+		if !lastResultIsError(info, call) {
+			return false
+		}
+		if fn := calleeFunc(info, call); fn != nil && allowed[fn.FullName()] {
+			return false
+		}
+		return true
+	}
+
+	inspectFiles(pass.Pkg, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && dropped(call) {
+				pass.Reportf(call.Pos(), "error result of %s is discarded", callName(call))
+			}
+		case *ast.GoStmt:
+			if dropped(stmt.Call) {
+				pass.Reportf(stmt.Pos(), "error result of go %s is discarded", callName(stmt.Call))
+			}
+		case *ast.DeferStmt:
+			if dropped(stmt.Call) {
+				pass.Reportf(stmt.Pos(), "error result of defer %s is discarded", callName(stmt.Call))
+			}
+		case *ast.AssignStmt:
+			reportBlankErrAssign(pass, stmt, allowed)
+		}
+		return true
+	})
+}
+
+// reportBlankErrAssign flags assignments of an error value to the blank
+// identifier, both the `_ = f()` and the `v, _ := g()` forms.
+func reportBlankErrAssign(pass *Pass, stmt *ast.AssignStmt, allowed map[string]bool) {
+	info := pass.Pkg.Info
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	allowedCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && allowed[fn.FullName()]
+	}
+
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		// Multi-value form: x, _ = f(). Map blank positions onto the
+		// call's result tuple.
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if fn := calleeFunc(info, call); fn != nil && allowed[fn.FullName()] {
+			return
+		}
+		tv, ok := info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if i >= tuple.Len() {
+				break
+			}
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s assigned to the blank identifier", callName(call))
+			}
+		}
+		return
+	}
+
+	// One-to-one form: _ = expr (including parallel assignment).
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		if tv, ok := info.Types[stmt.Rhs[i]]; ok && isErrorType(tv.Type) && !allowedCall(stmt.Rhs[i]) {
+			pass.Reportf(lhs.Pos(), "error value assigned to the blank identifier")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// InternedAttr protects the path-attribute interning contract: once a
+// PathAttrs block has been interned, the canonical pointer is shared by
+// every RIB, Adj-RIB-Out, and export cache in the process. Two interned
+// blocks are semantically equal iff their pointers are equal, so a
+// reflect.DeepEqual (or a field-wise compare of dereferenced values)
+// both wastes the hot path the interner exists to optimise and signals
+// a misunderstanding of the contract; and a single mutation through an
+// interned pointer corrupts every table that shares the block.
+var InternedAttr = &Analyzer{
+	Name: "internedattr",
+	Doc:  "interned attrs compare by pointer and are immutable after interning",
+	Run:  runInternedAttr,
+}
+
+func runInternedAttr(pass *Pass) {
+	interned := stringSet(pass.Config.Interned.Types)
+	if len(interned) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+
+	isInternedValue := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if _, ok := types.Unalias(t).(*types.Pointer); ok {
+			return false
+		}
+		return interned[namedTypeName(t)]
+	}
+	isInternedPointer := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		p, ok := types.Unalias(t).(*types.Pointer)
+		return ok && interned[namedTypeName(p.Elem())]
+	}
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+
+	// checkMutationTarget flags writes through an interned pointer:
+	// p.Field = v, *p = v, p.Field++ and friends.
+	checkMutationTarget := func(e ast.Expr, pos token.Pos) {
+		switch lhs := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+				if isInternedPointer(typeOf(lhs.X)) {
+					pass.Reportf(pos, "mutation of interned %s through shared pointer (interned attrs are immutable; Clone before changing)", namedTypeName(typeOf(lhs.X)))
+				}
+			}
+		case *ast.StarExpr:
+			if isInternedPointer(typeOf(lhs.X)) {
+				pass.Reportf(pos, "assignment through interned %s pointer (interned attrs are immutable; Clone before changing)", namedTypeName(typeOf(lhs.X)))
+			}
+		}
+	}
+
+	inspectFiles(pass.Pkg, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, node)
+			if fn != nil && fn.FullName() == "reflect.DeepEqual" {
+				for _, arg := range node.Args {
+					t := typeOf(arg)
+					if isInternedValue(t) || isInternedPointer(t) {
+						pass.Reportf(node.Pos(), "reflect.DeepEqual on interned %s (interned attrs compare by pointer equality)", namedTypeName(t))
+						break
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op != token.EQL && node.Op != token.NEQ {
+				return true
+			}
+			// Pointer comparison is the sanctioned idiom; flag only
+			// dereferenced (value) comparisons of the interned type.
+			if isInternedValue(typeOf(node.X)) && isInternedValue(typeOf(node.Y)) {
+				pass.Reportf(node.Pos(), "field-wise %s comparison of interned %s values (compare the canonical pointers instead)", node.Op, namedTypeName(typeOf(node.X)))
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				checkMutationTarget(lhs, node.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkMutationTarget(node.X, node.Pos())
+		case *ast.UnaryExpr:
+			// &p.Field on an interned pointer hands out a writable
+			// window into the shared block.
+			if node.Op != token.AND {
+				return true
+			}
+			if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal && isInternedPointer(typeOf(sel.X)) {
+					pass.Reportf(node.Pos(), "address of field of interned %s escapes (interned attrs are immutable)", namedTypeName(typeOf(sel.X)))
+				}
+			}
+		}
+		return true
+	})
+}

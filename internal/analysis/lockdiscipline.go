@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline walks functions that acquire the router mutex and
+// flags blocking I/O performed while it is held. The router mutex
+// guards the peer table on the shard workers' per-batch snapshot path:
+// a single send to a slow peer's socket (or a wait on another
+// goroutine) while holding it stalls every shard's decision pipeline at
+// once, which is precisely the head-of-line blocking the sharded design
+// exists to avoid. The walk is a static over-approximation: it follows
+// same-package calls a few levels deep and treats a deferred Unlock as
+// holding the lock to the end of the function. Audited exceptions go in
+// the config allowlist, one justification per entry.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no blocking I/O while holding the router mutex",
+	Run:  runLockDiscipline,
+}
+
+const lockWalkDepth = 4
+
+func runLockDiscipline(pass *Pass) {
+	mutexes := stringSet(pass.Config.Lock.Mutexes)
+	if len(mutexes) == 0 {
+		return
+	}
+	blocking := stringSet(pass.Config.Lock.Blocking)
+	allow := stringSet(pass.Config.Lock.Allow)
+	decls := funcDecls(pass.Pkg)
+	w := &lockWalker{
+		pass:     pass,
+		mutexes:  mutexes,
+		blocking: blocking,
+		allow:    allow,
+		decls:    decls,
+	}
+	for fn, fd := range decls {
+		if fd.Body == nil || allow[fn.FullName()] {
+			continue
+		}
+		held := false
+		w.walkStmts(fd.Body.List, &held)
+	}
+}
+
+type lockWalker struct {
+	pass     *Pass
+	mutexes  map[string]bool
+	blocking map[string]bool
+	allow    map[string]bool
+	decls    map[*types.Func]*ast.FuncDecl
+}
+
+// mutexOp classifies a call as Lock/Unlock on a configured mutex field.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", false
+	}
+	name = sel.Sel.Name
+	if name != "Lock" && name != "Unlock" {
+		return "", false
+	}
+	fieldSel, okField := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !okField {
+		return "", false
+	}
+	owner := qualifiedFieldOwner(w.pass.Pkg.Info, fieldSel)
+	if owner == "" || !w.mutexes[owner] {
+		return "", false
+	}
+	return name, true
+}
+
+// walkStmts threads the held state through a statement list in source
+// order, descending into nested control flow.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held *bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held *bool) {
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := stmt.X.(*ast.CallExpr); ok {
+			if op, ok := w.mutexOp(call); ok {
+				*held = op == "Lock"
+				return
+			}
+		}
+		w.checkStmt(stmt, held)
+	case *ast.DeferStmt:
+		if op, ok := w.mutexOp(stmt.Call); ok && op == "Unlock" {
+			// defer mu.Unlock(): held until the function returns.
+			return
+		}
+		// The deferred call itself runs after the region; skip it.
+	case *ast.BlockStmt:
+		w.walkStmts(stmt.List, held)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			w.walkStmt(stmt.Init, held)
+		}
+		w.checkExprStmtless(stmt.Cond, held)
+		w.walkStmt(stmt.Body, held)
+		if stmt.Else != nil {
+			w.walkStmt(stmt.Else, held)
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			w.walkStmt(stmt.Init, held)
+		}
+		w.walkStmt(stmt.Body, held)
+	case *ast.RangeStmt:
+		w.walkStmt(stmt.Body, held)
+	case *ast.SwitchStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		// A select blocks unless it has a default clause; its comm
+		// clauses are channel operations.
+		if *held && !selectHasDefault(stmt) {
+			w.pass.Reportf(stmt.Pos(), "blocking select while holding the router mutex")
+		}
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, held)
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under the caller's lock.
+	default:
+		w.checkStmt(s, held)
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExprStmtless checks a bare expression (e.g. an if condition) for
+// blocking calls while held.
+func (w *lockWalker) checkExprStmtless(e ast.Expr, held *bool) {
+	if e == nil || !*held {
+		return
+	}
+	w.inspectForBlocking(e, nil)
+}
+
+// checkStmt scans one statement for blocking operations while the lock
+// is held.
+func (w *lockWalker) checkStmt(s ast.Stmt, held *bool) {
+	if !*held {
+		return
+	}
+	w.inspectForBlocking(s, s)
+}
+
+// inspectForBlocking reports direct blocking calls and channel sends in
+// the subtree, and follows same-package callees a few levels deep.
+func (w *lockWalker) inspectForBlocking(root ast.Node, _ ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // runs on another goroutine or later
+		case *ast.SendStmt:
+			w.pass.Reportf(node.Pos(), "channel send while holding the router mutex (the receiver may not be draining)")
+			return true
+		case *ast.CallExpr:
+			fn := calleeFunc(w.pass.Pkg.Info, node)
+			if fn == nil {
+				return true
+			}
+			if w.blocking[fn.FullName()] {
+				w.pass.Reportf(node.Pos(), "blocking call %s while holding the router mutex", fn.FullName())
+				return true
+			}
+			if chain := w.calleeBlocks(fn, lockWalkDepth, map[*types.Func]bool{}); chain != "" {
+				w.pass.Reportf(node.Pos(), "call %s reaches blocking operation (%s) while holding the router mutex", fn.Name(), chain)
+			}
+		}
+		return true
+	})
+}
+
+// calleeBlocks walks a same-package callee's body looking for blocking
+// operations, returning a human-readable chain when one is found.
+func (w *lockWalker) calleeBlocks(fn *types.Func, depth int, seen map[*types.Func]bool) string {
+	if depth == 0 || seen[fn] || w.allow[fn.FullName()] {
+		return ""
+	}
+	seen[fn] = true
+	fd, ok := w.decls[fn]
+	if !ok || fd.Body == nil {
+		return ""
+	}
+	var chain string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if chain != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			chain = fn.Name() + " sends on a channel"
+			return false
+		case *ast.SelectStmt:
+			// A select with a default never blocks; skip its guarded
+			// channel operations but keep scanning the clause bodies.
+			if selectHasDefault(node) {
+				for _, c := range node.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							ast.Inspect(s, func(m ast.Node) bool { return chainScan(w, fn, m, &chain, depth, seen) })
+						}
+					}
+				}
+				return false
+			}
+			chain = fn.Name() + " blocks in select"
+			return false
+		case *ast.CallExpr:
+			callee := calleeFunc(w.pass.Pkg.Info, node)
+			if callee == nil {
+				return true
+			}
+			if w.blocking[callee.FullName()] {
+				chain = fn.Name() + " calls " + callee.FullName()
+				return false
+			}
+			if sub := w.calleeBlocks(callee, depth-1, seen); sub != "" {
+				chain = fn.Name() + " -> " + sub
+				return false
+			}
+		}
+		return true
+	})
+	return chain
+}
+
+// chainScan mirrors the CallExpr/SendStmt handling of calleeBlocks for
+// statements nested under a non-blocking select.
+func chainScan(w *lockWalker, fn *types.Func, n ast.Node, chain *string, depth int, seen map[*types.Func]bool) bool {
+	if *chain != "" {
+		return false
+	}
+	switch node := n.(type) {
+	case *ast.FuncLit, *ast.GoStmt:
+		return false
+	case *ast.SendStmt:
+		*chain = fn.Name() + " sends on a channel"
+		return false
+	case *ast.CallExpr:
+		callee := calleeFunc(w.pass.Pkg.Info, node)
+		if callee == nil {
+			return true
+		}
+		if w.blocking[callee.FullName()] {
+			*chain = fn.Name() + " calls " + callee.FullName()
+			return false
+		}
+		if sub := w.calleeBlocks(callee, depth-1, seen); sub != "" {
+			*chain = fn.Name() + " -> " + sub
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PooledBuf audits sync.Pool usage (the dispatchBatch buffers on the
+// router's batched hot path). A pooled value that escapes the function
+// that obtained it — into a struct field, a channel, a composite
+// literal, a closure, or a return value — may still be referenced after
+// Put returns it to the pool, at which point another goroutine's Get
+// hands out the same memory and the two users silently share state.
+// Escapes that are deliberate ownership transfers (the handler-to-shard
+// handoff) must carry a justified //lint:allow pooledbuf annotation so
+// every transfer is audited. A Get with no Put anywhere in the same
+// function and no annotated transfer is a leak of pool throughput.
+//
+// Functions whose entire body is `return pool.Get().(T)` are recognised
+// as accessor wrappers (getBatch); functions containing pool.Put are
+// release wrappers (putBatch). Wrapper calls count as Get/Put for their
+// callers.
+var PooledBuf = &Analyzer{
+	Name: "pooledbuf",
+	Doc:  "sync.Pool values must not escape their owner and every Get needs a Put",
+	Run:  runPooledBuf,
+}
+
+func runPooledBuf(pass *Pass) {
+	decls := funcDecls(pass.Pkg)
+	getWrappers, putWrappers := poolWrappers(pass, decls)
+	for fn, fd := range decls {
+		if fd.Body != nil {
+			analyzePoolFunc(pass, fn, fd, getWrappers, putWrappers)
+		}
+	}
+}
+
+func isPoolMethodCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool)."+name
+}
+
+// poolWrappers classifies the package's pool accessors: functions that
+// return a fresh pool.Get result, and functions that hand a value back
+// via pool.Put.
+func poolWrappers(pass *Pass, decls map[*types.Func]*ast.FuncDecl) (get, put map[*types.Func]bool) {
+	info := pass.Pkg.Info
+	get = map[*types.Func]bool{}
+	put = map[*types.Func]bool{}
+	for fn, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					if e, ok := ast.Unparen(res).(*ast.TypeAssertExpr); ok {
+						res = e.X
+					}
+					if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isPoolMethodCall(info, call, "Get") {
+						get[fn] = true
+					}
+				}
+			case *ast.CallExpr:
+				if isPoolMethodCall(info, node, "Put") {
+					put[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	return get, put
+}
+
+func analyzePoolFunc(pass *Pass, fn *types.Func, fd *ast.FuncDecl, getWrappers, putWrappers map[*types.Func]bool) {
+	info := pass.Pkg.Info
+
+	// isAcquire reports whether e produces a fresh pooled value: a
+	// direct pool.Get (possibly type-asserted) or a get-wrapper call.
+	isAcquire := func(e ast.Expr) bool {
+		if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+			e = ta.X
+		}
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if isPoolMethodCall(info, call, "Get") {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		return callee != nil && getWrappers[callee]
+	}
+	isRelease := func(call *ast.CallExpr) bool {
+		if isPoolMethodCall(info, call, "Put") {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		return callee != nil && putWrappers[callee]
+	}
+
+	// Pass A: collect acquired variables, field-backed local aliases,
+	// and whether the function acquires or releases at all.
+	acquired := map[*types.Var]bool{}
+	fieldAliases := map[*types.Var]bool{}
+	var firstAcquire token.Pos
+	hasGet, hasPut := false, false
+	for round := 0; round < 2; round++ { // twice: pick up aliases of acquired vars
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range node.Lhs {
+					if i >= len(node.Rhs) {
+						break
+					}
+					v := identObj(info, lhs)
+					if v == nil {
+						continue
+					}
+					rhs := node.Rhs[i]
+					if isAcquire(rhs) {
+						acquired[v] = true
+					}
+					if rv := identObj(info, rhs); rv != nil && acquired[rv] {
+						acquired[v] = true
+					}
+					if sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr); ok {
+						if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+							fieldAliases[v] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if isAcquire(node) {
+					hasGet = true
+					if firstAcquire == token.NoPos {
+						firstAcquire = node.Pos()
+					}
+				}
+				if isRelease(node) {
+					hasPut = true
+				}
+			}
+			return true
+		})
+	}
+
+	// isFieldBacked reports whether an index/selector target ultimately
+	// stores into a struct field (directly, or through a local alias of
+	// one).
+	var isFieldBacked func(e ast.Expr) bool
+	isFieldBacked = func(e ast.Expr) bool {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[t]; ok && s.Kind() == types.FieldVal {
+				return true
+			}
+			return isFieldBacked(t.X)
+		case *ast.IndexExpr:
+			return isFieldBacked(t.X)
+		case *ast.Ident:
+			v := identObj(info, t)
+			return v != nil && fieldAliases[v]
+		}
+		return false
+	}
+
+	// carriesRef reports whether an expression's type can smuggle the
+	// pooled pointer out (pointer, slice, interface, ...): `return b` or
+	// `return b.data` escapes, `return len(b.data)` does not.
+	carriesRef := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return true // be conservative when the type is unknown
+		}
+		_, basic := tv.Type.Underlying().(*types.Basic)
+		return !basic
+	}
+
+	// Pass B: escapes, releases, and use-after-Put.
+	released := map[*types.Var]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				if i >= len(node.Rhs) {
+					break
+				}
+				rhs := node.Rhs[i]
+				carries := isAcquire(rhs) || usesVar(info, rhs, acquired)
+				if !carries {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if s, ok := info.Selections[target]; ok && s.Kind() == types.FieldVal && !usesVar(info, target.X, acquired) {
+						pass.Reportf(node.Pos(), "pooled value stored in struct field %s (may outlive Put; annotate audited ownership transfers)", target.Sel.Name)
+					}
+				case *ast.IndexExpr:
+					if isFieldBacked(target) {
+						pass.Reportf(node.Pos(), "pooled value stored in struct-field-backed container (may outlive Put; annotate audited ownership transfers)")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if usesVar(info, node.Value, acquired) && carriesRef(node.Value) {
+				pass.Reportf(node.Pos(), "pooled value sent on channel (receiver may outlive Put; annotate audited ownership transfers)")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if v := identObj(info, val); v != nil && acquired[v] {
+					pass.Reportf(elt.Pos(), "pooled value placed in composite literal (may outlive Put; annotate audited ownership transfers)")
+				}
+			}
+		case *ast.FuncLit:
+			if usesVar(info, node.Body, acquired) {
+				pass.Reportf(node.Pos(), "pooled value captured by closure (may outlive Put)")
+			}
+			return false
+		case *ast.ReturnStmt:
+			if getWrappers[fn] {
+				return true
+			}
+			for _, res := range node.Results {
+				if usesVar(info, res, acquired) && carriesRef(res) {
+					pass.Reportf(node.Pos(), "pooled value escapes via return (caller cannot know it must Put)")
+				}
+			}
+		case *ast.CallExpr:
+			if isRelease(node) && len(node.Args) >= 1 {
+				if v := identObj(info, node.Args[len(node.Args)-1]); v != nil && acquired[v] {
+					if _, done := released[v]; !done {
+						released[v] = node.End()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Use-after-Put: any mention of a released variable at a source
+	// position after its Put (positional order approximates control
+	// flow well enough for a lint).
+	if len(released) > 0 {
+		reported := map[*types.Var]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := info.Uses[id].(*types.Var)
+			if v == nil || reported[v] {
+				return true
+			}
+			if end, ok := released[v]; ok && id.Pos() > end {
+				reported[v] = true
+				pass.Reportf(id.Pos(), "pooled value %s used after Put returned it to the pool", id.Name)
+			}
+			return true
+		})
+	}
+
+	if hasGet && !hasPut && !getWrappers[fn] {
+		pass.Reportf(firstAcquire, "value obtained from sync.Pool but no Put on any path in this function (leaks pool throughput; Put on every return path or transfer ownership with an annotated handoff)")
+	}
+}

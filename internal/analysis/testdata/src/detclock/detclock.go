@@ -1,0 +1,73 @@
+// Package detclock is a fixture for the detclock analyzer: a miniature
+// "deterministic" package that breaks the no-wall-clock contract in the
+// ways the analyzer must catch, and keeps to it in the ways it must not
+// flag. Expected findings are marked with `// want` comments consumed
+// by the regression test.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the pluggable time source, mirroring netem.Clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+// NewRealClock is on the analyzer's allow list: the one sanctioned
+// wall-time boundary.
+func NewRealClock() Clock {
+	_ = time.Now() // allowed: inside an AllowFuncs function
+	return realClock{}
+}
+
+func (realClock) Now() time.Time        { return time.Unix(0, 0) }
+func (realClock) Sleep(d time.Duration) {}
+
+// BadWallClock reads wall time directly.
+func BadWallClock() time.Time {
+	return time.Now() // want detclock "wall-clock call time.Now"
+}
+
+// BadSleep blocks on real time.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want detclock "wall-clock call time.Sleep"
+}
+
+// BadTimer arms a wall-clock timer.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want detclock "wall-clock call time.NewTimer"
+}
+
+// BadGlobalRand draws from the process-global source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want detclock "global math/rand state via rand.Intn"
+}
+
+// GoodSeededRand draws from an explicit source: a pure function of the
+// seed, so not a finding — including the method calls on the generator.
+func GoodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodClockUse routes time through the injected clock.
+func GoodClockUse(c Clock) time.Time {
+	return c.Now()
+}
+
+// GoodDerivedTime manipulates time values without reading the clock.
+func GoodDerivedTime(t time.Time) time.Time {
+	return t.Add(time.Second)
+}
+
+// AnnotatedWallClock carries a justified allow comment; the finding is
+// suppressed and must not surface.
+func AnnotatedWallClock() time.Time {
+	//lint:allow detclock fixture: exercising the suppression path
+	return time.Now()
+}

@@ -1,0 +1,65 @@
+// Package errdrop is a fixture for the errdrop analyzer: every way of
+// silently discarding an error result that the analyzer must flag, next
+// to the consuming patterns it must not.
+package errdrop
+
+import (
+	"errors"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// BadExprDrop calls an error-returning function as a bare statement.
+func BadExprDrop() {
+	mayFail() // want errdrop "error result of mayFail is discarded"
+}
+
+// BadMethodDrop drops a method's error result.
+func BadMethodDrop(c closer) {
+	c.Close() // want errdrop "error result of c.Close is discarded"
+}
+
+// BadBlankAssign throws the error away explicitly.
+func BadBlankAssign() {
+	_ = mayFail() // want errdrop "error value assigned to the blank identifier"
+}
+
+// BadBlankTuple discards the error position of a multi-value call.
+func BadBlankTuple() int {
+	n, _ := twoResults() // want errdrop "error result of twoResults assigned to the blank identifier"
+	return n
+}
+
+// BadDeferDrop discards the deferred call's error.
+func BadDeferDrop(c closer) {
+	defer c.Close() // want errdrop "error result of defer c.Close is discarded"
+}
+
+// GoodHandled consumes the error.
+func GoodHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodBuilderWrite uses a writer documented to never fail; exempted via
+// the AllowCallees list.
+func GoodBuilderWrite() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	b.WriteByte('!')
+	return b.String()
+}
+
+// AnnotatedDrop carries a justified allow comment.
+func AnnotatedDrop(c closer) {
+	c.Close() //lint:allow errdrop fixture: exercising the suppression path
+}

@@ -1,0 +1,63 @@
+// Package internedattr is a fixture for the internedattr analyzer: the
+// interning contract says canonical *PathAttrs pointers are compared by
+// identity and never written through after interning.
+package internedattr
+
+import "reflect"
+
+// PathAttrs mirrors wire.PathAttrs; the analyzer is configured to treat
+// this fixture type as interned.
+type PathAttrs struct {
+	LocalPref uint32
+	MED       uint32
+}
+
+// Intern stands in for the real interner.
+func Intern(a PathAttrs) *PathAttrs { return &a }
+
+// BadDeepEqual compares interned blocks structurally.
+func BadDeepEqual(a, b *PathAttrs) bool {
+	return reflect.DeepEqual(a, b) // want internedattr "reflect.DeepEqual on interned"
+}
+
+// BadValueCompare dereferences and compares field-wise.
+func BadValueCompare(a, b *PathAttrs) bool {
+	return *a == *b // want internedattr "comparison of interned"
+}
+
+// BadFieldMutation writes through the shared pointer.
+func BadFieldMutation(a *PathAttrs) {
+	a.LocalPref = 200 // want internedattr "mutation of interned"
+}
+
+// BadStarAssign replaces the shared block wholesale.
+func BadStarAssign(a *PathAttrs, v PathAttrs) {
+	*a = v // want internedattr "assignment through interned"
+}
+
+// BadFieldIncrement mutates through the pointer with ++.
+func BadFieldIncrement(a *PathAttrs) {
+	a.MED++ // want internedattr "mutation of interned"
+}
+
+// BadFieldAddress hands out a writable window into the shared block.
+func BadFieldAddress(a *PathAttrs) *uint32 {
+	return &a.LocalPref // want internedattr "address of field of interned"
+}
+
+// GoodPointerCompare is the sanctioned idiom.
+func GoodPointerCompare(a, b *PathAttrs) bool {
+	return a == b
+}
+
+// GoodCloneThenMutate copies the value before changing it.
+func GoodCloneThenMutate(a *PathAttrs) *PathAttrs {
+	clone := *a
+	clone.LocalPref = 200
+	return Intern(clone)
+}
+
+// GoodFieldRead reads through the pointer without writing.
+func GoodFieldRead(a *PathAttrs) uint32 {
+	return a.LocalPref
+}

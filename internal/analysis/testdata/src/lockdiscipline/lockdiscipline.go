@@ -1,0 +1,98 @@
+// Package lockdiscipline is a fixture for the lockdiscipline analyzer:
+// blocking operations while holding the configured router mutex, both
+// direct and through a same-package call chain, next to disciplined
+// critical sections that must stay clean.
+package lockdiscipline
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Router mirrors core.Router: mu is the configured mutex.
+type Router struct {
+	mu    sync.Mutex
+	peers map[string]int
+	ch    chan int
+}
+
+// BadSleepWhileLocked blocks on real time inside the critical section.
+func (r *Router) BadSleepWhileLocked() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockdiscipline "blocking call time.Sleep"
+	r.mu.Unlock()
+}
+
+// BadConnWriteWhileLocked pushes onto a socket with the lock held via a
+// deferred Unlock.
+func (r *Router) BadConnWriteWhileLocked(conn net.Conn, p []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	conn.Write(p) // want lockdiscipline "blocking call"
+}
+
+// BadSendWhileLocked performs a naked channel send under the lock; the
+// receiver may not be draining.
+func (r *Router) BadSendWhileLocked(v int) {
+	r.mu.Lock()
+	r.ch <- v // want lockdiscipline "channel send while holding"
+	r.mu.Unlock()
+}
+
+// BadSelectWhileLocked parks in a select with no default under the lock.
+func (r *Router) BadSelectWhileLocked() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want lockdiscipline "blocking select"
+	case v := <-r.ch:
+		return v
+	}
+}
+
+// flushSlow is the indirection the call-graph walk must see through.
+func (r *Router) flushSlow(conn net.Conn, p []byte) {
+	conn.Write(p)
+}
+
+// BadTransitive reaches blocking I/O through a same-package callee.
+func (r *Router) BadTransitive(conn net.Conn, p []byte) {
+	r.mu.Lock()
+	r.flushSlow(conn, p) // want lockdiscipline "reaches blocking operation"
+	r.mu.Unlock()
+}
+
+// GoodLocked is a disciplined critical section: pure in-memory work.
+func (r *Router) GoodLocked(k string, v int) {
+	r.mu.Lock()
+	r.peers[k] = v
+	r.mu.Unlock()
+}
+
+// GoodUnlockedSend releases the lock before the channel send.
+func (r *Router) GoodUnlockedSend(v int) {
+	r.mu.Lock()
+	n := len(r.peers)
+	r.mu.Unlock()
+	r.ch <- n + v
+}
+
+// GoodNonBlockingSelect cannot park: the default arm always runs.
+func (r *Router) GoodNonBlockingSelect(v int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// auditedHandoff is on the analyzer's allow list: a hand-audited
+// exception whose justification lives next to the config entry.
+func auditedHandoff(r *Router, v int) {
+	r.mu.Lock()
+	r.ch <- v
+	r.mu.Unlock()
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function values, built-ins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// namedTypeName returns the qualified "pkgpath.Name" of t after
+// stripping one level of pointer and any alias, or "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// isPointerTo reports whether t is a pointer whose element's qualified
+// name is name.
+func isPointerTo(t types.Type, name string) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return namedTypeName(p.Elem()) == name
+}
+
+// lastResultIsError reports whether the call's result (or last tuple
+// element) has type error.
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		return isErrorType(t.At(t.Len() - 1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// callName renders the called expression for diagnostics ("conn.Close",
+// "fmt.Fprintf").
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// enclosedBy reports whether the package config scopes the given file:
+// an empty file list means the whole package.
+func fileInScope(files []string, filename string) bool {
+	if len(files) == 0 {
+		return true
+	}
+	base := filepath.Base(filename)
+	for _, f := range files {
+		if f == base {
+			return true
+		}
+	}
+	return false
+}
+
+// stringSet builds a membership set.
+func stringSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+// funcDecls maps each declared function object of the package to its
+// declaration.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				m[fn] = fd
+			}
+		}
+	}
+	return m
+}
+
+// identObj resolves an expression to the variable it names, unwrapping
+// parentheses; nil when the expression is not a plain identifier.
+func identObj(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// usesVar reports whether the subtree mentions any variable in vars.
+func usesVar(info *types.Info, root ast.Node, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// qualifiedFieldOwner returns "pkgpath.TypeName.fieldName" for the field
+// selected by sel, resolving through the selection's receiver type; ""
+// when sel does not select a struct field.
+func qualifiedFieldOwner(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := namedTypeName(s.Recv())
+	if recv == "" {
+		return ""
+	}
+	return recv + "." + s.Obj().Name()
+}
+
+// hasSuffixPath reports whether path equals pattern or ends with
+// "/"+pattern (convenience for matching import paths regardless of the
+// module name).
+func hasSuffixPath(path, pattern string) bool {
+	return path == pattern || strings.HasSuffix(path, "/"+pattern)
+}

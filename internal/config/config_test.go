@@ -168,6 +168,14 @@ func TestParseErrors(t *testing.T) {
 		{"bad community", `router { as 1 } route-map m { term t { set community zzz } }`, "bad community"},
 		{"truncated block", `router { as 1`, "unexpected end"},
 		{"bad action", `router { as 1 } route-map m { term t { action maybe } }`, "permit or deny"},
+		// Unknown-directive rejection at every remaining nesting level: a
+		// typo anywhere in a config must be a parse error, never silently
+		// ignored policy.
+		{"unknown route-map key", `router { as 1 } route-map m { frob t { } }`, "unknown route-map directive"},
+		{"unknown term key", `router { as 1 } route-map m { term t { frob 1 } }`, "unknown term directive"},
+		{"unknown match kind", `router { as 1 } route-map m { term t { match frob x } }`, "unknown match kind"},
+		{"unknown set kind", `router { as 1 } route-map m { term t { set frob 1 } }`, "unknown set kind"},
+		{"unknown prefix qualifier", `prefix-list p { permit 10.0.0.0/8 frob 9 } router { as 1 }`, "unknown qualifier"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.in)

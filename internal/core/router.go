@@ -593,6 +593,7 @@ func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us [
 		// single-use and safe to retain.
 		b := r.getBatch()
 		b.updates = append(b.updates[:0], us...)
+		//lint:allow pooledbuf audited ownership transfer: the shard worker Puts the batch after processing; the failure branch Puts it here
 		if !r.send(0, workItem{kind: workUpdateBatch, peerID: peerID, batch: b}) {
 			r.putBatch(b)
 		}
@@ -615,6 +616,7 @@ func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us [
 			sub := cur[si]
 			if sub == nil {
 				if batches[si] == nil {
+					//lint:allow pooledbuf audited ownership transfer: parked in the handler scratch only until the flush loop below sends or Puts it
 					batches[si] = r.getBatch()
 				}
 				sub = batches[si].next()
@@ -628,6 +630,7 @@ func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us [
 			sub := cur[si]
 			if sub == nil {
 				if batches[si] == nil {
+					//lint:allow pooledbuf audited ownership transfer: parked in the handler scratch only until the flush loop below sends or Puts it
 					batches[si] = r.getBatch()
 				}
 				sub = batches[si].next()

@@ -2,6 +2,7 @@ package status
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"bgpbench/internal/damping"
 	"bgpbench/internal/fib"
 	"bgpbench/internal/netaddr"
+	"bgpbench/internal/netem"
 )
 
 func testRouter(t *testing.T) *core.Router {
@@ -108,5 +110,99 @@ func TestUnknownPath(t *testing.T) {
 	code, _ := get(t, r, "/nope")
 	if code != 404 {
 		t.Fatalf("status code %d, want 404", code)
+	}
+}
+
+// failingWriter is a ResponseWriter whose body rejects writes after a
+// byte budget, modeling a client that disconnects mid-response. The
+// handlers must tolerate it without panicking: metrics scrapes race
+// against benchmark shutdown constantly.
+type failingWriter struct {
+	*httptest.ResponseRecorder
+	budget int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("client went away")
+	}
+	n := len(p)
+	if n > f.budget {
+		n = f.budget
+	}
+	f.budget -= n
+	n, err := f.ResponseRecorder.Write(p[:n])
+	if err != nil {
+		return n, err
+	}
+	if f.budget == 0 {
+		return n, errors.New("client went away")
+	}
+	return n, nil
+}
+
+func serveFailing(t *testing.T, r *core.Router, path string, budget int) *failingWriter {
+	t.Helper()
+	w := &failingWriter{ResponseRecorder: httptest.NewRecorder(), budget: budget}
+	req := httptest.NewRequest("GET", path, nil)
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("GET %s with failing writer panicked: %v", path, p)
+		}
+	}()
+	Handler(r, 65000).ServeHTTP(w, req)
+	return w
+}
+
+func TestMetricsClientGone(t *testing.T) {
+	r := testRouter(t)
+	// Fail immediately and mid-stream: every Fprintf after the failure
+	// point must be a clean no-op.
+	for _, budget := range []int{0, 25} {
+		w := serveFailing(t, r, "/metrics", budget)
+		if got := w.Body.Len(); got > budget {
+			t.Errorf("budget %d: handler wrote %d bytes past a dead client", budget, got)
+		}
+		if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("budget %d: Content-Type = %q, want text/plain (set before the body)", budget, ct)
+		}
+	}
+}
+
+func TestStatusClientGone(t *testing.T) {
+	r := testRouter(t)
+	w := serveFailing(t, r, "/status", 0)
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json even when the body write fails", ct)
+	}
+}
+
+func TestFIBDumpClientGone(t *testing.T) {
+	r := testRouter(t)
+	serveFailing(t, r, "/fib", 10)
+}
+
+func TestMetricsWithFaults(t *testing.T) {
+	r := testRouter(t)
+	inj := netem.NewInjector(netem.Profile{}, nil)
+	srv := httptest.NewServer(HandlerWithFaults(r, 65000, inj))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"netem_conns_total 0",
+		"netem_corrupts_total 0",
+		"netem_bytes_out_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing fault counter %q:\n%s", want, body)
+		}
 	}
 }

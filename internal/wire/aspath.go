@@ -1,7 +1,7 @@
 package wire
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -146,7 +146,7 @@ func (p ASPath) String() string {
 				if j > 0 {
 					b.WriteByte(',')
 				}
-				fmt.Fprintf(&b, "%d", a)
+				b.WriteString(strconv.FormatUint(uint64(a), 10))
 			}
 			b.WriteByte('}')
 		} else {
@@ -154,7 +154,7 @@ func (p ASPath) String() string {
 				if j > 0 {
 					b.WriteByte(' ')
 				}
-				fmt.Fprintf(&b, "%d", a)
+				b.WriteString(strconv.FormatUint(uint64(a), 10))
 			}
 		}
 	}

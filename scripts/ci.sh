@@ -3,7 +3,20 @@
 set -eux
 
 go build ./...
+# Formatting gate: fail with the offending file list.
+fmt_out="$(gofmt -l .)"
+if [ -n "$fmt_out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt_out" >&2
+	exit 1
+fi
+# Default vet suite, then an explicit pass pinning the checks the
+# concurrency code leans on hardest.
 go vet ./...
+go vet -copylocks -unusedresult ./...
+# Project-invariant static analyzers (see internal/analysis): findings
+# exit non-zero and fail the gate.
+go run ./cmd/bgplint ./...
 go test -race ./internal/core/... ./internal/session/...
 # Fault-injection conformance gate under the race detector: one
 # representative scenario (flap-reset, N=1 vs N=4 shards) plus replay
