@@ -34,10 +34,12 @@ vet:
 lint:
 	$(GO) run ./cmd/bgplint ./...
 
-# The sharded router and the session layer are the concurrency-heavy
-# packages; run them under the race detector every time.
+# The sharded router, the session layer, and the FIB's lock-free
+# snapshot read path are the concurrency-heavy code; run them under the
+# race detector every time (the fib package carries the
+# lookup-under-churn test).
 race:
-	$(GO) test -race ./internal/core/... ./internal/session/...
+	$(GO) test -race ./internal/core/... ./internal/session/... ./internal/fib/...
 
 # Conformance gate: one representative scenario under the flap-reset
 # fault profile, N=1 vs N=4 decision shards, plus the replay-determinism
@@ -53,6 +55,9 @@ conformance:
 bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate' \
 		-benchtime=1x ./internal/core/
+	BGPBENCH_LOOKUP_N=50000 $(GO) test -run='^$$' \
+		-bench 'BenchmarkLookup$$|BenchmarkLookupChurn' \
+		-benchtime=1x ./internal/fib/
 
 test:
 	$(GO) test ./...

@@ -236,7 +236,7 @@ func BenchmarkWireParseUpdate(b *testing.B) {
 // BenchmarkFIBLookup compares the LPM engines on a 100k-prefix table.
 func BenchmarkFIBLookup(b *testing.B) {
 	table := core.GenerateTable(core.TableGenConfig{N: 100000, Seed: 5})
-	for _, name := range []string{"binary", "patricia", "hashlen"} {
+	for _, name := range []string{"binary", "patricia", "hashlen", "poptrie"} {
 		b.Run(name, func(b *testing.B) {
 			eng, err := fib.NewEngine(name)
 			if err != nil {
@@ -261,7 +261,7 @@ func BenchmarkFIBLookup(b *testing.B) {
 // BenchmarkFIBUpdate measures insert+delete churn per engine.
 func BenchmarkFIBUpdate(b *testing.B) {
 	table := core.GenerateTable(core.TableGenConfig{N: 50000, Seed: 6})
-	for _, name := range []string{"binary", "patricia", "hashlen"} {
+	for _, name := range []string{"binary", "patricia", "hashlen", "poptrie"} {
 		b.Run(name, func(b *testing.B) {
 			eng, err := fib.NewEngine(name)
 			if err != nil {

@@ -10,8 +10,9 @@
 //	bgpbench fig5    [-n prefixes] [-step mbps] [-csv dir]
 //	bgpbench fig6    [-n prefixes] [-cross mbps] [-csv dir]
 //	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
-//	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-crossworkers K] [-crosspps R] [-shards LIST] [-batch N] [-batchdelay D] [-pprof addr] [-json file]
-//	bgpbench livesweep [-n prefixes] [-num N]
+//	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-cpus N] [-crossworkers K] [-crosspps R] [-shards LIST] [-batch N] [-batchdelay D] [-pprof addr] [-json file]
+//	bgpbench lookup  [-n prefixes] [-engines LIST] [-readers K] [-churn N] [-duration D] [-cpus N] [-json file]
+//	bgpbench livesweep [-n prefixes] [-num N] [-cpus N]
 //	bgpbench chaos   [-n prefixes] [-num N] [-profiles LIST] [-seed S] [-shards LIST] [-json file]
 //	bgpbench worm
 //	bgpbench ablate  [-n prefixes]
@@ -26,12 +27,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"bgpbench/internal/bench"
+	"bgpbench/internal/fib"
 	"bgpbench/internal/mrt"
 	"bgpbench/internal/netem"
 	"bgpbench/internal/platform"
@@ -60,6 +63,8 @@ func main() {
 		err = cmdScenario(args)
 	case "live":
 		err = cmdLive(args)
+	case "lookup":
+		err = cmdLookup(args)
 	case "ablate":
 		err = cmdAblate(args)
 	case "worm":
@@ -94,6 +99,7 @@ commands:
   fig6       Figure 6: Pentium III Scenario 8 with and without cross-traffic
   scenario   run one scenario on one modeled system and print phase detail
   live       run the benchmark against the live Go BGP router over loopback
+  lookup     data-plane LPM throughput: 1M-prefix full table, optional churn
   ablate     ablation studies of the model's design choices
   worm       update-storm survivability (max sustainable / keepalive-safe rates)
   livesweep  live Figure-5 analogue: tps vs rate-controlled cross-traffic
@@ -279,7 +285,8 @@ func cmdLive(args []string) error {
 	fs := flag.NewFlagSet("live", flag.ExitOnError)
 	n := fs.Int("n", 10000, "routing table size in prefixes")
 	num := fs.Int("num", 0, "scenario number 1-8 (0 = all)")
-	fib := fs.String("fib", "patricia", "FIB engine: linear, binary, patricia, hashlen")
+	fibEngine := fs.String("fib", "patricia", "FIB engine: "+strings.Join(fib.EngineNames, ", "))
+	cpus := fs.Int("cpus", 0, "set GOMAXPROCS for the run (0 = leave as is)")
 	crossWorkers := fs.Int("crossworkers", 0, "goroutines saturating the forwarding plane")
 	crossPPS := fs.Float64("crosspps", 0, "rate-controlled cross-traffic in packets/second")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -292,6 +299,8 @@ func cmdLive(args []string) error {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the benchmark runs")
 	repeat := fs.Int("repeat", 1, "runs per scenario/shard cell; the best run is reported (rejects scheduler noise on short runs)")
 	fs.Parse(args)
+
+	applyCPUs(*cpus)
 
 	if *pprofAddr != "" {
 		// DefaultServeMux carries the pprof handlers via the side-effect
@@ -314,7 +323,7 @@ func cmdLive(args []string) error {
 		scns = []bench.Scenario{scn}
 	}
 	fmt.Printf("Live benchmark: Go BGP router over loopback, table %d, fib=%s, crossworkers=%d\n\n",
-		*n, *fib, *crossWorkers)
+		*n, *fibEngine, *crossWorkers)
 	fmt.Printf("%-48s %7s %12s %10s %14s\n", "scenario", "shards", "tps", "duration", "fwd pkts/s")
 	var rows []liveRow
 	for _, scn := range scns {
@@ -322,7 +331,7 @@ func cmdLive(args []string) error {
 			cfg := bench.LiveConfig{
 				TableSize:       *n,
 				Seed:            *seed,
-				FIBEngine:       *fib,
+				FIBEngine:       *fibEngine,
 				CrossWorkers:    *crossWorkers,
 				CrossPPS:        *crossPPS,
 				Shards:          sh,
@@ -357,6 +366,7 @@ func cmdLive(args []string) error {
 			}
 			fmt.Println()
 			rows = append(rows, liveRow{
+				Workload:        "scenario",
 				Scenario:        res.Scenario.Num,
 				ScenarioName:    res.Scenario.String(),
 				Prefixes:        res.Prefixes,
@@ -364,10 +374,11 @@ func cmdLive(args []string) error {
 				TPS:             res.TPS,
 				DurationSeconds: res.Duration.Seconds(),
 				FwdPPS:          res.FwdPacketsPerSec,
-				FIBEngine:       *fib,
+				FIBEngine:       *fibEngine,
 				BatchMaxUpdates: res.BatchMaxUpdates,
 				BatchMaxDelayUS: float64(res.BatchMaxDelay) / float64(time.Microsecond),
 				Repeats:         *repeat,
+				Mem:             bench.Mem(),
 				Host:            bench.Host(),
 			})
 		}
@@ -389,9 +400,10 @@ func cmdLive(args []string) error {
 }
 
 // liveRow is one record of the machine-readable live benchmark output.
-// Host context and the effective batching knobs ride along so persisted
-// results stay comparable across machines and configurations.
+// Host context, memory, and the effective batching knobs ride along so
+// persisted results stay comparable across machines and configurations.
 type liveRow struct {
+	Workload        string         `json:"workload,omitempty"`
 	Scenario        int            `json:"scenario"`
 	ScenarioName    string         `json:"scenario_name"`
 	Prefixes        int            `json:"prefixes"`
@@ -403,7 +415,24 @@ type liveRow struct {
 	BatchMaxUpdates int            `json:"batch_max_updates"`
 	BatchMaxDelayUS float64        `json:"batch_max_delay_us"`
 	Repeats         int            `json:"repeats,omitempty"`
+	Mem             bench.MemInfo  `json:"mem"`
 	Host            bench.HostInfo `json:"host"`
+}
+
+// applyCPUs implements the -cpus knob: benchmarks exercising shard or
+// snapshot-reader scaling are meaningless on one scheduler thread, so the
+// knob raises GOMAXPROCS explicitly and the warning is loud when the run
+// would still be single-threaded.
+func applyCPUs(cpus int) {
+	if cpus > 0 {
+		runtime.GOMAXPROCS(cpus)
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprint(os.Stderr,
+			"WARNING: GOMAXPROCS=1 - shard scaling and the lock-free snapshot read path\n"+
+				"         are invisible on a single scheduler thread; rerun with -cpus N (N>1)\n"+
+				"         or on a multi-core host for meaningful concurrency numbers.\n")
+	}
 }
 
 // parseShardList parses the -shards sweep value: a comma-separated list of
@@ -421,6 +450,139 @@ func parseShardList(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// lookupRow is one record of the machine-readable lookup benchmark
+// output, sharing BENCH_live.json with the scenario rows (the workload
+// field tells them apart).
+type lookupRow struct {
+	Workload           string         `json:"workload"` // "lookup" or "lookup_churn"
+	Prefixes           int            `json:"prefixes"`
+	FIBEngine          string         `json:"fib_engine"`
+	Table              string         `json:"table"`
+	Readers            int            `json:"readers"`
+	LookupsPerSec      float64        `json:"lookups_per_sec"`
+	NsPerLookup        float64        `json:"ns_per_lookup"`
+	ChurnBatchesPerSec float64        `json:"churn_batches_per_sec,omitempty"`
+	ChurnOpsPerSec     float64        `json:"churn_ops_per_sec,omitempty"`
+	DurationSeconds    float64        `json:"duration_seconds"`
+	Mem                bench.MemInfo  `json:"mem"`
+	Host               bench.HostInfo `json:"host"`
+}
+
+func lookupRowFor(res bench.LookupResult, churn bool) lookupRow {
+	row := lookupRow{
+		Workload:        "lookup",
+		Prefixes:        res.Prefixes,
+		FIBEngine:       res.Engine,
+		Table:           res.Table,
+		Readers:         res.Readers,
+		LookupsPerSec:   res.LookupsPerSec(),
+		NsPerLookup:     res.NsPerLookup(),
+		DurationSeconds: res.Duration.Seconds(),
+		Mem:             res.Mem,
+		Host:            bench.Host(),
+	}
+	if churn {
+		row.Workload = "lookup_churn"
+		row.ChurnBatchesPerSec = float64(res.ChurnBatches) / res.Duration.Seconds()
+		row.ChurnOpsPerSec = float64(res.ChurnOps) / res.Duration.Seconds()
+	}
+	return row
+}
+
+func cmdLookup(args []string) error {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	n := fs.Int("n", 1_000_000, "installed prefixes (synthetic full table)")
+	engines := fs.String("engines", strings.Join(fib.EngineNames, ","), "comma-separated engines for the single-threaded pass")
+	readers := fs.Int("readers", 0, "reader goroutines for the churn pass (0 = GOMAXPROCS)")
+	churn := fs.Int("churn", 512, "writer batch size for the churn pass (0 = skip the churn pass)")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window per cell")
+	seed := fs.Int64("seed", 5, "workload seed")
+	cpus := fs.Int("cpus", 0, "set GOMAXPROCS for the run (0 = leave as is)")
+	jsonOut := fs.String("json", "", "write machine-readable results to this file")
+	fs.Parse(args)
+
+	applyCPUs(*cpus)
+	if *readers == 0 {
+		*readers = runtime.GOMAXPROCS(0)
+	}
+
+	var rows []lookupRow
+	fmt.Printf("Lookup benchmark: %d-prefix synthetic full table, %v per cell\n\n", *n, *duration)
+	fmt.Printf("single-threaded LPM, bare engine:\n")
+	fmt.Printf("  %-10s %14s %12s %14s %12s\n", "engine", "lookups/s", "ns/lookup", "heap", "rss")
+	for _, name := range strings.Split(*engines, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		res, err := bench.RunLookup(bench.LookupConfig{
+			TableSize: *n, Seed: *seed, Engine: name, Duration: *duration,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s %14.0f %12.1f %14s %12s\n", name,
+			res.LookupsPerSec(), res.NsPerLookup(), fmtBytes(res.Mem.AllocBytes), fmtBytes(res.Mem.RSSBytes))
+		rows = append(rows, lookupRowFor(res, false))
+	}
+
+	if *churn > 0 {
+		// The churn matrix is the point of the snapshot read path: reader
+		// throughput under a writer committing delete+reinsert batches flat
+		// out. The RWMutex wrappers stall readers on every commit; the
+		// snapshot table must not.
+		cells := []struct{ engine, table string }{
+			{"patricia", "rwmutex"},
+			{"poptrie", "rwmutex"},
+			{"poptrie", "snapshot"},
+		}
+		fmt.Printf("\n%d readers vs churn writer (batches of %d delete+reinsert ops):\n", *readers, *churn)
+		fmt.Printf("  %-20s %14s %12s %16s\n", "table", "lookups/s", "ns/lookup", "churn ops/s")
+		for _, c := range cells {
+			res, err := bench.RunLookup(bench.LookupConfig{
+				TableSize: *n, Seed: *seed, Engine: c.engine, Table: c.table,
+				Readers: *readers, Duration: *duration, ChurnBatch: *churn,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-20s %14.0f %12.1f %16.0f\n", c.table+"-"+c.engine,
+				res.LookupsPerSec(), res.NsPerLookup(), float64(res.ChurnOps)/res.Duration.Seconds())
+			rows = append(rows, lookupRowFor(res, true))
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", *jsonOut, len(rows))
+	}
+	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit for the console table.
+func fmtBytes(b uint64) string {
+	switch {
+	case b == 0:
+		return "-"
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func cmdAblate(args []string) error {
@@ -447,7 +609,9 @@ func cmdLiveSweep(args []string) error {
 	fs := flag.NewFlagSet("livesweep", flag.ExitOnError)
 	n := fs.Int("n", 10000, "routing table size in prefixes")
 	num := fs.Int("num", 2, "scenario number 1-8")
+	cpus := fs.Int("cpus", 0, "set GOMAXPROCS for the run (0 = leave as is)")
 	fs.Parse(args)
+	applyCPUs(*cpus)
 	scn, err := bench.ScenarioByNum(*num)
 	if err != nil {
 		return err

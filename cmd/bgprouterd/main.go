@@ -33,7 +33,7 @@ func main() {
 	as := flag.Uint("as", 65000, "local autonomous system number")
 	id := flag.String("id", "10.0.0.1", "BGP identifier (IPv4)")
 	neighbors := flag.String("neighbors", "65001,65002", "comma-separated neighbour AS numbers to accept")
-	fib := flag.String("fib", "patricia", "FIB engine: linear, binary, patricia, hashlen")
+	fib := flag.String("fib", "patricia", "FIB engine: linear, binary, patricia, hashlen, poptrie")
 	shards := flag.Int("shards", 0, "decision-worker shard count (0 = GOMAXPROCS)")
 	batch := flag.Int("batch-updates", 0, "max UPDATEs coalesced per shard dispatch (0 = default 256, negative = disable batching)")
 	batchDelay := flag.Duration("batch-delay", 0, "max time an UPDATE may wait in a forming batch (0 = default 200us, negative = flush when the session idles)")

@@ -23,7 +23,7 @@ func main() {
 	fmt.Printf("Start-up convergence of the live Go router (table: %d prefixes)\n\n", *n)
 	fmt.Printf("%-10s %-14s %12s %12s\n", "fib", "packets", "tps", "time")
 
-	for _, engine := range []string{"patricia", "binary", "hashlen", "linear"} {
+	for _, engine := range []string{"patricia", "binary", "hashlen", "linear", "poptrie"} {
 		for _, scnNum := range []int{1, 2} {
 			scn, err := bench.ScenarioByNum(scnNum)
 			if err != nil {

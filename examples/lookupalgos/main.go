@@ -1,4 +1,4 @@
-// Lookupalgos: compare the four longest-prefix-match engines behind the
+// Lookupalgos: compare the five longest-prefix-match engines behind the
 // router's FIB on a realistic routing table: build time, lookup
 // throughput, and update (insert/delete) throughput. This exercises the
 // address-lookup substrate the paper's forwarding path depends on
@@ -99,5 +99,8 @@ func main() {
 	fmt.Println("\nThe router defaults to the Patricia trie: near-hash lookup speed with")
 	fmt.Println("ordered walks and cheap updates; hashlen wins raw lookups but pays on")
 	fmt.Println("tables whose prefix lengths spread; binary tries cost a pointer chase")
-	fmt.Println("per bit; the linear scan is the property-test oracle only.")
+	fmt.Println("per bit; the linear scan is the property-test oracle only. The poptrie")
+	fmt.Println("is the read-optimized extreme: popcount-compressed multibit nodes give")
+	fmt.Println("the fastest lookups and copy-on-write snapshots (the lock-free read")
+	fmt.Println("path), paying for it with the slowest single-route updates.")
 }

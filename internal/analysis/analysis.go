@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		InternedAttr,
 		LockDiscipline,
 		ErrDrop,
+		SnapshotImmut,
 	}
 }
 

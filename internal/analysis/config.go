@@ -9,6 +9,7 @@ type Config struct {
 	Interned InternedConfig
 	Lock     LockConfig
 	ErrDrop  ErrDropConfig
+	Snapshot SnapshotConfig
 }
 
 // DetclockConfig scopes the deterministic-clock check.
@@ -51,6 +52,17 @@ type ErrDropConfig struct {
 	// form) whose error result is documented to always be nil; dropping
 	// it is not a finding.
 	AllowCallees []string
+}
+
+// SnapshotConfig names the FIB snapshot types that are immutable once
+// reachable from a published snapshot, and the builder functions allowed
+// to write them (they only ever touch fresh, unpublished values).
+type SnapshotConfig struct {
+	// Types are qualified "pkgpath.TypeName" snapshot types.
+	Types []string
+	// Builders are fully-qualified functions (types.Func.FullName form)
+	// exempt from the write check; each entry carries its justification.
+	Builders []string
 }
 
 // fixturePrefix scopes the analyzers onto their own testdata packages:
@@ -148,6 +160,42 @@ func DefaultConfig() *Config {
 				"(*bytes.Buffer).WriteRune",
 				"(*bytes.Buffer).WriteString",
 				"(hash.Hash).Write",
+			},
+		},
+		Snapshot: SnapshotConfig{
+			Types: []string{
+				// The poptrie's share-on-snapshot structures: directory
+				// pages, compiled chunks, the expanded short-route view,
+				// and the published snapshot head itself.
+				"bgpbench/internal/fib.rootPage",
+				"bgpbench/internal/fib.popChunk",
+				"bgpbench/internal/fib.shortView",
+				"bgpbench/internal/fib.poptrieSnapshot",
+
+				fixturePrefix + "snapshotimmut.Snapshot",
+				fixturePrefix + "snapshotimmut.snapPage",
+			},
+			Builders: []string{
+				// Chunk compilation only ever fills the freshly allocated
+				// chunk it is building; published chunks are never passed
+				// back in.
+				"bgpbench/internal/fib.buildChunk",
+				"(*bgpbench/internal/fib.popChunk).buildInto",
+				// setChunk installs into a page it just allocated or
+				// copied (the pageShared seal is cleared on copy).
+				"(*bgpbench/internal/fib.rootPage).set",
+				// The shortView write funnel: every caller goes through
+				// ownShort first, which clones the view if a snapshot
+				// still references it.
+				"(*bgpbench/internal/fib.shortView).stamp",
+				"(*bgpbench/internal/fib.shortView).rebuild",
+				"(*bgpbench/internal/fib.shortView).setRoute",
+				"(*bgpbench/internal/fib.shortView).appendRoute",
+				"(*bgpbench/internal/fib.shortView).truncRoutes",
+				"(*bgpbench/internal/fib.shortView).setExpanded",
+				"(*bgpbench/internal/fib.shortView).appendRes",
+
+				fixturePrefix + "snapshotimmut.buildPage",
 			},
 		},
 	}

@@ -18,6 +18,7 @@ var fixturePackages = []string{
 	fixturePrefix + "internedattr",
 	fixturePrefix + "lockdiscipline",
 	fixturePrefix + "errdrop",
+	fixturePrefix + "snapshotimmut",
 }
 
 // want is one expectation parsed from a `// want analyzer "substring"`

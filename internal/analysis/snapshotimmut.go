@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotImmut protects the FIB snapshot contract: once a snapshot has
+// been published through the atomic pointer, every structure reachable
+// from it (directory pages, compiled chunks, the expanded short-route
+// view) is shared with lock-free readers and must never be written
+// again. The writer's copy-on-write discipline funnels every mutation
+// through a small set of builder functions that only ever touch fresh,
+// unpublished values; those are allow-listed in the config, one
+// justification per entry, and any write outside them is a finding.
+var SnapshotImmut = &Analyzer{
+	Name: "snapshotimmut",
+	Doc:  "published FIB snapshots are immutable; mutations only in allow-listed builders",
+	Run:  runSnapshotImmut,
+}
+
+func runSnapshotImmut(pass *Pass) {
+	snapTypes := stringSet(pass.Config.Snapshot.Types)
+	if len(snapTypes) == 0 {
+		return
+	}
+	builders := stringSet(pass.Config.Snapshot.Builders)
+	info := pass.Pkg.Info
+
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	// snapName returns the configured type name if t is (a pointer to) a
+	// snapshot type.
+	snapName := func(t types.Type) string {
+		if t == nil {
+			return ""
+		}
+		if name := namedTypeName(t); snapTypes[name] {
+			return name
+		}
+		return ""
+	}
+
+	// rootName walks an lvalue chain (selectors, indexing, dereference)
+	// and reports the snapshot type it is rooted in, if any: p.Field,
+	// p.Slice[i], page[i], *p, and nested combinations all count — each
+	// is a write into memory a published snapshot may share.
+	var rootName func(e ast.Expr) string
+	rootName = func(e ast.Expr) string {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if name := snapName(typeOf(x.X)); name != "" {
+					return name
+				}
+				return rootName(x.X)
+			}
+		case *ast.IndexExpr:
+			if name := snapName(typeOf(x.X)); name != "" {
+				return name
+			}
+			return rootName(x.X)
+		case *ast.StarExpr:
+			if name := snapName(typeOf(x.X)); name != "" {
+				return name
+			}
+			return rootName(x.X)
+		}
+		return ""
+	}
+
+	checkWrite := func(e ast.Expr, pos token.Pos) {
+		if name := rootName(e); name != "" {
+			pass.Reportf(pos, "mutation of snapshot type %s outside its builders (published snapshots are immutable; copy before writing)", name)
+		}
+	}
+
+	for fn, fd := range funcDecls(pass.Pkg) {
+		if fd.Body == nil || builders[fn.FullName()] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					checkWrite(lhs, node.Pos())
+				}
+			case *ast.IncDecStmt:
+				checkWrite(node.X, node.Pos())
+			case *ast.UnaryExpr:
+				// &p.Field (or &p.Slice[i]) hands out a writable window
+				// into shared snapshot memory.
+				if node.Op != token.AND {
+					return true
+				}
+				switch ast.Unparen(node.X).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if name := rootName(node.X); name != "" {
+						pass.Reportf(node.Pos(), "address of %s interior escapes (published snapshots are immutable)", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

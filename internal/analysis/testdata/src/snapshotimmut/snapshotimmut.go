@@ -1,0 +1,78 @@
+// Package snapshotimmut is a fixture for the snapshotimmut analyzer:
+// structures reachable from a published FIB snapshot are shared with
+// lock-free readers and must only be written by the allow-listed
+// builders (which operate on fresh, unpublished values).
+package snapshotimmut
+
+// snapPage mirrors the poptrie's copy-on-write directory page.
+type snapPage [4]*int
+
+// Snapshot mirrors the published snapshot head: a directory of pages
+// plus an expanded result table.
+type Snapshot struct {
+	pages    [2]*snapPage
+	expanded []uint32
+	n        int
+}
+
+// buildPage is the sanctioned builder: it only ever fills a page the
+// caller just allocated or copied.
+func buildPage(p *snapPage, v *int) {
+	p[0] = v
+}
+
+// BadFieldAssign writes a field of a published snapshot.
+func BadFieldAssign(s *Snapshot) {
+	s.n = 7 // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadSliceElemAssign writes through a slice field of the snapshot.
+func BadSliceElemAssign(s *Snapshot) {
+	s.expanded[3] = 1 // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadSliceHeaderAssign regrows a shared slice in place.
+func BadSliceHeaderAssign(s *Snapshot) {
+	s.expanded = append(s.expanded, 9) // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadPageElemAssign writes into a shared directory page.
+func BadPageElemAssign(p *snapPage, v *int) {
+	p[1] = v // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadNestedAssign reaches a page through the snapshot.
+func BadNestedAssign(s *Snapshot, v *int) {
+	s.pages[0][2] = v // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadStarAssign replaces a shared page wholesale.
+func BadStarAssign(p *snapPage, v snapPage) {
+	*p = v // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadIncrement bumps a counter readers are concurrently loading.
+func BadIncrement(s *Snapshot) {
+	s.n++ // want snapshotimmut "mutation of snapshot type"
+}
+
+// BadInteriorAddress hands out a writable window into shared memory.
+func BadInteriorAddress(s *Snapshot) *uint32 {
+	return &s.expanded[0] // want snapshotimmut "interior escapes"
+}
+
+// GoodFreshCopy mutates a local value copy, never the shared page.
+func GoodFreshCopy(p *snapPage, v *int) *snapPage {
+	cp := *p
+	fresh := &cp
+	buildPage(fresh, v)
+	return fresh
+}
+
+// GoodRead only loads from the snapshot.
+func GoodRead(s *Snapshot) uint32 {
+	if s.pages[0] != nil {
+		return s.expanded[0] + uint32(s.n)
+	}
+	return 0
+}

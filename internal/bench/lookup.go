@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+)
+
+// LookupConfig parameterizes a synthetic full-table lookup run: the
+// data-plane side of the benchmark, complementing RunLive's control-plane
+// transaction scenarios. The table is a generated 1M-prefix full table (a
+// generation ahead of the paper's 244k-route snapshot), and the probe mix
+// is 3/4 addresses inside installed prefixes with random host bits and
+// 1/4 uniform random for miss coverage.
+type LookupConfig struct {
+	// TableSize is the number of installed prefixes (default 1_000_000).
+	TableSize int
+	// Seed makes the table and probe mix deterministic.
+	Seed int64
+	// Engine selects the FIB lookup structure.
+	Engine string
+	// Table selects the concurrency wrapper: "" or "none" benchmarks the
+	// bare engine single-threaded; "rwmutex" forces the classic RWMutex
+	// Table; "snapshot" requires a snapshot-capable engine and uses the
+	// lock-free SnapshotTable read path.
+	Table string
+	// Readers is the number of concurrent lookup goroutines (default 1;
+	// only meaningful with a concurrency wrapper).
+	Readers int
+	// Duration is the measurement window (default 2s).
+	Duration time.Duration
+	// ChurnBatch, when positive, runs a writer goroutine committing
+	// delete+reinsert batches of this many ops flat out during the
+	// measurement window, so reader throughput is measured under
+	// continuous table churn. Requires a concurrency wrapper.
+	ChurnBatch int
+}
+
+func (c *LookupConfig) defaults() {
+	if c.TableSize == 0 {
+		c.TableSize = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 5
+	}
+	if c.Engine == "" {
+		c.Engine = "poptrie"
+	}
+	if c.Readers == 0 {
+		c.Readers = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+}
+
+// LookupResult reports one lookup workload execution.
+type LookupResult struct {
+	Engine   string
+	Table    string // "none", "rwmutex", or "snapshot"
+	Prefixes int
+	Readers  int
+	// Lookups completed across all readers in Duration.
+	Lookups  uint64
+	Duration time.Duration
+	// ChurnBatches/ChurnOps count writer commits during the window.
+	ChurnBatches uint64
+	ChurnOps     uint64
+	// Mem is captured after the table is loaded, before measurement: the
+	// engine's resident cost for this table.
+	Mem MemInfo
+}
+
+// LookupsPerSec is the headline reader throughput.
+func (r LookupResult) LookupsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Lookups) / r.Duration.Seconds()
+}
+
+// NsPerLookup is the mean per-lookup latency across readers.
+func (r LookupResult) NsPerLookup() float64 {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return float64(r.Duration.Nanoseconds()) * float64(r.Readers) / float64(r.Lookups)
+}
+
+// lookupTarget is the read surface shared by bare engines and the
+// concurrent table wrappers.
+type lookupTarget interface {
+	Lookup(addr netaddr.Addr) (fib.Entry, bool)
+}
+
+// LookupWorkload generates the deterministic bulk-load batch and probe
+// address mix used by RunLookup (exported so tests can cross-check the
+// corpus shape).
+func LookupWorkload(n int, seed int64) ([]fib.Op, []netaddr.Addr) {
+	table := core.GenerateTable(core.TableGenConfig{N: n, Seed: seed})
+	ops := make([]fib.Op, len(table))
+	for i, r := range table {
+		ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.Addr(i | 1), Port: i % 16}}
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x6c6f6f6b))
+	addrs := make([]netaddr.Addr, 8192)
+	for i := range addrs {
+		if i%4 == 3 {
+			addrs[i] = netaddr.Addr(rng.Uint32())
+			continue
+		}
+		p := table[rng.Intn(len(table))].Prefix
+		addrs[i] = p.Addr() | (netaddr.Addr(rng.Uint32()) &^ netaddr.Mask(p.Len()))
+	}
+	return ops, addrs
+}
+
+// RunLookup loads the synthetic table into the configured engine/wrapper
+// and measures lookup throughput for the configured window, optionally
+// under concurrent writer churn.
+func RunLookup(cfg LookupConfig) (LookupResult, error) {
+	cfg.defaults()
+	out := LookupResult{Engine: cfg.Engine, Table: cfg.Table, Readers: cfg.Readers}
+	if out.Table == "" {
+		out.Table = "none"
+	}
+
+	eng, err := fib.NewEngine(cfg.Engine)
+	if err != nil {
+		return out, err
+	}
+	var target lookupTarget
+	var shared fib.Shared
+	switch out.Table {
+	case "none":
+		if cfg.Readers > 1 || cfg.ChurnBatch > 0 {
+			return out, fmt.Errorf("lookup: bare engine is single-threaded; use -table rwmutex or snapshot for readers/churn")
+		}
+		target = eng
+	case "rwmutex":
+		shared = fib.NewTable(eng)
+		target = shared
+	case "snapshot":
+		s, ok := eng.(fib.Snapshotter)
+		if !ok {
+			return out, fmt.Errorf("lookup: engine %q cannot snapshot; -table snapshot needs a snapshot-capable engine (poptrie)", cfg.Engine)
+		}
+		shared = fib.NewSnapshotTable(s)
+		target = shared
+	default:
+		return out, fmt.Errorf("lookup: unknown table wrapper %q (none, rwmutex, snapshot)", cfg.Table)
+	}
+
+	ops, addrs := LookupWorkload(cfg.TableSize, cfg.Seed)
+	out.Prefixes = len(ops)
+	switch {
+	case shared != nil:
+		shared.Apply(ops)
+	default:
+		eng.Apply(ops)
+	}
+	out.Mem = Mem()
+
+	// Optional churn writer: delete+reinsert pairs in one batch, so every
+	// published epoch still holds the full table.
+	stop := make(chan struct{})
+	var writerDone sync.WaitGroup
+	var churnBatches, churnOps atomic.Uint64
+	if cfg.ChurnBatch > 0 {
+		writerDone.Add(1)
+		go func() {
+			defer writerDone.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6368726e))
+			buf := make([]fib.Op, 0, cfg.ChurnBatch)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = buf[:0]
+				for len(buf)+2 <= cfg.ChurnBatch {
+					op := ops[rng.Intn(len(ops))]
+					buf = append(buf,
+						fib.Op{Prefix: op.Prefix, Delete: true},
+						fib.Op{Prefix: op.Prefix, Entry: op.Entry})
+				}
+				shared.Apply(buf)
+				churnBatches.Add(1)
+				churnOps.Add(uint64(len(buf)))
+			}
+		}()
+	}
+
+	var readersDone sync.WaitGroup
+	var total atomic.Uint64
+	deadline := make(chan struct{})
+	for w := 0; w < cfg.Readers; w++ {
+		readersDone.Add(1)
+		go func(off int) {
+			defer readersDone.Done()
+			i := off
+			var count uint64
+			var sink int
+			for {
+				select {
+				case <-deadline:
+					total.Add(count)
+					return
+				default:
+				}
+				// Amortize the channel poll over a block of lookups.
+				for k := 0; k < 512; k++ {
+					e, _ := target.Lookup(addrs[i&(len(addrs)-1)])
+					sink += e.Port
+					i++
+				}
+				count += 512
+			}
+		}(w * 1009)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(deadline)
+	readersDone.Wait()
+	out.Duration = time.Since(start)
+	close(stop)
+	writerDone.Wait()
+	out.Lookups = total.Load()
+	out.ChurnBatches = churnBatches.Load()
+	out.ChurnOps = churnOps.Load()
+	return out, nil
+}

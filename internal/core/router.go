@@ -58,7 +58,8 @@ type Config struct {
 	// exports (next-hop-self). Defaults to ID.
 	NextHop   netaddr.Addr
 	Neighbors []NeighborConfig
-	// FIBEngine selects the lookup structure ("patricia" default).
+	// FIBEngine selects the lookup structure ("patricia" default;
+	// "poptrie" additionally gets the lock-free snapshot read path).
 	FIBEngine string
 	// ExportBatch caps prefixes per UPDATE during initial table transfer
 	// to a new peer (Phase 2 of the benchmark). Default 500.
@@ -146,7 +147,7 @@ type Router struct {
 	neighbors map[uint16]NeighborConfig
 
 	rib      *rib.Sharded
-	fib      *fib.Table
+	fib      fib.Shared
 	fwd      *forward.Engine
 	interner *wire.Intern
 
@@ -298,7 +299,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	table := fib.NewTable(eng)
+	table := fib.NewShared(eng)
 	r := &Router{
 		cfg:       cfg,
 		nshards:   cfg.Shards,
@@ -385,7 +386,8 @@ func (r *Router) Stop() {
 }
 
 // FIB exposes the shared forwarding table (read by the data plane).
-func (r *Router) FIB() *fib.Table { return r.fib }
+// Snapshot-capable engines make every method on it wait-free.
+func (r *Router) FIB() fib.Shared { return r.fib }
 
 // Forwarder exposes the data-plane engine bound to the router's FIB.
 func (r *Router) Forwarder() *forward.Engine { return r.fwd }

@@ -24,7 +24,7 @@ type Config struct {
 	// QueueDepth bounds each worker's ingress queue (default 1024).
 	QueueDepth int
 	// FIB is the shared forwarding table (required).
-	FIB *fib.Table
+	FIB fib.Shared
 	// Egress receives forwarded packets; nil discards.
 	Egress forward.Egress
 }

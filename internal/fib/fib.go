@@ -1,18 +1,23 @@
 // Package fib implements the forwarding information base: longest-prefix-
 // match lookup structures mapping IPv4 destination addresses to next hops.
 //
-// Four interchangeable engines are provided, spanning the classic design
-// space surveyed by Ruiz-Sanchez et al. (IEEE Network 2001), which the
-// paper's forwarding path depends on:
+// Five interchangeable engines are provided, spanning the classic design
+// space surveyed by Ruiz-Sanchez et al. (IEEE Network 2001) — which the
+// paper's forwarding path depends on — plus one modern successor:
 //
 //   - Linear: sorted linear scan; the obviously-correct reference used by
 //     the property tests and the baseline in lookup benchmarks.
 //   - BinaryTrie: one bit per level, the textbook structure.
 //   - Patricia: path-compressed binary trie; fewer nodes, deeper logic.
 //   - HashLengths: one hash table per prefix length, probed longest-first.
+//   - Poptrie: level-compressed multibit trie with popcount-indexed
+//     children and a direct-index /16 root stride; cache-compact lookups
+//     and cheap copy-on-write snapshots.
 //
-// Engines are not safe for concurrent use; Table adds the RWMutex wrapper
-// the router's data plane and control plane share.
+// Engines are not safe for concurrent use. Table adds the RWMutex wrapper
+// the router's data plane and control plane share; SnapshotTable does the
+// same for snapshot-capable engines with a lock-free read path, and
+// NewShared picks the right wrapper for an engine.
 package fib
 
 import (
@@ -71,7 +76,7 @@ func applyOps(eng Engine, ops []Op) {
 }
 
 // EngineNames lists the selectable engine implementations.
-var EngineNames = []string{"linear", "binary", "patricia", "hashlen"}
+var EngineNames = []string{"linear", "binary", "patricia", "hashlen", "poptrie"}
 
 // NewEngine constructs an engine by name.
 func NewEngine(name string) (Engine, error) {
@@ -84,6 +89,8 @@ func NewEngine(name string) (Engine, error) {
 		return NewPatricia(), nil
 	case "hashlen":
 		return NewHashLengths(), nil
+	case "poptrie":
+		return NewPoptrie(), nil
 	}
 	return nil, fmt.Errorf("fib: unknown engine %q (have %v)", name, EngineNames)
 }

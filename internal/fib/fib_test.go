@@ -166,6 +166,10 @@ func TestEnginesAgree(t *testing.T) {
 		"binary":   NewBinaryTrie(),
 		"patricia": NewPatricia(),
 		"hashlen":  NewHashLengths(),
+		"poptrie":  NewPoptrie(),
+		// SnapshotTable's method set matches Engine, so the concurrent
+		// wrapper (and its publish-per-mutation path) rides along here.
+		"snapshot": NewSnapshotTable(NewPoptrie()),
 	}
 
 	var inserted []netaddr.Prefix

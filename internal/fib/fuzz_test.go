@@ -1,0 +1,145 @@
+package fib
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+)
+
+// fuzzOp decodes one 6-byte record: kind, 4 address bytes, prefix length.
+// Kind selects insert (with an entry derived from the address), delete,
+// or a batch boundary that flushes the staged ops through Apply.
+const fuzzRec = 6
+
+func decodeFuzzOps(data []byte) []Op {
+	ops := make([]Op, 0, len(data)/fuzzRec)
+	for len(data) >= fuzzRec {
+		kind := data[0]
+		addr := netaddr.Addr(binary.BigEndian.Uint32(data[1:5]))
+		p := netaddr.PrefixFrom(addr, int(data[5]%33))
+		if kind%3 == 1 {
+			ops = append(ops, Op{Prefix: p, Delete: true})
+		} else {
+			ops = append(ops, Op{Prefix: p, Entry: Entry{NextHop: addr ^ 0x5A5A5A5A, Port: int(kind) % 16}})
+		}
+		data = data[fuzzRec:]
+	}
+	return ops
+}
+
+// FuzzEngineOps streams a decoded Insert/Delete/Apply mix into every
+// engine (and the SnapshotTable wrapper) and cross-checks the final
+// state against the Linear reference: same length, same exact entries,
+// and same longest-prefix answers around every route boundary.
+func FuzzEngineOps(f *testing.F) {
+	seed := func(recs ...[]byte) {
+		var b []byte
+		for _, r := range recs {
+			b = append(b, r...)
+		}
+		f.Add(b)
+	}
+	rec := func(kind byte, addr uint32, length byte) []byte {
+		var b [fuzzRec]byte
+		b[0] = kind
+		binary.BigEndian.PutUint32(b[1:5], addr)
+		b[5] = length
+		return b[:]
+	}
+	// Default route, then shadowed and unshadowed.
+	seed(rec(0, 0, 0), rec(0, 0x0A000000, 8), rec(1, 0, 0))
+	// Duplicate inserts (replace) at chunked and short lengths.
+	seed(rec(0, 0x0A010000, 24), rec(2, 0x0A010000, 24), rec(0, 0xC0000000, 4), rec(2, 0xC0000000, 4))
+	// Delete of absent prefixes, including /0.
+	seed(rec(1, 0x7F000001, 32), rec(1, 0, 0), rec(1, 0x0A000000, 12))
+	// Chunk-boundary cluster: /15 spanning two /16 slots plus /16 and /17
+	// neighbours, then batch-flush sensitive delete/reinsert.
+	seed(rec(0, 0x0A000000, 15), rec(0, 0x0A000000, 16), rec(0, 0x0A010000, 17),
+		rec(3, 0, 0), rec(1, 0x0A000000, 16), rec(0, 0x0A000000, 16), rec(3, 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("cap the op stream so /0 expansions stay fast")
+		}
+		ops := decodeFuzzOps(data)
+
+		ref := NewLinear()
+		others := map[string]Engine{
+			"binary":   NewBinaryTrie(),
+			"patricia": NewPatricia(),
+			"hashlen":  NewHashLengths(),
+			"poptrie":  NewPoptrie(),
+			"snapshot": NewSnapshotTable(NewPoptrie()),
+		}
+
+		// Kind%3==2 records also mark batch boundaries: everything since
+		// the previous boundary goes through Apply instead of single ops,
+		// exercising the bulk restructuring paths.
+		flushFrom := 0
+		flush := func(upto int) {
+			if upto == flushFrom {
+				return
+			}
+			batch := ops[flushFrom:upto]
+			ref.Apply(batch)
+			for _, eng := range others {
+				eng.Apply(batch)
+			}
+			flushFrom = upto
+		}
+		for i, op := range ops {
+			if !op.Delete && op.Entry.Port >= 8 {
+				continue // part of the pending batch
+			}
+			flush(i)
+			if op.Delete {
+				want := ref.Delete(op.Prefix)
+				for name, eng := range others {
+					if got := eng.Delete(op.Prefix); got != want {
+						t.Fatalf("%s.Delete(%v) = %v, want %v", name, op.Prefix, got, want)
+					}
+				}
+			} else {
+				ref.Insert(op.Prefix, op.Entry)
+				for _, eng := range others {
+					eng.Insert(op.Prefix, op.Entry)
+				}
+			}
+			flushFrom = i + 1
+		}
+		flush(len(ops))
+
+		for name, eng := range others {
+			if eng.Len() != ref.Len() {
+				t.Fatalf("%s.Len = %d, want %d", name, eng.Len(), ref.Len())
+			}
+		}
+		ref.Walk(func(p netaddr.Prefix, want Entry) bool {
+			for name, eng := range others {
+				if got, ok := eng.LookupExact(p); !ok || got != want {
+					t.Fatalf("%s.LookupExact(%v) = %+v/%v, want %+v", name, p, got, ok, want)
+				}
+			}
+			return true
+		})
+		// LPM agreement at the sensitive addresses: each route's base,
+		// its last covered address, and one past the end.
+		probe := func(a netaddr.Addr) {
+			wantE, wantOK := ref.Lookup(a)
+			for name, eng := range others {
+				gotE, gotOK := eng.Lookup(a)
+				if gotOK != wantOK || gotE != wantE {
+					t.Fatalf("%s.Lookup(%v) = %+v/%v, want %+v/%v", name, a, gotE, gotOK, wantE, wantOK)
+				}
+			}
+		}
+		for _, op := range ops {
+			base := op.Prefix.Addr()
+			probe(base)
+			end := base | ^netaddr.Mask(op.Prefix.Len())
+			probe(end)
+			probe(end + 1)
+		}
+	})
+}

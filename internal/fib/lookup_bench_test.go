@@ -1,0 +1,142 @@
+package fib_test
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/fib"
+	"bgpbench/internal/netaddr"
+)
+
+// lookupTableSize is the synthetic full-table size for the lookup
+// benchmarks: 1M prefixes by default (a generation ahead of the paper's
+// 244k-route table), overridable so the CI smoke run stays fast.
+func lookupTableSize() int {
+	if s := os.Getenv("BGPBENCH_LOOKUP_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1_000_000
+}
+
+var lookupCorpus struct {
+	once  sync.Once
+	ops   []fib.Op
+	addrs []netaddr.Addr
+}
+
+// lookupWorkload generates (once per process) the synthetic table as a
+// bulk-load batch plus a probe mix: mostly addresses inside installed
+// prefixes with random host bits, with a slice of uniform random
+// addresses for miss coverage.
+func lookupWorkload() ([]fib.Op, []netaddr.Addr) {
+	lookupCorpus.once.Do(func() {
+		table := core.GenerateTable(core.TableGenConfig{N: lookupTableSize(), Seed: 5})
+		ops := make([]fib.Op, len(table))
+		for i, r := range table {
+			ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.Addr(i | 1), Port: i % 16}}
+		}
+		rng := rand.New(rand.NewSource(1))
+		addrs := make([]netaddr.Addr, 8192)
+		for i := range addrs {
+			if i%4 == 3 {
+				addrs[i] = netaddr.Addr(rng.Uint32())
+				continue
+			}
+			p := table[rng.Intn(len(table))].Prefix
+			addrs[i] = p.Addr() | (netaddr.Addr(rng.Uint32()) &^ netaddr.Mask(p.Len()))
+		}
+		lookupCorpus.ops, lookupCorpus.addrs = ops, addrs
+	})
+	return lookupCorpus.ops, lookupCorpus.addrs
+}
+
+// BenchmarkLookup measures single-threaded LPM cost per engine over the
+// synthetic full table (BGPBENCH_LOOKUP_N prefixes, default 1M).
+func BenchmarkLookup(b *testing.B) {
+	ops, addrs := lookupWorkload()
+	for _, name := range fib.EngineNames {
+		b.Run(name, func(b *testing.B) {
+			eng, err := fib.NewEngine(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Apply(ops)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				e, _ := eng.Lookup(addrs[i&(len(addrs)-1)])
+				sink += e.Port
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkLookupChurn measures parallel reader throughput while a
+// writer commits 512-op delete+reinsert batches flat out. The RWMutex
+// table stalls every reader for each commit; the snapshot table's
+// readers only ever load the current epoch pointer, so their latency
+// should not depend on the churn at all.
+func BenchmarkLookupChurn(b *testing.B) {
+	ops, addrs := lookupWorkload()
+	cases := []struct {
+		name string
+		make func() fib.Shared
+	}{
+		{"rwmutex-patricia", func() fib.Shared { return fib.NewTable(fib.NewPatricia()) }},
+		{"rwmutex-poptrie", func() fib.Shared { return fib.NewTable(fib.NewPoptrie()) }},
+		{"snapshot-poptrie", func() fib.Shared { return fib.NewShared(fib.NewPoptrie()) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			tbl := tc.make()
+			tbl.Apply(ops)
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rng := rand.New(rand.NewSource(7))
+				buf := make([]fib.Op, 0, 512)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					buf = buf[:0]
+					for k := 0; k < 256; k++ {
+						op := ops[rng.Intn(len(ops))]
+						// Delete+reinsert in one batch: every published
+						// epoch still holds the full table.
+						buf = append(buf,
+							fib.Op{Prefix: op.Prefix, Delete: true},
+							fib.Op{Prefix: op.Prefix, Entry: op.Entry})
+					}
+					tbl.Apply(buf)
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				var sink int
+				for pb.Next() {
+					e, _ := tbl.Lookup(addrs[i&(len(addrs)-1)])
+					sink += e.Port
+					i++
+				}
+				_ = sink
+			})
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}

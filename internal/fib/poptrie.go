@@ -1,0 +1,633 @@
+package fib
+
+import (
+	"math/bits"
+	"sort"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Poptrie is a level-compressed multibit trie in the poptrie/DXR family
+// (Asai & Ohara, SIGCOMM 2015): a direct-index root stride consumes the
+// top 16 address bits, and the remaining bits are resolved by nodes whose
+// children are located with a popcount over a 64-bit bitmap instead of
+// pointers, so a full-table lookup touches a handful of cache lines.
+//
+// Layout:
+//
+//	addr[31:16]  two-level root directory: pages[addr>>24][addr>>16 & 0xFF]
+//	             selects a chunk (nil = no route of length >= 16 there)
+//	addr[15:0]   per-chunk trie with strides 6,6,4; each node packs a
+//	             64-bit child bitmap (vec) and leaf-run bitmap (leafvec)
+//	routes with length < 16 live in an expanded per-/16-slot side table
+//	             consulted only when the chunk walk finds nothing longer
+//
+// The structure is persistent by construction: chunks are immutable once
+// built (every mutation compiles a fresh chunk from its route list), and
+// Snapshot seals the root directory pages and the short-route view so
+// later writes copy before mutating. That makes Snapshot an O(pages)
+// pointer copy, which is what SnapshotTable relies on for its per-commit
+// epoch publication.
+//
+// Like the other engines, Poptrie itself is single-goroutine; wrap it in
+// a SnapshotTable (or Table) for shared use.
+type Poptrie struct {
+	pages       [rootPages]*rootPage
+	pageShared  [rootPages]bool // page is referenced by a snapshot; copy before write
+	short       *shortView
+	shortShared bool // short view is referenced by a snapshot
+
+	// shortIdx indexes short.routes by prefix; write-side only, never
+	// shared with snapshots.
+	shortIdx map[netaddr.Prefix]int
+	n        int
+}
+
+const (
+	chunkBits = 16 // root stride: one chunk per /16
+	pageBits  = 8
+	rootPages = 1 << pageBits
+	pageSize  = 1 << pageBits
+	pageMask  = pageSize - 1
+	lowMask   = 1<<chunkBits - 1
+)
+
+// popStrides are the branch widths of the levels below the /16 root
+// stride; they sum to chunkBits.
+var popStrides = [3]int{6, 6, 4}
+
+// rootPage is one 256-slot page of the root directory. Pages are copied
+// on first write after a Snapshot, so a commit touching k distinct pages
+// copies k*2KB instead of the whole 512KB directory.
+type rootPage [pageSize]*popChunk
+
+// popRoute is one installed route, owned by a chunk (length >= 16) or by
+// the short view (length < 16).
+type popRoute struct {
+	prefix netaddr.Prefix
+	entry  Entry
+}
+
+// popLeaf is a lookup outcome: the winning entry, or a miss.
+type popLeaf struct {
+	entry Entry
+	ok    bool
+}
+
+// popNode is one trie node. Branch b has a child iff vec bit b is set;
+// its index is cbase + popcount(vec below b). Otherwise branch b resolves
+// to a leaf: consecutive branches sharing a result are stored once
+// (leafvec marks run starts), at leaves[lbase + popcount(leafvec through
+// b) - 1].
+type popNode struct {
+	vec     uint64
+	leafvec uint64
+	cbase   uint32
+	lbase   uint32
+}
+
+// popChunk resolves the low 16 bits for one /16 of address space. It is
+// immutable after buildChunk returns: routes is the authoritative route
+// list the next rebuild starts from, nodes/leaves are the compiled form.
+type popChunk struct {
+	routes []popRoute
+	nodes  []popNode
+	leaves []popLeaf
+}
+
+// shortView resolves routes shorter than /16 via a fully expanded
+// per-/16-slot table: expanded[slot] is 1+index into res of the longest
+// short route covering that slot, 0 for none. The view is immutable while
+// shared with a snapshot; the writer clones it before the next short
+// mutation.
+type shortView struct {
+	expanded []uint32
+	res      []popRoute // value table referenced by expanded; may hold dead entries
+	routes   []popRoute // all installed short routes, unordered
+}
+
+// NewPoptrie returns an empty poptrie.
+func NewPoptrie() *Poptrie {
+	return &Poptrie{
+		short:    &shortView{expanded: make([]uint32, 1<<chunkBits)},
+		shortIdx: make(map[netaddr.Prefix]int),
+	}
+}
+
+// Insert adds or replaces the entry for a prefix.
+func (t *Poptrie) Insert(p netaddr.Prefix, e Entry) {
+	if p.Len() < chunkBits {
+		t.insertShort(p, e)
+		return
+	}
+	slot := uint32(p.Addr()) >> chunkBits
+	routes, replaced := routesWith(t.chunkRoutes(slot), p, e)
+	if !replaced {
+		t.n++
+	}
+	t.setChunk(slot, routes)
+}
+
+// Delete removes a prefix, reporting whether it was present.
+func (t *Poptrie) Delete(p netaddr.Prefix) bool {
+	if p.Len() < chunkBits {
+		return t.deleteShort(p)
+	}
+	slot := uint32(p.Addr()) >> chunkBits
+	routes, removed := routesWithout(t.chunkRoutes(slot), p)
+	if !removed {
+		return false
+	}
+	t.n--
+	t.setChunk(slot, routes)
+	return true
+}
+
+// Apply commits a batch, rebuilding each dirty chunk once instead of once
+// per op.
+func (t *Poptrie) Apply(ops []Op) {
+	staged := make(map[uint32][]popRoute)
+	for _, op := range ops {
+		if op.Prefix.Len() < chunkBits {
+			if op.Delete {
+				t.deleteShort(op.Prefix)
+			} else {
+				t.insertShort(op.Prefix, op.Entry)
+			}
+			continue
+		}
+		slot := uint32(op.Prefix.Addr()) >> chunkBits
+		routes, ok := staged[slot]
+		if !ok {
+			routes = append([]popRoute(nil), t.chunkRoutes(slot)...)
+		}
+		if op.Delete {
+			var removed bool
+			routes, removed = dropRoute(routes, op.Prefix)
+			if removed {
+				t.n--
+			}
+		} else {
+			var replaced bool
+			routes, replaced = putRoute(routes, op.Prefix, op.Entry)
+			if !replaced {
+				t.n++
+			}
+		}
+		staged[slot] = routes
+	}
+	for slot, routes := range staged {
+		t.setChunk(slot, routes)
+	}
+}
+
+// Lookup returns the entry of the longest prefix containing addr.
+func (t *Poptrie) Lookup(addr netaddr.Addr) (Entry, bool) {
+	return lookupIn(&t.pages, t.short, addr)
+}
+
+// LookupExact returns the entry stored for exactly this prefix.
+func (t *Poptrie) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	if p.Len() < chunkBits {
+		if i, ok := t.shortIdx[p]; ok {
+			return t.short.routes[i].entry, true
+		}
+		return Entry{}, false
+	}
+	return chunkExact(t.chunkAt(uint32(p.Addr())>>chunkBits), p)
+}
+
+// Len returns the number of installed prefixes.
+func (t *Poptrie) Len() int { return t.n }
+
+// Walk visits all entries (short routes first, then chunks in address
+// order) until fn returns false.
+func (t *Poptrie) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	walkIn(&t.pages, t.short, fn)
+}
+
+// Snapshot publishes an immutable point-in-time view. It copies only the
+// 2KB root directory; pages, chunks, and the short view are shared and
+// sealed, so the writer's next mutation of each copies it first
+// (copy-on-write at page granularity).
+func (t *Poptrie) Snapshot() Reader {
+	s := &poptrieSnapshot{pages: t.pages, short: t.short, n: t.n}
+	for i, page := range t.pages {
+		if page != nil {
+			t.pageShared[i] = true
+		}
+	}
+	t.shortShared = true
+	return s
+}
+
+// poptrieSnapshot is a frozen view of a Poptrie. All reachable state is
+// immutable (enforced by the snapshotimmut lint), so methods are safe for
+// arbitrary concurrent use.
+type poptrieSnapshot struct {
+	pages [rootPages]*rootPage
+	short *shortView
+	n     int
+}
+
+// Lookup returns the entry of the longest prefix containing addr.
+func (s *poptrieSnapshot) Lookup(addr netaddr.Addr) (Entry, bool) {
+	//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
+	return lookupIn(&s.pages, s.short, addr)
+}
+
+// LookupExact returns the entry stored for exactly this prefix. Short
+// prefixes scan the frozen route list: exact queries are a control-plane
+// convenience, not the hot path.
+func (s *poptrieSnapshot) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	if p.Len() < chunkBits {
+		for _, r := range s.short.routes {
+			if r.prefix == p {
+				return r.entry, true
+			}
+		}
+		return Entry{}, false
+	}
+	var c *popChunk
+	if page := s.pages[uint32(p.Addr())>>24]; page != nil {
+		c = page[(uint32(p.Addr())>>chunkBits)&pageMask]
+	}
+	return chunkExact(c, p)
+}
+
+// Len returns the number of prefixes installed when the snapshot was
+// taken.
+func (s *poptrieSnapshot) Len() int { return s.n }
+
+// Walk visits all entries in the snapshot until fn returns false.
+func (s *poptrieSnapshot) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
+	walkIn(&s.pages, s.short, fn)
+}
+
+// lookupIn is the shared read path: resolve the chunk for addr's /16 and
+// walk it; fall back to the expanded short-route table on a miss (all
+// chunk routes are longer than all short routes, so order is correct).
+func lookupIn(pages *[rootPages]*rootPage, short *shortView, addr netaddr.Addr) (Entry, bool) {
+	a := uint32(addr)
+	if page := pages[a>>24]; page != nil {
+		if c := page[(a>>chunkBits)&pageMask]; c != nil {
+			if lf := c.lookup(a & lowMask); lf.ok {
+				return lf.entry, true
+			}
+		}
+	}
+	if ri := short.expanded[a>>chunkBits]; ri != 0 {
+		return short.res[ri-1].entry, true
+	}
+	return Entry{}, false
+}
+
+func walkIn(pages *[rootPages]*rootPage, short *shortView, fn func(netaddr.Prefix, Entry) bool) {
+	for _, r := range short.routes {
+		if !fn(r.prefix, r.entry) {
+			return
+		}
+	}
+	for _, page := range pages {
+		if page == nil {
+			continue
+		}
+		for _, c := range page {
+			if c == nil {
+				continue
+			}
+			for _, r := range c.routes {
+				if !fn(r.prefix, r.entry) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func chunkExact(c *popChunk, p netaddr.Prefix) (Entry, bool) {
+	if c == nil {
+		return Entry{}, false
+	}
+	for _, r := range c.routes {
+		if r.prefix == p {
+			return r.entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// chunkAt fetches the chunk for a /16 slot without claiming ownership.
+func (t *Poptrie) chunkAt(slot uint32) *popChunk {
+	page := t.pages[slot>>pageBits]
+	if page == nil {
+		return nil
+	}
+	return page[slot&pageMask]
+}
+
+// chunkRoutes returns the authoritative route list for a slot (shared;
+// callers must copy before mutating).
+func (t *Poptrie) chunkRoutes(slot uint32) []popRoute {
+	if c := t.chunkAt(slot); c != nil {
+		return c.routes
+	}
+	return nil
+}
+
+// setChunk compiles routes into a fresh chunk and installs it, copying
+// the directory page first if a snapshot still references it.
+func (t *Poptrie) setChunk(slot uint32, routes []popRoute) {
+	pi := slot >> pageBits
+	page := t.pages[pi]
+	switch {
+	case page == nil:
+		if len(routes) == 0 {
+			return
+		}
+		page = new(rootPage)
+		t.pages[pi] = page
+	case t.pageShared[pi]:
+		cp := *page
+		page = &cp
+		t.pages[pi] = page
+		t.pageShared[pi] = false
+	}
+	page.set(slot&pageMask, buildChunk(routes))
+}
+
+// set installs a chunk into an owned (unshared) page.
+func (p *rootPage) set(i uint32, c *popChunk) { p[i] = c }
+
+// routesWith returns a fresh route list with p set to e; the input list
+// is never modified (it may belong to a published chunk).
+func routesWith(routes []popRoute, p netaddr.Prefix, e Entry) ([]popRoute, bool) {
+	out := make([]popRoute, len(routes), len(routes)+1)
+	copy(out, routes)
+	return putRoute(out, p, e)
+}
+
+// routesWithout returns a fresh route list with p removed.
+func routesWithout(routes []popRoute, p netaddr.Prefix) ([]popRoute, bool) {
+	out := append([]popRoute(nil), routes...)
+	return dropRoute(out, p)
+}
+
+// putRoute replaces or appends in place (the caller owns the slice).
+func putRoute(routes []popRoute, p netaddr.Prefix, e Entry) ([]popRoute, bool) {
+	for i := range routes {
+		if routes[i].prefix == p {
+			routes[i].entry = e
+			return routes, true
+		}
+	}
+	return append(routes, popRoute{prefix: p, entry: e}), false
+}
+
+// dropRoute removes in place (the caller owns the slice).
+func dropRoute(routes []popRoute, p netaddr.Prefix) ([]popRoute, bool) {
+	for i := range routes {
+		if routes[i].prefix == p {
+			routes[i] = routes[len(routes)-1]
+			return routes[:len(routes)-1], true
+		}
+	}
+	return routes, false
+}
+
+// buildChunk compiles a route list into popcount-indexed node and leaf
+// arrays. The arrays are always freshly allocated: published snapshots
+// may still reference the previous chunk.
+func buildChunk(routes []popRoute) *popChunk {
+	if len(routes) == 0 {
+		return nil
+	}
+	c := &popChunk{routes: routes}
+	var inherited popLeaf
+	scope := make([]popRoute, 0, len(routes))
+	for _, r := range routes {
+		if r.prefix.Len() == chunkBits {
+			inherited = popLeaf{entry: r.entry, ok: true}
+		} else {
+			scope = append(scope, r)
+		}
+	}
+	c.nodes = make([]popNode, 1, 1+len(scope))
+	c.buildInto(0, 0, scope, inherited)
+	return c
+}
+
+// buildInto fills node ni, which resolves branches after bitsDone bits of
+// the low 16 have been consumed. scope holds the routes longer than
+// bitsDone that reach this node; inherited is the best route already
+// matched on the way down.
+func (c *popChunk) buildInto(ni, bitsDone int, scope []popRoute, inherited popLeaf) {
+	w := popStrides[bitsDone/6]
+	shift := uint(chunkBits - bitsDone - w)
+	branches := 1 << w
+
+	type childWork struct {
+		scope []popRoute
+		best  popLeaf
+	}
+	var (
+		vec, leafvec uint64
+		children     []childWork
+		prev         popLeaf
+		prevIsLeaf   bool
+	)
+	lbase := uint32(len(c.leaves))
+	for b := 0; b < branches; b++ {
+		best, bestLen := inherited, 0
+		var deeper []popRoute
+		for _, r := range scope {
+			rlen := r.prefix.Len() - chunkBits
+			rlow := uint32(r.prefix.Addr()) & lowMask
+			if rlen > bitsDone+w {
+				// Longer than this level resolves: branch window match
+				// means the route needs a child under b.
+				if int(rlow>>shift)&(branches-1) == b {
+					deeper = append(deeper, r)
+				}
+				continue
+			}
+			// Route terminates at this level: it covers branch b iff b's
+			// top k bits equal the route's k fixed bits in the window.
+			k := rlen - bitsDone
+			if b>>(w-k) == int(rlow>>(chunkBits-rlen))&(1<<k-1) && rlen > bestLen {
+				best, bestLen = popLeaf{entry: r.entry, ok: true}, rlen
+			}
+		}
+		if len(deeper) > 0 {
+			vec |= 1 << b
+			children = append(children, childWork{scope: deeper, best: best})
+			prevIsLeaf = false
+			continue
+		}
+		// Leaf-run compression: only run starts occupy a leaves slot.
+		if !prevIsLeaf || best != prev {
+			leafvec |= 1 << b
+			c.leaves = append(c.leaves, best)
+		}
+		prev, prevIsLeaf = best, true
+	}
+	cbase := uint32(len(c.nodes))
+	for range children {
+		c.nodes = append(c.nodes, popNode{})
+	}
+	c.nodes[ni] = popNode{vec: vec, leafvec: leafvec, cbase: cbase, lbase: lbase}
+	for i, cw := range children {
+		c.buildInto(int(cbase)+i, bitsDone+w, cw.scope, cw.best)
+	}
+}
+
+// lookup resolves the low 16 bits of an address within the chunk.
+func (c *popChunk) lookup(low uint32) popLeaf {
+	ni := uint32(0)
+	bitsDone := 0
+	for level := 0; ; level++ {
+		w := popStrides[level]
+		b := (low >> uint(chunkBits-bitsDone-w)) & uint32(1<<w-1)
+		n := c.nodes[ni]
+		bit := uint64(1) << b
+		if n.vec&bit != 0 {
+			ni = n.cbase + uint32(bits.OnesCount64(n.vec&(bit-1)))
+			bitsDone += w
+			continue
+		}
+		run := bits.OnesCount64(n.leafvec & (bit | (bit - 1)))
+		if run == 0 {
+			return popLeaf{}
+		}
+		return c.leaves[n.lbase+uint32(run-1)]
+	}
+}
+
+// ownShort returns the short view, cloning it first if a snapshot still
+// references it.
+func (t *Poptrie) ownShort() *shortView {
+	if !t.shortShared {
+		return t.short
+	}
+	old := t.short
+	t.short = &shortView{
+		expanded: append([]uint32(nil), old.expanded...),
+		res:      append([]popRoute(nil), old.res...),
+		routes:   append([]popRoute(nil), old.routes...),
+	}
+	t.shortShared = false
+	return t.short
+}
+
+func (t *Poptrie) insertShort(p netaddr.Prefix, e Entry) {
+	sv := t.ownShort()
+	r := popRoute{prefix: p, entry: e}
+	if i, ok := t.shortIdx[p]; ok {
+		sv.setRoute(i, r)
+	} else {
+		t.shortIdx[p] = len(sv.routes)
+		sv.appendRoute(r)
+		t.n++
+	}
+	sv.stamp(r)
+	t.maybeCompactShort(sv)
+}
+
+func (t *Poptrie) deleteShort(p netaddr.Prefix) bool {
+	i, ok := t.shortIdx[p]
+	if !ok {
+		return false
+	}
+	sv := t.ownShort()
+	last := len(sv.routes) - 1
+	sv.setRoute(i, sv.routes[last])
+	t.shortIdx[sv.routes[i].prefix] = i
+	sv.truncRoutes(last)
+	delete(t.shortIdx, p)
+	t.n--
+
+	// Recompute every /16 slot where p had been the winner. Adjacent
+	// slots usually share the new winner, so memoize the last result.
+	base := uint32(p.Addr()) >> chunkBits
+	count := uint32(1) << (chunkBits - p.Len())
+	var memo popRoute
+	var memoRi uint32
+	for s := base; s < base+count; s++ {
+		cur := sv.expanded[s]
+		if cur == 0 || sv.res[cur-1].prefix != p {
+			continue
+		}
+		ri := uint32(0)
+		if r, ok := t.bestShortFor(s); ok {
+			if memoRi != 0 && memo == r {
+				ri = memoRi
+			} else {
+				ri = sv.appendRes(r)
+				memo, memoRi = r, ri
+			}
+		}
+		sv.setExpanded(s, ri)
+	}
+	t.maybeCompactShort(sv)
+	return true
+}
+
+// bestShortFor probes the installed short routes longest-first for the
+// winner at a /16 slot.
+func (t *Poptrie) bestShortFor(slot uint32) (popRoute, bool) {
+	addr := netaddr.Addr(slot << chunkBits)
+	for l := chunkBits - 1; l >= 0; l-- {
+		if i, ok := t.shortIdx[netaddr.PrefixFrom(addr, l)]; ok {
+			return t.short.routes[i], true
+		}
+	}
+	return popRoute{}, false
+}
+
+// maybeCompactShort rebuilds the expanded table when churn has left too
+// many dead res entries behind.
+func (t *Poptrie) maybeCompactShort(sv *shortView) {
+	if len(sv.res) > 2*len(sv.routes)+64 {
+		sv.rebuild()
+	}
+}
+
+// stamp records r in res and writes it over every /16 slot it covers
+// where no longer route already wins. Equal length means the same prefix
+// (distinct same-length prefixes cover disjoint slots), i.e. a replace.
+func (sv *shortView) stamp(r popRoute) {
+	ri := sv.appendRes(r)
+	l := r.prefix.Len()
+	base := uint32(r.prefix.Addr()) >> chunkBits
+	count := uint32(1) << (chunkBits - l)
+	for s := base; s < base+count; s++ {
+		cur := sv.expanded[s]
+		if cur == 0 || sv.res[cur-1].prefix.Len() <= l {
+			sv.expanded[s] = ri
+		}
+	}
+}
+
+// rebuild recomputes expanded/res from the route list: stamping in
+// ascending length order makes the longest covering route win every slot.
+func (sv *shortView) rebuild() {
+	for i := range sv.expanded {
+		sv.expanded[i] = 0
+	}
+	sv.res = sv.res[:0]
+	byLen := append([]popRoute(nil), sv.routes...)
+	sort.Slice(byLen, func(i, j int) bool { return byLen[i].prefix.Len() < byLen[j].prefix.Len() })
+	for _, r := range byLen {
+		sv.stamp(r)
+	}
+}
+
+func (sv *shortView) setRoute(i int, r popRoute) { sv.routes[i] = r }
+func (sv *shortView) appendRoute(r popRoute)     { sv.routes = append(sv.routes, r) }
+func (sv *shortView) truncRoutes(n int)          { sv.routes = sv.routes[:n] }
+func (sv *shortView) setExpanded(s, ri uint32)   { sv.expanded[s] = ri }
+func (sv *shortView) appendRes(r popRoute) uint32 {
+	sv.res = append(sv.res, r)
+	return uint32(len(sv.res))
+}

@@ -1,0 +1,177 @@
+package fib
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bgpbench/internal/netaddr"
+)
+
+// Reader is the read-only face of a FIB: everything the data plane and
+// the status/metrics endpoints need. Both live tables and frozen
+// snapshots implement it.
+type Reader interface {
+	// Lookup returns the entry of the longest prefix containing addr.
+	Lookup(addr netaddr.Addr) (Entry, bool)
+	// LookupExact returns the entry stored for exactly this prefix.
+	LookupExact(p netaddr.Prefix) (Entry, bool)
+	// Len returns the number of installed prefixes.
+	Len() int
+	// Walk visits all entries in unspecified order until fn returns false.
+	Walk(fn func(netaddr.Prefix, Entry) bool)
+}
+
+// Snapshotter is an engine that can publish immutable point-in-time
+// views of itself cheaply (copy-on-write, not a deep copy). The returned
+// Reader must remain valid and unchanging while the engine keeps
+// mutating.
+type Snapshotter interface {
+	Engine
+	Snapshot() Reader
+}
+
+// Shared is the concurrency-safe FIB surface the control plane (which
+// installs and removes routes) and the data plane (which resolves
+// destinations) share. *Table implements it with an RWMutex; for
+// snapshot-capable engines *SnapshotTable implements it with a lock-free
+// read path.
+type Shared interface {
+	Reader
+	// Insert adds or replaces a route.
+	Insert(p netaddr.Prefix, e Entry)
+	// Delete removes a route, reporting whether it was present.
+	Delete(p netaddr.Prefix) bool
+	// Apply commits a batch of route changes as one unit.
+	Apply(ops []Op)
+	// Updates returns the count of Insert+Delete operations since creation.
+	Updates() uint64
+	// Lookups returns the count of Lookup operations since creation.
+	Lookups() uint64
+	// BatchStats returns the number of batched commits and the total ops
+	// they carried.
+	BatchStats() (batches, ops uint64)
+}
+
+// NewShared wraps an engine in the best available concurrent table:
+// engines that can snapshot get the lock-free SnapshotTable read path,
+// the rest keep the classic RWMutex Table. A nil engine defaults like
+// NewTable.
+func NewShared(eng Engine) Shared {
+	if s, ok := eng.(Snapshotter); ok {
+		return NewSnapshotTable(s)
+	}
+	return NewTable(eng)
+}
+
+// sharedView boxes the current snapshot so it fits atomic.Pointer.
+type sharedView struct {
+	Reader
+}
+
+// SnapshotTable is a concurrency-safe FIB over a Snapshotter engine.
+// Writers serialize on a mutex and, after each mutation, publish a fresh
+// immutable snapshot through an atomic pointer (epoch-style: each commit
+// is one epoch). Readers load the current snapshot and never take a
+// lock, so dataplane Lookup, /metrics scrapes, and FIB dumps proceed at
+// full speed while a batch commit is in flight — there is no RWMutex for
+// a writer to hold them behind.
+//
+// The consistency model is per-snapshot: a reader sees the table exactly
+// as of some commit boundary, never a half-applied batch.
+type SnapshotTable struct {
+	mu   sync.Mutex
+	eng  Snapshotter
+	view atomic.Pointer[sharedView]
+
+	updates  atomic.Uint64
+	lookups  atomic.Uint64
+	batches  atomic.Uint64 // Apply calls with at least one op
+	batchOps atomic.Uint64 // total ops committed through Apply
+}
+
+// NewSnapshotTable wraps a snapshot-capable engine and publishes its
+// initial (usually empty) view.
+func NewSnapshotTable(eng Snapshotter) *SnapshotTable {
+	t := &SnapshotTable{eng: eng}
+	t.view.Store(&sharedView{eng.Snapshot()})
+	return t
+}
+
+// publishLocked snapshots the engine and swings the read pointer; the
+// caller holds mu.
+func (t *SnapshotTable) publishLocked() {
+	t.view.Store(&sharedView{t.eng.Snapshot()})
+}
+
+// Insert adds or replaces a route and publishes a new snapshot.
+func (t *SnapshotTable) Insert(p netaddr.Prefix, e Entry) {
+	t.mu.Lock()
+	t.eng.Insert(p, e)
+	t.publishLocked()
+	t.mu.Unlock()
+	t.updates.Add(1)
+}
+
+// Delete removes a route and publishes a new snapshot.
+func (t *SnapshotTable) Delete(p netaddr.Prefix) bool {
+	t.mu.Lock()
+	ok := t.eng.Delete(p)
+	if ok {
+		t.publishLocked()
+	}
+	t.mu.Unlock()
+	t.updates.Add(1)
+	return ok
+}
+
+// Apply commits a batch of route changes as one epoch: readers observe
+// either none or all of the batch.
+func (t *SnapshotTable) Apply(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.eng.Apply(ops)
+	t.publishLocked()
+	t.mu.Unlock()
+	t.updates.Add(uint64(len(ops)))
+	t.batches.Add(1)
+	t.batchOps.Add(uint64(len(ops)))
+}
+
+// Lookup resolves a destination address against the current snapshot
+// without locking.
+func (t *SnapshotTable) Lookup(addr netaddr.Addr) (Entry, bool) {
+	t.lookups.Add(1)
+	return t.view.Load().Lookup(addr)
+}
+
+// LookupExact returns the entry stored for exactly this prefix in the
+// current snapshot.
+func (t *SnapshotTable) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	return t.view.Load().LookupExact(p)
+}
+
+// Len returns the number of installed prefixes in the current snapshot.
+func (t *SnapshotTable) Len() int {
+	return t.view.Load().Len()
+}
+
+// Walk visits the current snapshot. Unlike Table.Walk no lock is held:
+// concurrent commits proceed, and fn may take as long as it likes
+// without stalling them (it sees the epoch it started with throughout).
+func (t *SnapshotTable) Walk(fn func(netaddr.Prefix, Entry) bool) {
+	t.view.Load().Walk(fn)
+}
+
+// Updates returns the count of Insert+Delete operations since creation.
+func (t *SnapshotTable) Updates() uint64 { return t.updates.Load() }
+
+// Lookups returns the count of Lookup operations since creation.
+func (t *SnapshotTable) Lookups() uint64 { return t.lookups.Load() }
+
+// BatchStats returns the number of batched commits and the total ops
+// they carried; ops/batches is the mean batch size.
+func (t *SnapshotTable) BatchStats() (batches, ops uint64) {
+	return t.batches.Load(), t.batchOps.Load()
+}

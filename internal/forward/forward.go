@@ -93,7 +93,7 @@ var DiscardEgress Egress = EgressFunc(func(int, netaddr.Addr, []byte) {})
 // set of local addresses (packets to which are delivered locally rather
 // than forwarded).
 type Engine struct {
-	FIB    *fib.Table
+	FIB    fib.Shared
 	Egress Egress
 	Stats  Stats
 
@@ -101,7 +101,7 @@ type Engine struct {
 }
 
 // New builds an engine over the given FIB. A nil egress discards packets.
-func New(table *fib.Table, egress Egress) *Engine {
+func New(table fib.Shared, egress Egress) *Engine {
 	if egress == nil {
 		egress = DiscardEgress
 	}

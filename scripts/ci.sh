@@ -17,7 +17,9 @@ go vet -copylocks -unusedresult ./...
 # Project-invariant static analyzers (see internal/analysis): findings
 # exit non-zero and fail the gate.
 go run ./cmd/bgplint ./...
-go test -race ./internal/core/... ./internal/session/...
+# Includes the fib lookup-under-churn test gating the lock-free
+# snapshot read path.
+go test -race ./internal/core/... ./internal/session/... ./internal/fib/...
 # Fault-injection conformance gate under the race detector: one
 # representative scenario (flap-reset, N=1 vs N=4 shards) plus replay
 # determinism.
@@ -27,4 +29,7 @@ BGPBENCH_CONFORMANCE_GATE=1 go test -race \
 # benchmarks can never bit-rot.
 go test -run='^$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate' \
 	-benchtime=1x ./internal/core/
+BGPBENCH_LOOKUP_N=50000 go test -run='^$' \
+	-bench 'BenchmarkLookup$|BenchmarkLookupChurn' \
+	-benchtime=1x ./internal/fib/
 go test ./...
