@@ -43,17 +43,19 @@ race:
 
 # Conformance gate: one representative scenario under the flap-reset
 # fault profile, N=1 vs N=4 decision shards, plus the replay-determinism
-# check — all under the race detector (the netem layer, the reconnecting
-# speakers, and the sharded router interleave heavily here).
+# check and the many-peer update-group equivalence gate (12 receivers in
+# 4 policy groups, grouped vs ungrouped digests) — all under the race
+# detector (the netem layer, the reconnecting speakers, and the sharded
+# router interleave heavily here).
 conformance:
 	BGPBENCH_CONFORMANCE_GATE=1 $(GO) test -race \
-		-run 'TestConformanceGate|TestConformanceReplayDeterminism' ./internal/bench/
+		-run 'TestConformanceGate|TestConformanceManyPeerGate|TestConformanceReplayDeterminism' ./internal/bench/
 
 # Hot-path microbenchmark smoke: run the dispatch/process benchmarks for
 # one iteration so they compile and execute on every gate (real numbers
 # need -benchtime well above 1x).
 bench-smoke:
-	$(GO) test -run='^$$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate' \
+	$(GO) test -run='^$$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate|BenchmarkEmitGrouped' \
 		-benchtime=1x ./internal/core/
 	BGPBENCH_LOOKUP_N=50000 $(GO) test -run='^$$' \
 		-bench 'BenchmarkLookup$$|BenchmarkLookupChurn' \

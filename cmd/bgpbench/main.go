@@ -11,6 +11,7 @@
 //	bgpbench fig6    [-n prefixes] [-cross mbps] [-csv dir]
 //	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
 //	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-cpus N] [-crossworkers K] [-crosspps R] [-shards LIST] [-batch N] [-batchdelay D] [-pprof addr] [-json file]
+//	bgpbench fanout  [-n prefixes] [-peers LIST] [-groups G] [-shards N] [-cpus N] [-json file] [-merge file]
 //	bgpbench lookup  [-n prefixes] [-engines LIST] [-readers K] [-churn N] [-duration D] [-cpus N] [-json file]
 //	bgpbench livesweep [-n prefixes] [-num N] [-cpus N]
 //	bgpbench chaos   [-n prefixes] [-num N] [-profiles LIST] [-seed S] [-shards LIST] [-json file]
@@ -63,6 +64,8 @@ func main() {
 		err = cmdScenario(args)
 	case "live":
 		err = cmdLive(args)
+	case "fanout":
+		err = cmdFanout(args)
 	case "lookup":
 		err = cmdLookup(args)
 	case "ablate":
@@ -99,6 +102,7 @@ commands:
   fig6       Figure 6: Pentium III Scenario 8 with and without cross-traffic
   scenario   run one scenario on one modeled system and print phase detail
   live       run the benchmark against the live Go BGP router over loopback
+  fanout     many-peer emission: N receivers in G policy groups, update groups on vs off
   lookup     data-plane LPM throughput: 1M-prefix full table, optional churn
   ablate     ablation studies of the model's design choices
   worm       update-storm survivability (max sustainable / keepalive-safe rates)
@@ -397,6 +401,147 @@ func cmdLive(args []string) error {
 		fmt.Printf("\nwrote %s (%d rows)\n", *jsonOut, len(rows))
 	}
 	return nil
+}
+
+// fanoutRow is one record of the machine-readable fanout benchmark
+// output, sharing BENCH_live.json with the other workloads (the
+// workload field tells them apart).
+type fanoutRow struct {
+	Workload        string         `json:"workload"` // "fanout"
+	Peers           int            `json:"peers"`
+	Groups          int            `json:"groups"`
+	UpdateGroups    bool           `json:"update_groups"`
+	Prefixes        int            `json:"prefixes"`
+	Shards          int            `json:"shards"`
+	TPS             float64        `json:"tps"`
+	NsPerPrefixPeer float64        `json:"ns_per_prefix_peer"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	GroupCount      int            `json:"update_group_count,omitempty"`
+	FanoutRatio     float64        `json:"update_group_fanout_ratio,omitempty"`
+	BytesBuilt      uint64         `json:"update_group_bytes_built,omitempty"`
+	BytesSaved      uint64         `json:"update_group_bytes_saved,omitempty"`
+	Mem             bench.MemInfo  `json:"mem"`
+	Host            bench.HostInfo `json:"host"`
+}
+
+func cmdFanout(args []string) error {
+	fs := flag.NewFlagSet("fanout", flag.ExitOnError)
+	n := fs.Int("n", 5000, "routing table size in prefixes")
+	peers := fs.String("peers", "25,50,100", "comma-separated receiver peer counts to sweep")
+	groups := fs.Int("groups", 4, "export-policy groups the receivers split across")
+	shards := fs.Int("shards", 0, "decision-worker shard count (0 = GOMAXPROCS)")
+	cpus := fs.Int("cpus", 0, "set GOMAXPROCS for the run (0 = leave as is)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	jsonOut := fs.String("json", "", "write machine-readable results to this file")
+	merge := fs.String("merge", "", "append the rows to an existing JSON array file (e.g. BENCH_live.json)")
+	fs.Parse(args)
+	applyCPUs(*cpus)
+
+	var peerList []int
+	for _, part := range strings.Split(*peers, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -peers value %q", part)
+		}
+		peerList = append(peerList, v)
+	}
+
+	fmt.Printf("Fanout benchmark: table %d, %d policy groups, peers %v, update groups off vs on\n\n",
+		*n, *groups, peerList)
+	fmt.Printf("%6s %7s %7s %12s %16s %10s %8s %12s %12s\n",
+		"peers", "grouped", "shards", "tps", "ns/prefix/peer", "duration", "fanout", "bytes saved", "rss")
+	var rows []fanoutRow
+	for _, p := range peerList {
+		for _, ug := range []bool{false, true} {
+			res, err := bench.RunFanout(bench.FanoutConfig{
+				Peers: p, Groups: *groups, TableSize: *n,
+				Seed: *seed, Shards: *shards, UpdateGroups: ug,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%6d %7v %7d %12.0f %16.1f %9.3fs %8.1f %12s %12s\n",
+				res.Peers, res.UpdateGroups, res.Shards, res.TPS, res.NsPerPrefixPeer,
+				res.Duration.Seconds(), res.FanoutRatio,
+				fmtBytes(res.BytesSaved), fmtBytes(res.Mem.RSSBytes))
+			rows = append(rows, fanoutRow{
+				Workload:        "fanout",
+				Peers:           res.Peers,
+				Groups:          res.Groups,
+				UpdateGroups:    res.UpdateGroups,
+				Prefixes:        res.Prefixes,
+				Shards:          res.Shards,
+				TPS:             res.TPS,
+				NsPerPrefixPeer: res.NsPerPrefixPeer,
+				DurationSeconds: res.Duration.Seconds(),
+				GroupCount:      res.GroupCount,
+				FanoutRatio:     res.FanoutRatio,
+				BytesBuilt:      res.BytesBuilt,
+				BytesSaved:      res.BytesSaved,
+				Mem:             res.Mem,
+				Host:            bench.Host(),
+			})
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", *jsonOut, len(rows))
+	}
+	if *merge != "" {
+		if err := mergeRows(*merge, rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nmerged %d rows into %s\n", len(rows), *merge)
+	}
+	return nil
+}
+
+// mergeRows appends rows to an existing JSON array file, preserving the
+// records already there (other workloads keep their rows; previous
+// fanout rows are replaced so reruns do not accumulate duplicates).
+func mergeRows(path string, rows []fanoutRow) error {
+	var existing []json.RawMessage
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &existing); err != nil {
+			return fmt.Errorf("merge %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var kept []json.RawMessage
+	for _, raw := range existing {
+		var probe struct {
+			Workload string `json:"workload"`
+		}
+		if err := json.Unmarshal(raw, &probe); err == nil && probe.Workload == "fanout" {
+			continue
+		}
+		kept = append(kept, raw)
+	}
+	for _, row := range rows {
+		b, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		kept = append(kept, b)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(kept)
 }
 
 // liveRow is one record of the machine-readable live benchmark output.

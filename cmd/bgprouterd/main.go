@@ -37,6 +37,7 @@ func main() {
 	shards := flag.Int("shards", 0, "decision-worker shard count (0 = GOMAXPROCS)")
 	batch := flag.Int("batch-updates", 0, "max UPDATEs coalesced per shard dispatch (0 = default 256, negative = disable batching)")
 	batchDelay := flag.Duration("batch-delay", 0, "max time an UPDATE may wait in a forming batch (0 = default 200us, negative = flush when the session idles)")
+	updateGroups := flag.Bool("update-groups", false, "bucket peers by export policy into update groups: compute and marshal each emission run once per group and fan the bytes out (route-server mode; also the 'update-groups' config directive)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "statistics print interval (0 disables)")
 	httpAddr := flag.String("http", "", "serve /status, /fib, /metrics on this address (empty disables)")
 	chaos := flag.String("chaos", "", "wrap the BGP listener in this netem fault profile (empty disables)")
@@ -79,6 +80,7 @@ func main() {
 			Shards:          *shards,
 			BatchMaxUpdates: *batch,
 			BatchMaxDelay:   *batchDelay,
+			UpdateGroups:    *updateGroups,
 		}
 	}
 	if len(cfg.Neighbors) == 0 {
@@ -113,6 +115,9 @@ func main() {
 	bu, bd := router.BatchLimits()
 	fmt.Printf("bgprouterd: %d shards, dispatch batching %d updates / %v\n",
 		router.Shards(), bu, bd)
+	if router.UpdateGroupsEnabled() {
+		fmt.Println("bgprouterd: update groups enabled (bgp_update_group_* counters on /metrics)")
+	}
 	if inj != nil {
 		fmt.Printf("bgprouterd: chaos profile %q, seed %d (netem_* counters on /metrics)\n",
 			*chaos, *chaosSeed)

@@ -96,3 +96,22 @@ func AnnotatedHandoff(h *holder) {
 	//lint:allow pooledbuf fixture: audited ownership transfer, receiver Puts
 	h.ch <- b
 }
+
+// BadSharedGetter is the shared-payload buffer getter without its audit
+// notes: the Put lives behind a refcounted payload's free callback, so
+// the analyzer sees neither a local Put nor a safe return.
+func BadSharedGetter() []byte {
+	b := pool.Get().(*batch) // want pooledbuf "no Put on any path"
+	return b.data[:0]        // want pooledbuf "pooled value escapes via return"
+}
+
+// GoodSharedGetter is the audited shared-payload shape (the fan-out
+// send path): the pooled buffer's ownership rides inside a refcounted
+// payload and returns to the pool via the free callback when the last
+// reference drains.
+func GoodSharedGetter() []byte {
+	//lint:allow pooledbuf fixture: ownership transfers to a refcounted payload; its free callback Puts
+	b := pool.Get().(*batch)
+	//lint:allow pooledbuf fixture: audited ownership transfer, the payload free callback Puts
+	return b.data[:0]
+}

@@ -11,6 +11,7 @@ import (
 	"bgpbench/internal/fib"
 	"bgpbench/internal/netaddr"
 	"bgpbench/internal/netem"
+	"bgpbench/internal/policy"
 	"bgpbench/internal/speaker"
 	"bgpbench/internal/wire"
 )
@@ -36,6 +37,19 @@ type ConformanceConfig struct {
 	// Digests must be identical across every setting.
 	BatchMaxUpdates int
 	BatchMaxDelay   time.Duration
+	// Peers adds this many receive-only peer sessions (AS 65100+i) that
+	// watch the run and whose Adj-RIB-Out digests land in AdjOutDigests.
+	// 0 keeps the classic two-speaker topology.
+	Peers int
+	// PeerGroups splits the receive-only peers round-robin across this
+	// many distinct export policies (each sets a different MED), so the
+	// router's update-group path buckets them into exactly this many
+	// groups. 0 or 1 means one shared policy.
+	PeerGroups int
+	// UpdateGroups enables the router's grouped emission path. Digests
+	// must be identical with it on or off — that equality is the
+	// equivalence proof for the compute-once/fan-out Adj-RIB-Out.
+	UpdateGroups bool
 }
 
 func (c *ConformanceConfig) defaults() {
@@ -125,6 +139,16 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 	// profile with seconds of stall time settles in milliseconds.
 	inj := netem.NewInjector(profile, netem.NewVirtualClock())
 
+	neighbors := []core.NeighborConfig{
+		{AS: liveSpeaker1AS},
+		{AS: liveSpeaker2AS},
+	}
+	for i := 0; i < cfg.Peers; i++ {
+		neighbors = append(neighbors, core.NeighborConfig{
+			AS:     receiverAS(i),
+			Export: receiverPolicy(receiverGroup(i, cfg.PeerGroups)),
+		})
+	}
 	router, err := core.NewRouter(core.Config{
 		AS:              liveRouterAS,
 		ID:              netaddr.MustParseAddr("10.255.0.1"),
@@ -132,10 +156,8 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		Shards:          cfg.Shards,
 		BatchMaxUpdates: cfg.BatchMaxUpdates,
 		BatchMaxDelay:   cfg.BatchMaxDelay,
-		Neighbors: []core.NeighborConfig{
-			{AS: liveSpeaker1AS},
-			{AS: liveSpeaker2AS},
-		},
+		UpdateGroups:    cfg.UpdateGroups,
+		Neighbors:       neighbors,
 	})
 	if err != nil {
 		return out, err
@@ -162,6 +184,35 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		}
 	}()
 
+	// Receive-only peers: they never announce, they just watch the run.
+	// Their Adj-RIB-Out digests land in AdjOutDigests via PeerIDs below.
+	var receivers []*speaker.Speaker
+	defer func() {
+		for _, rc := range receivers {
+			rc.Stop()
+		}
+	}()
+	for i := 0; i < cfg.Peers; i++ {
+		name := fmt.Sprintf("recv%d", i)
+		rc := speaker.New(speaker.Config{
+			AS: receiverAS(i), ID: receiverID(i),
+			Target: router.ListenAddr(), Name: name,
+			Dial: inj.Dial(name), Reconnect: true,
+		})
+		if err := rc.Connect(10 * time.Second); err != nil {
+			return out, err
+		}
+		receivers = append(receivers, rc)
+	}
+	receiversEstablished := func() bool {
+		for _, rc := range receivers {
+			if !rc.Established() {
+				return false
+			}
+		}
+		return true
+	}
+
 	//lint:allow detclock wall-clock deadline over a real TCP transport; digests never depend on it
 	start := time.Now()
 	deadline := start.Add(cfg.Timeout)
@@ -170,6 +221,9 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		n := sp1.Retries()
 		if sp2 != nil {
 			n += sp2.Retries()
+		}
+		for _, rc := range receivers {
+			n += rc.Retries()
 		}
 		return n
 	}
@@ -183,7 +237,8 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		stableSince := time.Now()
 		for {
 			cur := [3]uint64{router.Transactions(), router.FIBChanges(), retries()}
-			ok := sp1.Established() && (sp2 == nil || sp2.Established()) && check()
+			ok := sp1.Established() && (sp2 == nil || sp2.Established()) &&
+				receiversEstablished() && check()
 			if cur != last || !ok {
 				last = cur
 				stableSince = time.Now() //lint:allow detclock settle polling over a real TCP transport
@@ -272,6 +327,40 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 }
 
 func shardLabel(n int) string { return fmt.Sprintf("N=%d", n) }
+
+// receiverAS numbers the receive-only conformance peers from 65100.
+func receiverAS(i int) uint16 { return uint16(65100 + i) }
+
+// receiverID gives receiver i a unique BGP identifier under 10.1.0.0/16
+// (last octet kept nonzero).
+func receiverID(i int) netaddr.Addr {
+	return netaddr.AddrFrom4(10, 1, byte(i/250), byte(i%250+1))
+}
+
+// receiverGroup assigns receiver i to one of g policy groups round-robin.
+func receiverGroup(i, g int) int {
+	if g <= 1 {
+		return 0
+	}
+	return i % g
+}
+
+// receiverPolicy builds the export policy for receiver group g: a single
+// always-matching term that sets MED 1000+g. Different groups differ in
+// export behavior (different MED), so the router's update groups can
+// never merge them; receivers within a group carry behaviorally
+// identical policies and must see byte-identical streams.
+func receiverPolicy(g int) *policy.RouteMap {
+	med := uint32(1000 + g)
+	return &policy.RouteMap{
+		Name: fmt.Sprintf("recv-group-%d", g),
+		Terms: []policy.Term{{
+			Name:   "set-med",
+			Set:    policy.Set{MED: &med},
+			Action: policy.Permit,
+		}},
+	}
+}
 
 // digestLocRIB hashes a Loc-RIB snapshot: prefix, contributing peer, and
 // the canonical wire encoding of the selected attributes, in the sorted

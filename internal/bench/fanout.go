@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bgpbench/internal/core"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/speaker"
+)
+
+// FanoutConfig parameterizes a many-peer emission benchmark: one speaker
+// injects a full table while N receive-only peers, split round-robin
+// across G export-policy groups, drain the router's Adj-RIB-Out. The
+// interesting comparison is UpdateGroups on vs off at the same peer
+// count: grouped emission computes and marshals each run once per group
+// and fans the bytes out, so its cost should scale with G, not N.
+type FanoutConfig struct {
+	// Peers is the receive-only peer count (default 100).
+	Peers int
+	// Groups is the number of distinct export policies the peers split
+	// across (default 4).
+	Groups int
+	// TableSize is the routing-table size in prefixes (default 5000).
+	TableSize int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// Shards is the router's decision-worker count (0 = GOMAXPROCS).
+	Shards int
+	// UpdateGroups selects the grouped emission path.
+	UpdateGroups bool
+	// Timeout bounds the whole run (default 120s).
+	Timeout time.Duration
+}
+
+func (c *FanoutConfig) defaults() {
+	if c.Peers == 0 {
+		c.Peers = 100
+	}
+	if c.Groups == 0 {
+		c.Groups = 4
+	}
+	if c.TableSize == 0 {
+		c.TableSize = 5000
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 120 * time.Second
+	}
+}
+
+// FanoutResult reports one many-peer emission run.
+type FanoutResult struct {
+	Peers        int
+	Groups       int
+	UpdateGroups bool
+	Shards       int
+	Prefixes     int
+	// Duration spans the first injected UPDATE to the last receiver
+	// holding the full table.
+	Duration time.Duration
+	// TPS is injected prefix transactions per second over that window.
+	TPS float64
+	// NsPerPrefixPeer normalizes the window to per-(prefix, peer)
+	// delivery cost — the number that must scale sublinearly in Peers
+	// when grouping works.
+	NsPerPrefixPeer float64
+	// GroupCount, FanoutRatio, BytesBuilt, and BytesSaved echo the
+	// router's update-group counters (zero when UpdateGroups is off).
+	GroupCount  int
+	FanoutRatio float64
+	BytesBuilt  uint64
+	BytesSaved  uint64
+	// Mem snapshots the whole process (router + in-process speakers)
+	// after the run settles.
+	Mem MemInfo
+}
+
+// RunFanout executes one many-peer emission run over loopback TCP.
+func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
+	cfg.defaults()
+	out := FanoutResult{Peers: cfg.Peers, Groups: cfg.Groups, UpdateGroups: cfg.UpdateGroups}
+
+	neighbors := []core.NeighborConfig{{AS: liveSpeaker1AS}}
+	for i := 0; i < cfg.Peers; i++ {
+		neighbors = append(neighbors, core.NeighborConfig{
+			AS:     receiverAS(i),
+			Export: receiverPolicy(receiverGroup(i, cfg.Groups)),
+		})
+	}
+	router, err := core.NewRouter(core.Config{
+		AS:           liveRouterAS,
+		ID:           netaddr.MustParseAddr("10.255.0.1"),
+		ListenAddr:   "127.0.0.1:0",
+		Shards:       cfg.Shards,
+		UpdateGroups: cfg.UpdateGroups,
+		Neighbors:    neighbors,
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Shards = router.Shards()
+	if err := router.Start(); err != nil {
+		return out, err
+	}
+	defer router.Stop()
+
+	receivers := make([]*speaker.Speaker, 0, cfg.Peers)
+	defer func() {
+		for _, rc := range receivers {
+			rc.Stop()
+		}
+	}()
+	for i := 0; i < cfg.Peers; i++ {
+		rc := speaker.New(speaker.Config{
+			AS: receiverAS(i), ID: receiverID(i),
+			Target: router.ListenAddr(), Name: fmt.Sprintf("recv%d", i),
+		})
+		if err := rc.Connect(10 * time.Second); err != nil {
+			return out, err
+		}
+		receivers = append(receivers, rc)
+	}
+
+	sp1 := speaker.New(speaker.Config{
+		AS: liveSpeaker1AS, ID: netaddr.MustParseAddr("1.1.1.1"),
+		Target: router.ListenAddr(), Name: "speaker1",
+	})
+	if err := sp1.Connect(10 * time.Second); err != nil {
+		return out, err
+	}
+	defer sp1.Stop()
+
+	table := core.UniformPath(
+		core.GenerateTable(core.TableGenConfig{N: cfg.TableSize, Seed: cfg.Seed, FirstAS: liveSpeaker1AS}),
+		basePathFor(),
+	)
+	n := uint64(len(table))
+	out.Prefixes = int(n)
+
+	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
+	if err := sp1.Announce(table, LargePacket); err != nil {
+		return out, err
+	}
+	for i, rc := range receivers {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return out, fmt.Errorf("fanout: receiver %d/%d still draining after %v", i, cfg.Peers, cfg.Timeout)
+		}
+		if err := rc.WaitForPrefixes(n, remain); err != nil {
+			return out, fmt.Errorf("fanout: receiver %d/%d: %w", i, cfg.Peers, err)
+		}
+	}
+	out.Duration = time.Since(start)
+	out.TPS = float64(n) / out.Duration.Seconds()
+	out.NsPerPrefixPeer = float64(out.Duration.Nanoseconds()) / (float64(n) * float64(cfg.Peers))
+	if gs := router.GroupStats(); gs.Enabled {
+		out.GroupCount = gs.Groups
+		out.FanoutRatio = gs.FanoutRatio()
+		out.BytesBuilt = gs.BytesBuilt
+		out.BytesSaved = gs.BytesSaved
+	}
+	out.Mem = Mem()
+	return out, nil
+}

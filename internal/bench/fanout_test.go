@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// manyPeerCfg is the shared many-peer topology: 32 receive-only peers in
+// 4 export-policy groups watching a 200-prefix run (small table: each
+// run carries 33+ live sessions).
+func manyPeerCfg(profile string, shards int, grouped bool) ConformanceConfig {
+	return ConformanceConfig{
+		Profile:      profile,
+		Seed:         conformanceSeed,
+		Shards:       shards,
+		TableSize:    200,
+		Peers:        32,
+		PeerGroups:   4,
+		UpdateGroups: grouped,
+	}
+}
+
+// checkGroupDigests verifies the within-run group structure of a
+// many-peer result: every receiver's Adj-RIB-Out digest is present,
+// receivers sharing an export policy hold byte-identical digests, and —
+// when routes are present — receivers in different groups differ (their
+// policies set different MEDs).
+func checkGroupDigests(t *testing.T, label string, res ConformanceResult, peers, groups int) {
+	t.Helper()
+	for i := 0; i < peers; i++ {
+		id := receiverID(i).String()
+		d, ok := res.AdjOutDigests[id]
+		if !ok {
+			t.Errorf("%s: receiver %d (%s) missing from AdjOutDigests", label, i, id)
+			continue
+		}
+		rep := receiverID(receiverGroup(i, groups)).String()
+		if d != res.AdjOutDigests[rep] {
+			t.Errorf("%s: receiver %d digest differs from its group representative %s", label, i, rep)
+		}
+	}
+	if res.RIBLen > 0 && groups > 1 {
+		a := res.AdjOutDigests[receiverID(0).String()]
+		b := res.AdjOutDigests[receiverID(1).String()]
+		if a == b {
+			t.Errorf("%s: receivers in different policy groups share a digest; policies not applied", label)
+		}
+	}
+}
+
+// TestConformanceManyPeer is the update-group equivalence proof at
+// scale: 32 receive-only peers in 4 policy groups, swept across fault
+// profiles, shard counts, and grouped emission on vs off. Every cell of
+// one scenario must settle to identical per-peer Adj-RIB-Out digests —
+// the grouped compute-once/fan-out path is byte-equivalent to the
+// per-peer path. Skipped under -short.
+func TestConformanceManyPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many-peer conformance matrix is long; run without -short")
+	}
+	for _, scn := range []Scenario{Scenarios[3], Scenarios[7]} {
+		scn := scn
+		t.Run(fmt.Sprintf("scenario%d", scn.Num), func(t *testing.T) {
+			t.Parallel()
+			want := ""
+			for _, profile := range []string{"clean", "flap-reset"} {
+				for _, shards := range []int{1, 4} {
+					for _, grouped := range []bool{false, true} {
+						label := fmt.Sprintf("%s [%s N=%d grouped=%v]", scn, profile, shards, grouped)
+						res, err := RunConformance(scn, manyPeerCfg(profile, shards, grouped))
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						checkGroupDigests(t, label, res, 32, 4)
+						if want == "" {
+							want = res.StateDigest()
+						} else if got := res.StateDigest(); got != want {
+							t.Errorf("%s: state digest diverged from first cell:\n  want %s\n  got  %s", label, want, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceManyPeerGate is the quick CI gate for grouped
+// emission: one faulted scenario, grouped vs ungrouped at N=4, digests
+// equal. Selected via BGPBENCH_CONFORMANCE_GATE=1 so the race run can
+// execute just this test; it also runs as part of the normal suite.
+func TestConformanceManyPeerGate(t *testing.T) {
+	scn := Scenarios[6] // incremental-change, small packets: max message count
+	cfg := manyPeerCfg("flap-reset", 4, false)
+	cfg.Peers, cfg.PeerGroups = 12, 4
+	plain, err := RunConformance(scn, cfg)
+	if err != nil {
+		t.Fatalf("%s ungrouped: %v", scn, err)
+	}
+	cfg.UpdateGroups = true
+	grouped, err := RunConformance(scn, cfg)
+	if err != nil {
+		t.Fatalf("%s grouped: %v", scn, err)
+	}
+	checkGroupDigests(t, "ungrouped", plain, 12, 4)
+	checkGroupDigests(t, "grouped", grouped, 12, 4)
+	if plain.StateDigest() != grouped.StateDigest() {
+		t.Fatalf("%s [flap-reset N=4]: grouped emission diverged from per-peer emission:\n  plain   loc=%s fib=%s\n  grouped loc=%s fib=%s",
+			scn, plain.LocRIBDigest, plain.FIBDigest, grouped.LocRIBDigest, grouped.FIBDigest)
+	}
+	if plain.Faults.Resets == 0 || grouped.Faults.Resets == 0 {
+		t.Fatalf("%s [flap-reset]: no resets fired (plain=%+v grouped=%+v)",
+			scn, plain.Faults, grouped.Faults)
+	}
+	if os.Getenv("BGPBENCH_CONFORMANCE_GATE") != "" {
+		t.Logf("gate: loc=%s fib=%s", grouped.LocRIBDigest, grouped.FIBDigest)
+	}
+}
+
+// TestFanoutGrouping runs the many-peer emission benchmark small and
+// checks the grouped path actually grouped: 8 peers in 2 groups must
+// yield 2 update groups, a fan-out ratio near 4 sends per computed run,
+// and nonzero bytes saved versus per-peer marshaling.
+func TestFanoutGrouping(t *testing.T) {
+	res, err := RunFanout(FanoutConfig{
+		Peers: 8, Groups: 2, TableSize: 200, Seed: 7, UpdateGroups: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 receiver policy groups plus the injecting speaker's own group
+	// (it has no export policy, so it buckets alone).
+	if res.GroupCount != 3 {
+		t.Errorf("GroupCount = %d, want 3 (2 receiver groups + injector)", res.GroupCount)
+	}
+	// Every emission run fans out to the group's members (8 peers / 2
+	// groups = 4); catch-up replays for late joiners can only lower the
+	// observed ratio slightly.
+	if res.FanoutRatio < 3.5 {
+		t.Errorf("FanoutRatio = %.2f, want ~4", res.FanoutRatio)
+	}
+	if res.BytesSaved == 0 {
+		t.Error("BytesSaved = 0, want > 0 (shared payloads should replace per-peer marshaling)")
+	}
+}

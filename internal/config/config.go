@@ -15,6 +15,7 @@
 //	    batch-delay 200us
 //	    mrai 30s
 //	    damping
+//	    update-groups
 //	}
 //
 //	neighbor 65001 {
@@ -295,6 +296,8 @@ func (p *parser) parseRouter(ts *tokens) error {
 			p.cfg.MRAI = d
 		case "damping":
 			p.cfg.Damping = &damping.Config{}
+		case "update-groups":
+			p.cfg.UpdateGroups = true
 		case "export-batch":
 			v, err := argInt(key, args)
 			if err != nil {

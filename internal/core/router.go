@@ -90,6 +90,13 @@ type Config struct {
 	// whenever the session's event queue idles (batches form only under
 	// backlog). Ignored when batching is disabled.
 	BatchMaxDelay time.Duration
+	// UpdateGroups buckets peers by canonical export-policy key
+	// (rib.GroupKeyFor) so peers with identical export treatment share
+	// one Adj-RIB-Out and one emission pipeline: each route change is
+	// exported once per group, marshaled once, and the bytes fanned out
+	// to every member session. Per-peer digests are unchanged; only the
+	// amount of repeated work is. See internal/core/updategroup.go.
+	UpdateGroups bool
 }
 
 // peerState is the router-side state for one established neighbour.
@@ -109,7 +116,15 @@ type peerState struct {
 	exportCache []map[exportKey]*wire.PathAttrs
 	// pending accumulates MRAI-coalesced route changes per shard: attrs
 	// to announce, or nil to withdraw. Flushed by the peer's mraiFlusher.
+	// Unused when the peer belongs to an update group (the group holds
+	// the pending set).
 	pending []pendingShard
+
+	// group, when Config.UpdateGroups is enabled, is the update group
+	// this peer emits through; its per-shard state replaces adjOut,
+	// exportCache, and pending above. Set before the peer is registered
+	// and never changed, so shard workers read it without locking.
+	group *updateGroup
 
 	// prefixCount tracks the routes this peer currently contributes
 	// across all shards, for max-prefix enforcement.
@@ -160,6 +175,7 @@ type Router struct {
 	mu       sync.Mutex
 	peers    map[netaddr.Addr]*peerState // keyed by peer BGP ID
 	sessions []*session.Session          // all sessions ever attached (for Stop)
+	groups   map[string]*updateGroup     // update groups by canonical export key
 
 	// batchPool recycles dispatchBatch buffers between session handlers
 	// and shard workers, so the batched hot path allocates nothing in
@@ -168,6 +184,16 @@ type Router struct {
 	dispatchBatches atomic.Uint64 // handler batches dispatched
 	dispatchUpdates atomic.Uint64 // UPDATE messages those batches carried
 	fibChanges      atomic.Uint64
+
+	// payloadPool recycles the marshal buffers that ride inside shared
+	// fan-out payloads (see getPayloadBuf/putPayloadBuf).
+	payloadPool sync.Pool
+	// Update-group counters (see GroupStats).
+	groupRuns       atomic.Uint64
+	groupSends      atomic.Uint64
+	groupBytesBuilt atomic.Uint64
+	groupBytesSaved atomic.Uint64
+	groupSuppressed atomic.Uint64
 }
 
 // shard is one decision worker: a work queue, worker-owned scratch
@@ -178,10 +204,12 @@ type shard struct {
 	work chan workItem
 
 	// Scratch owned by the shard worker.
-	fibOps      []fib.Op
-	emit        emitBuf
-	single      []wire.Update // one-element batch for unbatched updates
-	peerScratch []*peerState
+	fibOps       []fib.Op
+	emit         emitBuf
+	gemit        groupEmitBuf
+	single       []wire.Update // one-element batch for unbatched updates
+	peerScratch  []*peerState
+	groupScratch []*updateGroup
 
 	_            [64]byte // keep the hot counters on their own line
 	transactions atomic.Uint64
@@ -200,6 +228,7 @@ const (
 	workRIBLen
 	workDump
 	workAdjOut
+	workGroupFlush
 )
 
 type workItem struct {
@@ -207,6 +236,7 @@ type workItem struct {
 	peerID netaddr.Addr
 	update wire.Update
 	batch  *dispatchBatch // with workUpdateBatch; returned to the pool by the worker
+	group  *updateGroup   // with workGroupFlush
 	reply  chan int
 	dump   chan []LocRoute
 	adj    chan []AdjRoute
@@ -311,8 +341,10 @@ func NewRouter(cfg Config) (*Router, error) {
 		shards:    make([]*shard, cfg.Shards),
 		done:      make(chan struct{}),
 		peers:     make(map[netaddr.Addr]*peerState),
+		groups:    make(map[string]*updateGroup),
 	}
 	r.batchPool.New = func() any { return new(dispatchBatch) }
+	r.payloadPool.New = func() any { return new(payloadBuf) }
 	for i := range r.shards {
 		r.shards[i] = &shard{work: make(chan workItem, 8192)}
 	}
@@ -712,7 +744,7 @@ type routerHandler struct {
 func (h *routerHandler) Established(s *session.Session) {
 	r := h.r
 	open := s.PeerOpen()
-	ncfg, ok := r.neighbors[open.AS]
+	ncfg, ok := r.neighborConfig(open.AS)
 	if !ok {
 		// Unconfigured peer: terminate. Stop must not run on the session's
 		// own event loop, so do it asynchronously.
@@ -737,6 +769,9 @@ func (h *routerHandler) Established(s *session.Session) {
 		ps.adjOut[i] = rib.NewAdjOut()
 		ps.exportCache[i] = make(map[exportKey]*wire.PathAttrs)
 	}
+	if r.cfg.UpdateGroups {
+		ps.group = r.groupFor(ps.info.EBGP, ncfg.Export)
+	}
 	ps.downLeft.Store(int32(r.nshards))
 	r.mu.Lock()
 	if old, exists := r.peers[open.ID]; exists {
@@ -747,7 +782,8 @@ func (h *routerHandler) Established(s *session.Session) {
 
 	r.wg.Add(1)
 	go r.sender(ps)
-	if r.cfg.MRAI > 0 {
+	if r.cfg.MRAI > 0 && ps.group == nil {
+		// Grouped peers flush through their group's flusher instead.
 		r.wg.Add(1)
 		go r.mraiFlusher(ps)
 	}
@@ -787,8 +823,23 @@ func (r *Router) sender(ps *peerState) {
 		if !ok {
 			return
 		}
-		for _, m := range msgs {
-			if err := ps.sess.Send(m); err != nil {
+		for i, it := range msgs {
+			var err error
+			if it.shared != nil {
+				// Ownership of one payload reference transfers to the
+				// session; SendShared releases it itself on failure.
+				err = ps.sess.SendShared(it.shared)
+			} else {
+				err = ps.sess.Send(it.m)
+			}
+			if err != nil {
+				// The session is gone: release the payload references the
+				// remaining queued items hold before abandoning them.
+				for _, rest := range msgs[i+1:] {
+					if rest.shared != nil {
+						rest.shared.Release()
+					}
+				}
 				return
 			}
 		}
@@ -819,6 +870,8 @@ func (r *Router) shardWorker(i int) {
 				r.processPeerDown(i, w.peerID)
 			case workRefresh:
 				r.processRefresh(i, w.peerID)
+			case workGroupFlush:
+				r.processGroupFlush(i, w.group)
 			case workRIBLen:
 				w.reply <- r.rib.Shard(i).Len()
 			case workDump:
@@ -831,10 +884,21 @@ func (r *Router) shardWorker(i int) {
 			case workAdjOut:
 				var routes []AdjRoute
 				if ps := r.peerByID(w.peerID); ps != nil {
-					ps.adjOut[i].Walk(func(p netaddr.Prefix, attrs *wire.PathAttrs) bool {
+					collect := func(p netaddr.Prefix, attrs *wire.PathAttrs) bool {
 						routes = append(routes, AdjRoute{Prefix: p, Attrs: attrs})
 						return true
-					})
+					}
+					if ps.group != nil {
+						// Grouped peer: its logical Adj-RIB-Out is the group
+						// table minus its own originations. The table can be
+						// nil for an instant between peer registration and
+						// this shard's workPeerUp; that reads as empty.
+						if gsh := &ps.group.shards[i]; gsh.adjOut != nil {
+							gsh.adjOut.WalkMember(ps.info.Addr, collect)
+						}
+					} else {
+						ps.adjOut[i].Walk(collect)
+					}
 				}
 				w.adj <- routes
 			}
@@ -879,6 +943,10 @@ func (r *Router) processPeerUp(si int, id netaddr.Addr) {
 	if ps == nil {
 		return
 	}
+	if ps.group != nil {
+		r.processPeerUpGrouped(si, ps)
+		return
+	}
 	shardRIB := r.rib.Shard(si)
 	shardRIB.AddPeer(ps.info)
 
@@ -921,6 +989,12 @@ func (r *Router) processRefresh(si int, id netaddr.Addr) {
 	if ps == nil {
 		return
 	}
+	if ps.group != nil {
+		// Grouped peer: the shared table is authoritative; just replay
+		// the member's view of it. Other members are untouched.
+		r.replayGroupView(si, ps)
+		return
+	}
 	// Reset the advertised view (and any MRAI-pending changes owned by
 	// this shard) so every current route is re-sent, then reuse the
 	// initial-export path.
@@ -939,16 +1013,26 @@ func (r *Router) processPeerDown(si int, id netaddr.Addr) {
 	if ps == nil {
 		return
 	}
+	if g := ps.group; g != nil {
+		// Leave the group first so the teardown withdrawals fan out only
+		// to the surviving members. Guarded by identity: a re-established
+		// session may already have replaced this membership slot.
+		sh := &g.shards[si]
+		if sh.members[ps.info.Addr] == ps {
+			delete(sh.members, ps.info.Addr)
+		}
+	}
 	s := r.shards[si]
-	s.peerScratch = r.snapshotPeersInto(s.peerScratch[:0])
+	r.snapshotEmitTargets(s)
 	ops := s.fibOps[:0]
 	changes := r.rib.Shard(si).RemovePeer(ps.info.Addr)
 	for _, ch := range changes {
-		r.applyChange(si, ch, &ops, &s.emit, s.peerScratch)
+		r.applyChange(si, ch, &ops, s)
 	}
 	r.commitFIB(&ops)
 	s.fibOps = ops[:0]
 	r.flushEmits(si, &s.emit)
+	r.flushGroupEmits(si, &s.gemit)
 	if n := uint64(len(changes)); n > 0 {
 		s.transactions.Add(n)
 	}
@@ -977,25 +1061,37 @@ func (r *Router) processUpdateBatch(si int, id netaddr.Addr, us []wire.Update) {
 		return
 	}
 	s := r.shards[si]
-	s.peerScratch = r.snapshotPeersInto(s.peerScratch[:0])
+	r.snapshotEmitTargets(s)
 	ops := s.fibOps[:0]
 	var tx uint64
 	for ui := range us {
-		r.processOneUpdate(si, ps, &us[ui], &ops, &s.emit, s.peerScratch, &tx)
+		r.processOneUpdate(si, ps, &us[ui], &ops, s, &tx)
 	}
 	r.commitFIB(&ops)
 	s.fibOps = ops[:0]
 	r.flushEmits(si, &s.emit)
+	r.flushGroupEmits(si, &s.gemit)
 	if tx > 0 {
 		s.transactions.Add(tx)
 	}
 	s.batches.Add(1)
 }
 
+// snapshotEmitTargets refreshes the shard's emission-target scratch for
+// one work batch: the peer list (ungrouped mode) or the group list
+// (grouped mode), so r.mu stays off the per-prefix path.
+func (r *Router) snapshotEmitTargets(s *shard) {
+	if r.cfg.UpdateGroups {
+		s.groupScratch = r.snapshotGroupsInto(s.groupScratch[:0])
+	} else {
+		s.peerScratch = r.snapshotPeersInto(s.peerScratch[:0])
+	}
+}
+
 // processOneUpdate runs import policy and the decision process on one
 // shard-local sub-update, accumulating FIB ops, emissions, and the
 // transaction count into the caller's batch state.
-func (r *Router) processOneUpdate(si int, ps *peerState, u *wire.Update, ops *[]fib.Op, eb *emitBuf, peers []*peerState, tx *uint64) {
+func (r *Router) processOneUpdate(si int, ps *peerState, u *wire.Update, ops *[]fib.Op, s *shard, tx *uint64) {
 	if ps.overLimit.Load() {
 		// Session is being torn down for exceeding its prefix limit;
 		// ignore anything still in flight.
@@ -1010,7 +1106,7 @@ func (r *Router) processOneUpdate(si int, ps *peerState, u *wire.Update, ops *[]
 			r.damper.Flap(ps.info.Addr, p)
 		}
 		if ch, ok := shardRIB.Withdraw(ps.info.Addr, p); ok {
-			r.applyChange(si, ch, ops, eb, peers)
+			r.applyChange(si, ch, ops, s)
 		}
 		if had {
 			ps.prefixCount.Add(-1)
@@ -1045,14 +1141,14 @@ func (r *Router) processOneUpdate(si int, ps *peerState, u *wire.Update, ops *[]
 			// Suppressed: the route must not be used; drop any candidate
 			// the peer previously contributed.
 			if ch, ok := shardRIB.Withdraw(ps.info.Addr, p); ok {
-				r.applyChange(si, ch, ops, eb, peers)
+				r.applyChange(si, ch, ops, s)
 			}
 			*tx++
 			continue
 		}
 		had := peerHasRoute(shardRIB, ps.info.Addr, p)
 		if ch, ok := shardRIB.Announce(ps.info.Addr, p, attrs); ok {
-			r.applyChange(si, ch, ops, eb, peers)
+			r.applyChange(si, ch, ops, s)
 		}
 		if !had {
 			n := ps.prefixCount.Add(1)
@@ -1110,8 +1206,9 @@ func (r *Router) commitFIB(ops *[]fib.Op) {
 }
 
 // applyChange pushes one Loc-RIB transition toward the FIB batch and
-// into the emission buffer for every peer in the caller's snapshot.
-func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op, eb *emitBuf, peers []*peerState) {
+// into the emission buffers: per-peer (classic mode) or per-group
+// (update groups), using the shard's snapshot scratch for the targets.
+func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op, s *shard) {
 	// Forwarding table: batch the op; the caller commits per batch.
 	if ch.New != nil {
 		if ch.Old == nil || ch.Old.Attrs.NextHop != ch.New.Attrs.NextHop {
@@ -1122,8 +1219,14 @@ func (r *Router) applyChange(si int, ch rib.Change, ops *[]fib.Op, eb *emitBuf, 
 		*ops = append(*ops, fib.Op{Prefix: ch.Prefix, Delete: true})
 	}
 
+	if r.cfg.UpdateGroups {
+		r.applyChangeGrouped(si, ch, &s.gemit, s.groupScratch)
+		return
+	}
+
 	// Adj-RIB-Out propagation (this shard's partition of every peer).
-	for _, ps := range peers {
+	eb := &s.emit
+	for _, ps := range s.peerScratch {
 		if ch.New != nil {
 			// Do not advertise a route back to the peer it came from.
 			if ps.info.Addr == ch.New.Peer.Addr {
@@ -1354,13 +1457,22 @@ func (r *Router) exportAttrs(si int, ps *peerState, p netaddr.Prefix, c rib.Cand
 	return out, true
 }
 
-// outQueue is an unbounded FIFO of messages with close semantics. It
-// decouples the decision workers from slow peers so back-pressure on one
-// session cannot deadlock route propagation.
+// outMsg is one queued outbound transmission: a message to marshal, or
+// a shared pre-marshaled payload reference (update-group fan-out).
+type outMsg struct {
+	m      wire.Message
+	shared *session.SharedPayload
+}
+
+// outQueue is an unbounded FIFO of outbound items with close semantics.
+// It decouples the decision workers from slow peers so back-pressure on
+// one session cannot deadlock route propagation. Every path that drops a
+// queued item instead of delivering it releases the item's shared
+// payload reference, keeping the fan-out refcounts balanced.
 type outQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []wire.Message
+	items  []outMsg
 	closed bool
 }
 
@@ -1373,14 +1485,28 @@ func newOutQueue() *outQueue {
 func (q *outQueue) push(m wire.Message) {
 	q.mu.Lock()
 	if !q.closed {
-		q.items = append(q.items, m)
+		q.items = append(q.items, outMsg{m: m})
 		q.cond.Signal()
 	}
 	q.mu.Unlock()
 }
 
-// take blocks for the next batch of messages; ok=false after close.
-func (q *outQueue) take() ([]wire.Message, bool) {
+// pushShared queues one shared payload reference; ownership transfers to
+// the queue, which releases it if the queue is already closed.
+func (q *outQueue) pushShared(p *session.SharedPayload) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		p.Release()
+		return
+	}
+	q.items = append(q.items, outMsg{shared: p})
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// take blocks for the next batch of items; ok=false after close.
+func (q *outQueue) take() ([]outMsg, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
@@ -1394,9 +1520,18 @@ func (q *outQueue) take() ([]wire.Message, bool) {
 	return items, true
 }
 
+// close marks the queue closed and drops anything still queued (the
+// session is gone), releasing queued shared payload references.
 func (q *outQueue) close() {
 	q.mu.Lock()
 	q.closed = true
+	items := q.items
+	q.items = nil
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	for _, it := range items {
+		if it.shared != nil {
+			it.shared.Release()
+		}
+	}
 }

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
+	"bgpbench/internal/rib"
+	"bgpbench/internal/session"
+	"bgpbench/internal/wire"
+)
+
+// medPolicy builds the export policy for test group g: one
+// always-matching term setting MED 2000+g. Different g values differ in
+// export behavior, so they can never share an update group.
+func medPolicy(g int) *policy.RouteMap {
+	med := uint32(2000 + g)
+	return &policy.RouteMap{
+		Name: fmt.Sprintf("test-group-%d", g),
+		Terms: []policy.Term{{
+			Name:   "set-med",
+			Set:    policy.Set{MED: &med},
+			Action: policy.Permit,
+		}},
+	}
+}
+
+// recvSpeaker is a receive-only peer that reconstructs its table from
+// the wire stream: the decoded routes are the ground truth of what the
+// router actually emitted (shared-payload corruption or aliasing would
+// surface here as decode failures or wrong attributes).
+type recvSpeaker struct {
+	sess        *session.Session
+	established chan struct{}
+	// delay throttles the read loop per UPDATE, so different receivers
+	// drain a shared emission run at different rates.
+	delay time.Duration
+
+	mu    sync.Mutex
+	table map[netaddr.Prefix]string
+}
+
+func (s *recvSpeaker) Established(*session.Session) {
+	select {
+	case s.established <- struct{}{}:
+	default:
+	}
+}
+
+func (s *recvSpeaker) Update(_ *session.Session, u wire.Update) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range u.Withdrawn {
+		delete(s.table, p)
+	}
+	if len(u.NLRI) > 0 {
+		ab := string(wire.MarshalAttrs(u.Attrs))
+		for _, p := range u.NLRI {
+			s.table[p] = ab
+		}
+	}
+}
+
+func (s *recvSpeaker) Down(*session.Session, error) {}
+
+func (s *recvSpeaker) stop() { s.sess.Stop() }
+
+func (s *recvSpeaker) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+// fingerprint renders the received table in sorted prefix order.
+func (s *recvSpeaker) fingerprint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefixes := make([]netaddr.Prefix, 0, len(s.table))
+	for p := range s.table {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+	var b strings.Builder
+	for _, p := range prefixes {
+		fmt.Fprintf(&b, "%s %x\n", p, s.table[p])
+	}
+	return b.String()
+}
+
+func dialRecv(t *testing.T, r *Router, as uint16, id string, delay time.Duration) *recvSpeaker {
+	t.Helper()
+	sp := &recvSpeaker{
+		established: make(chan struct{}, 1),
+		delay:       delay,
+		table:       make(map[netaddr.Prefix]string),
+	}
+	sp.sess = session.New(session.Config{
+		FSM: fsm.Config{
+			LocalAS:  as,
+			LocalID:  netaddr.MustParseAddr(id),
+			HoldTime: 90,
+		},
+		DialTarget: r.ListenAddr(),
+		Handler:    sp,
+		Name:       fmt.Sprintf("recv-as%d", as),
+	})
+	sp.sess.Start()
+	select {
+	case <-sp.established:
+	case <-time.After(5 * time.Second):
+		sp.sess.Stop()
+		t.Fatalf("receiver as%d: timeout waiting for session", as)
+	}
+	return sp
+}
+
+// adjFingerprint renders one peer's Adj-RIB-Out the same way
+// recvSpeaker.fingerprint renders the received table, so the router's
+// view and the wire-decoded view are directly comparable.
+func adjFingerprint(r *Router, id string) string {
+	var b strings.Builder
+	for _, rt := range r.DumpAdjOut(netaddr.MustParseAddr(id)) {
+		fmt.Fprintf(&b, "%s %x\n", rt.Prefix, string(wire.MarshalAttrs(*rt.Attrs)))
+	}
+	return b.String()
+}
+
+// groupTestTable builds the deterministic churn workload.
+func groupTestTable(n int) []Route {
+	return UniformPath(
+		GenerateTable(TableGenConfig{N: n, Seed: 11, FirstAS: 65001}),
+		wire.NewASPath(65001, 100, 101),
+	)
+}
+
+// runJoinMidStream drives the catch-up replay scenario: two receivers
+// watch the first half of a table, a third joins mid-stream (its view
+// is rebuilt from the group table), then the second half lands. All
+// three must converge to identical tables.
+func runJoinMidStream(t *testing.T, grouped bool) (recvFP, adjFP string) {
+	t.Helper()
+	cfg := testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65100, Export: medPolicy(0)},
+		NeighborConfig{AS: 65101, Export: medPolicy(0)},
+		NeighborConfig{AS: 65102, Export: medPolicy(0)},
+	)
+	cfg.UpdateGroups = grouped
+	cfg.Shards = 4
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+
+	feeder := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer feeder.stop()
+	a := dialRecv(t, r, 65100, "10.9.0.1", 0)
+	defer a.stop()
+	b := dialRecv(t, r, 65101, "10.9.0.2", 0)
+	defer b.stop()
+
+	table := groupTestTable(300)
+	half := len(table) / 2
+	feeder.announce(t, table[:half], 40)
+	waitFor(t, 10*time.Second, func() bool { return r.RIBLen() == half })
+
+	// c joins mid-stream: catch-up replay of the first half, then live
+	// emission of the second.
+	c := dialRecv(t, r, 65102, "10.9.0.3", 0)
+	defer c.stop()
+	feeder.announce(t, table[half:], 40)
+
+	n := len(table)
+	waitFor(t, 10*time.Second, func() bool {
+		return r.RIBLen() == n && a.len() == n && b.len() == n && c.len() == n
+	})
+	fps := []string{a.fingerprint(), b.fingerprint(), c.fingerprint()}
+	if fps[0] != fps[1] || fps[0] != fps[2] {
+		t.Fatalf("grouped=%v: receivers in one policy group decoded different tables", grouped)
+	}
+	if got := adjFingerprint(r, "10.9.0.3"); got != fps[2] {
+		t.Fatalf("grouped=%v: late joiner's received table differs from its Adj-RIB-Out view", grouped)
+	}
+	return fps[0], adjFingerprint(r, "10.9.0.1")
+}
+
+// TestGroupJoinMidStream proves the grouped catch-up replay equivalent
+// to ungrouped emission: a peer joining mid-table-transfer converges to
+// the same per-peer table either way, byte for byte.
+func TestGroupJoinMidStream(t *testing.T) {
+	plainRecv, plainAdj := runJoinMidStream(t, false)
+	groupRecv, groupAdj := runJoinMidStream(t, true)
+	if plainRecv != groupRecv {
+		t.Errorf("received tables differ between grouped and ungrouped emission")
+	}
+	if plainAdj != groupAdj {
+		t.Errorf("Adj-RIB-Out views differ between grouped and ungrouped emission")
+	}
+}
+
+// runResetMidEmission kills one receiver's session while the emission
+// stream is in flight, reconnects it, and requires full convergence:
+// the rebuilt session must receive the whole group view again.
+func runResetMidEmission(t *testing.T, grouped bool) (recvFP string) {
+	t.Helper()
+	cfg := testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65100, Export: medPolicy(0)},
+		NeighborConfig{AS: 65101, Export: medPolicy(0)},
+	)
+	cfg.UpdateGroups = grouped
+	cfg.Shards = 4
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+
+	feeder := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer feeder.stop()
+	a := dialRecv(t, r, 65100, "10.9.0.1", 0)
+	defer a.stop()
+	b := dialRecv(t, r, 65101, "10.9.0.2", 0)
+
+	table := groupTestTable(300)
+	half := len(table) / 2
+	feeder.announce(t, table[:half], 40)
+	// No settling: tear b down while the first half is still emitting,
+	// then keep announcing into the gap.
+	b.stop()
+	feeder.announce(t, table[half:], 40)
+
+	b2 := dialRecv(t, r, 65101, "10.9.0.2", 0)
+	defer b2.stop()
+
+	n := len(table)
+	waitFor(t, 10*time.Second, func() bool {
+		return r.RIBLen() == n && a.len() == n && b2.len() == n
+	})
+	if a.fingerprint() != b2.fingerprint() {
+		t.Fatalf("grouped=%v: reconnected receiver decoded a different table than its groupmate", grouped)
+	}
+	return a.fingerprint()
+}
+
+// TestGroupSessionResetMidEmission proves grouped emission handles a
+// session reset mid-run equivalently to the per-peer path.
+func TestGroupSessionResetMidEmission(t *testing.T) {
+	plain := runResetMidEmission(t, false)
+	groupedFP := runResetMidEmission(t, true)
+	if plain != groupedFP {
+		t.Errorf("received tables differ between grouped and ungrouped emission after a reset")
+	}
+}
+
+// runPolicyMove reconfigures one receiver's export policy and bounces
+// its session: the peer must leave its old update group and join the
+// other one, after which its stream matches its new groupmates'.
+func runPolicyMove(t *testing.T, grouped bool) (recvFP string) {
+	t.Helper()
+	cfg := testRouterConfig(
+		NeighborConfig{AS: 65001},
+		NeighborConfig{AS: 65100, Export: medPolicy(0)},
+		NeighborConfig{AS: 65101, Export: medPolicy(1)},
+		NeighborConfig{AS: 65102, Export: medPolicy(0)},
+	)
+	cfg.UpdateGroups = grouped
+	cfg.Shards = 4
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+
+	feeder := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer feeder.stop()
+	a := dialRecv(t, r, 65100, "10.9.0.1", 0)
+	defer a.stop()
+	b := dialRecv(t, r, 65101, "10.9.0.2", 0)
+	defer b.stop()
+	c := dialRecv(t, r, 65102, "10.9.0.3", 0)
+
+	table := groupTestTable(300)
+	n := len(table)
+	feeder.announce(t, table, 40)
+	waitFor(t, 10*time.Second, func() bool {
+		return r.RIBLen() == n && a.len() == n && b.len() == n && c.len() == n
+	})
+	if c.fingerprint() != a.fingerprint() {
+		t.Fatalf("grouped=%v: groupmates a and c disagree before the move", grouped)
+	}
+	if c.fingerprint() == b.fingerprint() {
+		t.Fatalf("grouped=%v: different policy groups produced identical streams", grouped)
+	}
+
+	// Move c from policy group 0 to group 1. Neighbor reconfiguration
+	// applies at session establishment, so bounce the session.
+	r.UpdateNeighbor(NeighborConfig{AS: 65102, Export: medPolicy(1)})
+	c.stop()
+	c2 := dialRecv(t, r, 65102, "10.9.0.3", 0)
+	defer c2.stop()
+	waitFor(t, 10*time.Second, func() bool { return c2.len() == n })
+
+	if c2.fingerprint() != b.fingerprint() {
+		t.Fatalf("grouped=%v: moved peer's stream does not match its new group", grouped)
+	}
+	if c2.fingerprint() == a.fingerprint() {
+		t.Fatalf("grouped=%v: moved peer still carries its old group's stream", grouped)
+	}
+	if grouped {
+		if gs := r.GroupStats(); gs.Groups != 3 {
+			t.Errorf("GroupStats.Groups = %d, want 3 (feeder + two policy groups)", gs.Groups)
+		}
+	}
+	return c2.fingerprint()
+}
+
+// TestGroupPolicyKeyChange proves a policy-key change moving a peer
+// between update groups is equivalent to the ungrouped path.
+func TestGroupPolicyKeyChange(t *testing.T) {
+	plain := runPolicyMove(t, false)
+	groupedFP := runPolicyMove(t, true)
+	if plain != groupedFP {
+		t.Errorf("received tables differ between grouped and ungrouped emission after a policy move")
+	}
+}
+
+// TestGroupStressChurnAliasing is the shared-buffer aliasing hunt, run
+// under the race detector by the CI race gate: 64 grouped receivers
+// draining a churn stream at eight different rates while the writer
+// announces and withdraws flat out. Shared emission payloads are
+// refcounted across all of them; a buffer recycled while any session
+// still holds it would corrupt framing (killing that session) or
+// attribute bytes (diverging the decoded fingerprints below).
+func TestGroupStressChurnAliasing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const peers = 64
+	const groups = 4
+	neighbors := []NeighborConfig{{AS: 65001}}
+	for i := 0; i < peers; i++ {
+		neighbors = append(neighbors, NeighborConfig{
+			AS:     uint16(65100 + i),
+			Export: medPolicy(i % groups),
+		})
+	}
+	cfg := testRouterConfig(neighbors...)
+	cfg.UpdateGroups = true
+	cfg.Shards = 4
+	r := mustStartRouter(t, cfg)
+	defer r.Stop()
+
+	feeder := dialSpeaker(t, r, 65001, "1.1.1.1")
+	defer feeder.stop()
+	recvs := make([]*recvSpeaker, peers)
+	for i := range recvs {
+		// Eight distinct drain rates: every shared payload is still
+		// referenced by slow readers while fast ones have moved on.
+		delay := time.Duration(i%8) * 100 * time.Microsecond
+		recvs[i] = dialRecv(t, r, uint16(65100+i), fmt.Sprintf("10.9.%d.%d", i/200, i%200+1), delay)
+		defer recvs[i].stop()
+	}
+
+	table := groupTestTable(150)
+	n := len(table)
+	for round := 0; round < 3; round++ {
+		feeder.announce(t, table, 30)
+		feeder.withdraw(t, table[:n/2], 30)
+	}
+	feeder.announce(t, table, 30)
+
+	waitFor(t, 30*time.Second, func() bool {
+		if r.RIBLen() != n {
+			return false
+		}
+		for _, rc := range recvs {
+			if rc.len() != n {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Convergence content check: receivers agree within a group, the
+	// router's Adj-RIB-Out view matches the decoded wire view, and the
+	// grouped path actually fanned out.
+	want := make([]string, groups)
+	for g := range want {
+		want[g] = recvs[g].fingerprint()
+	}
+	for i, rc := range recvs {
+		if got := rc.fingerprint(); got != want[i%groups] {
+			t.Fatalf("receiver %d decoded a different table than its group", i)
+		}
+	}
+	if got := adjFingerprint(r, "10.9.0.1"); got != want[0] {
+		t.Fatalf("router Adj-RIB-Out view differs from the decoded wire view")
+	}
+	gs := r.GroupStats()
+	if gs.Groups != groups+1 {
+		t.Errorf("GroupStats.Groups = %d, want %d (receiver groups + feeder)", gs.Groups, groups+1)
+	}
+	if gs.FanoutRatio() < 2 {
+		t.Errorf("FanoutRatio = %.2f, want >= 2 (runs should fan out to %d members)", gs.FanoutRatio(), peers/groups)
+	}
+}
+
+// benchGroupPeer registers a hand-built established peer with update-
+// group membership, bypassing the TCP session machinery (the grouped
+// analogue of benchPeer). Must run before any work is enqueued.
+func benchGroupPeer(r *Router, id netaddr.Addr, as uint16, export *policy.RouteMap) *peerState {
+	ps := &peerState{
+		info:        rib.PeerInfo{Addr: id, ID: id, AS: as, EBGP: true},
+		cfg:         NeighborConfig{AS: as, Export: export},
+		out:         newOutQueue(),
+		adjOut:      make([]*rib.AdjOut, r.nshards),
+		exportCache: make([]map[exportKey]*wire.PathAttrs, r.nshards),
+		pending:     make([]pendingShard, r.nshards),
+	}
+	for i := range ps.adjOut {
+		ps.adjOut[i] = rib.NewAdjOut()
+		ps.exportCache[i] = make(map[exportKey]*wire.PathAttrs)
+	}
+	ps.downLeft.Store(int32(r.nshards))
+	ps.group = r.groupFor(true, export)
+	r.mu.Lock()
+	r.peers[id] = ps
+	r.mu.Unlock()
+	for i := 0; i < r.nshards; i++ {
+		r.processPeerUpGrouped(i, ps)
+	}
+	return ps
+}
+
+// drainOut empties every receiver's outbound queue, releasing shared
+// payload references so pooled marshal buffers recycle as they would on
+// a live session's write path.
+func drainOut(peers []*peerState) {
+	for _, ps := range peers {
+		ps.out.mu.Lock()
+		items := ps.out.items
+		ps.out.items = nil
+		ps.out.mu.Unlock()
+		for _, m := range items {
+			if m.shared != nil {
+				m.shared.Release()
+			}
+		}
+	}
+}
+
+// BenchmarkEmitGrouped measures the decision+emission core with many
+// receivers: one feeder's churn stream processed synchronously on shard
+// 0, emitted to 64 receivers in 4 policy groups — grouped emission
+// (compute/marshal once per group, fan bytes out) against the per-peer
+// path doing the same work 16 times per group.
+func BenchmarkEmitGrouped(b *testing.B) {
+	const peers = 64
+	const groups = 4
+	feederID := netaddr.MustParseAddr("1.1.1.1")
+	for _, grouped := range []bool{false, true} {
+		b.Run(fmt.Sprintf("peers=%d/grouped=%v", peers, grouped), func(b *testing.B) {
+			neighbors := []NeighborConfig{{AS: 65001}}
+			for i := 0; i < peers; i++ {
+				neighbors = append(neighbors, NeighborConfig{
+					AS:     uint16(65100 + i),
+					Export: medPolicy(i % groups),
+				})
+			}
+			r, err := NewRouter(Config{
+				AS:           65000,
+				ID:           netaddr.MustParseAddr("10.255.0.1"),
+				Shards:       1,
+				UpdateGroups: grouped,
+				Neighbors:    neighbors,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchPeer(r, feederID, 65001)
+			receivers := make([]*peerState, peers)
+			for i := range receivers {
+				id := netaddr.AddrFrom4(10, 9, byte(i/200), byte(i%200+1))
+				if grouped {
+					receivers[i] = benchGroupPeer(r, id, uint16(65100+i), medPolicy(i%groups))
+				} else {
+					receivers[i] = benchPeer(r, id, uint16(65100+i))
+					receivers[i].cfg.Export = medPolicy(i % groups)
+				}
+			}
+
+			// Two alternating attribute variants of the same prefixes, so
+			// every processed update changes the best path and emits.
+			tableA := groupTestTable(2048)
+			tableB := make([]Route, len(tableA))
+			for i, rt := range tableA {
+				tableB[i] = Lengthen(rt, 65001, 2, 7)
+			}
+			rings := [2][]wire.Update{
+				Updates(tableA, feederID, 1),
+				Updates(tableB, feederID, 1),
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			ring, off := 0, 0
+			for done := 0; done < b.N; {
+				upds := rings[ring]
+				hi := off + 256
+				if hi > len(upds) {
+					hi = len(upds)
+				}
+				if hi-off > b.N-done {
+					hi = off + b.N - done
+				}
+				r.processUpdateBatch(0, feederID, upds[off:hi])
+				drainOut(receivers)
+				done += hi - off
+				off = hi
+				if off == len(upds) {
+					off = 0
+					ring = 1 - ring
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalKey returns a canonical serialization of a route map's
+// *behavior*: two maps with equal keys transform and filter every route
+// identically. Names (of the map, its terms, and any prefix lists) are
+// deliberately excluded — they are labels, not semantics — so that two
+// differently-named copies of the same export policy compare equal. Term
+// order, rule order, and community-set order are preserved because they
+// are semantically significant (first match wins; Set community edits
+// apply in sequence).
+//
+// A nil map canonicalizes to "nil", distinct from any real map: the
+// caller treats nil as "export unmodified", which no RouteMap expresses
+// (an empty RouteMap denies everything).
+func CanonicalKey(m *RouteMap) string {
+	if m == nil {
+		return "nil"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rm{def=%v", m.DefaultPermit)
+	for _, t := range m.Terms {
+		b.WriteString(";t{")
+		appendMatchKey(&b, t.Match)
+		appendSetKey(&b, t.Set)
+		fmt.Fprintf(&b, "a=%d}", t.Action)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func appendMatchKey(b *strings.Builder, m Match) {
+	b.WriteString("m{")
+	if m.PrefixList != nil {
+		b.WriteString("pl[")
+		for i, r := range m.PrefixList.Rules {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s/%d-%d/%d", r.Prefix, r.GE, r.LE, r.Action)
+		}
+		b.WriteString("]")
+	}
+	if m.ASPath != nil {
+		c := m.ASPath
+		fmt.Fprintf(b, "as[c=%v,nc=%v,o=%d,n=%d,l=%d-%d", c.Contains, c.NotContain, c.OriginAS, c.NeighborAS, c.MinLen, c.MaxLen)
+		if c.Pattern != nil {
+			fmt.Fprintf(b, ",p=%q", c.Pattern.String())
+		}
+		b.WriteString("]")
+	}
+	if len(m.Community) > 0 {
+		fmt.Fprintf(b, "com=%v", m.Community)
+	}
+	if m.NextHop != nil {
+		fmt.Fprintf(b, "nh=%s", *m.NextHop)
+	}
+	if m.MED != nil {
+		fmt.Fprintf(b, "med=%d", *m.MED)
+	}
+	b.WriteString("}")
+}
+
+func appendSetKey(b *strings.Builder, s Set) {
+	b.WriteString("s{")
+	if s.LocalPref != nil {
+		fmt.Fprintf(b, "lp=%d,", *s.LocalPref)
+	}
+	if s.MED != nil {
+		fmt.Fprintf(b, "med=%d,", *s.MED)
+	}
+	if s.NextHop != nil {
+		fmt.Fprintf(b, "nh=%s,", *s.NextHop)
+	}
+	if s.PrependCount > 0 {
+		fmt.Fprintf(b, "pp=%dx%d,", s.PrependAS, s.PrependCount)
+	}
+	if s.ClearCommunity {
+		b.WriteString("cc,")
+	}
+	if len(s.DelCommunity) > 0 {
+		fmt.Fprintf(b, "dc=%v,", s.DelCommunity)
+	}
+	if len(s.AddCommunity) > 0 {
+		fmt.Fprintf(b, "ac=%v,", s.AddCommunity)
+	}
+	b.WriteString("}")
+}

@@ -1,0 +1,118 @@
+package rib
+
+import (
+	"testing"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
+)
+
+// fuzzRouteMap builds a route map from fuzz-chosen behavior parameters.
+// The names are cosmetic by contract: two maps built from the same
+// parameters but different names must produce the same group key.
+func fuzzRouteMap(name, termName string, defPermit, deny bool,
+	lp, med uint32, useLP, useMED bool,
+	prependAS uint16, prependCount uint8,
+	prefixOctet, ge, le uint8) *policy.RouteMap {
+	set := policy.Set{}
+	if useLP {
+		v := lp
+		set.LocalPref = &v
+	}
+	if useMED {
+		v := med
+		set.MED = &v
+	}
+	if prependCount%4 > 0 {
+		set.PrependAS = prependAS
+		set.PrependCount = int(prependCount % 4)
+	}
+	action := policy.Permit
+	if deny {
+		action = policy.Deny
+	}
+	var match policy.Match
+	if ge%2 == 1 {
+		g, l := int(ge%25), int(le%33)
+		if l < g {
+			g, l = l, g
+		}
+		match.PrefixList = &policy.PrefixList{
+			Name: termName + "-pl",
+			Rules: []policy.PrefixRule{{
+				Prefix: netaddr.PrefixFrom(netaddr.AddrFrom4(prefixOctet, 0, 0, 0), 8),
+				GE:     g, LE: l,
+				Action: policy.Permit,
+			}},
+		}
+	}
+	return &policy.RouteMap{
+		Name: name,
+		Terms: []policy.Term{{
+			Name:   termName,
+			Match:  match,
+			Set:    set,
+			Action: action,
+		}},
+		DefaultPermit: defPermit,
+	}
+}
+
+// FuzzGroupKey fuzzes the update-group keying contract:
+//
+//  1. Behaviorally equal export configurations — identical except for
+//     the cosmetic map/term names — always produce identical keys, so
+//     peers sharing a policy always share a group.
+//  2. Configurations with differing export behavior (a flipped action,
+//     a shifted MED, an extra prepend, a different eBGP transform)
+//     never share a key, so a group never mixes peers whose streams
+//     could diverge.
+func FuzzGroupKey(f *testing.F) {
+	f.Add(false, false, uint32(100), uint32(50), true, true, uint16(65010), uint8(2), uint8(10), uint8(9), uint8(24), true)
+	f.Add(true, false, uint32(0), uint32(0), false, false, uint16(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Add(true, true, uint32(7), uint32(9), true, false, uint16(65020), uint8(1), uint8(192), uint8(3), uint8(17), true)
+	f.Fuzz(func(t *testing.T, defPermit, deny bool,
+		lp, med uint32, useLP, useMED bool,
+		prependAS uint16, prependCount uint8,
+		prefixOctet, ge, le uint8, ebgp bool) {
+
+		a := fuzzRouteMap("map-a", "term-a", defPermit, deny, lp, med, useLP, useMED, prependAS, prependCount, prefixOctet, ge, le)
+		b := fuzzRouteMap("map-b", "term-b", defPermit, deny, lp, med, useLP, useMED, prependAS, prependCount, prefixOctet, ge, le)
+		ka, kb := GroupKeyFor(ebgp, a), GroupKeyFor(ebgp, b)
+		if ka != kb {
+			t.Fatalf("behaviorally equal configs produced different keys:\n  %s\n  %s", ka, kb)
+		}
+
+		// Flip one behavioral knob at a time; every variant must key
+		// differently from the original.
+		variants := map[string]string{
+			"action":         GroupKeyFor(ebgp, fuzzRouteMap("map-c", "term-c", defPermit, !deny, lp, med, useLP, useMED, prependAS, prependCount, prefixOctet, ge, le)),
+			"default-permit": GroupKeyFor(ebgp, fuzzRouteMap("map-c", "term-c", !defPermit, deny, lp, med, useLP, useMED, prependAS, prependCount, prefixOctet, ge, le)),
+			"med":            GroupKeyFor(ebgp, fuzzRouteMap("map-c", "term-c", defPermit, deny, lp, med+1, useLP, true, prependAS, prependCount, prefixOctet, ge, le)),
+			"ebgp":           GroupKeyFor(!ebgp, a),
+		}
+		if useLP {
+			variants["local-pref"] = GroupKeyFor(ebgp, fuzzRouteMap("map-c", "term-c", defPermit, deny, lp+1, med, true, useMED, prependAS, prependCount, prefixOctet, ge, le))
+		}
+		if prependCount%4 > 0 {
+			variants["prepend-count"] = GroupKeyFor(ebgp, fuzzRouteMap("map-c", "term-c", defPermit, deny, lp, med, useLP, useMED, prependAS, prependCount+1, prefixOctet, ge, le))
+		}
+		for knob, kv := range variants {
+			if knob == "med" && useMED && med+1 == med {
+				continue // uint32 wrap cannot happen, but keep the guard explicit
+			}
+			if knob == "prepend-count" && (prependCount+1)%4 == prependCount%4 {
+				continue // count wrapped to the same effective prepend depth
+			}
+			if kv == ka {
+				t.Fatalf("differing export behavior (%s) shares a group key: %s", knob, ka)
+			}
+		}
+
+		// Nil means "export unmodified" — it must never collide with any
+		// constructed map's key.
+		if nk := GroupKeyFor(ebgp, nil); nk == ka {
+			t.Fatalf("nil policy shares a key with a constructed map: %s", ka)
+		}
+	})
+}

@@ -115,12 +115,27 @@ type event struct {
 	err  error    // with EvTCPConnFails / EvMsgError
 }
 
+// outboxItem is one queued transmission: either a message to marshal or
+// a pre-marshaled shared payload (update-group fan-out).
+type outboxItem struct {
+	msg    wire.Message
+	shared *SharedPayload
+}
+
+// release drops the item's payload reference, if it carries one. Called
+// on every path where the item is dropped instead of written.
+func (it outboxItem) release() {
+	if it.shared != nil {
+		it.shared.Release()
+	}
+}
+
 // Session is one BGP peering endpoint.
 type Session struct {
 	cfg    Config
 	fsm    *fsm.FSM
 	events chan event
-	outbox chan wire.Message
+	outbox chan outboxItem
 	done   chan struct{}
 	wg     sync.WaitGroup
 
@@ -165,7 +180,7 @@ func New(cfg Config) *Session {
 		cfg:    cfg,
 		fsm:    fsm.New(cfg.FSM),
 		events: make(chan event, 64),
-		outbox: make(chan wire.Message, 1024),
+		outbox: make(chan outboxItem, 1024),
 		done:   make(chan struct{}),
 	}
 	if cfg.BatchMaxUpdates > 0 {
@@ -219,9 +234,24 @@ func (s *Session) closeDone() {
 // the session has terminated.
 func (s *Session) Send(m wire.Message) error {
 	select {
-	case s.outbox <- m:
+	case s.outbox <- outboxItem{msg: m}:
 		return nil
 	case <-s.done:
+		return fmt.Errorf("session %s: closed", s.cfg.Name)
+	}
+}
+
+// SendShared queues a pre-marshaled shared payload for transmission. The
+// caller transfers one payload reference per call: the session releases
+// it after writing the bytes, after dropping the item on a dead or
+// not-yet-established connection, or — on the error path here — before
+// returning, so the caller never needs to compensate.
+func (s *Session) SendShared(p *SharedPayload) error {
+	select {
+	case s.outbox <- outboxItem{shared: p}:
+		return nil
+	case <-s.done:
+		p.Release()
 		return fmt.Errorf("session %s: closed", s.cfg.Name)
 	}
 }
@@ -270,8 +300,8 @@ func (s *Session) loop() {
 			if s.cfg.BatchMaxDelay <= 0 && len(s.batch) > 0 && len(s.events) == 0 {
 				s.flushBatch()
 			}
-		case m := <-s.outbox:
-			if !s.writeOut(m) {
+		case it := <-s.outbox:
+			if !s.writeOut(it) {
 				continue
 			}
 		case <-s.flushC:
@@ -324,20 +354,38 @@ func (s *Session) flushBatch() {
 	s.bh.UpdateBatch(s, b)
 }
 
-// writeOut sends one queued message plus any immediately available batch.
-func (s *Session) writeOut(first wire.Message) bool {
+// writeOut sends one queued item plus any immediately available batch.
+func (s *Session) writeOut(first outboxItem) bool {
 	if s.writer == nil || s.fsm.State() != fsm.Established {
-		// Not established: drop silently. Benchmark speakers only send
-		// after Established fires, so this is a shutdown race, not a bug.
+		// Not established: drop silently (releasing any shared payload).
+		// Benchmark speakers only send after Established fires, so this is
+		// a shutdown race, not a bug.
+		first.release()
 		return false
 	}
-	write := func(m wire.Message) bool {
-		if err := s.writer.WriteMessageBuffered(m); err != nil {
+	write := func(it outboxItem) bool {
+		if it.shared != nil {
+			// Shared fan-out payload: the bytes are already framed, and
+			// bufio copies them before WriteRaw returns, so the reference
+			// can be released immediately — even on error.
+			err := s.writer.WriteRaw(it.shared.Bytes())
+			if err == nil {
+				s.Stats.MsgsOut.Add(uint64(it.shared.Msgs()))
+				s.Stats.UpdatesOut.Add(uint64(it.shared.Updates()))
+			}
+			it.release()
+			if err != nil {
+				s.transportError(err)
+				return false
+			}
+			return true
+		}
+		if err := s.writer.WriteMessageBuffered(it.msg); err != nil {
 			s.transportError(err)
 			return false
 		}
 		s.Stats.MsgsOut.Add(1)
-		if m.Type() == wire.MsgUpdate {
+		if it.msg.Type() == wire.MsgUpdate {
 			s.Stats.UpdatesOut.Add(1)
 		}
 		return true
@@ -349,8 +397,8 @@ func (s *Session) writeOut(first wire.Message) bool {
 batch:
 	for i := 0; i < 256; i++ {
 		select {
-		case m := <-s.outbox:
-			if !write(m) {
+		case it := <-s.outbox:
+			if !write(it) {
 				return false
 			}
 		default:
@@ -679,4 +727,16 @@ func (s *Session) cleanup() {
 	s.stopTimer(&s.flushTimer)
 	s.dropConn()
 	s.closeDone()
+	// Best-effort drain: release shared payload references stranded in the
+	// outbox so their buffers return to the pool. A Send racing with
+	// shutdown may still slip an item in afterwards; that reference leaks
+	// to the garbage collector, which is safe (never aliasing).
+	for {
+		select {
+		case it := <-s.outbox:
+			it.release()
+		default:
+			return
+		}
+	}
 }

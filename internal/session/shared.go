@@ -1,0 +1,61 @@
+package session
+
+import "sync/atomic"
+
+// SharedPayload is a reference-counted block of pre-marshaled BGP
+// messages fanned out to several sessions at once: the update-group
+// emission path marshals an emission run once and hands the same bytes
+// to every member session. Each recipient writes the bytes to its
+// transport and calls Release; when the last reference drops, the buffer
+// is handed back to its pool via the free callback.
+//
+// Ownership discipline: the creator sets refs to the number of sessions
+// that will receive the payload, then transfers one reference per
+// SendShared call — including on failure, where SendShared releases on
+// the caller's behalf. The buffer must never be read after the owning
+// reference is released. A missed Release degrades to garbage collection
+// (the pool simply never sees the buffer again); a double Release is a
+// bug and panics.
+type SharedPayload struct {
+	buf     []byte
+	msgs    int
+	updates int
+	refs    atomic.Int32
+	free    func([]byte)
+}
+
+// NewSharedPayload wraps buf, which holds msgs whole framed BGP messages
+// (updates of them UPDATEs), for fan-out to refs sessions. free, when
+// non-nil, is called exactly once with buf after the last Release.
+func NewSharedPayload(buf []byte, msgs, updates, refs int, free func([]byte)) *SharedPayload {
+	p := &SharedPayload{buf: buf, msgs: msgs, updates: updates, free: free}
+	p.refs.Store(int32(refs))
+	return p
+}
+
+// Bytes returns the framed message bytes. Valid only while the caller
+// holds an unreleased reference.
+func (p *SharedPayload) Bytes() []byte { return p.buf }
+
+// Msgs returns the number of framed messages in the payload.
+func (p *SharedPayload) Msgs() int { return p.msgs }
+
+// Updates returns the number of UPDATE messages in the payload.
+func (p *SharedPayload) Updates() int { return p.updates }
+
+// Release drops one reference; the last one returns the buffer to its
+// pool. Safe for concurrent use by the member sessions.
+func (p *SharedPayload) Release() {
+	n := p.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("session: SharedPayload over-released")
+	}
+	if p.free != nil {
+		buf := p.buf
+		p.buf = nil
+		p.free(buf)
+	}
+}

@@ -29,6 +29,12 @@ type Summary struct {
 	FIBBatches      uint64 `json:"fib_batches"`
 	DispatchBatches uint64 `json:"dispatch_batches"`
 	DispatchUpdates uint64 `json:"dispatch_updates"`
+
+	// Update-group fields, present when the router runs grouped emission.
+	UpdateGroups     bool    `json:"update_groups,omitempty"`
+	Groups           int     `json:"update_group_count,omitempty"`
+	GroupFanoutRatio float64 `json:"update_group_fanout_ratio,omitempty"`
+	GroupBytesSaved  uint64  `json:"update_group_bytes_saved,omitempty"`
 }
 
 // Handler builds the HTTP mux for a router.
@@ -63,6 +69,12 @@ func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
 		s.InternSize = r.InternStats().Size
 		s.FIBBatches, _ = r.FIBBatchStats()
 		s.DispatchBatches, s.DispatchUpdates = r.DispatchStats()
+		if gs := r.GroupStats(); gs.Enabled {
+			s.UpdateGroups = true
+			s.Groups = gs.Groups
+			s.GroupFanoutRatio = gs.FanoutRatio()
+			s.GroupBytesSaved = gs.BytesSaved
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s)
 	})
@@ -101,6 +113,15 @@ func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
 		batches, ops := r.FIBBatchStats()
 		fmt.Fprintf(w, "bgp_fib_batches_total %d\n", batches)
 		fmt.Fprintf(w, "bgp_fib_batch_ops_total %d\n", ops)
+		if gs := r.GroupStats(); gs.Enabled {
+			fmt.Fprintf(w, "bgp_update_groups %d\n", gs.Groups)
+			fmt.Fprintf(w, "bgp_update_group_runs_total %d\n", gs.Runs)
+			fmt.Fprintf(w, "bgp_update_group_sends_total %d\n", gs.Sends)
+			fmt.Fprintf(w, "bgp_update_group_fanout_ratio %g\n", gs.FanoutRatio())
+			fmt.Fprintf(w, "bgp_update_group_bytes_built_total %d\n", gs.BytesBuilt)
+			fmt.Fprintf(w, "bgp_update_group_bytes_saved_total %d\n", gs.BytesSaved)
+			fmt.Fprintf(w, "bgp_update_group_suppressed_total %d\n", gs.Suppressed)
+		}
 		if inj != nil {
 			st := inj.Stats()
 			fmt.Fprintf(w, "netem_conns_total %d\n", st.Conns)

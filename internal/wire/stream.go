@@ -88,5 +88,15 @@ func (w *Writer) WriteMessageBuffered(m Message) error {
 	return err
 }
 
+// WriteRaw writes pre-marshaled message bytes without flushing. The
+// caller guarantees b holds whole, correctly framed BGP messages (the
+// update-group fan-out path marshals once per group and replays the same
+// bytes to every member). b is fully consumed before WriteRaw returns —
+// bufio copies it — so the caller may recycle the buffer immediately.
+func (w *Writer) WriteRaw(b []byte) error {
+	_, err := w.bw.Write(b)
+	return err
+}
+
 // Flush pushes buffered messages to the underlying stream.
 func (w *Writer) Flush() error { return w.bw.Flush() }

@@ -21,13 +21,13 @@ go run ./cmd/bgplint ./...
 # snapshot read path.
 go test -race ./internal/core/... ./internal/session/... ./internal/fib/...
 # Fault-injection conformance gate under the race detector: one
-# representative scenario (flap-reset, N=1 vs N=4 shards) plus replay
-# determinism.
+# representative scenario (flap-reset, N=1 vs N=4 shards), replay
+# determinism, and the many-peer update-group equivalence gate.
 BGPBENCH_CONFORMANCE_GATE=1 go test -race \
-	-run 'TestConformanceGate|TestConformanceReplayDeterminism' ./internal/bench/
+	-run 'TestConformanceGate|TestConformanceManyPeerGate|TestConformanceReplayDeterminism' ./internal/bench/
 # Hot-path microbenchmark smoke: one iteration so the dispatch/process
 # benchmarks can never bit-rot.
-go test -run='^$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate' \
+go test -run='^$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate|BenchmarkEmitGrouped' \
 	-benchtime=1x ./internal/core/
 BGPBENCH_LOOKUP_N=50000 go test -run='^$' \
 	-bench 'BenchmarkLookup$|BenchmarkLookupChurn' \
