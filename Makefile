@@ -37,19 +37,20 @@ lint:
 # The sharded router, the session layer, and the FIB's lock-free
 # snapshot read path are the concurrency-heavy code; run them under the
 # race detector every time (the fib package carries the
-# lookup-under-churn test).
+# lookup-under-churn tests, IPv4 and IPv6).
 race:
 	$(GO) test -race ./internal/core/... ./internal/session/... ./internal/fib/...
 
 # Conformance gate: one representative scenario under the flap-reset
 # fault profile, N=1 vs N=4 decision shards, plus the replay-determinism
-# check and the many-peer update-group equivalence gate (12 receivers in
-# 4 policy groups, grouped vs ungrouped digests) — all under the race
-# detector (the netem layer, the reconnecting speakers, and the sharded
-# router interleave heavily here).
+# check, the many-peer update-group equivalence gate (12 receivers in
+# 4 policy groups, grouped vs ungrouped digests), and the dual-stack
+# gate (v4/v6/dual digest matrix with IPv6 NLRI end-to-end) — all under
+# the race detector (the netem layer, the reconnecting speakers, and
+# the sharded router interleave heavily here).
 conformance:
 	BGPBENCH_CONFORMANCE_GATE=1 $(GO) test -race \
-		-run 'TestConformanceGate|TestConformanceManyPeerGate|TestConformanceReplayDeterminism' ./internal/bench/
+		-run 'TestConformanceGate|TestConformanceManyPeerGate|TestConformanceReplayDeterminism|TestConformanceDualStackGate' ./internal/bench/
 
 # Hot-path microbenchmark smoke: run the dispatch/process benchmarks for
 # one iteration so they compile and execute on every gate (real numbers
@@ -58,7 +59,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate|BenchmarkEmitGrouped' \
 		-benchtime=1x ./internal/core/
 	BGPBENCH_LOOKUP_N=50000 $(GO) test -run='^$$' \
-		-bench 'BenchmarkLookup$$|BenchmarkLookupChurn' \
+		-bench 'BenchmarkLookup$$|BenchmarkLookupV6$$|BenchmarkLookupChurn' \
 		-benchtime=1x ./internal/fib/
 
 test:

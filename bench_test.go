@@ -195,7 +195,7 @@ func benchUpdate(nlri int) wire.Update {
 		Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 100, 200, 300), netaddr.MustParseAddr("10.0.0.1")),
 	}
 	for i := 0; i < nlri; i++ {
-		u.NLRI = append(u.NLRI, netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<8), 24))
+		u.NLRI = append(u.NLRI, netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<8), 24))
 	}
 	return u
 }
@@ -289,12 +289,12 @@ func BenchmarkDecisionProcess(b *testing.B) {
 			for i := range cands {
 				cands[i] = rib.Candidate{
 					Peer: rib.PeerInfo{
-						Addr: netaddr.Addr(i + 1), ID: netaddr.Addr(i + 1),
-						AS: uint16(i + 100), EBGP: true,
+						Addr: netaddr.AddrFromV4(uint32(i + 1)), ID: netaddr.AddrFromV4(uint32(i + 1)),
+						AS: uint32(i + 100), EBGP: true,
 					},
 					Attrs: attrsPtr(wire.NewPathAttrs(wire.OriginIGP,
-						wire.NewASPath(uint16(i+100), uint16(i+200), uint16(i%3+1)),
-						netaddr.Addr(i+1))),
+						wire.NewASPath(uint32(i+100), uint32(i+200), uint32(i%3+1)),
+						netaddr.AddrFromV4(uint32(i+1)))),
 				}
 			}
 			b.ResetTimer()
@@ -308,15 +308,15 @@ func BenchmarkDecisionProcess(b *testing.B) {
 // BenchmarkRIBChurn measures the full announce path through the RIB.
 func BenchmarkRIBChurn(b *testing.B) {
 	r := rib.New()
-	p1 := rib.PeerInfo{Addr: 1, ID: 1, AS: 65001, EBGP: true}
-	p2 := rib.PeerInfo{Addr: 2, ID: 2, AS: 65002, EBGP: true}
+	p1 := rib.PeerInfo{Addr: netaddr.AddrFromV4(1), ID: netaddr.AddrFromV4(1), AS: 65001, EBGP: true}
+	p2 := rib.PeerInfo{Addr: netaddr.AddrFromV4(2), ID: netaddr.AddrFromV4(2), AS: 65002, EBGP: true}
 	r.AddPeer(p1)
 	r.AddPeer(p2)
-	short := attrsPtr(wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 1), netaddr.Addr(1)))
-	long := attrsPtr(wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65002, 1, 2, 3), netaddr.Addr(2)))
+	short := attrsPtr(wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 1), netaddr.AddrFromV4(1)))
+	long := attrsPtr(wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65002, 1, 2, 3), netaddr.AddrFromV4(2)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i%4096)<<12), 20)
+		p := netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i%4096)<<12), 20)
 		r.Announce(p1.Addr, p, short)
 		r.Announce(p2.Addr, p, long)
 	}
@@ -330,7 +330,7 @@ func BenchmarkForwarding(b *testing.B) {
 	table := fib.NewTable(fib.NewPatricia())
 	routes := core.GenerateTable(core.TableGenConfig{N: 100000, Seed: 8})
 	for _, r := range routes {
-		table.Insert(r.Prefix, fib.Entry{NextHop: 1, Port: 1})
+		table.Insert(r.Prefix, fib.Entry{NextHop: netaddr.AddrFromV4(1), Port: 1})
 	}
 	eng := forward.New(table, forward.DiscardEgress)
 	pkts := make([][]byte, 256)
@@ -368,7 +368,7 @@ func BenchmarkDataplane(b *testing.B) {
 			table := fib.NewTable(fib.NewPatricia())
 			routes := core.GenerateTable(core.TableGenConfig{N: 50000, Seed: 3})
 			for _, r := range routes {
-				table.Insert(r.Prefix, fib.Entry{NextHop: 1, Port: 1})
+				table.Insert(r.Prefix, fib.Entry{NextHop: netaddr.AddrFromV4(1), Port: 1})
 			}
 			plane, err := dataplane.New(dataplane.Config{
 				Workers: workers, QueueDepth: 65536, FIB: table,
@@ -420,7 +420,7 @@ func BenchmarkDamping(b *testing.B) {
 	d := damping.New(damping.Config{}, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.Flap(netaddr.Addr(i%64), netaddr.PrefixFrom(netaddr.Addr(uint32(i%4096)<<12), 20))
+		d.Flap(netaddr.AddrFromV4(uint32(i%64)), netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i%4096)<<12), 20))
 	}
 }
 
@@ -430,7 +430,7 @@ func BenchmarkMRTRoundTrip(b *testing.B) {
 	tbl := &mrt.Table{
 		CollectorID: netaddr.AddrFrom4(10, 0, 0, 1),
 		ViewName:    "bench",
-		Peers:       []mrt.Peer{{ID: 1, Addr: 1, AS: 65001}},
+		Peers:       []mrt.Peer{{ID: netaddr.AddrFromV4(1), Addr: netaddr.AddrFromV4(1), AS: 65001}},
 	}
 	for _, r := range routes {
 		tbl.Prefixes = append(tbl.Prefixes, mrt.Prefix{

@@ -10,8 +10,8 @@
 //	bgpbench fig5    [-n prefixes] [-step mbps] [-csv dir]
 //	bgpbench fig6    [-n prefixes] [-cross mbps] [-csv dir]
 //	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
-//	bgpbench live    [-n prefixes] [-num N] [-fib engine] [-cpus N] [-crossworkers K] [-crosspps R] [-shards LIST] [-batch N] [-batchdelay D] [-pprof addr] [-json file]
-//	bgpbench fanout  [-n prefixes] [-peers LIST] [-groups G] [-shards N] [-cpus N] [-json file] [-merge file]
+//	bgpbench live    [-n prefixes] [-num N] [-afi v4|v6|dual] [-fib engine] [-cpus N] [-crossworkers K] [-crosspps R] [-shards LIST] [-batch N] [-batchdelay D] [-pprof addr] [-json file] [-merge file]
+//	bgpbench fanout  [-n prefixes] [-afi v4|v6|dual] [-peers LIST] [-groups G] [-shards N] [-cpus N] [-json file] [-merge file]
 //	bgpbench lookup  [-n prefixes] [-engines LIST] [-readers K] [-churn N] [-duration D] [-cpus N] [-json file]
 //	bgpbench livesweep [-n prefixes] [-num N] [-cpus N]
 //	bgpbench chaos   [-n prefixes] [-num N] [-profiles LIST] [-seed S] [-shards LIST] [-json file]
@@ -289,6 +289,7 @@ func cmdLive(args []string) error {
 	fs := flag.NewFlagSet("live", flag.ExitOnError)
 	n := fs.Int("n", 10000, "routing table size in prefixes")
 	num := fs.Int("num", 0, "scenario number 1-8 (0 = all)")
+	afi := fs.String("afi", "", "address family of the generated table: v4 (default), v6, or dual")
 	fibEngine := fs.String("fib", "patricia", "FIB engine: "+strings.Join(fib.EngineNames, ", "))
 	cpus := fs.Int("cpus", 0, "set GOMAXPROCS for the run (0 = leave as is)")
 	crossWorkers := fs.Int("crossworkers", 0, "goroutines saturating the forwarding plane")
@@ -302,6 +303,7 @@ func cmdLive(args []string) error {
 	batchDelay := fs.Duration("batchdelay", 0, "max time an UPDATE may wait in a forming batch (0 = default 200us, negative = flush when the session idles)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the benchmark runs")
 	repeat := fs.Int("repeat", 1, "runs per scenario/shard cell; the best run is reported (rejects scheduler noise on short runs)")
+	merge := fs.String("merge", "", "append the rows to an existing JSON array file (e.g. BENCH_live.json)")
 	fs.Parse(args)
 
 	applyCPUs(*cpus)
@@ -335,6 +337,7 @@ func cmdLive(args []string) error {
 			cfg := bench.LiveConfig{
 				TableSize:       *n,
 				Seed:            *seed,
+				AFI:             *afi,
 				FIBEngine:       *fibEngine,
 				CrossWorkers:    *crossWorkers,
 				CrossPPS:        *crossPPS,
@@ -373,6 +376,7 @@ func cmdLive(args []string) error {
 				Workload:        "scenario",
 				Scenario:        res.Scenario.Num,
 				ScenarioName:    res.Scenario.String(),
+				AFI:             res.AFI,
 				Prefixes:        res.Prefixes,
 				Shards:          res.Shards,
 				TPS:             res.TPS,
@@ -400,6 +404,12 @@ func cmdLive(args []string) error {
 		}
 		fmt.Printf("\nwrote %s (%d rows)\n", *jsonOut, len(rows))
 	}
+	if *merge != "" {
+		if err := mergeRows(*merge, "scenario", *afi, rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nmerged %d rows into %s\n", len(rows), *merge)
+	}
 	return nil
 }
 
@@ -408,6 +418,7 @@ func cmdLive(args []string) error {
 // workload field tells them apart).
 type fanoutRow struct {
 	Workload        string         `json:"workload"` // "fanout"
+	AFI             string         `json:"afi,omitempty"`
 	Peers           int            `json:"peers"`
 	Groups          int            `json:"groups"`
 	UpdateGroups    bool           `json:"update_groups"`
@@ -427,6 +438,7 @@ type fanoutRow struct {
 func cmdFanout(args []string) error {
 	fs := flag.NewFlagSet("fanout", flag.ExitOnError)
 	n := fs.Int("n", 5000, "routing table size in prefixes")
+	afi := fs.String("afi", "", "address family of the generated table: v4 (default), v6, or dual")
 	peers := fs.String("peers", "25,50,100", "comma-separated receiver peer counts to sweep")
 	groups := fs.Int("groups", 4, "export-policy groups the receivers split across")
 	shards := fs.Int("shards", 0, "decision-worker shard count (0 = GOMAXPROCS)")
@@ -454,7 +466,7 @@ func cmdFanout(args []string) error {
 	for _, p := range peerList {
 		for _, ug := range []bool{false, true} {
 			res, err := bench.RunFanout(bench.FanoutConfig{
-				Peers: p, Groups: *groups, TableSize: *n,
+				Peers: p, Groups: *groups, TableSize: *n, AFI: *afi,
 				Seed: *seed, Shards: *shards, UpdateGroups: ug,
 			})
 			if err != nil {
@@ -466,6 +478,7 @@ func cmdFanout(args []string) error {
 				fmtBytes(res.BytesSaved), fmtBytes(res.Mem.RSSBytes))
 			rows = append(rows, fanoutRow{
 				Workload:        "fanout",
+				AFI:             res.AFI,
 				Peers:           res.Peers,
 				Groups:          res.Groups,
 				UpdateGroups:    res.UpdateGroups,
@@ -497,7 +510,7 @@ func cmdFanout(args []string) error {
 		fmt.Printf("\nwrote %s (%d rows)\n", *jsonOut, len(rows))
 	}
 	if *merge != "" {
-		if err := mergeRows(*merge, rows); err != nil {
+		if err := mergeRows(*merge, "fanout", *afi, rows); err != nil {
 			return err
 		}
 		fmt.Printf("\nmerged %d rows into %s\n", len(rows), *merge)
@@ -506,9 +519,11 @@ func cmdFanout(args []string) error {
 }
 
 // mergeRows appends rows to an existing JSON array file, preserving the
-// records already there (other workloads keep their rows; previous
-// fanout rows are replaced so reruns do not accumulate duplicates).
-func mergeRows(path string, rows []fanoutRow) error {
+// records already there. Rows of the same workload AND address family
+// are replaced so reruns do not accumulate duplicates, while a -afi v6
+// or dual run merges alongside the persisted v4 rows instead of
+// clobbering them.
+func mergeRows[T any](path, workload, afi string, rows []T) error {
 	var existing []json.RawMessage
 	if b, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(b, &existing); err != nil {
@@ -521,8 +536,10 @@ func mergeRows(path string, rows []fanoutRow) error {
 	for _, raw := range existing {
 		var probe struct {
 			Workload string `json:"workload"`
+			AFI      string `json:"afi"`
 		}
-		if err := json.Unmarshal(raw, &probe); err == nil && probe.Workload == "fanout" {
+		if err := json.Unmarshal(raw, &probe); err == nil &&
+			probe.Workload == workload && probe.AFI == afi {
 			continue
 		}
 		kept = append(kept, raw)
@@ -551,6 +568,7 @@ type liveRow struct {
 	Workload        string         `json:"workload,omitempty"`
 	Scenario        int            `json:"scenario"`
 	ScenarioName    string         `json:"scenario_name"`
+	AFI             string         `json:"afi,omitempty"`
 	Prefixes        int            `json:"prefixes"`
 	Shards          int            `json:"shards"`
 	TPS             float64        `json:"tps"`
@@ -892,7 +910,7 @@ func cmdMRT(args []string) error {
 	}
 	lenHist := map[int]int{}
 	pathLenSum, entries := 0, 0
-	origins := map[uint16]int{}
+	origins := map[uint32]int{}
 	for _, p := range tbl.Prefixes {
 		lenHist[p.Prefix.Len()]++
 		for _, e := range p.Entries {
@@ -914,7 +932,7 @@ func cmdMRT(args []string) error {
 		fmt.Printf("mean AS-path length: %.2f\n", float64(pathLenSum)/float64(entries))
 	}
 	type oc struct {
-		as uint16
+		as uint32
 		n  int
 	}
 	var top []oc

@@ -65,14 +65,14 @@ func main() {
 			if part == "" {
 				continue
 			}
-			n, err := strconv.ParseUint(part, 10, 16)
+			n, err := strconv.ParseUint(part, 10, 32)
 			if err != nil {
 				fatal(fmt.Errorf("bad neighbour AS %q: %v", part, err))
 			}
-			ncfgs = append(ncfgs, core.NeighborConfig{AS: uint16(n)})
+			ncfgs = append(ncfgs, core.NeighborConfig{AS: uint32(n)})
 		}
 		cfg = core.Config{
-			AS:              uint16(*as),
+			AS:              uint32(*as),
 			ID:              routerID,
 			ListenAddr:      *listen,
 			Neighbors:       ncfgs,

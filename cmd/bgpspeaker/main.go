@@ -40,14 +40,14 @@ func main() {
 	}
 
 	if *dump != "" {
-		if err := dumpTable(*dump, *n, *seed, uint16(*as), localID); err != nil {
+		if err := dumpTable(*dump, *n, *seed, uint32(*as), localID); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d-prefix MRT dump to %s\n", *n, *dump)
 		return
 	}
 	sp := speaker.New(speaker.Config{
-		AS:     uint16(*as),
+		AS:     uint32(*as),
 		ID:     localID,
 		Target: *target,
 	})
@@ -65,9 +65,9 @@ func main() {
 		}
 		fmt.Printf("loaded %d prefixes from %s\n", len(table), *load)
 	} else {
-		table = core.GenerateTable(core.TableGenConfig{N: *n, Seed: *seed, FirstAS: uint16(*as)})
+		table = core.GenerateTable(core.TableGenConfig{N: *n, Seed: *seed, FirstAS: uint32(*as)})
 		if *uniform {
-			table = core.UniformPath(table, wire.NewASPath(uint16(*as), 100, 101, 102))
+			table = core.UniformPath(table, wire.NewASPath(uint32(*as), 100, 101, 102))
 		}
 	}
 
@@ -97,7 +97,7 @@ func main() {
 }
 
 // dumpTable writes a freshly generated table as an MRT file.
-func dumpTable(path string, n int, seed int64, as uint16, id netaddr.Addr) error {
+func dumpTable(path string, n int, seed int64, as uint32, id netaddr.Addr) error {
 	routes := core.GenerateTable(core.TableGenConfig{N: n, Seed: seed, FirstAS: as})
 	tbl := &mrt.Table{
 		CollectorID: id,

@@ -34,9 +34,9 @@ func main() {
 	for i := range targets {
 		if i%2 == 0 {
 			r := table[rng.Intn(len(table))]
-			targets[i] = r.Prefix.Addr() | netaddr.Addr(rng.Uint32())&^netaddr.Mask(r.Prefix.Len())
+			targets[i] = r.Prefix.Host(uint64(rng.Uint32()))
 		} else {
-			targets[i] = netaddr.Addr(rng.Uint32())
+			targets[i] = netaddr.AddrFromV4(rng.Uint32())
 		}
 	}
 

@@ -24,7 +24,7 @@ type Route struct {
 // Config controls aggregation.
 type Config struct {
 	// LocalAS/LocalID stamp the AGGREGATOR attribute on merged routes.
-	LocalAS uint16
+	LocalAS uint32
 	LocalID netaddr.Addr
 	// MinLen stops aggregation from producing prefixes shorter than this
 	// (default 8: never synthesize super-/8 aggregates).
@@ -36,7 +36,7 @@ type Config struct {
 }
 
 // NewConfig returns the conventional safe configuration.
-func NewConfig(localAS uint16, localID netaddr.Addr) Config {
+func NewConfig(localAS uint32, localID netaddr.Addr) Config {
 	return Config{LocalAS: localAS, LocalID: localID, MinLen: 8, RequireSameNextHop: true}
 }
 
@@ -53,8 +53,9 @@ func Aggregate(routes []Route, cfg Config) []Route {
 			byPrefix[r.Prefix] = r
 		}
 	}
-	// Work longest-prefix-first so merges cascade upward.
-	for length := 32; length > cfg.MinLen; length-- {
+	// Work longest-prefix-first so merges cascade upward (128 covers both
+	// families; v4 lengths simply stop at 32).
+	for length := 128; length > cfg.MinLen; length-- {
 		var candidates []netaddr.Prefix
 		for p := range byPrefix {
 			if p.Len() == length {
@@ -95,10 +96,7 @@ func Aggregate(routes []Route, cfg Config) []Route {
 }
 
 // sibling returns the prefix differing only in the last bit.
-func sibling(p netaddr.Prefix) netaddr.Prefix {
-	bit := netaddr.Addr(1) << (32 - uint(p.Len()))
-	return netaddr.PrefixFrom(p.Addr()^bit, p.Len())
-}
+func sibling(p netaddr.Prefix) netaddr.Prefix { return p.Sibling() }
 
 // mergeAttrs combines two attribute sets per RFC 4271 section 9.2.2.2
 // (simplified to the AS_SEQUENCE+AS_SET form): the shared leading
@@ -139,7 +137,7 @@ func mergePaths(a, b wire.ASPath) wire.ASPath {
 	for common < len(fa) && common < len(fb) && fa[common] == fb[common] {
 		common++
 	}
-	setMembers := map[uint16]bool{}
+	setMembers := map[uint32]bool{}
 	for _, x := range fa[common:] {
 		setMembers[x] = true
 	}
@@ -150,11 +148,11 @@ func mergePaths(a, b wire.ASPath) wire.ASPath {
 	if common > 0 {
 		out.Segments = append(out.Segments, wire.ASSegment{
 			Type: wire.SegASSequence,
-			ASNs: append([]uint16(nil), fa[:common]...),
+			ASNs: append([]uint32(nil), fa[:common]...),
 		})
 	}
 	if len(setMembers) > 0 {
-		set := make([]uint16, 0, len(setMembers))
+		set := make([]uint32, 0, len(setMembers))
 		for x := range setMembers {
 			set = append(set, x)
 		}
@@ -164,8 +162,8 @@ func mergePaths(a, b wire.ASPath) wire.ASPath {
 	return out
 }
 
-func flatten(p wire.ASPath) []uint16 {
-	var out []uint16
+func flatten(p wire.ASPath) []uint32 {
+	var out []uint32
 	for _, s := range p.Segments {
 		out = append(out, s.ASNs...)
 	}

@@ -8,7 +8,7 @@ import (
 	"bgpbench/internal/wire"
 )
 
-func route(p string, nextHop string, asns ...uint16) Route {
+func route(p string, nextHop string, asns ...uint32) Route {
 	return Route{
 		Prefix: netaddr.MustParsePrefix(p),
 		Attrs:  wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(asns...), netaddr.MustParseAddr(nextHop)),
@@ -108,7 +108,7 @@ func TestPathMergeBuildsASSet(t *testing.T) {
 	if path.Segments[1].Type != wire.SegASSet || len(path.Segments[1].ASNs) != 4 {
 		t.Fatalf("AS_SET = %v", path.Segments[1])
 	}
-	for _, want := range []uint16{200, 250, 300, 350} {
+	for _, want := range []uint32{200, 250, 300, 350} {
 		if !path.Contains(want) {
 			t.Errorf("AS_SET missing %d", want)
 		}
@@ -176,7 +176,7 @@ func TestAggregateCoversInput(t *testing.T) {
 	nextHops := []string{"192.0.2.1", "192.0.2.2"}
 	seen := map[netaddr.Prefix]bool{}
 	for len(in) < 400 {
-		a := netaddr.Addr(0x0A000000 | uint32(rng.Intn(1<<16))<<8)
+		a := netaddr.AddrFromV4(0x0A000000 | uint32(rng.Intn(1<<16))<<8)
 		p := netaddr.PrefixFrom(a, 24)
 		if seen[p] {
 			continue
@@ -185,7 +185,7 @@ func TestAggregateCoversInput(t *testing.T) {
 		in = append(in, route(
 			p.String(),
 			nextHops[rng.Intn(2)],
-			uint16(100+rng.Intn(3)),
+			uint32(100+rng.Intn(3)),
 		))
 	}
 	out := Aggregate(in, cfg())

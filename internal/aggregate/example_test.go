@@ -12,7 +12,7 @@ import (
 // one /22, combining the differing tails of their AS paths into an
 // AS_SET and marking the information loss with ATOMIC_AGGREGATE.
 func ExampleAggregate() {
-	mk := func(p string, tail uint16) aggregate.Route {
+	mk := func(p string, tail uint32) aggregate.Route {
 		return aggregate.Route{
 			Prefix: netaddr.MustParsePrefix(p),
 			Attrs:  wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(64500, tail), netaddr.MustParseAddr("192.0.2.1")),

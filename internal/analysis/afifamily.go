@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AFIFamily enforces the dual-stack hygiene invariants that keep IPv6
+// support honest now that every address in the core is family-tagged:
+//
+//   - A switch over the address-family enum must cover every family or
+//     carry a default clause. A missing case is how an AFI silently
+//     falls out of a dispatch path when the next family is added.
+//   - The IPv4-truncating address accessors (Addr.V4 collapses a
+//     128-bit address to its top 32 bits) must not be called outside
+//     the package that defines them. Each audited exception carries a
+//     //lint:allow afifamily justification at the call site.
+var AFIFamily = &Analyzer{
+	Name: "afifamily",
+	Doc:  "address-family switches are exhaustive; IPv4-truncating accessors stay confined to audited call sites",
+	Run:  runAFIFamily,
+}
+
+func runAFIFamily(pass *Pass) {
+	cfg := pass.Config.AFI
+	if len(cfg.Families) == 0 && len(cfg.Truncating) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	truncating := stringSet(cfg.Truncating)
+
+	// constFullName resolves a case expression to the qualified name of
+	// the constant it references ("" for literals and non-constants).
+	constFullName := func(e ast.Expr) string {
+		var obj types.Object
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj = info.Uses[x]
+		case *ast.SelectorExpr:
+			obj = info.Uses[x.Sel]
+		}
+		c, ok := obj.(*types.Const)
+		if !ok || c.Pkg() == nil {
+			return ""
+		}
+		return c.Pkg().Path() + "." + c.Name()
+	}
+
+	inspectFiles(pass.Pkg, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SwitchStmt:
+			if x.Tag == nil {
+				return true
+			}
+			tv, ok := info.Types[x.Tag]
+			if !ok {
+				return true
+			}
+			want, scoped := cfg.Families[namedTypeName(tv.Type)]
+			if !scoped {
+				return true
+			}
+			seen := map[string]bool{}
+			for _, stmt := range x.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default clause: non-exhaustive by design
+				}
+				for _, e := range cc.List {
+					if name := constFullName(e); name != "" {
+						seen[name] = true
+					}
+				}
+			}
+			var missing []string
+			for _, v := range want {
+				if !seen[v] {
+					missing = append(missing, v[strings.LastIndex(v, ".")+1:])
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(x.Pos(), "switch over %s misses %s (add the case or a default clause)",
+					namedTypeName(tv.Type), strings.Join(missing, ", "))
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, x)
+			if fn == nil || !truncating[fn.FullName()] {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == pass.Pkg.ImportPath {
+				return true // the defining package may truncate
+			}
+			pass.Reportf(x.Pos(), "IPv4-truncating accessor %s outside its package; guard with Is4 and justify with //lint:allow afifamily",
+				fn.FullName())
+		}
+		return true
+	})
+}

@@ -18,6 +18,11 @@
 //   - lockdiscipline: no blocking I/O while holding the router mutex.
 //   - errdrop: no silently discarded error results in the protocol
 //     packages (wire, session, fsm), stricter than vet's unusedresult.
+//   - snapshotimmut: published FIB snapshots are immutable; only the
+//     audited builder functions may write to snapshot internals.
+//   - afifamily: switches over the address-family enum cover every
+//     family (or carry a default), and the IPv4-truncating Addr.V4
+//     accessor does not leak outside its package unaudited.
 //
 // Findings can be suppressed line-by-line with a justified allow
 // comment:
@@ -85,6 +90,7 @@ func Analyzers() []*Analyzer {
 		LockDiscipline,
 		ErrDrop,
 		SnapshotImmut,
+		AFIFamily,
 	}
 }
 

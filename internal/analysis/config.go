@@ -10,6 +10,7 @@ type Config struct {
 	Lock     LockConfig
 	ErrDrop  ErrDropConfig
 	Snapshot SnapshotConfig
+	AFI      AFIConfig
 }
 
 // DetclockConfig scopes the deterministic-clock check.
@@ -63,6 +64,20 @@ type SnapshotConfig struct {
 	// Builders are fully-qualified functions (types.Func.FullName form)
 	// exempt from the write check; each entry carries its justification.
 	Builders []string
+}
+
+// AFIConfig scopes the address-family hygiene check (afifamily).
+type AFIConfig struct {
+	// Families maps the qualified "pkgpath.TypeName" of an
+	// address-family enum onto the qualified names of its constants. A
+	// switch over the type must cover every constant or carry a default
+	// clause.
+	Families map[string][]string
+	// Truncating lists fully-qualified functions (types.Func.FullName
+	// form) that collapse an address to its IPv4 bits. Calling one
+	// outside the package that defines it is a finding unless the call
+	// site carries an audited //lint:allow afifamily justification.
+	Truncating []string
 }
 
 // fixturePrefix scopes the analyzers onto their own testdata packages:
@@ -176,6 +191,9 @@ func DefaultConfig() *Config {
 				fixturePrefix + "snapshotimmut.snapPage",
 			},
 			Builders: []string{
+				// Snapshot fills the per-family slots of the snapshot it
+				// just allocated, before publication.
+				"(*bgpbench/internal/fib.Poptrie).Snapshot",
 				// Chunk compilation only ever fills the freshly allocated
 				// chunk it is building; published chunks are never passed
 				// back in.
@@ -196,6 +214,22 @@ func DefaultConfig() *Config {
 				"(*bgpbench/internal/fib.shortView).appendRes",
 
 				fixturePrefix + "snapshotimmut.buildPage",
+			},
+		},
+		AFI: AFIConfig{
+			Families: map[string][]string{
+				"bgpbench/internal/netaddr.Family": {
+					"bgpbench/internal/netaddr.FamilyV4",
+					"bgpbench/internal/netaddr.FamilyV6",
+				},
+				fixturePrefix + "afifamily.Family": {
+					fixturePrefix + "afifamily.FamilyV4",
+					fixturePrefix + "afifamily.FamilyV6",
+				},
+			},
+			Truncating: []string{
+				"(bgpbench/internal/netaddr.Addr).V4",
+				"(" + fixturePrefix + "afifamily.Addr).V4",
 			},
 		},
 	}

@@ -19,6 +19,8 @@ var fixturePackages = []string{
 	fixturePrefix + "lockdiscipline",
 	fixturePrefix + "errdrop",
 	fixturePrefix + "snapshotimmut",
+	fixturePrefix + "afifamily",
+	fixturePrefix + "afifamily/caller",
 }
 
 // want is one expectation parsed from a `// want analyzer "substring"`

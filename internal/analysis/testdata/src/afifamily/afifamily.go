@@ -1,0 +1,75 @@
+// Package afifamily is a fixture for the afifamily analyzer: switches
+// over the address-family enum must cover every family or carry a
+// default, and the IPv4-truncating accessor stays inside its package
+// unless the call site carries an audited allow comment.
+package afifamily
+
+// Family mirrors netaddr.Family.
+type Family uint8
+
+// The two address families.
+const (
+	FamilyV4 Family = iota
+	FamilyV6
+)
+
+// Addr mirrors the family-tagged address.
+type Addr struct {
+	hi, lo uint64
+	fam    Family
+}
+
+// Family returns the address family.
+func (a Addr) Family() Family { return a.fam }
+
+// V4 is the truncating accessor: it collapses the address to its IPv4
+// bits. Calls are fine here, in the defining package.
+func (a Addr) V4() uint32 { return uint32(a.hi >> 32) }
+
+// GoodExhaustive covers every family.
+func GoodExhaustive(f Family) int {
+	switch f {
+	case FamilyV4:
+		return 4
+	case FamilyV6:
+		return 6
+	}
+	return 0
+}
+
+// GoodDefault opts out of exhaustiveness with a default clause.
+func GoodDefault(f Family) int {
+	switch f {
+	case FamilyV4:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// GoodOtherSwitch switches over an unrelated type; not in scope.
+func GoodOtherSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// BadMissingV6 drops IPv6 on the floor.
+func BadMissingV6(f Family) int {
+	switch f { // want afifamily "misses FamilyV6"
+	case FamilyV4:
+		return 4
+	}
+	return 0
+}
+
+// BadEmptySwitch covers nothing at all.
+func BadEmptySwitch(f Family) {
+	switch f { // want afifamily "misses FamilyV4, FamilyV6"
+	}
+}
+
+// InPackageTruncate may call V4: same package as the accessor.
+func InPackageTruncate(a Addr) uint32 { return a.V4() }

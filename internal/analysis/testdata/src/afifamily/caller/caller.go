@@ -1,0 +1,19 @@
+// Package caller is the out-of-package half of the afifamily fixture:
+// truncating accessor calls from outside the defining package.
+package caller
+
+import afifamily "bgpbench/internal/analysis/testdata/src/afifamily"
+
+// BadTruncate collapses a possibly-IPv6 address outside its package.
+func BadTruncate(a afifamily.Addr) uint32 {
+	return a.V4() // want afifamily "IPv4-truncating accessor"
+}
+
+// GoodAllowedTruncate carries the audited justification.
+func GoodAllowedTruncate(a afifamily.Addr) uint32 {
+	//lint:allow afifamily fixture: the address is IPv4 by construction here
+	return a.V4()
+}
+
+// GoodFamilyRead only inspects the family tag.
+func GoodFamilyRead(a afifamily.Addr) afifamily.Family { return a.Family() }

@@ -50,6 +50,10 @@ type ConformanceConfig struct {
 	// must be identical with it on or off — that equality is the
 	// equivalence proof for the compute-once/fan-out Adj-RIB-Out.
 	UpdateGroups bool
+	// AFI selects the workload's address-family mix: "" or "v4" (the
+	// historical IPv4 workload, digests unchanged), "v6", or "dual"
+	// (half IPv4, half IPv6 over the same sessions). See familyTable.
+	AFI string
 }
 
 func (c *ConformanceConfig) defaults() {
@@ -72,6 +76,8 @@ type ConformanceResult struct {
 	Scenario Scenario `json:"-"`
 	Profile  string   `json:"profile"`
 	Shards   int      `json:"shards"`
+	// AFI echoes the workload's address-family mix ("" = v4).
+	AFI string `json:"afi,omitempty"`
 	// LocRIBDigest hashes the selected route per prefix (prefix, peer,
 	// canonical attribute bytes), in prefix order.
 	LocRIBDigest string `json:"loc_rib_digest"`
@@ -128,7 +134,12 @@ func sortedKeys(m map[string]string) []string {
 // have been still for an idle window.
 func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, error) {
 	cfg.defaults()
-	out := ConformanceResult{Scenario: scn, Profile: cfg.Profile}
+	out := ConformanceResult{Scenario: scn, Profile: cfg.Profile, AFI: cfg.AFI}
+
+	table, err := familyTable(cfg.AFI, cfg.TableSize, cfg.Seed)
+	if err != nil {
+		return out, err
+	}
 
 	profile, ok := netem.ProfileByName(cfg.Profile)
 	if !ok {
@@ -255,10 +266,6 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		}
 	}
 
-	table := core.UniformPath(
-		core.GenerateTable(core.TableGenConfig{N: cfg.TableSize, Seed: cfg.Seed, FirstAS: liveSpeaker1AS}),
-		basePathFor(),
-	)
 	n := uint64(len(table))
 	per := scn.PrefixesPerMsg
 
@@ -329,7 +336,7 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 func shardLabel(n int) string { return fmt.Sprintf("N=%d", n) }
 
 // receiverAS numbers the receive-only conformance peers from 65100.
-func receiverAS(i int) uint16 { return uint16(65100 + i) }
+func receiverAS(i int) uint32 { return uint32(65100 + i) }
 
 // receiverID gives receiver i a unique BGP identifier under 10.1.0.0/16
 // (last octet kept nonzero).

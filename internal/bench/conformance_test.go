@@ -142,3 +142,58 @@ func TestConformanceGate(t *testing.T) {
 		t.Logf("gate: loc=%s fib=%s retries=%d", single.LocRIBDigest, single.FIBDigest, single.Retries+sharded.Retries)
 	}
 }
+
+// TestConformanceDualStackGate is the dual-stack acceptance gate: a
+// representative scenario, run per address-family mix, must settle to
+// identical digests at N=1 vs N=4 shards and under a faulted profile —
+// with IPv6 NLRI flowing end-to-end (MP_REACH/MP_UNREACH over the same
+// sessions). The three mixes must also settle to three *distinct*
+// states: if the v6 or dual digests collapsed onto the v4 ones, the
+// IPv6 half of the workload silently went nowhere.
+func TestConformanceDualStackGate(t *testing.T) {
+	scn := Scenarios[6] // incremental-change, small packets: all phases
+	run := func(afi, profile string, shards int) ConformanceResult {
+		res, err := RunConformance(scn, ConformanceConfig{
+			Profile: profile,
+			Seed:    conformanceSeed,
+			Shards:  shards,
+			AFI:     afi,
+		})
+		if err != nil {
+			t.Fatalf("%s [%s/%s N=%d]: %v", scn, afi, profile, shards, err)
+		}
+		return res
+	}
+	digests := map[string]string{}
+	for _, afi := range []string{AFIv4, AFIv6, AFIDual} {
+		clean := run(afi, "clean", 1)
+		if clean.RIBLen == 0 {
+			t.Fatalf("[%s] settled with an empty Loc-RIB", afi)
+		}
+		if sharded := run(afi, "clean", 4); sharded.StateDigest() != clean.StateDigest() {
+			t.Errorf("[%s] N=1 and N=4 disagree:\n  loc %s / %s\n  fib %s / %s",
+				afi, clean.LocRIBDigest, sharded.LocRIBDigest, clean.FIBDigest, sharded.FIBDigest)
+		}
+		if faulted := run(afi, "flap-reset", 4); faulted.StateDigest() != clean.StateDigest() {
+			t.Errorf("[%s] flap-reset state differs from clean run", afi)
+		}
+		digests[afi] = clean.StateDigest()
+	}
+	if digests[AFIv4] == digests[AFIv6] || digests[AFIv4] == digests[AFIDual] || digests[AFIv6] == digests[AFIDual] {
+		t.Errorf("address-family mixes did not produce distinct states: %v", digests)
+	}
+	// The explicit "v4" selector and the zero value are the same
+	// workload; their digests must agree byte-for-byte.
+	if def := run("", "clean", 1); def.StateDigest() != digests[AFIv4] {
+		t.Errorf("default AFI digest differs from explicit v4:\n  %s\n  %s", def.StateDigest(), digests[AFIv4])
+	}
+}
+
+// TestConformanceBadAFI: an unknown selector must fail fast, before any
+// router or speaker starts.
+func TestConformanceBadAFI(t *testing.T) {
+	_, err := RunConformance(Scenarios[0], ConformanceConfig{AFI: "v5"})
+	if err == nil {
+		t.Fatal("AFI \"v5\" accepted")
+	}
+}

@@ -31,6 +31,9 @@ type FanoutConfig struct {
 	UpdateGroups bool
 	// Timeout bounds the whole run (default 120s).
 	Timeout time.Duration
+	// AFI selects the workload's address-family mix: "" or "v4" (the
+	// historical IPv4 workload), "v6", or "dual". See familyTable.
+	AFI string
 }
 
 func (c *FanoutConfig) defaults() {
@@ -55,6 +58,8 @@ type FanoutResult struct {
 	UpdateGroups bool
 	Shards       int
 	Prefixes     int
+	// AFI echoes the workload's address-family mix ("" = v4).
+	AFI string
 	// Duration spans the first injected UPDATE to the last receiver
 	// holding the full table.
 	Duration time.Duration
@@ -78,7 +83,12 @@ type FanoutResult struct {
 // RunFanout executes one many-peer emission run over loopback TCP.
 func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	cfg.defaults()
-	out := FanoutResult{Peers: cfg.Peers, Groups: cfg.Groups, UpdateGroups: cfg.UpdateGroups}
+	out := FanoutResult{Peers: cfg.Peers, Groups: cfg.Groups, UpdateGroups: cfg.UpdateGroups, AFI: cfg.AFI}
+
+	table, err := familyTable(cfg.AFI, cfg.TableSize, cfg.Seed)
+	if err != nil {
+		return out, err
+	}
 
 	neighbors := []core.NeighborConfig{{AS: liveSpeaker1AS}}
 	for i := 0; i < cfg.Peers; i++ {
@@ -130,10 +140,6 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	}
 	defer sp1.Stop()
 
-	table := core.UniformPath(
-		core.GenerateTable(core.TableGenConfig{N: cfg.TableSize, Seed: cfg.Seed, FirstAS: liveSpeaker1AS}),
-		basePathFor(),
-	)
 	n := uint64(len(table))
 	out.Prefixes = int(n)
 

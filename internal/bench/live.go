@@ -51,6 +51,10 @@ type LiveConfig struct {
 	FaultProfile string
 	// FaultSeed seeds the fault schedule (default: Seed).
 	FaultSeed int64
+	// AFI selects the workload's address-family mix: "" or "v4" (the
+	// historical IPv4 workload), "v6", or "dual" (half IPv4, half IPv6
+	// over the same sessions). See familyTable.
+	AFI string
 }
 
 func (c *LiveConfig) defaults() {
@@ -69,6 +73,8 @@ func (c *LiveConfig) defaults() {
 type LiveResult struct {
 	Scenario Scenario
 	Prefixes int
+	// AFI echoes the workload's address-family mix ("" = v4).
+	AFI string
 	// Shards is the decision-worker count the router actually ran with.
 	Shards int
 	// BatchMaxUpdates and BatchMaxDelay are the effective batched-dispatch
@@ -108,7 +114,12 @@ func basePathFor() wire.ASPath {
 // router over loopback TCP and returns the measured transactions/second.
 func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 	cfg.defaults()
-	out := LiveResult{Scenario: scn, FaultProfile: cfg.FaultProfile}
+	out := LiveResult{Scenario: scn, FaultProfile: cfg.FaultProfile, AFI: cfg.AFI}
+
+	table, err := familyTable(cfg.AFI, cfg.TableSize, cfg.Seed)
+	if err != nil {
+		return out, err
+	}
 
 	// Optional fault injection on both speaker transports. The live
 	// benchmark measures wall-clock TPS, so the injector runs on the
@@ -166,13 +177,10 @@ func RunLive(scn Scenario, cfg LiveConfig) (LiveResult, error) {
 	}
 	defer sp1.Stop()
 
-	// The generated table shares one AS path so that large-packet runs
-	// actually pack 500 prefixes per UPDATE (the paper's large packets
-	// carry one attribute block for 500 NLRI entries).
-	table := core.UniformPath(
-		core.GenerateTable(core.TableGenConfig{N: cfg.TableSize, Seed: cfg.Seed, FirstAS: liveSpeaker1AS}),
-		basePathFor(),
-	)
+	// The generated table (built above) shares one AS path so that
+	// large-packet runs actually pack 500 prefixes per UPDATE (the
+	// paper's large packets carry one attribute block for 500 NLRI
+	// entries).
 	n := uint64(len(table))
 
 	waitTx := func(target uint64) (time.Duration, error) {
@@ -344,7 +352,7 @@ func startCrossLoad(router *core.Router, workers int) (stop func(), rate func() 
 						TTL:      16,
 						Protocol: 17,
 						Src:      netaddr.AddrFrom4(172, 16, byte(x>>8), byte(x)),
-						Dst:      netaddr.Addr(x),
+						Dst:      netaddr.AddrFromV4(x),
 					}, nil)
 					fwd.Process(pkt)
 				}

@@ -40,6 +40,9 @@ type LookupConfig struct {
 	// measurement window, so reader throughput is measured under
 	// continuous table churn. Requires a concurrency wrapper.
 	ChurnBatch int
+	// Family selects the address family of the generated table and probe
+	// mix. The zero value is IPv4, matching historical behavior.
+	Family netaddr.Family
 }
 
 func (c *LookupConfig) defaults() {
@@ -103,20 +106,29 @@ type lookupTarget interface {
 // address mix used by RunLookup (exported so tests can cross-check the
 // corpus shape).
 func LookupWorkload(n int, seed int64) ([]fib.Op, []netaddr.Addr) {
-	table := core.GenerateTable(core.TableGenConfig{N: n, Seed: seed})
+	return LookupWorkloadFamily(n, seed, netaddr.FamilyV4)
+}
+
+// LookupWorkloadFamily is LookupWorkload for an explicit address family.
+func LookupWorkloadFamily(n int, seed int64, fam netaddr.Family) ([]fib.Op, []netaddr.Addr) {
+	table := core.GenerateTable(core.TableGenConfig{N: n, Seed: seed, Family: fam})
 	ops := make([]fib.Op, len(table))
 	for i, r := range table {
-		ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.Addr(i | 1), Port: i % 16}}
+		ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.AddrFromV4(uint32(i | 1)), Port: i % 16}}
 	}
 	rng := rand.New(rand.NewSource(seed ^ 0x6c6f6f6b))
 	addrs := make([]netaddr.Addr, 8192)
 	for i := range addrs {
 		if i%4 == 3 {
-			addrs[i] = netaddr.Addr(rng.Uint32())
+			if fam == netaddr.FamilyV6 {
+				addrs[i] = netaddr.AddrFrom128(rng.Uint64(), rng.Uint64())
+			} else {
+				addrs[i] = netaddr.AddrFromV4(rng.Uint32())
+			}
 			continue
 		}
 		p := table[rng.Intn(len(table))].Prefix
-		addrs[i] = p.Addr() | (netaddr.Addr(rng.Uint32()) &^ netaddr.Mask(p.Len()))
+		addrs[i] = p.Host(uint64(rng.Uint32()))
 	}
 	return ops, addrs
 }
@@ -157,7 +169,7 @@ func RunLookup(cfg LookupConfig) (LookupResult, error) {
 		return out, fmt.Errorf("lookup: unknown table wrapper %q (none, rwmutex, snapshot)", cfg.Table)
 	}
 
-	ops, addrs := LookupWorkload(cfg.TableSize, cfg.Seed)
+	ops, addrs := LookupWorkloadFamily(cfg.TableSize, cfg.Seed, cfg.Family)
 	out.Prefixes = len(ops)
 	switch {
 	case shared != nil:

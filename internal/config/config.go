@@ -70,7 +70,7 @@ func Parse(text string) (core.Config, error) {
 }
 
 type neighborDecl struct {
-	as          uint16
+	as          uint32
 	importName  string
 	exportName  string
 	dialTarget  string
@@ -249,7 +249,7 @@ func (p *parser) parseRouter(ts *tokens) error {
 		args := stmt[1:]
 		switch key.text {
 		case "as":
-			v, err := argUint16(key, args)
+			v, err := argUint32(key, args)
 			if err != nil {
 				return err
 			}
@@ -266,6 +266,12 @@ func (p *parser) parseRouter(ts *tokens) error {
 				return err
 			}
 			p.cfg.NextHop = a
+		case "next-hop6":
+			a, err := argAddr(key, args)
+			if err != nil {
+				return err
+			}
+			p.cfg.NextHop6 = a
 		case "listen":
 			s, err := argOne(key, args)
 			if err != nil {
@@ -337,11 +343,11 @@ func (p *parser) parseNeighbor(ts *tokens) error {
 	if !ok {
 		return fmt.Errorf("config: neighbor missing AS")
 	}
-	as, err := strconv.ParseUint(tok.text, 10, 16)
+	as, err := strconv.ParseUint(tok.text, 10, 32)
 	if err != nil {
 		return fmt.Errorf("config: line %d: bad neighbor AS %q", tok.line, tok.text)
 	}
-	decl := neighborDecl{as: uint16(as), line: tok.line}
+	decl := neighborDecl{as: uint32(as), line: tok.line}
 	if err := ts.expect("{"); err != nil {
 		return err
 	}
@@ -419,10 +425,11 @@ func parsePrefixRule(stmt []token) (policy.PrefixRule, error) {
 		return rule, fmt.Errorf("config: line %d: %v", stmt[1].line, err)
 	}
 	rule.Prefix = pfx
+	maxLen := pfx.Addr().Bits()
 	rest := stmt[2:]
 	for len(rest) >= 2 {
 		v, err := strconv.Atoi(rest[1].text)
-		if err != nil || v < 0 || v > 32 {
+		if err != nil || v < 0 || v > maxLen {
 			return rule, fmt.Errorf("config: line %d: bad %s bound %q", rest[0].line, rest[0].text, rest[1].text)
 		}
 		switch rest[0].text {
@@ -545,7 +552,7 @@ func (p *parser) parseMatch(m *policy.Match, key token, args []token) error {
 		}
 		m.PrefixList = pl
 	case "as-contains":
-		v, err := argUint16(args[0], rest)
+		v, err := argUint32(args[0], rest)
 		if err != nil {
 			return err
 		}
@@ -554,7 +561,7 @@ func (p *parser) parseMatch(m *policy.Match, key token, args []token) error {
 		}
 		m.ASPath.Contains = append(m.ASPath.Contains, v)
 	case "neighbor-as":
-		v, err := argUint16(args[0], rest)
+		v, err := argUint32(args[0], rest)
 		if err != nil {
 			return err
 		}
@@ -623,7 +630,7 @@ func parseSet(s *policy.Set, key token, args []token) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("config: line %d: set prepend needs AS and count", key.line)
 		}
-		asn, err := strconv.ParseUint(rest[0].text, 10, 16)
+		asn, err := strconv.ParseUint(rest[0].text, 10, 32)
 		if err != nil {
 			return fmt.Errorf("config: line %d: bad prepend AS", rest[0].line)
 		}
@@ -631,7 +638,7 @@ func parseSet(s *policy.Set, key token, args []token) error {
 		if err != nil || count < 1 {
 			return fmt.Errorf("config: line %d: bad prepend count", rest[1].line)
 		}
-		s.PrependAS = uint16(asn)
+		s.PrependAS = uint32(asn)
 		s.PrependCount = count
 	case "community":
 		str, err := argOne(args[0], rest)
@@ -735,11 +742,11 @@ func argUint32(key token, args []token) (uint32, error) {
 func argAddr(key token, args []token) (netaddr.Addr, error) {
 	s, err := argOne(key, args)
 	if err != nil {
-		return 0, err
+		return netaddr.Addr{}, err
 	}
 	a, err := netaddr.ParseAddr(s)
 	if err != nil {
-		return 0, fmt.Errorf("config: line %d: %v", key.line, err)
+		return netaddr.Addr{}, fmt.Errorf("config: line %d: %v", key.line, err)
 	}
 	return a, nil
 }

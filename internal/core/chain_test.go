@@ -14,7 +14,7 @@ import (
 // correct AS-path prepending and next-hop rewriting at every eBGP edge,
 // and that withdrawals ripple back through the chain.
 func TestThreeRouterChainPropagation(t *testing.T) {
-	newChainRouter := func(as uint16, id string, neighbors ...NeighborConfig) *Router {
+	newChainRouter := func(as uint32, id string, neighbors ...NeighborConfig) *Router {
 		t.Helper()
 		r, err := NewRouter(Config{
 			AS:         as,
@@ -65,7 +65,7 @@ func TestThreeRouterChainPropagation(t *testing.T) {
 	sample := watcher.sampleUpdate
 	watcher.mu.Unlock()
 	path := sample.Attrs.ASPath
-	flat := []uint16{}
+	flat := []uint32{}
 	for _, seg := range path.Segments {
 		flat = append(flat, seg.ASNs...)
 	}

@@ -13,9 +13,10 @@ import (
 // benchPeer registers a hand-built established peer on the router,
 // bypassing the TCP session machinery so benchmarks measure only the
 // dispatch and decision paths. Must run before any work is enqueued.
-func benchPeer(r *Router, id netaddr.Addr, as uint16) *peerState {
+func benchPeer(r *Router, id netaddr.Addr, as uint32) *peerState {
 	ps := &peerState{
 		info:        rib.PeerInfo{Addr: id, ID: id, AS: as, EBGP: true},
+		afis:        [2]bool{true, true},
 		cfg:         NeighborConfig{AS: as},
 		out:         newOutQueue(),
 		adjOut:      make([]*rib.AdjOut, r.nshards),
@@ -38,7 +39,7 @@ func benchPeer(r *Router, id netaddr.Addr, as uint16) *peerState {
 
 // benchUpdates builds a ring of single-prefix UPDATEs sharing one
 // attribute block — the paper's small-packet worst case for dispatch.
-func benchUpdates(n int, srcID netaddr.Addr, as uint16) []wire.Update {
+func benchUpdates(n int, srcID netaddr.Addr, as uint32) []wire.Update {
 	table := UniformPath(
 		GenerateTable(TableGenConfig{N: n, Seed: 42, FirstAS: as}),
 		wire.NewASPath(as, 100, 101, 102),

@@ -30,8 +30,9 @@ const (
 // NeighborConfig describes one configured peer of the router.
 type NeighborConfig struct {
 	// AS identifies the neighbour; inbound sessions are matched to their
-	// configuration by the AS in their OPEN message.
-	AS uint16
+	// configuration by the effective AS in their OPEN message (the
+	// 4-octet capability value when present, else the 2-octet field).
+	AS uint32
 	// DialTarget, when non-empty, makes the router initiate the session.
 	DialTarget string
 	// Import/Export policies; nil permits everything unchanged.
@@ -44,7 +45,7 @@ type NeighborConfig struct {
 
 // Config parameterizes a Router.
 type Config struct {
-	AS       uint16
+	AS       uint32
 	ID       netaddr.Addr
 	HoldTime uint16 // default 90
 	// ListenAddr ("host:port", port 0 for ephemeral) accepts inbound
@@ -55,8 +56,12 @@ type Config struct {
 	// perturb inbound transports.
 	ListenWrap func(net.Listener) net.Listener
 	// NextHop is the address the router advertises as NEXT_HOP on eBGP
-	// exports (next-hop-self). Defaults to ID.
-	NextHop   netaddr.Addr
+	// exports (next-hop-self) for IPv4 routes. Defaults to ID.
+	NextHop netaddr.Addr
+	// NextHop6 is the next-hop-self address for IPv6 routes. Defaults to
+	// the IPv4-mapped form of ID (::ffff:ID), which keeps dual-stack
+	// configs deterministic without extra addressing.
+	NextHop6  netaddr.Addr
 	Neighbors []NeighborConfig
 	// FIBEngine selects the lookup structure ("patricia" default;
 	// "poptrie" additionally gets the lock-free snapshot read path).
@@ -105,6 +110,11 @@ type peerState struct {
 	cfg  NeighborConfig
 	sess *session.Session
 	out  *outQueue
+
+	// afis records the address families both sides negotiated via the
+	// multiprotocol capability; routes of other families are never
+	// exported to this peer. Set before registration, then read-only.
+	afis [2]bool
 
 	// adjOut holds one Adj-RIB-Out partition per shard; partition i is
 	// touched only by shard worker i, so no locking is needed.
@@ -159,7 +169,7 @@ type pendingShard struct {
 type Router struct {
 	cfg       Config
 	nshards   int
-	neighbors map[uint16]NeighborConfig
+	neighbors map[uint32]NeighborConfig
 
 	rib      *rib.Sharded
 	fib      fib.Shared
@@ -285,14 +295,18 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.AS == 0 {
 		return nil, fmt.Errorf("core: router AS must be nonzero")
 	}
-	if cfg.ID == 0 {
+	if cfg.ID.IsZero() {
 		return nil, fmt.Errorf("core: router ID must be nonzero")
 	}
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = 90
 	}
-	if cfg.NextHop == 0 {
+	if cfg.NextHop.IsZero() {
 		cfg.NextHop = cfg.ID
+	}
+	if cfg.NextHop6.IsZero() {
+		//lint:allow afifamily the router ID is an IPv4 identifier by RFC 4271
+		cfg.NextHop6 = netaddr.AddrFrom128(0, uint64(0xffff)<<32|uint64(cfg.ID.V4()))
 	}
 	if cfg.FIBEngine == "" {
 		cfg.FIBEngine = "patricia"
@@ -318,7 +332,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	case cfg.BatchMaxDelay < 0:
 		cfg.BatchMaxDelay = 0 // flush on event-queue idle
 	}
-	neighbors := make(map[uint16]NeighborConfig, len(cfg.Neighbors))
+	neighbors := make(map[uint32]NeighborConfig, len(cfg.Neighbors))
 	for _, n := range cfg.Neighbors {
 		if _, dup := neighbors[n.AS]; dup {
 			return nil, fmt.Errorf("core: duplicate neighbor AS %d", n.AS)
@@ -561,7 +575,7 @@ func (r *Router) PeerIDs() []netaddr.Addr {
 		ids = append(ids, id)
 	}
 	r.mu.Unlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids
 }
 
@@ -744,7 +758,8 @@ type routerHandler struct {
 func (h *routerHandler) Established(s *session.Session) {
 	r := h.r
 	open := s.PeerOpen()
-	ncfg, ok := r.neighborConfig(open.AS)
+	peerAS := open.EffectiveAS()
+	ncfg, ok := r.neighborConfig(peerAS)
 	if !ok {
 		// Unconfigured peer: terminate. Stop must not run on the session's
 		// own event loop, so do it asynchronously.
@@ -755,9 +770,10 @@ func (h *routerHandler) Established(s *session.Session) {
 		info: rib.PeerInfo{
 			Addr: open.ID, // loopback benches reuse IPs; the BGP ID is unique
 			ID:   open.ID,
-			AS:   open.AS,
-			EBGP: open.AS != r.cfg.AS,
+			AS:   peerAS,
+			EBGP: peerAS != r.cfg.AS,
 		},
+		afis:        s.NegotiatedFamilies(),
 		cfg:         ncfg,
 		sess:        s,
 		out:         newOutQueue(),
@@ -770,7 +786,9 @@ func (h *routerHandler) Established(s *session.Session) {
 		ps.exportCache[i] = make(map[exportKey]*wire.PathAttrs)
 	}
 	if r.cfg.UpdateGroups {
-		ps.group = r.groupFor(ps.info.EBGP, ncfg.Export)
+		// The wire mode and negotiated family set are part of the group
+		// identity: fan-out shares marshaled bytes, which depend on both.
+		ps.group = r.groupFor(ps.info.EBGP, ncfg.Export, s.FourOctetAS(), ps.afis)
 	}
 	ps.downLeft.Store(int32(r.nshards))
 	r.mu.Lock()
@@ -1425,6 +1443,10 @@ func (r *Router) flushPending(ps *peerState) {
 // transform is memoized per (input attrs, source session type), so the
 // per-prefix clone+prepend collapses into a map hit after first sight.
 func (r *Router) exportAttrs(si int, ps *peerState, p netaddr.Prefix, c rib.Candidate) (*wire.PathAttrs, bool) {
+	// Never export a family the session did not negotiate.
+	if !ps.afis[p.Family()] {
+		return nil, false
+	}
 	// iBGP split-horizon: do not re-advertise iBGP routes to iBGP peers.
 	if !c.Peer.EBGP && !ps.info.EBGP {
 		return nil, false
@@ -1444,7 +1466,7 @@ func (r *Router) exportAttrs(si int, ps *peerState, p netaddr.Prefix, c rib.Cand
 	if ps.info.EBGP {
 		a := attrs.Clone()
 		a.ASPath = a.ASPath.Prepend(r.cfg.AS)
-		a.NextHop, a.HasNextHop = r.cfg.NextHop, true
+		a.NextHop, a.HasNextHop = r.nextHopSelf(a), true
 		// LOCAL_PREF is not sent on eBGP sessions.
 		a.HasLocalPref, a.LocalPref = false, 0
 		out = r.interner.Intern(a)
@@ -1455,6 +1477,18 @@ func (r *Router) exportAttrs(si int, ps *peerState, p netaddr.Prefix, c rib.Cand
 		ps.exportCache[si][key] = out
 	}
 	return out, true
+}
+
+// nextHopSelf picks the next-hop-self address matching the route's
+// family: a v6 route keeps a v6 next hop (it rides MP_REACH_NLRI on the
+// wire), everything else gets the classic v4 next hop. The route family
+// is read from the incoming next hop, which matches the NLRI family on
+// every path the router builds.
+func (r *Router) nextHopSelf(a wire.PathAttrs) netaddr.Addr {
+	if a.HasNextHop && a.NextHop.Is6() {
+		return r.cfg.NextHop6
+	}
+	return r.cfg.NextHop
 }
 
 // outMsg is one queued outbound transmission: a message to marshal, or

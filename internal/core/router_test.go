@@ -30,7 +30,7 @@ func TestNewRouterValidation(t *testing.T) {
 	if _, err := NewRouter(Config{AS: 1}); err == nil {
 		t.Error("zero ID accepted")
 	}
-	if _, err := NewRouter(Config{AS: 1, ID: 1, FIBEngine: "bogus"}); err == nil {
+	if _, err := NewRouter(Config{AS: 1, ID: netaddr.AddrFromV4(1), FIBEngine: "bogus"}); err == nil {
 		t.Error("bogus FIB engine accepted")
 	}
 }

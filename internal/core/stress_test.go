@@ -21,14 +21,14 @@ func TestRouterManyPeersConcurrentChurn(t *testing.T) {
 	const peers = 4
 	var neighbors []NeighborConfig
 	for i := 0; i < peers; i++ {
-		neighbors = append(neighbors, NeighborConfig{AS: uint16(65001 + i)})
+		neighbors = append(neighbors, NeighborConfig{AS: uint32(65001 + i)})
 	}
 	r := mustStartRouter(t, testRouterConfig(neighbors...))
 	defer r.Stop()
 
 	sps := make([]*testSpeaker, peers)
 	for i := range sps {
-		sps[i] = dialSpeaker(t, r, uint16(65001+i), fmt.Sprintf("1.1.1.%d", i+1))
+		sps[i] = dialSpeaker(t, r, uint32(65001+i), fmt.Sprintf("1.1.1.%d", i+1))
 		defer sps[i].stop()
 	}
 
@@ -39,7 +39,7 @@ func TestRouterManyPeersConcurrentChurn(t *testing.T) {
 	const nPrefixes = 300
 	prefixes := make([]netaddr.Prefix, nPrefixes)
 	for i := range prefixes {
-		prefixes[i] = netaddr.PrefixFrom(netaddr.Addr(0x30000000+uint32(i)<<12), 20)
+		prefixes[i] = netaddr.PrefixFrom(netaddr.AddrFromV4(0x30000000+uint32(i)<<12), 20)
 	}
 
 	var wg sync.WaitGroup
@@ -49,11 +49,11 @@ func TestRouterManyPeersConcurrentChurn(t *testing.T) {
 		wg.Add(1)
 		go func(pi int, sp *testSpeaker) {
 			defer wg.Done()
-			asns := make([]uint16, pi+1)
+			asns := make([]uint32, pi+1)
 			for j := range asns {
-				asns[j] = uint16(65001 + pi)
+				asns[j] = uint32(65001 + pi)
 				if j > 0 {
-					asns[j] = uint16(1000 + 100*pi + j)
+					asns[j] = uint32(1000 + 100*pi + j)
 				}
 			}
 			routes := make([]Route, nPrefixes)

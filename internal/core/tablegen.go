@@ -42,7 +42,22 @@ type TableGenConfig struct {
 	MinPathLen, MaxPathLen int
 	// FirstAS, when nonzero, forces every path's first (neighbour) AS,
 	// matching routes as announced by one speaker.
-	FirstAS uint16
+	FirstAS uint32
+	// Family selects the address family of the generated prefixes. The
+	// zero value (FamilyV4) reproduces the historical IPv4 tables
+	// byte-for-byte; FamilyV6 draws prefixes from 2000::/3 with a
+	// /48-dominated length mix.
+	Family netaddr.Family
+}
+
+// prefixLengthWeightsV6 approximates the IPv6 global-table length mix:
+// dominated by /48 assignments with mass at the /32 allocations.
+var prefixLengthWeightsV6 = []struct {
+	length int
+	weight int
+}{
+	{29, 1}, {32, 14}, {36, 4}, {40, 7},
+	{44, 8}, {46, 3}, {47, 2}, {48, 55}, {56, 4}, {64, 2},
 }
 
 // GenerateTable produces a deterministic synthetic routing table with a
@@ -59,13 +74,17 @@ func GenerateTable(cfg TableGenConfig) []Route {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	weights := prefixLengthWeights
+	if cfg.Family == netaddr.FamilyV6 {
+		weights = prefixLengthWeightsV6
+	}
 	totalWeight := 0
-	for _, w := range prefixLengthWeights {
+	for _, w := range weights {
 		totalWeight += w.weight
 	}
 	pickLen := func() int {
 		x := rng.Intn(totalWeight)
-		for _, w := range prefixLengthWeights {
+		for _, w := range weights {
 			if x < w.weight {
 				return w.length
 			}
@@ -78,11 +97,23 @@ func GenerateTable(cfg TableGenConfig) []Route {
 	out := make([]Route, 0, cfg.N)
 	for len(out) < cfg.N {
 		l := pickLen()
-		// Keep generated space inside 1.0.0.0/8 .. 223.0.0.0/8 (unicast).
-		a := netaddr.Addr(rng.Uint32())
-		o1 := byte(a >> 24)
-		if o1 == 0 || o1 >= 224 {
-			continue
+		var a netaddr.Addr
+		if cfg.Family == netaddr.FamilyV6 {
+			// Global unicast: force the 2000::/3 block, randomize the rest
+			// of the top 64 bits (generated lengths never exceed /64).
+			hi := rng.Uint64()&^(uint64(7)<<61) | uint64(1)<<61
+			a = netaddr.AddrFrom128(hi, 0)
+		} else {
+			// Keep generated space inside 1.0.0.0/8 .. 223.0.0.0/8
+			// (unicast). This arm must stay byte-identical to the
+			// historical v4-only generator: equal seeds must keep giving
+			// equal tables across releases.
+			v := rng.Uint32()
+			o1 := byte(v >> 24)
+			if o1 == 0 || o1 >= 224 {
+				continue
+			}
+			a = netaddr.AddrFromV4(v)
 		}
 		p := netaddr.PrefixFrom(a, l)
 		if seen[p] {
@@ -100,14 +131,14 @@ func genPath(rng *rand.Rand, cfg TableGenConfig) wire.ASPath {
 	if cfg.MaxPathLen > cfg.MinPathLen {
 		n += rng.Intn(cfg.MaxPathLen - cfg.MinPathLen + 1)
 	}
-	asns := make([]uint16, 0, n)
-	used := make(map[uint16]bool, n)
+	asns := make([]uint32, 0, n)
+	used := make(map[uint32]bool, n)
 	if cfg.FirstAS != 0 {
 		asns = append(asns, cfg.FirstAS)
 		used[cfg.FirstAS] = true
 	}
 	for len(asns) < n {
-		a := uint16(1 + rng.Intn(64000))
+		a := uint32(1 + rng.Intn(64000))
 		if used[a] {
 			continue
 		}
@@ -121,13 +152,20 @@ func genPath(rng *rand.Rand, cfg TableGenConfig) wire.ASPath {
 // (prepending fresh ASNs after the first hop is replaced by newFirstAS).
 // It models the same destination advertised by a different neighbour with
 // a less attractive path — the Scenario 5-6 workload.
-func Lengthen(r Route, newFirstAS uint16, extra int, seed int64) Route {
-	rng := rand.New(rand.NewSource(seed ^ int64(r.Prefix.Addr())))
+func Lengthen(r Route, newFirstAS uint32, extra int, seed int64) Route {
+	// The v4 seed mix must remain int64(uint32 address value): it feeds
+	// deterministic workloads whose digests are pinned by conformance.
+	a := r.Prefix.Addr()
+	mix := int64(a.V4()) //lint:allow afifamily v6 addresses take the Hi^Lo mix below; v4 mix is digest-pinned
+	if !a.Is4() {
+		mix = int64(a.Hi() ^ a.Lo())
+	}
+	rng := rand.New(rand.NewSource(seed ^ mix))
 	asns := flatten(r.Path)
-	out := make([]uint16, 0, len(asns)+extra)
+	out := make([]uint32, 0, len(asns)+extra)
 	out = append(out, newFirstAS)
 	for i := 0; i < extra; i++ {
-		out = append(out, uint16(1+rng.Intn(64000)))
+		out = append(out, uint32(1+rng.Intn(64000)))
 	}
 	// Keep the original path after the first hop so the origin AS is
 	// unchanged (same destination network).
@@ -143,22 +181,22 @@ func Lengthen(r Route, newFirstAS uint16, extra int, seed int64) Route {
 // a different first hop — the Scenario 7-8 workload (the router must
 // replace its best route and update the FIB). Paths of length <= 1 are
 // returned with length 1.
-func Shorten(r Route, newFirstAS uint16) Route {
+func Shorten(r Route, newFirstAS uint32) Route {
 	asns := flatten(r.Path)
-	var out []uint16
+	var out []uint32
 	switch {
 	case len(asns) <= 1:
-		out = []uint16{newFirstAS}
+		out = []uint32{newFirstAS}
 	case len(asns) == 2:
-		out = []uint16{newFirstAS}
+		out = []uint32{newFirstAS}
 	default:
-		out = append([]uint16{newFirstAS}, asns[2:]...)
+		out = append([]uint32{newFirstAS}, asns[2:]...)
 	}
 	return Route{Prefix: r.Prefix, Path: wire.NewASPath(out...)}
 }
 
-func flatten(p wire.ASPath) []uint16 {
-	var out []uint16
+func flatten(p wire.ASPath) []uint32 {
+	var out []uint32
 	for _, s := range p.Segments {
 		out = append(out, s.ASNs...)
 	}

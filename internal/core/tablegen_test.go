@@ -38,7 +38,7 @@ func TestGenerateTableUniquePrefixes(t *testing.T) {
 			t.Fatalf("duplicate prefix %v", r.Prefix)
 		}
 		seen[r.Prefix] = true
-		o1 := byte(r.Prefix.Addr() >> 24)
+		o1, _, _, _ := r.Prefix.Addr().Octets()
 		if o1 == 0 || o1 >= 224 {
 			t.Fatalf("prefix %v outside unicast space", r.Prefix)
 		}
@@ -56,7 +56,7 @@ func TestGenerateTablePathBounds(t *testing.T) {
 			t.Fatalf("first AS %d, want 65001", f)
 		}
 		// Loop-free.
-		seen := map[uint16]bool{}
+		seen := map[uint32]bool{}
 		for _, seg := range r.Path.Segments {
 			for _, a := range seg.ASNs {
 				if seen[a] {

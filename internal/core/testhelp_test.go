@@ -77,7 +77,7 @@ func mustStartRouter(t *testing.T, cfg Config) *Router {
 	return r
 }
 
-func tryDialSpeaker(r *Router, as uint16, id string) (*testSpeaker, error) {
+func tryDialSpeaker(r *Router, as uint32, id string) (*testSpeaker, error) {
 	sp := &testSpeaker{established: make(chan struct{}, 1)}
 	sp.localID = netaddr.MustParseAddr(id)
 	sp.sess = session.New(session.Config{
@@ -100,7 +100,7 @@ func tryDialSpeaker(r *Router, as uint16, id string) (*testSpeaker, error) {
 	}
 }
 
-func dialSpeaker(t *testing.T, r *Router, as uint16, id string) *testSpeaker {
+func dialSpeaker(t *testing.T, r *Router, as uint32, id string) *testSpeaker {
 	t.Helper()
 	sp, err := tryDialSpeaker(r, as, id)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,6 +35,11 @@ type updateGroup struct {
 	key    string
 	ebgp   bool
 	export *policy.RouteMap // first-seen map; behavior-equal to every member's
+	// as4 is the members' negotiated wire mode and afis their negotiated
+	// family set; both are folded into the group key because the fan-out
+	// shares marshaled bytes, whose encoding depends on both.
+	as4  bool
+	afis [2]bool
 
 	shards []groupShard
 
@@ -125,12 +131,12 @@ func sameAttrs(a, b *wire.PathAttrs) bool {
 // is configured. The group adopts the first-seen export map; any later
 // member mapping to the same key has a behavior-equal map by
 // construction of the canonical key.
-func (r *Router) groupFor(ebgp bool, export *policy.RouteMap) *updateGroup {
-	key := rib.GroupKeyFor(ebgp, export)
+func (r *Router) groupFor(ebgp bool, export *policy.RouteMap, as4 bool, afis [2]bool) *updateGroup {
+	key := rib.GroupKeyFor(ebgp, export) + fmt.Sprintf("|as4=%t|afis=%t,%t", as4, afis[0], afis[1])
 	r.mu.Lock()
 	g := r.groups[key]
 	if g == nil {
-		g = &updateGroup{key: key, ebgp: ebgp, export: export, shards: make([]groupShard, r.nshards)}
+		g = &updateGroup{key: key, ebgp: ebgp, export: export, as4: as4, afis: afis, shards: make([]groupShard, r.nshards)}
 		r.groups[key] = g
 	}
 	r.mu.Unlock()
@@ -159,6 +165,10 @@ func (r *Router) snapshotGroupsInto(buf []*updateGroup) []*updateGroup {
 // candidate and the group's key fields, never on an individual member,
 // which is exactly why members can share the result.
 func (r *Router) groupExportAttrs(si int, g *updateGroup, p netaddr.Prefix, c rib.Candidate) (*wire.PathAttrs, bool) {
+	// Never export a family the group's members did not negotiate.
+	if !g.afis[p.Family()] {
+		return nil, false
+	}
 	// iBGP split-horizon: do not re-advertise iBGP routes to iBGP peers.
 	if !c.Peer.EBGP && !g.ebgp {
 		return nil, false
@@ -179,7 +189,7 @@ func (r *Router) groupExportAttrs(si int, g *updateGroup, p netaddr.Prefix, c ri
 	if g.ebgp {
 		a := attrs.Clone()
 		a.ASPath = a.ASPath.Prepend(r.cfg.AS)
-		a.NextHop, a.HasNextHop = r.cfg.NextHop, true
+		a.NextHop, a.HasNextHop = r.nextHopSelf(a), true
 		// LOCAL_PREF is not sent on eBGP sessions.
 		a.HasLocalPref, a.LocalPref = false, 0
 		out = r.interner.Intern(a)
@@ -300,7 +310,7 @@ func (r *Router) emitGroupItems(si int, g *updateGroup, items []groupEmitItem) {
 	if cleanCount > 0 {
 		sh.acts = sh.acts[:0]
 		for _, it := range items {
-			if a, ok := memberEmitAction(it, 0); ok {
+			if a, ok := memberEmitAction(it, netaddr.Addr{}); ok {
 				sh.acts = append(sh.acts, a)
 			}
 		}
@@ -360,7 +370,7 @@ pack:
 			}
 			u = wire.Update{Attrs: *sh.acts[i].attrs, NLRI: sh.pfx}
 		}
-		b, err := wire.AppendMessage(buf, u)
+		b, err := wire.AppendMessageMode(buf, u, g.as4)
 		if err != nil {
 			marshalErr = true
 			break pack
@@ -399,7 +409,7 @@ pack:
 
 // addDirty appends an originating member to the dirty set once.
 func addDirty(dirty []netaddr.Addr, o netaddr.Addr, members map[netaddr.Addr]*peerState) []netaddr.Addr {
-	if o == 0 {
+	if o.IsZero() {
 		return dirty
 	}
 	if _, isMember := members[o]; !isMember {
@@ -551,7 +561,7 @@ func (r *Router) UpdateNeighbor(n NeighborConfig) {
 }
 
 // neighborConfig reads the stored configuration for a neighbor AS.
-func (r *Router) neighborConfig(as uint16) (NeighborConfig, bool) {
+func (r *Router) neighborConfig(as uint32) (NeighborConfig, bool) {
 	r.mu.Lock()
 	n, ok := r.neighbors[as]
 	r.mu.Unlock()

@@ -96,7 +96,7 @@ func (s *recvSpeaker) fingerprint() string {
 	return b.String()
 }
 
-func dialRecv(t *testing.T, r *Router, as uint16, id string, delay time.Duration) *recvSpeaker {
+func dialRecv(t *testing.T, r *Router, as uint32, id string, delay time.Duration) *recvSpeaker {
 	t.Helper()
 	sp := &recvSpeaker{
 		established: make(chan struct{}, 1),
@@ -342,7 +342,7 @@ func TestGroupStressChurnAliasing(t *testing.T) {
 	neighbors := []NeighborConfig{{AS: 65001}}
 	for i := 0; i < peers; i++ {
 		neighbors = append(neighbors, NeighborConfig{
-			AS:     uint16(65100 + i),
+			AS:     uint32(65100 + i),
 			Export: medPolicy(i % groups),
 		})
 	}
@@ -359,7 +359,7 @@ func TestGroupStressChurnAliasing(t *testing.T) {
 		// Eight distinct drain rates: every shared payload is still
 		// referenced by slow readers while fast ones have moved on.
 		delay := time.Duration(i%8) * 100 * time.Microsecond
-		recvs[i] = dialRecv(t, r, uint16(65100+i), fmt.Sprintf("10.9.%d.%d", i/200, i%200+1), delay)
+		recvs[i] = dialRecv(t, r, uint32(65100+i), fmt.Sprintf("10.9.%d.%d", i/200, i%200+1), delay)
 		defer recvs[i].stop()
 	}
 
@@ -410,9 +410,10 @@ func TestGroupStressChurnAliasing(t *testing.T) {
 // benchGroupPeer registers a hand-built established peer with update-
 // group membership, bypassing the TCP session machinery (the grouped
 // analogue of benchPeer). Must run before any work is enqueued.
-func benchGroupPeer(r *Router, id netaddr.Addr, as uint16, export *policy.RouteMap) *peerState {
+func benchGroupPeer(r *Router, id netaddr.Addr, as uint32, export *policy.RouteMap) *peerState {
 	ps := &peerState{
 		info:        rib.PeerInfo{Addr: id, ID: id, AS: as, EBGP: true},
+		afis:        [2]bool{true, true},
 		cfg:         NeighborConfig{AS: as, Export: export},
 		out:         newOutQueue(),
 		adjOut:      make([]*rib.AdjOut, r.nshards),
@@ -424,7 +425,7 @@ func benchGroupPeer(r *Router, id netaddr.Addr, as uint16, export *policy.RouteM
 		ps.exportCache[i] = make(map[exportKey]*wire.PathAttrs)
 	}
 	ps.downLeft.Store(int32(r.nshards))
-	ps.group = r.groupFor(true, export)
+	ps.group = r.groupFor(true, export, false, ps.afis)
 	r.mu.Lock()
 	r.peers[id] = ps
 	r.mu.Unlock()
@@ -465,7 +466,7 @@ func BenchmarkEmitGrouped(b *testing.B) {
 			neighbors := []NeighborConfig{{AS: 65001}}
 			for i := 0; i < peers; i++ {
 				neighbors = append(neighbors, NeighborConfig{
-					AS:     uint16(65100 + i),
+					AS:     uint32(65100 + i),
 					Export: medPolicy(i % groups),
 				})
 			}
@@ -484,9 +485,9 @@ func BenchmarkEmitGrouped(b *testing.B) {
 			for i := range receivers {
 				id := netaddr.AddrFrom4(10, 9, byte(i/200), byte(i%200+1))
 				if grouped {
-					receivers[i] = benchGroupPeer(r, id, uint16(65100+i), medPolicy(i%groups))
+					receivers[i] = benchGroupPeer(r, id, uint32(65100+i), medPolicy(i%groups))
 				} else {
-					receivers[i] = benchPeer(r, id, uint16(65100+i))
+					receivers[i] = benchPeer(r, id, uint32(65100+i))
 					receivers[i].cfg.Export = medPolicy(i % groups)
 				}
 			}

@@ -110,7 +110,7 @@ func (p *Plane) Inject(pkt []byte) bool {
 		return false
 	}
 	p.injected.Add(1)
-	dst := uint32(packet.Dst(pkt))
+	dst := uint32(packet.Dst(pkt).Hi() >> 32)
 	// Fibonacci hashing spreads sequential destinations.
 	idx := int((dst * 2654435761) % uint32(len(p.queues)))
 	select {

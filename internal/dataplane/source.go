@@ -86,7 +86,7 @@ func (s *Source) run() {
 				TTL:      16,
 				Protocol: 17,
 				Src:      netaddr.AddrFrom4(172, 16, byte(x>>8), byte(x)),
-				Dst:      netaddr.Addr(x),
+				Dst:      netaddr.AddrFromV4(x),
 			}, payload)
 			s.generated.Add(1)
 			if s.plane.Inject(pkt) {

@@ -13,11 +13,11 @@ import (
 func randomOps(rng *rand.Rand, n int) []Op {
 	ops := make([]Op, n)
 	for i := range ops {
-		p := netaddr.PrefixFrom(netaddr.Addr(uint32(rng.Intn(64))<<20), 12+rng.Intn(4)*4)
+		p := netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(rng.Intn(64))<<20), 12+rng.Intn(4)*4)
 		if rng.Intn(4) == 0 {
 			ops[i] = Op{Prefix: p, Delete: true}
 		} else {
-			ops[i] = Op{Prefix: p, Entry: Entry{NextHop: netaddr.Addr(rng.Uint32() | 1), Port: rng.Intn(16)}}
+			ops[i] = Op{Prefix: p, Entry: Entry{NextHop: netaddr.AddrFromV4(rng.Uint32() | 1), Port: rng.Intn(16)}}
 		}
 	}
 	return ops
@@ -76,7 +76,7 @@ func TestApplyEquivalentToSingles(t *testing.T) {
 				})
 				// Spot-check LPM agreement on random addresses.
 				for i := 0; i < 200; i++ {
-					addr := netaddr.Addr(uint32(rng.Intn(64)) << 20)
+					addr := netaddr.AddrFromV4(uint32(rng.Intn(64)) << 20)
 					ge, gok := batched.Lookup(addr)
 					we, wok := single.Lookup(addr)
 					if gok != wok || ge != we {
@@ -92,8 +92,8 @@ func TestTableApplyCountsBatches(t *testing.T) {
 	tbl := NewTable(NewLinear())
 	tbl.Apply(nil) // empty batch must not count
 	ops := []Op{
-		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Entry: Entry{NextHop: 1, Port: 1}},
-		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Entry: Entry{NextHop: 2, Port: 2}},
+		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Entry: Entry{NextHop: netaddr.AddrFromV4(1), Port: 1}},
+		{Prefix: netaddr.MustParsePrefix("10.1.0.0/16"), Entry: Entry{NextHop: netaddr.AddrFromV4(2), Port: 2}},
 		{Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Delete: true},
 	}
 	tbl.Apply(ops)
@@ -118,16 +118,16 @@ func TestTableApplyCountsBatches(t *testing.T) {
 func TestLinearApplyDeleteReinsert(t *testing.T) {
 	l := NewLinear()
 	p := netaddr.MustParsePrefix("10.0.0.0/8")
-	l.Insert(p, Entry{NextHop: 1, Port: 1})
+	l.Insert(p, Entry{NextHop: netaddr.AddrFromV4(1), Port: 1})
 	l.Apply([]Op{
 		{Prefix: p, Delete: true},
-		{Prefix: p, Entry: Entry{NextHop: 9, Port: 9}},
+		{Prefix: p, Entry: Entry{NextHop: netaddr.AddrFromV4(9), Port: 9}},
 		{Prefix: netaddr.MustParsePrefix("192.168.0.0/16"), Delete: true}, // absent: no-op
 	})
 	if l.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", l.Len())
 	}
-	if e, ok := l.LookupExact(p); !ok || e.NextHop != 9 {
+	if e, ok := l.LookupExact(p); !ok || e.NextHop != netaddr.AddrFromV4(9) {
 		t.Fatalf("entry = %v/%v, want NextHop 9", e, ok)
 	}
 }

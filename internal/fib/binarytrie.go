@@ -2,11 +2,12 @@ package fib
 
 import "bgpbench/internal/netaddr"
 
-// BinaryTrie is the textbook one-bit-per-level trie. Lookup walks at most
-// 32 levels, remembering the last node that held a route.
+// BinaryTrie is the textbook one-bit-per-level trie, with one root per
+// address family. Lookup walks at most Bits() levels (32 for IPv4, 128 for
+// IPv6), remembering the last node that held a route.
 type BinaryTrie struct {
-	root *btNode
-	n    int
+	roots [2]*btNode // indexed by netaddr.Family
+	n     int
 }
 
 type btNode struct {
@@ -17,12 +18,12 @@ type btNode struct {
 
 // NewBinaryTrie returns an empty binary trie.
 func NewBinaryTrie() *BinaryTrie {
-	return &BinaryTrie{root: &btNode{}}
+	return &BinaryTrie{roots: [2]*btNode{{}, {}}}
 }
 
 // Insert adds or replaces the entry for a prefix.
 func (t *BinaryTrie) Insert(p netaddr.Prefix, e Entry) {
-	n := t.root
+	n := t.roots[p.Family()]
 	a := p.Addr()
 	for i := 0; i < p.Len(); i++ {
 		b := a.Bit(i)
@@ -40,8 +41,8 @@ func (t *BinaryTrie) Insert(p netaddr.Prefix, e Entry) {
 // Delete removes a prefix, pruning now-empty branches.
 func (t *BinaryTrie) Delete(p netaddr.Prefix) bool {
 	// Record the path so empty nodes can be pruned bottom-up.
-	path := make([]*btNode, 0, 33)
-	n := t.root
+	path := make([]*btNode, 0, p.Len()+1)
+	n := t.roots[p.Family()]
 	a := p.Addr()
 	for i := 0; i < p.Len(); i++ {
 		path = append(path, n)
@@ -70,12 +71,13 @@ func (t *BinaryTrie) Delete(p netaddr.Prefix) bool {
 func (t *BinaryTrie) Lookup(addr netaddr.Addr) (Entry, bool) {
 	var best Entry
 	found := false
-	n := t.root
+	n := t.roots[addr.Family()]
+	bits := addr.Bits()
 	for i := 0; ; i++ {
 		if n.has {
 			best, found = n.entry, true
 		}
-		if i == 32 {
+		if i == bits {
 			break
 		}
 		n = n.child[addr.Bit(i)]
@@ -88,7 +90,7 @@ func (t *BinaryTrie) Lookup(addr netaddr.Addr) (Entry, bool) {
 
 // LookupExact returns the entry stored for exactly this prefix.
 func (t *BinaryTrie) LookupExact(p netaddr.Prefix) (Entry, bool) {
-	n := t.root
+	n := t.roots[p.Family()]
 	a := p.Addr()
 	for i := 0; i < p.Len(); i++ {
 		n = n.child[a.Bit(i)]
@@ -105,9 +107,13 @@ func (t *BinaryTrie) LookupExact(p netaddr.Prefix) (Entry, bool) {
 // Len returns the number of installed prefixes.
 func (t *BinaryTrie) Len() int { return t.n }
 
-// Walk visits entries in trie (address) order.
+// Walk visits entries in address order, IPv4 before IPv6.
 func (t *BinaryTrie) Walk(fn func(netaddr.Prefix, Entry) bool) {
-	t.walk(t.root, 0, 0, fn)
+	for _, f := range netaddr.Families {
+		if !t.walk(t.roots[f], netaddr.ZeroAddr(f), 0, fn) {
+			return
+		}
+	}
 }
 
 func (t *BinaryTrie) walk(n *btNode, addr netaddr.Addr, depth int, fn func(netaddr.Prefix, Entry) bool) bool {
@@ -119,13 +125,13 @@ func (t *BinaryTrie) walk(n *btNode, addr netaddr.Addr, depth int, fn func(netad
 			return false
 		}
 	}
-	if depth == 32 {
+	if depth == addr.Bits() {
 		return true
 	}
 	if !t.walk(n.child[0], addr, depth+1, fn) {
 		return false
 	}
-	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+	return t.walk(n.child[1], addr.SetBit(depth), depth+1, fn)
 }
 
 // Apply performs the batch as ordered single ops; the trie has no cheaper

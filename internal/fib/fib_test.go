@@ -175,14 +175,14 @@ func TestEnginesAgree(t *testing.T) {
 	var inserted []netaddr.Prefix
 	randomPrefix := func() netaddr.Prefix {
 		// Cluster prefixes so deletes and overlaps actually happen.
-		return netaddr.PrefixFrom(netaddr.Addr(r.Uint32()&0x0F0F0000), 4+r.Intn(29))
+		return netaddr.PrefixFrom(netaddr.AddrFromV4(r.Uint32()&0x0F0F0000), 4+r.Intn(29))
 	}
 
 	for op := 0; op < 6000; op++ {
 		switch r.Intn(4) {
 		case 0, 1: // insert
 			p := randomPrefix()
-			e := Entry{NextHop: netaddr.Addr(r.Uint32()), Port: r.Intn(16)}
+			e := Entry{NextHop: netaddr.AddrFromV4(r.Uint32()), Port: r.Intn(16)}
 			ref.Insert(p, e)
 			for _, eng := range others {
 				eng.Insert(p, e)
@@ -202,7 +202,7 @@ func TestEnginesAgree(t *testing.T) {
 				}
 			}
 		case 3: // lookup
-			addr := netaddr.Addr(r.Uint32() & 0x0F0F00FF)
+			addr := netaddr.AddrFromV4(r.Uint32() & 0x0F0F00FF)
 			wantE, wantOK := ref.Lookup(addr)
 			for name, eng := range others {
 				gotE, gotOK := eng.Lookup(addr)
@@ -258,7 +258,7 @@ func TestTableConcurrentAccess(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 2000; i++ {
-			p := netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<12), 20)
+			p := netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<12), 20)
 			tbl.Insert(p, Entry{Port: i % 8})
 			if i%3 == 0 {
 				tbl.Delete(p)
@@ -266,7 +266,7 @@ func TestTableConcurrentAccess(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 2000; i++ {
-		tbl.Lookup(netaddr.Addr(uint32(i) << 12))
+		tbl.Lookup(netaddr.AddrFromV4(uint32(i) << 12))
 	}
 	<-done
 	tbl.Walk(func(netaddr.Prefix, Entry) bool { return true })

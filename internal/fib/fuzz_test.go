@@ -9,23 +9,45 @@ import (
 
 // fuzzOp decodes one 6-byte record: kind, 4 address bytes, prefix length.
 // Kind selects insert (with an entry derived from the address), delete,
-// or a batch boundary that flushes the staged ops through Apply.
+// or a batch boundary that flushes the staged ops through Apply; kind bit
+// 4 selects IPv6, expanding the 4 address bytes into the high 64 bits so
+// long prefixes exercise the chained chunk levels.
 const fuzzRec = 6
+
+func fuzzAddr(kind byte, v uint32) netaddr.Addr {
+	if kind&0x10 != 0 {
+		return netaddr.AddrFrom128(uint64(v)<<32|uint64(v^0xA5A5), uint64(v)<<7)
+	}
+	return netaddr.AddrFromV4(v)
+}
 
 func decodeFuzzOps(data []byte) []Op {
 	ops := make([]Op, 0, len(data)/fuzzRec)
 	for len(data) >= fuzzRec {
 		kind := data[0]
-		addr := netaddr.Addr(binary.BigEndian.Uint32(data[1:5]))
-		p := netaddr.PrefixFrom(addr, int(data[5]%33))
+		v := binary.BigEndian.Uint32(data[1:5])
+		addr := fuzzAddr(kind, v)
+		p := netaddr.PrefixFrom(addr, int(data[5])%(addr.Bits()+1))
 		if kind%3 == 1 {
 			ops = append(ops, Op{Prefix: p, Delete: true})
 		} else {
-			ops = append(ops, Op{Prefix: p, Entry: Entry{NextHop: addr ^ 0x5A5A5A5A, Port: int(kind) % 16}})
+			ops = append(ops, Op{Prefix: p, Entry: Entry{NextHop: netaddr.AddrFromV4(v ^ 0x5A5A5A5A), Port: int(kind) % 16}})
 		}
 		data = data[fuzzRec:]
 	}
 	return ops
+}
+
+// addrInc returns the next address, wrapping within the family.
+func addrInc(a netaddr.Addr) netaddr.Addr {
+	if a.Is4() {
+		return netaddr.AddrFromV4(a.V4() + 1)
+	}
+	hi, lo := a.Hi(), a.Lo()+1
+	if lo == 0 {
+		hi++
+	}
+	return netaddr.AddrFrom128(hi, lo)
 }
 
 // FuzzEngineOps streams a decoded Insert/Delete/Apply mix into every
@@ -57,6 +79,13 @@ func FuzzEngineOps(f *testing.F) {
 	// neighbours, then batch-flush sensitive delete/reinsert.
 	seed(rec(0, 0x0A000000, 15), rec(0, 0x0A000000, 16), rec(0, 0x0A010000, 17),
 		rec(3, 0, 0), rec(1, 0x0A000000, 16), rec(0, 0x0A000000, 16), rec(3, 0, 0))
+	// IPv6 (kind bit 4): short, chunk-level, and deep chained-chunk
+	// lengths, with a delete that uncovers a shallower chunk route.
+	seed(rec(0x10, 0x20010db8, 13), rec(0x10, 0x20010db8, 32), rec(0x10, 0x20010db8, 48),
+		rec(0x10, 0x20010db8, 64), rec(0x10, 0x20010db8, 128), rec(0x11, 0x20010db8, 48))
+	// Mixed-family batch with same leading bytes in both families.
+	seed(rec(0, 0x20010db8, 24), rec(0x10, 0x20010db8, 24), rec(0x13, 0, 0),
+		rec(0x11, 0x20010db8, 24), rec(1, 0x20010db8, 24))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
@@ -137,9 +166,9 @@ func FuzzEngineOps(f *testing.F) {
 		for _, op := range ops {
 			base := op.Prefix.Addr()
 			probe(base)
-			end := base | ^netaddr.Mask(op.Prefix.Len())
+			end := op.Prefix.Host(^uint64(0))
 			probe(end)
-			probe(end + 1)
+			probe(addrInc(end))
 		}
 	})
 }

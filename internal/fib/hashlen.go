@@ -4,11 +4,13 @@ import "bgpbench/internal/netaddr"
 
 // HashLengths keeps one hash table per prefix length and probes them
 // longest-first on lookup — "linear search on lengths" from the lookup
-// algorithm taxonomy. Insert and delete are O(1); lookup probes at most 33
-// tables but skips lengths with no routes, which makes it competitive on
-// real routing tables where only ~8 lengths are populated.
+// algorithm taxonomy. Insert and delete are O(1); lookup probes at most
+// one table per populated length, which makes it competitive on real
+// routing tables where only ~8 lengths are populated. Both address
+// families share the tables: Addr keys are family-tagged, so equal-width
+// prefixes from different families never collide.
 type HashLengths struct {
-	tables  [33]map[netaddr.Addr]Entry
+	tables  [129]map[netaddr.Addr]Entry
 	lengths []int // populated lengths, descending
 	n       int
 }
@@ -63,10 +65,15 @@ func (h *HashLengths) Delete(p netaddr.Prefix) bool {
 	return true
 }
 
-// Lookup probes populated lengths longest-first.
+// Lookup probes populated lengths longest-first, skipping lengths wider
+// than the address family.
 func (h *HashLengths) Lookup(addr netaddr.Addr) (Entry, bool) {
+	bits := addr.Bits()
 	for _, l := range h.lengths {
-		if e, ok := h.tables[l][addr&netaddr.Mask(l)]; ok {
+		if l > bits {
+			continue
+		}
+		if e, ok := h.tables[l][addr.Masked(l)]; ok {
 			return e, true
 		}
 	}

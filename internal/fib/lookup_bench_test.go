@@ -39,27 +39,69 @@ func lookupWorkload() ([]fib.Op, []netaddr.Addr) {
 		table := core.GenerateTable(core.TableGenConfig{N: lookupTableSize(), Seed: 5})
 		ops := make([]fib.Op, len(table))
 		for i, r := range table {
-			ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.Addr(i | 1), Port: i % 16}}
+			ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.AddrFromV4(uint32(i | 1)), Port: i % 16}}
 		}
 		rng := rand.New(rand.NewSource(1))
 		addrs := make([]netaddr.Addr, 8192)
 		for i := range addrs {
 			if i%4 == 3 {
-				addrs[i] = netaddr.Addr(rng.Uint32())
+				addrs[i] = netaddr.AddrFromV4(rng.Uint32())
 				continue
 			}
 			p := table[rng.Intn(len(table))].Prefix
-			addrs[i] = p.Addr() | (netaddr.Addr(rng.Uint32()) &^ netaddr.Mask(p.Len()))
+			addrs[i] = p.Host(uint64(rng.Uint32()))
 		}
 		lookupCorpus.ops, lookupCorpus.addrs = ops, addrs
 	})
 	return lookupCorpus.ops, lookupCorpus.addrs
 }
 
+var lookupCorpusV6 struct {
+	once  sync.Once
+	ops   []fib.Op
+	addrs []netaddr.Addr
+}
+
+// lookupWorkloadV6 is the IPv6 counterpart of lookupWorkload: the same
+// table size drawn from the IPv6 global-table length mix, probed with
+// in-table addresses (random host bits) and uniform 2000::/3 misses.
+func lookupWorkloadV6() ([]fib.Op, []netaddr.Addr) {
+	lookupCorpusV6.once.Do(func() {
+		table := core.GenerateTable(core.TableGenConfig{N: lookupTableSize(), Seed: 5, Family: netaddr.FamilyV6})
+		ops := make([]fib.Op, len(table))
+		for i, r := range table {
+			ops[i] = fib.Op{Prefix: r.Prefix, Entry: fib.Entry{NextHop: netaddr.AddrFromV4(uint32(i | 1)), Port: i % 16}}
+		}
+		rng := rand.New(rand.NewSource(1))
+		addrs := make([]netaddr.Addr, 8192)
+		for i := range addrs {
+			if i%4 == 3 {
+				addrs[i] = netaddr.AddrFrom128(uint64(0x2000)<<48|rng.Uint64()>>16, rng.Uint64())
+				continue
+			}
+			p := table[rng.Intn(len(table))].Prefix
+			addrs[i] = p.Host(rng.Uint64())
+		}
+		lookupCorpusV6.ops, lookupCorpusV6.addrs = ops, addrs
+	})
+	return lookupCorpusV6.ops, lookupCorpusV6.addrs
+}
+
 // BenchmarkLookup measures single-threaded LPM cost per engine over the
 // synthetic full table (BGPBENCH_LOOKUP_N prefixes, default 1M).
 func BenchmarkLookup(b *testing.B) {
 	ops, addrs := lookupWorkload()
+	benchLookup(b, ops, addrs)
+}
+
+// BenchmarkLookupV6 is the same measurement over an IPv6 table: longer
+// strides, deeper chunk chains, 128-bit keys.
+func BenchmarkLookupV6(b *testing.B) {
+	ops, addrs := lookupWorkloadV6()
+	benchLookup(b, ops, addrs)
+}
+
+func benchLookup(b *testing.B, ops []fib.Op, addrs []netaddr.Addr) {
 	for _, name := range fib.EngineNames {
 		b.Run(name, func(b *testing.B) {
 			eng, err := fib.NewEngine(name)

@@ -2,13 +2,14 @@ package fib
 
 import "bgpbench/internal/netaddr"
 
-// Patricia is a path-compressed binary trie (radix tree): internal
-// single-child chains are collapsed, so the node count is O(number of
-// routes) and lookups take at most one branch per stored prefix on the
-// path. This is the default engine for the router's FIB.
+// Patricia is a path-compressed binary trie (radix tree) with one root
+// per address family: internal single-child chains are collapsed, so the
+// node count is O(number of routes) and lookups take at most one branch
+// per stored prefix on the path. This is the default engine for the
+// router's FIB.
 type Patricia struct {
-	root *pNode
-	n    int
+	roots [2]*pNode // indexed by netaddr.Family
+	n     int
 }
 
 type pNode struct {
@@ -20,24 +21,25 @@ type pNode struct {
 
 // NewPatricia returns an empty path-compressed trie.
 func NewPatricia() *Patricia {
-	return &Patricia{root: &pNode{prefix: netaddr.PrefixFrom(0, 0)}}
+	return &Patricia{roots: [2]*pNode{
+		{prefix: netaddr.PrefixFrom(netaddr.ZeroAddr(netaddr.FamilyV4), 0)},
+		{prefix: netaddr.PrefixFrom(netaddr.ZeroAddr(netaddr.FamilyV6), 0)},
+	}}
 }
 
 // commonPrefixLen returns the number of leading bits shared by a and b,
 // capped at maxLen.
 func commonPrefixLen(a, b netaddr.Addr, maxLen int) int {
-	x := uint32(a ^ b)
-	n := 0
-	for n < maxLen && x&0x80000000 == 0 {
-		x <<= 1
-		n++
+	n := a.CommonPrefixLen(b)
+	if n > maxLen {
+		n = maxLen
 	}
 	return n
 }
 
 // Insert adds or replaces the entry for a prefix.
 func (t *Patricia) Insert(p netaddr.Prefix, e Entry) {
-	n := t.root
+	n := t.roots[p.Family()]
 	for {
 		if p == n.prefix {
 			if !n.has {
@@ -84,9 +86,10 @@ func (t *Patricia) Insert(p netaddr.Prefix, e Entry) {
 // Delete removes a prefix, splicing out structural nodes that become
 // redundant.
 func (t *Patricia) Delete(p netaddr.Prefix) bool {
+	root := t.roots[p.Family()]
 	var parent *pNode
 	parentBit := 0
-	n := t.root
+	n := root
 	for n != nil && n.prefix != p {
 		if n.prefix.Len() >= p.Len() || !n.prefix.Contains(p.Addr()) {
 			return false
@@ -100,16 +103,16 @@ func (t *Patricia) Delete(p netaddr.Prefix) bool {
 	}
 	n.has = false
 	t.n--
-	t.compress(parent, parentBit, n)
+	t.compress(root, parent, parentBit, n)
 	return true
 }
 
 // compress removes or splices a routeless node n (child parentBit of
 // parent) and then re-examines the parent, which may itself have become a
 // redundant split node.
-func (t *Patricia) compress(parent *pNode, parentBit int, n *pNode) {
+func (t *Patricia) compress(root, parent *pNode, parentBit int, n *pNode) {
 	for {
-		if n == t.root || n.has {
+		if n == root || n.has {
 			return
 		}
 		switch {
@@ -128,7 +131,7 @@ func (t *Patricia) compress(parent *pNode, parentBit int, n *pNode) {
 		// children; walk up one level. Finding the grandparent needs a
 		// search from the root, but splicing cascades are rare and short.
 		n = parent
-		parent, parentBit = t.findParent(n)
+		parent, parentBit = t.findParent(root, n)
 		if parent == nil {
 			return
 		}
@@ -136,11 +139,11 @@ func (t *Patricia) compress(parent *pNode, parentBit int, n *pNode) {
 }
 
 // findParent locates the parent of n, or nil for the root.
-func (t *Patricia) findParent(n *pNode) (*pNode, int) {
-	if n == t.root {
+func (t *Patricia) findParent(root, n *pNode) (*pNode, int) {
+	if n == root {
 		return nil, 0
 	}
-	cur := t.root
+	cur := root
 	for {
 		bit := n.prefix.Addr().Bit(cur.prefix.Len())
 		c := cur.child[bit]
@@ -159,12 +162,13 @@ func (t *Patricia) findParent(n *pNode) (*pNode, int) {
 func (t *Patricia) Lookup(addr netaddr.Addr) (Entry, bool) {
 	var best Entry
 	found := false
-	n := t.root
+	bits := addr.Bits()
+	n := t.roots[addr.Family()]
 	for n != nil && n.prefix.Contains(addr) {
 		if n.has {
 			best, found = n.entry, true
 		}
-		if n.prefix.Len() == 32 {
+		if n.prefix.Len() == bits {
 			break
 		}
 		n = n.child[addr.Bit(n.prefix.Len())]
@@ -174,7 +178,7 @@ func (t *Patricia) Lookup(addr netaddr.Addr) (Entry, bool) {
 
 // LookupExact returns the entry stored for exactly this prefix.
 func (t *Patricia) LookupExact(p netaddr.Prefix) (Entry, bool) {
-	n := t.root
+	n := t.roots[p.Family()]
 	for n != nil {
 		if n.prefix == p {
 			if n.has {
@@ -193,9 +197,13 @@ func (t *Patricia) LookupExact(p netaddr.Prefix) (Entry, bool) {
 // Len returns the number of installed prefixes.
 func (t *Patricia) Len() int { return t.n }
 
-// Walk visits entries in address order.
+// Walk visits entries in address order, IPv4 before IPv6.
 func (t *Patricia) Walk(fn func(netaddr.Prefix, Entry) bool) {
-	t.walk(t.root, fn)
+	for _, f := range netaddr.Families {
+		if !t.walk(t.roots[f], fn) {
+			return
+		}
+	}
 }
 
 func (t *Patricia) walk(n *pNode, fn func(netaddr.Prefix, Entry) bool) bool {

@@ -13,25 +13,36 @@ import (
 // children are located with a popcount over a 64-bit bitmap instead of
 // pointers, so a full-table lookup touches a handful of cache lines.
 //
-// Layout:
+// Layout (per address family; IPv4 and IPv6 have separate directories):
 //
-//	addr[31:16]  two-level root directory: pages[addr>>24][addr>>16 & 0xFF]
+//	bits[0:16]   two-level root directory: pages[slot>>8][slot&0xFF]
 //	             selects a chunk (nil = no route of length >= 16 there)
-//	addr[15:0]   per-chunk trie with strides 6,6,4; each node packs a
+//	bits[16:32]  per-chunk trie with strides 6,6,4; each node packs a
 //	             64-bit child bitmap (vec) and leaf-run bitmap (leafvec)
-//	routes with length < 16 live in an expanded per-/16-slot side table
+//	bits[32:]    IPv6 routes longer than /32 descend through chained
+//	             chunks, one per further 16-bit window, found via a small
+//	             per-chunk child map; lookups try the deepest chain first
+//	             and fall back outward (longest-prefix order)
+//	routes with length < 16 live in an expanded per-slot side table
 //	             consulted only when the chunk walk finds nothing longer
 //
-// The structure is persistent by construction: chunks are immutable once
-// built (every mutation compiles a fresh chunk from its route list), and
-// Snapshot seals the root directory pages and the short-route view so
-// later writes copy before mutating. That makes Snapshot an O(pages)
-// pointer copy, which is what SnapshotTable relies on for its per-commit
-// epoch publication.
+// The structure is persistent by construction: chunks (including their
+// chained children) are immutable once built — every mutation compiles a
+// fresh chunk chain from its route list — and Snapshot seals the root
+// directory pages and the short-route views so later writes copy before
+// mutating. That makes Snapshot an O(pages) pointer copy, which is what
+// SnapshotTable relies on for its per-commit epoch publication.
 //
 // Like the other engines, Poptrie itself is single-goroutine; wrap it in
 // a SnapshotTable (or Table) for shared use.
 type Poptrie struct {
+	fams [2]popFam // indexed by netaddr.Family
+	n    int
+}
+
+// popFam is the per-family state: root directory, copy-on-write flags,
+// and the short-route view.
+type popFam struct {
 	pages       [rootPages]*rootPage
 	pageShared  [rootPages]bool // page is referenced by a snapshot; copy before write
 	short       *shortView
@@ -40,7 +51,6 @@ type Poptrie struct {
 	// shortIdx indexes short.routes by prefix; write-side only, never
 	// shared with snapshots.
 	shortIdx map[netaddr.Prefix]int
-	n        int
 }
 
 const (
@@ -86,17 +96,22 @@ type popNode struct {
 	lbase   uint32
 }
 
-// popChunk resolves the low 16 bits for one /16 of address space. It is
+// popChunk resolves the 16-bit window starting at bit offset base. It is
 // immutable after buildChunk returns: routes is the authoritative route
-// list the next rebuild starts from, nodes/leaves are the compiled form.
+// list the next rebuild starts from (for a top-level chunk it includes
+// the routes of all chained children), nodes/leaves are the compiled
+// form, and children maps a fully-matched window value to the chunk for
+// the next 16 bits (IPv6 routes longer than base+16).
 type popChunk struct {
-	routes []popRoute
-	nodes  []popNode
-	leaves []popLeaf
+	routes   []popRoute
+	nodes    []popNode
+	leaves   []popLeaf
+	children map[uint32]*popChunk
+	base     int32 // bit offset of the window this chunk resolves
 }
 
 // shortView resolves routes shorter than /16 via a fully expanded
-// per-/16-slot table: expanded[slot] is 1+index into res of the longest
+// per-slot table: expanded[slot] is 1+index into res of the longest
 // short route covering that slot, 0 for none. The view is immutable while
 // shared with a snapshot; the writer clones it before the next short
 // mutation.
@@ -108,58 +123,93 @@ type shortView struct {
 
 // NewPoptrie returns an empty poptrie.
 func NewPoptrie() *Poptrie {
-	return &Poptrie{
-		short:    &shortView{expanded: make([]uint32, 1<<chunkBits)},
-		shortIdx: make(map[netaddr.Prefix]int),
+	t := &Poptrie{}
+	for f := range t.fams {
+		t.fams[f].short = &shortView{expanded: make([]uint32, 1<<chunkBits)}
+		t.fams[f].shortIdx = make(map[netaddr.Prefix]int)
 	}
+	return t
+}
+
+// slot16 returns the top 16 address bits, the root directory index. The
+// left-justified netaddr layout makes this family-uniform.
+func slot16(a netaddr.Addr) uint32 {
+	return uint32(a.Hi() >> 48)
+}
+
+// window16 extracts the 16-bit window starting at bit offset base (a
+// multiple of 16, so windows never straddle the hi/lo boundary).
+func window16(a netaddr.Addr, base int) uint32 {
+	if base < 64 {
+		return uint32(a.Hi()>>(48-base)) & lowMask
+	}
+	return uint32(a.Lo()>>(112-base)) & lowMask
+}
+
+// slotAddr reconstructs the address whose top 16 bits are slot, for the
+// given family.
+func slotAddr(f netaddr.Family, slot uint32) netaddr.Addr {
+	if f == netaddr.FamilyV4 {
+		return netaddr.AddrFromV4(slot << chunkBits)
+	}
+	return netaddr.AddrFrom128(uint64(slot)<<48, 0)
 }
 
 // Insert adds or replaces the entry for a prefix.
 func (t *Poptrie) Insert(p netaddr.Prefix, e Entry) {
+	fm := &t.fams[p.Family()]
 	if p.Len() < chunkBits {
-		t.insertShort(p, e)
+		t.insertShort(fm, p, e)
 		return
 	}
-	slot := uint32(p.Addr()) >> chunkBits
-	routes, replaced := routesWith(t.chunkRoutes(slot), p, e)
+	slot := slot16(p.Addr())
+	routes, replaced := routesWith(fm.chunkRoutes(slot), p, e)
 	if !replaced {
 		t.n++
 	}
-	t.setChunk(slot, routes)
+	fm.setChunk(slot, routes)
 }
 
 // Delete removes a prefix, reporting whether it was present.
 func (t *Poptrie) Delete(p netaddr.Prefix) bool {
+	fm := &t.fams[p.Family()]
 	if p.Len() < chunkBits {
-		return t.deleteShort(p)
+		return t.deleteShort(fm, p)
 	}
-	slot := uint32(p.Addr()) >> chunkBits
-	routes, removed := routesWithout(t.chunkRoutes(slot), p)
+	slot := slot16(p.Addr())
+	routes, removed := routesWithout(fm.chunkRoutes(slot), p)
 	if !removed {
 		return false
 	}
 	t.n--
-	t.setChunk(slot, routes)
+	fm.setChunk(slot, routes)
 	return true
+}
+
+// popSlotKey distinguishes staged per-slot batches across families.
+type popSlotKey struct {
+	fam  netaddr.Family
+	slot uint32
 }
 
 // Apply commits a batch, rebuilding each dirty chunk once instead of once
 // per op.
 func (t *Poptrie) Apply(ops []Op) {
-	staged := make(map[uint32][]popRoute)
+	staged := make(map[popSlotKey][]popRoute)
 	for _, op := range ops {
+		fm := &t.fams[op.Prefix.Family()]
 		if op.Prefix.Len() < chunkBits {
 			if op.Delete {
-				t.deleteShort(op.Prefix)
+				t.deleteShort(fm, op.Prefix)
 			} else {
-				t.insertShort(op.Prefix, op.Entry)
+				t.insertShort(fm, op.Prefix, op.Entry)
 			}
 			continue
 		}
-		slot := uint32(op.Prefix.Addr()) >> chunkBits
-		routes, ok := staged[slot]
+		key := popSlotKey{fam: op.Prefix.Family(), slot: slot16(op.Prefix.Addr())}
+		routes, ok := staged[key]
 		if !ok {
-			routes = append([]popRoute(nil), t.chunkRoutes(slot)...)
+			routes = append([]popRoute(nil), fm.chunkRoutes(key.slot)...)
 		}
 		if op.Delete {
 			var removed bool
@@ -174,50 +224,61 @@ func (t *Poptrie) Apply(ops []Op) {
 				t.n++
 			}
 		}
-		staged[slot] = routes
+		staged[key] = routes
 	}
-	for slot, routes := range staged {
-		t.setChunk(slot, routes)
+	for key, routes := range staged {
+		t.fams[key.fam].setChunk(key.slot, routes)
 	}
 }
 
 // Lookup returns the entry of the longest prefix containing addr.
 func (t *Poptrie) Lookup(addr netaddr.Addr) (Entry, bool) {
-	return lookupIn(&t.pages, t.short, addr)
+	fm := &t.fams[addr.Family()]
+	return lookupIn(&fm.pages, fm.short, addr)
 }
 
 // LookupExact returns the entry stored for exactly this prefix.
 func (t *Poptrie) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	fm := &t.fams[p.Family()]
 	if p.Len() < chunkBits {
-		if i, ok := t.shortIdx[p]; ok {
-			return t.short.routes[i].entry, true
+		if i, ok := fm.shortIdx[p]; ok {
+			return fm.short.routes[i].entry, true
 		}
 		return Entry{}, false
 	}
-	return chunkExact(t.chunkAt(uint32(p.Addr())>>chunkBits), p)
+	return chunkExact(fm.chunkAt(slot16(p.Addr())), p)
 }
 
 // Len returns the number of installed prefixes.
 func (t *Poptrie) Len() int { return t.n }
 
-// Walk visits all entries (short routes first, then chunks in address
-// order) until fn returns false.
+// Walk visits all entries (per family — IPv4 first — short routes, then
+// chunks in address order) until fn returns false.
 func (t *Poptrie) Walk(fn func(netaddr.Prefix, Entry) bool) {
-	walkIn(&t.pages, t.short, fn)
+	for f := range t.fams {
+		if !walkIn(&t.fams[f].pages, t.fams[f].short, fn) {
+			return
+		}
+	}
 }
 
 // Snapshot publishes an immutable point-in-time view. It copies only the
-// 2KB root directory; pages, chunks, and the short view are shared and
-// sealed, so the writer's next mutation of each copies it first
+// root directories; pages, chunk chains, and the short views are shared
+// and sealed, so the writer's next mutation of each copies it first
 // (copy-on-write at page granularity).
 func (t *Poptrie) Snapshot() Reader {
-	s := &poptrieSnapshot{pages: t.pages, short: t.short, n: t.n}
-	for i, page := range t.pages {
-		if page != nil {
-			t.pageShared[i] = true
+	s := &poptrieSnapshot{n: t.n}
+	for f := range t.fams {
+		fm := &t.fams[f]
+		s.pages[f] = fm.pages
+		s.shorts[f] = fm.short
+		for i, page := range fm.pages {
+			if page != nil {
+				fm.pageShared[i] = true
+			}
 		}
+		fm.shortShared = true
 	}
-	t.shortShared = true
 	return s
 }
 
@@ -225,32 +286,34 @@ func (t *Poptrie) Snapshot() Reader {
 // immutable (enforced by the snapshotimmut lint), so methods are safe for
 // arbitrary concurrent use.
 type poptrieSnapshot struct {
-	pages [rootPages]*rootPage
-	short *shortView
-	n     int
+	pages  [2][rootPages]*rootPage
+	shorts [2]*shortView
+	n      int
 }
 
 // Lookup returns the entry of the longest prefix containing addr.
 func (s *poptrieSnapshot) Lookup(addr netaddr.Addr) (Entry, bool) {
 	//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
-	return lookupIn(&s.pages, s.short, addr)
+	return lookupIn(&s.pages[addr.Family()], s.shorts[addr.Family()], addr)
 }
 
 // LookupExact returns the entry stored for exactly this prefix. Short
 // prefixes scan the frozen route list: exact queries are a control-plane
 // convenience, not the hot path.
 func (s *poptrieSnapshot) LookupExact(p netaddr.Prefix) (Entry, bool) {
+	f := p.Family()
 	if p.Len() < chunkBits {
-		for _, r := range s.short.routes {
+		for _, r := range s.shorts[f].routes {
 			if r.prefix == p {
 				return r.entry, true
 			}
 		}
 		return Entry{}, false
 	}
+	slot := slot16(p.Addr())
 	var c *popChunk
-	if page := s.pages[uint32(p.Addr())>>24]; page != nil {
-		c = page[(uint32(p.Addr())>>chunkBits)&pageMask]
+	if page := s.pages[f][slot>>pageBits]; page != nil {
+		c = page[slot&pageMask]
 	}
 	return chunkExact(c, p)
 }
@@ -261,32 +324,53 @@ func (s *poptrieSnapshot) Len() int { return s.n }
 
 // Walk visits all entries in the snapshot until fn returns false.
 func (s *poptrieSnapshot) Walk(fn func(netaddr.Prefix, Entry) bool) {
-	//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
-	walkIn(&s.pages, s.short, fn)
+	for f := range s.pages {
+		//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
+		if !walkIn(&s.pages[f], s.shorts[f], fn) {
+			return
+		}
+	}
 }
 
-// lookupIn is the shared read path: resolve the chunk for addr's /16 and
-// walk it; fall back to the expanded short-route table on a miss (all
-// chunk routes are longer than all short routes, so order is correct).
+// lookupIn is the shared read path: resolve the chunk for addr's top /16
+// and walk it (descending through chained chunks for IPv6); fall back to
+// the expanded short-route table on a miss (all chunk routes are longer
+// than all short routes, so order is correct).
 func lookupIn(pages *[rootPages]*rootPage, short *shortView, addr netaddr.Addr) (Entry, bool) {
-	a := uint32(addr)
-	if page := pages[a>>24]; page != nil {
-		if c := page[(a>>chunkBits)&pageMask]; c != nil {
-			if lf := c.lookup(a & lowMask); lf.ok {
+	slot := slot16(addr)
+	if page := pages[slot>>pageBits]; page != nil {
+		if c := page[slot&pageMask]; c != nil {
+			if lf := chunkChainLookup(c, addr); lf.ok {
 				return lf.entry, true
 			}
 		}
 	}
-	if ri := short.expanded[a>>chunkBits]; ri != 0 {
+	if ri := short.expanded[slot]; ri != 0 {
 		return short.res[ri-1].entry, true
 	}
 	return Entry{}, false
 }
 
-func walkIn(pages *[rootPages]*rootPage, short *shortView, fn func(netaddr.Prefix, Entry) bool) {
+// chunkChainLookup resolves addr within a chunk chain: the deepest
+// matching chained chunk is consulted first, falling back outward so
+// longer prefixes win. IPv4 chunks have no children, so the hot path is
+// one nil check on top of the popcount walk.
+func chunkChainLookup(c *popChunk, addr netaddr.Addr) popLeaf {
+	low := window16(addr, int(c.base))
+	if c.children != nil {
+		if child, ok := c.children[low]; ok {
+			if lf := chunkChainLookup(child, addr); lf.ok {
+				return lf
+			}
+		}
+	}
+	return c.lookup(low)
+}
+
+func walkIn(pages *[rootPages]*rootPage, short *shortView, fn func(netaddr.Prefix, Entry) bool) bool {
 	for _, r := range short.routes {
 		if !fn(r.prefix, r.entry) {
-			return
+			return false
 		}
 	}
 	for _, page := range pages {
@@ -299,11 +383,12 @@ func walkIn(pages *[rootPages]*rootPage, short *shortView, fn func(netaddr.Prefi
 			}
 			for _, r := range c.routes {
 				if !fn(r.prefix, r.entry) {
-					return
+					return false
 				}
 			}
 		}
 	}
+	return true
 }
 
 func chunkExact(c *popChunk, p netaddr.Prefix) (Entry, bool) {
@@ -318,9 +403,10 @@ func chunkExact(c *popChunk, p netaddr.Prefix) (Entry, bool) {
 	return Entry{}, false
 }
 
-// chunkAt fetches the chunk for a /16 slot without claiming ownership.
-func (t *Poptrie) chunkAt(slot uint32) *popChunk {
-	page := t.pages[slot>>pageBits]
+// chunkAt fetches the chunk for a top-level slot without claiming
+// ownership.
+func (fm *popFam) chunkAt(slot uint32) *popChunk {
+	page := fm.pages[slot>>pageBits]
 	if page == nil {
 		return nil
 	}
@@ -329,32 +415,32 @@ func (t *Poptrie) chunkAt(slot uint32) *popChunk {
 
 // chunkRoutes returns the authoritative route list for a slot (shared;
 // callers must copy before mutating).
-func (t *Poptrie) chunkRoutes(slot uint32) []popRoute {
-	if c := t.chunkAt(slot); c != nil {
+func (fm *popFam) chunkRoutes(slot uint32) []popRoute {
+	if c := fm.chunkAt(slot); c != nil {
 		return c.routes
 	}
 	return nil
 }
 
-// setChunk compiles routes into a fresh chunk and installs it, copying
-// the directory page first if a snapshot still references it.
-func (t *Poptrie) setChunk(slot uint32, routes []popRoute) {
+// setChunk compiles routes into a fresh chunk chain and installs it,
+// copying the directory page first if a snapshot still references it.
+func (fm *popFam) setChunk(slot uint32, routes []popRoute) {
 	pi := slot >> pageBits
-	page := t.pages[pi]
+	page := fm.pages[pi]
 	switch {
 	case page == nil:
 		if len(routes) == 0 {
 			return
 		}
 		page = new(rootPage)
-		t.pages[pi] = page
-	case t.pageShared[pi]:
+		fm.pages[pi] = page
+	case fm.pageShared[pi]:
 		cp := *page
 		page = &cp
-		t.pages[pi] = page
-		t.pageShared[pi] = false
+		fm.pages[pi] = page
+		fm.pageShared[pi] = false
 	}
-	page.set(slot&pageMask, buildChunk(routes))
+	page.set(slot&pageMask, buildChunk(routes, chunkBits))
 }
 
 // set installs a chunk into an owned (unshared) page.
@@ -397,31 +483,48 @@ func dropRoute(routes []popRoute, p netaddr.Prefix) ([]popRoute, bool) {
 }
 
 // buildChunk compiles a route list into popcount-indexed node and leaf
-// arrays. The arrays are always freshly allocated: published snapshots
-// may still reference the previous chunk.
-func buildChunk(routes []popRoute) *popChunk {
+// arrays for the 16-bit window at baseBits, recursively compiling chained
+// child chunks for routes extending past baseBits+16 (IPv6). The arrays
+// are always freshly allocated: published snapshots may still reference
+// the previous chunk.
+func buildChunk(routes []popRoute, baseBits int) *popChunk {
 	if len(routes) == 0 {
 		return nil
 	}
-	c := &popChunk{routes: routes}
+	c := &popChunk{routes: routes, base: int32(baseBits)}
 	var inherited popLeaf
 	scope := make([]popRoute, 0, len(routes))
+	var deepGroups map[uint32][]popRoute
 	for _, r := range routes {
-		if r.prefix.Len() == chunkBits {
+		relLen := r.prefix.Len() - baseBits
+		switch {
+		case relLen <= 0:
 			inherited = popLeaf{entry: r.entry, ok: true}
-		} else {
+		case relLen <= chunkBits:
 			scope = append(scope, r)
+		default:
+			w := window16(r.prefix.Addr(), baseBits)
+			if deepGroups == nil {
+				deepGroups = make(map[uint32][]popRoute)
+			}
+			deepGroups[w] = append(deepGroups[w], r)
 		}
 	}
 	c.nodes = make([]popNode, 1, 1+len(scope))
 	c.buildInto(0, 0, scope, inherited)
+	if deepGroups != nil {
+		c.children = make(map[uint32]*popChunk, len(deepGroups))
+		for w, grp := range deepGroups {
+			c.children[w] = buildChunk(grp, baseBits+chunkBits)
+		}
+	}
 	return c
 }
 
 // buildInto fills node ni, which resolves branches after bitsDone bits of
-// the low 16 have been consumed. scope holds the routes longer than
-// bitsDone that reach this node; inherited is the best route already
-// matched on the way down.
+// the chunk's 16-bit window have been consumed. scope holds the routes
+// longer than base+bitsDone that terminate within this window and reach
+// this node; inherited is the best route already matched on the way down.
 func (c *popChunk) buildInto(ni, bitsDone int, scope []popRoute, inherited popLeaf) {
 	w := popStrides[bitsDone/6]
 	shift := uint(chunkBits - bitsDone - w)
@@ -442,8 +545,8 @@ func (c *popChunk) buildInto(ni, bitsDone int, scope []popRoute, inherited popLe
 		best, bestLen := inherited, 0
 		var deeper []popRoute
 		for _, r := range scope {
-			rlen := r.prefix.Len() - chunkBits
-			rlow := uint32(r.prefix.Addr()) & lowMask
+			rlen := r.prefix.Len() - int(c.base)
+			rlow := window16(r.prefix.Addr(), int(c.base))
 			if rlen > bitsDone+w {
 				// Longer than this level resolves: branch window match
 				// means the route needs a child under b.
@@ -482,7 +585,8 @@ func (c *popChunk) buildInto(ni, bitsDone int, scope []popRoute, inherited popLe
 	}
 }
 
-// lookup resolves the low 16 bits of an address within the chunk.
+// lookup resolves the chunk's 16-bit window value within the compiled
+// trie.
 func (c *popChunk) lookup(low uint32) popLeaf {
 	ni := uint32(0)
 	bitsDone := 0
@@ -504,52 +608,52 @@ func (c *popChunk) lookup(low uint32) popLeaf {
 	}
 }
 
-// ownShort returns the short view, cloning it first if a snapshot still
-// references it.
-func (t *Poptrie) ownShort() *shortView {
-	if !t.shortShared {
-		return t.short
+// ownShort returns the family's short view, cloning it first if a
+// snapshot still references it.
+func (fm *popFam) ownShort() *shortView {
+	if !fm.shortShared {
+		return fm.short
 	}
-	old := t.short
-	t.short = &shortView{
+	old := fm.short
+	fm.short = &shortView{
 		expanded: append([]uint32(nil), old.expanded...),
 		res:      append([]popRoute(nil), old.res...),
 		routes:   append([]popRoute(nil), old.routes...),
 	}
-	t.shortShared = false
-	return t.short
+	fm.shortShared = false
+	return fm.short
 }
 
-func (t *Poptrie) insertShort(p netaddr.Prefix, e Entry) {
-	sv := t.ownShort()
+func (t *Poptrie) insertShort(fm *popFam, p netaddr.Prefix, e Entry) {
+	sv := fm.ownShort()
 	r := popRoute{prefix: p, entry: e}
-	if i, ok := t.shortIdx[p]; ok {
+	if i, ok := fm.shortIdx[p]; ok {
 		sv.setRoute(i, r)
 	} else {
-		t.shortIdx[p] = len(sv.routes)
+		fm.shortIdx[p] = len(sv.routes)
 		sv.appendRoute(r)
 		t.n++
 	}
 	sv.stamp(r)
-	t.maybeCompactShort(sv)
+	maybeCompactShort(sv)
 }
 
-func (t *Poptrie) deleteShort(p netaddr.Prefix) bool {
-	i, ok := t.shortIdx[p]
+func (t *Poptrie) deleteShort(fm *popFam, p netaddr.Prefix) bool {
+	i, ok := fm.shortIdx[p]
 	if !ok {
 		return false
 	}
-	sv := t.ownShort()
+	sv := fm.ownShort()
 	last := len(sv.routes) - 1
 	sv.setRoute(i, sv.routes[last])
-	t.shortIdx[sv.routes[i].prefix] = i
+	fm.shortIdx[sv.routes[i].prefix] = i
 	sv.truncRoutes(last)
-	delete(t.shortIdx, p)
+	delete(fm.shortIdx, p)
 	t.n--
 
-	// Recompute every /16 slot where p had been the winner. Adjacent
-	// slots usually share the new winner, so memoize the last result.
-	base := uint32(p.Addr()) >> chunkBits
+	// Recompute every slot where p had been the winner. Adjacent slots
+	// usually share the new winner, so memoize the last result.
+	base := slot16(p.Addr())
 	count := uint32(1) << (chunkBits - p.Len())
 	var memo popRoute
 	var memoRi uint32
@@ -559,7 +663,7 @@ func (t *Poptrie) deleteShort(p netaddr.Prefix) bool {
 			continue
 		}
 		ri := uint32(0)
-		if r, ok := t.bestShortFor(s); ok {
+		if r, ok := fm.bestShortFor(p.Family(), s); ok {
 			if memoRi != 0 && memo == r {
 				ri = memoRi
 			} else {
@@ -569,17 +673,17 @@ func (t *Poptrie) deleteShort(p netaddr.Prefix) bool {
 		}
 		sv.setExpanded(s, ri)
 	}
-	t.maybeCompactShort(sv)
+	maybeCompactShort(sv)
 	return true
 }
 
 // bestShortFor probes the installed short routes longest-first for the
-// winner at a /16 slot.
-func (t *Poptrie) bestShortFor(slot uint32) (popRoute, bool) {
-	addr := netaddr.Addr(slot << chunkBits)
+// winner at a top-level slot.
+func (fm *popFam) bestShortFor(f netaddr.Family, slot uint32) (popRoute, bool) {
+	addr := slotAddr(f, slot)
 	for l := chunkBits - 1; l >= 0; l-- {
-		if i, ok := t.shortIdx[netaddr.PrefixFrom(addr, l)]; ok {
-			return t.short.routes[i], true
+		if i, ok := fm.shortIdx[netaddr.PrefixFrom(addr, l)]; ok {
+			return fm.short.routes[i], true
 		}
 	}
 	return popRoute{}, false
@@ -587,19 +691,19 @@ func (t *Poptrie) bestShortFor(slot uint32) (popRoute, bool) {
 
 // maybeCompactShort rebuilds the expanded table when churn has left too
 // many dead res entries behind.
-func (t *Poptrie) maybeCompactShort(sv *shortView) {
+func maybeCompactShort(sv *shortView) {
 	if len(sv.res) > 2*len(sv.routes)+64 {
 		sv.rebuild()
 	}
 }
 
-// stamp records r in res and writes it over every /16 slot it covers
-// where no longer route already wins. Equal length means the same prefix
-// (distinct same-length prefixes cover disjoint slots), i.e. a replace.
+// stamp records r in res and writes it over every slot it covers where no
+// longer route already wins. Equal length means the same prefix (distinct
+// same-length prefixes cover disjoint slots), i.e. a replace.
 func (sv *shortView) stamp(r popRoute) {
 	ri := sv.appendRes(r)
 	l := r.prefix.Len()
-	base := uint32(r.prefix.Addr()) >> chunkBits
+	base := slot16(r.prefix.Addr())
 	count := uint32(1) << (chunkBits - l)
 	for s := base; s < base+count; s++ {
 		cur := sv.expanded[s]

@@ -29,23 +29,23 @@ func TestSnapshotIsolation(t *testing.T) {
 	eng := NewPoptrie()
 	long := netaddr.MustParsePrefix("10.1.0.0/24")
 	short := netaddr.MustParsePrefix("10.0.0.0/8")
-	eng.Insert(long, Entry{NextHop: 1, Port: 1})
-	eng.Insert(short, Entry{NextHop: 2, Port: 2})
+	eng.Insert(long, Entry{NextHop: netaddr.AddrFromV4(1), Port: 1})
+	eng.Insert(short, Entry{NextHop: netaddr.AddrFromV4(2), Port: 2})
 
 	snap := eng.Snapshot()
 
 	// Same chunk: replace and delete. Same /8: replace. New routes: both
 	// a chunk neighbour (same page) and a far one (different page).
-	eng.Insert(long, Entry{NextHop: 9, Port: 9})
-	eng.Insert(short, Entry{NextHop: 8, Port: 8})
-	eng.Insert(netaddr.MustParsePrefix("10.1.1.0/24"), Entry{NextHop: 7, Port: 7})
-	eng.Insert(netaddr.MustParsePrefix("192.168.0.0/16"), Entry{NextHop: 6, Port: 6})
+	eng.Insert(long, Entry{NextHop: netaddr.AddrFromV4(9), Port: 9})
+	eng.Insert(short, Entry{NextHop: netaddr.AddrFromV4(8), Port: 8})
+	eng.Insert(netaddr.MustParsePrefix("10.1.1.0/24"), Entry{NextHop: netaddr.AddrFromV4(7), Port: 7})
+	eng.Insert(netaddr.MustParsePrefix("192.168.0.0/16"), Entry{NextHop: netaddr.AddrFromV4(6), Port: 6})
 	eng.Delete(long)
 
-	if e, ok := snap.Lookup(netaddr.MustParseAddr("10.1.0.5")); !ok || e.NextHop != 1 {
+	if e, ok := snap.Lookup(netaddr.MustParseAddr("10.1.0.5")); !ok || e.NextHop != netaddr.AddrFromV4(1) {
 		t.Fatalf("snapshot long lookup = %+v/%v, want NextHop 1", e, ok)
 	}
-	if e, ok := snap.Lookup(netaddr.MustParseAddr("10.200.0.1")); !ok || e.NextHop != 2 {
+	if e, ok := snap.Lookup(netaddr.MustParseAddr("10.200.0.1")); !ok || e.NextHop != netaddr.AddrFromV4(2) {
 		t.Fatalf("snapshot short lookup = %+v/%v, want NextHop 2", e, ok)
 	}
 	if _, ok := snap.Lookup(netaddr.MustParseAddr("192.168.3.4")); ok {
@@ -60,7 +60,7 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Fatalf("snapshot Walk visited %d, want 2", n)
 	}
 	// And the live engine must see the new world.
-	if e, ok := eng.Lookup(netaddr.MustParseAddr("10.1.0.5")); !ok || e.NextHop != 8 {
+	if e, ok := eng.Lookup(netaddr.MustParseAddr("10.1.0.5")); !ok || e.NextHop != netaddr.AddrFromV4(8) {
 		t.Fatalf("live lookup after delete = %+v/%v, want short fallback NextHop 8", e, ok)
 	}
 }
@@ -71,14 +71,36 @@ func TestSnapshotIsolation(t *testing.T) {
 // consistency: a batch atomically moves a prefix pair between two
 // states, and a reader must never observe a half-applied batch.
 func TestLookupUnderChurn(t *testing.T) {
+	churnUnderLoad(t,
+		netaddr.MustParsePrefix("10.0.1.0/24"), netaddr.MustParsePrefix("10.0.2.0/24"),
+		netaddr.MustParseAddr("10.0.1.1"), netaddr.MustParseAddr("10.0.2.1"),
+		func(rng *rand.Rand) netaddr.Prefix {
+			return netaddr.PrefixFrom(netaddr.AddrFromV4(rng.Uint32()), 4+rng.Intn(29))
+		})
+}
+
+// TestLookupUnderChurnV6 is the IPv6 leg of the churn gate: the flip
+// pair lives in 2001:db8::/32 and the background noise mixes both
+// families, so the race detector sees v4 and v6 chunk chains rebuilt
+// under concurrent lock-free readers.
+func TestLookupUnderChurnV6(t *testing.T) {
+	churnUnderLoad(t,
+		netaddr.MustParsePrefix("2001:db8:1::/48"), netaddr.MustParsePrefix("2001:db8:2::/48"),
+		netaddr.MustParseAddr("2001:db8:1::1"), netaddr.MustParseAddr("2001:db8:2::1"),
+		func(rng *rand.Rand) netaddr.Prefix {
+			if rng.Intn(2) == 0 {
+				return netaddr.PrefixFrom(netaddr.AddrFromV4(rng.Uint32()), 4+rng.Intn(29))
+			}
+			a := netaddr.AddrFrom128(uint64(0x2000)<<48|rng.Uint64()>>16, rng.Uint64())
+			return netaddr.PrefixFrom(a, 16+rng.Intn(113))
+		})
+}
+
+func churnUnderLoad(t *testing.T, pA, pB netaddr.Prefix, addrA, addrB netaddr.Addr, noisePrefix func(*rand.Rand) netaddr.Prefix) {
 	tbl := NewSnapshotTable(NewPoptrie())
 
-	pA := netaddr.MustParsePrefix("10.0.1.0/24")
-	pB := netaddr.MustParsePrefix("10.0.2.0/24")
-	addrA := netaddr.MustParseAddr("10.0.1.1")
-	addrB := netaddr.MustParseAddr("10.0.2.1")
-	even := Entry{NextHop: 100, Port: 1}
-	odd := Entry{NextHop: 200, Port: 2}
+	even := Entry{NextHop: netaddr.AddrFromV4(100), Port: 1}
+	odd := Entry{NextHop: netaddr.AddrFromV4(200), Port: 2}
 	tbl.Apply([]Op{{Prefix: pA, Entry: even}, {Prefix: pB, Entry: even}})
 
 	var stop atomic.Bool
@@ -115,9 +137,9 @@ func TestLookupUnderChurn(t *testing.T) {
 						var cur int
 						switch p {
 						case pA:
-							cur = int(e.NextHop)
+							cur = int(e.NextHop.V4())
 						case pB:
-							cur = int(e.NextHop)
+							cur = int(e.NextHop.V4())
 						default:
 							return true
 						}
@@ -129,7 +151,7 @@ func TestLookupUnderChurn(t *testing.T) {
 						return true
 					})
 				}
-				tbl.Lookup(netaddr.Addr(rng.Uint32()))
+				tbl.Lookup(netaddr.AddrFromV4(rng.Uint32()))
 			}
 		}(int64(w))
 	}
@@ -146,7 +168,7 @@ func TestLookupUnderChurn(t *testing.T) {
 			}
 			ops := []Op{{Prefix: pA, Entry: e}, {Prefix: pB, Entry: e}}
 			for j := 0; j < 16; j++ {
-				p := netaddr.PrefixFrom(netaddr.Addr(rng.Uint32()), 4+rng.Intn(29))
+				p := noisePrefix(rng)
 				// A noise route overlapping the flip pair could shadow
 				// it and fake a consistency violation.
 				if p.Overlaps(pA) || p.Overlaps(pB) {
@@ -155,7 +177,7 @@ func TestLookupUnderChurn(t *testing.T) {
 				if rng.Intn(3) == 0 {
 					ops = append(ops, Op{Prefix: p, Delete: true})
 				} else {
-					ops = append(ops, Op{Prefix: p, Entry: Entry{NextHop: netaddr.Addr(rng.Uint32()), Port: rng.Intn(16)}})
+					ops = append(ops, Op{Prefix: p, Entry: Entry{NextHop: netaddr.AddrFromV4(rng.Uint32()), Port: rng.Intn(16)}})
 				}
 			}
 			tbl.Apply(ops)

@@ -124,11 +124,13 @@ type Action struct {
 
 // Config is the local side of the session.
 type Config struct {
-	LocalAS  uint16
+	LocalAS  uint32
 	LocalID  netaddr.Addr
 	HoldTime uint16 // proposed hold time, seconds (0 disables keepalives)
-	// PeerAS, when nonzero, is enforced against the peer's OPEN.
-	PeerAS uint16
+	// PeerAS, when nonzero, is enforced against the peer's OPEN (the
+	// effective AS: the 4-octet capability value when the peer sent one,
+	// else the 2-octet OPEN field).
+	PeerAS uint32
 	// Passive suppresses ActConnect on start: the session waits for an
 	// inbound connection (used by routers under test accepting speakers).
 	Passive bool
@@ -244,7 +246,7 @@ func (f *FSM) inOpenSent(ev Event) []Action {
 		if ev.Open == nil {
 			return f.fsmError(ev)
 		}
-		if f.cfg.PeerAS != 0 && ev.Open.AS != f.cfg.PeerAS {
+		if f.cfg.PeerAS != 0 && ev.Open.EffectiveAS() != f.cfg.PeerAS {
 			return f.notifyAndIdle(wire.ErrCodeOpen, wire.ErrSubBadPeerAS, nil)
 		}
 		f.peerOpen = *ev.Open

@@ -24,7 +24,7 @@ func hasAction(acts []Action, t ActionType) bool {
 	return false
 }
 
-func peerOpen(as uint16, hold uint16) *wire.Open {
+func peerOpen(as uint32, hold uint16) *wire.Open {
 	o := wire.NewOpen(as, hold, netaddr.MustParseAddr("2.2.2.2"))
 	return &o
 }

@@ -5,9 +5,11 @@
 // standard tooling conventions, and replayed — the role real BGP table
 // snapshots played for the paper's table sizes.
 //
-// Scope: IPv4 unicast RIBs with 2-octet ASNs; timestamps are caller
-// supplied. Records this package does not produce (other types/subtypes)
-// are rejected on read with a descriptive error.
+// Scope: IPv4 and IPv6 unicast RIBs; peer entries use the RFC 6396 peer
+// type bits, so 4-octet ASNs and IPv6 peer addresses round-trip (2-octet
+// IPv4 entries keep their historical byte-identical encoding). Records
+// this package does not produce (other types/subtypes) are rejected on
+// read with a descriptive error.
 package mrt
 
 import (
@@ -25,13 +27,20 @@ const (
 	typeTableDumpV2       = 13
 	subtypePeerIndexTable = 1
 	subtypeRIBIPv4Unicast = 2
+	subtypeRIBIPv6Unicast = 4
+)
+
+// Peer-type bits (RFC 6396 section 4.3.1).
+const (
+	peerTypeAddr6 = 0x01 // peer address is IPv6
+	peerTypeAS4   = 0x02 // peer AS is 4 octets
 )
 
 // Peer is one entry of the PEER_INDEX_TABLE.
 type Peer struct {
 	ID   netaddr.Addr // peer BGP identifier
 	Addr netaddr.Addr // peer transport address
-	AS   uint16
+	AS   uint32
 }
 
 // RIBEntry is one path for a prefix, attributed to a peer by index.
@@ -68,7 +77,11 @@ func Write(w io.Writer, t *Table, timestamp uint32) error {
 		if err != nil {
 			return err
 		}
-		if err := writeRecord(bw, timestamp, subtypeRIBIPv4Unicast, body); err != nil {
+		subtype := uint16(subtypeRIBIPv4Unicast)
+		if p.Prefix.Addr().Is6() {
+			subtype = subtypeRIBIPv6Unicast
+		}
+		if err := writeRecord(bw, timestamp, subtype, body); err != nil {
 			return err
 		}
 	}
@@ -95,11 +108,24 @@ func marshalPeerIndex(t *Table) []byte {
 	b = append(b, t.ViewName...)
 	b = append(b, byte(len(t.Peers)>>8), byte(len(t.Peers)))
 	for _, p := range t.Peers {
-		// Peer type 0: IPv4 address, 2-octet AS.
-		b = append(b, 0)
+		// Peer type 0 (IPv4 address, 2-octet AS) when the entry fits —
+		// keeping legacy dumps byte-identical — with the RFC 6396 type
+		// bits raised only as needed for IPv6 peers and 4-octet ASNs.
+		var ptype byte
+		if p.Addr.Is6() {
+			ptype |= peerTypeAddr6
+		}
+		if p.AS > 0xFFFF {
+			ptype |= peerTypeAS4
+		}
+		b = append(b, ptype)
 		b = p.ID.AppendBytes(b)
 		b = p.Addr.AppendBytes(b)
-		b = append(b, byte(p.AS>>8), byte(p.AS))
+		if ptype&peerTypeAS4 != 0 {
+			b = binary.BigEndian.AppendUint32(b, p.AS)
+		} else {
+			b = append(b, byte(p.AS>>8), byte(p.AS))
+		}
 	}
 	return b
 }
@@ -158,11 +184,15 @@ func Read(r io.Reader) (*Table, error) {
 				return nil, err
 			}
 			sawIndex = true
-		case subtypeRIBIPv4Unicast:
+		case subtypeRIBIPv4Unicast, subtypeRIBIPv6Unicast:
 			if !sawIndex {
 				return nil, fmt.Errorf("mrt: RIB record before PEER_INDEX_TABLE")
 			}
-			p, err := parseRIB(t, body)
+			fam := netaddr.FamilyV4
+			if subtype == subtypeRIBIPv6Unicast {
+				fam = netaddr.FamilyV6
+			}
+			p, err := parseRIB(t, body, fam)
 			if err != nil {
 				return nil, err
 			}
@@ -195,18 +225,31 @@ func parsePeerIndex(t *Table, b []byte) error {
 			return fmt.Errorf("mrt: truncated peer entry %d", i)
 		}
 		ptype := rest[0]
-		if ptype != 0 {
-			return fmt.Errorf("mrt: peer entry %d has unsupported type %d (IPv6/AS4 not in scope)", i, ptype)
+		if ptype&^(peerTypeAddr6|peerTypeAS4) != 0 {
+			return fmt.Errorf("mrt: peer entry %d has unsupported type %d", i, ptype)
 		}
-		if len(rest) < 11 {
+		addrLen, asLen := 4, 2
+		if ptype&peerTypeAddr6 != 0 {
+			addrLen = 16
+		}
+		if ptype&peerTypeAS4 != 0 {
+			asLen = 4
+		}
+		need := 1 + 4 + addrLen + asLen
+		if len(rest) < need {
 			return fmt.Errorf("mrt: truncated peer entry %d", i)
 		}
-		t.Peers = append(t.Peers, Peer{
+		p := Peer{
 			ID:   netaddr.AddrFromBytes(rest[1:5]),
-			Addr: netaddr.AddrFromBytes(rest[5:9]),
-			AS:   binary.BigEndian.Uint16(rest[9:11]),
-		})
-		rest = rest[11:]
+			Addr: netaddr.AddrFromBytes(rest[5 : 5+addrLen]),
+		}
+		if asLen == 4 {
+			p.AS = binary.BigEndian.Uint32(rest[5+addrLen : need])
+		} else {
+			p.AS = uint32(binary.BigEndian.Uint16(rest[5+addrLen : need]))
+		}
+		t.Peers = append(t.Peers, p)
+		rest = rest[need:]
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("mrt: %d trailing bytes in PEER_INDEX_TABLE", len(rest))
@@ -214,13 +257,13 @@ func parsePeerIndex(t *Table, b []byte) error {
 	return nil
 }
 
-func parseRIB(t *Table, b []byte) (Prefix, error) {
+func parseRIB(t *Table, b []byte, fam netaddr.Family) (Prefix, error) {
 	var out Prefix
 	if len(b) < 5 {
 		return out, fmt.Errorf("mrt: short RIB record")
 	}
 	b = b[4:] // sequence number (informational)
-	pfx, n, err := netaddr.PrefixFromWire(b)
+	pfx, n, err := netaddr.PrefixFromWireFamily(b, fam)
 	if err != nil {
 		return out, fmt.Errorf("mrt: RIB prefix: %v", err)
 	}

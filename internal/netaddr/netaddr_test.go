@@ -11,18 +11,25 @@ func TestParseAddr(t *testing.T) {
 		want Addr
 		ok   bool
 	}{
-		{"0.0.0.0", 0, true},
-		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"0.0.0.0", AddrFromV4(0), true},
+		{"255.255.255.255", AddrFromV4(0xFFFFFFFF), true},
 		{"192.0.2.1", AddrFrom4(192, 0, 2, 1), true},
 		{"10.0.0.1", AddrFrom4(10, 0, 0, 1), true},
-		{"1.2.3", 0, false},
-		{"1.2.3.4.5", 0, false},
-		{"256.0.0.1", 0, false},
-		{"-1.0.0.1", 0, false},
-		{"a.b.c.d", 0, false},
-		{"01.2.3.4", 0, false},
-		{"", 0, false},
-		{"1..2.3", 0, false},
+		{"::", AddrFrom128(0, 0), true},
+		{"::1", AddrFrom128(0, 1), true},
+		{"2001:db8::1", AddrFrom128(0x20010db8<<32, 1), true},
+		{"fe80::1:2", AddrFrom128(0xfe80<<48, 0x10002), true},
+		{"1.2.3", Addr{}, false},
+		{"1.2.3.4.5", Addr{}, false},
+		{"256.0.0.1", Addr{}, false},
+		{"-1.0.0.1", Addr{}, false},
+		{"a.b.c.d", Addr{}, false},
+		{"01.2.3.4", Addr{}, false},
+		{"", Addr{}, false},
+		{"1..2.3", Addr{}, false},
+		{"::1::2", Addr{}, false},
+		{"1:2:3:4:5:6:7:8:9", Addr{}, false},
+		{"2001:zz::", Addr{}, false},
 	}
 	for _, c := range cases {
 		got, err := ParseAddr(c.in)
@@ -37,7 +44,18 @@ func TestParseAddr(t *testing.T) {
 
 func TestAddrStringRoundTrip(t *testing.T) {
 	f := func(v uint32) bool {
-		a := Addr(v)
+		a := AddrFromV4(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddr6StringRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		a := AddrFrom128(hi, lo)
 		back, err := ParseAddr(a.String())
 		return err == nil && back == a
 	}
@@ -48,10 +66,17 @@ func TestAddrStringRoundTrip(t *testing.T) {
 
 func TestAddrBytesRoundTrip(t *testing.T) {
 	f := func(v uint32) bool {
-		a := Addr(v)
+		a := AddrFromV4(v)
 		return AddrFromBytes(a.Bytes()) == a
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(hi, lo uint64) bool {
+		a := AddrFrom128(hi, lo)
+		return AddrFromBytes(a.Bytes()) == a
+	}
+	if err := quick.Check(g, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -67,26 +92,30 @@ func TestAddrBit(t *testing.T) {
 	if a.Bit(31) != 1 {
 		t.Errorf("Bit(31) = %d, want 1", a.Bit(31))
 	}
+	b := MustParseAddr("8000::1")
+	if b.Bit(0) != 1 || b.Bit(1) != 0 || b.Bit(127) != 1 || b.Bit(126) != 0 {
+		t.Error("v6 Bit placement wrong")
+	}
 }
 
-func TestMask(t *testing.T) {
+func TestAddrMasked(t *testing.T) {
 	cases := []struct {
+		addr string
 		len  int
-		want Addr
+		want string
 	}{
-		{0, 0},
-		{-3, 0},
-		{8, 0xFF000000},
-		{16, 0xFFFF0000},
-		{24, 0xFFFFFF00},
-		{32, 0xFFFFFFFF},
-		{40, 0xFFFFFFFF},
-		{1, 0x80000000},
-		{31, 0xFFFFFFFE},
+		{"255.255.255.255", 0, "0.0.0.0"},
+		{"255.255.255.255", 8, "255.0.0.0"},
+		{"10.1.2.3", 16, "10.1.0.0"},
+		{"1.2.3.4", 32, "1.2.3.4"},
+		{"2001:db8:ffff::1", 32, "2001:db8::"},
+		{"2001:db8::ff", 128, "2001:db8::ff"},
+		{"ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff", 65, "ffff:ffff:ffff:ffff:8000::"},
 	}
 	for _, c := range cases {
-		if got := Mask(c.len); got != c.want {
-			t.Errorf("Mask(%d) = %08x, want %08x", c.len, uint32(got), uint32(c.want))
+		got := MustParseAddr(c.addr).Masked(c.len)
+		if got != MustParseAddr(c.want) {
+			t.Errorf("%s masked /%d = %v, want %s", c.addr, c.len, got, c.want)
 		}
 	}
 }
@@ -102,9 +131,17 @@ func TestParsePrefix(t *testing.T) {
 	if p.Len() != 16 {
 		t.Errorf("Len = %d, want 16", p.Len())
 	}
-	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "300.0.0.0/8"} {
-		if _, err := ParsePrefix(bad); err == nil {
-			t.Errorf("ParsePrefix(%q) succeeded; want error", bad)
+	p6, err := ParsePrefix("2001:db8:ffff::1/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p6.String(); got != "2001:db8::/32" {
+		t.Errorf("v6 masking: got %s, want 2001:db8::/32", got)
+	}
+	bad := []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "300.0.0.0/8", "2001:db8::/129"}
+	for _, b := range bad {
+		if _, err := ParsePrefix(b); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded; want error", b)
 		}
 	}
 }
@@ -125,6 +162,14 @@ func TestPrefixContains(t *testing.T) {
 	if !host.Contains(MustParseAddr("1.2.3.4")) || host.Contains(MustParseAddr("1.2.3.5")) {
 		t.Error("host route containment wrong")
 	}
+	p6 := MustParsePrefix("2001:db8::/32")
+	if !p6.Contains(MustParseAddr("2001:db8::1")) || p6.Contains(MustParseAddr("2001:db9::1")) {
+		t.Error("v6 containment wrong")
+	}
+	// A family mismatch is never contained, even at /0.
+	if all.Contains(MustParseAddr("::1")) || MustParsePrefix("::/0").Contains(MustParseAddr("1.2.3.4")) {
+		t.Error("cross-family containment must be false")
+	}
 }
 
 func TestPrefixOverlaps(t *testing.T) {
@@ -136,6 +181,9 @@ func TestPrefixOverlaps(t *testing.T) {
 	}
 	if a.Overlaps(c) || c.Overlaps(a) {
 		t.Error("10/8 and 11/8 should not overlap")
+	}
+	if a.Overlaps(MustParsePrefix("::/0")) {
+		t.Error("prefixes of different families never overlap")
 	}
 }
 
@@ -152,12 +200,16 @@ func TestPrefixCompare(t *testing.T) {
 	if a.Compare(a) != 0 {
 		t.Error("Compare(self) != 0")
 	}
+	// All v4 prefixes order before all v6 prefixes.
+	if MustParsePrefix("255.0.0.0/8").Compare(MustParsePrefix("::/0")) != -1 {
+		t.Error("v4 should order before v6")
+	}
 }
 
 func TestPrefixCompareIsTotalOrder(t *testing.T) {
 	f := func(a1, a2 uint32, l1, l2 uint8) bool {
-		p := PrefixFrom(Addr(a1), int(l1%33))
-		q := PrefixFrom(Addr(a2), int(l2%33))
+		p := PrefixFrom(AddrFromV4(a1), int(l1%33))
+		q := PrefixFrom(AddrFromV4(a2), int(l2%33))
 		// Antisymmetry and consistency with equality.
 		if p.Compare(q) != -q.Compare(p) {
 			return false
@@ -167,16 +219,36 @@ func TestPrefixCompareIsTotalOrder(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+	g := func(h1, o1, h2, o2 uint64, l1, l2 uint8) bool {
+		p := PrefixFrom(AddrFrom128(h1, o1), int(l1%129))
+		q := PrefixFrom(AddrFrom128(h2, o2), int(l2%129))
+		if p.Compare(q) != -q.Compare(p) {
+			return false
+		}
+		return (p.Compare(q) == 0) == (p == q)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPrefixWireRoundTrip(t *testing.T) {
 	f := func(a uint32, l uint8) bool {
-		p := PrefixFrom(Addr(a), int(l%33))
+		p := PrefixFrom(AddrFromV4(a), int(l%33))
 		buf := p.AppendWire(nil)
 		q, n, err := PrefixFromWire(buf)
 		return err == nil && n == len(buf) && q == p
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(hi, lo uint64, l uint8) bool {
+		p := PrefixFrom(AddrFrom128(hi, lo), int(l%129))
+		buf := p.AppendWire(nil)
+		q, n, err := PrefixFromWireFamily(buf, FamilyV6)
+		return err == nil && n == len(buf) && q == p
+	}
+	if err := quick.Check(g, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -193,6 +265,17 @@ func TestPrefixWireEncoding(t *testing.T) {
 			t.Fatalf("wire = %v, want %v", got, want)
 		}
 	}
+	p6 := MustParsePrefix("2001:db8::/32")
+	got = p6.AppendWire(nil)
+	want = []byte{32, 0x20, 0x01, 0x0d, 0xb8}
+	if len(got) != len(want) {
+		t.Fatalf("v6 wire = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("v6 wire = %v, want %v", got, want)
+		}
+	}
 }
 
 func TestPrefixFromWireErrors(t *testing.T) {
@@ -200,10 +283,16 @@ func TestPrefixFromWireErrors(t *testing.T) {
 		t.Error("empty NLRI should error")
 	}
 	if _, _, err := PrefixFromWire([]byte{33, 1, 2, 3, 4, 5}); err == nil {
-		t.Error("length 33 should error")
+		t.Error("length 33 should error for v4")
 	}
 	if _, _, err := PrefixFromWire([]byte{24, 10, 0}); err == nil {
 		t.Error("truncated NLRI should error")
+	}
+	if _, _, err := PrefixFromWireFamily([]byte{129, 1}, FamilyV6); err == nil {
+		t.Error("length 129 should error for v6")
+	}
+	if _, _, err := PrefixFromWireFamily([]byte{64, 1, 2, 3}, FamilyV6); err == nil {
+		t.Error("truncated v6 NLRI should error")
 	}
 }
 
@@ -216,5 +305,35 @@ func TestPrefixDefaultRouteWire(t *testing.T) {
 	q, n, err := PrefixFromWire(buf)
 	if err != nil || n != 1 || q != p {
 		t.Fatalf("default route round trip failed: %v %d %v", q, n, err)
+	}
+}
+
+func TestFamilyFromAFI(t *testing.T) {
+	if f, ok := FamilyFromAFI(1); !ok || f != FamilyV4 {
+		t.Error("AFI 1 should map to FamilyV4")
+	}
+	if f, ok := FamilyFromAFI(2); !ok || f != FamilyV6 {
+		t.Error("AFI 2 should map to FamilyV6")
+	}
+	if _, ok := FamilyFromAFI(3); ok {
+		t.Error("AFI 3 should not map")
+	}
+}
+
+func TestHost(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	h := p.Host(^uint64(0))
+	if h != MustParseAddr("10.255.255.255") {
+		t.Errorf("v4 Host = %v, want 10.255.255.255", h)
+	}
+	if !p.Contains(p.Host(0x12345678)) {
+		t.Error("Host must stay inside the prefix")
+	}
+	p6 := MustParsePrefix("2001:db8::/32")
+	if !p6.Contains(p6.Host(0xdeadbeef)) {
+		t.Error("v6 Host must stay inside the prefix")
+	}
+	if p6.Host(1) == p6.Addr() {
+		t.Error("v6 Host should set host bits")
 	}
 }

@@ -140,8 +140,8 @@ func TestIncrementalChecksumEqualsFull(t *testing.T) {
 			ID:       uint16(r.Intn(65536)),
 			TTL:      uint8(2 + r.Intn(254)),
 			Protocol: uint8(r.Intn(256)),
-			Src:      netaddr.Addr(r.Uint32()),
-			Dst:      netaddr.Addr(r.Uint32()),
+			Src:      netaddr.AddrFromV4(r.Uint32()),
+			Dst:      netaddr.AddrFromV4(r.Uint32()),
 		}
 		b := Marshal(h, nil)
 		if err := DecrementTTL(b); err != nil {

@@ -42,7 +42,7 @@ const (
 
 type patternTok struct {
 	kind patternKind
-	asn  uint16
+	asn  uint32
 }
 
 // CompileASPathPattern parses a pattern. Tokens are whitespace separated;
@@ -79,11 +79,11 @@ func CompileASPathPattern(src string) (*ASPathPattern, error) {
 		case ".*":
 			p.toks = append(p.toks, patternTok{kind: tokAnySeq})
 		default:
-			v, err := strconv.ParseUint(f, 10, 16)
+			v, err := strconv.ParseUint(f, 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("policy: bad as-path pattern token %q in %q", f, src)
 			}
-			p.toks = append(p.toks, patternTok{kind: tokASN, asn: uint16(v)})
+			p.toks = append(p.toks, patternTok{kind: tokASN, asn: uint32(v)})
 		}
 	}
 	if len(p.toks) == 0 && !(p.anchoredStart && p.anchoredEnd) {
@@ -106,7 +106,7 @@ func (p *ASPathPattern) String() string { return p.src }
 
 // Match reports whether the pattern matches the path.
 func (p *ASPathPattern) Match(path wire.ASPath) bool {
-	var flat []uint16
+	var flat []uint32
 	for _, s := range path.Segments {
 		flat = append(flat, s.ASNs...)
 	}
@@ -122,7 +122,7 @@ func (p *ASPathPattern) Match(path wire.ASPath) bool {
 }
 
 // matchAt matches toks[ti:] against path greedily with backtracking.
-func (p *ASPathPattern) matchAt(path []uint16, ti int, toEnd bool) bool {
+func (p *ASPathPattern) matchAt(path []uint32, ti int, toEnd bool) bool {
 	if ti == len(p.toks) {
 		return !toEnd || len(path) == 0
 	}

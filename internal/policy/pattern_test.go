@@ -6,43 +6,43 @@ import (
 	"bgpbench/internal/wire"
 )
 
-func path(asns ...uint16) wire.ASPath { return wire.NewASPath(asns...) }
+func path(asns ...uint32) wire.ASPath { return wire.NewASPath(asns...) }
 
 func TestPatternBasics(t *testing.T) {
 	cases := []struct {
 		pattern string
-		path    []uint16
+		path    []uint32
 		want    bool
 	}{
 		// Unanchored substring semantics (the "_asn_" idiom).
-		{"7018", []uint16{1, 7018, 2}, true},
-		{"7018", []uint16{1, 2, 3}, false},
-		{"7018", []uint16{70, 18}, false}, // token, not text, boundaries
-		{"7018 2", []uint16{1, 7018, 2}, true},
-		{"7018 3", []uint16{1, 7018, 2}, false},
+		{"7018", []uint32{1, 7018, 2}, true},
+		{"7018", []uint32{1, 2, 3}, false},
+		{"7018", []uint32{70, 18}, false}, // token, not text, boundaries
+		{"7018 2", []uint32{1, 7018, 2}, true},
+		{"7018 3", []uint32{1, 7018, 2}, false},
 
 		// Start anchor: learned directly from.
-		{"^65001", []uint16{65001, 2, 3}, true},
-		{"^65001", []uint16{2, 65001, 3}, false},
+		{"^65001", []uint32{65001, 2, 3}, true},
+		{"^65001", []uint32{2, 65001, 3}, false},
 
 		// End anchor: originated by.
-		{"13$", []uint16{1, 2, 13}, true},
-		{"13$", []uint16{13, 2, 1}, false},
+		{"13$", []uint32{1, 2, 13}, true},
+		{"13$", []uint32{13, 2, 1}, false},
 
 		// Full anchoring with wildcard sequence.
-		{"^65001 .* 13$", []uint16{65001, 13}, true},
-		{"^65001 .* 13$", []uint16{65001, 7, 8, 13}, true},
-		{"^65001 .* 13$", []uint16{65001, 7, 8}, false},
-		{"^65001 .* 13$", []uint16{9, 65001, 13}, false},
+		{"^65001 .* 13$", []uint32{65001, 13}, true},
+		{"^65001 .* 13$", []uint32{65001, 7, 8, 13}, true},
+		{"^65001 .* 13$", []uint32{65001, 7, 8}, false},
+		{"^65001 .* 13$", []uint32{9, 65001, 13}, false},
 
 		// Single-ASN wildcard: exact hop counts.
-		{"^. .$", []uint16{1, 2}, true},
-		{"^. .$", []uint16{1, 2, 3}, false},
-		{"^. .$", []uint16{1}, false},
+		{"^. .$", []uint32{1, 2}, true},
+		{"^. .$", []uint32{1, 2, 3}, false},
+		{"^. .$", []uint32{1}, false},
 
 		// Leading wildcard sequence.
-		{"^.* 99$", []uint16{99}, true},
-		{"^.* 99$", []uint16{1, 2, 99}, true},
+		{"^.* 99$", []uint32{99}, true},
+		{"^.* 99$", []uint32{1, 2, 99}, true},
 
 		// Empty path.
 		{"^.*$", nil, true},
@@ -59,8 +59,8 @@ func TestPatternBasics(t *testing.T) {
 func TestPatternSpansSegments(t *testing.T) {
 	// The pattern operates on the flattened path: sequence + set members.
 	p := wire.ASPath{Segments: []wire.ASSegment{
-		{Type: wire.SegASSequence, ASNs: []uint16{100, 200}},
-		{Type: wire.SegASSet, ASNs: []uint16{300, 400}},
+		{Type: wire.SegASSequence, ASNs: []uint32{100, 200}},
+		{Type: wire.SegASSet, ASNs: []uint32{300, 400}},
 	}}
 	if !MustCompileASPathPattern("200 300").Match(p) {
 		t.Error("pattern should span segment boundaries")
@@ -71,10 +71,14 @@ func TestPatternSpansSegments(t *testing.T) {
 }
 
 func TestPatternCompileErrors(t *testing.T) {
-	for _, bad := range []string{"", "  ", "abc", "70000000", "^ $ x"} {
+	for _, bad := range []string{"", "  ", "abc", "5000000000", "^ $ x"} {
 		if _, err := CompileASPathPattern(bad); err == nil {
 			t.Errorf("pattern %q compiled", bad)
 		}
+	}
+	// 4-byte ASNs are valid pattern atoms.
+	if !MustCompileASPathPattern("^70000").Match(path(70000, 1)) {
+		t.Error("4-byte ASN atom should compile and match")
 	}
 	// "^$" alone: matches only the empty path.
 	p, err := CompileASPathPattern("^ $")

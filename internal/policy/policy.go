@@ -86,10 +86,10 @@ func (l *PrefixList) Permits(p netaddr.Prefix) bool {
 // ASPathCond is a predicate over AS paths. The zero value matches
 // everything; set fields combine conjunctively.
 type ASPathCond struct {
-	Contains   []uint16 // path must traverse all of these ASNs
-	NotContain []uint16 // path must traverse none of these
-	OriginAS   uint16   // last AS must equal (0 = unset)
-	NeighborAS uint16   // first AS must equal (0 = unset)
+	Contains   []uint32 // path must traverse all of these ASNs
+	NotContain []uint32 // path must traverse none of these
+	OriginAS   uint32   // last AS must equal (0 = unset)
+	NeighborAS uint32   // first AS must equal (0 = unset)
 	MinLen     int      // path length lower bound (0 = unset)
 	MaxLen     int      // path length upper bound (0 = unset)
 	// Pattern, when set, must match the flattened path (see
@@ -172,7 +172,7 @@ type Set struct {
 	LocalPref      *uint32
 	MED            *uint32
 	NextHop        *netaddr.Addr
-	PrependAS      uint16 // prepend this ASN PrependCount times
+	PrependAS      uint32 // prepend this ASN PrependCount times
 	PrependCount   int
 	AddCommunity   []wire.Community
 	DelCommunity   []wire.Community

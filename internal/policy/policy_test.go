@@ -77,10 +77,10 @@ func TestASPathCond(t *testing.T) {
 		want bool
 	}{
 		{"zero matches all", ASPathCond{}, true},
-		{"contains", ASPathCond{Contains: []uint16{200}}, true},
-		{"contains missing", ASPathCond{Contains: []uint16{400}}, false},
-		{"not-contain hit", ASPathCond{NotContain: []uint16{200}}, false},
-		{"not-contain miss", ASPathCond{NotContain: []uint16{400}}, true},
+		{"contains", ASPathCond{Contains: []uint32{200}}, true},
+		{"contains missing", ASPathCond{Contains: []uint32{400}}, false},
+		{"not-contain hit", ASPathCond{NotContain: []uint32{200}}, false},
+		{"not-contain miss", ASPathCond{NotContain: []uint32{400}}, true},
 		{"origin", ASPathCond{OriginAS: 300}, true},
 		{"origin wrong", ASPathCond{OriginAS: 100}, false},
 		{"neighbor", ASPathCond{NeighborAS: 100}, true},
@@ -160,7 +160,7 @@ func TestRouteMapFirstTermWins(t *testing.T) {
 	lp := uint32(500)
 	m := &RouteMap{Name: "import", Terms: []Term{
 		{
-			Match:  Match{ASPath: &ASPathCond{Contains: []uint16{666}}},
+			Match:  Match{ASPath: &ASPathCond{Contains: []uint32{666}}},
 			Action: Deny,
 		},
 		{
@@ -256,8 +256,8 @@ func TestRouteMapApplyIdempotent(t *testing.T) {
 	}}
 	r := rand.New(rand.NewSource(5))
 	for i := 0; i < 200; i++ {
-		p := netaddr.PrefixFrom(netaddr.Addr(r.Uint32()), 8+r.Intn(25))
-		a := attrs(wire.NewASPath(uint16(r.Intn(65535) + 1)))
+		p := netaddr.PrefixFrom(netaddr.AddrFromV4(r.Uint32()), 8+r.Intn(25))
+		a := attrs(wire.NewASPath(uint32(r.Intn(65535) + 1)))
 		once, ok1 := m.Apply(p, a)
 		twice, ok2 := m.Apply(p, once)
 		if !ok1 || !ok2 || !once.Equal(twice) {

@@ -14,7 +14,7 @@ const DefaultLocalPref = 100
 type PeerInfo struct {
 	Addr netaddr.Addr // peer transport address
 	ID   netaddr.Addr // peer BGP identifier
-	AS   uint16       // peer autonomous system
+	AS   uint32       // peer autonomous system
 	EBGP bool         // external session
 }
 
@@ -79,9 +79,9 @@ func Better(a, b Candidate) bool {
 		return a.Peer.EBGP
 	}
 	if a.Peer.ID != b.Peer.ID {
-		return a.Peer.ID < b.Peer.ID
+		return a.Peer.ID.Less(b.Peer.ID)
 	}
-	return a.Peer.Addr < b.Peer.Addr
+	return a.Peer.Addr.Less(b.Peer.Addr)
 }
 
 // Best returns the index of the most preferred candidate, or -1 for an

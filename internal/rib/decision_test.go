@@ -8,7 +8,7 @@ import (
 	"bgpbench/internal/wire"
 )
 
-func peer(addr string, id string, as uint16, ebgp bool) PeerInfo {
+func peer(addr string, id string, as uint32, ebgp bool) PeerInfo {
 	return PeerInfo{
 		Addr: netaddr.MustParseAddr(addr),
 		ID:   netaddr.MustParseAddr(id),
@@ -21,7 +21,7 @@ func cand(p PeerInfo, attrs *wire.PathAttrs) Candidate {
 	return Candidate{Peer: p, Attrs: attrs}
 }
 
-func baseAttrs(asns ...uint16) *wire.PathAttrs {
+func baseAttrs(asns ...uint32) *wire.PathAttrs {
 	a := wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(asns...), netaddr.MustParseAddr("192.0.2.1"))
 	return &a
 }
@@ -111,9 +111,9 @@ func TestBetterIsStrictWeakOrder(t *testing.T) {
 	randCand := func(addrLow byte) Candidate {
 		attrs := baseAttrs()
 		n := 1 + r.Intn(5)
-		asns := make([]uint16, n)
+		asns := make([]uint32, n)
 		for i := range asns {
-			asns[i] = uint16(1 + r.Intn(8))
+			asns[i] = uint32(1 + r.Intn(8))
 		}
 		attrs.ASPath = wire.NewASPath(asns...)
 		if r.Intn(2) == 0 {
@@ -126,7 +126,7 @@ func TestBetterIsStrictWeakOrder(t *testing.T) {
 		return cand(peer(
 			"10.0.0."+string(rune('0'+addrLow)),
 			"9.9.9."+string(rune('0'+addrLow)),
-			uint16(100+int(addrLow)),
+			uint32(100+int(addrLow)),
 			r.Intn(2) == 0,
 		), attrs)
 	}

@@ -72,7 +72,7 @@ func (r *RIB) Peers() []PeerInfo {
 	for _, p := range r.peers {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
 	return out
 }
 

@@ -92,10 +92,10 @@ func TestTwoPeersBestSelection(t *testing.T) {
 func TestRemovePeer(t *testing.T) {
 	r := newRIB2()
 	for i := 0; i < 50; i++ {
-		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<16), 16)
-		r.Announce(peerA.Addr, p, baseAttrs(100, uint16(i+1)))
+		p := netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<16), 16)
+		r.Announce(peerA.Addr, p, baseAttrs(100, uint32(i+1)))
 		if i%2 == 0 {
-			r.Announce(peerB.Addr, p, baseAttrs(200, uint16(i+1))) // equal length; A wins on ID
+			r.Announce(peerB.Addr, p, baseAttrs(200, uint32(i+1))) // equal length; A wins on ID
 		}
 	}
 	changes := r.RemovePeer(peerA.Addr)
@@ -126,8 +126,8 @@ func TestWalkLocOrderedAndComplete(t *testing.T) {
 	r := newRIB2()
 	want := 200
 	for i := 0; i < want; i++ {
-		p := netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<12), 20)
-		r.Announce(peerA.Addr, p, baseAttrs(100, uint16(i%7+1)))
+		p := netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<12), 20)
+		r.Announce(peerA.Addr, p, baseAttrs(100, uint32(i%7+1)))
 	}
 	var prev netaddr.Prefix
 	count := 0
@@ -159,7 +159,7 @@ func TestLocRIBInvariant(t *testing.T) {
 	peers := []PeerInfo{peerA, peerB}
 	prefixes := make([]netaddr.Prefix, 40)
 	for i := range prefixes {
-		prefixes[i] = netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<20), 12)
+		prefixes[i] = netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<20), 12)
 	}
 	for op := 0; op < 5000; op++ {
 		p := prefixes[rng.Intn(len(prefixes))]
@@ -168,9 +168,9 @@ func TestLocRIBInvariant(t *testing.T) {
 			r.Withdraw(peer.Addr, p)
 		} else {
 			n := 1 + rng.Intn(4)
-			asns := make([]uint16, n)
+			asns := make([]uint32, n)
 			for i := range asns {
-				asns[i] = uint16(1 + rng.Intn(10))
+				asns[i] = uint32(1 + rng.Intn(10))
 			}
 			r.Announce(peer.Addr, p, baseAttrs(asns...))
 		}
@@ -229,7 +229,7 @@ func TestAdjOutDedup(t *testing.T) {
 func TestAdjOutWalkOrdered(t *testing.T) {
 	o := NewAdjOut()
 	for i := 20; i > 0; i-- {
-		o.Advertise(netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<24), 8), baseAttrs(uint16(i)))
+		o.Advertise(netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<24), 8), baseAttrs(uint32(i)))
 	}
 	var prev netaddr.Prefix
 	n := 0

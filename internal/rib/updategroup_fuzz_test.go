@@ -12,7 +12,7 @@ import (
 // parameters but different names must produce the same group key.
 func fuzzRouteMap(name, termName string, defPermit, deny bool,
 	lp, med uint32, useLP, useMED bool,
-	prependAS uint16, prependCount uint8,
+	prependAS uint32, prependCount uint8,
 	prefixOctet, ge, le uint8) *policy.RouteMap {
 	set := policy.Set{}
 	if useLP {
@@ -68,12 +68,12 @@ func fuzzRouteMap(name, termName string, defPermit, deny bool,
 //     never share a key, so a group never mixes peers whose streams
 //     could diverge.
 func FuzzGroupKey(f *testing.F) {
-	f.Add(false, false, uint32(100), uint32(50), true, true, uint16(65010), uint8(2), uint8(10), uint8(9), uint8(24), true)
-	f.Add(true, false, uint32(0), uint32(0), false, false, uint16(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
-	f.Add(true, true, uint32(7), uint32(9), true, false, uint16(65020), uint8(1), uint8(192), uint8(3), uint8(17), true)
+	f.Add(false, false, uint32(100), uint32(50), true, true, uint32(65010), uint8(2), uint8(10), uint8(9), uint8(24), true)
+	f.Add(true, false, uint32(0), uint32(0), false, false, uint32(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Add(true, true, uint32(7), uint32(9), true, false, uint32(65020), uint8(1), uint8(192), uint8(3), uint8(17), true)
 	f.Fuzz(func(t *testing.T, defPermit, deny bool,
 		lp, med uint32, useLP, useMED bool,
-		prependAS uint16, prependCount uint8,
+		prependAS uint32, prependCount uint8,
 		prefixOctet, ge, le uint8, ebgp bool) {
 
 		a := fuzzRouteMap("map-a", "term-a", defPermit, deny, lp, med, useLP, useMED, prependAS, prependCount, prefixOctet, ge, le)

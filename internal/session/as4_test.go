@@ -1,0 +1,196 @@
+package session
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/wire"
+)
+
+// startPairCaps is startPair with explicit capability sets per side, so
+// tests can model an old (2-octet-AS, pre-MP) speaker with an empty
+// non-nil slice. nil means the default capability set.
+func startPairCaps(t *testing.T, activeCaps, passiveCaps []wire.Capability) (active, passive *Session, ac, pc *collector, cleanup func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ac, pc = newCollector(), newCollector()
+	passive = New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65002, LocalID: netaddr.MustParseAddr("2.2.2.2"),
+			HoldTime: 90, Passive: true,
+			Capabilities: passiveCaps,
+		},
+		Handler: pc,
+		Name:    "passive",
+	})
+	passive.Start()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		passive.Attach(conn)
+		acceptErr <- nil
+	}()
+
+	active = New(Config{
+		FSM: fsm.Config{
+			LocalAS: 65001, LocalID: netaddr.MustParseAddr("1.1.1.1"),
+			HoldTime:     90,
+			Capabilities: activeCaps,
+		},
+		DialTarget: ln.Addr().String(),
+		Handler:    ac,
+		Name:       "active",
+	})
+	active.Start()
+
+	waitEstablished(t, ac, "active")
+	waitEstablished(t, pc, "passive")
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	cleanup = func() {
+		active.Stop()
+		passive.Stop()
+		ln.Close()
+	}
+	return active, passive, ac, pc, cleanup
+}
+
+// as4TestRoutes is the workload shared by the old-speaker tests: paths
+// with 4-byte ASNs (forcing AS_TRANS + AS4_PATH on a 2-octet session)
+// and one 2-octet-clean path.
+func as4TestRoutes() []wire.Update {
+	nh := netaddr.MustParseAddr("10.0.0.1")
+	return []wire.Update{
+		{
+			Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(70000, 65001, 100), nh),
+			NLRI:  []netaddr.Prefix{netaddr.MustParsePrefix("10.1.0.0/16")},
+		},
+		{
+			Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(4200000000, 70000), nh),
+			NLRI:  []netaddr.Prefix{netaddr.MustParsePrefix("10.2.0.0/16")},
+		},
+		{
+			Attrs: wire.NewPathAttrs(wire.OriginIGP, wire.NewASPath(65001, 100), nh),
+			NLRI:  []netaddr.Prefix{netaddr.MustParsePrefix("10.3.0.0/16")},
+		},
+	}
+}
+
+// collectUpdates receives n updates from the collector or fails.
+func collectUpdates(t *testing.T, c *collector, n int) []wire.Update {
+	t.Helper()
+	out := make([]wire.Update, 0, n)
+	deadline := time.After(10 * time.Second)
+	for len(out) < n {
+		select {
+		case u := <-c.updates:
+			out = append(out, u)
+		case <-deadline:
+			t.Fatalf("received %d/%d updates", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestOldSpeakerSessionNegotiatesTwoOctet checks that a peer advertising
+// no capabilities at all (an RFC 4271-era speaker) negotiates a 2-octet
+// IPv4-only session on both ends.
+func TestOldSpeakerSessionNegotiatesTwoOctet(t *testing.T) {
+	active, passive, _, _, cleanup := startPairCaps(t, nil, []wire.Capability{})
+	defer cleanup()
+
+	if active.FourOctetAS() || passive.FourOctetAS() {
+		t.Error("session negotiated 4-octet ASNs against a capability-less peer")
+	}
+	if afis := active.NegotiatedFamilies(); afis != [2]bool{true, false} {
+		t.Errorf("active negotiated families = %v, want IPv4 only", afis)
+	}
+}
+
+// TestAS4PathSurvivesOldSpeakerSession sends paths with 4-byte ASNs over
+// a session where the passive side is an old 2-octet speaker: the wire
+// carries AS_TRANS + AS4_PATH, and the receiver reconstructs the true
+// paths (RFC 6793 section 4.2.3).
+func TestAS4PathSurvivesOldSpeakerSession(t *testing.T) {
+	active, passive, _, pc, cleanup := startPairCaps(t, nil, []wire.Capability{})
+	defer cleanup()
+	if active.FourOctetAS() || passive.FourOctetAS() {
+		t.Fatal("expected a 2-octet session")
+	}
+
+	sent := as4TestRoutes()
+	for _, u := range sent {
+		if err := active.Send(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectUpdates(t, pc, len(sent))
+	byPrefix := map[netaddr.Prefix]wire.Update{}
+	for _, u := range got {
+		byPrefix[u.NLRI[0]] = u
+	}
+	for _, want := range sent {
+		u, ok := byPrefix[want.NLRI[0]]
+		if !ok {
+			t.Fatalf("prefix %v never arrived", want.NLRI[0])
+		}
+		if !u.Attrs.ASPath.Equal(want.Attrs.ASPath) {
+			t.Errorf("%v: path = %v, want %v (AS4_PATH merge lost the 4-byte ASNs)",
+				want.NLRI[0], u.Attrs.ASPath, want.Attrs.ASPath)
+		}
+	}
+}
+
+// TestAS4DigestMatchesAcrossSessionModes sends the same routes over a
+// 4-octet session and over a 2-octet (old speaker) session and compares
+// the canonical re-encoding of what each receiver saw. The AS_TRANS
+// substitution and AS4_PATH merge must be lossless: both receivers end
+// up with byte-identical attribute state.
+func TestAS4DigestMatchesAcrossSessionModes(t *testing.T) {
+	digest := func(caps []wire.Capability) map[netaddr.Prefix][]byte {
+		active, _, _, pc, cleanup := startPairCaps(t, nil, caps)
+		defer cleanup()
+		sent := as4TestRoutes()
+		for _, u := range sent {
+			if err := active.Send(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := map[netaddr.Prefix][]byte{}
+		for _, u := range collectUpdates(t, pc, len(sent)) {
+			out[u.NLRI[0]] = wire.MarshalAttrs(u.Attrs)
+		}
+		return out
+	}
+
+	wide := digest(nil)                   // default caps: 4-octet session
+	narrow := digest([]wire.Capability{}) // old speaker: 2-octet session
+	if len(wide) != len(narrow) {
+		t.Fatalf("route counts differ: %d vs %d", len(wide), len(narrow))
+	}
+	for p, w := range wide {
+		n, ok := narrow[p]
+		if !ok {
+			t.Errorf("prefix %v missing from the 2-octet session", p)
+			continue
+		}
+		if !bytes.Equal(w, n) {
+			t.Errorf("%v: canonical attrs diverge across session modes:\n  4-octet: %x\n  2-octet: %x", p, w, n)
+		}
+	}
+}

@@ -86,7 +86,7 @@ func startBatchPair(t *testing.T, maxUpdates int, maxDelay time.Duration) (activ
 }
 
 func testPrefix(i int) netaddr.Prefix {
-	return netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<10), 22)
+	return netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<10), 22)
 }
 
 // TestBatchedDelivery: a BatchHandler must receive every UPDATE exactly

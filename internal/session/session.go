@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bgpbench/internal/fsm"
+	"bgpbench/internal/netaddr"
 	"bgpbench/internal/wire"
 )
 
@@ -91,6 +92,18 @@ type Config struct {
 	Name string
 }
 
+// DefaultCapabilities is the capability set a session advertises when
+// Config.FSM.Capabilities is nil: multiprotocol IPv4 and IPv6 unicast
+// (RFC 4760) plus the 4-octet-AS capability carrying the local AS
+// (RFC 6793). Pass an explicit empty slice to advertise nothing.
+func DefaultCapabilities(localAS uint32) []wire.Capability {
+	return []wire.Capability{
+		wire.MultiprotocolIPv4Unicast(),
+		wire.MultiprotocolIPv6Unicast(),
+		wire.FourOctetASCapability(localAS),
+	}
+}
+
 // batchMaxPrefixes caps the prefixes accumulated across one batch (the
 // byte bound): a run of large UPDATEs flushes early so the decision
 // workers see bounded work items.
@@ -159,9 +172,15 @@ type Session struct {
 
 	stateMirror atomic.Int32 // fsm.State mirror maintained by the loop
 
+	// Local capability summary, computed once in New.
+	local4    bool
+	localAFIs map[uint16]bool
+
 	mu          sync.Mutex
 	established bool
 	lastErr     error
+	negAS4      bool    // both sides advertised the 4-octet-AS capability
+	negAFIs     [2]bool // families both sides advertised, by netaddr.Family
 }
 
 // New builds a session; call Start (or Attach for inbound connections) to
@@ -176,6 +195,9 @@ func New(cfg Config) *Session {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
+	if cfg.FSM.Capabilities == nil {
+		cfg.FSM.Capabilities = DefaultCapabilities(cfg.FSM.LocalAS)
+	}
 	s := &Session{
 		cfg:    cfg,
 		fsm:    fsm.New(cfg.FSM),
@@ -185,6 +207,12 @@ func New(cfg Config) *Session {
 	}
 	if cfg.BatchMaxUpdates > 0 {
 		s.bh, _ = cfg.Handler.(BatchHandler)
+	}
+	s.localAFIs = wire.MultiprotocolAFIs(cfg.FSM.Capabilities)
+	for _, c := range cfg.FSM.Capabilities {
+		if c.Code == wire.CapFourOctetAS {
+			s.local4 = true
+		}
 	}
 	return s
 }
@@ -281,6 +309,49 @@ func (s *Session) Name() string { return s.cfg.Name }
 // established. Intended for use inside Handler callbacks, which run on the
 // event-loop goroutine that owns the FSM.
 func (s *Session) PeerOpen() wire.Open { return s.fsm.PeerOpen() }
+
+// FourOctetAS reports whether both sides advertised the 4-octet-AS
+// capability, i.e. the session encodes AS_PATH with 4-octet ASNs
+// (RFC 6793). Valid once the peer's OPEN has been processed.
+func (s *Session) FourOctetAS() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.negAS4
+}
+
+// NegotiatedFamilies reports, per netaddr.Family, whether both sides
+// advertised the matching multiprotocol unicast capability. Valid once
+// the peer's OPEN has been processed.
+func (s *Session) NegotiatedFamilies() [2]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.negAFIs
+}
+
+// negotiate folds the peer's OPEN capabilities against ours: the
+// intersection decides the session's wire mode (4-octet AS_PATH) and
+// which address families may be exchanged. Runs on the event loop (which
+// owns the writer) before any UPDATE is written.
+func (s *Session) negotiate(o wire.Open) {
+	_, peer4 := o.FourOctetAS()
+	as4 := s.local4 && peer4
+	peerAFIs := wire.MultiprotocolAFIs(o.Caps())
+	var afis [2]bool
+	for afi := range s.localAFIs {
+		if !peerAFIs[afi] {
+			continue
+		}
+		if f, ok := netaddr.FamilyFromAFI(afi); ok {
+			afis[f] = true
+		}
+	}
+	if s.writer != nil {
+		s.writer.SetFourOctetAS(as4)
+	}
+	s.mu.Lock()
+	s.negAS4, s.negAFIs = as4, afis
+	s.mu.Unlock()
+}
 
 // loop is the event-loop goroutine: the only goroutine touching the FSM,
 // the writer, and the timers.
@@ -449,6 +520,9 @@ func (s *Session) handle(ev event) bool {
 		// reader goroutine is cancelled instead of leaked.
 		s.dropConn()
 	}
+	if ev.fsm.Type == fsm.EvMsgOpen && ev.fsm.Open != nil {
+		s.negotiate(*ev.fsm.Open)
+	}
 	acts := s.fsm.Handle(ev.fsm)
 	s.stateMirror.Store(int32(s.fsm.State()))
 	finished := false
@@ -611,6 +685,14 @@ func (s *Session) readLoop(conn net.Conn, cancel chan struct{}) {
 		switch {
 		case err == nil:
 			s.Stats.MsgsIn.Add(1)
+			if o, ok := m.(wire.Open); ok && s.local4 {
+				// The reader owns its parse mode: switch to 4-octet
+				// AS_PATH decoding the moment the peer's OPEN commits
+				// both sides to it, before any UPDATE bytes follow.
+				if _, peer4 := o.FourOctetAS(); peer4 {
+					r.SetFourOctetAS(true)
+				}
+			}
 			ev.fsm = messageEvent(m)
 		default:
 			var ne *wire.NotifyError

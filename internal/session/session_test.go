@@ -116,7 +116,7 @@ func TestUpdateExchange(t *testing.T) {
 	for i := 0; i < n; i++ {
 		u := wire.Update{
 			Attrs: attrs,
-			NLRI:  []netaddr.Prefix{netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<10), 22)},
+			NLRI:  []netaddr.Prefix{netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<10), 22)},
 		}
 		if err := active.Send(u); err != nil {
 			t.Fatal(err)

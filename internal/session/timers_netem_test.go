@@ -81,8 +81,9 @@ func TestHoldTimerExpiryUnderReadStall(t *testing.T) {
 	farm := startPassiveFarm(t, 3)
 	defer farm.stop()
 
-	// The handshake reads 48 bytes (peer OPEN 29 + KEEPALIVE 19); a stall
-	// window of [49, 67) lands inside the first post-handshake keepalive,
+	// The handshake reads 68 bytes (peer OPEN 49 — 29 base plus the
+	// MP-v4/MP-v6/4-octet-AS capability block — + KEEPALIVE 19); a stall
+	// window of [69, 87) lands inside the first post-handshake keepalive,
 	// delaying its delivery past the 3s hold deadline. Real clock: the
 	// stall must cost wall time for the hold timer to lose the race.
 	inj := netem.NewInjector(netem.Profile{
@@ -90,8 +91,8 @@ func TestHoldTimerExpiryUnderReadStall(t *testing.T) {
 		Seed:            7,
 		ReadStallEvents: 1,
 		ReadStallFor:    4 * time.Second,
-		MinOffset:       49,
-		Horizon:         67,
+		MinOffset:       69,
+		Horizon:         87,
 	}, netem.NewRealClock())
 
 	ac := newCollector()
@@ -136,7 +137,7 @@ func TestConnectRetryBackoffUnderResets(t *testing.T) {
 	farm := startPassiveFarm(t, 30)
 	defer farm.stop()
 
-	// OPEN is 29 bytes; a reset in [19, 29) fires inside that first write,
+	// OPEN is 49 bytes; a reset in [19, 29) fires inside that first write,
 	// so the failure is seen from OpenSent (retry path), never from
 	// OpenConfirm (terminal path).
 	inj := netem.NewInjector(netem.Profile{

@@ -22,11 +22,14 @@ import (
 
 // Config parameterizes a speaker.
 type Config struct {
-	AS       uint16
-	ID       netaddr.Addr
-	NextHop  netaddr.Addr // NEXT_HOP advertised with generated routes; defaults to ID
-	Target   string       // router under test, "host:port"
-	HoldTime uint16       // default 90
+	AS      uint32
+	ID      netaddr.Addr
+	NextHop netaddr.Addr // NEXT_HOP advertised with IPv4 routes; defaults to ID
+	// NextHop6 is the next hop advertised with IPv6 routes (it travels
+	// inside MP_REACH_NLRI); defaults to the IPv4-mapped form of NextHop.
+	NextHop6 netaddr.Addr
+	Target   string // router under test, "host:port"
+	HoldTime uint16 // default 90
 	Name     string
 	// Dial, when non-nil, replaces net.DialTimeout for connection
 	// attempts; the netem fault injector hooks in here.
@@ -69,8 +72,12 @@ func New(cfg Config) *Speaker {
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = 90
 	}
-	if cfg.NextHop == 0 {
+	if cfg.NextHop.IsZero() {
 		cfg.NextHop = cfg.ID
+	}
+	if cfg.NextHop6.IsZero() {
+		//lint:allow afifamily mapping a v4 next hop into ::ffff:0:0/96 is the point
+		cfg.NextHop6 = netaddr.AddrFrom128(0, uint64(0xffff)<<32|uint64(cfg.NextHop.V4()))
 	}
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("speaker-as%d", cfg.AS)
@@ -268,9 +275,26 @@ func (s *Speaker) sendAll(msgs []wire.Update) error {
 }
 
 // Announce sends the routes as announcements packed prefixesPerMsg per
-// UPDATE (1 = the paper's small packets, 500 = large packets).
+// UPDATE (1 = the paper's small packets, 500 = large packets). Mixed
+// tables are split by address family so each family travels with its own
+// next hop: NextHop for IPv4 NLRI, NextHop6 inside MP_REACH_NLRI.
 func (s *Speaker) Announce(routes []core.Route, prefixesPerMsg int) error {
-	return s.sendAll(core.Updates(routes, s.cfg.NextHop, prefixesPerMsg))
+	var v4, v6 []core.Route
+	for _, r := range routes {
+		if r.Prefix.Addr().Is6() {
+			v6 = append(v6, r)
+		} else {
+			v4 = append(v4, r)
+		}
+	}
+	var msgs []wire.Update
+	if len(v4) > 0 {
+		msgs = append(msgs, core.Updates(v4, s.cfg.NextHop, prefixesPerMsg)...)
+	}
+	if len(v6) > 0 {
+		msgs = append(msgs, core.Updates(v6, s.cfg.NextHop6, prefixesPerMsg)...)
+	}
+	return s.sendAll(msgs)
 }
 
 // Withdraw sends withdrawals for the routes, packed prefixesPerMsg per

@@ -18,7 +18,7 @@ import (
 
 // Summary is the JSON document served at /status.
 type Summary struct {
-	AS              uint16 `json:"as"`
+	AS              uint32 `json:"as"`
 	FIBEntries      int    `json:"fib_entries"`
 	FIBChanges      uint64 `json:"fib_changes"`
 	Transactions    uint64 `json:"transactions"`
@@ -42,17 +42,17 @@ type Summary struct {
 //	GET /status   JSON summary
 //	GET /fib      plain-text FIB dump (prefix, next hop, port)
 //	GET /metrics  Prometheus-style counters
-func Handler(r *core.Router, as uint16) http.Handler {
+func Handler(r *core.Router, as uint32) http.Handler {
 	return handler(r, as, nil)
 }
 
 // HandlerWithFaults is Handler plus netem fault-injection counters on
 // /metrics, for routers running under a chaos profile.
-func HandlerWithFaults(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
+func HandlerWithFaults(r *core.Router, as uint32, inj *netem.Injector) http.Handler {
 	return handler(r, as, inj)
 }
 
-func handler(r *core.Router, as uint16, inj *netem.Injector) http.Handler {
+func handler(r *core.Router, as uint32, inj *netem.Injector) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		s := Summary{

@@ -15,12 +15,12 @@ func TestASPathLength(t *testing.T) {
 		{"empty", ASPath{}, 0},
 		{"seq3", NewASPath(1, 2, 3), 3},
 		{"set counts one", ASPath{Segments: []ASSegment{
-			{Type: SegASSequence, ASNs: []uint16{1, 2}},
-			{Type: SegASSet, ASNs: []uint16{3, 4, 5}},
+			{Type: SegASSequence, ASNs: []uint32{1, 2}},
+			{Type: SegASSet, ASNs: []uint32{3, 4, 5}},
 		}}, 3},
 		{"two sets", ASPath{Segments: []ASSegment{
-			{Type: SegASSet, ASNs: []uint16{1, 2}},
-			{Type: SegASSet, ASNs: []uint16{3}},
+			{Type: SegASSet, ASNs: []uint32{1, 2}},
+			{Type: SegASSet, ASNs: []uint32{3}},
 		}}, 2},
 	}
 	for _, c := range cases {
@@ -32,10 +32,10 @@ func TestASPathLength(t *testing.T) {
 
 func TestASPathContains(t *testing.T) {
 	p := ASPath{Segments: []ASSegment{
-		{Type: SegASSequence, ASNs: []uint16{100, 200}},
-		{Type: SegASSet, ASNs: []uint16{300}},
+		{Type: SegASSequence, ASNs: []uint32{100, 200}},
+		{Type: SegASSet, ASNs: []uint32{300}},
 	}}
-	for _, asn := range []uint16{100, 200, 300} {
+	for _, asn := range []uint32{100, 200, 300} {
 		if !p.Contains(asn) {
 			t.Errorf("Contains(%d) = false, want true", asn)
 		}
@@ -78,7 +78,7 @@ func TestASPathPrepend(t *testing.T) {
 		t.Errorf("Prepend onto empty = %q", q.String())
 	}
 
-	set := ASPath{Segments: []ASSegment{{Type: SegASSet, ASNs: []uint16{7, 8}}}}
+	set := ASPath{Segments: []ASSegment{{Type: SegASSet, ASNs: []uint32{7, 8}}}}
 	q = set.Prepend(6)
 	if len(q.Segments) != 2 || q.Segments[0].Type != SegASSequence || q.Segments[0].ASNs[0] != 6 {
 		t.Errorf("Prepend onto set produced %v", q)
@@ -86,7 +86,7 @@ func TestASPathPrepend(t *testing.T) {
 }
 
 func TestASPathPrependIncrementsLength(t *testing.T) {
-	f := func(asns []uint16, next uint16) bool {
+	f := func(asns []uint32, next uint32) bool {
 		p := NewASPath(asns...)
 		return p.Prepend(next).Length() == p.Length()+1
 	}
@@ -103,7 +103,7 @@ func randomASPath(r *rand.Rand) ASPath {
 			seg.Type = SegASSet
 		}
 		for j, m := 0, 1+r.Intn(6); j < m; j++ {
-			seg.ASNs = append(seg.ASNs, uint16(r.Intn(65535)+1))
+			seg.ASNs = append(seg.ASNs, uint32(r.Intn(65535)+1))
 		}
 		p.Segments = append(p.Segments, seg)
 	}
@@ -114,16 +114,30 @@ func TestASPathWireRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	for i := 0; i < 500; i++ {
 		p := randomASPath(r)
-		buf := p.appendWire(nil)
-		if len(buf) != p.wireLen() {
-			t.Fatalf("wireLen %d != encoded %d for %v", p.wireLen(), len(buf), p)
+		// 2-octet encoding: every generated ASN fits in 16 bits.
+		buf := p.appendWire(nil, false)
+		if len(buf) != p.wireLen(false) {
+			t.Fatalf("wireLen %d != encoded %d for %v", p.wireLen(false), len(buf), p)
 		}
-		q, err := parseASPath(buf)
+		q, err := parseASPath(buf, 2)
 		if err != nil {
 			t.Fatalf("parseASPath(%v): %v", buf, err)
 		}
 		if !q.Equal(p) {
 			t.Fatalf("round trip: got %v, want %v", q, p)
+		}
+		// 4-octet encoding round-trips too, including ASNs above 65535.
+		wide := p.Prepend(uint32(70000 + i))
+		buf = wide.appendWire(nil, true)
+		if len(buf) != wide.wireLen(true) {
+			t.Fatalf("as4 wireLen %d != encoded %d for %v", wide.wireLen(true), len(buf), wide)
+		}
+		q, err = parseASPath(buf, 4)
+		if err != nil {
+			t.Fatalf("parseASPath as4 (%v): %v", buf, err)
+		}
+		if !q.Equal(wide) {
+			t.Fatalf("as4 round trip: got %v, want %v", q, wide)
 		}
 	}
 }
@@ -139,7 +153,7 @@ func TestParseASPathErrors(t *testing.T) {
 		{"truncated body", []byte{2, 3, 0, 1, 0, 2}},
 	}
 	for _, c := range cases {
-		if _, err := parseASPath(c.in); err == nil {
+		if _, err := parseASPath(c.in, 2); err == nil {
 			t.Errorf("%s: no error", c.name)
 		}
 	}
@@ -147,8 +161,8 @@ func TestParseASPathErrors(t *testing.T) {
 
 func TestASPathString(t *testing.T) {
 	p := ASPath{Segments: []ASSegment{
-		{Type: SegASSequence, ASNs: []uint16{65001, 65002}},
-		{Type: SegASSet, ASNs: []uint16{65003, 65004}},
+		{Type: SegASSequence, ASNs: []uint32{65001, 65002}},
+		{Type: SegASSet, ASNs: []uint32{65003, 65004}},
 	}}
 	want := "65001 65002 {65003,65004}"
 	if got := p.String(); got != want {

@@ -41,12 +41,46 @@ func (c Capability) String() string {
 // MultiprotocolIPv4Unicast is the conventional MP capability value for
 // AFI 1 (IPv4), SAFI 1 (unicast).
 func MultiprotocolIPv4Unicast() Capability {
-	return Capability{Code: CapMultiprotocol, Value: []byte{0, 1, 0, 1}}
+	return Capability{Code: CapMultiprotocol, Value: []byte{0, byte(AFIIPv4), 0, SAFIUnicast}}
+}
+
+// MultiprotocolIPv6Unicast is the RFC 4760 MP capability value for AFI 2
+// (IPv6), SAFI 1 (unicast).
+func MultiprotocolIPv6Unicast() Capability {
+	return Capability{Code: CapMultiprotocol, Value: []byte{0, byte(AFIIPv6), 0, SAFIUnicast}}
 }
 
 // RouteRefreshCapability is the empty-bodied route-refresh capability.
 func RouteRefreshCapability() Capability {
 	return Capability{Code: CapRouteRefresh}
+}
+
+// FourOctetASCapability advertises the speaker's true 4-octet AS number
+// (RFC 6793).
+func FourOctetASCapability(as uint32) Capability {
+	return Capability{Code: CapFourOctetAS, Value: []byte{byte(as >> 24), byte(as >> 16), byte(as >> 8), byte(as)}}
+}
+
+// MultiprotocolAFIs returns the set of unicast AFIs advertised by MP
+// capabilities in the list. A speaker that advertises no MP capability is
+// an IPv4-unicast-only speaker by RFC 4760 convention, so the result
+// includes AFI 1 in that case.
+func MultiprotocolAFIs(caps []Capability) map[uint16]bool {
+	out := map[uint16]bool{}
+	sawMP := false
+	for _, c := range caps {
+		if c.Code != CapMultiprotocol || len(c.Value) != 4 {
+			continue
+		}
+		sawMP = true
+		if c.Value[3] == SAFIUnicast {
+			out[uint16(c.Value[0])<<8|uint16(c.Value[1])] = true
+		}
+	}
+	if !sawMP {
+		out[AFIIPv4] = true
+	}
+	return out
 }
 
 // MarshalCapabilities encodes capabilities as the OPEN message's optional

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bgpbench/internal/netaddr"
+
 	"bytes"
 	"math/rand"
 	"testing"
@@ -36,7 +38,7 @@ func TestCapabilitiesThroughOpenMessage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := NewOpen(65001, 90, 0x01010101)
+	o := NewOpen(65001, 90, netaddr.AddrFromV4(0x01010101))
 	o.OptParams = blob
 	m, err := Parse(mustMarshal(t, o))
 	if err != nil {

@@ -59,8 +59,24 @@ const (
 	AttrLocalPref       AttrType = 5
 	AttrAtomicAggregate AttrType = 6
 	AttrAggregator      AttrType = 7
-	AttrCommunities     AttrType = 8 // RFC 1997
+	AttrCommunities     AttrType = 8  // RFC 1997
+	AttrMPReachNLRI     AttrType = 14 // RFC 4760
+	AttrMPUnreachNLRI   AttrType = 15 // RFC 4760
+	AttrAS4Path         AttrType = 17 // RFC 6793
+	AttrAS4Aggregator   AttrType = 18 // RFC 6793
 )
+
+// Address family identifiers and the unicast SAFI (RFC 4760).
+const (
+	AFIIPv4     uint16 = 1
+	AFIIPv6     uint16 = 2
+	SAFIUnicast uint8  = 1
+)
+
+// ASTrans is the reserved 2-octet AS number substituted for 4-octet ASNs
+// when talking to a speaker that has not negotiated the 4-octet-AS
+// capability (RFC 6793 section 9).
+const ASTrans uint32 = 23456
 
 // String names the attribute type.
 func (t AttrType) String() string {
@@ -81,6 +97,14 @@ func (t AttrType) String() string {
 		return "AGGREGATOR"
 	case AttrCommunities:
 		return "COMMUNITIES"
+	case AttrMPReachNLRI:
+		return "MP_REACH_NLRI"
+	case AttrMPUnreachNLRI:
+		return "MP_UNREACH_NLRI"
+	case AttrAS4Path:
+		return "AS4_PATH"
+	case AttrAS4Aggregator:
+		return "AS4_AGGREGATOR"
 	}
 	return fmt.Sprintf("AttrType(%d)", uint8(t))
 }

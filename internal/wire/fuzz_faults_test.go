@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bgpbench/internal/netaddr"
+
 	"bytes"
 	"errors"
 	"io"
@@ -25,7 +27,7 @@ func openWithCaps(t testing.TB) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := NewOpen(65001, 90, 0x0A000001)
+	o := NewOpen(65001, 90, netaddr.AddrFromV4(0x0A000001))
 	o.OptParams = opt
 	b, err := Marshal(o)
 	if err != nil {
@@ -171,7 +173,7 @@ func netemCorruptedStreams(t testing.TB) [][]byte {
 	}
 	for i := 0; i < 40; i++ {
 		u := Update{
-			Attrs: NewPathAttrs(OriginIGP, NewASPath(65001, 100, 101), 0x0A000001),
+			Attrs: NewPathAttrs(OriginIGP, NewASPath(65001, 100, 101), netaddr.AddrFromV4(0x0A000001)),
 			NLRI:  randomPrefixes(r, 12),
 		}
 		if err := w.WriteMessage(u); err != nil {

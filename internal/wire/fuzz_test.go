@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bgpbench/internal/netaddr"
+
 	"math/rand"
 	"testing"
 )
@@ -23,10 +25,10 @@ func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
 func TestParseNeverPanicsOnCorruptedValidMessages(t *testing.T) {
 	r := rand.New(rand.NewSource(1702))
 	seeds := [][]byte{}
-	o, _ := Marshal(NewOpen(65001, 90, 0x0A000001))
+	o, _ := Marshal(NewOpen(65001, 90, netaddr.AddrFromV4(0x0A000001)))
 	seeds = append(seeds, o)
 	u, _ := Marshal(Update{
-		Attrs: NewPathAttrs(OriginIGP, NewASPath(1, 2, 3), 0x0A000001),
+		Attrs: NewPathAttrs(OriginIGP, NewASPath(1, 2, 3), netaddr.AddrFromV4(0x0A000001)),
 		NLRI:  randomPrefixes(r, 8),
 	})
 	seeds = append(seeds, u)

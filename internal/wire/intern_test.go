@@ -7,7 +7,7 @@ import (
 	"bgpbench/internal/netaddr"
 )
 
-func internAttrs(asns ...uint16) PathAttrs {
+func internAttrs(asns ...uint32) PathAttrs {
 	return NewPathAttrs(OriginIGP, NewASPath(asns...), netaddr.MustParseAddr("192.0.2.1"))
 }
 
@@ -82,7 +82,7 @@ func TestInternConcurrent(t *testing.T) {
 			got[w] = make([]*PathAttrs, distinct)
 			for i := 0; i < 500; i++ {
 				k := (i + w) % distinct
-				got[w][k] = tbl.Intern(internAttrs(uint16(k+1), uint16(k+100)))
+				got[w][k] = tbl.Intern(internAttrs(uint32(k+1), uint32(k+100)))
 			}
 		}(w)
 	}

@@ -23,14 +23,26 @@ func Marshal(m Message) ([]byte, error) {
 // AppendMessage appends the complete wire encoding of m (marker, length,
 // type, body) to dst and returns the extended slice. Senders that encode
 // many messages reuse one buffer across calls instead of allocating per
-// message as Marshal does.
+// message as Marshal does. UPDATEs are encoded in canonical 2-octet-AS
+// mode; use AppendMessageMode for a session that negotiated 4-octet ASNs.
 func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	return AppendMessageMode(dst, m, false)
+}
+
+// AppendMessageMode is AppendMessage with the session's AS encoding mode:
+// when as4 is true, UPDATE AS_PATH/AGGREGATOR attributes are written with
+// 4-octet ASNs and no AS4_PATH shadow attribute (RFC 6793).
+func AppendMessageMode(dst []byte, m Message, as4 bool) ([]byte, error) {
 	start := len(dst)
 	for i := 0; i < 16; i++ {
 		dst = append(dst, 0xFF)
 	}
 	dst = append(dst, 0, 0, byte(m.Type()))
-	dst = m.AppendBody(dst)
+	if u, ok := m.(Update); ok {
+		dst = u.appendBodyMode(dst, as4)
+	} else {
+		dst = m.AppendBody(dst)
+	}
 	n := len(dst) - start
 	if n > MaxMsgLen {
 		return dst[:start], fmt.Errorf("wire: %s message length %d exceeds maximum %d", m.Type(), n, MaxMsgLen)
@@ -84,13 +96,19 @@ func ParseHeader(h []byte) (length int, typ MsgType, err error) {
 }
 
 // ParseBody decodes a message body of the given type. body excludes the
-// 19-byte header.
+// 19-byte header. UPDATEs are decoded in 2-octet-AS mode; use
+// ParseBodyMode for a session that negotiated 4-octet ASNs.
 func ParseBody(typ MsgType, body []byte) (Message, error) {
+	return ParseBodyMode(typ, body, false)
+}
+
+// ParseBodyMode is ParseBody with the session's AS encoding mode.
+func ParseBodyMode(typ MsgType, body []byte, as4 bool) (Message, error) {
 	switch typ {
 	case MsgOpen:
 		return parseOpen(body)
 	case MsgUpdate:
-		return parseUpdate(body)
+		return parseUpdate(body, as4)
 	case MsgNotification:
 		return parseNotification(body)
 	case MsgKeepalive:
@@ -116,10 +134,13 @@ func Parse(b []byte) (Message, error) {
 	return ParseBody(typ, b[HeaderLen:])
 }
 
-// Open is the BGP OPEN message (RFC 4271 section 4.2).
+// Open is the BGP OPEN message (RFC 4271 section 4.2). AS is the true
+// (4-octet) AS number; the 2-octet wire field carries AS_TRANS when it
+// does not fit (RFC 6793), and the real value travels in the 4-octet-AS
+// capability.
 type Open struct {
 	Version  uint8
-	AS       uint16
+	AS       uint32
 	HoldTime uint16 // seconds; 0 disables keepalives, otherwise must be >= 3
 	ID       netaddr.Addr
 	// OptParams carries raw optional parameters (e.g. capabilities,
@@ -128,7 +149,7 @@ type Open struct {
 }
 
 // NewOpen builds an OPEN with the protocol version filled in.
-func NewOpen(as uint16, holdTime uint16, id netaddr.Addr) Open {
+func NewOpen(as uint32, holdTime uint16, id netaddr.Addr) Open {
 	return Open{Version: Version, AS: as, HoldTime: holdTime, ID: id}
 }
 
@@ -137,10 +158,45 @@ func (Open) Type() MsgType { return MsgOpen }
 
 // AppendBody appends the OPEN body.
 func (o Open) AppendBody(dst []byte) []byte {
-	dst = append(dst, o.Version, byte(o.AS>>8), byte(o.AS), byte(o.HoldTime>>8), byte(o.HoldTime))
+	was := o.AS
+	if was > 0xFFFF {
+		was = ASTrans
+	}
+	dst = append(dst, o.Version, byte(was>>8), byte(was), byte(o.HoldTime>>8), byte(o.HoldTime))
 	dst = o.ID.AppendBytes(dst)
 	dst = append(dst, byte(len(o.OptParams)))
 	return append(dst, o.OptParams...)
+}
+
+// Caps parses the capabilities advertised in the optional parameters,
+// returning nil when the block is absent or malformed (OPEN validation
+// reports malformed blocks separately).
+func (o Open) Caps() []Capability {
+	caps, err := ParseCapabilities(o.OptParams)
+	if err != nil {
+		return nil
+	}
+	return caps
+}
+
+// FourOctetAS returns the AS number advertised in the 4-octet-AS
+// capability (RFC 6793) and whether the capability was present.
+func (o Open) FourOctetAS() (uint32, bool) {
+	for _, c := range o.Caps() {
+		if c.Code == CapFourOctetAS && len(c.Value) == 4 {
+			return be32(c.Value), true
+		}
+	}
+	return 0, false
+}
+
+// EffectiveAS returns the peer's true AS number: the 4-octet-AS
+// capability value when advertised, otherwise the 2-octet field.
+func (o Open) EffectiveAS() uint32 {
+	if as, ok := o.FourOctetAS(); ok {
+		return as
+	}
+	return o.AS
 }
 
 func parseOpen(b []byte) (Message, error) {
@@ -149,7 +205,7 @@ func parseOpen(b []byte) (Message, error) {
 	}
 	o := Open{
 		Version:  b[0],
-		AS:       uint16(b[1])<<8 | uint16(b[2]),
+		AS:       uint32(b[1])<<8 | uint32(b[2]),
 		HoldTime: uint16(b[3])<<8 | uint16(b[4]),
 		ID:       netaddr.AddrFromBytes(b[5:9]),
 	}
@@ -163,7 +219,7 @@ func parseOpen(b []byte) (Message, error) {
 	if o.HoldTime == 1 || o.HoldTime == 2 {
 		return nil, notifyErrf(ErrCodeOpen, ErrSubBadHoldTime, nil, "hold time %d (must be 0 or >= 3)", o.HoldTime)
 	}
-	if o.ID == 0 {
+	if o.ID.IsZero() {
 		return nil, notifyErrf(ErrCodeOpen, ErrSubBadBGPID, nil, "zero BGP identifier")
 	}
 	if optLen > 0 {
@@ -172,7 +228,10 @@ func parseOpen(b []byte) (Message, error) {
 	return o, nil
 }
 
-// Update is the BGP UPDATE message (RFC 4271 section 4.3).
+// Update is the BGP UPDATE message (RFC 4271 section 4.3). Withdrawn and
+// NLRI may mix address families: IPv4 prefixes use the classic top-level
+// fields on the wire, IPv6 prefixes are folded into MP_REACH_NLRI /
+// MP_UNREACH_NLRI attributes (RFC 4760) on encode and unfolded on parse.
 type Update struct {
 	Withdrawn []netaddr.Prefix
 	Attrs     PathAttrs
@@ -182,34 +241,64 @@ type Update struct {
 // Type returns MsgUpdate.
 func (Update) Type() MsgType { return MsgUpdate }
 
-// AppendBody appends the UPDATE body.
+// splitFamily partitions prefixes into IPv4 (classic encoding) and
+// non-IPv4 (MP attribute encoding). The common all-v4 case returns the
+// input slice unchanged with a nil remainder.
+func splitFamily(ps []netaddr.Prefix) (v4, mp []netaddr.Prefix) {
+	allV4 := true
+	for _, p := range ps {
+		if !p.Addr().Is4() {
+			allV4 = false
+			break
+		}
+	}
+	if allV4 {
+		return ps, nil
+	}
+	for _, p := range ps {
+		if p.Addr().Is4() {
+			v4 = append(v4, p)
+		} else {
+			mp = append(mp, p)
+		}
+	}
+	return v4, mp
+}
+
+// AppendBody appends the UPDATE body in canonical 2-octet-AS mode.
 func (u Update) AppendBody(dst []byte) []byte {
-	// Withdrawn routes.
+	return u.appendBodyMode(dst, false)
+}
+
+func (u Update) appendBodyMode(dst []byte, as4 bool) []byte {
+	v4NLRI, mpNLRI := splitFamily(u.NLRI)
+	v4Wdr, mpWdr := splitFamily(u.Withdrawn)
+	// Withdrawn routes (IPv4 only; IPv6 withdrawals ride MP_UNREACH_NLRI).
 	wStart := len(dst)
 	dst = append(dst, 0, 0)
-	for _, p := range u.Withdrawn {
+	for _, p := range v4Wdr {
 		dst = p.AppendWire(dst)
 	}
 	wLen := len(dst) - wStart - 2
 	dst[wStart] = byte(wLen >> 8)
 	dst[wStart+1] = byte(wLen)
-	// Path attributes: present only when the update announces something or
-	// explicitly carries attributes.
+	// Path attributes: present when the update announces something,
+	// explicitly carries attributes, or needs MP attributes.
 	aStart := len(dst)
 	dst = append(dst, 0, 0)
-	if len(u.NLRI) > 0 || !u.Attrs.Equal(PathAttrs{}) {
-		dst = u.Attrs.appendWire(dst)
+	if len(u.NLRI) > 0 || len(mpWdr) > 0 || !u.Attrs.Equal(PathAttrs{}) {
+		dst = u.Attrs.appendWireMode(dst, as4, mpNLRI, mpWdr)
 	}
 	aLen := len(dst) - aStart - 2
 	dst[aStart] = byte(aLen >> 8)
 	dst[aStart+1] = byte(aLen)
-	for _, p := range u.NLRI {
+	for _, p := range v4NLRI {
 		dst = p.AppendWire(dst)
 	}
 	return dst
 }
 
-func parseUpdate(b []byte) (Message, error) {
+func parseUpdate(b []byte, as4 bool) (Message, error) {
 	if len(b) < 4 {
 		return nil, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "short UPDATE body")
 	}
@@ -232,12 +321,14 @@ func parseUpdate(b []byte) (Message, error) {
 	if len(rest) < 2+aLen {
 		return nil, notifyErrf(ErrCodeUpdate, ErrSubMalformedAttrList, nil, "attribute length %d overruns body", aLen)
 	}
+	var mp mpAttrData
 	if aLen > 0 {
-		attrs, err := parseAttrs(rest[2 : 2+aLen])
+		attrs, mpd, err := parseAttrsMode(rest[2:2+aLen], as4)
 		if err != nil {
 			return nil, err
 		}
 		u.Attrs = attrs
+		mp = mpd
 	}
 	nb := rest[2+aLen:]
 	for len(nb) > 0 {
@@ -247,6 +338,14 @@ func parseUpdate(b []byte) (Message, error) {
 		}
 		u.NLRI = append(u.NLRI, p)
 		nb = nb[n:]
+	}
+	// Unfold the MP attribute payload: announced prefixes join NLRI, MP
+	// withdrawals join Withdrawn, and the MP next hop stands in when no
+	// classic NEXT_HOP was present.
+	u.NLRI = append(u.NLRI, mp.nlri...)
+	u.Withdrawn = append(u.Withdrawn, mp.withdrawn...)
+	if !u.Attrs.HasNextHop && mp.hasNextHop {
+		u.Attrs.NextHop, u.Attrs.HasNextHop = mp.nextHop, true
 	}
 	if len(u.NLRI) > 0 {
 		if err := u.Attrs.validateForAnnounce(); err != nil {
@@ -302,7 +401,12 @@ type RouteRefresh struct {
 
 // IPv4UnicastRefresh requests the conventional AFI 1 / SAFI 1 table.
 func IPv4UnicastRefresh() RouteRefresh {
-	return RouteRefresh{AFI: 1, SAFI: 1}
+	return RouteRefresh{AFI: AFIIPv4, SAFI: SAFIUnicast}
+}
+
+// IPv6UnicastRefresh requests the AFI 2 / SAFI 1 table (RFC 4760).
+func IPv6UnicastRefresh() RouteRefresh {
+	return RouteRefresh{AFI: AFIIPv6, SAFI: SAFIUnicast}
 }
 
 // Type returns MsgRouteRefresh.

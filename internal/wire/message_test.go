@@ -65,7 +65,7 @@ func TestOpenValidation(t *testing.T) {
 	}
 
 	bad = base
-	bad.ID = 0
+	bad.ID = netaddr.AddrFromV4(0)
 	if _, err := Parse(mustMarshal(t, bad)); !isNotify(err, ErrCodeOpen, ErrSubBadBGPID) {
 		t.Errorf("zero ID: err = %v, want OPEN/bad-id", err)
 	}
@@ -102,7 +102,7 @@ func TestNotificationRoundTrip(t *testing.T) {
 }
 
 func randomAttrs(r *rand.Rand) PathAttrs {
-	a := NewPathAttrs(Origin(r.Intn(3)), randomASPath(r), netaddr.Addr(r.Uint32()))
+	a := NewPathAttrs(Origin(r.Intn(3)), randomASPath(r), netaddr.AddrFromV4(r.Uint32()))
 	if r.Intn(2) == 0 {
 		a.MED, a.HasMED = r.Uint32(), true
 	}
@@ -113,7 +113,7 @@ func randomAttrs(r *rand.Rand) PathAttrs {
 		a.AtomicAggregate = true
 	}
 	if r.Intn(4) == 0 {
-		a.Aggregator = &Aggregator{AS: uint16(r.Intn(65536)), Addr: netaddr.Addr(r.Uint32())}
+		a.Aggregator = &Aggregator{AS: uint32(r.Intn(65536)), Addr: netaddr.AddrFromV4(r.Uint32())}
 	}
 	for i, n := 0, r.Intn(4); i < n; i++ {
 		a.Communities = append(a.Communities, CommunityFrom(uint16(r.Intn(65536)), uint16(r.Intn(65536))))
@@ -125,7 +125,7 @@ func randomPrefixes(r *rand.Rand, max int) []netaddr.Prefix {
 	n := r.Intn(max)
 	out := make([]netaddr.Prefix, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, netaddr.PrefixFrom(netaddr.Addr(r.Uint32()), 8+r.Intn(25)))
+		out = append(out, netaddr.PrefixFrom(netaddr.AddrFromV4(r.Uint32()), 8+r.Intn(25)))
 	}
 	return out
 }
@@ -240,7 +240,7 @@ func TestHeaderValidation(t *testing.T) {
 func TestMarshalTooLarge(t *testing.T) {
 	var u Update
 	for i := 0; i < 1200; i++ {
-		u.NLRI = append(u.NLRI, netaddr.PrefixFrom(netaddr.Addr(i<<8), 24))
+		u.NLRI = append(u.NLRI, netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<8), 24))
 	}
 	u.Attrs = NewPathAttrs(OriginIGP, NewASPath(1), netaddr.MustParseAddr("10.0.0.1"))
 	if _, err := Marshal(u); err == nil {
@@ -298,9 +298,9 @@ func TestUnknownOptionalTransitivePreserved(t *testing.T) {
 
 func TestExtendedLengthAttr(t *testing.T) {
 	// Build a path long enough to force the extended-length encoding.
-	asns := make([]uint16, 0, 200)
+	asns := make([]uint32, 0, 200)
 	for i := 0; i < 200; i++ {
-		asns = append(asns, uint16(i+1))
+		asns = append(asns, uint32(i+1))
 	}
 	// A single segment holds at most 255 ASNs; 200 fits, value len 402 > 255.
 	a := NewPathAttrs(OriginIGP, NewASPath(asns...), netaddr.MustParseAddr("10.0.0.1"))

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bgpbench/internal/netaddr"
+)
+
+// frameUpdate wraps raw UPDATE body parts (withdrawn block, attribute
+// block, NLRI block) in a valid message frame, so the seed corpus can
+// carry deliberately malformed bodies past the header checks.
+func frameUpdate(wdr, attrs, nlri []byte) []byte {
+	n := HeaderLen + 2 + len(wdr) + 2 + len(attrs) + len(nlri)
+	msg := make([]byte, 0, n)
+	for i := 0; i < 16; i++ {
+		msg = append(msg, 0xFF)
+	}
+	msg = append(msg, byte(n>>8), byte(n), byte(MsgUpdate))
+	msg = append(msg, byte(len(wdr)>>8), byte(len(wdr)))
+	msg = append(msg, wdr...)
+	msg = append(msg, byte(len(attrs)>>8), byte(len(attrs)))
+	msg = append(msg, attrs...)
+	return append(msg, nlri...)
+}
+
+// mpUpdateSeeds is the MP-BGP / 4-byte-AS seed corpus: well-formed
+// MP_REACH/MP_UNREACH and AS4_PATH messages plus the hostile encodings a
+// parser must reject without panicking — truncated MP NLRI, truncated MP
+// next hops, and unknown AFI/SAFI pairs.
+func mpUpdateSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	var seeds [][]byte
+	add := func(m Message) {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("seed marshal: %v", err)
+		}
+		seeds = append(seeds, b)
+	}
+
+	nh6 := netaddr.MustParseAddr("2001:db8::1")
+	v6a := netaddr.MustParsePrefix("2001:db8:1::/48")
+	v6b := netaddr.MustParsePrefix("2001:db8:2::/64")
+	v4a := netaddr.MustParsePrefix("10.1.0.0/16")
+
+	// Well-formed MP_REACH_NLRI: IPv6 NLRI + IPv6 next hop.
+	add(Update{
+		Attrs: NewPathAttrs(OriginIGP, NewASPath(65001, 100), nh6),
+		NLRI:  []netaddr.Prefix{v6a, v6b},
+	})
+	// Dual-stack announce: classic NLRI and MP NLRI in one UPDATE.
+	add(Update{
+		Attrs: NewPathAttrs(OriginIGP, NewASPath(65001, 100), nh6),
+		NLRI:  []netaddr.Prefix{v4a, v6a},
+	})
+	// MP_UNREACH_NLRI: IPv6 withdrawals only.
+	add(Update{Withdrawn: []netaddr.Prefix{v6a, v6b}})
+	// AS4_PATH: a 4-byte ASN forces AS_TRANS substitution plus the
+	// AS4_PATH shadow attribute in canonical 2-octet mode.
+	as4u := Update{
+		Attrs: NewPathAttrs(OriginIGP, NewASPath(70000, 65001, 100), netaddr.AddrFrom4(10, 0, 0, 1)),
+		NLRI:  []netaddr.Prefix{v4a},
+	}
+	add(as4u)
+	// The same message in negotiated 4-octet mode (no AS4_PATH, wide
+	// AS_PATH segments).
+	wide, err := AppendMessageMode(nil, as4u, true)
+	if err != nil {
+		t.Fatalf("as4 seed marshal: %v", err)
+	}
+	seeds = append(seeds, wide)
+
+	attr := func(typ AttrType, val []byte) []byte {
+		return append([]byte{FlagOptional, byte(typ), byte(len(val))}, val...)
+	}
+	// MP_REACH with an unknown AFI (99).
+	seeds = append(seeds, frameUpdate(nil, attr(AttrMPReachNLRI,
+		[]byte{0x00, 0x63, SAFIUnicast, 4, 10, 0, 0, 1, 0x00, 0x10, 0x0A, 0x01}), nil))
+	// MP_REACH with an unknown SAFI (77).
+	seeds = append(seeds, frameUpdate(nil, attr(AttrMPReachNLRI,
+		[]byte{0x00, 0x02, 0x4D, 4, 10, 0, 0, 1, 0x00, 0x10, 0x0A, 0x01}), nil))
+	// MP_REACH whose declared /64 NLRI is cut off after two bytes.
+	seeds = append(seeds, frameUpdate(nil, attr(AttrMPReachNLRI,
+		[]byte{0x00, 0x02, SAFIUnicast, 4, 10, 0, 0, 1, 0x00, 0x40, 0x20, 0x01}), nil))
+	// MP_REACH whose declared 16-byte next hop overruns the value.
+	seeds = append(seeds, frameUpdate(nil, attr(AttrMPReachNLRI,
+		[]byte{0x00, 0x02, SAFIUnicast, 16, 0x20, 0x01}), nil))
+	// MP_UNREACH whose declared /128 withdrawal has no address bytes.
+	seeds = append(seeds, frameUpdate(nil, attr(AttrMPUnreachNLRI,
+		[]byte{0x00, 0x02, SAFIUnicast, 0x80}), nil))
+	// MP_UNREACH truncated before the SAFI octet.
+	seeds = append(seeds, frameUpdate(nil, attr(AttrMPUnreachNLRI,
+		[]byte{0x00, 0x02}), nil))
+	// AS4_PATH whose segment header promises more ASNs than fit.
+	seeds = append(seeds, frameUpdate(nil, attr(AttrAS4Path,
+		[]byte{2, 3, 0x00, 0x01, 0x11, 0x70}), nil))
+	return seeds
+}
+
+// FuzzParseMPUpdate fuzzes the UPDATE parser in both ASN modes from the
+// MP-BGP seed corpus. Anything accepted must survive a same-mode
+// remarshal round trip; everything else must fail with an error, never a
+// panic.
+func FuzzParseMPUpdate(f *testing.F) {
+	for _, s := range mpUpdateSeeds(f) {
+		f.Add(s, false)
+		f.Add(s, true)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, as4 bool) {
+		if len(data) <= HeaderLen {
+			return
+		}
+		m, err := ParseBodyMode(MsgUpdate, data[HeaderLen:], as4)
+		if err != nil {
+			return
+		}
+		out, err := AppendMessageMode(nil, m, as4)
+		if err != nil {
+			t.Fatalf("accepted update failed to marshal (as4=%v): %v", as4, err)
+		}
+		m2, err := ParseBodyMode(MsgUpdate, out[HeaderLen:], as4)
+		if err != nil {
+			t.Fatalf("remarshal not parseable (as4=%v): %v", as4, err)
+		}
+		out2, err := AppendMessageMode(nil, m2, as4)
+		if err != nil {
+			t.Fatalf("second marshal failed (as4=%v): %v", as4, err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal not idempotent (as4=%v):\n  %x\n  %x", as4, out, out2)
+		}
+	})
+}
+
+// TestParseNeverPanicsOnCorruptedMPUpdates sweeps bit flips over the MP
+// seed corpus the way the other corruption tests do, biased toward the
+// attribute region so the MP_REACH/MP_UNREACH/AS4_PATH decoders see
+// hostile AFIs, lengths, and prefix bit counts.
+func TestParseNeverPanicsOnCorruptedMPUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(1705))
+	seeds := mpUpdateSeeds(t)
+	for i := 0; i < 30000; i++ {
+		seed := seeds[r.Intn(len(seeds))]
+		buf := append([]byte(nil), seed...)
+		for flips := 1 + r.Intn(4); flips > 0; flips-- {
+			pos := 16 + r.Intn(len(buf)-16)
+			if r.Intn(2) == 0 && len(buf) > HeaderLen+4 {
+				// Bias into the attribute block (past withdrawn length).
+				pos = HeaderLen + 4 + r.Intn(len(buf)-HeaderLen-4)
+			}
+			buf[pos] ^= byte(1 << r.Intn(8))
+		}
+		for _, as4 := range []bool{false, true} {
+			m, err := ParseBodyMode(MsgUpdate, buf[HeaderLen:], as4)
+			if err != nil {
+				continue
+			}
+			if _, err := AppendMessageMode(nil, m, as4); err != nil {
+				t.Fatalf("accepted corrupted update failed to marshal (as4=%v): %v", as4, err)
+			}
+		}
+	}
+}

@@ -11,12 +11,19 @@ type Reader struct {
 	br  *bufio.Reader
 	hdr [HeaderLen]byte
 	buf []byte
+	as4 bool
 }
 
 // NewReader wraps r for message-at-a-time decoding.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 2*MaxMsgLen)}
 }
+
+// SetFourOctetAS switches UPDATE decoding to 4-octet AS_PATH encoding
+// (RFC 6793), set once both sides advertise the 4-octet-AS capability.
+// Not safe for concurrent use with ReadMessage: the session's reader
+// goroutine flips it upon parsing the peer's OPEN.
+func (r *Reader) SetFourOctetAS(on bool) { r.as4 = on }
 
 // ReadMessage blocks for one complete BGP message and decodes it. Protocol
 // violations are returned as *NotifyError so the caller can answer with the
@@ -37,7 +44,7 @@ func (r *Reader) ReadMessage() (Message, error) {
 	if _, err := io.ReadFull(r.br, body); err != nil {
 		return nil, err
 	}
-	return ParseBody(typ, body)
+	return ParseBodyMode(typ, body, r.as4)
 }
 
 // Writer encodes BGP messages onto an io.Writer with internal buffering.
@@ -46,6 +53,7 @@ func (r *Reader) ReadMessage() (Message, error) {
 type Writer struct {
 	bw  *bufio.Writer
 	buf []byte // marshal scratch, reused across messages
+	as4 bool
 }
 
 // NewWriter wraps w for message-at-a-time encoding.
@@ -53,9 +61,14 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 2*MaxMsgLen)}
 }
 
+// SetFourOctetAS switches UPDATE encoding to 4-octet AS_PATH encoding
+// (RFC 6793), set once both sides advertise the 4-octet-AS capability.
+// Not safe for concurrent use with the write methods.
+func (w *Writer) SetFourOctetAS(on bool) { w.as4 = on }
+
 // encode marshals m into the writer's reusable scratch buffer.
 func (w *Writer) encode(m Message) ([]byte, error) {
-	b, err := AppendMessage(w.buf[:0], m)
+	b, err := AppendMessageMode(w.buf[:0], m, w.as4)
 	if err != nil {
 		return nil, err
 	}

@@ -100,8 +100,8 @@ func TestStreamOverTCP(t *testing.T) {
 		w := NewWriter(conn)
 		for i := 0; i < n; i++ {
 			u := Update{
-				Attrs: NewPathAttrs(OriginIGP, NewASPath(uint16(i+1)), netaddr.AddrFrom4(10, 0, 0, 1)),
-				NLRI:  []netaddr.Prefix{netaddr.PrefixFrom(netaddr.Addr(uint32(i)<<8), 24)},
+				Attrs: NewPathAttrs(OriginIGP, NewASPath(uint32(i+1)), netaddr.AddrFrom4(10, 0, 0, 1)),
+				NLRI:  []netaddr.Prefix{netaddr.PrefixFrom(netaddr.AddrFromV4(uint32(i)<<8), 24)},
 			}
 			if err := w.WriteMessageBuffered(u); err != nil {
 				done <- err
@@ -126,7 +126,7 @@ func TestStreamOverTCP(t *testing.T) {
 		if !ok {
 			t.Fatalf("message %d: got %T", i, m)
 		}
-		if first, _ := u.Attrs.ASPath.First(); first != uint16(i+1) {
+		if first, _ := u.Attrs.ASPath.First(); first != uint32(i+1) {
 			t.Fatalf("message %d: AS %d", i, first)
 		}
 	}

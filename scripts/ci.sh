@@ -17,19 +17,20 @@ go vet -copylocks -unusedresult ./...
 # Project-invariant static analyzers (see internal/analysis): findings
 # exit non-zero and fail the gate.
 go run ./cmd/bgplint ./...
-# Includes the fib lookup-under-churn test gating the lock-free
-# snapshot read path.
+# Includes the fib lookup-under-churn tests (IPv4 and IPv6) gating the
+# lock-free snapshot read path.
 go test -race ./internal/core/... ./internal/session/... ./internal/fib/...
 # Fault-injection conformance gate under the race detector: one
 # representative scenario (flap-reset, N=1 vs N=4 shards), replay
-# determinism, and the many-peer update-group equivalence gate.
+# determinism, the many-peer update-group equivalence gate, and the
+# dual-stack digest matrix (v4/v6/dual with IPv6 NLRI end-to-end).
 BGPBENCH_CONFORMANCE_GATE=1 go test -race \
-	-run 'TestConformanceGate|TestConformanceManyPeerGate|TestConformanceReplayDeterminism' ./internal/bench/
+	-run 'TestConformanceGate|TestConformanceManyPeerGate|TestConformanceReplayDeterminism|TestConformanceDualStackGate' ./internal/bench/
 # Hot-path microbenchmark smoke: one iteration so the dispatch/process
 # benchmarks can never bit-rot.
 go test -run='^$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate|BenchmarkEmitGrouped' \
 	-benchtime=1x ./internal/core/
 BGPBENCH_LOOKUP_N=50000 go test -run='^$' \
-	-bench 'BenchmarkLookup$|BenchmarkLookupChurn' \
+	-bench 'BenchmarkLookup$|BenchmarkLookupV6$|BenchmarkLookupChurn' \
 	-benchtime=1x ./internal/fib/
 go test ./...
