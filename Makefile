@@ -54,9 +54,13 @@ conformance:
 
 # Hot-path microbenchmark smoke: run the dispatch/process benchmarks for
 # one iteration so they compile and execute on every gate (real numbers
-# need -benchtime well above 1x).
+# need -benchtime well above 1x). The 100k-prefix group-rebuild variant
+# is the large-table smoke: one full chunked catch-up over a 100k
+# Loc-RIB through the marshal cache and slab arena.
 bench-smoke:
 	$(GO) test -run='^$$' -bench 'BenchmarkDispatchUpdate|BenchmarkProcessUpdate|BenchmarkEmitGrouped' \
+		-benchtime=1x ./internal/core/
+	$(GO) test -run='^$$' -bench 'BenchmarkGroupRebuild/prefixes=100000' \
 		-benchtime=1x ./internal/core/
 	BGPBENCH_LOOKUP_N=50000 $(GO) test -run='^$$' \
 		-bench 'BenchmarkLookup$$|BenchmarkLookupV6$$|BenchmarkLookupChurn' \

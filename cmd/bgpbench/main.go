@@ -11,7 +11,7 @@
 //	bgpbench fig6    [-n prefixes] [-cross mbps] [-csv dir]
 //	bgpbench scenario -num N [-system NAME] [-n prefixes] [-cross mbps]
 //	bgpbench live    [-n prefixes] [-num N] [-afi v4|v6|dual] [-fib engine] [-cpus N] [-crossworkers K] [-crosspps R] [-shards LIST] [-batch N] [-batchdelay D] [-pprof addr] [-json file] [-merge file]
-//	bgpbench fanout  [-n prefixes] [-afi v4|v6|dual] [-peers LIST] [-groups G] [-shards N] [-cpus N] [-json file] [-merge file]
+//	bgpbench fanout  [-n prefixes] [-afi v4|v6|dual] [-table uniform|dfz] [-peers LIST] [-groups G] [-shards N] [-grouped-only] [-cpus N] [-json file] [-merge file]
 //	bgpbench lookup  [-n prefixes] [-engines LIST] [-readers K] [-churn N] [-duration D] [-cpus N] [-json file]
 //	bgpbench livesweep [-n prefixes] [-num N] [-cpus N]
 //	bgpbench chaos   [-n prefixes] [-num N] [-profiles LIST] [-seed S] [-shards LIST] [-json file]
@@ -427,10 +427,14 @@ type fanoutRow struct {
 	TPS             float64        `json:"tps"`
 	NsPerPrefixPeer float64        `json:"ns_per_prefix_peer"`
 	DurationSeconds float64        `json:"duration_seconds"`
+	TableMode       string         `json:"table_mode,omitempty"`
 	GroupCount      int            `json:"update_group_count,omitempty"`
 	FanoutRatio     float64        `json:"update_group_fanout_ratio,omitempty"`
 	BytesBuilt      uint64         `json:"update_group_bytes_built,omitempty"`
 	BytesSaved      uint64         `json:"update_group_bytes_saved,omitempty"`
+	BytesMarshaled  uint64         `json:"update_group_bytes_marshaled,omitempty"`
+	CacheHits       uint64         `json:"update_group_marshal_cache_hits,omitempty"`
+	CacheMisses     uint64         `json:"update_group_marshal_cache_misses,omitempty"`
 	Mem             bench.MemInfo  `json:"mem"`
 	Host            bench.HostInfo `json:"host"`
 }
@@ -439,6 +443,8 @@ func cmdFanout(args []string) error {
 	fs := flag.NewFlagSet("fanout", flag.ExitOnError)
 	n := fs.Int("n", 5000, "routing table size in prefixes")
 	afi := fs.String("afi", "", "address family of the generated table: v4 (default), v6, or dual")
+	tableMode := fs.String("table", "", "table composition: uniform (default, one shared AS path) or dfz (Zipf attribute sharing)")
+	groupedOnly := fs.Bool("grouped-only", false, "run only the update-groups-on cells (full-DFZ ungrouped runs need per-peer RIB memory)")
 	peers := fs.String("peers", "25,50,100", "comma-separated receiver peer counts to sweep")
 	groups := fs.Int("groups", 4, "export-policy groups the receivers split across")
 	shards := fs.Int("shards", 0, "decision-worker shard count (0 = GOMAXPROCS)")
@@ -460,22 +466,26 @@ func cmdFanout(args []string) error {
 
 	fmt.Printf("Fanout benchmark: table %d, %d policy groups, peers %v, update groups off vs on\n\n",
 		*n, *groups, peerList)
-	fmt.Printf("%6s %7s %7s %12s %16s %10s %8s %12s %12s\n",
-		"peers", "grouped", "shards", "tps", "ns/prefix/peer", "duration", "fanout", "bytes saved", "rss")
+	fmt.Printf("%6s %7s %7s %12s %16s %10s %8s %12s %12s %12s\n",
+		"peers", "grouped", "shards", "tps", "ns/prefix/peer", "duration", "fanout", "bytes saved", "marshaled", "rss")
+	modes := []bool{false, true}
+	if *groupedOnly {
+		modes = []bool{true}
+	}
 	var rows []fanoutRow
 	for _, p := range peerList {
-		for _, ug := range []bool{false, true} {
+		for _, ug := range modes {
 			res, err := bench.RunFanout(bench.FanoutConfig{
-				Peers: p, Groups: *groups, TableSize: *n, AFI: *afi,
+				Peers: p, Groups: *groups, TableSize: *n, AFI: *afi, TableMode: *tableMode,
 				Seed: *seed, Shards: *shards, UpdateGroups: ug,
 			})
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%6d %7v %7d %12.0f %16.1f %9.3fs %8.1f %12s %12s\n",
+			fmt.Printf("%6d %7v %7d %12.0f %16.1f %9.3fs %8.1f %12s %12s %12s\n",
 				res.Peers, res.UpdateGroups, res.Shards, res.TPS, res.NsPerPrefixPeer,
 				res.Duration.Seconds(), res.FanoutRatio,
-				fmtBytes(res.BytesSaved), fmtBytes(res.Mem.RSSBytes))
+				fmtBytes(res.BytesSaved), fmtBytes(res.BytesMarshaled), fmtBytes(res.Mem.RSSBytes))
 			rows = append(rows, fanoutRow{
 				Workload:        "fanout",
 				AFI:             res.AFI,
@@ -487,10 +497,14 @@ func cmdFanout(args []string) error {
 				TPS:             res.TPS,
 				NsPerPrefixPeer: res.NsPerPrefixPeer,
 				DurationSeconds: res.Duration.Seconds(),
+				TableMode:       res.TableMode,
 				GroupCount:      res.GroupCount,
 				FanoutRatio:     res.FanoutRatio,
 				BytesBuilt:      res.BytesBuilt,
 				BytesSaved:      res.BytesSaved,
+				BytesMarshaled:  res.BytesMarshaled,
+				CacheHits:       res.CacheHits,
+				CacheMisses:     res.CacheMisses,
 				Mem:             res.Mem,
 				Host:            bench.Host(),
 			})

@@ -115,3 +115,37 @@ func GoodSharedGetter() []byte {
 	//lint:allow pooledbuf fixture: audited ownership transfer, the payload free callback Puts
 	return b.data[:0]
 }
+
+// slab models the marshal-cache payload arena: a pooled carve buffer
+// whose Put hides behind a reference count decremented by payload free
+// callbacks, not behind any call the analyzer can pair with the Get.
+type slab struct {
+	data []byte
+	refs int
+}
+
+var slabPool = sync.Pool{New: func() any { return new(slab) }}
+
+type arena struct {
+	open *slab
+}
+
+// BadSlabRotate parks a pooled slab in the arena with no audit notes:
+// the analyzer sees a struct-field escape and no Put on any path.
+func BadSlabRotate(a *arena) {
+	s := slabPool.Get().(*slab) // want pooledbuf "no Put on any path"
+	s.refs = 1
+	a.open = s // want pooledbuf "pooled value stored in struct field"
+}
+
+// GoodSlabRotate is the audited refcounted-slab-getter shape (the
+// grouped emission path's payload arena): the open slab parks in the
+// owning cache, every payload carved from it holds a counted reference,
+// and the last release returns the slab to the pool.
+func GoodSlabRotate(a *arena) {
+	//lint:allow pooledbuf fixture: ownership transfers to the arena; carved payloads hold counted references and the last release Puts
+	s := slabPool.Get().(*slab)
+	s.refs = 1
+	//lint:allow pooledbuf fixture: audited refcount handoff, the release path Puts when the carved payloads drain
+	a.open = s
+}

@@ -17,6 +17,14 @@ const (
 	AFIDual = "dual"
 )
 
+// Table-composition selectors (the -table flag of cmd/bgpbench). The
+// empty string means TableUniform: the historical one-shared-AS-path
+// table, whose byte streams and digests are unchanged.
+const (
+	TableUniform = "uniform"
+	TableDFZ     = "dfz"
+)
+
 // familyTable builds the workload table for the requested address-family
 // selector. "" and AFIv4 reproduce the historical IPv4 table
 // byte-for-byte; AFIv6 draws the same number of prefixes from the IPv6
@@ -24,10 +32,37 @@ const (
 // and an IPv6 half (generated from an offset seed so the halves are
 // independent), announced over the same sessions.
 func familyTable(afi string, n int, seed int64) ([]core.Route, error) {
+	return familyTableMode(afi, TableUniform, n, seed)
+}
+
+// familyTableMode is familyTable with a table-composition mode: "" and
+// TableUniform give every route one shared AS path (the paper's
+// large-packet regime, one attribute block for the whole table);
+// TableDFZ draws paths from a Zipf-weighted pool of ~n/50 distinct
+// paths (floor 16), approximating the DFZ's attribute-sharing skew so
+// big-table runs exercise realistic interning and marshal-cache hit
+// rates instead of the uniform best case.
+func familyTableMode(afi, mode string, n int, seed int64) ([]core.Route, error) {
+	attrGroups := 0
+	switch mode {
+	case "", TableUniform:
+	case TableDFZ:
+		attrGroups = n / 50
+		if attrGroups < 16 {
+			attrGroups = 16
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown table mode %q (want uniform or dfz)", mode)
+	}
 	gen := func(n int, seed int64, fam netaddr.Family) []core.Route {
-		return core.UniformPath(core.GenerateTable(core.TableGenConfig{
+		t := core.GenerateTable(core.TableGenConfig{
 			N: n, Seed: seed, FirstAS: liveSpeaker1AS, Family: fam,
-		}), basePathFor())
+			AttrGroups: attrGroups,
+		})
+		if attrGroups == 0 {
+			t = core.UniformPath(t, basePathFor())
+		}
+		return t
 	}
 	switch afi {
 	case "", AFIv4:

@@ -6,6 +6,7 @@ import (
 
 	"bgpbench/internal/core"
 	"bgpbench/internal/netaddr"
+	"bgpbench/internal/policy"
 	"bgpbench/internal/speaker"
 )
 
@@ -29,11 +30,17 @@ type FanoutConfig struct {
 	Shards int
 	// UpdateGroups selects the grouped emission path.
 	UpdateGroups bool
-	// Timeout bounds the whole run (default 120s).
+	// Timeout bounds the whole run. Zero scales the deadline with the
+	// table size (see scaledTimeout) so full-DFZ runs don't inherit the
+	// flat small-table default.
 	Timeout time.Duration
 	// AFI selects the workload's address-family mix: "" or "v4" (the
 	// historical IPv4 workload), "v6", or "dual". See familyTable.
 	AFI string
+	// TableMode selects the table composition: "" or "uniform" (one
+	// shared AS path), or "dfz" (Zipf-weighted attribute sharing). See
+	// familyTableMode.
+	TableMode string
 }
 
 func (c *FanoutConfig) defaults() {
@@ -47,7 +54,12 @@ func (c *FanoutConfig) defaults() {
 		c.TableSize = 5000
 	}
 	if c.Timeout == 0 {
-		c.Timeout = 120 * time.Second
+		// The table-scaled base covers the grouped path, but the ungrouped
+		// baseline delivers prefixes × peers transactions; budget ~5µs per
+		// prefix-peer on top so full-DFZ baseline cells (1M × 100 peers is
+		// ~400s on one core) don't spuriously time out.
+		c.Timeout = scaledTimeout(c.TableSize) +
+			time.Duration(c.TableSize)*time.Duration(c.Peers)*5*time.Microsecond
 	}
 }
 
@@ -69,23 +81,68 @@ type FanoutResult struct {
 	// delivery cost — the number that must scale sublinearly in Peers
 	// when grouping works.
 	NsPerPrefixPeer float64
+	// TableMode echoes the table composition ("" = uniform).
+	TableMode string
 	// GroupCount, FanoutRatio, BytesBuilt, and BytesSaved echo the
 	// router's update-group counters (zero when UpdateGroups is off).
 	GroupCount  int
 	FanoutRatio float64
 	BytesBuilt  uint64
 	BytesSaved  uint64
+	// BytesMarshaled is the bytes the shared marshal cache actually
+	// encoded; BytesBuilt / BytesMarshaled is the cross-group marshal
+	// amplification the cache removed. CacheHits / CacheMisses count
+	// cache probes.
+	BytesMarshaled uint64
+	CacheHits      uint64
+	CacheMisses    uint64
 	// Mem snapshots the whole process (router + in-process speakers)
 	// after the run settles.
 	Mem MemInfo
 }
 
+// fanoutPolicy builds the export policy for fanout group g: set a
+// group-specific MED (1000+g) on a common /6 sliver of the v4 space,
+// permit everything else unchanged. Groups thus stay distinct update
+// groups (policy.CanonicalKey covers the MED), while exporting
+// byte-identical attribute blocks for the three quarters of the table
+// outside the sliver. Because every group matches the same sliver, the
+// emission runs break at the same prefixes in every group, so those
+// shared runs are byte-for-byte identical — the regime where the
+// router's cross-group marshal cache collapses groups × prefixes
+// marshal work into one marshal per distinct run. (Per-group disjoint
+// slivers would desynchronize run boundaries and defeat the cache even
+// where the attribute bytes agree.) Compare receiverPolicy
+// (conformance), which deliberately differentiates every route so
+// grouped and ungrouped streams can be digest-compared per group.
+func fanoutPolicy(g int) *policy.RouteMap {
+	med := uint32(1000 + g)
+	base := netaddr.AddrFrom4(64, 0, 0, 0)
+	return &policy.RouteMap{
+		Name: fmt.Sprintf("fanout-group-%d", g),
+		Terms: []policy.Term{{
+			Name: "sliver-med",
+			Match: policy.Match{PrefixList: &policy.PrefixList{
+				Name: fmt.Sprintf("fanout-sliver-%d", g),
+				Rules: []policy.PrefixRule{{
+					Prefix: netaddr.PrefixFrom(base, 6),
+					GE:     6, // any more-specific within the /6
+					Action: policy.Permit,
+				}},
+			}},
+			Set:    policy.Set{MED: &med},
+			Action: policy.Permit,
+		}},
+		DefaultPermit: true,
+	}
+}
+
 // RunFanout executes one many-peer emission run over loopback TCP.
 func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	cfg.defaults()
-	out := FanoutResult{Peers: cfg.Peers, Groups: cfg.Groups, UpdateGroups: cfg.UpdateGroups, AFI: cfg.AFI}
+	out := FanoutResult{Peers: cfg.Peers, Groups: cfg.Groups, UpdateGroups: cfg.UpdateGroups, AFI: cfg.AFI, TableMode: cfg.TableMode}
 
-	table, err := familyTable(cfg.AFI, cfg.TableSize, cfg.Seed)
+	table, err := familyTableMode(cfg.AFI, cfg.TableMode, cfg.TableSize, cfg.Seed)
 	if err != nil {
 		return out, err
 	}
@@ -94,7 +151,7 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 	for i := 0; i < cfg.Peers; i++ {
 		neighbors = append(neighbors, core.NeighborConfig{
 			AS:     receiverAS(i),
-			Export: receiverPolicy(receiverGroup(i, cfg.Groups)),
+			Export: fanoutPolicy(receiverGroup(i, cfg.Groups)),
 		})
 	}
 	router, err := core.NewRouter(core.Config{
@@ -165,6 +222,9 @@ func RunFanout(cfg FanoutConfig) (FanoutResult, error) {
 		out.FanoutRatio = gs.FanoutRatio()
 		out.BytesBuilt = gs.BytesBuilt
 		out.BytesSaved = gs.BytesSaved
+		out.BytesMarshaled = gs.BytesMarshaled
+		out.CacheHits = gs.CacheHits
+		out.CacheMisses = gs.CacheMisses
 	}
 	out.Mem = Mem()
 	return out, nil

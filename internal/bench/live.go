@@ -42,7 +42,9 @@ type LiveConfig struct {
 	// dispatch knobs (0 = router defaults, negative = disable/idle-flush).
 	BatchMaxUpdates int
 	BatchMaxDelay   time.Duration
-	// Timeout bounds each phase (default 120s).
+	// Timeout bounds each phase. Zero scales the deadline with the table
+	// size (see scaledTimeout) so full-DFZ runs don't inherit the flat
+	// small-table default.
 	Timeout time.Duration
 	// FaultProfile, when non-empty and not "clean", wraps both speakers'
 	// transports in the named netem fault profile (real clock, so
@@ -62,11 +64,25 @@ func (c *LiveConfig) defaults() {
 		c.TableSize = 10000
 	}
 	if c.Timeout == 0 {
-		c.Timeout = 120 * time.Second
+		c.Timeout = scaledTimeout(c.TableSize)
 	}
 	if c.FIBEngine == "" {
 		c.FIBEngine = "patricia"
 	}
+}
+
+// scaledTimeout derives a phase deadline from the table size: the
+// historical 120s floor, plus 250µs of budget per prefix beyond the
+// first 100k. Flat defaults were tuned for 5-20k-prefix tables and made
+// full-DFZ runs (1M prefixes through 100 sessions) fail on the clock
+// rather than on correctness; scaling keeps small-table runs identical
+// while giving a 1M-prefix run a ~345s ceiling.
+func scaledTimeout(n int) time.Duration {
+	base := 120 * time.Second
+	if n > 100_000 {
+		base += time.Duration(n-100_000) * 250 * time.Microsecond
+	}
+	return base
 }
 
 // LiveResult reports one live scenario execution.

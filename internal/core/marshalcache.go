@@ -1,0 +1,286 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bgpbench/internal/netaddr"
+	"bgpbench/internal/session"
+	"bgpbench/internal/wire"
+)
+
+// This file implements the cross-group shared marshal cache and its slab
+// allocator. Grouped emission packs route changes into runs (one framed
+// UPDATE each); the bytes of a run depend only on (interned attribute
+// pointer, prefix sequence, wire mode) — nothing group- or peer-specific
+// survives into the message. Different update groups therefore produce
+// byte-identical runs whenever their export policies leave a route's
+// attributes unchanged (the common case in DFZ-like workloads, and always
+// the case for withdrawal runs, which carry no attributes at all). The
+// cache marshals each distinct run once globally and hands every later
+// consumer — another group in the same work batch, or another member's
+// chunked catch-up replay — additional references to the same payload, so
+// marshal bytes scale with distinct runs instead of groups × prefixes.
+//
+// Payload bytes are carved out of per-shard slab arenas rather than
+// per-run pooled buffers: a slab is one large pooled block holding many
+// consecutive runs, refcounted by the payloads carved from it plus one
+// "open" reference while the shard still appends. When the last payload
+// drains, the slab as a whole returns to the pool — one pool round-trip
+// per ~32 runs instead of one per run.
+//
+// Ownership: everything except payload release is owned by the shard
+// worker (no locks); payload Release and thus slab refcounting run on
+// sender goroutines (atomic).
+
+const (
+	// slabSize is the arena block size. Each run is at most one BGP
+	// message (wire.MaxMsgLen), so a slab holds ~32 runs.
+	slabSize = 128 << 10
+
+	// marshalCacheMaxEntries and marshalCacheMaxPrefixes bound one
+	// shard's cache: entry count, and total prefixes held for exact-match
+	// verification. Crossing either bound clears the whole cache (the
+	// reuse pattern is bursty — groups of one work batch, members of one
+	// join wave — so evict-all is both cheap and fair).
+	marshalCacheMaxEntries  = 8192
+	marshalCacheMaxPrefixes = 1 << 18
+)
+
+// payloadSlab is one arena block. buf[:used] holds carved payloads; refs
+// counts carved payloads plus one open reference held while the shard
+// worker still appends.
+type payloadSlab struct {
+	r    *Router
+	buf  []byte
+	used int
+	refs atomic.Int32
+}
+
+// free drops one carved-payload reference; wired as the SharedPayload
+// free callback, so it runs (on a sender goroutine) after the last member
+// session wrote the run. The last reference returns the slab to the pool.
+func (s *payloadSlab) free(_ []byte) { s.releaseRef() }
+
+func (s *payloadSlab) releaseRef() {
+	n := s.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("core: payload slab over-released")
+	}
+	s.r.slabPool.Put(s)
+}
+
+// getSlab returns an open slab with recycled capacity and the arena's
+// open reference already held.
+func (r *Router) getSlab() *payloadSlab {
+	//lint:allow pooledbuf audited ownership transfer: the slab rides inside the shard's marshal cache and returns to the pool when its payload refcount drains (releaseRef)
+	s := r.slabPool.Get().(*payloadSlab)
+	s.r = r
+	s.used = 0
+	s.refs.Store(1)
+	//lint:allow pooledbuf audited ownership transfer: callers park the slab in marshalCache.slab; every carved payload holds a counted reference
+	return s
+}
+
+// runKey identifies one packed emission run: the interned attribute
+// pointer (nil for a withdrawal run), the wire mode, and a hash + length
+// of the prefix sequence. Interned attribute blocks are immutable and
+// never recycled, so pointer identity is stable for the cache's lifetime;
+// the prefix hash is verified against a stored copy on every hit, so a
+// hash collision degrades to a miss, never to wrong bytes.
+type runKey struct {
+	attrs *wire.PathAttrs
+	as4   bool
+	h     uint64
+	n     int
+}
+
+// runEntry is one cached run: the exact prefix sequence (hit
+// verification) and the shared payload, on which the cache holds one
+// reference.
+type runEntry struct {
+	pfx []netaddr.Prefix
+	p   *session.SharedPayload
+}
+
+// marshalCache is one shard's run cache plus its open slab. Owned by the
+// shard worker.
+type marshalCache struct {
+	m        map[runKey]*runEntry
+	prefixes int
+	slab     *payloadSlab
+}
+
+// runHash is FNV-1a over the prefix sequence.
+func runHash(pfx []netaddr.Prefix) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, p := range pfx {
+		a := p.Addr()
+		mix(a.Hi())
+		mix(a.Lo())
+		mix(uint64(p.Len())<<8 | uint64(p.Family()))
+	}
+	return h
+}
+
+func prefixesEqual(a, b []netaddr.Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// payloadFor returns one framed UPDATE for the packed run (attrs == nil
+// means a withdrawal run) carrying `recipients` transferable references.
+// A hit bumps the refcount of bytes marshaled earlier — for another
+// group, or for another member's replay chunk; a miss marshals once into
+// the shard's slab. A non-nil error means the run exceeds the wire
+// message bound; the caller falls back to per-member emission, failing
+// exactly as the ungrouped path would.
+func (c *marshalCache) payloadFor(r *Router, as4 bool, attrs *wire.PathAttrs, pfx []netaddr.Prefix, recipients int) (*session.SharedPayload, error) {
+	key := runKey{attrs: attrs, as4: as4, h: runHash(pfx), n: len(pfx)}
+	if c.m == nil {
+		c.m = make(map[runKey]*runEntry)
+	}
+	if e, ok := c.m[key]; ok && prefixesEqual(e.pfx, pfx) {
+		e.p.AddRefs(recipients)
+		r.groupCacheHits.Add(1)
+		return e.p, nil
+	}
+
+	var u wire.Update
+	if attrs == nil {
+		u.Withdrawn = pfx
+	} else {
+		u.Attrs = *attrs
+		u.NLRI = pfx
+	}
+	s := c.slab
+	if s == nil || len(s.buf)-s.used < wire.MaxMsgLen {
+		c.rotate(r)
+		s = c.slab
+	}
+	dst := s.buf[s.used:s.used:len(s.buf)]
+	b, err := wire.AppendMessageMode(dst, u, as4)
+	if err != nil {
+		return nil, err
+	}
+	r.groupCacheMisses.Add(1)
+	r.groupBytesMarshaled.Add(uint64(len(b)))
+	if len(b) > len(s.buf)-s.used {
+		// The marshal outgrew the slab tail and reallocated (cannot
+		// happen while messages respect wire.MaxMsgLen; defensive): the
+		// bytes live in their own heap block, so no slab reference.
+		p := session.NewSharedPayload(b, 1, 1, recipients+1, nil)
+		c.insert(key, pfx, p)
+		return p, nil
+	}
+	s.used += len(b)
+	s.refs.Add(1)
+	//lint:allow pooledbuf audited ownership transfer: the payload's refcount returns the slab to the pool via payloadSlab.free after the last member session writes it
+	p := session.NewSharedPayload(b, 1, 1, recipients+1, s.free)
+	c.insert(key, pfx, p)
+	return p, nil
+}
+
+// insert stores a run under the cache's own reference (included in the
+// payload's initial refcount by payloadFor), clearing everything first
+// when a bound is hit.
+func (c *marshalCache) insert(key runKey, pfx []netaddr.Prefix, p *session.SharedPayload) {
+	if len(c.m) >= marshalCacheMaxEntries || c.prefixes+len(pfx) > marshalCacheMaxPrefixes {
+		c.clear()
+	}
+	if old, ok := c.m[key]; ok {
+		// Same key, different run (hash collision): replace the entry.
+		c.prefixes -= len(old.pfx)
+		old.p.Release()
+	}
+	c.m[key] = &runEntry{pfx: append([]netaddr.Prefix(nil), pfx...), p: p}
+	c.prefixes += len(pfx)
+}
+
+// clear releases every cached reference. Payloads still referenced by
+// in-flight sends survive until their recipients release them.
+func (c *marshalCache) clear() {
+	for k, e := range c.m {
+		e.p.Release()
+		delete(c.m, k)
+	}
+	c.prefixes = 0
+}
+
+// rotate closes the current slab (dropping the arena's open reference)
+// and opens a fresh one.
+func (c *marshalCache) rotate(r *Router) {
+	if c.slab != nil {
+		c.slab.releaseRef()
+	}
+	//lint:allow pooledbuf audited ownership transfer: the open slab is parked in the cache; its refcount returns it to the pool when the carved payloads drain
+	c.slab = r.getSlab()
+}
+
+// rebuildBuckets are the upper bounds (seconds) of the rebuild-latency
+// histogram, chosen to straddle the chunked walk times of 10k..1M-prefix
+// tables.
+var rebuildBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10}
+
+// rebuildHist is a fixed-bucket histogram of group rebuild / catch-up
+// replay wall times, written lock-free by the shard workers.
+type rebuildHist struct {
+	counts   [len(rebuildBuckets) + 1]atomic.Uint64
+	sumNanos atomic.Uint64
+	total    atomic.Uint64
+}
+
+func (h *rebuildHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(rebuildBuckets) && sec > rebuildBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(uint64(d.Nanoseconds()))
+	h.total.Add(1)
+}
+
+// RebuildHist is a snapshot of the rebuild-latency histogram in
+// Prometheus terms: Counts[i] observations at most Bounds[i] seconds,
+// with Counts[len(Bounds)] the overflow bucket.
+type RebuildHist struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+func (h *rebuildHist) snapshot() RebuildHist {
+	out := RebuildHist{
+		Bounds: rebuildBuckets[:],
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    float64(h.sumNanos.Load()) / 1e9,
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}

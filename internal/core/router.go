@@ -195,15 +195,21 @@ type Router struct {
 	dispatchUpdates atomic.Uint64 // UPDATE messages those batches carried
 	fibChanges      atomic.Uint64
 
-	// payloadPool recycles the marshal buffers that ride inside shared
-	// fan-out payloads (see getPayloadBuf/putPayloadBuf).
-	payloadPool sync.Pool
+	// slabPool recycles the arena blocks the shared marshal cache carves
+	// fan-out payloads from (see marshalcache.go).
+	slabPool sync.Pool
 	// Update-group counters (see GroupStats).
-	groupRuns       atomic.Uint64
-	groupSends      atomic.Uint64
-	groupBytesBuilt atomic.Uint64
-	groupBytesSaved atomic.Uint64
-	groupSuppressed atomic.Uint64
+	groupRuns           atomic.Uint64
+	groupSends          atomic.Uint64
+	groupBytesBuilt     atomic.Uint64
+	groupBytesSaved     atomic.Uint64
+	groupSuppressed     atomic.Uint64
+	groupBytesMarshaled atomic.Uint64
+	groupCacheHits      atomic.Uint64
+	groupCacheMisses    atomic.Uint64
+	groupRebuilds       atomic.Uint64
+	groupRebuildChunks  atomic.Uint64
+	rebuildHist         rebuildHist
 }
 
 // shard is one decision worker: a work queue, worker-owned scratch
@@ -220,6 +226,15 @@ type shard struct {
 	single       []wire.Update // one-element batch for unbatched updates
 	peerScratch  []*peerState
 	groupScratch []*updateGroup
+
+	// mcache is the shard's cross-group marshal cache (marshalcache.go);
+	// catchups the queue of in-progress chunked group rebuilds and member
+	// replays, advanced whenever the work queue idles and forcibly every
+	// catchupForceEvery items (busy counts toward the next forced chunk).
+	// All worker-owned.
+	mcache   marshalCache
+	catchups []*groupCatchup
+	busy     int
 
 	_            [64]byte // keep the hot counters on their own line
 	transactions atomic.Uint64
@@ -247,6 +262,7 @@ type workItem struct {
 	update wire.Update
 	batch  *dispatchBatch // with workUpdateBatch; returned to the pool by the worker
 	group  *updateGroup   // with workGroupFlush
+	peer   *peerState     // with workPeerDown: the exact registration to tear down
 	reply  chan int
 	dump   chan []LocRoute
 	adj    chan []AdjRoute
@@ -358,7 +374,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		groups:    make(map[string]*updateGroup),
 	}
 	r.batchPool.New = func() any { return new(dispatchBatch) }
-	r.payloadPool.New = func() any { return new(payloadBuf) }
+	r.slabPool.New = func() any { return &payloadSlab{buf: make([]byte, slabSize)} }
 	for i := range r.shards {
 		r.shards[i] = &shard{work: make(chan workItem, 8192)}
 	}
@@ -827,9 +843,31 @@ func (h *routerHandler) Refresh(s *session.Session, _ wire.RouteRefresh) {
 	h.r.fanOut(workRefresh, s.PeerOpen().ID)
 }
 
-// Down unregisters the peer and withdraws its routes.
+// Down unregisters the peer and withdraws its routes. The teardown is
+// bound to this session's exact peerState, resolved here before the work
+// items are enqueued: a peer that bounces fast can re-establish while the
+// old session's down event is still in flight, and resolving by BGP ID at
+// processing time would tear down the replacement's registration instead
+// (dropping its group membership and corrupting its shard-down counter).
 func (h *routerHandler) Down(s *session.Session, _ error) {
-	h.r.fanOut(workPeerDown, s.PeerOpen().ID)
+	id := s.PeerOpen().ID
+	r := h.r
+	r.mu.Lock()
+	ps := r.peers[id]
+	r.mu.Unlock()
+	if ps == nil || ps.sess != s {
+		// A newer session already owns (or tore down) this slot; that
+		// registration replaced ours wholesale, so there is nothing left
+		// to unwind for this session. Routes the old session announced
+		// stay keyed by the shared peer address and are overwritten as the
+		// replacement session re-announces.
+		return
+	}
+	for i := range r.shards {
+		if !r.send(i, workItem{kind: workPeerDown, peerID: id, peer: ps}) {
+			return
+		}
+	}
 }
 
 // sender drains a peer's unbounded out-queue into its session, isolating
@@ -866,61 +904,91 @@ func (r *Router) sender(ps *peerState) {
 
 // shardWorker is decision worker i: it owns Loc-RIB shard i and partition
 // i of every peer's Adj-RIB-Out (the analogue of one xorp_bgp + xorp_rib
-// pipeline, replicated per core).
+// pipeline, replicated per core). Chunked group catch-ups run at idle
+// priority: whenever the queue is empty the worker advances the oldest
+// catch-up by one bounded chunk, and under sustained load one chunk is
+// forced every catchupForceEvery items so catch-ups cannot starve. The
+// worker is the sole consumer of its own queue, so catch-up work must
+// never be re-enqueued as work items — that could deadlock on a full
+// queue.
 func (r *Router) shardWorker(i int) {
 	defer r.wg.Done()
 	s := r.shards[i]
 	for {
+		if len(s.catchups) > 0 {
+			select {
+			case <-r.done:
+				return
+			case w := <-s.work:
+				r.handleWork(i, s, w)
+				if s.busy++; s.busy >= catchupForceEvery {
+					s.busy = 0
+					r.runCatchupChunk(i, s)
+				}
+			default:
+				r.runCatchupChunk(i, s)
+			}
+			continue
+		}
+		s.busy = 0
 		select {
 		case <-r.done:
 			return
 		case w := <-s.work:
-			switch w.kind {
-			case workUpdate:
-				s.single = append(s.single[:0], w.update)
-				r.processUpdateBatch(i, w.peerID, s.single)
-			case workUpdateBatch:
-				r.processUpdateBatch(i, w.peerID, w.batch.updates)
-				r.putBatch(w.batch)
-			case workPeerUp:
-				r.processPeerUp(i, w.peerID)
-			case workPeerDown:
-				r.processPeerDown(i, w.peerID)
-			case workRefresh:
-				r.processRefresh(i, w.peerID)
-			case workGroupFlush:
-				r.processGroupFlush(i, w.group)
-			case workRIBLen:
-				w.reply <- r.rib.Shard(i).Len()
-			case workDump:
-				var routes []LocRoute
-				r.rib.Shard(i).WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
-					routes = append(routes, LocRoute{Prefix: p, Peer: c.Peer.Addr, Attrs: c.Attrs})
-					return true
-				})
-				w.dump <- routes
-			case workAdjOut:
-				var routes []AdjRoute
-				if ps := r.peerByID(w.peerID); ps != nil {
-					collect := func(p netaddr.Prefix, attrs *wire.PathAttrs) bool {
-						routes = append(routes, AdjRoute{Prefix: p, Attrs: attrs})
-						return true
-					}
-					if ps.group != nil {
-						// Grouped peer: its logical Adj-RIB-Out is the group
-						// table minus its own originations. The table can be
-						// nil for an instant between peer registration and
-						// this shard's workPeerUp; that reads as empty.
-						if gsh := &ps.group.shards[i]; gsh.adjOut != nil {
-							gsh.adjOut.WalkMember(ps.info.Addr, collect)
-						}
-					} else {
-						ps.adjOut[i].Walk(collect)
-					}
+			r.handleWork(i, s, w)
+		}
+	}
+}
+
+// handleWork dispatches one work item on shard i's worker.
+func (r *Router) handleWork(i int, s *shard, w workItem) {
+	switch w.kind {
+	case workUpdate:
+		s.single = append(s.single[:0], w.update)
+		r.processUpdateBatch(i, w.peerID, s.single)
+	case workUpdateBatch:
+		r.processUpdateBatch(i, w.peerID, w.batch.updates)
+		r.putBatch(w.batch)
+	case workPeerUp:
+		r.processPeerUp(i, w.peerID)
+	case workPeerDown:
+		r.processPeerDown(i, w.peer)
+	case workRefresh:
+		r.processRefresh(i, w.peerID)
+	case workGroupFlush:
+		r.processGroupFlush(i, w.group)
+	case workRIBLen:
+		w.reply <- r.rib.Shard(i).Len()
+	case workDump:
+		var routes []LocRoute
+		r.rib.Shard(i).WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
+			routes = append(routes, LocRoute{Prefix: p, Peer: c.Peer.Addr, Attrs: c.Attrs})
+			return true
+		})
+		w.dump <- routes
+	case workAdjOut:
+		var routes []AdjRoute
+		if ps := r.peerByID(w.peerID); ps != nil {
+			collect := func(p netaddr.Prefix, attrs *wire.PathAttrs) bool {
+				routes = append(routes, AdjRoute{Prefix: p, Attrs: attrs})
+				return true
+			}
+			if ps.group != nil {
+				// Grouped peer: its logical Adj-RIB-Out is the group
+				// table minus its own originations. A dump is a barrier,
+				// so any catch-up still filling the table (or replaying
+				// it to a member) completes first. The table can be nil
+				// for an instant between peer registration and this
+				// shard's workPeerUp; that reads as empty.
+				r.drainGroupCatchups(i, s, ps.group)
+				if gsh := &ps.group.shards[i]; gsh.adjOut != nil {
+					gsh.adjOut.WalkMember(ps.info.Addr, collect)
 				}
-				w.adj <- routes
+			} else {
+				ps.adjOut[i].Walk(collect)
 			}
 		}
+		w.adj <- routes
 	}
 }
 
@@ -1008,9 +1076,10 @@ func (r *Router) processRefresh(si int, id netaddr.Addr) {
 		return
 	}
 	if ps.group != nil {
-		// Grouped peer: the shared table is authoritative; just replay
-		// the member's view of it. Other members are untouched.
-		r.replayGroupView(si, ps)
+		// Grouped peer: the shared table is authoritative; schedule a
+		// chunked replay of the member's view of it. Other members are
+		// untouched.
+		r.scheduleMemberReplay(si, ps)
 		return
 	}
 	// Reset the advertised view (and any MRAI-pending changes owned by
@@ -1025,9 +1094,11 @@ func (r *Router) processRefresh(si int, id netaddr.Addr) {
 }
 
 // processPeerDown withdraws everything the peer contributed to shard si;
-// the last shard to finish performs the final peer cleanup.
-func (r *Router) processPeerDown(si int, id netaddr.Addr) {
-	ps := r.peerByID(id)
+// the last shard to finish performs the final peer cleanup. ps is the
+// exact registration the downed session owned (resolved by the session
+// handler, not re-looked-up by ID here), so a slot a replacement session
+// has since taken over is never torn down by its predecessor's event.
+func (r *Router) processPeerDown(si int, ps *peerState) {
 	if ps == nil {
 		return
 	}
@@ -1039,6 +1110,13 @@ func (r *Router) processPeerDown(si int, id netaddr.Addr) {
 		if sh.members[ps.info.Addr] == ps {
 			delete(sh.members, ps.info.Addr)
 		}
+		// Drop catch-ups that can no longer deliver anything: the
+		// member's own replay, and — once the shard has no members — any
+		// rebuild of the group's table (a future first member resets the
+		// table and schedules a fresh one).
+		r.shards[si].catchups = dropCatchups(r.shards[si].catchups, func(c *groupCatchup) bool {
+			return c.member == ps || (c.g == g && len(sh.members) == 0)
+		})
 	}
 	s := r.shards[si]
 	r.snapshotEmitTargets(s)
@@ -1058,8 +1136,8 @@ func (r *Router) processPeerDown(si int, id netaddr.Addr) {
 	if ps.downLeft.Add(-1) == 0 {
 		r.mu.Lock()
 		// Guard against a re-established session having replaced the entry.
-		if r.peers[id] == ps {
-			delete(r.peers, id)
+		if r.peers[ps.info.Addr] == ps {
+			delete(r.peers, ps.info.Addr)
 		}
 		r.mu.Unlock()
 		ps.out.close()

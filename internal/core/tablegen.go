@@ -6,6 +6,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 
 	"bgpbench/internal/netaddr"
 	"bgpbench/internal/wire"
@@ -48,6 +49,17 @@ type TableGenConfig struct {
 	// byte-for-byte; FamilyV6 draws prefixes from 2000::/3 with a
 	// /48-dominated length mix.
 	Family netaddr.Family
+	// AttrGroups, when > 1, draws every route's AS path from a pool of
+	// this many distinct paths with a Zipf-distributed sharing profile
+	// (s = 1.2): a few heavy transit paths cover much of the table and a
+	// long tail of paths covers the rest, approximating the DFZ's
+	// attribute-sharing skew — the realistic middle ground between
+	// UniformPath (one attribute block) and the default one-fresh-path-
+	// per-route worst case. Routes sharing a path are kept consecutive so
+	// Updates still packs them into shared-attribute messages. Values
+	// below 2 keep the historical per-route paths, so pinned digests are
+	// unaffected.
+	AttrGroups int
 }
 
 // prefixLengthWeightsV6 approximates the IPv6 global-table length mix:
@@ -121,6 +133,28 @@ func GenerateTable(cfg TableGenConfig) []Route {
 		}
 		seen[p] = true
 		out = append(out, Route{Prefix: p, Path: genPath(rng, cfg)})
+	}
+	if cfg.AttrGroups > 1 {
+		// DFZ-style attribute sharing: re-draw every path from a Zipf-
+		// weighted pool. This is a post-pass over the fully generated
+		// table so the prefix stream above stays byte-identical to the
+		// historical generator for any AttrGroups value. The sampled pool
+		// indices are sorted before assignment, which keeps routes
+		// sharing a path consecutive (Updates packs consecutive same-path
+		// routes into one message) without touching the prefix order.
+		pool := make([]wire.ASPath, cfg.AttrGroups)
+		for i := range pool {
+			pool[i] = genPath(rng, cfg)
+		}
+		z := rand.NewZipf(rng, 1.2, 1, uint64(cfg.AttrGroups-1))
+		idx := make([]uint64, len(out))
+		for i := range idx {
+			idx[i] = z.Uint64()
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+		for i := range out {
+			out[i].Path = pool[idx[i]]
+		}
 	}
 	return out
 }

@@ -8,7 +8,6 @@ import (
 	"bgpbench/internal/netaddr"
 	"bgpbench/internal/policy"
 	"bgpbench/internal/rib"
-	"bgpbench/internal/session"
 	"bgpbench/internal/wire"
 )
 
@@ -16,18 +15,31 @@ import (
 // provably identical (same eBGP-vs-iBGP handling, behavior-equal export
 // route map — see rib.GroupKeyFor) share one Adj-RIB-Out and one
 // emission pipeline. Each route change is exported once per group
-// instead of once per peer, each emission run is marshaled once into a
-// pooled buffer, and the framed bytes are fanned out to every member
-// session as a reference-counted session.SharedPayload. This turns
-// emission from O(peers × prefixes) into O(groups × prefixes) + a
-// per-peer byte copy at the transport, which is what makes hundreds of
-// peering sessions plausible.
+// instead of once per peer, each emission run is marshaled once through
+// the shard's cross-group marshal cache (marshalcache.go), and the
+// framed bytes are fanned out to every member session as a
+// reference-counted session.SharedPayload. This turns emission from
+// O(peers × prefixes) into O(distinct runs) + a per-peer byte copy at
+// the transport, which is what makes hundreds of peering sessions over
+// DFZ-sized tables plausible.
 //
 // Concurrency model: all per-shard group state (groupShard) is owned by
 // that shard's worker goroutine, exactly like per-peer Adj-RIB-Out
 // partitions. Even the per-group MRAI flush runs on the shard workers —
 // the flusher goroutine only enqueues workGroupFlush items — so the
-// group tables need no locks.
+// group tables need no locks. Whole-table work (group rebuilds, member
+// catch-up replays) runs in bounded chunks on the same workers
+// (groupCatchup) instead of stop-the-world walks.
+
+const (
+	// catchupChunk bounds how many snapshot keys one catch-up chunk
+	// processes, keeping the shard's worst-case pause independent of
+	// table size.
+	catchupChunk = 2048
+	// catchupForceEvery forces one catch-up chunk per this many queued
+	// work items, so catch-ups advance even under sustained update load.
+	catchupForceEvery = 8
+)
 
 // updateGroup is one update group: the set of peers sharing a canonical
 // export-policy key, with per-shard state owned by the shard workers.
@@ -334,76 +346,68 @@ func (r *Router) emitGroupItems(si int, g *updateGroup, items []groupEmitItem) {
 	}
 }
 
-// fanOutClean marshals the shard's prepared clean action stream
-// (sh.acts) once and pushes the shared payload to every clean member.
-// On a marshal failure (a run exceeding the wire's message bound) it
-// falls back to per-member pushes, which fail exactly as the ungrouped
-// path would.
+// fanOutClean packs the shard's prepared clean action stream (sh.acts)
+// into emission runs and pushes each run's framed bytes to every clean
+// member. Runs are obtained from the shard's cross-group marshal cache:
+// a run another group (or an earlier batch) already produced is fanned
+// out again by reference instead of being re-marshaled, so marshal bytes
+// scale with distinct runs, not groups × prefixes. On a marshal failure
+// (a run exceeding the wire's message bound) the remaining stream falls
+// back to per-member pushes, which fail exactly as the ungrouped path
+// would.
 func (r *Router) fanOutClean(si int, g *updateGroup, cleanCount int) {
 	sh := &g.shards[si]
+	s := r.shards[si]
 	limit := r.cfg.ExportBatch
-	buf := r.getPayloadBuf()
-	msgs := 0
-	marshalErr := false
-pack:
+	totalBytes := 0
+	pushed := false
 	for i := 0; i < len(sh.acts); {
 		// Pack one run: consecutive withdrawals, or consecutive
 		// announcements sharing an interned attribute block, chunked at
 		// the export batch limit — byte-identical packing to pushEmitRuns.
 		j := i + 1
-		var u wire.Update
+		attrs := sh.acts[i].attrs
 		sh.pfx = sh.pfx[:0]
-		if sh.acts[i].attrs == nil {
+		if attrs == nil {
 			for j < len(sh.acts) && sh.acts[j].attrs == nil && j-i < limit {
 				j++
 			}
-			for k := i; k < j; k++ {
-				sh.pfx = append(sh.pfx, sh.acts[k].prefix)
-			}
-			u = wire.Update{Withdrawn: sh.pfx}
 		} else {
-			for j < len(sh.acts) && sh.acts[j].attrs == sh.acts[i].attrs && j-i < limit {
+			for j < len(sh.acts) && sh.acts[j].attrs == attrs && j-i < limit {
 				j++
 			}
-			for k := i; k < j; k++ {
-				sh.pfx = append(sh.pfx, sh.acts[k].prefix)
-			}
-			u = wire.Update{Attrs: *sh.acts[i].attrs, NLRI: sh.pfx}
 		}
-		b, err := wire.AppendMessageMode(buf, u, g.as4)
+		for k := i; k < j; k++ {
+			sh.pfx = append(sh.pfx, sh.acts[k].prefix)
+		}
+		p, err := s.mcache.payloadFor(r, g.as4, attrs, sh.pfx, cleanCount)
 		if err != nil {
-			marshalErr = true
-			break pack
+			for addr, ps := range sh.members {
+				if isDirtyMember(sh.dirty, addr) {
+					continue
+				}
+				pushEmitRuns(ps, sh.acts[i:], limit)
+			}
+			break
 		}
-		buf = b
-		msgs++
-		i = j
-	}
-	if marshalErr || msgs == 0 {
-		r.putPayloadBuf(buf)
+		totalBytes += len(p.Bytes())
 		for addr, ps := range sh.members {
 			if isDirtyMember(sh.dirty, addr) {
 				continue
 			}
-			pushEmitRuns(ps, sh.acts, limit)
+			ps.out.pushShared(p)
 		}
+		pushed = true
+		i = j
+	}
+	if !pushed {
 		return
 	}
-	//lint:allow pooledbuf audited ownership transfer: the payload's refcount returns buf via putPayloadBuf after the last member session writes it
-	p := session.NewSharedPayload(buf, msgs, msgs, cleanCount, r.putPayloadBuf)
-	sent := 0
-	for addr, ps := range sh.members {
-		if isDirtyMember(sh.dirty, addr) {
-			continue
-		}
-		ps.out.pushShared(p)
-		sent++
-	}
 	r.groupRuns.Add(1)
-	r.groupSends.Add(uint64(sent))
-	r.groupBytesBuilt.Add(uint64(len(buf)))
-	if sent > 1 {
-		r.groupBytesSaved.Add(uint64(len(buf) * (sent - 1)))
+	r.groupSends.Add(uint64(cleanCount))
+	r.groupBytesBuilt.Add(uint64(totalBytes))
+	if cleanCount > 1 {
+		r.groupBytesSaved.Add(uint64(totalBytes * (cleanCount - 1)))
 	}
 }
 
@@ -476,10 +480,15 @@ func (r *Router) groupFlusher(g *updateGroup) {
 	}
 }
 
-// processPeerUpGrouped registers a grouped peer on shard si: the first
-// member on a shard (re)builds the group view from the Loc-RIB, later
-// members reuse it; either way the new member receives a catch-up replay
-// of its view of the shared table.
+// processPeerUpGrouped registers a grouped peer on shard si. The first
+// member on a shard gets a fresh group table plus a chunked rebuild from
+// the Loc-RIB (the table may be missing or stale: changes are not
+// applied to member-less groups); the rebuild's own emissions double as
+// the member's catch-up replay, since every entry it advertises into the
+// empty table fans out to the membership. Later members join the live
+// table and get a chunked replay of their view of it. Either way the
+// work is bounded per chunk and interleaves with the shard's queue
+// instead of stalling it for the whole table.
 func (r *Router) processPeerUpGrouped(si int, ps *peerState) {
 	g := ps.group
 	sh := &g.shards[si]
@@ -488,65 +497,212 @@ func (r *Router) processPeerUpGrouped(si int, ps *peerState) {
 		sh.members = make(map[netaddr.Addr]*peerState)
 	}
 	if len(sh.members) == 0 {
-		// First member on this shard: the table may be missing or stale
-		// (changes are not applied to member-less groups); rebuild it.
 		sh.adjOut = rib.NewGroupAdjOut()
 		sh.exportCache = make(map[exportKey]*wire.PathAttrs)
 		sh.pending = nil
-		r.rib.Shard(si).WalkLoc(func(p netaddr.Prefix, c rib.Candidate) bool {
-			if attrs, ok := r.groupExportAttrs(si, g, p, c); ok {
-				sh.adjOut.Advertise(p, attrs, c.Peer.Addr)
-			}
-			return true
-		})
+		sh.members[ps.info.Addr] = ps
+		r.scheduleGroupRebuild(si, g)
+		return
 	}
 	sh.members[ps.info.Addr] = ps
-	r.replayGroupView(si, ps)
+	r.scheduleMemberReplay(si, ps)
 }
 
-// replayGroupView streams the member's view of the group table to it:
-// the grouped initial table transfer, also reused for ROUTE-REFRESH.
-// Routes sharing an interned attribute block batch into one UPDATE.
-func (r *Router) replayGroupView(si int, ps *peerState) {
-	sh := &ps.group.shards[si]
-	var batch []netaddr.Prefix
-	var batchAttrs *wire.PathAttrs
+// groupCatchup is one in-progress chunked catch-up on a shard: a rebuild
+// of a group's table from the Loc-RIB (member == nil), or a replay of
+// one member's view of the group table. prefixes is a sorted snapshot of
+// the KEY SET only; each chunk re-reads the current entry for every key
+// at processing time, so state that changed after the snapshot is never
+// replayed stale — live changes and catch-up chunks are serialized on
+// the same shard worker, and a prefix processed by both simply yields an
+// idempotent duplicate.
+type groupCatchup struct {
+	g        *updateGroup
+	member   *peerState // nil: whole-group rebuild from the Loc-RIB
+	prefixes []netaddr.Prefix
+	cursor   int
+	start    time.Time
+}
+
+// scheduleGroupRebuild snapshots shard si's Loc-RIB key set and queues a
+// chunked rebuild of g's freshly reset table. Any older catch-up for the
+// group is dropped: it refers to the previous table generation.
+func (r *Router) scheduleGroupRebuild(si int, g *updateGroup) {
+	s := r.shards[si]
+	s.catchups = dropCatchups(s.catchups, func(c *groupCatchup) bool { return c.g == g })
+	pfx := r.rib.Shard(si).LocPrefixesInto(nil)
+	if len(pfx) == 0 {
+		return
+	}
+	r.groupRebuilds.Add(1)
+	s.catchups = append(s.catchups, &groupCatchup{g: g, prefixes: pfx, start: time.Now()})
+}
+
+// scheduleMemberReplay snapshots the group table's key set and queues a
+// chunked replay of ps's view of it (join catch-up and ROUTE-REFRESH).
+// An older replay still queued for the same member is superseded.
+func (r *Router) scheduleMemberReplay(si int, ps *peerState) {
+	s := r.shards[si]
+	s.catchups = dropCatchups(s.catchups, func(c *groupCatchup) bool { return c.member == ps })
+	pfx := ps.group.shards[si].adjOut.PrefixesInto(nil)
+	if len(pfx) == 0 {
+		return
+	}
+	r.groupRebuilds.Add(1)
+	s.catchups = append(s.catchups, &groupCatchup{g: ps.group, member: ps, prefixes: pfx, start: time.Now()})
+}
+
+// dropCatchups removes the catch-ups matching drop, preserving order.
+func dropCatchups(cs []*groupCatchup, drop func(*groupCatchup) bool) []*groupCatchup {
+	out := cs[:0]
+	for _, c := range cs {
+		if !drop(c) {
+			out = append(out, c)
+		}
+	}
+	for i := len(out); i < len(cs); i++ {
+		cs[i] = nil
+	}
+	return out
+}
+
+// runCatchupChunk advances the shard's oldest catch-up by one bounded
+// chunk, retiring it when done. Called by the shard worker whenever its
+// queue idles, and forcibly every few work items under sustained load so
+// catch-ups cannot starve.
+func (r *Router) runCatchupChunk(si int, s *shard) {
+	if len(s.catchups) == 0 {
+		return
+	}
+	if r.processCatchupChunk(si, s.catchups[0]) {
+		copy(s.catchups, s.catchups[1:])
+		s.catchups[len(s.catchups)-1] = nil
+		s.catchups = s.catchups[:len(s.catchups)-1]
+	}
+}
+
+// drainGroupCatchups runs every catch-up touching group g to completion:
+// the barrier the Adj-RIB-Out dump needs so a snapshot taken right after
+// a join still reflects the full table.
+func (r *Router) drainGroupCatchups(si int, s *shard, g *updateGroup) {
+	for i := 0; i < len(s.catchups); {
+		c := s.catchups[i]
+		if c.g != g {
+			i++
+			continue
+		}
+		for !r.processCatchupChunk(si, c) {
+		}
+		s.catchups = append(s.catchups[:i], s.catchups[i+1:]...)
+	}
+}
+
+// processCatchupChunk runs one bounded chunk of a catch-up, reporting
+// whether the catch-up is finished (completed or abandoned).
+func (r *Router) processCatchupChunk(si int, c *groupCatchup) bool {
+	sh := &c.g.shards[si]
+	if c.member == nil {
+		return r.rebuildChunk(si, c, sh)
+	}
+	return r.replayChunk(si, c, sh)
+}
+
+// rebuildChunk advances a whole-group rebuild: re-read each snapshot key
+// from the Loc-RIB, export it into the (fresh) group table, and emit the
+// resulting transitions to the membership. A key whose best route
+// vanished since the snapshot is skipped — the table never advertised
+// it, so there is nothing to withdraw; a key a live change already
+// advertised re-reads identically and Advertise reports no change.
+func (r *Router) rebuildChunk(si int, c *groupCatchup, sh *groupShard) bool {
+	if len(sh.members) == 0 {
+		// Everyone left mid-rebuild: abandon. A future first member
+		// resets the table and schedules a fresh rebuild.
+		return true
+	}
+	end := c.cursor + catchupChunk
+	if end > len(c.prefixes) {
+		end = len(c.prefixes)
+	}
+	shardRIB := r.rib.Shard(si)
+	items := sh.flushItems[:0]
+	for _, p := range c.prefixes[c.cursor:end] {
+		cand, ok := shardRIB.Lookup(p)
+		if !ok {
+			continue
+		}
+		attrs, ok := r.groupExportAttrs(si, c.g, p, cand)
+		if !ok {
+			continue
+		}
+		if old, _, changed := sh.adjOut.Advertise(p, attrs, cand.Peer.Addr); changed {
+			items = append(items, groupEmitItem{prefix: p, old: old, new: rib.GroupRoute{Attrs: attrs, Origin: cand.Peer.Addr}})
+		}
+	}
+	r.emitGroupItems(si, c.g, items)
+	sh.flushItems = items[:0]
+	c.cursor = end
+	r.groupRebuildChunks.Add(1)
+	if c.cursor >= len(c.prefixes) {
+		r.rebuildHist.observe(time.Since(c.start))
+		return true
+	}
+	return false
+}
+
+// replayChunk advances a member catch-up replay: re-read each snapshot
+// key from the group table and stream the member's view of it. Runs
+// sharing an interned attribute block pack into one UPDATE and come from
+// the shard's marshal cache, so members joining the same group replay
+// the same bytes without re-marshaling them.
+func (r *Router) replayChunk(si int, c *groupCatchup, sh *groupShard) bool {
+	addr := c.member.info.Addr
+	if sh.members[addr] != c.member {
+		// The member left (or its slot was re-established): abandon.
+		return true
+	}
+	end := c.cursor + catchupChunk
+	if end > len(c.prefixes) {
+		end = len(c.prefixes)
+	}
+	s := r.shards[si]
+	limit := r.cfg.ExportBatch
+	pfx := sh.pfx[:0]
+	var runAttrs *wire.PathAttrs
 	flush := func() {
-		if len(batch) == 0 {
+		if len(pfx) == 0 {
 			return
 		}
-		ps.out.push(wire.Update{Attrs: *batchAttrs, NLRI: append([]netaddr.Prefix(nil), batch...)})
-		batch = batch[:0]
+		if p, err := s.mcache.payloadFor(r, c.g.as4, runAttrs, pfx, 1); err == nil {
+			c.member.out.pushShared(p)
+		} else {
+			// Over-bound run: push the unmarshaled UPDATE and let the
+			// session layer fail it exactly as the ungrouped path would.
+			c.member.out.push(wire.Update{Attrs: *runAttrs, NLRI: append([]netaddr.Prefix(nil), pfx...)})
+		}
+		pfx = pfx[:0]
 	}
-	sh.adjOut.WalkMember(ps.info.Addr, func(p netaddr.Prefix, attrs *wire.PathAttrs) bool {
-		if len(batch) > 0 && (attrs != batchAttrs || len(batch) >= r.cfg.ExportBatch) {
+	for _, p := range c.prefixes[c.cursor:end] {
+		gr, ok := sh.adjOut.Lookup(p)
+		if !ok || gr.Origin == addr {
+			continue
+		}
+		if len(pfx) > 0 && (gr.Attrs != runAttrs || len(pfx) >= limit) {
 			flush()
 		}
-		if len(batch) == 0 {
-			batchAttrs = attrs
+		if len(pfx) == 0 {
+			runAttrs = gr.Attrs
 		}
-		batch = append(batch, p)
-		return true
-	})
+		pfx = append(pfx, p)
+	}
 	flush()
-}
-
-// payloadBuf carries a marshal buffer through the payload pool.
-type payloadBuf struct{ b []byte }
-
-// getPayloadBuf returns an empty marshal buffer with recycled capacity.
-func (r *Router) getPayloadBuf() []byte {
-	//lint:allow pooledbuf audited ownership transfer: the buffer rides inside a SharedPayload and returns via putPayloadBuf when its refcount drains
-	pb := r.payloadPool.Get().(*payloadBuf)
-	//lint:allow pooledbuf audited ownership transfer: the caller wraps the buffer in a SharedPayload whose free callback is putPayloadBuf
-	return pb.b[:0]
-}
-
-// putPayloadBuf returns a marshal buffer's capacity to the pool; wired
-// as the SharedPayload free callback, so it runs after the last member
-// session has written the bytes.
-func (r *Router) putPayloadBuf(b []byte) {
-	r.payloadPool.Put(&payloadBuf{b: b})
+	sh.pfx = pfx[:0]
+	c.cursor = end
+	r.groupRebuildChunks.Add(1)
+	if c.cursor >= len(c.prefixes) {
+		r.rebuildHist.observe(time.Since(c.start))
+		return true
+	}
+	return false
 }
 
 // UpdateNeighbor replaces the stored configuration for a neighbor AS at
@@ -588,6 +744,15 @@ type GroupStats struct {
 	// Suppressed counts MRAI net-no-op transitions dropped before
 	// emission.
 	Suppressed uint64
+	// BytesMarshaled is the bytes actually encoded by the shared marshal
+	// cache (misses only); BytesBuilt / BytesMarshaled is the marshal
+	// amplification the cache removed. CacheHits and CacheMisses count
+	// cache probes.
+	BytesMarshaled         uint64
+	CacheHits, CacheMisses uint64
+	// Rebuilds counts chunked catch-ups scheduled (group rebuilds and
+	// member replays); RebuildChunks the bounded chunks they ran in.
+	Rebuilds, RebuildChunks uint64
 }
 
 // FanoutRatio returns Sends/Runs, the mean number of sessions each
@@ -605,12 +770,20 @@ func (r *Router) GroupStats() GroupStats {
 	n := len(r.groups)
 	r.mu.Unlock()
 	return GroupStats{
-		Enabled:    r.cfg.UpdateGroups,
-		Groups:     n,
-		Runs:       r.groupRuns.Load(),
-		Sends:      r.groupSends.Load(),
-		BytesBuilt: r.groupBytesBuilt.Load(),
-		BytesSaved: r.groupBytesSaved.Load(),
-		Suppressed: r.groupSuppressed.Load(),
+		Enabled:        r.cfg.UpdateGroups,
+		Groups:         n,
+		Runs:           r.groupRuns.Load(),
+		Sends:          r.groupSends.Load(),
+		BytesBuilt:     r.groupBytesBuilt.Load(),
+		BytesSaved:     r.groupBytesSaved.Load(),
+		Suppressed:     r.groupSuppressed.Load(),
+		BytesMarshaled: r.groupBytesMarshaled.Load(),
+		CacheHits:      r.groupCacheHits.Load(),
+		CacheMisses:    r.groupCacheMisses.Load(),
+		Rebuilds:       r.groupRebuilds.Load(),
+		RebuildChunks:  r.groupRebuildChunks.Load(),
 	}
 }
+
+// RebuildLatency returns the rebuild/catch-up latency histogram.
+func (r *Router) RebuildLatency() RebuildHist { return r.rebuildHist.snapshot() }

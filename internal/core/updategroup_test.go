@@ -44,6 +44,10 @@ type recvSpeaker struct {
 
 	mu    sync.Mutex
 	table map[netaddr.Prefix]string
+	// keepLog records every decoded UPDATE (diagnostics for the churn
+	// tests' failure paths).
+	keepLog bool
+	logs    []wire.Update
 }
 
 func (s *recvSpeaker) Established(*session.Session) {
@@ -59,6 +63,14 @@ func (s *recvSpeaker) Update(_ *session.Session, u wire.Update) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.keepLog {
+		c := wire.Update{
+			Withdrawn: append([]netaddr.Prefix(nil), u.Withdrawn...),
+			NLRI:      append([]netaddr.Prefix(nil), u.NLRI...),
+			Attrs:     u.Attrs,
+		}
+		s.logs = append(s.logs, c)
+	}
 	for _, p := range u.Withdrawn {
 		delete(s.table, p)
 	}
@@ -360,6 +372,9 @@ func TestGroupStressChurnAliasing(t *testing.T) {
 		// referenced by slow readers while fast ones have moved on.
 		delay := time.Duration(i%8) * 100 * time.Microsecond
 		recvs[i] = dialRecv(t, r, uint32(65100+i), fmt.Sprintf("10.9.%d.%d", i/200, i%200+1), delay)
+		recvs[i].mu.Lock()
+		recvs[i].keepLog = true
+		recvs[i].mu.Unlock()
 		defer recvs[i].stop()
 	}
 
@@ -371,12 +386,21 @@ func TestGroupStressChurnAliasing(t *testing.T) {
 	}
 	feeder.announce(t, table, 30)
 
+	// Quiescence sentinels (see sentinelRoutes): the count check below
+	// samples receivers at different instants, so a lagging reader's
+	// transient round-k full table — byte-identical to the converged
+	// state under this uniform churn — can satisfy it while its final
+	// withdraw/re-announce tail is still in flight.
+	markers := sentinelRoutes(table, cfg.Shards)
+	feeder.announce(t, markers, 30)
+	total := n + len(markers)
+
 	waitFor(t, 30*time.Second, func() bool {
-		if r.RIBLen() != n {
+		if r.RIBLen() != total {
 			return false
 		}
 		for _, rc := range recvs {
-			if rc.len() != n {
+			if rc.len() != total {
 				return false
 			}
 		}
@@ -392,7 +416,8 @@ func TestGroupStressChurnAliasing(t *testing.T) {
 	}
 	for i, rc := range recvs {
 		if got := rc.fingerprint(); got != want[i%groups] {
-			t.Fatalf("receiver %d decoded a different table than its group", i)
+			t.Fatalf("receiver %d decoded a different table than its group:\n%s",
+				i, churnTrace(rc, recvs[i%groups], want[i%groups]))
 		}
 	}
 	if got := adjFingerprint(r, "10.9.0.1"); got != want[0] {

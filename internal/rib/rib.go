@@ -194,6 +194,22 @@ func (r *RIB) Lookup(prefix netaddr.Prefix) (Candidate, bool) {
 	return *e.best, true
 }
 
+// LocPrefixesInto appends every prefix with a best route to buf (which
+// should come in empty) and returns it sorted. The chunked update-group
+// rebuild snapshots the key set here, then re-reads each entry through
+// Lookup at chunk-processing time so entries that changed after the
+// snapshot are never replayed stale.
+func (r *RIB) LocPrefixesInto(buf []netaddr.Prefix) []netaddr.Prefix {
+	for p, e := range r.loc {
+		if e.best == nil {
+			continue
+		}
+		buf = append(buf, p)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].Compare(buf[j]) < 0 })
+	return buf
+}
+
 // Candidates returns all Adj-RIB-In routes for a prefix (unspecified
 // order), for diagnostics and tests.
 func (r *RIB) Candidates(prefix netaddr.Prefix) []Candidate {

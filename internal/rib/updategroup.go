@@ -80,6 +80,18 @@ func (o *GroupAdjOut) MemberLen(member netaddr.Addr) int {
 	return n
 }
 
+// PrefixesInto appends every prefix in the group table to buf (which
+// should come in empty) and returns it sorted: the key snapshot a chunked
+// member catch-up replay walks, re-reading each entry via Lookup at
+// chunk time.
+func (o *GroupAdjOut) PrefixesInto(buf []netaddr.Prefix) []netaddr.Prefix {
+	for p := range o.routes {
+		buf = append(buf, p)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].Compare(buf[j]) < 0 })
+	return buf
+}
+
 // Walk visits group entries in prefix order until fn returns false.
 func (o *GroupAdjOut) Walk(fn func(netaddr.Prefix, GroupRoute) bool) {
 	prefixes := make([]netaddr.Prefix, 0, len(o.routes))

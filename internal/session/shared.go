@@ -43,6 +43,17 @@ func (p *SharedPayload) Msgs() int { return p.msgs }
 // Updates returns the number of UPDATE messages in the payload.
 func (p *SharedPayload) Updates() int { return p.updates }
 
+// AddRefs grants n additional references to the payload. The caller must
+// itself hold an unreleased reference (otherwise the payload may already
+// have been freed and recycled): the update-group marshal cache holds one
+// cache reference per entry and calls AddRefs under it each time a cached
+// payload is fanned out to another set of recipients.
+func (p *SharedPayload) AddRefs(n int) {
+	if p.refs.Add(int32(n)) <= int32(n) {
+		panic("session: SharedPayload AddRefs without a live reference")
+	}
+}
+
 // Release drops one reference; the last one returns the buffer to its
 // pool. Safe for concurrent use by the member sessions.
 func (p *SharedPayload) Release() {

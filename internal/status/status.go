@@ -35,6 +35,12 @@ type Summary struct {
 	Groups           int     `json:"update_group_count,omitempty"`
 	GroupFanoutRatio float64 `json:"update_group_fanout_ratio,omitempty"`
 	GroupBytesSaved  uint64  `json:"update_group_bytes_saved,omitempty"`
+	// Marshal-cache and incremental-rebuild counters.
+	GroupBytesMarshaled uint64 `json:"update_group_bytes_marshaled,omitempty"`
+	GroupCacheHits      uint64 `json:"update_group_marshal_cache_hits,omitempty"`
+	GroupCacheMisses    uint64 `json:"update_group_marshal_cache_misses,omitempty"`
+	GroupRebuilds       uint64 `json:"update_group_rebuilds,omitempty"`
+	GroupRebuildChunks  uint64 `json:"update_group_rebuild_chunks,omitempty"`
 }
 
 // Handler builds the HTTP mux for a router.
@@ -74,6 +80,11 @@ func handler(r *core.Router, as uint32, inj *netem.Injector) http.Handler {
 			s.Groups = gs.Groups
 			s.GroupFanoutRatio = gs.FanoutRatio()
 			s.GroupBytesSaved = gs.BytesSaved
+			s.GroupBytesMarshaled = gs.BytesMarshaled
+			s.GroupCacheHits = gs.CacheHits
+			s.GroupCacheMisses = gs.CacheMisses
+			s.GroupRebuilds = gs.Rebuilds
+			s.GroupRebuildChunks = gs.RebuildChunks
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s)
@@ -121,6 +132,23 @@ func handler(r *core.Router, as uint32, inj *netem.Injector) http.Handler {
 			fmt.Fprintf(w, "bgp_update_group_bytes_built_total %d\n", gs.BytesBuilt)
 			fmt.Fprintf(w, "bgp_update_group_bytes_saved_total %d\n", gs.BytesSaved)
 			fmt.Fprintf(w, "bgp_update_group_suppressed_total %d\n", gs.Suppressed)
+			fmt.Fprintf(w, "bgp_update_group_bytes_marshaled_total %d\n", gs.BytesMarshaled)
+			fmt.Fprintf(w, "bgp_update_group_marshal_cache_hits_total %d\n", gs.CacheHits)
+			fmt.Fprintf(w, "bgp_update_group_marshal_cache_misses_total %d\n", gs.CacheMisses)
+			fmt.Fprintf(w, "bgp_update_group_rebuilds_total %d\n", gs.Rebuilds)
+			fmt.Fprintf(w, "bgp_update_group_rebuild_chunks_total %d\n", gs.RebuildChunks)
+			// Rebuild-latency histogram in Prometheus cumulative-bucket
+			// form: one whole-group rebuild or member replay = one
+			// observation, measured schedule-to-last-chunk.
+			h := r.RebuildLatency()
+			cum := uint64(0)
+			for i, b := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(w, "bgp_update_group_rebuild_seconds_bucket{le=\"%g\"} %d\n", b, cum)
+			}
+			fmt.Fprintf(w, "bgp_update_group_rebuild_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+			fmt.Fprintf(w, "bgp_update_group_rebuild_seconds_sum %g\n", h.Sum)
+			fmt.Fprintf(w, "bgp_update_group_rebuild_seconds_count %d\n", h.Count)
 		}
 		if inj != nil {
 			st := inj.Stats()

@@ -105,6 +105,54 @@ func TestMetrics(t *testing.T) {
 	}
 }
 
+// TestMetricsUpdateGroups covers the grouped-emission metric block: the
+// marshal-cache counters and the rebuild-latency histogram must render
+// in Prometheus form (cumulative le buckets plus sum/count) even before
+// any rebuild has been observed.
+func TestMetricsUpdateGroups(t *testing.T) {
+	r, err := core.NewRouter(core.Config{
+		AS:           65000,
+		ID:           netaddr.MustParseAddr("10.255.0.1"),
+		UpdateGroups: true,
+		Neighbors:    []core.NeighborConfig{{AS: 65001}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, r, "/metrics")
+	if code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	for _, want := range []string{
+		"bgp_update_groups 0",
+		"bgp_update_group_bytes_marshaled_total 0",
+		"bgp_update_group_marshal_cache_hits_total 0",
+		"bgp_update_group_marshal_cache_misses_total 0",
+		"bgp_update_group_rebuilds_total 0",
+		"bgp_update_group_rebuild_chunks_total 0",
+		"bgp_update_group_rebuild_seconds_bucket{le=\"0.001\"} 0",
+		"bgp_update_group_rebuild_seconds_bucket{le=\"10\"} 0",
+		"bgp_update_group_rebuild_seconds_bucket{le=\"+Inf\"} 0",
+		"bgp_update_group_rebuild_seconds_sum 0",
+		"bgp_update_group_rebuild_seconds_count 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	code, body = get(t, r, "/status")
+	if code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	if !s.UpdateGroups {
+		t.Errorf("summary update_groups = false, want true: %+v", s)
+	}
+}
+
 func TestUnknownPath(t *testing.T) {
 	r := testRouter(t)
 	code, _ := get(t, r, "/nope")
