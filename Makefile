@@ -7,7 +7,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt vet lint test race conformance check bench bench-smoke
+.PHONY: all build fmt vet lint lint-allows test race conformance check bench bench-smoke
 
 all: check
 
@@ -29,10 +29,18 @@ vet:
 
 # Project-invariant static analysis (internal/analysis, cmd/bgplint):
 # deterministic clocks, pooled-buffer ownership, attribute-interning
-# immutability, router-mutex lock discipline, dropped protocol errors.
-# Non-zero exit (and the findings on stdout) fail the gate.
+# immutability, router-mutex lock discipline, dropped protocol errors,
+# plus the flow-sensitive refcount/ownership/read-purity analyzers.
+# Runs against the audited-findings ledger (lint/baseline.json): new or
+# stale findings fail, audited ones stay visible. The -cache directory
+# makes unchanged re-runs instant; -budget keeps a cold run honest.
 lint:
-	$(GO) run ./cmd/bgplint ./...
+	$(GO) run ./cmd/bgplint -cache .cache/bgplint -baseline lint/baseline.json -budget 30s ./...
+
+# Regenerate the suppression inventory embedded in the docs from the
+# //bgplint:allow directives in the source.
+lint-allows:
+	$(GO) run ./cmd/bgplint -allows docs/lint-allows.md -baseline lint/baseline.json ./...
 
 # The sharded router, the session layer, and the FIB's lock-free
 # snapshot read path are the concurrency-heavy code; run them under the
@@ -65,6 +73,10 @@ bench-smoke:
 	BGPBENCH_LOOKUP_N=50000 $(GO) test -run='^$$' \
 		-bench 'BenchmarkLookup$$|BenchmarkLookupV6$$|BenchmarkLookupChurn' \
 		-benchtime=1x ./internal/fib/
+	# Static-analysis latency smoke: a cold (uncached) full-repo bgplint
+	# run must land inside the 30s budget the incremental lint gate
+	# assumes, so the cache can never hide an analysis-time regression.
+	$(GO) run ./cmd/bgplint -baseline lint/baseline.json -budget 30s ./... > /dev/null
 
 test:
 	$(GO) test ./...

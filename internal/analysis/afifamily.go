@@ -16,11 +16,11 @@ import (
 //   - The IPv4-truncating address accessors (Addr.V4 collapses a
 //     128-bit address to its top 32 bits) must not be called outside
 //     the package that defines them. Each audited exception carries a
-//     //lint:allow afifamily justification at the call site.
+//     //bgplint:allow(afifamily) justification at the call site.
 var AFIFamily = &Analyzer{
 	Name: "afifamily",
 	Doc:  "address-family switches are exhaustive; IPv4-truncating accessors stay confined to audited call sites",
-	Run:  runAFIFamily,
+	Run:  func(p *Pass) error { runAFIFamily(p); return nil },
 }
 
 func runAFIFamily(pass *Pass) {
@@ -96,7 +96,7 @@ func runAFIFamily(pass *Pass) {
 			if fn.Pkg() != nil && fn.Pkg().Path() == pass.Pkg.ImportPath {
 				return true // the defining package may truncate
 			}
-			pass.Reportf(x.Pos(), "IPv4-truncating accessor %s outside its package; guard with Is4 and justify with //lint:allow afifamily",
+			pass.Reportf(x.Pos(), "IPv4-truncating accessor %s outside its package; guard with Is4 and justify with //bgplint:allow(afifamily)",
 				fn.FullName())
 		}
 		return true

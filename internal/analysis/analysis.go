@@ -1,8 +1,15 @@
 // Package analysis is bgpbench's project-invariant static analyzer
-// suite. It is built on the standard library only (go/parser, go/ast,
-// go/types, go/importer, with package discovery driven by `go list
-// -json`): no golang.org/x/tools dependency, so the lint gate needs
-// nothing beyond the Go toolchain already required to build the repo.
+// suite (bgplint). It is built on the standard library only (go/parser,
+// go/ast, go/types, go/importer, with package discovery driven by `go
+// list -json`): no golang.org/x/tools dependency, so the lint gate
+// needs nothing beyond the Go toolchain already required to build the
+// repo.
+//
+// v2 is flow-sensitive: the driver builds intraprocedural control-flow
+// graphs (internal/analysis/cfg) on demand and propagates analyzer
+// facts across packages in dependency order, so an analyzer can follow
+// a refcounted payload from internal/session into internal/core, or a
+// purity obligation from internal/fib into its dependencies.
 //
 // The generic vet checks catch generic bugs; the analyzers here encode
 // invariants specific to this codebase that vet cannot know about:
@@ -23,15 +30,28 @@
 //   - afifamily: switches over the address-family enum cover every
 //     family (or carry a default), and the IPv4-truncating Addr.V4
 //     accessor does not leak outside its package unaudited.
+//   - refbalance: path-sensitive acquire/release pairing for refcounted
+//     resources (session.SharedPayload fan-out references, the marshal
+//     cache's pooled slab arenas): every acquire must reach a release
+//     or an ownership transfer on all normal paths, no double release,
+//     no use after the final release.
+//   - shardowner: values of worker-owned types (annotated
+//     //bgplint:owned-by in the type's doc comment) must stay on their
+//     shard worker: escaping into a goroutine closure, a channel send,
+//     or an interface is a finding.
+//   - readpurity: the configured wait-free read entrypoints (the FIB
+//     snapshot lookup/metrics/walk path) must not acquire locks,
+//     allocate from pools, write shared state, or touch channels —
+//     checked transitively through callees via cross-package facts.
 //
-// Findings can be suppressed line-by-line with a justified allow
-// comment:
+// Findings can be suppressed line-by-line with a reasoned allow
+// directive (see suppress.go):
 //
-//	//lint:allow <analyzer> <justification>
+//	//bgplint:allow(<analyzer>[,<analyzer>...]) reason=<justification>
 //
 // placed on the offending line or the line directly above it. The
-// justification text is mandatory by convention (reviewed, not
-// enforced); an allow comment without one should not survive review.
+// reason is mandatory and enforced; a directive that suppresses nothing
+// is itself a finding.
 package analysis
 
 import (
@@ -39,7 +59,8 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
+
+	"bgpbench/internal/analysis/cfg"
 )
 
 // Diagnostic is one finding: an analyzer name, a position, and a
@@ -48,6 +69,9 @@ type Diagnostic struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	// Baselined marks a finding matched by the committed baseline:
+	// audited, visible, not failing.
+	Baselined bool
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -56,18 +80,21 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one invariant checker. Run inspects a single type-checked
-// package and reports findings through the pass.
+// package and reports findings through the pass; a non-nil error aborts
+// the whole run (an analyzer bug, not a finding).
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	Run  func(*Pass) error
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package, plus the shared
+// cross-package fact store and the CFG cache.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	Config   *Config
+	Facts    *FactStore
 
 	diags []Diagnostic
 }
@@ -81,6 +108,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// CFG returns the control-flow graph for a function body, built once
+// per package and shared by every analyzer in the run.
+func (p *Pass) CFG(body *ast.BlockStmt) *cfg.CFG {
+	if p.Pkg.cfgs == nil {
+		p.Pkg.cfgs = map[*ast.BlockStmt]*cfg.CFG{}
+	}
+	if g, ok := p.Pkg.cfgs[body]; ok {
+		return g
+	}
+	g := cfg.New(body)
+	p.Pkg.cfgs[body] = g
+	return g
+}
+
 // Analyzers returns the full suite in presentation order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -91,6 +132,9 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		SnapshotImmut,
 		AFIFamily,
+		RefBalance,
+		ShardOwner,
+		ReadPurity,
 	}
 }
 
@@ -104,27 +148,57 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 	return nil, false
 }
 
-// RunAnalyzers applies the analyzers to every non-dependency package and
-// returns the surviving findings (allow-comment suppressed ones removed)
-// sorted by position.
-func RunAnalyzers(pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+// analyzerNames returns the known-name set used to validate allow
+// directives (the driver's own pseudo-analyzer included: baseline
+// entries may audit directive findings too).
+func analyzerNames(analyzers []*Analyzer) map[string]bool {
+	m := map[string]bool{driverName: true}
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunAnalyzers applies the analyzers to the loaded packages in
+// dependency order and returns the surviving findings (allow-directive
+// suppressed ones removed) sorted by position. Dependency-only packages
+// are analyzed too — that is what primes the cross-package fact store —
+// but their diagnostics are dropped: only the requested packages gate.
+func RunAnalyzers(pkgs []*Package, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	known := analyzerNames(analyzers)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		if pkg.DepOnly {
-			continue
-		}
-		allows := collectAllows(pkg)
+		var pkgDiags []Diagnostic
+		allows := collectAllows(pkg, known, func(pos token.Position, format string, args ...any) {
+			pkgDiags = append(pkgDiags, Diagnostic{
+				Analyzer: driverName,
+				Position: pos,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg}
-			a.Run(pass)
+			pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg, Facts: facts}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
 			for _, d := range pass.diags {
-				if allows.allowed(a.Name, d.Position.Filename, d.Position.Line) {
+				if allows.suppress(a.Name, d.Position.Filename, d.Position.Line) {
 					continue
 				}
-				out = append(out, d)
+				pkgDiags = append(pkgDiags, d)
 			}
 		}
+		pkgDiags = append(pkgDiags, staleAllows(allows)...)
+		if !pkg.DepOnly {
+			out = append(out, pkgDiags...)
+		}
 	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -138,55 +212,6 @@ func RunAnalyzers(pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Diagnos
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
-}
-
-// allowKey identifies one suppressed (file, line) for one analyzer.
-type allowKey struct {
-	analyzer string
-	file     string
-	line     int
-}
-
-type allowSet map[allowKey]bool
-
-func (s allowSet) allowed(analyzer, file string, line int) bool {
-	return s[allowKey{analyzer, file, line}]
-}
-
-// collectAllows scans a package's comments for //lint:allow directives.
-// A directive suppresses findings on its own line and on the line
-// directly below it (the "comment above the statement" form). Several
-// analyzers may be named, comma-separated; everything after the names is
-// the human justification.
-func collectAllows(pkg *Package) allowSet {
-	allows := allowSet{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:allow") {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(fields[0], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
-					allows[allowKey{name, pos.Filename, pos.Line}] = true
-					allows[allowKey{name, pos.Filename, pos.Line + 1}] = true
-				}
-			}
-		}
-	}
-	return allows
 }
 
 // inspectFiles runs fn over every node of every file in the package.

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The baseline is the audited-findings ledger: a committed JSON file
+// recording findings that were reviewed and accepted (with the review
+// rationale living in the PR that added them). With -baseline, bgplint
+// partitions its findings into
+//
+//   - baselined: present in the file — printed (audited debt stays
+//     visible on every run) but not failing;
+//   - new: absent from the file — fail the gate;
+//   - stale: baseline entries matching nothing — fail the gate too,
+//     so a fixed finding forces the ledger entry to be deleted instead
+//     of lingering as dead audit weight.
+//
+// Entries are keyed by (analyzer, repo-relative file, message) with an
+// occurrence count rather than line numbers, so unrelated edits that
+// shift a file do not churn the ledger, while a genuinely new finding
+// of the same kind in the same file still trips the count.
+
+// BaselineEntry is one audited finding class in one file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+	// Reason is the audit justification recorded when the entry was
+	// accepted; informational, carried through rewrites.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Baseline is the committed ledger.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+const baselineVersion = 1
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	for i, e := range b.Findings {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline %s: entry %d is incomplete (analyzer, file, message, count>=1 required)", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// baselineKey identifies one finding class.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// DiffBaseline partitions diags against the baseline. rel maps
+// absolute diagnostic filenames onto the baseline's repo-relative form.
+// Matched diagnostics come back with Baselined set; stale lists the
+// entries (with their unmatched residual count) that matched fewer
+// findings than they claim.
+func DiffBaseline(base *Baseline, diags []Diagnostic, rel func(string) string) (newDiags, matched []Diagnostic, stale []BaselineEntry) {
+	budget := map[baselineKey]int{}
+	reasons := map[baselineKey]string{}
+	for _, e := range base.Findings {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		budget[k] += e.Count
+		if e.Reason != "" {
+			reasons[k] = e.Reason
+		}
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, rel(d.Position.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			d.Baselined = true
+			matched = append(matched, d)
+		} else {
+			newDiags = append(newDiags, d)
+		}
+	}
+	var keys []baselineKey
+	for k, n := range budget {
+		if n > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	for _, k := range keys {
+		stale = append(stale, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message,
+			Count: budget[k], Reason: reasons[k],
+		})
+	}
+	return newDiags, matched, stale
+}
+
+// BuildBaseline folds the current findings into a fresh ledger,
+// carrying forward the reasons of a previous baseline where the keys
+// still match.
+func BuildBaseline(diags []Diagnostic, prev *Baseline, rel func(string) string) *Baseline {
+	reasons := map[baselineKey]string{}
+	if prev != nil {
+		for _, e := range prev.Findings {
+			if e.Reason != "" {
+				reasons[baselineKey{e.Analyzer, e.File, e.Message}] = e.Reason
+			}
+		}
+	}
+	counts := map[baselineKey]int{}
+	var order []baselineKey
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, rel(d.Position.Filename), d.Message}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	out := &Baseline{Version: baselineVersion}
+	for _, k := range order {
+		out.Findings = append(out.Findings, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message,
+			Count: counts[k], Reason: reasons[k],
+		})
+	}
+	return out
+}
+
+// WriteBaseline writes the ledger with stable formatting.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadBaselineValidation pins the loud-failure contract for the
+// ledger itself: a damaged baseline must refuse to load, never silently
+// suppress everything.
+func TestLoadBaselineValidation(t *testing.T) {
+	cases := []struct {
+		name, content, errSubstr string
+	}{
+		{"not json", "{", "baseline"},
+		{"wrong version", `{"version": 99, "findings": []}`, "unsupported version 99"},
+		{"missing analyzer", `{"version": 1, "findings": [{"file": "a.go", "message": "m", "count": 1}]}`, "incomplete"},
+		{"zero count", `{"version": 1, "findings": [{"analyzer": "refbalance", "file": "a.go", "message": "m", "count": 0}]}`, "incomplete"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadBaseline(writeTempBaseline(t, c.content))
+			if err == nil {
+				t.Fatalf("LoadBaseline accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.errSubstr) {
+				t.Errorf("error %q, want substring %q", err, c.errSubstr)
+			}
+		})
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadBaseline accepted a nonexistent file")
+	}
+	b, err := LoadBaseline(writeTempBaseline(t, `{"version": 1, "findings": [{"analyzer": "refbalance", "file": "a.go", "message": "m", "count": 2, "reason": "audited"}]}`))
+	if err != nil {
+		t.Fatalf("LoadBaseline rejected a valid ledger: %v", err)
+	}
+	if len(b.Findings) != 1 || b.Findings[0].Reason != "audited" {
+		t.Errorf("valid ledger decoded wrong: %+v", b)
+	}
+}
+
+func diagAt(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: file, Line: line},
+		Message:  msg,
+	}
+}
+
+// TestDiffBaseline pins the three-way partition: matched findings come
+// back flagged Baselined, extra occurrences beyond the audited count are
+// new, and unmatched ledger entries are stale with their residual count.
+func TestDiffBaseline(t *testing.T) {
+	base := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "refbalance", File: "core/a.go", Message: "leak", Count: 2, Reason: "audited fan-out"},
+		{Analyzer: "shardowner", File: "core/b.go", Message: "escape", Count: 1},
+	}}
+	rel := func(s string) string { return strings.TrimPrefix(s, "/repo/") }
+	diags := []Diagnostic{
+		diagAt("refbalance", "/repo/core/a.go", 10, "leak"),
+		diagAt("refbalance", "/repo/core/a.go", 20, "leak"),
+		diagAt("refbalance", "/repo/core/a.go", 30, "leak"), // third occurrence: over budget
+		diagAt("readpurity", "/repo/fib/c.go", 5, "locks"),  // not in ledger at all
+	}
+
+	newDiags, matched, stale := DiffBaseline(base, diags, rel)
+
+	if len(matched) != 2 {
+		t.Fatalf("matched %d findings, want 2", len(matched))
+	}
+	for _, d := range matched {
+		if !d.Baselined {
+			t.Errorf("matched finding at line %d not flagged Baselined", d.Position.Line)
+		}
+	}
+	if len(newDiags) != 2 {
+		t.Fatalf("new %d findings, want 2 (over-budget leak + unlisted readpurity)", len(newDiags))
+	}
+	for _, d := range newDiags {
+		if d.Baselined {
+			t.Errorf("new finding %s wrongly flagged Baselined", d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("stale %d entries, want 1", len(stale))
+	}
+	if s := stale[0]; s.Analyzer != "shardowner" || s.Count != 1 {
+		t.Errorf("stale entry = %+v, want the unmatched shardowner x1", s)
+	}
+}
+
+// TestBuildBaselineCarriesReasons pins the rewrite path: counts are
+// re-aggregated from live findings, entries come out position-sorted,
+// and audit reasons survive as long as their key still matches.
+func TestBuildBaselineCarriesReasons(t *testing.T) {
+	prev := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{Analyzer: "refbalance", File: "core/a.go", Message: "leak", Count: 1, Reason: "audited fan-out"},
+		{Analyzer: "errdrop", File: "gone.go", Message: "dropped", Count: 1, Reason: "obsolete"},
+	}}
+	rel := func(s string) string { return s }
+	diags := []Diagnostic{
+		diagAt("refbalance", "core/a.go", 10, "leak"),
+		diagAt("refbalance", "core/a.go", 99, "leak"),
+		diagAt("shardowner", "core/b.go", 5, "escape"),
+	}
+	b := BuildBaseline(diags, prev, rel)
+	if len(b.Findings) != 2 {
+		t.Fatalf("built %d entries, want 2", len(b.Findings))
+	}
+	leak := b.Findings[0]
+	if leak.File != "core/a.go" || leak.Count != 2 {
+		t.Errorf("leak entry = %+v, want core/a.go x2", leak)
+	}
+	if leak.Reason != "audited fan-out" {
+		t.Errorf("reason not carried forward: %q", leak.Reason)
+	}
+	if b.Findings[1].Reason != "" {
+		t.Errorf("fresh entry inherited a reason: %+v", b.Findings[1])
+	}
+
+	// Round-trip through disk.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 2 || back.Findings[0].Reason != "audited fan-out" {
+		t.Errorf("round-trip lost data: %+v", back.Findings)
+	}
+}

@@ -1,0 +1,396 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies. It is the flow-sensitive core of bgplint v2: the
+// refbalance, shardowner, and readpurity analyzers walk these graphs to
+// prove path properties ("every acquire reaches a release on all
+// paths") that the syntax-local v1 analyzers could not express. Like
+// the rest of internal/analysis it is standard library only — no
+// golang.org/x/tools dependency.
+//
+// The graph is statement-granular. Each basic block holds a list of
+// ast.Node values in evaluation order: plain statements verbatim,
+// branch conditions and switch tags as bare expressions, and range
+// statements as themselves (consumers inspect only X/Key/Value — the
+// loop body has its own blocks). Control statements never appear whole
+// inside a block's node list, so a consumer can ast.Inspect every node
+// without double-visiting nested bodies, as long as it skips *ast.
+// FuncLit (closures run elsewhere) and treats *ast.RangeStmt specially.
+//
+// Panics get their own sink block (Panic) distinct from the normal
+// return sink (Exit): a deferred release covers both, but an analyzer
+// deciding whether a reference leaks can choose to require consumption
+// only on paths that return normally.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: nodes executed in order, then a jump to one
+// of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Cond is set when the block ends in a two-way conditional branch:
+	// Succs[0] is the true edge and Succs[1] the false edge. It is nil
+	// for unconditional jumps and for multi-way branches (switch,
+	// select, range), whose successor order carries no truth value.
+	Cond ast.Expr
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // normal-return sink (explicit returns and fallthrough off the end)
+	Panic  *Block // panic sink (explicit panic calls)
+	Blocks []*Block
+}
+
+// String renders the graph for tests and debugging.
+func (c *CFG) String() string {
+	var b strings.Builder
+	for _, blk := range c.Blocks {
+		tag := ""
+		switch blk {
+		case c.Entry:
+			tag = " (entry)"
+		case c.Exit:
+			tag = " (exit)"
+		case c.Panic:
+			tag = " (panic)"
+		}
+		fmt.Fprintf(&b, "b%d%s:", blk.Index, tag)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " ->b%d", s.Index)
+		}
+		fmt.Fprintf(&b, " [%d nodes]\n", len(blk.Nodes))
+	}
+	return b.String()
+}
+
+// New builds the CFG for a function body. A nil body yields a trivial
+// entry->exit graph.
+func New(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &builder{c: c}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	c.Panic = b.newBlock()
+	cur := c.Entry
+	if body != nil {
+		cur = b.stmtList(cur, body.List)
+	}
+	b.jump(cur, c.Exit)
+	return c
+}
+
+// frame is one enclosing breakable construct: loops carry a continue
+// target, switches and selects only a break target.
+type frame struct {
+	brk   *Block
+	cont  *Block // nil for switch/select
+	label string
+}
+
+type builder struct {
+	c      *CFG
+	frames []frame
+	// label pending for the next loop/switch statement (set by
+	// LabeledStmt).
+	pendingLabel string
+	// fallTarget is the next case body during switch construction, for
+	// fallthrough statements.
+	fallTarget *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.c.Blocks)}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge from from to to; a nil from (unreachable) is a
+// no-op.
+func (b *builder) jump(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmtList threads cur through a statement list; the result is nil when
+// the list ends in a terminating statement.
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt appends one statement to the graph starting at cur and returns
+// the block where control continues (nil after return/branch/panic).
+// Statements following a terminator are attached to a fresh unreachable
+// block so the rest of the function still builds.
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	if cur == nil {
+		cur = b.newBlock() // unreachable continuation
+	}
+	switch stmt := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, stmt.List)
+
+	case *ast.LabeledStmt:
+		switch stmt.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = stmt.Label.Name
+		}
+		return b.stmt(cur, stmt.Stmt)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, stmt)
+		b.jump(cur, b.c.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, stmt)
+
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			cur = b.stmt(cur, stmt.Init)
+			if cur == nil {
+				cur = b.newBlock()
+			}
+		}
+		cur.Nodes = append(cur.Nodes, stmt.Cond)
+		cur.Cond = stmt.Cond
+		then := b.newBlock()
+		join := b.newBlock()
+		b.jump(cur, then)
+		thenOut := b.stmtList(then, stmt.Body.List)
+		b.jump(thenOut, join)
+		if stmt.Else != nil {
+			els := b.newBlock()
+			b.jump(cur, els)
+			elsOut := b.stmt(els, stmt.Else)
+			b.jump(elsOut, join)
+		} else {
+			b.jump(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if stmt.Init != nil {
+			cur = b.stmt(cur, stmt.Init)
+			if cur == nil {
+				cur = b.newBlock()
+			}
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.jump(cur, head)
+		contTarget := head
+		var post *Block
+		if stmt.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		if stmt.Cond != nil {
+			head.Nodes = append(head.Nodes, stmt.Cond)
+			head.Cond = stmt.Cond
+			b.jump(head, body)
+			b.jump(head, join)
+		} else {
+			b.jump(head, body)
+		}
+		b.frames = append(b.frames, frame{brk: join, cont: contTarget, label: label})
+		bodyOut := b.stmtList(body, stmt.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(bodyOut, contTarget)
+		if post != nil {
+			post.Nodes = append(post.Nodes, stmt.Post)
+			b.jump(post, head)
+		}
+		return join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.jump(cur, head)
+		// The RangeStmt node itself carries X and the Key/Value
+		// definitions; consumers must not descend into Body.
+		head.Nodes = append(head.Nodes, stmt)
+		b.jump(head, body)
+		b.jump(head, join)
+		b.frames = append(b.frames, frame{brk: join, cont: head, label: label})
+		bodyOut := b.stmtList(body, stmt.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(bodyOut, head)
+		return join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if stmt.Init != nil {
+			cur = b.stmt(cur, stmt.Init)
+			if cur == nil {
+				cur = b.newBlock()
+			}
+		}
+		if stmt.Tag != nil {
+			cur.Nodes = append(cur.Nodes, stmt.Tag)
+		}
+		return b.switchBody(cur, stmt.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if stmt.Init != nil {
+			cur = b.stmt(cur, stmt.Init)
+			if cur == nil {
+				cur = b.newBlock()
+			}
+		}
+		return b.switchBody(cur, stmt.Body, label, stmt.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		join := b.newBlock()
+		b.frames = append(b.frames, frame{brk: join, label: label})
+		for _, cc := range stmt.Body.List {
+			clause, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.jump(cur, blk)
+			if clause.Comm != nil {
+				blk.Nodes = append(blk.Nodes, clause.Comm)
+			}
+			out := b.stmtList(blk, clause.Body)
+			b.jump(out, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(stmt.Body.List) == 0 {
+			b.jump(cur, join)
+		}
+		return join
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, stmt)
+		if isPanicCall(stmt.X) {
+			b.jump(cur, b.c.Panic)
+			return nil
+		}
+		return cur
+
+	default:
+		// AssignStmt, DeclStmt, SendStmt, IncDecStmt, DeferStmt, GoStmt,
+		// EmptyStmt, ...: straight-line.
+		cur.Nodes = append(cur.Nodes, stmt)
+		return cur
+	}
+}
+
+// switchBody builds the case blocks of a switch or type switch. assign
+// is the type switch's assign/expr statement, evaluated in cur.
+func (b *builder) switchBody(cur *Block, body *ast.BlockStmt, label string, assign ast.Stmt) *Block {
+	if assign != nil {
+		cur.Nodes = append(cur.Nodes, assign)
+	}
+	join := b.newBlock()
+	b.frames = append(b.frames, frame{brk: join, label: label})
+	var clauses []*ast.CaseClause
+	for _, cc := range body.List {
+		if clause, ok := cc.(*ast.CaseClause); ok {
+			clauses = append(clauses, clause)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		blocks[i] = b.newBlock()
+		b.jump(cur, blocks[i])
+		for _, e := range clause.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.jump(cur, join)
+	}
+	for i, clause := range clauses {
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = join
+		}
+		out := b.stmtList(blocks[i], clause.Body)
+		b.jump(out, join)
+	}
+	b.fallTarget = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	return join
+}
+
+// branch resolves break/continue/goto/fallthrough. goto is handled
+// conservatively with an edge to the exit sink (the repo's analyzed
+// packages do not use goto; a conservative edge only weakens "on all
+// paths" claims, never fabricates a safe path).
+func (b *builder) branch(cur *Block, stmt *ast.BranchStmt) *Block {
+	label := ""
+	if stmt.Label != nil {
+		label = stmt.Label.Name
+	}
+	switch stmt.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.jump(cur, f.brk)
+				return nil
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				b.jump(cur, f.cont)
+				return nil
+			}
+		}
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.jump(cur, b.fallTarget)
+			return nil
+		}
+	case token.GOTO:
+		b.jump(cur, b.c.Exit)
+		return nil
+	}
+	b.jump(cur, b.c.Exit)
+	return nil
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

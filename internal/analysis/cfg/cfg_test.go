@@ -1,0 +1,256 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses src as a file, finds the function named name, and
+// builds its CFG.
+func buildFor(t *testing.T, src, name string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along successor
+// edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestStraightLine(t *testing.T) {
+	c := buildFor(t, `package p
+func f() { x := 1; _ = x }`, "f")
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+	if reaches(c.Entry, c.Panic) {
+		t.Fatalf("panic sink reachable without a panic:\n%s", c)
+	}
+}
+
+func TestIfBothArms(t *testing.T) {
+	c := buildFor(t, `package p
+func f(b bool) int {
+	if b {
+		return 1
+	}
+	return 2
+}`, "f")
+	// Entry must reach exit via two distinct return-bearing blocks.
+	returns := 0
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+				if !reaches(c.Entry, blk) {
+					t.Errorf("return block b%d unreachable from entry", blk.Index)
+				}
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("found %d return nodes, want 2\n%s", returns, c)
+	}
+}
+
+func TestIfCondBranchOrder(t *testing.T) {
+	c := buildFor(t, `package p
+func f(err error) {
+	if err != nil {
+		println("e")
+	} else {
+		println("ok")
+	}
+}`, "f")
+	var cond *Block
+	for _, blk := range c.Blocks {
+		if blk.Cond != nil {
+			cond = blk
+		}
+	}
+	if cond == nil {
+		t.Fatalf("no conditional block:\n%s", c)
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("conditional block has %d successors, want 2", len(cond.Succs))
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	c := buildFor(t, `package p
+func f(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		if xs[i] == 0 {
+			break
+		}
+		println(i)
+	}
+	println("done")
+}`, "f")
+	// The loop head must be on a cycle (back edge) and the exit must be
+	// reachable both via the loop condition and via break.
+	var head *Block
+	for _, blk := range c.Blocks {
+		if blk.Cond != nil && reaches(blk.Succs[0], blk) {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head with a back edge:\n%s", c)
+	}
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+}
+
+func TestRangeZeroIterationPath(t *testing.T) {
+	c := buildFor(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		println(x)
+	}
+}`, "f")
+	// A range loop must have a path from entry to exit that skips the
+	// body (zero iterations).
+	var rangeBlk, body *Block
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				rangeBlk = blk
+			}
+		}
+	}
+	if rangeBlk == nil {
+		t.Fatalf("range head not found:\n%s", c)
+	}
+	if len(rangeBlk.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body, join)", len(rangeBlk.Succs))
+	}
+	body = rangeBlk.Succs[0]
+	if !reaches(body, rangeBlk) {
+		t.Errorf("no back edge from range body to head:\n%s", c)
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	c := buildFor(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+		fallthrough
+	case 2:
+		println(2)
+	}
+	println("after")
+}`, "f")
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+	// Without a default clause the dispatch block must have an edge
+	// skipping every case.
+	c2 := buildFor(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 1
+	default:
+		return 0
+	}
+}`, "f")
+	if !reaches(c2.Entry, c2.Exit) {
+		t.Fatalf("exit unreachable with default:\n%s", c2)
+	}
+}
+
+func TestPanicSink(t *testing.T) {
+	c := buildFor(t, `package p
+func f(b bool) {
+	if b {
+		panic("boom")
+	}
+	println("ok")
+}`, "f")
+	if !reaches(c.Entry, c.Panic) {
+		t.Fatalf("panic sink unreachable:\n%s", c)
+	}
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+	// The panic block must not flow into the normal exit.
+	if reaches(c.Panic, c.Exit) {
+		t.Fatalf("panic sink flows into exit:\n%s", c)
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	c := buildFor(t, `package p
+func f(ch chan int, done chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}`, "f")
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable:\n%s", c)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	c := buildFor(t, `package p
+func f(xs [][]int) {
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			println(v)
+		}
+	}
+	println("done")
+}`, "f")
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatalf("exit unreachable with labeled break:\n%s", c)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	c := New(nil)
+	if !reaches(c.Entry, c.Exit) {
+		t.Fatal("nil body: exit unreachable")
+	}
+}

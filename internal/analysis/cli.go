@@ -5,6 +5,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
 )
 
 // Exit codes for Main, mirroring the convention of go vet: clean, has
@@ -17,11 +21,12 @@ const (
 
 // jsonDiagnostic is the stable machine-readable form emitted by -json.
 type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
 }
 
 // Main implements the bgplint command: load the requested packages,
@@ -32,14 +37,22 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("bgplint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	jsonOut := flags.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	sarifOut := flags.Bool("sarif", false, "emit findings as SARIF 2.1.0 instead of file:line text")
 	list := flags.Bool("list", false, "list available analyzers and exit")
 	dir := flags.String("C", ".", "directory to resolve packages from")
+	baselinePath := flags.String("baseline", "", "committed baseline file: listed findings stay visible but do not fail; new or stale entries do")
+	writeBaseline := flags.Bool("write-baseline", false, "rewrite the -baseline file from the current findings and exit clean")
+	allowsOut := flags.String("allows", "", "write the //bgplint:allow inventory as a markdown table to this file ('-' for stdout)")
+	cacheDir := flags.String("cache", "", "directory for incremental runs: replay cached findings when no input file changed")
+	budget := flags.Duration("budget", 0, "fail if the uncached analysis takes longer than this wall-clock duration")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bgplint [-json] [-C dir] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: bgplint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
-		fmt.Fprintf(stderr, "\nSuppress a finding with `//lint:allow <analyzer> <justification>`\non the offending line or the line above it.\n")
+		fmt.Fprintf(stderr, "\nSuppress a finding with `//bgplint:allow(<analyzer>) reason=<justification>`\non the offending line or the line above it. The reason is mandatory.\n")
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
 		return ExitError
@@ -55,22 +68,81 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := Load(*dir, patterns)
+	absDir, err := filepath.Abs(*dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "bgplint: %v\n", err)
 		return ExitError
 	}
-	diags := RunAnalyzers(pkgs, DefaultConfig(), Analyzers())
+	rel := func(file string) string {
+		if r, err := filepath.Rel(absDir, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(file)
+	}
 
-	if *jsonOut {
+	diags, inventory, cached, elapsed, code := runOrReplay(*dir, patterns, *cacheDir, stderr)
+	if code != ExitClean {
+		return code
+	}
+
+	if *allowsOut != "" {
+		for i := range inventory {
+			inventory[i].File = rel(inventory[i].File)
+		}
+		if err := writeAllowInventory(*allowsOut, inventory, stdout); err != nil {
+			fmt.Fprintf(stderr, "bgplint: %v\n", err)
+			return ExitError
+		}
+	}
+
+	// Baseline partitioning: matched findings stay visible (marked),
+	// new findings and stale ledger entries fail.
+	var stale []BaselineEntry
+	failing := diags
+	if *baselinePath != "" && !*writeBaseline {
+		base, err := LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "bgplint: %v\n", err)
+			return ExitError
+		}
+		var matched []Diagnostic
+		failing, matched, stale = DiffBaseline(base, diags, rel)
+		diags = append(failing, matched...)
+		sortDiagnostics(diags)
+	}
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintf(stderr, "bgplint: -write-baseline requires -baseline <file>\n")
+			return ExitError
+		}
+		var prev *Baseline
+		if b, err := LoadBaseline(*baselinePath); err == nil {
+			prev = b
+		}
+		if err := WriteBaseline(*baselinePath, BuildBaseline(diags, prev, rel)); err != nil {
+			fmt.Fprintf(stderr, "bgplint: %v\n", err)
+			return ExitError
+		}
+		fmt.Fprintf(stderr, "bgplint: wrote %s (%d finding(s) audited)\n", *baselinePath, len(diags))
+		return ExitClean
+	}
+
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(stdout, diags, rel); err != nil {
+			fmt.Fprintf(stderr, "bgplint: %v\n", err)
+			return ExitError
+		}
+	case *jsonOut:
 		out := make([]jsonDiagnostic, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, jsonDiagnostic{
-				File:     d.Position.Filename,
-				Line:     d.Position.Line,
-				Column:   d.Position.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
+				File:      d.Position.Filename,
+				Line:      d.Position.Line,
+				Column:    d.Position.Column,
+				Analyzer:  d.Analyzer,
+				Message:   d.Message,
+				Baselined: d.Baselined,
 			})
 		}
 		enc := json.NewEncoder(stdout)
@@ -79,17 +151,122 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "bgplint: %v\n", err)
 			return ExitError
 		}
-	} else {
+	default:
 		for _, d := range diags {
-			fmt.Fprintln(stdout, d.String())
+			if d.Baselined {
+				fmt.Fprintf(stdout, "%s [baselined]\n", d.String())
+			} else {
+				fmt.Fprintln(stdout, d.String())
+			}
 		}
 	}
 
-	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(stderr, "bgplint: %d finding(s)\n", len(diags))
-		}
-		return ExitFindings
+	exit := ExitClean
+	if len(failing) > 0 {
+		fmt.Fprintf(stderr, "bgplint: %d new finding(s)\n", len(failing))
+		exit = ExitFindings
 	}
-	return ExitClean
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "bgplint: stale baseline entry: %s: %s: %s (x%d) — finding is gone, remove it from the baseline\n",
+			e.File, e.Analyzer, e.Message, e.Count)
+		exit = ExitFindings
+	}
+	if *budget > 0 && !cached && elapsed > *budget {
+		fmt.Fprintf(stderr, "bgplint: analysis took %s, over the %s budget\n", elapsed.Round(time.Millisecond), *budget)
+		if exit == ExitClean {
+			exit = ExitFindings
+		}
+	}
+	return exit
+}
+
+// cachedRun is the replayable result of one full analysis, keyed by the
+// source digest.
+type cachedRun struct {
+	Digest    string           `json:"digest"`
+	Diags     []jsonDiagnostic `json:"diags"`
+	Inventory []AllowEntry     `json:"inventory"`
+}
+
+// runOrReplay performs the load+analyze step, or replays a cached
+// result when cacheDir is set and the source digest matches. The
+// returned elapsed duration covers only real (uncached) analysis.
+func runOrReplay(dir string, patterns []string, cacheDir string, stderr io.Writer) (diags []Diagnostic, inventory []AllowEntry, cached bool, elapsed time.Duration, code int) {
+	var digest, cachePath string
+	if cacheDir != "" {
+		var err error
+		digest, err = SourceDigest(dir, patterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "bgplint: %v\n", err)
+			return nil, nil, false, 0, ExitError
+		}
+		cachePath = filepath.Join(cacheDir, "bgplint.json")
+		if data, err := os.ReadFile(cachePath); err == nil {
+			var run cachedRun
+			if json.Unmarshal(data, &run) == nil && run.Digest == digest {
+				for _, d := range run.Diags {
+					diags = append(diags, d.toDiagnostic())
+				}
+				return diags, run.Inventory, true, 0, ExitClean
+			}
+		}
+	}
+
+	start := time.Now()
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgplint: %v\n", err)
+		return nil, nil, false, 0, ExitError
+	}
+	diags, err = RunAnalyzers(pkgs, DefaultConfig(), Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "bgplint: %v\n", err)
+		return nil, nil, false, 0, ExitError
+	}
+	inventory = CollectAllowInventory(pkgs, func(s string) string { return s })
+	elapsed = time.Since(start)
+
+	if cachePath != "" {
+		run := cachedRun{Digest: digest, Inventory: inventory}
+		for _, d := range diags {
+			run.Diags = append(run.Diags, jsonDiagnostic{
+				File: d.Position.Filename, Line: d.Position.Line, Column: d.Position.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		if data, err := json.Marshal(run); err == nil {
+			if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+				_ = os.WriteFile(cachePath, data, 0o644)
+			}
+		}
+	}
+	return diags, inventory, false, elapsed, ExitClean
+}
+
+// toDiagnostic rebuilds a Diagnostic from its cached form.
+func (j jsonDiagnostic) toDiagnostic() Diagnostic {
+	d := Diagnostic{Analyzer: j.Analyzer, Message: j.Message}
+	d.Position.Filename = j.File
+	d.Position.Line = j.Line
+	d.Position.Column = j.Column
+	return d
+}
+
+// writeAllowInventory renders the suppression inventory as the markdown
+// table embedded in the docs.
+func writeAllowInventory(path string, entries []AllowEntry, stdout io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# bgplint suppression inventory\n\n")
+	b.WriteString("Every `//bgplint:allow` directive in the tree, with its mandatory\n")
+	b.WriteString("audit reason. Generated by `make lint-allows`; do not edit by hand.\n\n")
+	b.WriteString("| Location | Analyzers | Reason |\n")
+	b.WriteString("| --- | --- | --- |\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "| `%s:%d` | %s | %s |\n", e.File, e.Line, strings.Join(e.Analyzers, ", "), e.Reason)
+	}
+	if path == "-" {
+		_, err := io.WriteString(stdout, b.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

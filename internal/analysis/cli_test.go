@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -60,6 +62,167 @@ func TestMainJSON(t *testing.T) {
 		if d.File == "" || d.Line == 0 || d.Message == "" {
 			t.Errorf("incomplete JSON diagnostic: %+v", d)
 		}
+	}
+}
+
+// TestMainSARIF pins the -sarif shape: valid SARIF 2.1.0 with one rule
+// per analyzer (plus the driver's own rule) and one result per finding,
+// carrying baselineState.
+func TestMainSARIF(t *testing.T) {
+	var out, errb strings.Builder
+	code := Main([]string{"-sarif", fixturePrefix + "detclock"}, &out, &errb)
+	if code != ExitFindings {
+		t.Fatalf("Main -sarif = %d, want %d\nstderr:\n%s", code, ExitFindings, errb.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("SARIF runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got, want := len(run.Tool.Driver.Rules), len(Analyzers())+1; got != want {
+		t.Errorf("SARIF rules = %d, want %d (analyzers + driver)", got, want)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("SARIF results empty for a flagged fixture")
+	}
+	for _, r := range run.Results {
+		if r.RuleID != "detclock" {
+			t.Errorf("unexpected ruleId %q in detclock fixture results", r.RuleID)
+		}
+		if r.BaselineState != "new" {
+			t.Errorf("un-baselined finding has baselineState %q, want new", r.BaselineState)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine == 0 {
+			t.Errorf("SARIF result missing location: %+v", r)
+		}
+	}
+}
+
+// TestMainBaselineLifecycle drives the whole audited-findings loop
+// in-process: write the ledger from a flagged fixture, re-run against
+// it (clean, findings still visible), then break it both ways — a
+// padded count must surface as stale, a truncated ledger as new
+// findings.
+func TestMainBaselineLifecycle(t *testing.T) {
+	pkg := fixturePrefix + "detclock"
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errb strings.Builder
+	if code := Main([]string{"-baseline", base, "-write-baseline", pkg}, &out, &errb); code != ExitClean {
+		t.Fatalf("-write-baseline = %d, want clean\nstderr:\n%s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-baseline", base, pkg}, &out, &errb); code != ExitClean {
+		t.Fatalf("run against fresh baseline = %d, want clean\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[baselined]") {
+		t.Errorf("audited findings not printed with [baselined] marker:\n%s", out.String())
+	}
+
+	// Pad one entry's count: the extra occurrence matches nothing, so the
+	// ledger is stale and the gate must fail.
+	b, err := LoadBaseline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Findings[0].Count++
+	if err := WriteBaseline(base, b); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-baseline", base, pkg}, &out, &errb); code != ExitFindings {
+		t.Fatalf("run against padded baseline = %d, want findings (stale entry)", code)
+	}
+	if !strings.Contains(errb.String(), "stale baseline entry") {
+		t.Errorf("stale entry not reported:\n%s", errb.String())
+	}
+
+	// Drop an entry: its finding is now new and the gate must fail.
+	b.Findings[0].Count--
+	dropped := b.Findings[0]
+	b.Findings = b.Findings[1:]
+	if err := WriteBaseline(base, b); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-baseline", base, pkg}, &out, &errb); code != ExitFindings {
+		t.Fatalf("run against truncated baseline = %d, want findings (new finding)", code)
+	}
+	if !strings.Contains(out.String(), dropped.Message) {
+		t.Errorf("un-audited finding %q not printed:\n%s", dropped.Message, out.String())
+	}
+
+	// A corrupt ledger must refuse to run at all.
+	if err := os.WriteFile(base, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := Main([]string{"-baseline", base, pkg}, &out, &errb); code != ExitError {
+		t.Fatalf("run against corrupt baseline = %d, want %d", code, ExitError)
+	}
+}
+
+// TestMainAllowInventory pins the -allows markdown table: one row per
+// valid directive, written to a file or stdout.
+func TestMainAllowInventory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allows.md")
+	var out, errb strings.Builder
+	// The pooledbuf fixture carries reasoned allows on its good shapes.
+	code := Main([]string{"-allows", path, fixturePrefix + "pooledbuf"}, &out, &errb)
+	if code != ExitFindings {
+		t.Fatalf("Main -allows = %d, want %d (fixture has findings)\nstderr:\n%s", code, ExitFindings, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("-allows wrote no file: %v", err)
+	}
+	table := string(data)
+	if !strings.Contains(table, "| Location | Analyzers | Reason |") {
+		t.Errorf("inventory missing header:\n%s", table)
+	}
+	if !strings.Contains(table, "pooledbuf") || strings.Count(table, "\n") < 3 {
+		t.Errorf("inventory missing fixture allows:\n%s", table)
+	}
+}
+
+// TestMainCacheAndBudget drives the incremental path: with an
+// unchanged tree the second run replays the cached findings, which is
+// also the observable that the -budget clock only charges real
+// analysis — an impossible 1ns budget fails the cold run and passes
+// the cached one.
+func TestMainCacheAndBudget(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	pkg := "bgpbench/internal/analysis/cfg" // small and lint-clean
+	args := []string{"-cache", cacheDir, "-budget", "1ns", pkg}
+
+	var out, errb strings.Builder
+	if code := Main(args, &out, &errb); code != ExitFindings {
+		t.Fatalf("cold run with 1ns budget = %d, want %d (budget exceeded)\nstderr:\n%s",
+			code, ExitFindings, errb.String())
+	}
+	if !strings.Contains(errb.String(), "over the 1ns budget") {
+		t.Errorf("budget violation not reported:\n%s", errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(cacheDir, "bgplint.json")); err != nil {
+		t.Fatalf("cold run left no cache file: %v", err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Main(args, &out, &errb); code != ExitClean {
+		t.Fatalf("warm run = %d, want clean (replay skips the budget)\nstderr:\n%s",
+			code, errb.String())
 	}
 }
 

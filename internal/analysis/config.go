@@ -11,6 +11,44 @@ type Config struct {
 	ErrDrop  ErrDropConfig
 	Snapshot SnapshotConfig
 	AFI      AFIConfig
+	Ref      RefConfig
+	Purity   PurityConfig
+}
+
+// RefConfig scopes the path-sensitive acquire/release pairing check
+// (refbalance). All entries are fully-qualified functions in
+// types.Func.FullName form.
+type RefConfig struct {
+	// Types are the qualified "pkgpath.TypeName" refcounted resource
+	// types whose references the analyzer tracks (values are pointers to
+	// these types).
+	Types []string
+	// Acquires return a counted reference the caller owns and must
+	// balance on every path. Functions that forward an acquired
+	// reference to their own caller are inferred automatically and do
+	// not need listing.
+	Acquires []string
+	// Releases drop one reference of their receiver or argument.
+	Releases []string
+	// Transfers consume one reference of a tracked argument: ownership
+	// moves to the callee on every path, including its failure paths.
+	// Functions that release or transfer their parameter on all paths
+	// are inferred automatically and do not need listing.
+	Transfers []string
+}
+
+// PurityConfig scopes the wait-free read-path purity check
+// (readpurity).
+type PurityConfig struct {
+	// Entrypoints are the fully-qualified functions
+	// (types.Func.FullName form) forming the wait-free read surface.
+	// They, and every module function they transitively call, must not
+	// acquire locks, touch sync.Pool, use channels, spawn goroutines,
+	// or write non-local state.
+	Entrypoints []string
+	// AllowCallees are fully-qualified functions audited as safe on the
+	// read path even though the walker cannot prove it.
+	AllowCallees []string
 }
 
 // DetclockConfig scopes the deterministic-clock check.
@@ -76,7 +114,7 @@ type AFIConfig struct {
 	// Truncating lists fully-qualified functions (types.Func.FullName
 	// form) that collapse an address to its IPv4 bits. Calling one
 	// outside the package that defines it is a finding unless the call
-	// site carries an audited //lint:allow afifamily justification.
+	// site carries an audited //bgplint:allow(afifamily) justification.
 	Truncating []string
 }
 
@@ -231,6 +269,68 @@ func DefaultConfig() *Config {
 				"(bgpbench/internal/netaddr.Addr).V4",
 				"(" + fixturePrefix + "afifamily.Addr).V4",
 			},
+		},
+		Ref: RefConfig{
+			Types: []string{
+				// The fan-out payload: the creator sets refs to the
+				// recipient count; every recipient path must consume
+				// exactly one reference.
+				"bgpbench/internal/session.SharedPayload",
+				// The marshal cache's pooled 128 KiB arena: refs = carved
+				// payloads + the cache's own open reference.
+				"bgpbench/internal/core.payloadSlab",
+
+				fixturePrefix + "refbalance.Payload",
+			},
+			Acquires: []string{
+				"bgpbench/internal/session.NewSharedPayload",
+				"(*bgpbench/internal/core.Router).getSlab",
+				// payloadFor returns a payload carrying one extra caller
+				// reference on top of the per-recipient ones.
+				"(*bgpbench/internal/core.marshalCache).payloadFor",
+
+				fixturePrefix + "refbalance.acquire",
+				fixturePrefix + "refbalance.acquireErr",
+			},
+			Releases: []string{
+				"(*bgpbench/internal/session.SharedPayload).Release",
+				"(*bgpbench/internal/core.payloadSlab).releaseRef",
+
+				"(*" + fixturePrefix + "refbalance.Payload).Release",
+			},
+			Transfers: []string{
+				// Each of these consumes one reference even when it fails:
+				// pushShared releases on overflow-drop, SendShared releases
+				// on a closed session, insert hands the reference to the
+				// cache eviction path.
+				"(*bgpbench/internal/core.outQueue).pushShared",
+				"(*bgpbench/internal/session.Session).SendShared",
+				"(*bgpbench/internal/core.marshalCache).insert",
+
+				fixturePrefix + "refbalance.send",
+			},
+		},
+		Purity: PurityConfig{
+			Entrypoints: []string{
+				// The epoch-published FIB read surface: wait-free by
+				// contract (DESIGN §4), safe to call from every worker at
+				// full lookup rate.
+				"(*bgpbench/internal/fib.SnapshotTable).Lookup",
+				"(*bgpbench/internal/fib.SnapshotTable).LookupExact",
+				"(*bgpbench/internal/fib.SnapshotTable).Len",
+				"(*bgpbench/internal/fib.SnapshotTable).Walk",
+				"(*bgpbench/internal/fib.SnapshotTable).Updates",
+				"(*bgpbench/internal/fib.SnapshotTable).Lookups",
+				"(*bgpbench/internal/fib.SnapshotTable).BatchStats",
+				"(*bgpbench/internal/fib.poptrieSnapshot).Lookup",
+				"(*bgpbench/internal/fib.poptrieSnapshot).LookupExact",
+				"(*bgpbench/internal/fib.poptrieSnapshot).Len",
+				"(*bgpbench/internal/fib.poptrieSnapshot).Walk",
+
+				fixturePrefix + "readpurity.Lookup",
+				fixturePrefix + "readpurity.CleanLookup",
+			},
+			AllowCallees: nil,
 		},
 	}
 }

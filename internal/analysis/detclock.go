@@ -13,7 +13,7 @@ import (
 var DetClock = &Analyzer{
 	Name: "detclock",
 	Doc:  "no wall-clock or unseeded randomness in deterministic packages",
-	Run:  runDetClock,
+	Run:  func(p *Pass) error { runDetClock(p); return nil },
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

@@ -8,7 +8,7 @@ import (
 // ErrDrop flags silently discarded error results in the protocol
 // packages. It is stricter than vet's unusedresult: every call whose
 // (last) result is an error must consume it, and explicit `_ =` drops
-// are findings too unless annotated with //lint:allow errdrop and a
+// are findings too unless annotated with //bgplint:allow(errdrop) and a
 // justification. Malformed-message and transport errors in wire,
 // session, and fsm are exactly the faults the netem harness injects;
 // dropping one on the floor turns an injected fault into silent state
@@ -16,7 +16,7 @@ import (
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "no discarded error results in the protocol packages",
-	Run:  runErrDrop,
+	Run:  func(p *Pass) error { runErrDrop(p); return nil },
 }
 
 func runErrDrop(pass *Pass) {

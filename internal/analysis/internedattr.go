@@ -17,7 +17,7 @@ import (
 var InternedAttr = &Analyzer{
 	Name: "internedattr",
 	Doc:  "interned attrs compare by pointer and are immutable after interning",
-	Run:  runInternedAttr,
+	Run:  func(p *Pass) error { runInternedAttr(p); return nil },
 }
 
 func runInternedAttr(pass *Pass) {

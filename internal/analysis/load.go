@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -10,9 +12,13 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
+
+	"bgpbench/internal/analysis/cfg"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -24,8 +30,13 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 	// DepOnly marks packages pulled in only as dependencies of the
-	// requested patterns; analyzers skip them.
+	// requested patterns; they are still analyzed (their facts feed the
+	// cross-package store) but their diagnostics are dropped.
 	DepOnly bool
+
+	// cfgs caches per-function control-flow graphs, shared by every
+	// analyzer visiting the package (see Pass.CFG).
+	cfgs map[*ast.BlockStmt]*cfg.CFG
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -149,3 +160,40 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// SourceDigest fingerprints everything a bgplint run depends on: the
+// resolved file set of every module package the patterns pull in (deps
+// included — cross-package facts make dependency sources part of the
+// result) and their contents. Because `./...` includes
+// internal/analysis itself, editing an analyzer or the config
+// invalidates the digest too. The digest is the key of the build-cache-
+// aware incremental mode: an unchanged digest means an identical run,
+// so the cached findings can be replayed without re-type-checking the
+// module. Only `go list` and file reads run here — no parsing.
+func SourceDigest(dir string, patterns []string) (string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return "", err
+	}
+	var files []string
+	for _, lp := range listed {
+		if lp.Standard || lp.Name == "" {
+			continue
+		}
+		for _, name := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, name))
+		}
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	fmt.Fprintf(h, "bgplint-cache-v1\npatterns=%s\n", strings.Join(patterns, " "))
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", fmt.Errorf("hashing %s: %v", path, err)
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "%s %s\n", path, hex.EncodeToString(sum[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -18,7 +18,7 @@ import (
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc:  "no blocking I/O while holding the router mutex",
-	Run:  runLockDiscipline,
+	Run:  func(p *Pass) error { runLockDiscipline(p); return nil },
 }
 
 const lockWalkDepth = 4

@@ -13,7 +13,7 @@ import (
 // Put returns it to the pool, at which point another goroutine's Get
 // hands out the same memory and the two users silently share state.
 // Escapes that are deliberate ownership transfers (the handler-to-shard
-// handoff) must carry a justified //lint:allow pooledbuf annotation so
+// handoff) must carry a justified //bgplint:allow(pooledbuf) annotation so
 // every transfer is audited. A Get with no Put anywhere in the same
 // function and no annotated transfer is a leak of pool throughput.
 //
@@ -24,7 +24,7 @@ import (
 var PooledBuf = &Analyzer{
 	Name: "pooledbuf",
 	Doc:  "sync.Pool values must not escape their owner and every Get needs a Put",
-	Run:  runPooledBuf,
+	Run:  func(p *Pass) error { runPooledBuf(p); return nil },
 }
 
 func runPooledBuf(pass *Pass) {

@@ -1,0 +1,702 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bgpbench/internal/analysis/cfg"
+)
+
+// RefBalance is the path-sensitive acquire/release pairing check for
+// the repo's refcounted resources: session.SharedPayload fan-out
+// references and the marshal cache's pooled payloadSlab arenas.
+//
+// Every reference obtained from a configured acquire function must, on
+// every path from the acquire to the function's return — error returns
+// included — reach exactly one of: a configured release, a configured
+// ownership transfer, a deferred release, a return of the reference to
+// the caller, or an escape into longer-lived state (a store, a channel
+// send, a closure capture). A path that reaches the return with the
+// obligation unmet is a leaked reference; a second release without an
+// intervening reassignment is a double release; touching the reference
+// after its release is a use-after-release.
+//
+// The analyzer is cross-package: a helper that releases or transfers
+// its parameter on every path earns a "consumes" fact, and a wrapper
+// that returns an acquired reference earns an "acquires" fact, so
+// callers in importing packages are checked against the helper's real
+// contract without listing every wrapper in the configuration.
+//
+// Known soundness trade-offs, chosen to keep the repo gate quiet
+// without hiding the bugs this analyzer exists for: assigning the
+// reference to another variable ends tracking (alias analysis is out of
+// scope), and paths that panic are not charged with the obligation
+// (a deferred release still anchors the double-release check).
+var RefBalance = &Analyzer{
+	Name: "refbalance",
+	Doc:  "acquired refcounted resources must be released or transferred on every path, exactly once",
+	Run:  runRefBalance,
+}
+
+// refScope is the per-package view the queries run against.
+type refScope struct {
+	pass     *Pass
+	types    map[string]bool // tracked qualified type names
+	acquire  map[string]bool
+	release  map[string]bool
+	transfer map[string]bool
+}
+
+const (
+	refFactConsumes = "consumes" // on *types.Func: consumes its tracked pointer params
+	refFactAcquires = "acquires" // on *types.Func: returns a reference the caller owns
+)
+
+func runRefBalance(pass *Pass) error {
+	sc := &refScope{
+		pass:     pass,
+		types:    map[string]bool{},
+		acquire:  map[string]bool{},
+		release:  map[string]bool{},
+		transfer: map[string]bool{},
+	}
+	for _, t := range pass.Config.Ref.Types {
+		sc.types[t] = true
+	}
+	for _, f := range pass.Config.Ref.Acquires {
+		sc.acquire[f] = true
+	}
+	for _, f := range pass.Config.Ref.Releases {
+		sc.release[f] = true
+	}
+	for _, f := range pass.Config.Ref.Transfers {
+		sc.transfer[f] = true
+	}
+
+	fns := collectFuncs(pass.Pkg)
+
+	// Phase A: infer facts to a fixpoint. A function consumes its
+	// tracked parameter if every path discharges the obligation; a
+	// function acquires if it returns a reference it obtained from an
+	// acquire. Each round can unlock the next (a wrapper calling a
+	// wrapper), so iterate until stable; the call-chain depth bounds the
+	// rounds needed and four covers everything in this module.
+	for i := 0; i < 4; i++ {
+		changed := false
+		for _, fn := range fns {
+			if sc.inferFacts(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase B: report.
+	for _, fn := range fns {
+		sc.checkFunc(fn)
+	}
+	return nil
+}
+
+// funcInfo pairs a function-shaped body with its type object (nil for
+// function literals).
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	body *ast.BlockStmt
+}
+
+// collectFuncs gathers every declared function and method with a body,
+// plus every function literal (checked as an independent function).
+func collectFuncs(pkg *Package) []funcInfo {
+	var out []funcInfo
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			out = append(out, funcInfo{obj: obj, decl: fd, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcInfo{body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isTracked reports whether t is (a pointer to) one of the configured
+// refcounted types.
+func (sc *refScope) isTracked(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return sc.types[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// calleeOf resolves a call expression to its static *types.Func, or nil
+// for dynamic calls (function values, interface methods).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// callKind classifies a call with respect to the tracked variable v:
+// which role (if any) the call plays for v's obligation.
+type callKind int
+
+const (
+	callNone callKind = iota
+	callRelease
+	callTransfer
+)
+
+// classifyCall reports the call's role for v: a release if v is the
+// receiver (or sole argument) of a configured release, a transfer if v
+// is an argument of a configured transfer or of a callee carrying the
+// consumes fact.
+func (sc *refScope) classifyCall(call *ast.CallExpr, v types.Object) callKind {
+	fn := calleeOf(sc.pass.Pkg.Info, call)
+	if fn == nil {
+		return callNone
+	}
+	name := fn.FullName()
+	if sc.release[name] {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isIdentFor(sc.pass, sel.X, v) {
+			return callRelease
+		}
+		for _, a := range call.Args {
+			if isIdentFor(sc.pass, a, v) {
+				return callRelease
+			}
+		}
+		return callNone
+	}
+	argIsV := func() bool {
+		for _, a := range call.Args {
+			if isIdentFor(sc.pass, a, v) {
+				return true
+			}
+		}
+		return false
+	}
+	if sc.transfer[name] && argIsV() {
+		return callTransfer
+	}
+	if _, ok := sc.pass.ObjectFact(fn, refFactConsumes); ok && argIsV() {
+		return callTransfer
+	}
+	return callNone
+}
+
+// isIdentFor reports whether e is (parenthesised) use of exactly the
+// object v.
+func isIdentFor(pass *Pass, e ast.Expr, v types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Pkg.Info.Uses[id] == v || pass.Pkg.Info.Defs[id] == v
+}
+
+// eventKind is one path-relevant occurrence of the tracked variable
+// inside a statement.
+type eventKind int
+
+const (
+	evRelease      eventKind = iota // explicit release call
+	evDeferRelease                  // release registered via defer
+	evTransfer                      // ownership moved to a consuming callee
+	evEscape                        // stored, returned, sent, captured, or aliased
+	evUse                           // any other read of the variable
+	evKill                          // the variable is reassigned: tracking ends
+)
+
+type refEvent struct {
+	kind eventKind
+	pos  token.Pos
+}
+
+// eventsIn lists the occurrences of v inside one CFG node, in source
+// order. Function-literal bodies are not descended into (a capture is a
+// single escape event); range statements contribute only their header
+// expressions (the body lives in successor blocks).
+func (sc *refScope) eventsIn(node ast.Node, v types.Object) []refEvent {
+	var evs []refEvent
+	add := func(kind eventKind, pos token.Pos) {
+		evs = append(evs, refEvent{kind, pos})
+	}
+	var killPos token.Pos
+
+	// Statement-shaped special cases first: they decide how the
+	// contained expressions are interpreted.
+	switch n := node.(type) {
+	case *ast.DeferStmt:
+		if sc.classifyCall(n.Call, v) == callRelease {
+			add(evDeferRelease, n.Call.Pos())
+			return evs
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if isIdentFor(sc.pass, r, v) {
+				add(evEscape, r.Pos())
+				return evs
+			}
+		}
+	case *ast.SendStmt:
+		if isIdentFor(sc.pass, n.Value, v) {
+			add(evEscape, n.Value.Pos())
+			return evs
+		}
+	case *ast.RangeStmt:
+		// Only the header is part of this CFG node.
+		node = n.X
+		if node == nil {
+			return evs
+		}
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if capturesObject(sc.pass, x, v) {
+				add(evEscape, x.Pos())
+			}
+			return false
+		case *ast.CallExpr:
+			switch sc.classifyCall(x, v) {
+			case callRelease:
+				add(evRelease, x.Pos())
+				return false
+			case callTransfer:
+				add(evTransfer, x.Pos())
+				return false
+			}
+		case *ast.AssignStmt:
+			// The reference itself on the RHS escapes (an alias or a
+			// longer-lived home); an expression merely derived from it
+			// (a field read, a call result) is only a use, so descend.
+			for _, rhs := range x.Rhs {
+				if isIdentFor(sc.pass, rhs, v) {
+					add(evEscape, rhs.Pos())
+				} else {
+					ast.Inspect(rhs, visit)
+				}
+			}
+			for _, lhs := range x.Lhs {
+				if isIdentFor(sc.pass, lhs, v) {
+					// Reassignment (or re-definition in a loop): the
+					// old reference is gone after this statement.
+					killPos = x.TokPos
+					continue
+				}
+				ast.Inspect(lhs, visit)
+			}
+			return false
+		case *ast.CompositeLit:
+			if exprMentions(sc.pass, x, v) {
+				add(evEscape, x.Pos())
+			}
+			return false
+		case *ast.Ident:
+			if isIdentFor(sc.pass, x, v) {
+				add(evUse, x.Pos())
+			}
+		}
+		return true
+	}
+	ast.Inspect(node, visit)
+	if killPos.IsValid() {
+		add(evKill, killPos)
+	}
+	return evs
+}
+
+// exprMentions reports whether v appears anywhere inside e (function
+// literals included: a capture is a mention).
+func exprMentions(pass *Pass, e ast.Node, v types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isIdentFor(pass, id, v) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// capturesObject reports whether the function literal's body uses v,
+// which is declared outside it.
+func capturesObject(pass *Pass, fl *ast.FuncLit, v types.Object) bool {
+	return exprMentions(pass, fl.Body, v)
+}
+
+// acquireSite is one tracked reference: the variable it is bound to,
+// the position of the acquire, and the error variable bound alongside
+// it (nil-payload convention: no obligation on the error path).
+type acquireSite struct {
+	v      types.Object
+	errVar types.Object
+	pos    token.Pos
+	callee string
+	block  *cfg.Block
+	node   int // index of the acquiring statement in block.Nodes
+}
+
+// isAcquireCall reports whether the call obtains a fresh counted
+// reference: a configured acquire, or a callee carrying the acquires
+// fact.
+func (sc *refScope) isAcquireCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeOf(sc.pass.Pkg.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.FullName()
+	if sc.acquire[name] {
+		return name, true
+	}
+	if _, ok := sc.pass.ObjectFact(fn, refFactAcquires); ok {
+		return shortFuncName(name), true
+	}
+	return "", false
+}
+
+// shortFuncName trims the package path qualifier for report messages:
+// "(*a/b/core.marshalCache).payloadFor" -> "(*core.marshalCache).payloadFor".
+func shortFuncName(full string) string {
+	i := strings.LastIndex(full, "/")
+	if i < 0 {
+		return full
+	}
+	tail := full[i+1:]
+	switch {
+	case strings.HasPrefix(full, "(*"):
+		return "(*" + tail
+	case strings.HasPrefix(full, "("):
+		return "(" + tail
+	default:
+		return tail
+	}
+}
+
+// findAcquires scans the CFG for statements binding a tracked acquire
+// result to a local variable.
+func (sc *refScope) findAcquires(g *cfg.CFG) []acquireSite {
+	var out []acquireSite
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee, ok := sc.isAcquireCall(call)
+			if !ok {
+				continue
+			}
+			site := acquireSite{pos: as.Pos(), callee: shortFuncName(callee), block: b, node: i}
+			for j, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := sc.pass.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = sc.pass.Pkg.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if j == 0 && sc.isTracked(obj.Type()) {
+					site.v = obj
+				} else if _, isErr := obj.Type().Underlying().(*types.Interface); isErr && obj.Type().String() == "error" {
+					site.errVar = obj
+				}
+			}
+			if site.v != nil {
+				out = append(out, site)
+			}
+		}
+	}
+	return out
+}
+
+// prunedEdge reports whether following the i-th successor of b is
+// meaningless for the obligation: the branch where the reference is nil
+// (acquire failed) carries nothing to release. It recognises the
+// standard `if err != nil` / `if v == nil` guards over the acquire's
+// own result variables.
+func prunedEdge(pass *Pass, b *cfg.Block, i int, site acquireSite) bool {
+	if b.Cond == nil {
+		return false
+	}
+	bin, ok := ast.Unparen(b.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return false
+	}
+	var id ast.Expr
+	switch {
+	case isNilExpr(bin.Y):
+		id = bin.X
+	case isNilExpr(bin.X):
+		id = bin.Y
+	default:
+		return false
+	}
+	isErr := site.errVar != nil && isIdentFor(pass, id, site.errVar)
+	isV := isIdentFor(pass, id, site.v)
+	if !isErr && !isV {
+		return false
+	}
+	// For `x != nil` the true edge (Succs[0]) is the failure/nil-guard
+	// path when x is the error; for `x == nil` it is the true edge when
+	// x is the reference. The pruned side is where the reference is
+	// invalid: err != nil, or v == nil.
+	trueEdgeInvalid := (isErr && bin.Op == token.NEQ) || (isV && bin.Op == token.EQL)
+	if trueEdgeInvalid {
+		return i == 0
+	}
+	return i == 1
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// leakPath performs the central query: starting just after the acquire,
+// can execution reach the function's normal exit without discharging
+// the obligation? It returns the position of the offending return edge
+// (the block that flowed into Exit), or token.NoPos if every path is
+// covered.
+func (sc *refScope) leakPath(g *cfg.CFG, site acquireSite) (token.Pos, bool) {
+	type state struct {
+		b    *cfg.Block
+		from int // first node index to scan
+	}
+	visited := map[*cfg.Block]bool{}
+	var dfs func(s state) (token.Pos, bool)
+	dfs = func(s state) (token.Pos, bool) {
+		if s.b == g.Exit {
+			return site.pos, true
+		}
+		if s.b == g.Panic {
+			// Panic unwinds; deferred releases (or process death) cover
+			// it. Not charged with the obligation.
+			return token.NoPos, false
+		}
+		for i := s.from; i < len(s.b.Nodes); i++ {
+			for _, ev := range sc.eventsIn(s.b.Nodes[i], site.v) {
+				switch ev.kind {
+				case evRelease, evDeferRelease, evTransfer, evEscape:
+					return token.NoPos, false // obligation met on this path
+				case evKill:
+					// Reassigned while still owed: the old reference can
+					// never be released now. Report at the kill site.
+					return ev.pos, true
+				}
+			}
+		}
+		for i, succ := range s.b.Succs {
+			if prunedEdge(sc.pass, s.b, i, site) {
+				continue
+			}
+			if visited[succ] {
+				continue
+			}
+			visited[succ] = true
+			if pos, leak := dfs(state{b: succ, from: 0}); leak {
+				return pos, true
+			}
+		}
+		return token.NoPos, false
+	}
+	return dfs(state{b: site.block, from: site.node + 1})
+}
+
+// afterRelease performs the double-release and use-after-release
+// queries: from each release of the reference, scan forward for a
+// second release (double release) or any other touch of the variable
+// (use after release). A reassignment ends the scan: the name now holds
+// a different reference.
+func (sc *refScope) afterRelease(g *cfg.CFG, site acquireSite) {
+	type relSite struct {
+		b        *cfg.Block
+		node     int
+		pos      token.Pos
+		deferred bool
+	}
+	var rels []relSite
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			for _, ev := range sc.eventsIn(node, site.v) {
+				if ev.kind == evRelease || ev.kind == evDeferRelease {
+					rels = append(rels, relSite{b: b, node: i, pos: ev.pos, deferred: ev.kind == evDeferRelease})
+				}
+			}
+		}
+	}
+	for _, rel := range rels {
+		visited := map[*cfg.Block]bool{}
+		var dfs func(b *cfg.Block, from int, skipPos token.Pos) bool
+		dfs = func(b *cfg.Block, from int, skipPos token.Pos) bool {
+			for i := from; i < len(b.Nodes); i++ {
+				for _, ev := range sc.eventsIn(b.Nodes[i], site.v) {
+					if ev.pos == skipPos {
+						continue
+					}
+					switch ev.kind {
+					case evKill:
+						return true // fresh reference from here on
+					case evRelease, evDeferRelease:
+						sc.pass.Reportf(ev.pos, "double release of %s acquired from %s (already released at %s)",
+							site.v.Name(), site.callee, sc.pass.Pkg.Fset.Position(rel.pos))
+						return true
+					case evUse, evTransfer, evEscape:
+						if rel.deferred {
+							// The deferred release fires at exit, after
+							// this use: ordering is fine.
+							continue
+						}
+						sc.pass.Reportf(ev.pos, "use of %s after its release at %s",
+							site.v.Name(), sc.pass.Pkg.Fset.Position(rel.pos))
+						return true
+					}
+				}
+			}
+			for _, succ := range b.Succs {
+				if succ == g.Exit || succ == g.Panic || visited[succ] {
+					continue
+				}
+				visited[succ] = true
+				if dfs(succ, 0, token.NoPos) {
+					return true
+				}
+			}
+			return false
+		}
+		// Scan the release's own statement first for trailing events,
+		// then the rest of the block and beyond. Stop at the first
+		// report per release site to keep output proportionate.
+		dfs(rel.b, rel.node, rel.pos)
+	}
+}
+
+// checkFunc runs the three queries over every acquire site in fn.
+func (sc *refScope) checkFunc(fn funcInfo) {
+	g := sc.pass.CFG(fn.body)
+	for _, site := range sc.findAcquires(g) {
+		if pos, leak := sc.leakPath(g, site); leak {
+			sc.pass.Reportf(pos, "reference %s acquired from %s can reach return without Release or ownership transfer on some path",
+				site.v.Name(), site.callee)
+		}
+		sc.afterRelease(g, site)
+	}
+}
+
+// inferFacts computes the cross-package contracts of fn: whether it
+// consumes tracked pointer parameters and whether it returns an
+// acquired reference. Returns true if a new fact was exported.
+func (sc *refScope) inferFacts(fn funcInfo) bool {
+	if fn.obj == nil || fn.decl == nil {
+		return false
+	}
+	changed := false
+	sig := fn.obj.Type().(*types.Signature)
+	g := sc.pass.CFG(fn.body)
+
+	// consumes: a tracked pointer parameter discharged on every path.
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if !sc.isTracked(p.Type()) {
+			continue
+		}
+		if _, ok := sc.pass.ObjectFact(fn.obj, refFactConsumes); ok {
+			continue
+		}
+		site := acquireSite{v: p, pos: fn.decl.Pos(), block: g.Entry, node: -1}
+		if _, leak := sc.leakPath(g, site); !leak && hasDischarge(sc, g, p) {
+			sc.pass.ExportObjectFact(fn.obj, refFactConsumes, i)
+			changed = true
+		}
+	}
+
+	// acquires: the function returns a reference it obtained itself.
+	if sig.Results().Len() > 0 && sc.isTracked(sig.Results().At(0).Type()) {
+		if _, ok := sc.pass.ObjectFact(fn.obj, refFactAcquires); !ok {
+			for _, site := range sc.findAcquires(g) {
+				if returnsVar(sc.pass, fn.body, site.v) {
+					sc.pass.ExportObjectFact(fn.obj, refFactAcquires, true)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// hasDischarge reports whether the body contains at least one genuine
+// release or transfer of v — distinguishing a consumer from a function
+// that merely stores or ignores its parameter.
+func hasDischarge(sc *refScope, g *cfg.CFG, v types.Object) bool {
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			for _, ev := range sc.eventsIn(node, v) {
+				if ev.kind == evRelease || ev.kind == evDeferRelease || ev.kind == evTransfer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// returnsVar reports whether any return statement in body (outside
+// nested function literals) returns v.
+func returnsVar(pass *Pass, body *ast.BlockStmt, v types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if isIdentFor(pass, r, v) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Minimal SARIF 2.1.0 output: one run, one rule per analyzer, one
+// result per finding. Baselined findings carry
+// baselineState=unchanged so SARIF viewers (and CI annotators) can
+// distinguish audited debt from regressions; everything else is new.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID        string          `json:"ruleId"`
+	Level         string          `json:"level"`
+	Message       sarifMessage    `json:"message"`
+	Locations     []sarifLocation `json:"locations"`
+	BaselineState string          `json:"baselineState,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the findings; rel maps absolute filenames onto
+// repo-relative artifact URIs.
+func writeSARIF(w io.Writer, diags []Diagnostic, rel func(string) string) error {
+	driver := sarifDriver{Name: driverName}
+	for _, a := range Analyzers() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	// The driver's own directive findings are a rule too.
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               driverName,
+		ShortDescription: sarifMessage{Text: "suppression-directive and baseline hygiene"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		state := "new"
+		if d.Baselined {
+			state = "unchanged"
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: rel(d.Position.Filename)},
+					Region: sarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+			BaselineState: state,
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

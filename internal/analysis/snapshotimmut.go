@@ -17,7 +17,7 @@ import (
 var SnapshotImmut = &Analyzer{
 	Name: "snapshotimmut",
 	Doc:  "published FIB snapshots are immutable; mutations only in allow-listed builders",
-	Run:  runSnapshotImmut,
+	Run:  func(p *Pass) error { runSnapshotImmut(p); return nil },
 }
 
 func runSnapshotImmut(pass *Pass) {

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression syntax v2. A finding at a site that is correct by design
+// is silenced with a reasoned annotation on the offending line or the
+// line directly above it:
+//
+//	//bgplint:allow(analyzer1,analyzer2) reason=why this site is correct
+//
+// Unlike the v1 //lint:allow form, the reason is enforced, not
+// conventional: a directive with no reason= clause, an empty reason, an
+// unknown analyzer name, or the legacy syntax is itself a finding
+// (analyzer "bgplint"), so a malformed suppression fails the gate
+// loudly instead of silently suppressing nothing. A directive whose
+// analyzers produce no finding on its lines is stale and is reported
+// too — audited allows must keep pointing at live findings.
+
+const (
+	allowPrefix       = "bgplint:allow"
+	legacyAllowPrefix = "lint:allow"
+	// driverName is the pseudo-analyzer findings about the suppression
+	// directives themselves are reported under.
+	driverName = "bgplint"
+)
+
+// allowDirective is one parsed //bgplint:allow comment.
+type allowDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// allowSet indexes valid directives by (analyzer, file, line): a
+// directive suppresses findings on its own line and the line below.
+type allowSet struct {
+	byKey map[allowKey]*allowDirective
+	all   []*allowDirective
+}
+
+// allowKey identifies one suppressed (file, line) for one analyzer.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// suppress consumes one matching directive, reporting whether the
+// finding was suppressed.
+func (s *allowSet) suppress(analyzer, file string, line int) bool {
+	d, ok := s.byKey[allowKey{analyzer, file, line}]
+	if !ok {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// collectAllows parses every //bgplint:allow directive in the package.
+// Malformed or legacy directives are reported as bgplint findings
+// through report; validation against known analyzer names uses known.
+func collectAllows(pkg *Package, known map[string]bool, report func(pos token.Position, format string, args ...any)) *allowSet {
+	set := &allowSet{byKey: map[allowKey]*allowDirective{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.HasPrefix(text, legacyAllowPrefix) {
+					report(pos, "legacy //lint:allow directive; use //bgplint:allow(<analyzer>) reason=<justification>")
+					continue
+				}
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				d, errMsg := parseAllow(text)
+				if errMsg != "" {
+					report(pos, "%s", errMsg)
+					continue
+				}
+				for _, name := range d.analyzers {
+					if !known[name] {
+						report(pos, "//bgplint:allow names unknown analyzer %q (run bgplint -list for the inventory)", name)
+						d = nil
+						break
+					}
+				}
+				if d == nil {
+					continue
+				}
+				d.pos = pos
+				set.all = append(set.all, d)
+				for _, name := range d.analyzers {
+					set.byKey[allowKey{name, pos.Filename, pos.Line}] = d
+					set.byKey[allowKey{name, pos.Filename, pos.Line + 1}] = d
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow parses the text after "//": "bgplint:allow(a,b) reason=...".
+// It returns a directive or a human-readable error message.
+func parseAllow(text string) (*allowDirective, string) {
+	rest := text[len(allowPrefix):]
+	if !strings.HasPrefix(rest, "(") {
+		return nil, "malformed //bgplint:allow: expected (<analyzer>[,<analyzer>...]) after bgplint:allow"
+	}
+	close := strings.Index(rest, ")")
+	if close < 0 {
+		return nil, "malformed //bgplint:allow: missing closing parenthesis"
+	}
+	var names []string
+	for _, n := range strings.Split(rest[1:close], ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, "malformed //bgplint:allow: empty analyzer list"
+	}
+	tail := strings.TrimSpace(rest[close+1:])
+	if !strings.HasPrefix(tail, "reason=") {
+		return nil, "//bgplint:allow requires a reason: append reason=<why this site is correct>"
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(tail, "reason="))
+	if reason == "" {
+		return nil, "//bgplint:allow has an empty reason; justify the suppression"
+	}
+	return &allowDirective{analyzers: names, reason: reason}, ""
+}
+
+// staleAllows returns a diagnostic for every directive that suppressed
+// nothing: the finding it audited is gone, so the annotation must go
+// too (or the analyzer regressed, which this surfaces just as loudly).
+func staleAllows(set *allowSet) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range set.all {
+		if !d.used {
+			out = append(out, Diagnostic{
+				Analyzer: driverName,
+				Position: d.pos,
+				Message: "stale //bgplint:allow(" + strings.Join(d.analyzers, ",") +
+					"): no finding suppressed on this or the next line (remove the annotation)",
+			})
+		}
+	}
+	return out
+}
+
+// AllowEntry is one audited suppression for the generated inventory.
+type AllowEntry struct {
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+}
+
+// CollectAllowInventory parses every allow directive in the given
+// packages (valid ones only) for the documentation inventory, sorted by
+// position. rel maps absolute filenames to repo-relative display paths.
+func CollectAllowInventory(pkgs []*Package, rel func(string) string) []AllowEntry {
+	var out []AllowEntry
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		if seen[pkg.ImportPath] {
+			continue
+		}
+		seen[pkg.ImportPath] = true
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
+					}
+					d, errMsg := parseAllow(text)
+					if errMsg != "" {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, AllowEntry{
+						File:      rel(pos.Filename),
+						Line:      pos.Line,
+						Analyzers: d.analyzers,
+						Reason:    d.reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}

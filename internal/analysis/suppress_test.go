@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestParseAllow pins the directive grammar: every malformed shape must
+// come back with a human-readable error, never a silently-broken
+// directive.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text      string
+		analyzers []string
+		reason    string
+		errSubstr string // "" = must parse
+	}{
+		{text: "bgplint:allow(detclock) reason=fixture clock", analyzers: []string{"detclock"}, reason: "fixture clock"},
+		{text: "bgplint:allow(detclock,errdrop) reason=two at once", analyzers: []string{"detclock", "errdrop"}, reason: "two at once"},
+		{text: "bgplint:allow( detclock , errdrop ) reason=spaces ok", analyzers: []string{"detclock", "errdrop"}, reason: "spaces ok"},
+		{text: "bgplint:allow detclock reason=x", errSubstr: "expected (<analyzer>"},
+		{text: "bgplint:allow(detclock reason=x", errSubstr: "missing closing parenthesis"},
+		{text: "bgplint:allow() reason=x", errSubstr: "empty analyzer list"},
+		{text: "bgplint:allow(detclock)", errSubstr: "requires a reason"},
+		{text: "bgplint:allow(detclock) because it is fine", errSubstr: "requires a reason"},
+		{text: "bgplint:allow(detclock) reason=", errSubstr: "empty reason"},
+		{text: "bgplint:allow(detclock) reason=   ", errSubstr: "empty reason"},
+	}
+	for _, c := range cases {
+		d, errMsg := parseAllow(c.text)
+		if c.errSubstr != "" {
+			if errMsg == "" {
+				t.Errorf("parseAllow(%q) parsed; want error containing %q", c.text, c.errSubstr)
+			} else if !strings.Contains(errMsg, c.errSubstr) {
+				t.Errorf("parseAllow(%q) error %q, want substring %q", c.text, errMsg, c.errSubstr)
+			}
+			continue
+		}
+		if errMsg != "" {
+			t.Errorf("parseAllow(%q) failed: %s", c.text, errMsg)
+			continue
+		}
+		if got := strings.Join(d.analyzers, ","); got != strings.Join(c.analyzers, ",") {
+			t.Errorf("parseAllow(%q) analyzers = %s, want %s", c.text, got, strings.Join(c.analyzers, ","))
+		}
+		if d.reason != c.reason {
+			t.Errorf("parseAllow(%q) reason = %q, want %q", c.text, d.reason, c.reason)
+		}
+	}
+}
+
+// parsePackage builds the minimal Package collectAllows needs from one
+// source string.
+func parsePackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_test_input.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return &Package{ImportPath: "test/suppress", Fset: fset, Files: []*ast.File{f}}
+}
+
+// TestCollectAllowsRejects pins the loud-failure contract: legacy
+// syntax, unknown analyzers, and missing reasons each produce a driver
+// finding and register no suppression.
+func TestCollectAllowsRejects(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow detclock old style
+	_ = 1
+	//bgplint:allow(nosuchanalyzer) reason=typo in the name
+	_ = 2
+	//bgplint:allow(detclock)
+	_ = 3
+	//bgplint:allow(detclock) reason=the one valid directive
+	_ = 4
+}
+`
+	pkg := parsePackage(t, src)
+	known := map[string]bool{"detclock": true}
+	var reports []string
+	set := collectAllows(pkg, known, func(pos token.Position, format string, args ...any) {
+		reports = append(reports, fmt.Sprintf("%d: ", pos.Line)+fmt.Sprintf(format, args...))
+	})
+
+	wantReports := []string{
+		"legacy //lint:allow directive",
+		`unknown analyzer "nosuchanalyzer"`,
+		"requires a reason",
+	}
+	if len(reports) != len(wantReports) {
+		t.Fatalf("got %d reports, want %d:\n%s", len(reports), len(wantReports), strings.Join(reports, "\n"))
+	}
+	for i, substr := range wantReports {
+		if !strings.Contains(reports[i], substr) {
+			t.Errorf("report %d = %q, want substring %q", i, reports[i], substr)
+		}
+	}
+
+	// Only the valid directive made it in, covering its line and the next.
+	if len(set.all) != 1 {
+		t.Fatalf("registered %d directives, want 1", len(set.all))
+	}
+	line := set.all[0].pos.Line
+	if !set.suppress("detclock", "allow_test_input.go", line+1) {
+		t.Error("valid directive does not suppress on the following line")
+	}
+	if set.suppress("detclock", "allow_test_input.go", line+2) {
+		t.Error("directive suppresses two lines below; coverage must stop at line+1")
+	}
+	if set.suppress("errdrop", "allow_test_input.go", line+1) {
+		t.Error("directive suppresses an analyzer it does not name")
+	}
+}
+
+// TestStaleAllows pins the stale contract: a directive that suppressed
+// nothing is itself a finding; a used one is not.
+func TestStaleAllows(t *testing.T) {
+	src := `package p
+
+func f() {
+	//bgplint:allow(detclock) reason=will be used
+	_ = 1
+	//bgplint:allow(errdrop) reason=will be stale
+	_ = 2
+}
+`
+	pkg := parsePackage(t, src)
+	known := map[string]bool{"detclock": true, "errdrop": true}
+	set := collectAllows(pkg, known, func(token.Position, string, ...any) {
+		t.Error("unexpected report on valid directives")
+	})
+	usedLine := set.all[0].pos.Line
+	if !set.suppress("detclock", "allow_test_input.go", usedLine) {
+		t.Fatal("directive failed to suppress on its own line")
+	}
+
+	stale := staleAllows(set)
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale diagnostics, want 1", len(stale))
+	}
+	d := stale[0]
+	if d.Analyzer != driverName {
+		t.Errorf("stale diagnostic analyzer = %s, want %s", d.Analyzer, driverName)
+	}
+	if !strings.Contains(d.Message, "stale //bgplint:allow(errdrop)") {
+		t.Errorf("stale diagnostic does not name the directive: %s", d.Message)
+	}
+}
+
+// TestCollectAllowInventory pins the docs-inventory shape: valid
+// directives only, position-sorted, with file paths mapped through rel.
+func TestCollectAllowInventory(t *testing.T) {
+	src := `package p
+
+func f() {
+	//bgplint:allow(errdrop) reason=second by line
+	_ = 1
+}
+
+func g() {
+	//bgplint:allow(detclock,errdrop) reason=first declared, later line
+	_ = 2
+	//bgplint:allow(broken
+	_ = 3
+}
+`
+	pkg := parsePackage(t, src)
+	entries := CollectAllowInventory([]*Package{pkg}, func(s string) string { return "rel/" + s })
+	if len(entries) != 2 {
+		t.Fatalf("got %d inventory entries, want 2 (malformed directives excluded)", len(entries))
+	}
+	if entries[0].Line >= entries[1].Line {
+		t.Errorf("inventory not sorted by line: %d then %d", entries[0].Line, entries[1].Line)
+	}
+	if entries[0].File != "rel/allow_test_input.go" {
+		t.Errorf("rel mapping not applied: %s", entries[0].File)
+	}
+	if entries[0].Reason != "second by line" {
+		t.Errorf("entry 0 reason = %q", entries[0].Reason)
+	}
+	if got := strings.Join(entries[1].Analyzers, ","); got != "detclock,errdrop" {
+		t.Errorf("entry 1 analyzers = %s", got)
+	}
+}

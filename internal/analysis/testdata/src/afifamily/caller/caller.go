@@ -11,7 +11,7 @@ func BadTruncate(a afifamily.Addr) uint32 {
 
 // GoodAllowedTruncate carries the audited justification.
 func GoodAllowedTruncate(a afifamily.Addr) uint32 {
-	//lint:allow afifamily fixture: the address is IPv4 by construction here
+	//bgplint:allow(afifamily) reason=fixture: the address is IPv4 by construction here
 	return a.V4()
 }
 

@@ -68,6 +68,6 @@ func GoodDerivedTime(t time.Time) time.Time {
 // AnnotatedWallClock carries a justified allow comment; the finding is
 // suppressed and must not surface.
 func AnnotatedWallClock() time.Time {
-	//lint:allow detclock fixture: exercising the suppression path
+	//bgplint:allow(detclock) reason=fixture: exercising the suppression path
 	return time.Now()
 }

@@ -61,5 +61,5 @@ func GoodBuilderWrite() string {
 
 // AnnotatedDrop carries a justified allow comment.
 func AnnotatedDrop(c closer) {
-	c.Close() //lint:allow errdrop fixture: exercising the suppression path
+	c.Close() //bgplint:allow(errdrop) reason=fixture: exercising the suppression path
 }

@@ -92,8 +92,8 @@ func GoodScoped(p []byte) int {
 // AnnotatedHandoff is an audited ownership transfer: both the missing
 // local Put and the channel escape carry justifications.
 func AnnotatedHandoff(h *holder) {
-	b := getBatch() //lint:allow pooledbuf fixture: ownership transfers to the receiver, which Puts
-	//lint:allow pooledbuf fixture: audited ownership transfer, receiver Puts
+	b := getBatch() //bgplint:allow(pooledbuf) reason=fixture: ownership transfers to the receiver, which Puts
+	//bgplint:allow(pooledbuf) reason=fixture: audited ownership transfer, receiver Puts
 	h.ch <- b
 }
 
@@ -110,9 +110,9 @@ func BadSharedGetter() []byte {
 // payload and returns to the pool via the free callback when the last
 // reference drains.
 func GoodSharedGetter() []byte {
-	//lint:allow pooledbuf fixture: ownership transfers to a refcounted payload; its free callback Puts
+	//bgplint:allow(pooledbuf) reason=fixture: ownership transfers to a refcounted payload; its free callback Puts
 	b := pool.Get().(*batch)
-	//lint:allow pooledbuf fixture: audited ownership transfer, the payload free callback Puts
+	//bgplint:allow(pooledbuf) reason=fixture: audited ownership transfer, the payload free callback Puts
 	return b.data[:0]
 }
 
@@ -143,9 +143,9 @@ func BadSlabRotate(a *arena) {
 // owning cache, every payload carved from it holds a counted reference,
 // and the last release returns the slab to the pool.
 func GoodSlabRotate(a *arena) {
-	//lint:allow pooledbuf fixture: ownership transfers to the arena; carved payloads hold counted references and the last release Puts
+	//bgplint:allow(pooledbuf) reason=fixture: ownership transfers to the arena; carved payloads hold counted references and the last release Puts
 	s := slabPool.Get().(*slab)
 	s.refs = 1
-	//lint:allow pooledbuf fixture: audited refcount handoff, the release path Puts when the carved payloads drain
+	//bgplint:allow(pooledbuf) reason=fixture: audited refcount handoff, the release path Puts when the carved payloads drain
 	a.open = s
 }

@@ -1,0 +1,62 @@
+// Package readpurity is the seeded fixture set for the readpurity
+// analyzer: a miniature of the FIB snapshot's wait-free read surface.
+// Lookup is the configured entrypoint; everything it transitively
+// calls must stay lock-, pool-, and channel-free.
+package readpurity
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// table models the published snapshot head.
+type table struct {
+	mu      sync.Mutex
+	pool    sync.Pool
+	lookups atomic.Uint64
+	entries map[uint32]int
+	notify  chan struct{}
+}
+
+// Lookup is the wait-free entrypoint under test.
+func Lookup(t *table, key uint32) (int, bool) {
+	t.mu.Lock()         // want readpurity "sync.Mutex.Lock"
+	defer t.mu.Unlock() // want readpurity "sync.Mutex.Unlock"
+	t.lookups.Add(1)
+	t.notify <- struct{}{} // want readpurity "channel send"
+	scratch(t)
+	countShared(t)
+	v, ok := t.entries[key]
+	return v, ok
+}
+
+// scratch drags pool traffic onto the read path, two calls deep: the
+// entrypoint report points at the offending operation inside the
+// helper.
+func scratch(t *table) {
+	b := t.pool.Get() // want readpurity "sync.Pool.Get"
+	t.pool.Put(b)     // want readpurity "sync.Pool.Put"
+}
+
+// countShared writes shared state from the read path.
+func countShared(t *table) {
+	t.lookups.Add(1) // atomics are fine
+	n := 0
+	n++ // locals are fine
+	_ = n
+	t.entries[0] = n // want readpurity "write to shared state"
+}
+
+// CleanLookup is the pure shape, configured as an entrypoint of its
+// own: atomics, locals, and a caller-supplied yield function (Walk's
+// pattern) are all allowed, so it must stay silent.
+func CleanLookup(t *table, key uint32, yield func(int) bool) (int, bool) {
+	t.lookups.Add(1)
+	local := make([]int, 0, 4)
+	local = append(local, int(key))
+	v, ok := t.entries[key]
+	if ok && !yield(v) {
+		return 0, false
+	}
+	return v, ok
+}

@@ -1,0 +1,171 @@
+// Package refbalance is the seeded fixture set for the refbalance
+// analyzer: a miniature of the repo's SharedPayload/slab discipline.
+// Bad shapes carry `// want` expectations; good shapes must stay
+// silent.
+package refbalance
+
+import "errors"
+
+// Payload models a refcounted resource (session.SharedPayload).
+type Payload struct{ refs int }
+
+// Release drops one reference.
+func (p *Payload) Release() { p.refs-- }
+
+// acquire returns a fresh counted reference the caller owns.
+func acquire() *Payload { return &Payload{refs: 1} }
+
+// acquireErr is the fallible acquire: a nil payload alongside a non-nil
+// error, so the error path carries no obligation.
+func acquireErr(fail bool) (*Payload, error) {
+	if fail {
+		return nil, errors.New("acquire failed")
+	}
+	return &Payload{refs: 1}, nil
+}
+
+// send consumes one reference on every path (a configured transfer,
+// like Session.SendShared).
+func send(p *Payload) { p.refs-- }
+
+var errBoom = errors.New("boom")
+
+// --- bad shapes ---
+
+// LeakSimple never discharges the reference at all.
+func LeakSimple() int {
+	p := acquire() // want refbalance "can reach return without Release"
+	return p.refs
+}
+
+// LeakOnBranch releases only on one arm: the other falls through to the
+// return still holding the reference.
+func LeakOnBranch(cond bool) int {
+	p := acquire() // want refbalance "can reach return without Release"
+	if cond {
+		p.Release()
+		return 1
+	}
+	return 0
+}
+
+// LeakMidwayError is the classic early-error leak: the acquire
+// succeeded, a later failure returns without releasing.
+func LeakMidwayError(fail bool) error {
+	p, err := acquireErr(false) // want refbalance "can reach return without Release"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errBoom
+	}
+	p.Release()
+	return nil
+}
+
+// DoubleRelease drops the same reference twice.
+func DoubleRelease() {
+	p := acquire()
+	p.Release()
+	p.Release() // want refbalance "double release"
+}
+
+// DeferredDoubleRelease pairs a deferred release with an explicit one:
+// the defer fires at return, on top of the explicit drop.
+func DeferredDoubleRelease() {
+	p := acquire()
+	defer p.Release()
+	p.Release() // want refbalance "double release"
+}
+
+// UseAfterRelease touches the payload after dropping the reference.
+func UseAfterRelease() int {
+	p := acquire()
+	p.Release()
+	return p.refs // want refbalance "use of p after its release"
+}
+
+// LeakViaWrapper leaks a reference obtained through wrap, which is not
+// in the configuration: the analyzer infers wrap's acquire contract
+// from its body.
+func LeakViaWrapper() int {
+	p := wrap() // want refbalance "can reach return without Release"
+	return p.refs
+}
+
+// --- good shapes ---
+
+// wrap forwards a fresh reference to its caller (inferred acquirer; no
+// finding here — the obligation moves to the caller).
+func wrap() *Payload {
+	p := acquire()
+	return p
+}
+
+// consume releases its parameter on every path (inferred consumer).
+func consume(p *Payload) {
+	p.refs++
+	p.Release()
+}
+
+// BalancedBranches releases on both arms.
+func BalancedBranches(cond bool) int {
+	p := acquire()
+	if cond {
+		p.Release()
+		return 1
+	}
+	p.Release()
+	return 0
+}
+
+// BalancedDefer covers every path, error returns included, with one
+// deferred release.
+func BalancedDefer(fail bool) error {
+	p, err := acquireErr(fail)
+	if err != nil {
+		return err
+	}
+	defer p.Release()
+	if p.refs == 0 {
+		return errBoom
+	}
+	return nil
+}
+
+// BalancedErrPath releases only on the success arm: the error arm holds
+// no reference (nil-payload convention), so nothing is owed there.
+func BalancedErrPath(fail bool) error {
+	p, err := acquireErr(fail)
+	if err != nil {
+		return err
+	}
+	p.Release()
+	return nil
+}
+
+// TransferredFanOut hands one reference per recipient to the configured
+// transfer, then drops its own.
+func TransferredFanOut(recipients int) {
+	p := acquire()
+	for i := 0; i < recipients; i++ {
+		send(p)
+	}
+	p.Release()
+}
+
+// TransferredViaHelper discharges through consume, whose contract is
+// inferred, not configured.
+func TransferredViaHelper() {
+	p := acquire()
+	consume(p)
+}
+
+// BalancedFromWrapper owns the reference wrap forwarded and releases
+// it.
+func BalancedFromWrapper() int {
+	p := wrap()
+	n := p.refs
+	p.Release()
+	return n
+}

@@ -1,0 +1,82 @@
+// Package shardowner is the seeded fixture set for the shardowner
+// analyzer: a miniature of the repo's worker-owned update-group state.
+package shardowner
+
+// cache models per-shard marshal state, mutated without locks.
+//
+//bgplint:owned-by shard-worker
+type cache struct {
+	hits int
+}
+
+// bump is how the worker touches its own state: receiver use is not an
+// escape.
+func (c *cache) bump() { c.hits++ }
+
+// shard owns a cache by value inside its worker.
+type shard struct {
+	c  *cache
+	ch chan *cache
+}
+
+// retain models a sink that can keep its argument alive arbitrarily.
+func retain(v any) { _ = v }
+
+// useConcrete takes the owned type by its concrete type: the callee is
+// visible to the analyzer and plays by the same rules.
+func useConcrete(c *cache) { c.bump() }
+
+// --- bad shapes ---
+
+// GoCapture hands the worker's cache to a new goroutine.
+func GoCapture(s *shard) {
+	c := s.c
+	go func() { // want shardowner "captured by a goroutine closure"
+		c.bump()
+	}()
+}
+
+// ChannelSend ships the cache to whoever drains the channel.
+func ChannelSend(s *shard) {
+	s.ch <- s.c // want shardowner "sending it on a channel"
+}
+
+// InterfacePass lets an opaque callee retain the cache.
+func InterfacePass(s *shard) {
+	retain(s.c) // want shardowner "passing it as"
+}
+
+// InterfaceStore parks the cache where arbitrary code can reach it.
+func InterfaceStore(s *shard) {
+	var v any
+	v = s.c // want shardowner "storing it as"
+	_ = v
+}
+
+// EscapingClosure stores a closure over the cache: wherever the closure
+// runs later, the cache goes with it.
+func EscapingClosure(s *shard) func() {
+	c := s.c
+	fn := func() { // want shardowner "captured by a closure that escapes"
+		c.bump()
+	}
+	return fn
+}
+
+// --- good shapes ---
+
+// WorkerLoop is the owner touching its own state, concrete types all
+// the way down.
+func WorkerLoop(s *shard) {
+	s.c.bump()
+	useConcrete(s.c)
+}
+
+// InPlaceClosure runs on the worker's own goroutine: an immediately
+// invoked literal is not an escape.
+func InPlaceClosure(s *shard) {
+	c := s.c
+	func() {
+		c.bump()
+	}()
+}

@@ -224,7 +224,7 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		return true
 	}
 
-	//lint:allow detclock wall-clock deadline over a real TCP transport; digests never depend on it
+	//bgplint:allow(detclock) reason=wall-clock deadline over a real TCP transport; digests never depend on it
 	start := time.Now()
 	deadline := start.Add(cfg.Timeout)
 
@@ -244,7 +244,7 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 	settle := func(phase string, check func() bool) error {
 		const idle = 250 * time.Millisecond
 		var last [3]uint64
-		//lint:allow detclock settle polling measures real elapsed quiet time, not modeled time
+		//bgplint:allow(detclock) reason=settle polling measures real elapsed quiet time, not modeled time
 		stableSince := time.Now()
 		for {
 			cur := [3]uint64{router.Transactions(), router.FIBChanges(), retries()}
@@ -252,17 +252,17 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 				receiversEstablished() && check()
 			if cur != last || !ok {
 				last = cur
-				stableSince = time.Now() //lint:allow detclock settle polling over a real TCP transport
-			} else if time.Since(stableSince) >= idle { //lint:allow detclock settle polling over a real TCP transport
+				stableSince = time.Now() //bgplint:allow(detclock) reason=settle polling over a real TCP transport
+			} else if time.Since(stableSince) >= idle { //bgplint:allow(detclock) reason=settle polling over a real TCP transport
 				return nil
 			}
-			//lint:allow detclock timeout guard against a hung run; never part of the digest
+			//bgplint:allow(detclock) reason=timeout guard against a hung run; never part of the digest
 			if time.Now().After(deadline) {
 				return fmt.Errorf("conformance %s [%s/%s]: %s did not settle after %v (tx=%d retries=%d faults=%+v)",
 					scn, cfg.Profile, shardLabel(out.Shards), phase, cfg.Timeout,
 					router.Transactions(), retries(), inj.Stats())
 			}
-			time.Sleep(2 * time.Millisecond) //lint:allow detclock polling backoff, not modeled time
+			time.Sleep(2 * time.Millisecond) //bgplint:allow(detclock) reason=polling backoff, not modeled time
 		}
 	}
 
@@ -318,7 +318,7 @@ func RunConformance(scn Scenario, cfg ConformanceConfig) (ConformanceResult, err
 		}
 	}
 
-	out.Duration = time.Since(start) //lint:allow detclock reported wall-clock duration; excluded from digests
+	out.Duration = time.Since(start) //bgplint:allow(detclock) reason=reported wall-clock duration; excluded from digests
 	out.RIBLen = router.RIBLen()
 	out.Transactions = router.Transactions()
 	out.Retries = retries()

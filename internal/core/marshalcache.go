@@ -76,12 +76,12 @@ func (s *payloadSlab) releaseRef() {
 // getSlab returns an open slab with recycled capacity and the arena's
 // open reference already held.
 func (r *Router) getSlab() *payloadSlab {
-	//lint:allow pooledbuf audited ownership transfer: the slab rides inside the shard's marshal cache and returns to the pool when its payload refcount drains (releaseRef)
+	//bgplint:allow(pooledbuf) reason=audited ownership transfer: the slab rides inside the shard's marshal cache and returns to the pool when its payload refcount drains (releaseRef)
 	s := r.slabPool.Get().(*payloadSlab)
 	s.r = r
 	s.used = 0
 	s.refs.Store(1)
-	//lint:allow pooledbuf audited ownership transfer: callers park the slab in marshalCache.slab; every carved payload holds a counted reference
+	//bgplint:allow(pooledbuf) reason=audited ownership transfer: callers park the slab in marshalCache.slab; every carved payload holds a counted reference
 	return s
 }
 
@@ -108,6 +108,8 @@ type runEntry struct {
 
 // marshalCache is one shard's run cache plus its open slab. Owned by the
 // shard worker.
+//
+//bgplint:owned-by shard-worker
 type marshalCache struct {
 	m        map[runKey]*runEntry
 	prefixes int
@@ -196,7 +198,9 @@ func (c *marshalCache) payloadFor(r *Router, as4 bool, attrs *wire.PathAttrs, pf
 	}
 	s.used += len(b)
 	s.refs.Add(1)
-	//lint:allow pooledbuf audited ownership transfer: the payload's refcount returns the slab to the pool via payloadSlab.free after the last member session writes it
+	// Audited ownership transfer: the payload's refcount returns the
+	// slab to the pool via payloadSlab.free after the last member
+	// session writes it.
 	p := session.NewSharedPayload(b, 1, 1, recipients+1, s.free)
 	c.insert(key, pfx, p)
 	return p, nil
@@ -228,13 +232,29 @@ func (c *marshalCache) clear() {
 	c.prefixes = 0
 }
 
+// shutdown drops every reference the cache holds: one per cached run
+// plus the open slab's arena reference. The shard worker defers it on
+// exit; without it the cached payloads pin their slabs forever and the
+// arena blocks leak to GC instead of returning to the pool. Payloads
+// still held by in-flight sends survive until their recipients release
+// them, exactly as with clear().
+func (c *marshalCache) shutdown() {
+	c.clear()
+	if c.slab != nil {
+		c.slab.releaseRef()
+		c.slab = nil
+	}
+}
+
 // rotate closes the current slab (dropping the arena's open reference)
 // and opens a fresh one.
 func (c *marshalCache) rotate(r *Router) {
 	if c.slab != nil {
 		c.slab.releaseRef()
 	}
-	//lint:allow pooledbuf audited ownership transfer: the open slab is parked in the cache; its refcount returns it to the pool when the carved payloads drain
+	// Audited ownership transfer: the open slab is parked in the cache;
+	// its refcount returns it to the pool when the carved payloads
+	// drain.
 	c.slab = r.getSlab()
 }
 

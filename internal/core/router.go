@@ -321,7 +321,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg.NextHop = cfg.ID
 	}
 	if cfg.NextHop6.IsZero() {
-		//lint:allow afifamily the router ID is an IPv4 identifier by RFC 4271
+		//bgplint:allow(afifamily) reason=the router ID is an IPv4 identifier by RFC 4271
 		cfg.NextHop6 = netaddr.AddrFrom128(0, uint64(0xffff)<<32|uint64(cfg.ID.V4()))
 	}
 	if cfg.FIBEngine == "" {
@@ -657,7 +657,7 @@ func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us [
 		// single-use and safe to retain.
 		b := r.getBatch()
 		b.updates = append(b.updates[:0], us...)
-		//lint:allow pooledbuf audited ownership transfer: the shard worker Puts the batch after processing; the failure branch Puts it here
+		//bgplint:allow(pooledbuf) reason=audited ownership transfer: the shard worker Puts the batch after processing; the failure branch Puts it here
 		if !r.send(0, workItem{kind: workUpdateBatch, peerID: peerID, batch: b}) {
 			r.putBatch(b)
 		}
@@ -680,7 +680,7 @@ func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us [
 			sub := cur[si]
 			if sub == nil {
 				if batches[si] == nil {
-					//lint:allow pooledbuf audited ownership transfer: parked in the handler scratch only until the flush loop below sends or Puts it
+					//bgplint:allow(pooledbuf) reason=audited ownership transfer: parked in the handler scratch only until the flush loop below sends or Puts it
 					batches[si] = r.getBatch()
 				}
 				sub = batches[si].next()
@@ -694,7 +694,7 @@ func (r *Router) dispatchUpdateBatch(h *routerHandler, peerID netaddr.Addr, us [
 			sub := cur[si]
 			if sub == nil {
 				if batches[si] == nil {
-					//lint:allow pooledbuf audited ownership transfer: parked in the handler scratch only until the flush loop below sends or Puts it
+					//bgplint:allow(pooledbuf) reason=audited ownership transfer: parked in the handler scratch only until the flush loop below sends or Puts it
 					batches[si] = r.getBatch()
 				}
 				sub = batches[si].next()
@@ -914,6 +914,10 @@ func (r *Router) sender(ps *peerState) {
 func (r *Router) shardWorker(i int) {
 	defer r.wg.Done()
 	s := r.shards[i]
+	// On shutdown the cache's payload references and the open slab's
+	// arena reference must be dropped here, on the owning worker —
+	// otherwise the slabs never drain back to the pool.
+	defer s.mcache.shutdown()
 	for {
 		if len(s.catchups) > 0 {
 			select {
@@ -1114,6 +1118,7 @@ func (r *Router) processPeerDown(si int, ps *peerState) {
 		// member's own replay, and — once the shard has no members — any
 		// rebuild of the group's table (a future first member resets the
 		// table and schedules a fresh one).
+		//bgplint:allow(shardowner) reason=dropCatchups invokes the predicate synchronously on this worker and never retains it; sh stays on shard worker si
 		r.shards[si].catchups = dropCatchups(r.shards[si].catchups, func(c *groupCatchup) bool {
 			return c.member == ps || (c.g == g && len(sh.members) == 0)
 		})

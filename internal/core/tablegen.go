@@ -190,7 +190,7 @@ func Lengthen(r Route, newFirstAS uint32, extra int, seed int64) Route {
 	// The v4 seed mix must remain int64(uint32 address value): it feeds
 	// deterministic workloads whose digests are pinned by conformance.
 	a := r.Prefix.Addr()
-	mix := int64(a.V4()) //lint:allow afifamily v6 addresses take the Hi^Lo mix below; v4 mix is digest-pinned
+	mix := int64(a.V4()) //bgplint:allow(afifamily) reason=v6 addresses take the Hi^Lo mix below; v4 mix is digest-pinned
 	if !a.Is4() {
 		mix = int64(a.Hi() ^ a.Lo())
 	}

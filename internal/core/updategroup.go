@@ -63,6 +63,8 @@ type updateGroup struct {
 // groupShard is shard i's partition of a group: the shared Adj-RIB-Out,
 // the memoized export transform, current members, MRAI-pending
 // transitions, and worker-owned scratch. Touched only by shard worker i.
+//
+//bgplint:owned-by shard-worker
 type groupShard struct {
 	adjOut      *rib.GroupAdjOut
 	exportCache map[exportKey]*wire.PathAttrs
@@ -516,6 +518,8 @@ func (r *Router) processPeerUpGrouped(si int, ps *peerState) {
 // replayed stale — live changes and catch-up chunks are serialized on
 // the same shard worker, and a prefix processed by both simply yields an
 // idempotent duplicate.
+//
+//bgplint:owned-by shard-worker
 type groupCatchup struct {
 	g        *updateGroup
 	member   *peerState // nil: whole-group rebuild from the Loc-RIB
@@ -668,6 +672,7 @@ func (r *Router) replayChunk(si int, c *groupCatchup, sh *groupShard) bool {
 	limit := r.cfg.ExportBatch
 	pfx := sh.pfx[:0]
 	var runAttrs *wire.PathAttrs
+	//bgplint:allow(shardowner) reason=flush is a function-local closure called only below in this same worker-owned frame; the catch-up never leaves shard worker si
 	flush := func() {
 		if len(pfx) == 0 {
 			return

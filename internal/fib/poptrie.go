@@ -293,7 +293,7 @@ type poptrieSnapshot struct {
 
 // Lookup returns the entry of the longest prefix containing addr.
 func (s *poptrieSnapshot) Lookup(addr netaddr.Addr) (Entry, bool) {
-	//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
+	//bgplint:allow(snapshotimmut) reason=read-only interior pointer so the shared read path avoids copying the 2KB directory
 	return lookupIn(&s.pages[addr.Family()], s.shorts[addr.Family()], addr)
 }
 
@@ -325,7 +325,7 @@ func (s *poptrieSnapshot) Len() int { return s.n }
 // Walk visits all entries in the snapshot until fn returns false.
 func (s *poptrieSnapshot) Walk(fn func(netaddr.Prefix, Entry) bool) {
 	for f := range s.pages {
-		//lint:allow snapshotimmut read-only interior pointer so the shared read path avoids copying the 2KB directory
+		//bgplint:allow(snapshotimmut) reason=read-only interior pointer so the shared read path avoids copying the 2KB directory
 		if !walkIn(&s.pages[f], s.shorts[f], fn) {
 			return
 		}

@@ -19,7 +19,7 @@ func ShardOf(p netaddr.Prefix, n int) int {
 	if a.Is4() {
 		// Keep the historical v4 hash bit-for-bit: shard assignment feeds
 		// conformance digests, which must not move for v4-only configs.
-		h = a.V4()*2654435761 + uint32(p.Len())*0x9E3779B9 //lint:allow afifamily guarded by Is4 above; v4 hash is digest-pinned
+		h = a.V4()*2654435761 + uint32(p.Len())*0x9E3779B9 //bgplint:allow(afifamily) reason=guarded by Is4 above; v4 hash is digest-pinned
 	} else {
 		m := a.Hi()*0x9E3779B97F4A7C15 ^ a.Lo()*0xC2B2AE3D27D4EB4F
 		h = uint32(m>>32) ^ uint32(m) ^ 0x80000000 // family bit keeps v6 off the v4 mapping

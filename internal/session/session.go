@@ -498,7 +498,7 @@ func (s *Session) handle(ev event) bool {
 			// Connection collision: keep the first transport, ignore the
 			// duplicate entirely (a full implementation would compare BGP
 			// identifiers per RFC 4271 section 6.8).
-			ev.conn.Close() //lint:allow errdrop best-effort close of a rejected duplicate transport
+			ev.conn.Close() //bgplint:allow(errdrop) reason=best-effort close of a rejected duplicate transport
 			return false
 		}
 		// Adopt the transport before the FSM acts on it.
@@ -654,7 +654,7 @@ func (s *Session) dial() {
 		case s.events <- ev:
 		case <-s.done:
 			if conn != nil {
-				conn.Close() //lint:allow errdrop session already stopped; nothing can act on a close error
+				conn.Close() //bgplint:allow(errdrop) reason=session already stopped; nothing can act on a close error
 			}
 		}
 	}()
@@ -664,7 +664,7 @@ func (s *Session) dial() {
 func (s *Session) adoptConn(conn net.Conn) {
 	if s.conn != nil {
 		// Connection collision: keep the first transport, drop the new one.
-		conn.Close() //lint:allow errdrop best-effort close of a rejected duplicate transport
+		conn.Close() //bgplint:allow(errdrop) reason=best-effort close of a rejected duplicate transport
 		return
 	}
 	s.conn = conn
@@ -739,7 +739,7 @@ func (s *Session) dropConn() {
 		s.readerCancel = nil
 	}
 	if s.conn != nil {
-		s.conn.Close() //lint:allow errdrop teardown of an already-failed transport; the session event is the signal
+		s.conn.Close() //bgplint:allow(errdrop) reason=teardown of an already-failed transport; the session event is the signal
 		s.conn = nil
 	}
 	s.writer = nil

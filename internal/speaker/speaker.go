@@ -76,7 +76,7 @@ func New(cfg Config) *Speaker {
 		cfg.NextHop = cfg.ID
 	}
 	if cfg.NextHop6.IsZero() {
-		//lint:allow afifamily mapping a v4 next hop into ::ffff:0:0/96 is the point
+		//bgplint:allow(afifamily) reason=mapping a v4 next hop into ::ffff:0:0/96 is the point
 		cfg.NextHop6 = netaddr.AddrFrom128(0, uint64(0xffff)<<32|uint64(cfg.NextHop.V4()))
 	}
 	if cfg.Name == "" {

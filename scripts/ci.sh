@@ -14,9 +14,16 @@ fi
 # concurrency code leans on hardest.
 go vet ./...
 go vet -copylocks -unusedresult ./...
-# Project-invariant static analyzers (see internal/analysis): findings
-# exit non-zero and fail the gate.
-go run ./cmd/bgplint ./...
+# Project-invariant static analyzers (see internal/analysis) against
+# the audited-findings ledger: a new finding or a stale baseline entry
+# fails the gate; audited findings stay visible in the SARIF log, which
+# is left under artifacts/ for code-scanning upload.
+mkdir -p artifacts
+if ! go run ./cmd/bgplint -sarif -baseline lint/baseline.json ./... > artifacts/bgplint.sarif; then
+	echo "bgplint gate failed (baseline drift or new findings):" >&2
+	go run ./cmd/bgplint -baseline lint/baseline.json ./... >&2 || true
+	exit 1
+fi
 # Includes the fib lookup-under-churn tests (IPv4 and IPv6) gating the
 # lock-free snapshot read path.
 go test -race ./internal/core/... ./internal/session/... ./internal/fib/...
